@@ -1,0 +1,99 @@
+#include "bench_util.h"
+
+#include <sys/stat.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace sdps::bench {
+
+namespace {
+
+const char* QueryName(engine::QueryKind q) {
+  return q == engine::QueryKind::kJoin ? "join" : "agg";
+}
+
+std::string CacheKey(workloads::Engine engine, engine::QueryKind query, int workers,
+                     const workloads::EngineTuning& tuning) {
+  std::string key = workloads::EngineName(engine) + "/" + QueryName(query) + "/" +
+                    StrFormat("%d", workers);
+  if (!tuning.storm_backpressure) key += "/nobp";
+  if (!tuning.spark_tree_aggregate) key += "/notree";
+  if (tuning.spark_inverse_reduce) key += "/inv";
+  if (!tuning.spark_cache_window) key += "/nocache";
+  return key;
+}
+
+}  // namespace
+
+std::string ResultsPath(const std::string& name) {
+  ::mkdir("results", 0755);  // ignore EEXIST
+  return "results/" + name;
+}
+
+double SustainableRate(workloads::Engine engine, engine::QueryKind query, int workers,
+                       double hint, workloads::EngineTuning tuning) {
+  const std::string cache_path = ResultsPath("rates_cache.csv");
+  const std::string key = CacheKey(engine, query, workers, tuning);
+  {
+    std::ifstream in(cache_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto fields = StrSplit(line, ',');
+      if (fields.size() == 2 && fields[0] == key) return atof(fields[1].c_str());
+    }
+  }
+  driver::ExperimentConfig base = workloads::MakeExperiment(query, workers, hint);
+  driver::SearchConfig search;
+  search.initial_rate = hint;
+  search.trial_duration = Seconds(60);
+  const auto result = driver::FindSustainableThroughput(
+      base, workloads::MakeEngineFactory(engine, engine::QueryConfig{query, {}}, tuning),
+      search);
+  std::ofstream out(cache_path, std::ios::app);
+  out << key << "," << StrFormat("%.0f", result.sustainable_rate) << "\n";
+  return result.sustainable_rate;
+}
+
+driver::ExperimentResult MeasureAt(workloads::Engine engine, engine::QueryKind query,
+                                   int workers, double rate, SimTime duration,
+                                   workloads::EngineTuning tuning,
+                                   driver::RateProfile profile) {
+  driver::ExperimentConfig config = workloads::MakeExperiment(query, workers, rate, duration);
+  config.rate_profile = std::move(profile);
+  return driver::RunExperiment(
+      config,
+      workloads::MakeEngineFactory(engine, engine::QueryConfig{query, {}}, tuning));
+}
+
+void WriteSeries(const std::string& file, const std::string& value_name,
+                 const driver::TimeSeries& series, SimTime bucket) {
+  const auto status =
+      driver::WriteSeriesCsv(ResultsPath(file), value_name, series.Downsample(bucket));
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", file.c_str(),
+                 status.ToString().c_str());
+  }
+}
+
+double CoefficientOfVariation(const driver::TimeSeries& series, SimTime from, SimTime to) {
+  double sum = 0, sumsq = 0;
+  int64_t n = 0;
+  for (const auto& s : series.samples()) {
+    if (s.time < from || s.time >= to) continue;
+    sum += s.value;
+    sumsq += s.value * s.value;
+    ++n;
+  }
+  if (n < 2 || sum == 0) return 0;
+  const double mean = sum / static_cast<double>(n);
+  const double var = sumsq / static_cast<double>(n) - mean * mean;
+  return std::sqrt(std::max(0.0, var)) / mean;
+}
+
+}  // namespace sdps::bench

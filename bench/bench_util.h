@@ -1,0 +1,41 @@
+// Shared harness pieces for the experiment benches: a results directory,
+// a cache of searched sustainable rates (so the latency/figure benches can
+// reuse bench_table1's search results), and one-line experiment runners.
+#ifndef SDPS_BENCH_BENCH_UTIL_H_
+#define SDPS_BENCH_BENCH_UTIL_H_
+
+#include <string>
+
+#include "driver/experiment.h"
+#include "driver/sustainable.h"
+#include "workloads/workloads.h"
+
+namespace sdps::bench {
+
+/// Creates ./results if needed and returns "results/<name>".
+std::string ResultsPath(const std::string& name);
+
+/// Returns the sustainable rate for (engine, query, workers), reading
+/// results/rates_cache.csv when present and appending after a fresh
+/// search. `hint` bounds the search start.
+double SustainableRate(workloads::Engine engine, engine::QueryKind query, int workers,
+                       double hint = 2.0e6, workloads::EngineTuning tuning = {});
+
+/// Runs one measurement at the given rate (fraction of `rate`); standard
+/// paper deployment and generator presets.
+driver::ExperimentResult MeasureAt(workloads::Engine engine, engine::QueryKind query,
+                                   int workers, double rate,
+                                   SimTime duration = Seconds(180),
+                                   workloads::EngineTuning tuning = {},
+                                   driver::RateProfile profile = nullptr);
+
+/// Writes a latency time series (downsampled to 1 s buckets) as CSV.
+void WriteSeries(const std::string& file, const std::string& value_name,
+                 const driver::TimeSeries& series, SimTime bucket = Seconds(1));
+
+/// Coefficient of variation of a series (fluctuation metric, Fig. 9).
+double CoefficientOfVariation(const driver::TimeSeries& series, SimTime from, SimTime to);
+
+}  // namespace sdps::bench
+
+#endif  // SDPS_BENCH_BENCH_UTIL_H_

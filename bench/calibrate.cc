@@ -1,0 +1,98 @@
+// Calibration utility: runs a single experiment (engine, query, workers,
+// rate) and prints the sustainability verdict, latency stats, and ingest
+// rate. Used to tune the cost constants in the engine configs against the
+// paper's tables. Not part of the headline benches.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#include "common/strings.h"
+#include "driver/experiment.h"
+#include "driver/sustainable.h"
+#include "report/table.h"
+#include "workloads/workloads.h"
+
+using namespace sdps;          // NOLINT
+using namespace sdps::workloads;  // NOLINT
+
+int main(int argc, char** argv) {
+  Engine engine = Engine::kFlink;
+  engine::QueryKind query = engine::QueryKind::kAggregation;
+  int workers = 2;
+  double rate = 1.0e6;
+  SimTime duration = Seconds(120);
+  bool search = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (!strcmp(argv[i], "--engine") && i + 1 < argc) {
+      const char* e = argv[++i];
+      engine = !strcmp(e, "storm")  ? Engine::kStorm
+               : !strcmp(e, "spark") ? Engine::kSpark
+                                     : Engine::kFlink;
+    } else if (!strcmp(argv[i], "--query") && i + 1 < argc) {
+      query = !strcmp(argv[++i], "join") ? engine::QueryKind::kJoin
+                                         : engine::QueryKind::kAggregation;
+    } else if (!strcmp(argv[i], "--workers") && i + 1 < argc) {
+      workers = atoi(argv[++i]);
+    } else if (!strcmp(argv[i], "--rate") && i + 1 < argc) {
+      rate = atof(argv[++i]);
+    } else if (!strcmp(argv[i], "--duration") && i + 1 < argc) {
+      duration = Seconds(atof(argv[++i]));
+    } else if (!strcmp(argv[i], "--search")) {
+      search = true;
+    }
+  }
+
+  driver::ExperimentConfig config = MakeExperiment(query, workers, rate, duration);
+  auto factory = MakeEngineFactory(engine, engine::QueryConfig{query, {}});
+
+  const std::clock_t t0 = std::clock();
+  if (search) {
+    driver::SearchConfig sc;
+    sc.initial_rate = rate;
+    auto result = driver::FindSustainableThroughput(config, factory, sc);
+    printf("%s %s %d-node: sustainable = %s (%zu trials)\n",
+           EngineName(engine).c_str(),
+           query == engine::QueryKind::kJoin ? "join" : "agg", workers,
+           FormatRateMps(result.sustainable_rate).c_str(), result.trials.size());
+    for (const auto& t : result.trials) {
+      printf("  %-10s -> %s\n", FormatRateMps(t.rate).c_str(),
+             t.sustainable ? "sustained" : t.verdict.c_str());
+    }
+  } else {
+    auto result = driver::RunExperiment(config, factory);
+    printf("%s %s %d-node @ %s: %s\n", EngineName(engine).c_str(),
+           query == engine::QueryKind::kJoin ? "join" : "agg", workers,
+           FormatRateMps(rate).c_str(), result.verdict.c_str());
+    printf("  mean ingest: %s, outputs: %llu\n",
+           FormatRateMps(result.mean_ingest_rate).c_str(),
+           static_cast<unsigned long long>(result.output_records));
+    if (!result.event_latency.empty()) {
+      printf("  event-time latency: %s\n",
+             report::FormatLatencyRow(result.event_latency.Summarize()).c_str());
+      printf("  proc-time  latency: %s\n",
+             report::FormatLatencyRow(result.processing_latency.Summarize()).c_str());
+    }
+    if (!result.backlog_series.empty()) {
+      printf("  backlog end: %.0f tuples, slope %.0f tuples/s\n",
+             result.backlog_series.samples().back().value,
+             result.backlog_series.SlopePerSecond());
+    }
+    for (const auto& [name, series] : result.engine_series) {
+      if (series.empty()) continue;
+      std::string tail;
+      const auto& ss = series.samples();
+      for (size_t i = ss.size() > 8 ? ss.size() - 8 : 0; i < ss.size(); ++i) {
+        tail += StrFormat(" %.2f@%.0fs", ss[i].value, ToSeconds(ss[i].time));
+      }
+      printf("  %s:%s\n", name.c_str(), tail.c_str());
+    }
+    double cpu = 0;
+    for (const auto& s : result.worker_cpu_util) cpu += s.MeanInRange(0, duration);
+    printf("  mean worker CPU: %.1f%%\n",
+           100.0 * cpu / static_cast<double>(result.worker_cpu_util.size()));
+  }
+  printf("  [wall: %.1fs]\n", static_cast<double>(std::clock() - t0) / CLOCKS_PER_SEC);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Focused probe: Spark single-key skew with and without the tree
+// aggregate, printing job runtimes (not part of the headline benches).
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace sdps;             // NOLINT
+using namespace sdps::workloads;  // NOLINT
+
+int main() {
+  for (const bool tree : {true, false}) {
+    driver::ExperimentConfig config = MakeExperiment(
+        engine::QueryKind::kAggregation, 4, 0.66e6, Seconds(60));
+    config.generator.key_distribution = driver::KeyDistribution::kSingle;
+    config.generator.num_keys = 1;
+    EngineTuning tuning;
+    tuning.spark_tree_aggregate = tree;
+    auto result = driver::RunExperiment(
+        config,
+        MakeEngineFactory(Engine::kSpark,
+                          engine::QueryConfig{engine::QueryKind::kAggregation, {}},
+                          tuning));
+    printf("tree=%d: %s ingest %.2f M/s\n", tree ? 1 : 0, result.verdict.c_str(),
+           result.mean_ingest_rate / 1e6);
+    if (auto it = result.engine_series.find("job_runtime_s");
+        it != result.engine_series.end()) {
+      printf("  runtimes:");
+      for (const auto& sm : it->second.samples()) printf(" %.1f", sm.value);
+      printf("\n");
+    }
+    if (auto it = result.engine_series.find("receiver_rate_limit");
+        it != result.engine_series.end()) {
+      printf("  limits:");
+      for (const auto& sm : it->second.samples()) printf(" %.2g", sm.value);
+      printf("\n");
+    }
+  }
+  return 0;
+}

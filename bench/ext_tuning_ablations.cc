@@ -1,0 +1,94 @@
+// Extension: ablations of the tuning knobs the paper discusses in text
+// (Section VI-A "Tuning the systems"):
+//  (a) Flink network-buffer (channel) size — "although selecting low
+//      buffer size can result in a low processing-time latency, the
+//      event-time latency of tuples may increase as they will be queued
+//      in the driver queues instead of the buffers inside the streaming
+//      system";
+//  (b) Storm at-least-once acking on/off — the per-tuple overhead the
+//      paper's Storm numbers carry;
+//  (c) Spark batch interval — "the smaller the batch size, the lower the
+//      latency and throughput".
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "driver/sustainable.h"
+
+using namespace sdps;             // NOLINT
+using namespace sdps::workloads;  // NOLINT
+
+namespace {
+
+driver::SearchConfig QuickSearch(double initial) {
+  driver::SearchConfig s;
+  s.initial_rate = initial;
+  s.trial_duration = Seconds(60);
+  s.refine_iterations = 2;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  printf("== Tuning ablations (4-node, windowed aggregation) ==\n");
+  const engine::QueryConfig agg{engine::QueryKind::kAggregation, {}};
+  driver::ExperimentConfig base =
+      MakeExperiment(engine::QueryKind::kAggregation, 4, 0);
+
+  printf("\n(a) Flink channel capacity (records per network buffer):\n");
+  for (const size_t cap : {16u, 128u, 1024u}) {
+    engines::FlinkConfig config = CalibratedFlink(agg);
+    config.channel_capacity = cap;
+    auto factory = [config](const driver::SutContext&) {
+      return engines::MakeFlink(config);
+    };
+    // Measure near saturation (95% of the default config's plateau).
+    driver::ExperimentConfig run = base;
+    run.total_rate = 1.14e6;
+    run.duration = Seconds(120);
+    auto result = driver::RunExperiment(run, factory);
+    const auto ev = result.event_latency.empty() ? driver::Histogram::Summary{}
+                                                 : result.event_latency.Summarize();
+    const auto pr = result.processing_latency.empty()
+                        ? driver::Histogram::Summary{}
+                        : result.processing_latency.Summarize();
+    printf("  capacity %5zu: event avg %5.2fs  processing avg %5.2fs  (%s)\n", cap,
+           ev.avg_s, pr.avg_s, result.verdict.c_str());
+    fflush(stdout);
+  }
+
+  printf("\n(b) Storm acking (at-least-once bookkeeping):\n");
+  for (const bool acks : {true, false}) {
+    engines::StormConfig config = CalibratedStorm(agg);
+    if (!acks) config.ack_cost_us = 0.0;  // at-most-once
+    auto factory = [config](const driver::SutContext&) {
+      return engines::MakeStorm(config);
+    };
+    auto search = driver::FindSustainableThroughput(base, factory, QuickSearch(1.2e6));
+    printf("  acks %-3s: sustainable %s\n", acks ? "on" : "off",
+           FormatRateMps(search.sustainable_rate).c_str());
+    fflush(stdout);
+  }
+
+  printf("\n(c) Spark batch interval (window (16s, 8s) so all batches align):\n");
+  for (const SimTime batch : {Seconds(2), Seconds(4), Seconds(8)}) {
+    engines::SparkConfig config = CalibratedSpark(
+        {engine::QueryKind::kAggregation, {Seconds(16), Seconds(8)}});
+    config.batch_interval = batch;
+    auto factory = [config](const driver::SutContext&) {
+      return engines::MakeSpark(config);
+    };
+    auto search = driver::FindSustainableThroughput(base, factory, QuickSearch(1.2e6));
+    driver::ExperimentConfig run = base;
+    run.total_rate = 0.9 * search.sustainable_rate;
+    run.duration = Seconds(120);
+    auto result = driver::RunExperiment(run, factory);
+    printf("  batch %2.0fs: sustainable %s, avg latency %.2fs at 90%% load\n",
+           ToSeconds(batch), FormatRateMps(search.sustainable_rate).c_str(),
+           result.event_latency.empty() ? 0.0
+                                        : result.event_latency.Summarize().avg_s);
+    fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 10: per-node network (MB/s) and CPU load over time for the
+// aggregation query on a 4-node cluster at the sustainable workload.
+// Paper shape: Flink — network-bound — shows the LOWEST CPU load; Storm
+// and Spark burn roughly 50% more CPU clock cycles than Flink (while
+// moving less data).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/strings.h"
+
+using namespace sdps;             // NOLINT
+using namespace sdps::workloads;  // NOLINT
+
+int main() {
+  printf("== Fig. 10: network and CPU usage (4-node, sustainable) ==\n\n");
+  const Engine engines[3] = {Engine::kStorm, Engine::kSpark, Engine::kFlink};
+  double mean_cpu[3], mean_net[3];
+  for (int i = 0; i < 3; ++i) {
+    const double rate =
+        bench::SustainableRate(engines[i], engine::QueryKind::kAggregation, 4);
+    auto result =
+        bench::MeasureAt(engines[i], engine::QueryKind::kAggregation, 4, rate);
+    double cpu = 0, net = 0;
+    for (int w = 0; w < 4; ++w) {
+      const auto& cs = result.worker_cpu_util[static_cast<size_t>(w)];
+      const auto& ns = result.worker_net_mbps[static_cast<size_t>(w)];
+      cpu += cs.MeanInRange(Seconds(45), Seconds(180));
+      net += ns.MeanInRange(Seconds(45), Seconds(180));
+      bench::WriteSeries(StrFormat("fig10_%s_node%d_cpu.csv",
+                                   EngineName(engines[i]).c_str(), w),
+                         "cpu_util", cs, Seconds(2));
+      bench::WriteSeries(StrFormat("fig10_%s_node%d_net.csv",
+                                   EngineName(engines[i]).c_str(), w),
+                         "net_mbps", ns, Seconds(2));
+    }
+    mean_cpu[i] = 100.0 * cpu / 4;
+    mean_net[i] = net / 4;
+    printf("  %-5s @ %s: mean worker CPU %.1f%%, mean worker NIC %.1f MB/s\n",
+           EngineName(engines[i]).c_str(), FormatRateMps(rate).c_str(), mean_cpu[i],
+           mean_net[i]);
+    fflush(stdout);
+  }
+  printf("\nqualitative checks:\n");
+  printf("  Flink CPU lowest: %s\n",
+         (mean_cpu[2] < mean_cpu[0] && mean_cpu[2] < mean_cpu[1]) ? "PASS" : "FAIL");
+  printf("  Storm+Spark use ~50%%+ more CPU than Flink: Storm x%.2f, Spark x%.2f\n",
+         mean_cpu[0] / mean_cpu[2], mean_cpu[1] / mean_cpu[2]);
+  printf("  Flink moves the most data (network-bound): %s\n",
+         (mean_net[2] > mean_net[0] && mean_net[2] > mean_net[1]) ? "PASS" : "FAIL");
+  return 0;
+}

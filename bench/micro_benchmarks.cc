@@ -1,0 +1,164 @@
+// google-benchmark microbenches for the hot library components: the DES
+// kernel, channels, resources, window assignment/state, histogram,
+// partitioning, and the data generator's distributions.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "des/channel.h"
+#include "des/resource.h"
+#include "des/simulator.h"
+#include "des/task.h"
+#include "driver/histogram.h"
+#include "engine/partition.h"
+#include "engine/window.h"
+#include "engine/window_state.h"
+
+namespace sdps {
+namespace {
+
+void BM_SimulatorScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Simulator sim;
+    for (int i = 0; i < 1024; ++i) {
+      sim.ScheduleAt(i, [] {});
+    }
+    sim.RunUntilIdle();
+    benchmark::DoNotOptimize(sim.processed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SimulatorScheduleAndRun);
+
+des::Task<> PingPong(des::Simulator& sim, int hops) {
+  for (int i = 0; i < hops; ++i) co_await des::Delay(sim, 1);
+}
+
+void BM_CoroutineDelayHops(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Simulator sim;
+    sim.Spawn(PingPong(sim, 1024));
+    sim.RunUntilIdle();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_CoroutineDelayHops);
+
+des::Task<> Producer(des::Channel<int>& ch, int n) {
+  for (int i = 0; i < n; ++i) co_await ch.Send(i);
+  ch.Close();
+}
+des::Task<> Consumer(des::Channel<int>& ch) {
+  for (;;) {
+    auto v = co_await ch.Recv();
+    if (!v) co_return;
+    benchmark::DoNotOptimize(*v);
+  }
+}
+
+void BM_ChannelThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    des::Simulator sim;
+    des::Channel<int> ch(sim, 64);
+    sim.Spawn(Producer(ch, n));
+    sim.Spawn(Consumer(ch));
+    sim.RunUntilIdle();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ChannelThroughput)->Arg(1024)->Arg(16384);
+
+des::Task<> UseResource(des::Resource& res, int n) {
+  for (int i = 0; i < n; ++i) co_await res.Use(10);
+}
+
+void BM_ResourceContention(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Simulator sim;
+    des::Resource res(sim, 16);
+    for (int p = 0; p < 32; ++p) sim.Spawn(UseResource(res, 64));
+    sim.RunUntilIdle();
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 64);
+}
+BENCHMARK(BM_ResourceContention);
+
+void BM_WindowAssign(benchmark::State& state) {
+  engine::WindowAssigner assigner({Seconds(8), Seconds(4)});
+  std::vector<int64_t> out;
+  SimTime t = 0;
+  for (auto _ : state) {
+    out.clear();
+    assigner.Assign(t, &out);
+    benchmark::DoNotOptimize(out.data());
+    t += 1000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WindowAssign);
+
+void BM_AggWindowStateAdd(benchmark::State& state) {
+  engine::WindowAssigner assigner({Seconds(8), Seconds(4)});
+  engine::AggWindowState window_state(assigner);
+  Rng rng(42);
+  engine::Record rec;
+  SimTime t = 0;
+  for (auto _ : state) {
+    rec.event_time = t;
+    rec.key = rng.NextBelow(1000);
+    rec.value = 1.0;
+    window_state.Add(rec);
+    t += 100;
+    if (t % Seconds(16) == 0) {
+      benchmark::DoNotOptimize(window_state.FireUpTo(t - Seconds(8)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AggWindowStateAdd);
+
+void BM_HistogramAddAndQuantile(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    driver::Histogram h;
+    for (int i = 0; i < 10000; ++i) h.Add(static_cast<SimTime>(rng.NextBelow(1000000)));
+    benchmark::DoNotOptimize(h.Quantile(0.99));
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_HistogramAddAndQuantile);
+
+void BM_PartitionForKey(benchmark::State& state) {
+  uint64_t k = 0;
+  int acc = 0;
+  for (auto _ : state) {
+    acc += engine::PartitionForKey(k++, 64);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PartitionForKey);
+
+void BM_RngGaussian(benchmark::State& state) {
+  Rng rng(3);
+  double acc = 0;
+  for (auto _ : state) acc += rng.Gaussian();
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngGaussian);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(3);
+  ZipfDistribution zipf(100000, 1.0);
+  uint64_t acc = 0;
+  for (auto _ : state) acc += zipf.Sample(rng);
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+}  // namespace sdps
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Experiment 1 / Table II: event-time latency statistics (avg, min, max,
+// p90/p95/p99) for windowed aggregations at the maximum sustainable
+// workload and at 90% of it, for Storm/Spark/Flink on 2/4/8 nodes.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "report/table.h"
+
+using namespace sdps;             // NOLINT
+using namespace sdps::workloads;  // NOLINT
+
+int main() {
+  printf("== Table II: latency stats (s), windowed aggregation (8s, 4s) ==\n\n");
+  // Paper avg latencies (seconds): rows Storm, Storm90, Spark, Spark90,
+  // Flink, Flink90; columns 2/4/8 nodes.
+  const double paper_avg[6][3] = {{1.4, 2.1, 2.2}, {1.1, 1.6, 1.9},
+                                  {3.6, 3.3, 3.1}, {3.4, 2.8, 2.7},
+                                  {0.5, 0.2, 0.2}, {0.3, 0.2, 0.2}};
+  const Engine engines[3] = {Engine::kStorm, Engine::kSpark, Engine::kFlink};
+  const int sizes[3] = {2, 4, 8};
+
+  report::Table table(
+      {"System", "2-node avg min max (q90,95,99)", "4-node ...", "8-node ..."});
+  std::vector<report::ShapeCheck> checks;
+  for (int e = 0; e < 3; ++e) {
+    for (const bool reduced : {false, true}) {
+      std::vector<std::string> row = {EngineName(engines[e]) + (reduced ? "(90%)" : "")};
+      for (int s = 0; s < 3; ++s) {
+        double rate = bench::SustainableRate(engines[e],
+                                             engine::QueryKind::kAggregation, sizes[s]);
+        if (reduced) rate *= 0.9;
+        const auto result = bench::MeasureAt(engines[e], engine::QueryKind::kAggregation,
+                                             sizes[s], rate);
+        const auto summary = result.event_latency.Summarize();
+        row.push_back(report::FormatLatencyRow(summary));
+        checks.push_back(
+            {StrFormat("%s%s %d-node agg avg latency (s)",
+                       EngineName(engines[e]).c_str(), reduced ? "(90%)" : "",
+                       sizes[s]),
+             paper_avg[e * 2 + (reduced ? 1 : 0)][s], summary.avg_s, 0.4});
+        printf("  %s%s %d-node @ %s: %s\n", EngineName(engines[e]).c_str(),
+               reduced ? "(90%)" : "", sizes[s], FormatRateMps(rate).c_str(),
+               report::FormatLatencyRow(summary).c_str());
+        fflush(stdout);
+      }
+      table.AddRow(row);
+    }
+  }
+  printf("\n%s\n", table.Render().c_str());
+  printf("%s", report::RenderChecks(checks).c_str());
+  return 0;
+}

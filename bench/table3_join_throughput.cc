@@ -1,0 +1,64 @@
+// Experiment 2 / Table III: sustainable throughput for windowed joins
+// (PURCHASES x ADS over an (8 s, 4 s) window, reduced selectivity), Spark
+// and Flink on 2/4/8 nodes — plus the paper's in-text naive Storm join
+// (2-node ~0.14 M/s; memory issues / stalls beyond that).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "report/table.h"
+
+using namespace sdps;             // NOLINT
+using namespace sdps::workloads;  // NOLINT
+
+int main() {
+  printf("== Table III: sustainable throughput, windowed join (8s, 4s) ==\n\n");
+  const double paper[2][3] = {{0.36, 0.63, 0.94},   // Spark
+                              {0.85, 1.12, 1.19}};  // Flink
+  const Engine engines[2] = {Engine::kSpark, Engine::kFlink};
+  const int sizes[3] = {2, 4, 8};
+
+  report::Table table({"System", "2-node", "4-node", "8-node"});
+  std::vector<report::ShapeCheck> checks;
+  for (int e = 0; e < 2; ++e) {
+    std::vector<std::string> row = {EngineName(engines[e])};
+    for (int s = 0; s < 3; ++s) {
+      const double rate =
+          bench::SustainableRate(engines[e], engine::QueryKind::kJoin, sizes[s]);
+      row.push_back(FormatRateMps(rate));
+      checks.push_back({StrFormat("%s %d-node join throughput (M/s)",
+                                  EngineName(engines[e]).c_str(), sizes[s]),
+                        paper[e][s], rate / 1e6, 0.5});
+      printf("  %s %d-node: %s (paper: %.2f M/s)\n", EngineName(engines[e]).c_str(),
+             sizes[s], FormatRateMps(rate).c_str(), paper[e][s]);
+      fflush(stdout);
+    }
+    table.AddRow(row);
+  }
+  printf("\n%s\n", table.Render().c_str());
+
+  // In-text naive Storm join: sustainable on 2 nodes only (paper: 0.14 M/s,
+  // 2.3 s avg latency; memory issues and topology stalls on larger
+  // clusters).
+  printf("Naive hand-rolled Storm join (in-text):\n");
+  const double storm2 =
+      bench::SustainableRate(Engine::kStorm, engine::QueryKind::kJoin, 2, 0.5e6);
+  printf("  Storm 2-node: %s (paper: 0.14 M/s)\n", FormatRateMps(storm2).c_str());
+  checks.push_back({"Storm naive join 2-node throughput (M/s)", 0.14, storm2 / 1e6, 0.4});
+  // Latency measured at 90% of the searched max (off the saturation
+  // edge, where the paper's conservative search effectively operated).
+  auto storm2_run =
+      bench::MeasureAt(Engine::kStorm, engine::QueryKind::kJoin, 2, 0.9 * storm2);
+  if (!storm2_run.event_latency.empty()) {
+    const auto s = storm2_run.event_latency.Summarize();
+    printf("  Storm 2-node avg latency: %.1f s (paper: 2.3 s)\n", s.avg_s);
+    checks.push_back({"Storm naive join 2-node avg latency (s)", 2.3, s.avg_s, 0.4});
+  }
+  // Larger clusters: drive the naive join at the paper's 4-node Spark rate;
+  // the run should fail (heap exhaustion / stall), as the paper reports.
+  auto storm4 = bench::MeasureAt(Engine::kStorm, engine::QueryKind::kJoin, 4, 0.63e6,
+                                 Seconds(120));
+  printf("  Storm 4-node @ 0.63 M/s: %s\n", storm4.verdict.c_str());
+  printf("\n%s", report::RenderChecks(checks).c_str());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// The paper's second use-case: "correlating advertisements with their
+// revenue" — join the ADS stream with the PURCHASES stream over a sliding
+// window (Listing 1's join query) and measure how conversion (join
+// selectivity) affects result volume and latency.
+#include <cstdio>
+
+#include "driver/experiment.h"
+#include "workloads/workloads.h"
+
+using namespace sdps;             // NOLINT
+using namespace sdps::workloads;  // NOLINT
+
+int main() {
+  printf("== ad-to-purchase correlation (windowed join, Flink, 4 workers) ==\n\n");
+  printf("%-12s %-14s %-16s %-14s\n", "conversion", "join results", "avg latency (s)",
+         "verdict");
+
+  for (const double selectivity : {0.01, 0.05, 0.2}) {
+    driver::ExperimentConfig config =
+        MakeExperiment(engine::QueryKind::kJoin, 4, 0.6e6, Seconds(120));
+    config.generator.join_selectivity = selectivity;
+
+    uint64_t conversions = 0;
+    double conversion_revenue = 0;
+    config.output_listener = [&](const engine::OutputRecord& out) {
+      conversions += out.weight;  // each result = ad-attributed purchases
+      conversion_revenue += out.value * static_cast<double>(out.weight);
+    };
+
+    auto result = driver::RunExperiment(
+        config,
+        MakeEngineFactory(Engine::kFlink,
+                          engine::QueryConfig{engine::QueryKind::kJoin,
+                                              {Seconds(8), Seconds(4)}}));
+    printf("%-12.2f %-14llu %-16.2f %-14s\n", selectivity,
+           static_cast<unsigned long long>(conversions),
+           result.event_latency.empty()
+               ? 0.0
+               : result.event_latency.Summarize().avg_s,
+           result.verdict.c_str());
+  }
+
+  printf(
+      "\nhigher conversion -> more join results; the paper reduced the\n"
+      "selectivity so the sink and the network are not the bottleneck\n"
+      "(Section VI-B, Experiment 2).\n");
+  return 0;
+}

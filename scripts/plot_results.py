@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Plot the benchmark CSV series produced in ./results into PNG panels.
+
+Usage:
+    python3 scripts/plot_results.py [--results results] [--out plots]
+
+Produces one PNG per paper figure:
+    fig4.png  - aggregation latency over time (3 systems x 3 sizes x 2 loads)
+    fig5.png  - join latency over time
+    fig6.png  - fluctuating-workload latency
+    fig7.png  - event vs processing time under overload
+    fig8.png  - event vs processing time at sustainable load
+    fig9.png  - ingest throughput over time
+    fig10.png - per-node CPU and network usage
+    fig11.png - Spark scheduler delay vs throughput
+
+Requires matplotlib. The repository's benches must have been run first
+(`for b in build/bench/*; do $b; done`).
+"""
+import argparse
+import csv
+import glob
+import os
+import sys
+
+
+def read_series(path):
+    xs, ys = [], []
+    with open(path) as f:
+        reader = csv.reader(f)
+        next(reader, None)  # header
+        for row in reader:
+            if len(row) < 2:
+                continue
+            xs.append(float(row[0]))
+            ys.append(float(row[1]))
+    return xs, ys
+
+
+def panel_grid(plt, paths, title, ylabel, out, ncols=3):
+    paths = sorted(paths)
+    if not paths:
+        print(f"skip {out}: no input series")
+        return
+    nrows = (len(paths) + ncols - 1) // ncols
+    fig, axes = plt.subplots(nrows, ncols, figsize=(4 * ncols, 2.6 * nrows),
+                             squeeze=False)
+    for i, path in enumerate(paths):
+        ax = axes[i // ncols][i % ncols]
+        xs, ys = read_series(path)
+        ax.plot(xs, ys, linewidth=0.8)
+        name = os.path.basename(path).replace(".csv", "")
+        ax.set_title(name, fontsize=8)
+        ax.set_xlabel("time (s)", fontsize=7)
+        ax.set_ylabel(ylabel, fontsize=7)
+        ax.tick_params(labelsize=7)
+    for j in range(len(paths), nrows * ncols):
+        axes[j // ncols][j % ncols].axis("off")
+    fig.suptitle(title)
+    fig.tight_layout()
+    fig.savefig(out, dpi=130)
+    print(f"wrote {out}")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--results", default="results")
+    parser.add_argument("--out", default="plots")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    os.makedirs(args.out, exist_ok=True)
+    r = args.results
+
+    panel_grid(plt, glob.glob(f"{r}/fig4_*.csv"),
+               "Fig. 4 - aggregation latency over time", "latency (s)",
+               f"{args.out}/fig4.png")
+    panel_grid(plt, glob.glob(f"{r}/fig5_*.csv"),
+               "Fig. 5 - join latency over time", "latency (s)",
+               f"{args.out}/fig5.png")
+    panel_grid(plt, glob.glob(f"{r}/fig6_*.csv"),
+               "Fig. 6 - fluctuating workload", "latency (s)",
+               f"{args.out}/fig6.png")
+    panel_grid(plt, glob.glob(f"{r}/fig7_*.csv"),
+               "Fig. 7 - Spark overloaded: event vs processing time",
+               "latency (s)", f"{args.out}/fig7.png", ncols=2)
+    panel_grid(plt, glob.glob(f"{r}/fig8_*.csv"),
+               "Fig. 8 - event vs processing time", "latency (s)",
+               f"{args.out}/fig8.png", ncols=2)
+    panel_grid(plt, glob.glob(f"{r}/fig9_*.csv"),
+               "Fig. 9 - ingest throughput", "tuples/s",
+               f"{args.out}/fig9.png")
+    panel_grid(plt, glob.glob(f"{r}/fig10_*_cpu.csv") + glob.glob(f"{r}/fig10_*_net.csv"),
+               "Fig. 10 - CPU and network usage", "util / MB/s",
+               f"{args.out}/fig10.png", ncols=4)
+    panel_grid(plt, glob.glob(f"{r}/fig11_*.csv"),
+               "Fig. 11 - Spark scheduler delay vs throughput", "",
+               f"{args.out}/fig11.png", ncols=2)
+
+
+if __name__ == "__main__":
+    main()

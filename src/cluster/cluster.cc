@@ -1,0 +1,72 @@
+#include "cluster/cluster.h"
+
+#include "common/strings.h"
+
+namespace sdps::cluster {
+
+Cluster::Cluster(des::Simulator& sim, const ClusterConfig& config)
+    : sim_(sim), config_(config) {
+  SDPS_CHECK_GT(config_.workers, 0);
+  if (config_.drivers < 0) config_.drivers = config_.workers;
+  SDPS_CHECK_GT(config_.drivers, 0);
+
+  NodeId next_id = 0;
+  master_ = std::make_unique<Node>(sim_, next_id++, NodeGroup::kMaster, "master",
+                                   config_.node);
+  master_nic_ = MakeNic();
+  for (int i = 0; i < config_.drivers; ++i) {
+    drivers_.push_back(std::make_unique<Node>(
+        sim_, next_id++, NodeGroup::kDriver, StrFormat("driver-%d", i), config_.node));
+    driver_nics_.push_back(MakeNic());
+  }
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.push_back(std::make_unique<Node>(
+        sim_, next_id++, NodeGroup::kWorker, StrFormat("worker-%d", i), config_.node));
+    worker_nics_.push_back(MakeNic());
+  }
+  trunk_ingest_ = std::make_unique<Link>(sim_, config_.trunk_bytes_per_sec,
+                                         config_.link_latency_us);
+  trunk_egress_ = std::make_unique<Link>(sim_, config_.trunk_bytes_per_sec,
+                                         config_.link_latency_us);
+}
+
+Cluster::Nic Cluster::MakeNic() const {
+  return Nic{
+      std::make_unique<Link>(sim_, config_.nic_bytes_per_sec, config_.link_latency_us),
+      std::make_unique<Link>(sim_, config_.nic_bytes_per_sec, config_.link_latency_us),
+  };
+}
+
+const Cluster::Nic& Cluster::nic(const Node& node) const {
+  switch (node.group()) {
+    case NodeGroup::kMaster:
+      return master_nic_;
+    case NodeGroup::kDriver:
+      return driver_nics_.at(static_cast<size_t>(node.id()) - 1);
+    case NodeGroup::kWorker:
+      return worker_nics_.at(static_cast<size_t>(node.id()) - 1 -
+                             static_cast<size_t>(config_.drivers));
+  }
+  SDPS_CHECK(false) << "unreachable";
+  return master_nic_;
+}
+
+des::Task<> Cluster::Send(Node& from, Node& to, int64_t bytes) {
+  if (from.id() == to.id()) co_return;  // in-process handoff
+  co_await nic(from).out->Transfer(bytes);
+  const bool crosses_trunk = from.group() != to.group();
+  if (crosses_trunk) {
+    Link& trunk = (to.group() == NodeGroup::kWorker || to.group() == NodeGroup::kMaster)
+                      ? *trunk_ingest_
+                      : *trunk_egress_;
+    co_await trunk.Transfer(bytes);
+  }
+  co_await nic(to).in->Transfer(bytes);
+}
+
+int64_t Cluster::NodeNetworkBytes(const Node& node) const {
+  const Nic& n = nic(node);
+  return n.in->bytes_transferred() + n.out->bytes_transferred();
+}
+
+}  // namespace sdps::cluster

@@ -1,0 +1,82 @@
+// Cluster assembly: driver nodes + worker nodes + master, their NICs, and
+// the inter-rack trunk. Mirrors the paper's deployment: "a dedicated master
+// for the streaming systems and an equal number of workers and driver
+// nodes (2, 4, and 8)", 16 cores / 16 GB per node, 1 Gb/s network.
+#ifndef SDPS_CLUSTER_CLUSTER_H_
+#define SDPS_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/network.h"
+#include "cluster/node.h"
+#include "common/time_util.h"
+#include "des/simulator.h"
+#include "des/task.h"
+
+namespace sdps::cluster {
+
+struct ClusterConfig {
+  int workers = 4;
+  /// Paper: driver node count equals worker count.
+  int drivers = -1;  // -1 -> same as workers
+  NodeConfig node;
+  /// 1 Gb/s NICs.
+  double nic_bytes_per_sec = 125e6;
+  /// Shared inter-rack trunk between the driver group and the SUT group,
+  /// one Link per direction. Calibrated so that ~1.2 M tuples/s of ingest
+  /// saturates it (see workloads/calibration.h).
+  double trunk_bytes_per_sec = 120e6;
+  SimTime link_latency_us = 200;
+};
+
+/// Owns all nodes and links of one simulated deployment.
+class Cluster {
+ public:
+  Cluster(des::Simulator& sim, const ClusterConfig& config);
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  int num_drivers() const { return static_cast<int>(drivers_.size()); }
+
+  Node& worker(int i) { return *workers_.at(i); }
+  Node& driver(int i) { return *drivers_.at(i); }
+  Node& master() { return *master_; }
+
+  const ClusterConfig& config() const { return config_; }
+  des::Simulator& sim() { return sim_; }
+
+  /// Moves `bytes` from `from` to `to`, respecting NIC and trunk capacity.
+  /// Same-node transfers complete immediately.
+  des::Task<> Send(Node& from, Node& to, int64_t bytes);
+
+  /// Total bytes that crossed each node's NIC (in + out), for Fig. 10.
+  int64_t NodeNetworkBytes(const Node& node) const;
+
+  /// Trunk counters (ingest direction = driver -> worker).
+  const Link& trunk_ingest() const { return *trunk_ingest_; }
+  const Link& trunk_egress() const { return *trunk_egress_; }
+
+ private:
+  struct Nic {
+    std::unique_ptr<Link> in;
+    std::unique_ptr<Link> out;
+  };
+
+  Nic MakeNic() const;
+  const Nic& nic(const Node& node) const;
+
+  des::Simulator& sim_;
+  ClusterConfig config_;
+  std::unique_ptr<Node> master_;
+  std::vector<std::unique_ptr<Node>> drivers_;
+  std::vector<std::unique_ptr<Node>> workers_;
+  std::vector<Nic> driver_nics_;
+  std::vector<Nic> worker_nics_;
+  Nic master_nic_;
+  std::unique_ptr<Link> trunk_ingest_;  // driver group -> worker group
+  std::unique_ptr<Link> trunk_egress_;  // worker group -> driver group
+};
+
+}  // namespace sdps::cluster
+
+#endif  // SDPS_CLUSTER_CLUSTER_H_

@@ -1,0 +1,38 @@
+#include "cluster/gc.h"
+
+#include "des/task.h"
+
+namespace sdps::cluster {
+
+namespace {
+
+des::Task<> GcProcess(des::Simulator& sim, Node& node, GcConfig config, Rng rng) {
+  int64_t accumulated = 0;
+  int minor_count = 0;
+  for (;;) {
+    co_await des::Delay(sim, config.check_interval);
+    accumulated += node.TakeAllocatedSinceGc();
+    if (accumulated < config.young_gen_bytes) continue;
+    accumulated = 0;
+    ++minor_count;
+    SimTime pause;
+    if (config.full_gc_every > 0 && minor_count % config.full_gc_every == 0) {
+      pause = static_cast<SimTime>(rng.Uniform(
+          static_cast<double>(config.full_pause_min),
+          static_cast<double>(config.full_pause_max)));
+    } else {
+      pause = static_cast<SimTime>(rng.Uniform(
+          static_cast<double>(config.minor_pause_min),
+          static_cast<double>(config.minor_pause_max)));
+    }
+    node.StopTheWorld(pause);
+  }
+}
+
+}  // namespace
+
+void AttachGc(des::Simulator& sim, Node& node, const GcConfig& config, Rng rng) {
+  sim.Spawn(GcProcess(sim, node, config, rng));
+}
+
+}  // namespace sdps::cluster

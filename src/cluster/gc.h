@@ -1,0 +1,39 @@
+// JVM garbage-collection pause model. The paper attributes part of the
+// ingest-rate fluctuation of the (JVM-based) SUTs to GC; this model injects
+// load-dependent stop-the-world pauses so the driver queues experience the
+// same dynamics. All randomness comes from a forked, seeded Rng.
+#ifndef SDPS_CLUSTER_GC_H_
+#define SDPS_CLUSTER_GC_H_
+
+#include "cluster/node.h"
+#include "common/random.h"
+#include "common/time_util.h"
+#include "des/simulator.h"
+
+namespace sdps::cluster {
+
+struct GcConfig {
+  /// Young-generation budget: a minor collection triggers once this many
+  /// bytes of transient allocation accumulate.
+  int64_t young_gen_bytes = 256LL * 1024 * 1024;
+  /// Minor pause duration range (uniform).
+  SimTime minor_pause_min = Millis(15);
+  SimTime minor_pause_max = Millis(60);
+  /// Every `full_gc_every` minor collections, a full collection runs.
+  int full_gc_every = 40;
+  SimTime full_pause_min = Millis(200);
+  SimTime full_pause_max = Millis(800);
+  /// How often the collector checks the allocation counter.
+  SimTime check_interval = Millis(100);
+};
+
+/// Attaches a GC process to `node`: a periodic check that fires a
+/// stop-the-world pause whenever the transient-allocation counter exceeds
+/// the young-generation budget. Engines feed the counter via
+/// Node::RecordAllocation (bytes per processed record), so pause frequency
+/// tracks processing load.
+void AttachGc(des::Simulator& sim, Node& node, const GcConfig& config, Rng rng);
+
+}  // namespace sdps::cluster
+
+#endif  // SDPS_CLUSTER_GC_H_

@@ -1,0 +1,14 @@
+#include "cluster/network.h"
+
+namespace sdps::cluster {
+
+des::Task<> Link::Transfer(int64_t bytes) {
+  SDPS_CHECK_GE(bytes, 0);
+  const SimTime tx = static_cast<SimTime>(
+      std::llround(static_cast<double>(bytes) / bytes_per_sec_ * 1e6));
+  co_await line_.Use(tx);
+  bytes_transferred_ += bytes;
+  if (latency_ > 0) co_await des::Delay(sim_, latency_);
+}
+
+}  // namespace sdps::cluster

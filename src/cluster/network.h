@@ -1,0 +1,58 @@
+// Bandwidth-limited network model. Each node owns a full-duplex NIC
+// (independent in/out links); traffic between the driver group and the
+// worker group additionally crosses a shared inter-rack trunk. The trunk
+// reproduces the paper's fixed network ceiling (Flink saturates at
+// ~1.2 M tuples/s regardless of worker count, Table I / Table III).
+#ifndef SDPS_CLUSTER_NETWORK_H_
+#define SDPS_CLUSTER_NETWORK_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/time_util.h"
+#include "des/resource.h"
+#include "des/simulator.h"
+#include "des/task.h"
+
+namespace sdps::cluster {
+
+/// A unidirectional store-and-forward pipe: transmissions serialize FIFO at
+/// `bytes_per_sec`, then incur a fixed propagation `latency`.
+class Link {
+ public:
+  Link(des::Simulator& sim, double bytes_per_sec, SimTime latency)
+      : sim_(sim), line_(sim, 1), bytes_per_sec_(bytes_per_sec), latency_(latency) {
+    SDPS_CHECK_GT(bytes_per_sec, 0.0);
+    SDPS_CHECK_GE(latency, 0);
+  }
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Occupies the line for bytes/bandwidth, then waits the propagation
+  /// delay. Concurrent transfers queue FIFO.
+  des::Task<> Transfer(int64_t bytes);
+
+  /// Cumulative payload bytes that completed transmission.
+  int64_t bytes_transferred() const { return bytes_transferred_; }
+
+  /// Current transfer backlog (transfers in flight or queued).
+  size_t backlog() const { return line_.queue_length() + static_cast<size_t>(line_.busy()); }
+
+  double bytes_per_sec() const { return bytes_per_sec_; }
+
+  /// Busy-time integral of the line (for utilisation probes).
+  double BusyIntegral() const { return line_.BusyIntegral(); }
+
+ private:
+  des::Simulator& sim_;
+  des::Resource line_;
+  double bytes_per_sec_;
+  SimTime latency_;
+  int64_t bytes_transferred_ = 0;
+};
+
+}  // namespace sdps::cluster
+
+#endif  // SDPS_CLUSTER_NETWORK_H_

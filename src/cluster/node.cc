@@ -1,0 +1,40 @@
+#include "cluster/node.h"
+
+#include "common/strings.h"
+#include "des/task.h"
+
+namespace sdps::cluster {
+
+Status Node::AllocateMemory(int64_t bytes) {
+  SDPS_CHECK_GE(bytes, 0);
+  if (memory_used_ + bytes > config_.memory_bytes) {
+    return Status::ResourceExhausted(
+        StrFormat("%s: out of memory (%lld used + %lld requested > %lld)",
+                  name_.c_str(), static_cast<long long>(memory_used_),
+                  static_cast<long long>(bytes),
+                  static_cast<long long>(config_.memory_bytes)));
+  }
+  memory_used_ += bytes;
+  return Status::OK();
+}
+
+void Node::FreeMemory(int64_t bytes) {
+  SDPS_CHECK_GE(bytes, 0);
+  SDPS_CHECK_LE(bytes, memory_used_);
+  memory_used_ -= bytes;
+}
+
+namespace {
+des::Task<> OccupySlot(des::Resource& cpu, SimTime pause) {
+  co_await cpu.Use(pause);
+}
+}  // namespace
+
+void Node::StopTheWorld(SimTime pause) {
+  total_gc_pause_ += pause;
+  for (int i = 0; i < config_.cpu_slots; ++i) {
+    sim_.Spawn(OccupySlot(cpu_, pause));
+  }
+}
+
+}  // namespace sdps::cluster

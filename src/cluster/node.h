@@ -1,0 +1,93 @@
+// A simulated cluster machine: a pool of CPU slots (cores), a memory
+// budget, and allocation-rate accounting that drives the GC model.
+// Mirrors the paper's testbed nodes: 16 cores, 16 GB RAM each.
+#ifndef SDPS_CLUSTER_NODE_H_
+#define SDPS_CLUSTER_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/time_util.h"
+#include "des/resource.h"
+#include "des/simulator.h"
+
+namespace sdps::cluster {
+
+using NodeId = int;
+
+enum class NodeGroup { kDriver, kWorker, kMaster };
+
+struct NodeConfig {
+  int cpu_slots = 16;
+  int64_t memory_bytes = 16LL * 1024 * 1024 * 1024;  // 16 GB
+};
+
+class Node {
+ public:
+  Node(des::Simulator& sim, NodeId id, NodeGroup group, std::string name,
+       const NodeConfig& config)
+      : sim_(sim),
+        id_(id),
+        group_(group),
+        name_(std::move(name)),
+        config_(config),
+        cpu_(sim, config.cpu_slots) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  NodeGroup group() const { return group_; }
+  const std::string& name() const { return name_; }
+  const NodeConfig& config() const { return config_; }
+
+  /// The CPU slot pool. Operator instances occupy slots via cpu().Use(d).
+  des::Resource& cpu() { return cpu_; }
+  const des::Resource& cpu() const { return cpu_; }
+
+  // -- Memory accounting (state backends call these) -----------------------
+
+  /// Reserves `bytes` of heap. Fails with ResourceExhausted when the node
+  /// would exceed its physical memory.
+  Status AllocateMemory(int64_t bytes);
+  void FreeMemory(int64_t bytes);
+  int64_t memory_used() const { return memory_used_; }
+  int64_t memory_free() const { return config_.memory_bytes - memory_used_; }
+
+  // -- Allocation-rate accounting (drives GC pressure) ---------------------
+
+  /// Records transient allocations (deserialization, tuple objects, ...).
+  void RecordAllocation(int64_t bytes) { allocated_since_gc_ += bytes; }
+  /// Returns and resets the transient-allocation counter.
+  int64_t TakeAllocatedSinceGc() {
+    const int64_t v = allocated_since_gc_;
+    allocated_since_gc_ = 0;
+    return v;
+  }
+
+  /// Occupies every CPU slot for `pause` (stop-the-world GC approximation:
+  /// each slot is grabbed as soon as its current task finishes).
+  void StopTheWorld(SimTime pause);
+
+  /// Total stop-the-world pause time injected so far.
+  SimTime total_gc_pause() const { return total_gc_pause_; }
+
+  des::Simulator& sim() { return sim_; }
+
+ private:
+  des::Simulator& sim_;
+  NodeId id_;
+  NodeGroup group_;
+  std::string name_;
+  NodeConfig config_;
+  des::Resource cpu_;
+  int64_t memory_used_ = 0;
+  int64_t allocated_since_gc_ = 0;
+  SimTime total_gc_pause_ = 0;
+};
+
+}  // namespace sdps::cluster
+
+#endif  // SDPS_CLUSTER_NODE_H_

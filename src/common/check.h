@@ -1,0 +1,63 @@
+// CHECK-style assertions for programmer errors. Always on (also in release
+// builds): a benchmark that silently computes garbage is worse than one that
+// aborts with a message.
+#ifndef SDPS_COMMON_CHECK_H_
+#define SDPS_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace sdps {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process on destruction.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line << " ";
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lower-precedence-than-<< sink that turns the streamed expression into
+/// void, so SDPS_CHECK can be used in expression position.
+struct Voidify {
+  void operator&(CheckFailureStream&) {}
+  void operator&(CheckFailureStream&&) {}
+};
+
+}  // namespace internal
+}  // namespace sdps
+
+#define SDPS_CHECK(cond)               \
+  (cond) ? (void)0                     \
+         : ::sdps::internal::Voidify() \
+               & ::sdps::internal::CheckFailureStream(#cond, __FILE__, __LINE__)
+
+#define SDPS_CHECK_EQ(a, b) SDPS_CHECK((a) == (b))
+#define SDPS_CHECK_NE(a, b) SDPS_CHECK((a) != (b))
+#define SDPS_CHECK_LT(a, b) SDPS_CHECK((a) < (b))
+#define SDPS_CHECK_LE(a, b) SDPS_CHECK((a) <= (b))
+#define SDPS_CHECK_GT(a, b) SDPS_CHECK((a) > (b))
+#define SDPS_CHECK_GE(a, b) SDPS_CHECK((a) >= (b))
+
+/// Aborts when a Status-returning expression fails.
+#define SDPS_CHECK_OK(expr)                                               \
+  do {                                                                    \
+    ::sdps::Status _sdps_check_status = (expr);                           \
+    SDPS_CHECK(_sdps_check_status.ok()) << _sdps_check_status.ToString(); \
+  } while (false)
+
+#endif  // SDPS_COMMON_CHECK_H_

@@ -1,0 +1,40 @@
+#include "common/csv.h"
+
+namespace sdps {
+
+Result<CsvWriter> CsvWriter::Open(const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  return CsvWriter(std::move(out));
+}
+
+std::string CsvWriter::Escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << Escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+Status CsvWriter::Close() {
+  out_.close();
+  if (out_.fail()) return Status::Internal("error closing CSV output");
+  return Status::OK();
+}
+
+}  // namespace sdps

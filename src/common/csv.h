@@ -1,0 +1,40 @@
+// CSV emission for experiment series (figures are reproduced as CSV series
+// that plot 1:1 against the paper's panels).
+#ifndef SDPS_COMMON_CSV_H_
+#define SDPS_COMMON_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sdps {
+
+/// Writes rows of comma-separated values. Fields containing commas or
+/// quotes are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates).
+  static Result<CsvWriter> Open(const std::string& path);
+
+  /// Writes one row; fields are escaped as needed.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience alias for the first row.
+  void WriteHeader(const std::vector<std::string>& names) { WriteRow(names); }
+
+  Status Close();
+
+ private:
+  explicit CsvWriter(std::ofstream out) : out_(std::move(out)) {}
+
+  static std::string Escape(const std::string& field);
+
+  std::ofstream out_;
+};
+
+}  // namespace sdps
+
+#endif  // SDPS_COMMON_CSV_H_

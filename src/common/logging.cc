@@ -1,0 +1,36 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace sdps {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed)); }
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal {
+
+const char* LogMessage::LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+const char* LogMessage::Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace internal
+}  // namespace sdps

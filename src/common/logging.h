@@ -1,0 +1,52 @@
+// Minimal leveled logging to stderr. Benchmarks run with kWarning by
+// default so measurement output stays clean; tests may raise verbosity.
+#ifndef SDPS_COMMON_LOGGING_H_
+#define SDPS_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace sdps {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
+  }
+  ~LogMessage() {
+    if (level_ >= GetLogLevel()) {
+      stream_ << "\n";
+      std::cerr << stream_.str();
+    }
+  }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (level_ >= GetLogLevel()) stream_ << v;
+    return *this;
+  }
+
+ private:
+  static const char* LevelName(LogLevel level);
+  static const char* Basename(const char* path);
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace sdps
+
+#define SDPS_LOG(level)                     \
+  ::sdps::internal::LogMessage(             \
+      ::sdps::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // SDPS_COMMON_LOGGING_H_

@@ -1,0 +1,87 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdps {
+
+namespace {
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+  have_cached_gaussian_ = false;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Gaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; avoid log(0).
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  have_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Exponential(double rate) {
+  SDPS_CHECK_GT(rate, 0.0);
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  return -std::log(u) / rate;
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double exponent)
+    : n_(n), exponent_(exponent) {
+  SDPS_CHECK_GT(n, 0u);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+uint64_t NormalKeyDistribution::Sample(Rng& rng) const {
+  const double mean = static_cast<double>(n_) / 2.0;
+  const double stddev = static_cast<double>(n_) / 6.0;
+  const double v = rng.Gaussian(mean, stddev);
+  if (v < 0.0) return 0;
+  if (v >= static_cast<double>(n_)) return n_ - 1;
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace sdps

@@ -1,0 +1,70 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+#ifndef SDPS_COMMON_RESULT_H_
+#define SDPS_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace sdps {
+
+/// Holds either a value of type T or a non-OK Status describing why the
+/// value could not be produced.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status. CHECK-fails if the status is OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    SDPS_CHECK(!status_.ok()) << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value. CHECK-fails when not ok().
+  const T& value() const& {
+    SDPS_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SDPS_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SDPS_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sdps
+
+#define SDPS_CONCAT_IMPL_(x, y) x##y
+#define SDPS_CONCAT_(x, y) SDPS_CONCAT_IMPL_(x, y)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// assigns the value to `lhs` (which may include a declaration).
+#define SDPS_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  SDPS_ASSIGN_OR_RETURN_IMPL_(SDPS_CONCAT_(_sdps_result_, __LINE__), lhs, rexpr)
+
+#define SDPS_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                \
+  if (!result.ok()) return result.status();             \
+  lhs = std::move(result).value()
+
+#endif  // SDPS_COMMON_RESULT_H_

@@ -1,0 +1,28 @@
+#include "common/status.h"
+
+namespace sdps {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace sdps

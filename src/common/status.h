@@ -1,0 +1,110 @@
+// Status: lightweight error propagation without exceptions, in the style of
+// Arrow / RocksDB. Library entry points that can fail return Status or
+// Result<T> (see result.h); programmer errors use SDPS_CHECK (see check.h).
+#ifndef SDPS_COMMON_STATUS_H_
+#define SDPS_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sdps {
+
+/// Error categories used across the library. Mirrors the subset of
+/// canonical codes the benchmark framework actually needs.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kFailedPrecondition = 2,
+  kNotFound = 3,
+  kOutOfRange = 4,
+  kResourceExhausted = 5,   // memory limits, queue overflow
+  kAborted = 6,             // experiment halted (e.g., SUT dropped connection)
+  kUnimplemented = 7,
+  kInternal = 8,
+};
+
+/// Returns the canonical name for a code, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the OK case (single pointer,
+/// null when OK); error state carries a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsFailedPrecondition() const { return code() == StatusCode::kFailedPrecondition; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // null == OK
+};
+
+}  // namespace sdps
+
+/// Propagates a non-OK Status to the caller.
+#define SDPS_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::sdps::Status _sdps_status = (expr);           \
+    if (!_sdps_status.ok()) return _sdps_status;    \
+  } while (false)
+
+#endif  // SDPS_COMMON_STATUS_H_

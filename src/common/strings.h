@@ -1,0 +1,29 @@
+// Small string helpers (libstdc++ 12 lacks std::format).
+#ifndef SDPS_COMMON_STRINGS_H_
+#define SDPS_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdps {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins the pieces with `sep` between them.
+std::string StrJoin(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Splits on a single-character separator; keeps empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Formats a rate like 1234567.0 tuples/s as "1.23 M/s" (paper-style).
+std::string FormatRateMps(double tuples_per_second);
+
+/// True when `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace sdps
+
+#endif  // SDPS_COMMON_STRINGS_H_

@@ -1,0 +1,23 @@
+#include "common/time_util.h"
+
+#include <cstdio>
+
+namespace sdps {
+
+std::string FormatDuration(SimTime t) {
+  char buf[64];
+  if (t < 0) {
+    std::string s = "-";
+    return s + FormatDuration(-t);
+  }
+  if (t < kMicrosPerMilli) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(t));
+  } else if (t < kMicrosPerSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ToMillis(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds(t));
+  }
+  return buf;
+}
+
+}  // namespace sdps

@@ -1,0 +1,56 @@
+// Count-down latch for fan-out/fan-in patterns (e.g., a Spark stage waiting
+// for all of its tasks).
+#ifndef SDPS_DES_LATCH_H_
+#define SDPS_DES_LATCH_H_
+
+#include <coroutine>
+#include <vector>
+
+#include "common/check.h"
+#include "des/simulator.h"
+
+namespace sdps::des {
+
+class Latch {
+ public:
+  Latch(Simulator& sim, int count) : sim_(sim), count_(count) {
+    SDPS_CHECK_GE(count, 0);
+  }
+
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  int count() const { return count_; }
+
+  void CountDown(int n = 1) {
+    SDPS_CHECK_GE(count_, n);
+    count_ -= n;
+    if (count_ == 0) {
+      for (auto h : waiters_) sim_.ScheduleResumeAfter(0, h);
+      waiters_.clear();
+    }
+  }
+
+  class WaitAwaiter {
+   public:
+    explicit WaitAwaiter(Latch& latch) : latch_(latch) {}
+    bool await_ready() const { return latch_.count_ == 0; }
+    void await_suspend(std::coroutine_handle<> h) { latch_.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+
+   private:
+    Latch& latch_;
+  };
+
+  /// Suspends until the count reaches zero.
+  WaitAwaiter Wait() { return WaitAwaiter(*this); }
+
+ private:
+  Simulator& sim_;
+  int count_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace sdps::des
+
+#endif  // SDPS_DES_LATCH_H_

@@ -1,0 +1,101 @@
+// A multi-server FCFS processing resource: models a pool of identical CPU
+// slots. `co_await res.Use(duration)` occupies one slot for `duration`
+// simulated microseconds (queueing FIFO behind earlier requests when all
+// slots are busy). Tracks a busy-time integral for utilisation probes.
+#ifndef SDPS_DES_RESOURCE_H_
+#define SDPS_DES_RESOURCE_H_
+
+#include <coroutine>
+#include <deque>
+
+#include "common/check.h"
+#include "common/time_util.h"
+#include "des/simulator.h"
+
+namespace sdps::des {
+
+class Resource {
+ public:
+  Resource(Simulator& sim, int servers) : sim_(sim), servers_(servers), free_(servers) {
+    SDPS_CHECK_GT(servers, 0);
+  }
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  int servers() const { return servers_; }
+  int busy() const { return servers_ - free_; }
+  size_t queue_length() const { return waiters_.size(); }
+
+  /// Busy-server-microseconds accumulated up to now(); the difference of two
+  /// samples divided by (servers * elapsed) is average utilisation.
+  double BusyIntegral() const {
+    return busy_integral_ + static_cast<double>(busy()) *
+                                static_cast<double>(sim_.now() - last_change_);
+  }
+
+  class UseAwaiter;
+
+  /// Occupies one server for `duration`.
+  UseAwaiter Use(SimTime duration) { return UseAwaiter(*this, duration); }
+
+ private:
+  struct Waiter {
+    SimTime duration;
+    std::coroutine_handle<> handle;
+  };
+
+  void UpdateIntegral() {
+    busy_integral_ += static_cast<double>(busy()) *
+                      static_cast<double>(sim_.now() - last_change_);
+    last_change_ = sim_.now();
+  }
+
+  /// Starts service for handle `h` lasting `duration`; schedules completion.
+  void StartService(SimTime duration, std::coroutine_handle<> h) {
+    UpdateIntegral();
+    --free_;
+    sim_.ScheduleAfter(duration, [this, h] {
+      UpdateIntegral();
+      ++free_;
+      if (!waiters_.empty()) {
+        Waiter w = waiters_.front();
+        waiters_.pop_front();
+        StartService(w.duration, w.handle);
+      }
+      h.resume();
+    });
+  }
+
+  Simulator& sim_;
+  int servers_;
+  int free_;
+  std::deque<Waiter> waiters_;
+  double busy_integral_ = 0.0;
+  SimTime last_change_ = 0;
+
+ public:
+  class UseAwaiter {
+   public:
+    UseAwaiter(Resource& res, SimTime duration) : res_(res), duration_(duration) {
+      SDPS_CHECK_GE(duration, 0);
+    }
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      if (res_.free_ > 0) {
+        res_.StartService(duration_, h);
+      } else {
+        res_.waiters_.push_back({duration_, h});
+      }
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Resource& res_;
+    SimTime duration_;
+  };
+};
+
+}  // namespace sdps::des
+
+#endif  // SDPS_DES_RESOURCE_H_

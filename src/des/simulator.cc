@@ -1,0 +1,75 @@
+#include "des/simulator.h"
+
+#include <algorithm>
+
+namespace sdps::des {
+
+Simulator::~Simulator() {
+  // Drop pending events without running them, then destroy root frames
+  // (finished frames park at final suspend; suspended ones cascade-destroy
+  // their child frames). Wait-lists in channels/resources never touch
+  // handles during their own destruction, so dangling entries are inert.
+  heap_.clear();
+  for (auto it = roots_.rbegin(); it != roots_.rend(); ++it) {
+    if (*it) it->destroy();
+  }
+}
+
+void Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  SDPS_CHECK_GE(t, now_);
+  Push(Event{t, next_seq_++, nullptr, std::move(fn)});
+}
+
+void Simulator::ScheduleResumeAt(SimTime t, std::coroutine_handle<> h) {
+  SDPS_CHECK_GE(t, now_);
+  Push(Event{t, next_seq_++, h, nullptr});
+}
+
+void Simulator::Spawn(Task<> task) {
+  std::coroutine_handle<> h = task.release();
+  roots_.push_back(h);
+  h.resume();  // run until first suspension
+}
+
+void Simulator::Push(Event ev) {
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end(), EventLater{});
+}
+
+Simulator::Event Simulator::PopNext() {
+  std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
+}
+
+bool Simulator::Step() {
+  if (heap_.empty()) return false;
+  Event ev = PopNext();
+  SDPS_CHECK_GE(ev.time, now_);
+  now_ = ev.time;
+  ++processed_events_;
+  if (ev.handle) {
+    ev.handle.resume();
+  } else {
+    ev.fn();
+  }
+  return true;
+}
+
+void Simulator::RunUntilIdle() {
+  stop_requested_ = false;
+  while (!stop_requested_ && Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime t) {
+  SDPS_CHECK_GE(t, now_);
+  stop_requested_ = false;
+  while (!stop_requested_ && !heap_.empty() && heap_.front().time <= t) {
+    Step();
+  }
+  if (!stop_requested_) now_ = t;
+}
+
+}  // namespace sdps::des

@@ -1,0 +1,112 @@
+// Discrete-event simulation kernel. A Simulator owns a time-ordered event
+// heap and the root coroutine processes spawned onto it. All randomness and
+// ordering is deterministic: ties in time are broken by insertion sequence.
+#ifndef SDPS_DES_SIMULATOR_H_
+#define SDPS_DES_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time_util.h"
+#include "des/task.h"
+
+namespace sdps::des {
+
+/// The simulation executor. Not thread-safe: a simulation runs on one
+/// thread (parallelism inside the simulated world is modelled, not real).
+class Simulator {
+ public:
+  Simulator() = default;
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time (microseconds since simulation start).
+  SimTime now() const { return now_; }
+
+  /// Schedules a callback at absolute simulated time `t` (>= now()).
+  void ScheduleAt(SimTime t, std::function<void()> fn);
+
+  /// Schedules a callback `delay` microseconds from now.
+  void ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules a coroutine resumption (hot path: no std::function allocation).
+  void ScheduleResumeAt(SimTime t, std::coroutine_handle<> h);
+  void ScheduleResumeAfter(SimTime delay, std::coroutine_handle<> h) {
+    ScheduleResumeAt(now_ + delay, h);
+  }
+
+  /// Starts a root process. The simulator owns the coroutine frame; frames
+  /// still suspended when the simulator is destroyed are destroyed with it.
+  void Spawn(Task<> task);
+
+  /// Executes the next pending event. Returns false when none remain.
+  bool Step();
+
+  /// Runs until the event heap is empty or Stop() is called.
+  void RunUntilIdle();
+
+  /// Processes all events with time <= t, then advances now() to t.
+  void RunUntil(SimTime t);
+
+  /// Convenience: RunUntil(now() + d).
+  void RunFor(SimTime d) { RunUntil(now_ + d); }
+
+  /// Makes the current Run* call return after the in-flight event.
+  void Stop() { stop_requested_ = true; }
+  bool stop_requested() const { return stop_requested_; }
+
+  /// Total events executed so far (kernel benchmarking / diagnostics).
+  uint64_t processed_events() const { return processed_events_; }
+  size_t pending_events() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::coroutine_handle<> handle;   // used when non-null
+    std::function<void()> fn;         // otherwise
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void Push(Event ev);
+  Event PopNext();
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t processed_events_ = 0;
+  bool stop_requested_ = false;
+  std::vector<Event> heap_;  // managed with std::push_heap/pop_heap
+  std::vector<std::coroutine_handle<>> roots_;
+};
+
+/// Awaitable that suspends the current coroutine for `delay` simulated
+/// microseconds: `co_await Delay(sim, Seconds(1));`
+class Delay {
+ public:
+  Delay(Simulator& sim, SimTime delay) : sim_(sim), delay_(delay) {
+    SDPS_CHECK_GE(delay, 0);
+  }
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) { sim_.ScheduleResumeAfter(delay_, h); }
+  void await_resume() const noexcept {}
+
+ private:
+  Simulator& sim_;
+  SimTime delay_;
+};
+
+}  // namespace sdps::des
+
+#endif  // SDPS_DES_SIMULATOR_H_

@@ -1,0 +1,132 @@
+// Coroutine task types for simulation processes.
+//
+// Task<T> is a lazily-started coroutine returning T. Awaiting it starts it
+// and resumes the awaiter (by symmetric transfer) when it completes. Root
+// processes are handed to Simulator::Spawn, which owns their frames.
+#ifndef SDPS_DES_TASK_H_
+#define SDPS_DES_TASK_H_
+
+#include <coroutine>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+
+namespace sdps::des {
+
+template <typename T = void>
+class Task;
+
+namespace internal {
+
+/// Final awaiter: transfers control back to the awaiting coroutine if any;
+/// otherwise parks at final suspend (the owner destroys the frame).
+template <typename Promise>
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+    auto& p = h.promise();
+    if (p.continuation) return p.continuation;
+    return std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation = nullptr;
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { std::terminate(); }
+};
+
+}  // namespace internal
+
+/// A coroutine returning a value of type T.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : internal::PromiseBase {
+    std::optional<T> value;
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    internal::FinalAwaiter<promise_type> final_suspend() noexcept { return {}; }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  Handle await_suspend(std::coroutine_handle<> awaiter) noexcept {
+    h_.promise().continuation = awaiter;
+    return h_;  // start the child now
+  }
+  T await_resume() {
+    SDPS_CHECK(h_.promise().value.has_value()) << "Task finished without a value";
+    return std::move(*h_.promise().value);
+  }
+
+  /// Releases frame ownership (used by Simulator::Spawn).
+  std::coroutine_handle<> release() { return std::exchange(h_, {}); }
+
+ private:
+  explicit Task(Handle h) noexcept : h_(h) {}
+  Handle h_;
+};
+
+/// A coroutine returning nothing.
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : internal::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    internal::FinalAwaiter<promise_type> final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  Handle await_suspend(std::coroutine_handle<> awaiter) noexcept {
+    h_.promise().continuation = awaiter;
+    return h_;
+  }
+  void await_resume() const noexcept {}
+
+  std::coroutine_handle<> release() { return std::exchange(h_, {}); }
+
+ private:
+  explicit Task(Handle h) noexcept : h_(h) {}
+  Handle h_;
+};
+
+}  // namespace sdps::des
+
+#endif  // SDPS_DES_TASK_H_

@@ -1,0 +1,191 @@
+#include "driver/experiment.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "des/task.h"
+
+namespace sdps::driver {
+
+namespace {
+
+/// Samples the total driver-queue backlog; aborts the run early once the
+/// backlog exceeds the hard limit (the rate is clearly unsustainable and
+/// further simulation only costs time).
+des::Task<> BacklogProbe(des::Simulator& sim, std::vector<DriverQueue*> queues,
+                         TimeSeries* series, double hard_limit_tuples,
+                         SimTime interval, bool* hard_limit_hit) {
+  for (;;) {
+    co_await des::Delay(sim, interval);
+    uint64_t backlog = 0;
+    for (const DriverQueue* q : queues) backlog += q->queued_tuples();
+    series->Add(sim.now(), static_cast<double>(backlog));
+    if (static_cast<double>(backlog) > hard_limit_tuples) {
+      *hard_limit_hit = true;
+      sim.Stop();
+      co_return;
+    }
+  }
+}
+
+/// Samples per-worker CPU utilisation and NIC MB/s (Fig. 10 series).
+des::Task<> ResourceProbe(des::Simulator& sim, cluster::Cluster* cluster,
+                          std::vector<TimeSeries>* cpu, std::vector<TimeSeries>* net,
+                          SimTime interval) {
+  std::vector<double> last_busy(static_cast<size_t>(cluster->num_workers()), 0.0);
+  std::vector<int64_t> last_bytes(static_cast<size_t>(cluster->num_workers()), 0);
+  for (;;) {
+    co_await des::Delay(sim, interval);
+    for (int i = 0; i < cluster->num_workers(); ++i) {
+      cluster::Node& node = cluster->worker(i);
+      const double busy = node.cpu().BusyIntegral();
+      const double util = (busy - last_busy[static_cast<size_t>(i)]) /
+                          (static_cast<double>(node.cpu().servers()) *
+                           static_cast<double>(interval));
+      last_busy[static_cast<size_t>(i)] = busy;
+      (*cpu)[static_cast<size_t>(i)].Add(sim.now(), std::clamp(util, 0.0, 1.0));
+
+      const int64_t bytes = cluster->NodeNetworkBytes(node);
+      const double mbps = static_cast<double>(bytes - last_bytes[static_cast<size_t>(i)]) /
+                          ToSeconds(interval) / 1e6;
+      last_bytes[static_cast<size_t>(i)] = bytes;
+      (*net)[static_cast<size_t>(i)].Add(sim.now(), mbps);
+    }
+  }
+}
+
+}  // namespace
+
+ExperimentResult RunExperiment(const ExperimentConfig& config, const SutFactory& factory) {
+  ExperimentResult result;
+  result.offered_rate = config.total_rate;
+
+  des::Simulator sim;
+  cluster::Cluster cluster(sim, config.cluster);
+  const SimTime warmup_end =
+      static_cast<SimTime>(config.warmup_fraction * static_cast<double>(config.duration));
+  LatencySink sink(sim, warmup_end);
+  if (config.output_listener) sink.SetOutputListener(config.output_listener);
+  ThroughputMeter meter(Seconds(1));
+
+  Rng rng(config.seed);
+
+  // One (generator, queue) pair per driver node; offered load split evenly.
+  std::vector<std::unique_ptr<DriverQueue>> queues;
+  std::vector<DriverQueue*> queue_ptrs;
+  const int drivers = cluster.num_drivers();
+  for (int i = 0; i < drivers; ++i) {
+    queues.push_back(std::make_unique<DriverQueue>(sim, &meter));
+    queue_ptrs.push_back(queues.back().get());
+  }
+  for (int i = 0; i < drivers; ++i) {
+    GeneratorConfig gen = config.generator;
+    gen.duration = config.duration;
+    if (config.rate_profile != nullptr) {
+      gen.rate = [total = config.rate_profile, drivers](SimTime t) {
+        return total(t) / static_cast<double>(drivers);
+      };
+    } else {
+      gen.rate = ConstantRate(config.total_rate / static_cast<double>(drivers));
+    }
+    SpawnGenerator(sim, *queues[static_cast<size_t>(i)], std::move(gen), rng.Fork());
+  }
+
+  if (config.attach_gc) {
+    for (int i = 0; i < cluster.num_workers(); ++i) {
+      cluster::AttachGc(sim, cluster.worker(i), config.gc, rng.Fork());
+    }
+  }
+
+  // Failure reporting: first failure wins and halts the simulation.
+  Status failure = Status::OK();
+  SutContext ctx;
+  ctx.sim = &sim;
+  ctx.cluster = &cluster;
+  ctx.queues = queue_ptrs;
+  ctx.sink = &sink;
+  ctx.seed = rng.NextUint64();
+  ctx.report_failure = [&failure, &sim](Status s) {
+    if (failure.ok() && !s.ok()) {
+      failure = s;
+      sim.Stop();
+    }
+  };
+
+  std::unique_ptr<Sut> sut = factory(ctx);
+  SDPS_CHECK(sut != nullptr);
+  const Status start_status = sut->Start(ctx);
+  if (!start_status.ok()) {
+    result.failure = start_status;
+    result.verdict = "SUT failed to start: " + start_status.ToString();
+    return result;
+  }
+
+  bool hard_limit_hit = false;
+  const double hard_limit_tuples =
+      config.backlog_hard_limit_s *
+      (config.rate_profile != nullptr ? config.rate_profile(0) : config.total_rate);
+  sim.Spawn(BacklogProbe(sim, queue_ptrs, &result.backlog_series, hard_limit_tuples,
+                         config.probe_interval, &hard_limit_hit));
+  result.worker_cpu_util.resize(static_cast<size_t>(cluster.num_workers()));
+  result.worker_net_mbps.resize(static_cast<size_t>(cluster.num_workers()));
+  sim.Spawn(ResourceProbe(sim, &cluster, &result.worker_cpu_util,
+                          &result.worker_net_mbps, config.resource_probe_interval));
+
+  // Run to the horizon plus drain slack so in-flight windows can fire.
+  sim.RunUntil(config.duration);
+  sut->Stop();
+
+  // -- Collect ---------------------------------------------------------------
+  result.failure = failure;
+  result.event_latency = sink.event_latency();
+  result.processing_latency = sink.processing_latency();
+  result.event_latency_series = sink.event_latency_series();
+  result.processing_latency_series = sink.processing_latency_series();
+  result.ingest_rate_series = meter.RateSeries();
+  result.output_records = sink.total_outputs();
+  result.mean_ingest_rate = meter.MeanRate(warmup_end, config.duration);
+  sut->ExportSeries(&result.engine_series);
+
+  // -- Judge sustainability (Definition 5) -----------------------------------
+  const double offered =
+      config.rate_profile != nullptr ? config.rate_profile(0) : config.total_rate;
+  if (!failure.ok()) {
+    result.sustainable = false;
+    result.verdict = "SUT failure: " + failure.ToString();
+    return result;
+  }
+  if (hard_limit_hit) {
+    result.sustainable = false;
+    result.verdict = StrFormat("backlog exceeded hard limit (%.0fs of offered data)",
+                               config.backlog_hard_limit_s);
+    return result;
+  }
+  // Post-warmup backlog trend.
+  TimeSeries post_warmup;
+  for (const Sample& s : result.backlog_series.samples()) {
+    if (s.time >= warmup_end) post_warmup.Add(s.time, s.value);
+  }
+  const double slope = post_warmup.SlopePerSecond();  // tuples/s of growth
+  const double backlog_end =
+      post_warmup.empty() ? 0.0 : post_warmup.samples().back().value;
+  if (slope > config.backlog_slope_frac * offered) {
+    result.sustainable = false;
+    result.verdict = StrFormat(
+        "prolonged backpressure: backlog grows at %.0f tuples/s (%.1f%% of offered)",
+        slope, 100.0 * slope / offered);
+    return result;
+  }
+  if (backlog_end > config.backlog_end_limit_s * offered) {
+    result.sustainable = false;
+    result.verdict = StrFormat("final backlog %.0f tuples exceeds %.1fs of offered data",
+                               backlog_end, config.backlog_end_limit_s);
+    return result;
+  }
+  result.sustainable = true;
+  result.verdict = "sustained";
+  return result;
+}
+
+}  // namespace sdps::driver

@@ -1,0 +1,134 @@
+#include "driver/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+
+#include "common/check.h"
+#include "des/task.h"
+
+namespace sdps::driver {
+
+RateProfile StepRate(std::vector<std::pair<SimTime, double>> steps) {
+  SDPS_CHECK(!steps.empty());
+  SDPS_CHECK_EQ(steps.front().first, 0);
+  for (size_t i = 1; i < steps.size(); ++i) {
+    SDPS_CHECK_GT(steps[i].first, steps[i - 1].first);
+  }
+  return [steps = std::move(steps)](SimTime t) {
+    double rate = steps.front().second;
+    for (const auto& [start, r] : steps) {
+      if (start > t) break;
+      rate = r;
+    }
+    return rate;
+  };
+}
+
+namespace {
+
+class KeyPicker {
+ public:
+  KeyPicker(const GeneratorConfig& config)
+      : config_(config) {
+    switch (config.key_distribution) {
+      case KeyDistribution::kNormal:
+        normal_.emplace(config.num_keys);
+        break;
+      case KeyDistribution::kZipf:
+        zipf_.emplace(config.num_keys, config.zipf_exponent);
+        break;
+      case KeyDistribution::kUniform:
+      case KeyDistribution::kSingle:
+        break;
+    }
+  }
+
+  uint64_t Pick(Rng& rng) const {
+    switch (config_.key_distribution) {
+      case KeyDistribution::kNormal:
+        return normal_->Sample(rng);
+      case KeyDistribution::kUniform:
+        return rng.NextBelow(config_.num_keys);
+      case KeyDistribution::kZipf:
+        return zipf_->Sample(rng);
+      case KeyDistribution::kSingle:
+        return 0;
+    }
+    return 0;
+  }
+
+ private:
+  const GeneratorConfig& config_;
+  std::optional<NormalKeyDistribution> normal_;
+  std::optional<ZipfDistribution> zipf_;
+};
+
+des::Task<> GeneratorProcess(des::Simulator& sim, DriverQueue& queue,
+                             GeneratorConfig config, Rng rng) {
+  KeyPicker picker(config);
+  // Ring buffer of recent ad keys for selectivity-controlled join matches.
+  std::vector<uint64_t> recent_ads;
+  size_t recent_ads_next = 0;
+  // Non-matching purchase keys live in a disjoint key space (top bit set).
+  constexpr uint64_t kNonMatchingBit = 1ULL << 63;
+  uint64_t non_matching_counter = 0;
+
+  while (sim.now() < config.duration) {
+    const double rate = config.rate(sim.now());
+    SDPS_CHECK_GT(rate, 0.0) << "rate profile returned non-positive rate";
+    const double interval_us =
+        static_cast<double>(config.tuples_per_record) / rate * 1e6;
+    co_await des::Delay(sim, std::max<SimTime>(1, static_cast<SimTime>(
+                                                      std::llround(interval_us))));
+    if (sim.now() >= config.duration) break;
+
+    engine::Record rec;
+    rec.event_time = sim.now();
+    if (config.max_event_lag > 0) {
+      rec.event_time -= static_cast<SimTime>(
+          rng.NextBelow(static_cast<uint64_t>(config.max_event_lag)));
+      if (rec.event_time < 0) rec.event_time = 0;
+    }
+    rec.weight = config.tuples_per_record;
+    const bool is_ad = config.ads_fraction > 0.0 && rng.NextDouble() < config.ads_fraction;
+    if (is_ad) {
+      rec.stream = engine::StreamId::kAds;
+      rec.key = picker.Pick(rng);
+      rec.value = 0.0;
+      if (recent_ads.size() < config.ad_match_memory) {
+        recent_ads.push_back(rec.key);
+      } else {
+        recent_ads[recent_ads_next] = rec.key;
+        recent_ads_next = (recent_ads_next + 1) % config.ad_match_memory;
+      }
+    } else {
+      rec.stream = engine::StreamId::kPurchases;
+      rec.value = rng.Uniform(config.price_min, config.price_max);
+      const bool match = config.ads_fraction > 0.0 && !recent_ads.empty() &&
+                         rng.NextDouble() < config.join_selectivity;
+      if (match) {
+        rec.key = recent_ads[rng.NextBelow(recent_ads.size())];
+      } else if (config.ads_fraction > 0.0) {
+        rec.key = kNonMatchingBit | (non_matching_counter++);
+      } else {
+        rec.key = picker.Pick(rng);
+      }
+    }
+    queue.Push(rec);
+  }
+  queue.Close();
+}
+
+}  // namespace
+
+void SpawnGenerator(des::Simulator& sim, DriverQueue& queue, GeneratorConfig config,
+                    Rng rng) {
+  SDPS_CHECK(config.rate != nullptr);
+  SDPS_CHECK_GT(config.tuples_per_record, 0u);
+  SDPS_CHECK_GT(config.num_keys, 0u);
+  sim.Spawn(GeneratorProcess(sim, queue, std::move(config), rng));
+}
+
+}  // namespace sdps::driver

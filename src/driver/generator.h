@@ -1,0 +1,81 @@
+// The distributed, rate-controlled data generator (paper Section III-A):
+// data is produced on the fly, stamped with its event-time at creation,
+// and pushed into the driver queue at a configurable, constant (or
+// profiled) speed. One generator instance runs per driver node.
+#ifndef SDPS_DRIVER_GENERATOR_H_
+#define SDPS_DRIVER_GENERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/time_util.h"
+#include "des/simulator.h"
+#include "driver/queue.h"
+#include "engine/record.h"
+
+namespace sdps::driver {
+
+/// Offered load as a function of simulated time (tuples/s for this
+/// generator instance). Constant for most experiments; stepped for the
+/// fluctuating-workload experiment (Fig. 6).
+using RateProfile = std::function<double(SimTime)>;
+
+inline RateProfile ConstantRate(double tuples_per_sec) {
+  return [tuples_per_sec](SimTime) { return tuples_per_sec; };
+}
+
+/// Piecewise-constant profile: rate of the last step whose start <= t.
+/// Steps must be sorted by start time; the first step must start at 0.
+RateProfile StepRate(std::vector<std::pair<SimTime, double>> steps);
+
+enum class KeyDistribution {
+  kNormal,   // paper default: "events with normal distribution on key field"
+  kUniform,
+  kZipf,     // skewed
+  kSingle,   // extreme skew: all tuples share one key (Experiment 4)
+};
+
+struct GeneratorConfig {
+  /// Offered load of THIS generator instance, tuples/s.
+  RateProfile rate;
+  /// Logical tuples per generated record (simulation scale factor;
+  /// 1 = tuple-exact).
+  uint32_t tuples_per_record = 100;
+  /// Key space size (distinct gemPackIDs / (user, gemPack) pairs).
+  uint64_t num_keys = 1000;
+  KeyDistribution key_distribution = KeyDistribution::kNormal;
+  double zipf_exponent = 1.0;
+  /// Fraction of tuples that belong to the ADS stream (join workloads;
+  /// 0 = aggregation-only).
+  double ads_fraction = 0.0;
+  /// Probability that a purchase's key equals a recently generated ad's
+  /// key (controls join selectivity; the paper reduced selectivity to keep
+  /// sink/network out of the bottleneck).
+  double join_selectivity = 0.0;
+  /// How many recent ad keys are eligible as purchase matches.
+  size_t ad_match_memory = 1024;
+  /// Purchase price range (uniform).
+  double price_min = 1.0;
+  double price_max = 100.0;
+  /// Out-of-order extension (the paper's future work: "out-of-order and
+  /// late arriving data management"): each tuple's event time is set to
+  /// generation time minus a uniform lag in [0, max_event_lag]. 0 keeps
+  /// the paper's in-order behaviour.
+  SimTime max_event_lag = 0;
+  /// Generation stops at this time (the experiment horizon).
+  SimTime duration = Seconds(300);
+};
+
+/// Spawns the generator process onto the simulator. Records are stamped
+/// with event_time = generation time and pushed to `queue`; generation
+/// pace follows config.rate independent of SUT behaviour (open-world
+/// model — the generator never slows down for the SUT).
+void SpawnGenerator(des::Simulator& sim, DriverQueue& queue, GeneratorConfig config,
+                    Rng rng);
+
+}  // namespace sdps::driver
+
+#endif  // SDPS_DRIVER_GENERATOR_H_

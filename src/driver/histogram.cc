@@ -1,0 +1,71 @@
+#include "driver/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sdps::driver {
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+SimTime Histogram::Min() const {
+  SDPS_CHECK(!samples_.empty());
+  EnsureSorted();
+  return samples_.front();
+}
+
+SimTime Histogram::Max() const {
+  SDPS_CHECK(!samples_.empty());
+  EnsureSorted();
+  return samples_.back();
+}
+
+double Histogram::Mean() const {
+  SDPS_CHECK(!samples_.empty());
+  double sum = 0;
+  for (const SimTime v : samples_) sum += static_cast<double>(v);
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Histogram::Stddev() const {
+  SDPS_CHECK(!samples_.empty());
+  const double mean = Mean();
+  double acc = 0;
+  for (const SimTime v : samples_) {
+    const double d = static_cast<double>(v) - mean;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+SimTime Histogram::Quantile(double q) const {
+  SDPS_CHECK(!samples_.empty());
+  SDPS_CHECK_GE(q, 0.0);
+  SDPS_CHECK_LE(q, 1.0);
+  EnsureSorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double rank = q * static_cast<double>(samples_.size() - 1);
+  const auto idx = static_cast<size_t>(std::llround(rank));
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+Histogram::Summary Histogram::Summarize() const {
+  Summary s;
+  if (samples_.empty()) return s;
+  s.avg_s = ToSeconds(static_cast<SimTime>(Mean()));
+  s.min_s = ToSeconds(Min());
+  s.max_s = ToSeconds(Max());
+  s.p90_s = ToSeconds(Quantile(0.90));
+  s.p95_s = ToSeconds(Quantile(0.95));
+  s.p99_s = ToSeconds(Quantile(0.99));
+  s.count = count();
+  return s;
+}
+
+}  // namespace sdps::driver

@@ -1,0 +1,47 @@
+// Exact-sample latency statistics: avg, min, max, and quantiles — the
+// paper's Table II / Table IV row format. Sample counts per experiment are
+// bounded (one per output record), so exact storage beats sketching.
+#ifndef SDPS_DRIVER_HISTOGRAM_H_
+#define SDPS_DRIVER_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time_util.h"
+
+namespace sdps::driver {
+
+class Histogram {
+ public:
+  void Add(SimTime value) { samples_.push_back(value); sorted_ = false; }
+
+  uint64_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  SimTime Min() const;
+  SimTime Max() const;
+  double Mean() const;
+  double Stddev() const;
+
+  /// Quantile in [0, 1] by nearest-rank on the sorted samples.
+  SimTime Quantile(double q) const;
+
+  /// Convenience for the paper's table row: avg, min, max, p90, p95, p99.
+  struct Summary {
+    double avg_s = 0, min_s = 0, max_s = 0, p90_s = 0, p95_s = 0, p99_s = 0;
+    uint64_t count = 0;
+  };
+  Summary Summarize() const;
+
+  void Clear() { samples_.clear(); sorted_ = false; }
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<SimTime> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace sdps::driver
+
+#endif  // SDPS_DRIVER_HISTOGRAM_H_

@@ -1,0 +1,120 @@
+// The in-memory queue between a data generator and a SUT source (paper
+// Section III-B/III-C). Each (generator, queue) pair lives on one driver
+// node. The queue is unbounded: its growth IS the backpressure signal the
+// driver observes, and time spent queued is part of event-time latency.
+// Ingest throughput is metered here, at pop time — outside the SUT.
+#ifndef SDPS_DRIVER_QUEUE_H_
+#define SDPS_DRIVER_QUEUE_H_
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+
+#include "common/check.h"
+#include "des/simulator.h"
+#include "driver/throughput.h"
+#include "engine/record.h"
+
+namespace sdps::driver {
+
+class DriverQueue {
+ public:
+  /// `meter` (optional) receives one Add per popped record, weighted by the
+  /// logical tuples the record represents.
+  DriverQueue(des::Simulator& sim, ThroughputMeter* meter)
+      : sim_(sim), meter_(meter) {}
+
+  DriverQueue(const DriverQueue&) = delete;
+  DriverQueue& operator=(const DriverQueue&) = delete;
+
+  /// Generator side: enqueue, never blocks.
+  void Push(engine::Record rec);
+
+  /// Marks end-of-stream: pending and future pops drain the buffer, then
+  /// observe nullopt.
+  void Close();
+  bool closed() const { return closed_; }
+
+  size_t queued_records() const { return buffer_.size(); }
+  uint64_t queued_tuples() const { return queued_tuples_; }
+  uint64_t total_pushed_tuples() const { return pushed_tuples_; }
+  uint64_t total_popped_tuples() const { return popped_tuples_; }
+
+  class PopAwaiter;
+  /// SUT connection side: dequeue the next record, suspending while empty.
+  PopAwaiter Pop() { return PopAwaiter(*this); }
+
+ private:
+  struct PopOp {
+    std::coroutine_handle<> handle;
+    std::optional<engine::Record> value;
+  };
+
+  void AccountPop(const engine::Record& rec) {
+    queued_tuples_ -= rec.weight;
+    popped_tuples_ += rec.weight;
+    if (meter_ != nullptr) meter_->Add(sim_.now(), rec.weight);
+  }
+
+  des::Simulator& sim_;
+  ThroughputMeter* meter_;
+  bool closed_ = false;
+  std::deque<engine::Record> buffer_;
+  std::deque<PopOp*> waiters_;
+  uint64_t queued_tuples_ = 0;
+  uint64_t pushed_tuples_ = 0;
+  uint64_t popped_tuples_ = 0;
+
+ public:
+  class PopAwaiter {
+   public:
+    explicit PopAwaiter(DriverQueue& q) : q_(q) {}
+    bool await_ready() {
+      if (!q_.buffer_.empty()) {
+        op_.value.emplace(q_.buffer_.front());
+        q_.buffer_.pop_front();
+        q_.AccountPop(*op_.value);
+        return true;
+      }
+      return q_.closed_;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      op_.handle = h;
+      q_.waiters_.push_back(&op_);
+    }
+    std::optional<engine::Record> await_resume() { return op_.value; }
+
+   private:
+    DriverQueue& q_;
+    PopOp op_;
+  };
+};
+
+inline void DriverQueue::Push(engine::Record rec) {
+  SDPS_CHECK(!closed_) << "Push after Close";
+  pushed_tuples_ += rec.weight;
+  if (!waiters_.empty()) {
+    // Direct hand-off to the oldest waiting connection (never parked where
+    // another popper could steal it).
+    PopOp* op = waiters_.front();
+    waiters_.pop_front();
+    popped_tuples_ += rec.weight;
+    if (meter_ != nullptr) meter_->Add(sim_.now(), rec.weight);
+    op->value.emplace(rec);
+    sim_.ScheduleResumeAfter(0, op->handle);
+    return;
+  }
+  queued_tuples_ += rec.weight;
+  buffer_.push_back(rec);
+}
+
+inline void DriverQueue::Close() {
+  if (closed_) return;
+  closed_ = true;
+  for (PopOp* op : waiters_) sim_.ScheduleResumeAfter(0, op->handle);
+  waiters_.clear();
+}
+
+}  // namespace sdps::driver
+
+#endif  // SDPS_DRIVER_QUEUE_H_

@@ -1,0 +1,73 @@
+#include "driver/sustainable.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace sdps::driver {
+
+namespace {
+
+Trial RunTrial(const ExperimentConfig& base, const SutFactory& factory,
+               const SearchConfig& search, double rate) {
+  ExperimentConfig config = base;
+  config.total_rate = rate;
+  config.rate_profile = nullptr;  // the search always probes constant rates
+  config.duration = search.trial_duration;
+  const ExperimentResult result = RunExperiment(config, factory);
+  Trial trial;
+  trial.rate = rate;
+  trial.sustainable = result.sustainable;
+  trial.verdict = result.verdict;
+  trial.mean_ingest_rate = result.mean_ingest_rate;
+  SDPS_LOG(Info) << "trial " << FormatRateMps(rate) << " -> "
+                 << (trial.sustainable ? "sustained" : trial.verdict);
+  return trial;
+}
+
+}  // namespace
+
+SearchResult FindSustainableThroughput(const ExperimentConfig& base,
+                                       const SutFactory& factory,
+                                       const SearchConfig& search) {
+  SDPS_CHECK_GT(search.initial_rate, 0.0);
+  SDPS_CHECK_GT(search.decrease_factor, 0.0);
+  SDPS_CHECK_LT(search.decrease_factor, 1.0);
+
+  SearchResult result;
+  double rate = search.initial_rate;
+  double lowest_unsustainable = -1.0;
+
+  // Phase 1: decrease from a very high rate until the system sustains it.
+  for (;;) {
+    Trial trial = RunTrial(base, factory, search, rate);
+    result.trials.push_back(trial);
+    if (trial.sustainable) break;
+    lowest_unsustainable = rate;
+    rate *= search.decrease_factor;
+    if (rate < search.min_rate) {
+      result.sustainable_rate = 0.0;
+      return result;  // cannot run this workload at any useful rate
+    }
+  }
+  double highest_sustainable = rate;
+
+  // Phase 2: bisect between the highest sustained and the lowest
+  // unsustained rate.
+  if (lowest_unsustainable > 0) {
+    for (int i = 0; i < search.refine_iterations; ++i) {
+      const double mid = 0.5 * (highest_sustainable + lowest_unsustainable);
+      Trial trial = RunTrial(base, factory, search, mid);
+      result.trials.push_back(trial);
+      if (trial.sustainable) {
+        highest_sustainable = mid;
+      } else {
+        lowest_unsustainable = mid;
+      }
+    }
+  }
+
+  result.sustainable_rate = highest_sustainable;
+  return result;
+}
+
+}  // namespace sdps::driver

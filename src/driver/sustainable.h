@@ -1,0 +1,52 @@
+// Sustainable-throughput search (paper Definition 5 and Section IV-B):
+// "To find the sustainable throughput of a given deployment we run each of
+// the systems with a very high generation rate and we decrease it until
+// the system can sustain that data generation rate." A bisection pass then
+// tightens the bound between the highest sustained and lowest unsustained
+// rates.
+#ifndef SDPS_DRIVER_SUSTAINABLE_H_
+#define SDPS_DRIVER_SUSTAINABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+
+namespace sdps::driver {
+
+struct SearchConfig {
+  /// Starting (deliberately unsustainable) offered rate, tuples/s.
+  double initial_rate = 3e6;
+  /// Geometric decrease applied while the rate is unsustainable.
+  double decrease_factor = 0.8;
+  /// Bisection steps after the first sustained rate is found.
+  int refine_iterations = 3;
+  /// Horizon for each search trial (shorter than the final measurement
+  /// run; prolonged backpressure shows quickly).
+  SimTime trial_duration = Seconds(120);
+  /// Search floor — below this the SUT is declared unable to run the
+  /// workload at all.
+  double min_rate = 1e4;
+};
+
+struct Trial {
+  double rate = 0;
+  bool sustainable = false;
+  std::string verdict;
+  double mean_ingest_rate = 0;
+};
+
+struct SearchResult {
+  /// Highest rate the deployment sustained (0 when even min_rate failed).
+  double sustainable_rate = 0;
+  std::vector<Trial> trials;
+};
+
+/// Runs the search. `base` supplies everything but total_rate/duration.
+SearchResult FindSustainableThroughput(const ExperimentConfig& base,
+                                       const SutFactory& factory,
+                                       const SearchConfig& search);
+
+}  // namespace sdps::driver
+
+#endif  // SDPS_DRIVER_SUSTAINABLE_H_

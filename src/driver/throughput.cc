@@ -1,0 +1,26 @@
+#include "driver/throughput.h"
+
+namespace sdps::driver {
+
+double ThroughputMeter::MeanRate(SimTime from, SimTime to) const {
+  SDPS_CHECK_LT(from, to);
+  uint64_t tuples = 0;
+  const auto first = static_cast<size_t>(from / bucket_width_);
+  const auto last = static_cast<size_t>((to - 1) / bucket_width_);
+  for (size_t b = first; b <= last && b < buckets_.size(); ++b) {
+    tuples += buckets_[b];
+  }
+  return static_cast<double>(tuples) / ToSeconds(to - from);
+}
+
+TimeSeries ThroughputMeter::RateSeries() const {
+  TimeSeries out;
+  const double scale = 1.0 / ToSeconds(bucket_width_);
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    out.Add(static_cast<SimTime>(b) * bucket_width_ + bucket_width_ / 2,
+            static_cast<double>(buckets_[b]) * scale);
+  }
+  return out;
+}
+
+}  // namespace sdps::driver

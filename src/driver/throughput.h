@@ -1,0 +1,48 @@
+// Ingest-throughput metering. Measured OUTSIDE the SUT, at the driver
+// queues (paper Section III-C): each pop by the SUT's connection is
+// recorded here, bucketed per second — this yields Fig. 9's "data pull
+// rate" series and the sustainable-throughput accounting.
+#ifndef SDPS_DRIVER_THROUGHPUT_H_
+#define SDPS_DRIVER_THROUGHPUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time_util.h"
+#include "driver/timeseries.h"
+
+namespace sdps::driver {
+
+class ThroughputMeter {
+ public:
+  explicit ThroughputMeter(SimTime bucket_width = Seconds(1))
+      : bucket_width_(bucket_width) {
+    SDPS_CHECK_GT(bucket_width, 0);
+  }
+
+  /// Records `tuples` logical tuples ingested at time `t`.
+  void Add(SimTime t, uint64_t tuples) {
+    const auto bucket = static_cast<size_t>(t / bucket_width_);
+    if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);
+    buckets_[bucket] += tuples;
+    total_ += tuples;
+  }
+
+  uint64_t total_tuples() const { return total_; }
+
+  /// Average tuples/s over [from, to).
+  double MeanRate(SimTime from, SimTime to) const;
+
+  /// Per-bucket rate series (tuples/s), for Fig. 9.
+  TimeSeries RateSeries() const;
+
+ private:
+  SimTime bucket_width_;
+  std::vector<uint64_t> buckets_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace sdps::driver
+
+#endif  // SDPS_DRIVER_THROUGHPUT_H_

@@ -1,0 +1,73 @@
+#include "driver/timeseries.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace sdps::driver {
+
+double TimeSeries::MeanInRange(SimTime from, SimTime to) const {
+  double sum = 0;
+  int64_t n = 0;
+  for (const Sample& s : samples_) {
+    if (s.time >= from && s.time < to) {
+      sum += s.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double TimeSeries::MaxInRange(SimTime from, SimTime to) const {
+  double best = 0;
+  for (const Sample& s : samples_) {
+    if (s.time >= from && s.time < to) best = std::max(best, s.value);
+  }
+  return best;
+}
+
+TimeSeries TimeSeries::Downsample(SimTime bucket_width) const {
+  SDPS_CHECK_GT(bucket_width, 0);
+  std::map<int64_t, std::pair<double, int64_t>> buckets;
+  for (const Sample& s : samples_) {
+    auto& [sum, n] = buckets[s.time / bucket_width];
+    sum += s.value;
+    ++n;
+  }
+  TimeSeries out;
+  for (const auto& [bucket, agg] : buckets) {
+    out.Add(bucket * bucket_width + bucket_width / 2,
+            agg.first / static_cast<double>(agg.second));
+  }
+  return out;
+}
+
+double TimeSeries::SlopePerSecond() const {
+  if (samples_.size() < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(samples_.size());
+  for (const Sample& s : samples_) {
+    const double x = ToSeconds(s.time);
+    sx += x;
+    sy += s.value;
+    sxx += x * x;
+    sxy += x * s.value;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (n * sxy - sx * sy) / denom;
+}
+
+Status WriteSeriesCsv(const std::string& path, const std::string& value_name,
+                      const TimeSeries& series) {
+  SDPS_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open(path));
+  writer.WriteHeader({"time_s", value_name});
+  for (const Sample& s : series.samples()) {
+    writer.WriteRow({StrFormat("%.3f", ToSeconds(s.time)), StrFormat("%.6f", s.value)});
+  }
+  return writer.Close();
+}
+
+}  // namespace sdps::driver

@@ -1,0 +1,54 @@
+// Time series of (time, value) samples — the raw material of the paper's
+// figure panels (latency over time, throughput over time, CPU/network
+// usage over time).
+#ifndef SDPS_DRIVER_TIMESERIES_H_
+#define SDPS_DRIVER_TIMESERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_util.h"
+
+namespace sdps::driver {
+
+struct Sample {
+  SimTime time;
+  double value;
+};
+
+class TimeSeries {
+ public:
+  void Add(SimTime time, double value) { samples_.push_back({time, value}); }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+  size_t size() const { return samples_.size(); }
+
+  /// Average of values with time in [from, to).
+  double MeanInRange(SimTime from, SimTime to) const;
+  /// Max of values with time in [from, to); 0 when none.
+  double MaxInRange(SimTime from, SimTime to) const;
+
+  /// Reduces to per-bucket means (bucket = floor(t / width)); the shape
+  /// used when printing figure panels at a fixed resolution.
+  TimeSeries Downsample(SimTime bucket_width) const;
+
+  /// Least-squares slope of value over time-in-seconds (trend detection
+  /// for the sustainability criterion).
+  double SlopePerSecond() const;
+
+  void Clear() { samples_.clear(); }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Writes one or more series as CSV columns (time_s, <name>...). Series are
+/// matched by sample index after downsampling to a common bucket width.
+Status WriteSeriesCsv(const std::string& path, const std::string& value_name,
+                      const TimeSeries& series);
+
+}  // namespace sdps::driver
+
+#endif  // SDPS_DRIVER_TIMESERIES_H_

@@ -1,0 +1,28 @@
+// Key partitioning (hash shuffle) shared by the engines.
+#ifndef SDPS_ENGINE_PARTITION_H_
+#define SDPS_ENGINE_PARTITION_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace sdps::engine {
+
+/// Finalizing 64-bit mixer (splitmix64 finalizer): keys produced by the
+/// generators are small integers, so raw modulo would map them to a few
+/// partitions only.
+inline uint64_t MixKey(uint64_t k) {
+  k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  k = (k ^ (k >> 27)) * 0x94d049bb133111ebULL;
+  return k ^ (k >> 31);
+}
+
+/// Maps a key to one of n partitions.
+inline int PartitionForKey(uint64_t key, int n) {
+  SDPS_CHECK_GT(n, 0);
+  return static_cast<int>(MixKey(key) % static_cast<uint64_t>(n));
+}
+
+}  // namespace sdps::engine
+
+#endif  // SDPS_ENGINE_PARTITION_H_

@@ -1,0 +1,24 @@
+// The two benchmark queries from the paper's Listing 1.
+#ifndef SDPS_ENGINE_QUERY_H_
+#define SDPS_ENGINE_QUERY_H_
+
+#include "engine/window.h"
+
+namespace sdps::engine {
+
+enum class QueryKind {
+  /// SELECT SUM(price) FROM PURCHASES [Range r, Slide s] GROUP BY gemPackID
+  kAggregation,
+  /// SELECT ... FROM PURCHASES [r, s] p, ADS [r, s] a
+  /// WHERE p.userID = a.userID AND p.gemPackID = a.gemPackID
+  kJoin,
+};
+
+struct QueryConfig {
+  QueryKind kind = QueryKind::kAggregation;
+  WindowSpec window;  // default (8s, 4s), the paper's Experiment 1 setting
+};
+
+}  // namespace sdps::engine
+
+#endif  // SDPS_ENGINE_QUERY_H_

@@ -1,0 +1,78 @@
+// Token-bucket rate limiter in simulated time. Used by the Spark receiver
+// model (the PID rate controller adjusts the token rate) and by the data
+// generator's constant-speed pacing.
+#ifndef SDPS_ENGINE_RATE_LIMITER_H_
+#define SDPS_ENGINE_RATE_LIMITER_H_
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/time_util.h"
+#include "des/simulator.h"
+#include "des/task.h"
+
+namespace sdps::engine {
+
+class RateLimiter {
+ public:
+  /// `tokens_per_sec` is the steady rate; `burst` bounds accumulation while
+  /// idle. Intended for a single consuming process (FIFO fairness among
+  /// multiple consumers is not guaranteed).
+  RateLimiter(des::Simulator& sim, double tokens_per_sec, double burst)
+      : sim_(sim), rate_(tokens_per_sec), burst_(burst) {
+    SDPS_CHECK_GT(tokens_per_sec, 0.0);
+    SDPS_CHECK_GT(burst, 0.0);
+  }
+
+  double rate() const { return rate_; }
+
+  /// Changes the steady rate (Spark's rate controller calls this). Takes
+  /// effect for waits that begin or re-check after the change.
+  void SetRate(double tokens_per_sec) {
+    SDPS_CHECK_GT(tokens_per_sec, 0.0);
+    Refill();
+    rate_ = tokens_per_sec;
+  }
+
+  /// Suspends until `tokens` are available, then consumes them.
+  des::Task<> Acquire(double tokens) {
+    SDPS_CHECK_GT(tokens, 0.0);
+    for (;;) {
+      Refill();
+      if (available_ >= tokens) {
+        available_ -= tokens;
+        co_return;
+      }
+      const double deficit = tokens - available_;
+      const SimTime wait = std::max<SimTime>(
+          1, static_cast<SimTime>(std::ceil(deficit / rate_ * 1e6)));
+      co_await des::Delay(sim_, wait);
+    }
+  }
+
+  /// Consumes tokens if immediately available; returns false otherwise.
+  bool TryAcquire(double tokens) {
+    Refill();
+    if (available_ < tokens) return false;
+    available_ -= tokens;
+    return true;
+  }
+
+ private:
+  void Refill() {
+    const SimTime now = sim_.now();
+    available_ = std::min(
+        burst_, available_ + rate_ * ToSeconds(now - last_refill_));
+    last_refill_ = now;
+  }
+
+  des::Simulator& sim_;
+  double rate_;
+  double burst_;
+  double available_ = 0.0;
+  SimTime last_refill_ = 0;
+};
+
+}  // namespace sdps::engine
+
+#endif  // SDPS_ENGINE_RATE_LIMITER_H_

@@ -1,0 +1,89 @@
+// Core data types flowing through the engines.
+//
+// A Record is the unit the simulation moves around. It represents `weight`
+// identical logical tuples (the generator's batching scale factor): CPU
+// cost and network bytes scale with weight, while timestamps and keys are
+// exact, so windowing/latency semantics are unaffected. Tests and examples
+// use weight = 1 for tuple-exact behaviour.
+#ifndef SDPS_ENGINE_RECORD_H_
+#define SDPS_ENGINE_RECORD_H_
+
+#include <cstdint>
+
+#include "common/time_util.h"
+
+namespace sdps::engine {
+
+/// The two input streams of the paper's workload (Listing 1).
+enum class StreamId : uint8_t { kPurchases = 0, kAds = 1 };
+
+struct Record {
+  /// Stamped by the data generator at creation (Definition 1 baseline).
+  SimTime event_time = 0;
+  /// Stamped when the record reaches the SUT's first operator
+  /// (Definition 2 baseline). -1 until ingested.
+  SimTime ingest_time = -1;
+  /// Grouping key: gemPackID for aggregation; composite
+  /// (userID, gemPackID) for the join.
+  uint64_t key = 0;
+  /// Price for PURCHASES; unused for ADS.
+  double value = 0.0;
+  /// Logical tuples represented by this record.
+  uint32_t weight = 1;
+  StreamId stream = StreamId::kPurchases;
+};
+
+/// A result emitted by the SUT to the driver's latency sink.
+struct OutputRecord {
+  /// Definition 3: max event-time of all contributing events.
+  SimTime max_event_time = 0;
+  /// Definition 4: max ingestion-time of all contributing events.
+  SimTime max_ingest_time = 0;
+  uint64_t key = 0;
+  /// Aggregate sum (aggregation query) or joined price (join query).
+  double value = 0.0;
+  /// Logical output tuples represented.
+  uint64_t weight = 1;
+};
+
+/// Messages on inter-operator channels: data or watermark.
+struct Message {
+  enum class Kind : uint8_t { kRecord, kWatermark };
+  Kind kind = Kind::kRecord;
+  Record record;        // valid when kind == kRecord
+  int origin = 0;       // emitting source/instance index (watermarks)
+  SimTime watermark = 0;  // valid when kind == kWatermark
+
+  static Message MakeRecord(Record r) {
+    Message m;
+    m.kind = Kind::kRecord;
+    m.record = r;
+    return m;
+  }
+  static Message MakeWatermark(int origin, SimTime wm) {
+    Message m;
+    m.kind = Kind::kWatermark;
+    m.origin = origin;
+    m.watermark = wm;
+    return m;
+  }
+};
+
+/// Serialized size of one logical tuple on the wire. The paper's tuples
+/// (userID, gemPackID, price, time) are ~32 raw bytes; framing and
+/// serialization overhead bring a realistic wire size to ~100 bytes.
+inline constexpr int64_t kTupleWireBytes = 100;
+
+/// Wire size of a record (scales with the tuples it represents).
+inline int64_t WireBytes(const Record& r) {
+  return kTupleWireBytes * static_cast<int64_t>(r.weight);
+}
+
+/// Wire size of an output record.
+inline int64_t WireBytes(const OutputRecord& r) {
+  return kTupleWireBytes * static_cast<int64_t>(r.weight);
+}
+
+}  // namespace sdps::engine
+
+#endif  // SDPS_ENGINE_RECORD_H_

@@ -1,0 +1,173 @@
+#include "engine/window_state.h"
+
+#include <algorithm>
+
+namespace sdps::engine {
+
+AddResult AggWindowState::Add(const Record& rec) {
+  AddResult result;
+  scratch_windows_.clear();
+  assigner_.Assign(rec.event_time, &scratch_windows_);
+  for (const int64_t w : scratch_windows_) {
+    if (w < min_unfired_window_) {
+      result.late_tuples += rec.weight;
+      continue;
+    }
+    auto& per_key = windows_[w];
+    auto [it, inserted] = per_key.try_emplace(rec.key);
+    if (inserted) ++entries_;
+    it->second.Merge(rec);
+    ++result.window_updates;
+  }
+  return result;
+}
+
+std::vector<OutputRecord> AggWindowState::FireUpTo(SimTime watermark) {
+  std::vector<OutputRecord> out;
+  while (!windows_.empty()) {
+    const auto it = windows_.begin();
+    if (assigner_.WindowEnd(it->first) > watermark) break;
+    min_unfired_window_ = std::max(min_unfired_window_, it->first + 1);
+    for (const auto& [key, agg] : it->second) {
+      OutputRecord rec;
+      rec.key = key;
+      rec.value = agg.sum;
+      rec.weight = 1;  // one result tuple per (window, key)
+      rec.max_event_time = agg.max_event_time;
+      rec.max_ingest_time = agg.max_ingest_time;
+      out.push_back(rec);
+    }
+    entries_ -= static_cast<int64_t>(it->second.size());
+    windows_.erase(it);
+  }
+  // Deterministic output order (unordered_map iteration order is not).
+  std::sort(out.begin(), out.end(), [](const OutputRecord& a, const OutputRecord& b) {
+    if (a.max_event_time != b.max_event_time) return a.max_event_time < b.max_event_time;
+    return a.key < b.key;
+  });
+  return out;
+}
+
+AddResult BufferedWindowState::Add(const Record& rec) {
+  AddResult result;
+  scratch_windows_.clear();
+  assigner_.Assign(rec.event_time, &scratch_windows_);
+  for (const int64_t w : scratch_windows_) {
+    if (w < min_unfired_window_) {
+      result.late_tuples += rec.weight;
+      continue;
+    }
+    windows_[w].push_back(rec);
+    buffered_tuples_ += rec.weight;
+    ++result.window_updates;
+  }
+  return result;
+}
+
+BufferedWindowState::Fired BufferedWindowState::FireUpTo(SimTime watermark) {
+  Fired fired;
+  while (!windows_.empty()) {
+    const auto it = windows_.begin();
+    if (assigner_.WindowEnd(it->first) > watermark) break;
+    min_unfired_window_ = std::max(min_unfired_window_, it->first + 1);
+    // Bulk evaluation: scan every buffered record of the window.
+    std::unordered_map<uint64_t, WindowKeyAgg> aggs;
+    uint64_t window_tuples = 0;
+    for (const Record& r : it->second) {
+      aggs[r.key].Merge(r);
+      window_tuples += r.weight;
+    }
+    fired.tuples_scanned += window_tuples;
+    for (const auto& [key, agg] : aggs) {
+      OutputRecord rec;
+      rec.key = key;
+      rec.value = agg.sum;
+      rec.weight = 1;
+      rec.max_event_time = agg.max_event_time;
+      rec.max_ingest_time = agg.max_ingest_time;
+      fired.outputs.push_back(rec);
+    }
+    buffered_tuples_ -= window_tuples;
+    windows_.erase(it);
+  }
+  std::sort(fired.outputs.begin(), fired.outputs.end(),
+            [](const OutputRecord& a, const OutputRecord& b) {
+              if (a.max_event_time != b.max_event_time) {
+                return a.max_event_time < b.max_event_time;
+              }
+              return a.key < b.key;
+            });
+  return fired;
+}
+
+AddResult JoinWindowState::Add(const Record& rec) {
+  AddResult result;
+  scratch_windows_.clear();
+  assigner_.Assign(rec.event_time, &scratch_windows_);
+  for (const int64_t w : scratch_windows_) {
+    if (w < min_unfired_window_) {
+      result.late_tuples += rec.weight;
+      continue;
+    }
+    ++result.window_updates;
+    SideBuffers& side = windows_[w];
+    if (rec.stream == StreamId::kPurchases) {
+      side.purchases.push_back(rec);
+      side.purchase_tuples += rec.weight;
+    } else {
+      side.ads.push_back(rec);
+      side.ad_tuples += rec.weight;
+    }
+    if (rec.event_time > side.max_event_time) side.max_event_time = rec.event_time;
+    if (rec.ingest_time > side.max_ingest_time) side.max_ingest_time = rec.ingest_time;
+    buffered_tuples_ += rec.weight;
+  }
+  return result;
+}
+
+JoinWindowState::Fired JoinWindowState::FireUpTo(SimTime watermark) {
+  Fired fired;
+  while (!windows_.empty()) {
+    const auto it = windows_.begin();
+    if (assigner_.WindowEnd(it->first) > watermark) break;
+    min_unfired_window_ = std::max(min_unfired_window_, it->first + 1);
+    SideBuffers& side = it->second;
+    // Hash join: build on ads, probe with purchases.
+    std::unordered_map<uint64_t, std::vector<const Record*>> build;
+    for (const Record& ad : side.ads) {
+      build[ad.key].push_back(&ad);
+      fired.join_work += ad.weight;
+    }
+    fired.naive_pairs += side.purchase_tuples * side.ad_tuples;
+    for (const Record& p : side.purchases) {
+      fired.join_work += p.weight;
+      const auto match = build.find(p.key);
+      if (match == build.end()) continue;
+      for (const Record* ad : match->second) {
+        (void)ad;
+        OutputRecord rec;
+        rec.key = p.key;
+        rec.value = p.value;
+        // Paper Fig. 2: results carry the max event-time of the window.
+        rec.max_event_time = side.max_event_time;
+        rec.max_ingest_time = side.max_ingest_time;
+        rec.weight = p.weight;
+        fired.outputs.push_back(rec);
+        fired.join_work += p.weight;
+      }
+    }
+    fired.tuples_evicted += side.purchase_tuples + side.ad_tuples;
+    buffered_tuples_ -= side.purchase_tuples + side.ad_tuples;
+    windows_.erase(it);
+  }
+  std::sort(fired.outputs.begin(), fired.outputs.end(),
+            [](const OutputRecord& a, const OutputRecord& b) {
+              if (a.max_event_time != b.max_event_time) {
+                return a.max_event_time < b.max_event_time;
+              }
+              return a.key < b.key;
+            });
+  return fired;
+}
+
+}  // namespace sdps::engine

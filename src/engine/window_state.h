@@ -1,0 +1,172 @@
+// Keyed window state backends.
+//
+//  * AggWindowState     — incremental per-(window, key) running aggregates,
+//                         the Flink "on-the-fly" style (each sliding window
+//                         keeps its own aggregate; no cross-window sharing,
+//                         matching the paper's Experiment 3 observation).
+//  * BufferedWindowState— full-record buffering with bulk evaluation at
+//                         trigger time, the Storm style (memory-hungry,
+//                         CPU burst at window close).
+//  * JoinWindowState    — two-sided window buffers with hash-join
+//                         evaluation at trigger time (Flink 1.1 / Spark
+//                         both evaluate window joins at window close).
+//
+// Output event-/processing-times follow the paper's Definitions 3 and 4:
+// aggregation outputs carry the max event-/ingest-time of the contributing
+// events of that key; join outputs carry the max over the whole window
+// contents of both sides (the paper's Fig. 2 semantics).
+#ifndef SDPS_ENGINE_WINDOW_STATE_H_
+#define SDPS_ENGINE_WINDOW_STATE_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/record.h"
+#include "engine/window.h"
+
+namespace sdps::engine {
+
+/// Running aggregate of one key inside one window.
+struct WindowKeyAgg {
+  double sum = 0.0;
+  uint64_t weight = 0;
+  SimTime max_event_time = 0;
+  SimTime max_ingest_time = 0;
+
+  void Merge(const Record& r) {
+    sum += r.value * r.weight;
+    weight += r.weight;
+    if (r.event_time > max_event_time) max_event_time = r.event_time;
+    if (r.ingest_time > max_ingest_time) max_ingest_time = r.ingest_time;
+  }
+};
+
+/// Result of adding one record to window state. With out-of-order input,
+/// some (or all) of a record's windows may already have fired; those
+/// contributions are dropped and reported (re-opening a fired window
+/// would double-emit it on the next trigger).
+struct AddResult {
+  /// Window-updates performed (the engine charges CPU per update).
+  int window_updates = 0;
+  /// Logical tuples x windows whose contribution arrived too late.
+  uint64_t late_tuples = 0;
+};
+
+/// Incremental sliding-window SUM aggregation (SELECT SUM(price) ...
+/// GROUP BY gemPackID from Listing 1).
+class AggWindowState {
+ public:
+  explicit AggWindowState(const WindowAssigner& assigner) : assigner_(assigner) {}
+
+  /// Folds the record into every still-open window it belongs to.
+  AddResult Add(const Record& rec);
+
+  /// Fires all windows with end <= watermark, oldest first; outputs one
+  /// record per (window, key), then drops the window state.
+  std::vector<OutputRecord> FireUpTo(SimTime watermark);
+
+  /// Estimated heap footprint of the open state.
+  int64_t state_bytes() const { return entries_ * kBytesPerEntry; }
+  size_t open_windows() const { return windows_.size(); }
+  int64_t entries() const { return entries_; }
+
+  /// Per-(window,key) JVM-heap entry estimate: boxed key + aggregate
+  /// object + hash-map node overhead.
+  static constexpr int64_t kBytesPerEntry = 96;
+
+ private:
+  WindowAssigner assigner_;
+  std::map<int64_t, std::unordered_map<uint64_t, WindowKeyAgg>> windows_;
+  int64_t entries_ = 0;
+  int64_t min_unfired_window_ = std::numeric_limits<int64_t>::min();
+  std::vector<int64_t> scratch_windows_;
+};
+
+/// Full-record buffering per window with bulk aggregation at fire time
+/// (Storm's window bolt keeps the raw tuple buffer).
+class BufferedWindowState {
+ public:
+  explicit BufferedWindowState(const WindowAssigner& assigner) : assigner_(assigner) {}
+
+  /// Buffers the record into every still-open window it belongs to.
+  AddResult Add(const Record& rec);
+
+  struct Fired {
+    std::vector<OutputRecord> outputs;
+    /// Logical tuples scanned during bulk evaluation (CPU charge for the
+    /// burst at trigger time).
+    uint64_t tuples_scanned = 0;
+  };
+
+  Fired FireUpTo(SimTime watermark);
+
+  int64_t state_bytes() const {
+    return static_cast<int64_t>(buffered_tuples_) * kBytesPerTuple;
+  }
+  /// Logical tuples buffered (weight-scaled; a record counts `weight` times).
+  uint64_t buffered_tuples() const { return buffered_tuples_; }
+
+  /// Raw tuple object on the JVM heap (fields + object headers + list node).
+  static constexpr int64_t kBytesPerTuple = 160;
+
+ private:
+  WindowAssigner assigner_;
+  std::map<int64_t, std::vector<Record>> windows_;
+  uint64_t buffered_tuples_ = 0;
+  int64_t min_unfired_window_ = std::numeric_limits<int64_t>::min();
+  std::vector<int64_t> scratch_windows_;
+};
+
+/// Two-sided window buffer with hash-join evaluation at fire time
+/// (Listing 1's windowed join: PURCHASES ⋈ ADS on the composite key).
+class JoinWindowState {
+ public:
+  explicit JoinWindowState(const WindowAssigner& assigner) : assigner_(assigner) {}
+
+  AddResult Add(const Record& rec);
+
+  struct Fired {
+    std::vector<OutputRecord> outputs;
+    /// Hash builds + probes performed, in logical tuples (CPU charge for a
+    /// hash-join implementation).
+    uint64_t join_work = 0;
+    /// Sum over fired windows of |purchases| x |ads| in logical tuples —
+    /// the CPU charge for a naive nested-loop implementation (Storm's
+    /// hand-rolled join in the paper's Experiment 2).
+    uint64_t naive_pairs = 0;
+    /// Logical tuples evicted from state.
+    uint64_t tuples_evicted = 0;
+  };
+
+  Fired FireUpTo(SimTime watermark);
+
+  int64_t state_bytes() const {
+    return static_cast<int64_t>(buffered_tuples_) * kBytesPerTuple;
+  }
+  uint64_t buffered_tuples() const { return buffered_tuples_; }
+
+  static constexpr int64_t kBytesPerTuple = 160;
+
+ private:
+  struct SideBuffers {
+    std::vector<Record> purchases;
+    std::vector<Record> ads;
+    uint64_t purchase_tuples = 0;
+    uint64_t ad_tuples = 0;
+    SimTime max_event_time = 0;   // over both sides (paper Fig. 2 semantics)
+    SimTime max_ingest_time = 0;
+  };
+
+  WindowAssigner assigner_;
+  std::map<int64_t, SideBuffers> windows_;
+  uint64_t buffered_tuples_ = 0;
+  int64_t min_unfired_window_ = std::numeric_limits<int64_t>::min();
+  std::vector<int64_t> scratch_windows_;
+};
+
+}  // namespace sdps::engine
+
+#endif  // SDPS_ENGINE_WINDOW_STATE_H_

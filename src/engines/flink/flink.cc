@@ -1,0 +1,291 @@
+#include "engines/flink/flink.h"
+
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/check.h"
+#include "des/channel.h"
+#include "des/task.h"
+#include "engine/partition.h"
+#include "engine/record.h"
+#include "engine/watermark.h"
+#include "engine/window_state.h"
+
+namespace sdps::engines {
+
+namespace {
+
+using des::Channel;
+using des::Task;
+using engine::Message;
+using engine::Record;
+
+constexpr SimTime kFinalWatermark = std::numeric_limits<SimTime>::max() / 4;
+/// Checkpoint barriers travel in-band like watermarks, tagged by origin.
+constexpr int kBarrierOrigin = -1;
+
+SimTime CostUs(double us) {
+  return std::max<SimTime>(0, static_cast<SimTime>(std::llround(us)));
+}
+
+class FlinkSut : public driver::Sut {
+ public:
+  explicit FlinkSut(FlinkConfig config) : config_(config) {}
+
+  std::string name() const override { return "flink"; }
+
+  Status Start(const driver::SutContext& ctx) override {
+    ctx_ = ctx;
+    cluster::Cluster& cluster = *ctx.cluster;
+    const int workers = cluster.num_workers();
+    num_tasks_ = workers * config_.tasks_per_worker;
+    num_queues_ = static_cast<int>(ctx.queues.size());
+    SDPS_CHECK_GT(num_queues_, 0);
+    // Paper setup: 16 parallel source instances per node (one per slot).
+    sources_per_worker_ = cluster.worker(0).config().cpu_slots;
+    num_sources_ = workers * sources_per_worker_;
+
+    // Join tasks evaluate in bulk at the trigger; deeper buffers absorb
+    // the evaluation burst (Flink's network buffer pool is shared).
+    const size_t channel_cap = config_.query.kind == engine::QueryKind::kJoin
+                                   ? config_.channel_capacity * 4
+                                   : config_.channel_capacity;
+    for (int t = 0; t < num_tasks_; ++t) {
+      channels_.push_back(std::make_unique<Channel<Message>>(*ctx.sim, channel_cap));
+    }
+    // Per-task share of worker heap before the spillable backend engages.
+    spill_threshold_bytes_ =
+        cluster.worker(0).config().memory_bytes / (2 * config_.tasks_per_worker);
+
+    // Watermarks are generated per ingest connection (queue): the sources
+    // of one queue share a max-event-time clock.
+    queue_max_event_.assign(static_cast<size_t>(num_queues_), engine::kNoWatermark);
+    queue_active_sources_.assign(static_cast<size_t>(num_queues_), 0);
+    for (int s = 0; s < num_sources_; ++s) {
+      ++queue_active_sources_[static_cast<size_t>(QueueOfSource(s))];
+    }
+
+    for (int s = 0; s < num_sources_; ++s) {
+      ctx.sim->Spawn(SourceProcess(s));
+    }
+    for (int q = 0; q < num_queues_; ++q) {
+      ctx.sim->Spawn(WatermarkProcess(q));
+    }
+    if (config_.checkpoint_interval > 0) {
+      ctx.sim->Spawn(CheckpointCoordinator());
+    }
+    for (int t = 0; t < num_tasks_; ++t) {
+      ctx.sim->Spawn(WindowTaskProcess(t));
+    }
+    return Status::OK();
+  }
+
+  void Stop() override {
+    for (auto& ch : channels_) ch->Close();
+  }
+
+  void ExportSeries(std::map<std::string, driver::TimeSeries>* out) const override {
+    driver::TimeSeries late;
+    late.Add(0, static_cast<double>(late_dropped_tuples_));
+    (*out)["late_dropped_tuples"] = late;
+    driver::TimeSeries cp;
+    cp.Add(0, static_cast<double>(checkpoints_started_));
+    (*out)["checkpoints"] = cp;
+    driver::TimeSeries cp_bytes;
+    cp_bytes.Add(0, static_cast<double>(snapshot_bytes_total_));
+    (*out)["snapshot_bytes"] = cp_bytes;
+  }
+
+ private:
+  cluster::Node& WorkerOfSource(int s) {
+    return ctx_.cluster->worker(s / sources_per_worker_);
+  }
+  cluster::Node& WorkerOfTask(int t) {
+    return ctx_.cluster->worker(t % ctx_.cluster->num_workers());
+  }
+  /// Sources on worker w pull from queue (w mod queues): queue i lives on
+  /// driver node i, and the paper pairs generators with SUT ingest 1:1.
+  int QueueOfSource(int s) const {
+    return (s / sources_per_worker_) % num_queues_;
+  }
+
+  Task<> SourceProcess(int s) {
+    cluster::Node& my_worker = WorkerOfSource(s);
+    const int queue_idx = QueueOfSource(s);
+    cluster::Node& queue_node = ctx_.cluster->driver(queue_idx);
+    driver::DriverQueue& queue = *ctx_.queues[static_cast<size_t>(queue_idx)];
+    SimTime& queue_max_event = queue_max_event_[static_cast<size_t>(queue_idx)];
+
+    for (;;) {
+      auto rec = co_await queue.Pop();
+      if (!rec.has_value()) break;
+      // Ingest transfer: driver node -> this worker (crosses the trunk).
+      co_await ctx_.cluster->Send(queue_node, my_worker, engine::WireBytes(*rec));
+      rec->ingest_time = ctx_.sim->now();
+      co_await my_worker.cpu().Use(CostUs(config_.source_cost_us * rec->weight));
+      my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec->weight);
+
+      const int t = engine::PartitionForKey(rec->key, num_tasks_);
+      cluster::Node& target = WorkerOfTask(t);
+      if (target.id() != my_worker.id()) {
+        co_await my_worker.cpu().Use(CostUs(config_.remote_serde_cost_us * rec->weight));
+        co_await ctx_.cluster->Send(my_worker, target, engine::WireBytes(*rec));
+      }
+      if (rec->event_time > queue_max_event) queue_max_event = rec->event_time;
+      if (!co_await channels_[static_cast<size_t>(t)]->Send(Message::MakeRecord(*rec))) {
+        co_return;  // topology shut down
+      }
+    }
+    --queue_active_sources_[static_cast<size_t>(queue_idx)];
+  }
+
+  /// Periodically broadcasts the connection's event-time clock to every
+  /// window task; emits a final watermark (flushing all open windows) once
+  /// the connection's sources have drained the queue.
+  Task<> WatermarkProcess(int q) {
+    SimTime last_sent = engine::kNoWatermark;
+    for (;;) {
+      co_await des::Delay(*ctx_.sim, config_.watermark_interval);
+      if (queue_active_sources_[static_cast<size_t>(q)] == 0) {
+        co_await Broadcast(Message::MakeWatermark(q, kFinalWatermark));
+        co_return;
+      }
+      SimTime wm = queue_max_event_[static_cast<size_t>(q)];
+      if (wm == engine::kNoWatermark) continue;
+      wm -= config_.allowed_lateness;
+      if (wm == last_sent) continue;
+      last_sent = wm;
+      co_await Broadcast(Message::MakeWatermark(q, wm));
+    }
+  }
+
+  Task<> Broadcast(Message msg) {
+    for (auto& ch : channels_) {
+      if (!co_await ch->Send(msg)) co_return;
+    }
+  }
+
+  /// Injects checkpoint barriers in-band (simplified aligned-barrier
+  /// model: the per-input alignment wait is folded into a fixed stall and
+  /// a state-size-proportional synchronous snapshot in each task).
+  Task<> CheckpointCoordinator() {
+    for (;;) {
+      co_await des::Delay(*ctx_.sim, config_.checkpoint_interval);
+      ++checkpoints_started_;
+      co_await Broadcast(Message::MakeWatermark(kBarrierOrigin, 0));
+    }
+  }
+
+  /// Synchronous part of a task's checkpoint: alignment stall + snapshot.
+  Task<> TakeSnapshot(cluster::Node& worker, int64_t state_bytes) {
+    const double kb = static_cast<double>(state_bytes) / 1024.0;
+    co_await worker.cpu().Use(
+        config_.alignment_stall + CostUs(config_.snapshot_cost_us_per_kb * kb));
+    snapshot_bytes_total_ += state_bytes;
+  }
+
+  Task<> WindowTaskProcess(int t) {
+    if (config_.query.kind == engine::QueryKind::kAggregation) {
+      co_await AggTask(t);
+    } else {
+      co_await JoinTask(t);
+    }
+  }
+
+  Task<> AggTask(int t) {
+    cluster::Node& my_worker = WorkerOfTask(t);
+    engine::WindowAssigner assigner(config_.query.window);
+    engine::AggWindowState state(assigner);
+    engine::WatermarkTracker tracker(num_queues_);
+    Channel<Message>& in = *channels_[static_cast<size_t>(t)];
+
+    for (;;) {
+      auto msg = co_await in.Recv();
+      if (!msg.has_value()) break;
+      if (msg->kind == Message::Kind::kRecord) {
+        const Record& rec = msg->record;
+        const engine::AddResult added = state.Add(rec);
+        late_dropped_tuples_ += added.late_tuples;
+        const double slow = state.state_bytes() > spill_threshold_bytes_
+                                ? config_.spill_slowdown
+                                : 1.0;
+        co_await my_worker.cpu().Use(CostUs(config_.agg_update_cost_us * rec.weight *
+                                            added.window_updates * slow));
+        my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec.weight);
+      } else if (msg->origin == kBarrierOrigin) {
+        co_await TakeSnapshot(my_worker, state.state_bytes());
+      } else if (tracker.Update(msg->origin, msg->watermark)) {
+        auto outs = state.FireUpTo(tracker.current());
+        if (!outs.empty()) co_await EmitOutputs(my_worker, outs);
+      }
+    }
+  }
+
+  Task<> JoinTask(int t) {
+    cluster::Node& my_worker = WorkerOfTask(t);
+    engine::WindowAssigner assigner(config_.query.window);
+    engine::JoinWindowState state(assigner);
+    engine::WatermarkTracker tracker(num_queues_);
+    Channel<Message>& in = *channels_[static_cast<size_t>(t)];
+
+    for (;;) {
+      auto msg = co_await in.Recv();
+      if (!msg.has_value()) break;
+      if (msg->kind == Message::Kind::kRecord) {
+        const Record& rec = msg->record;
+        const double slow = state.state_bytes() > spill_threshold_bytes_
+                                ? config_.spill_slowdown
+                                : 1.0;
+        const engine::AddResult added = state.Add(rec);
+        late_dropped_tuples_ += added.late_tuples;
+        co_await my_worker.cpu().Use(CostUs(config_.join_buffer_cost_us * rec.weight *
+                                            added.window_updates * slow));
+        my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec.weight);
+      } else if (msg->origin == kBarrierOrigin) {
+        co_await TakeSnapshot(my_worker, state.state_bytes());
+      } else if (tracker.Update(msg->origin, msg->watermark)) {
+        auto fired = state.FireUpTo(tracker.current());
+        if (fired.join_work > 0) {
+          co_await my_worker.cpu().Use(
+              CostUs(config_.join_probe_cost_us * static_cast<double>(fired.join_work)));
+        }
+        if (!fired.outputs.empty()) co_await EmitOutputs(my_worker, fired.outputs);
+      }
+    }
+  }
+
+  Task<> EmitOutputs(cluster::Node& from, const std::vector<engine::OutputRecord>& outs) {
+    co_await from.cpu().Use(
+        CostUs(config_.emit_cost_us * static_cast<double>(outs.size())));
+    int64_t bytes = 0;
+    for (const auto& out : outs) bytes += engine::WireBytes(out);
+    cluster::Node& sink_node = ctx_.cluster->driver(0);
+    co_await ctx_.cluster->Send(from, sink_node, bytes);
+    for (const auto& out : outs) ctx_.sink->Emit(out);
+  }
+
+  FlinkConfig config_;
+  driver::SutContext ctx_;
+  int num_tasks_ = 0;
+  int num_sources_ = 0;
+  int num_queues_ = 0;
+  int sources_per_worker_ = 1;
+  int64_t spill_threshold_bytes_ = 0;
+  std::vector<std::unique_ptr<Channel<Message>>> channels_;
+  std::vector<SimTime> queue_max_event_;
+  std::vector<int> queue_active_sources_;
+  uint64_t late_dropped_tuples_ = 0;
+  uint64_t checkpoints_started_ = 0;
+  int64_t snapshot_bytes_total_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<driver::Sut> MakeFlink(FlinkConfig config) {
+  return std::make_unique<FlinkSut>(config);
+}
+
+}  // namespace sdps::engines

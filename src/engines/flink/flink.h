@@ -1,0 +1,85 @@
+// Apache Flink 1.1 execution model (see DESIGN.md substitution table):
+//
+//  * tuple-at-a-time pipelined dataflow: source tasks pull from the driver
+//    queues, key-partition records, and stream them to window tasks through
+//    bounded channels (the credit-based network-buffer backpressure: a full
+//    buffer suspends the upstream task within a record);
+//  * incremental ("on-the-fly") sliding-window aggregation: each window
+//    keeps a running per-key aggregate, so the trigger only emits — there
+//    is no evaluation burst. Aggregates are NOT shared between overlapping
+//    sliding windows (the paper's Experiment 3 observation);
+//  * event-time watermarks generated at the sources; window tasks fire on
+//    the minimum watermark across sources;
+//  * windowed joins buffer both sides and evaluate a hash join at trigger
+//    time (Flink 1.1's window join semantics).
+#ifndef SDPS_ENGINES_FLINK_FLINK_H_
+#define SDPS_ENGINES_FLINK_FLINK_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/time_util.h"
+#include "driver/sut.h"
+#include "engine/query.h"
+
+namespace sdps::engines {
+
+struct FlinkConfig {
+  engine::QueryConfig query;
+
+  /// Window-operator instances per worker node (parallelism / worker).
+  int tasks_per_worker = 8;
+
+  // -- Per-logical-tuple CPU costs, in microseconds of one CPU slot -------
+  /// Source side: deserialize + timestamp + route.
+  double source_cost_us = 11.0;
+  /// Extra serde when a record leaves its worker (shuffle).
+  double remote_serde_cost_us = 5.0;
+  /// One incremental aggregate update (per window the tuple is in).
+  /// Pinned by Experiment 4: one slot sustains ~0.48 M tuples/s of
+  /// single-key updates over 2 overlapping windows -> ~1 us per update.
+  double agg_update_cost_us = 1.0;
+  /// Buffering one tuple into join window state.
+  double join_buffer_cost_us = 3.4;
+  /// One unit of hash-join work at trigger time.
+  double join_probe_cost_us = 4.0;
+  /// Emitting one output record (includes sink serialization).
+  double emit_cost_us = 25.0;
+
+  /// Watermark emission period at the sources.
+  SimTime watermark_interval = Millis(200);
+  /// Watermark lag behind the max seen event time: windows stay open this
+  /// long for out-of-order data; records later than this are dropped (the
+  /// paper's future-work trade-off between lateness tolerance and
+  /// latency).
+  SimTime allowed_lateness = 0;
+  /// Capacity (records) of an inter-task channel — Flink's network buffer
+  /// pool per channel; small buffers give tuple-granularity backpressure.
+  size_t channel_capacity = 128;
+  /// Transient allocation per tuple (drives GC pressure).
+  int64_t alloc_bytes_per_tuple = 60;
+  /// When a task's window state exceeds its share of node memory, Flink's
+  /// spillable state backend kicks in and each touch costs this factor
+  /// more CPU (the paper: built-in data structures that spill to disk).
+  double spill_slowdown = 3.0;
+
+  // -- Exactly-once checkpointing (the paper's future work: "trading
+  //    SUT's increased functionality, like exactly once processing ...
+  //    over better throughput/latency") --------------------------------
+  /// 0 disables checkpointing (the paper's measured configuration). When
+  /// positive, a coordinator injects a barrier every interval; each task
+  /// synchronously snapshots its window state (alignment is folded into
+  /// the snapshot stall — see flink.cc).
+  SimTime checkpoint_interval = 0;
+  /// CPU time to serialize one KB of task state into the snapshot.
+  double snapshot_cost_us_per_kb = 8.0;
+  /// Fixed per-task barrier alignment stall per checkpoint.
+  SimTime alignment_stall = Millis(30);
+};
+
+/// Builds the Flink SUT. The returned object must outlive the simulation.
+std::unique_ptr<driver::Sut> MakeFlink(FlinkConfig config);
+
+}  // namespace sdps::engines
+
+#endif  // SDPS_ENGINES_FLINK_FLINK_H_

@@ -1,0 +1,614 @@
+#include "engines/spark/spark.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "cluster/cluster.h"
+#include "common/check.h"
+#include "des/channel.h"
+#include "des/latch.h"
+#include "des/resource.h"
+#include "des/task.h"
+#include "engine/partition.h"
+#include "engine/rate_limiter.h"
+#include "engine/record.h"
+#include "engine/window_state.h"
+
+namespace sdps::engines {
+
+namespace {
+
+using des::Latch;
+using des::Task;
+using engine::Record;
+using engine::WindowKeyAgg;
+
+SimTime CostUs(double us) {
+  return std::max<SimTime>(0, static_cast<SimTime>(std::llround(us)));
+}
+
+double InterpolateOverhead(const std::vector<std::pair<int, double>>& table, int workers) {
+  SDPS_CHECK(!table.empty());
+  if (workers <= table.front().first) return table.front().second;
+  for (size_t i = 1; i < table.size(); ++i) {
+    if (workers <= table[i].first) {
+      const auto [x0, y0] = table[i - 1];
+      const auto [x1, y1] = table[i];
+      const double f = static_cast<double>(workers - x0) / static_cast<double>(x1 - x0);
+      return y0 + f * (y1 - y0);
+    }
+  }
+  return table.back().second;
+}
+
+/// Merge of two running aggregates (tree-aggregate combine step).
+void MergeAgg(WindowKeyAgg& into, const WindowKeyAgg& from) {
+  into.sum += from.sum;
+  into.weight += from.weight;
+  into.max_event_time = std::max(into.max_event_time, from.max_event_time);
+  into.max_ingest_time = std::max(into.max_ingest_time, from.max_ingest_time);
+}
+
+/// Serialized size of one shuffled partial-aggregate entry.
+constexpr int64_t kPartialWireBytes = 64;
+/// JVM-heap size of one partial-aggregate entry / one buffered raw tuple.
+constexpr int64_t kPartialHeapBytes = 96;
+constexpr int64_t kRawTupleHeapBytes = 160;
+/// A cached deserialized RDD row (MEMORY_ONLY java objects) is several
+/// times its wire size — this is what makes caching windowed results
+/// "consume the memory aggressively" (paper Experiment 3).
+constexpr int64_t kCachedRddBytesPerTuple = 400;
+
+struct SparkBlock {
+  std::vector<Record> records;
+  int home_worker = 0;
+  uint64_t tuples = 0;
+};
+
+struct MapOutput {
+  int home_worker = 0;
+  // Per reduce partition: combined partials (tree aggregate) or raw records.
+  std::vector<std::unordered_map<uint64_t, WindowKeyAgg>> combined;
+  std::vector<std::vector<Record>> raw;
+};
+
+struct SparkJob {
+  int64_t batch_index = 0;
+  SimTime created = 0;
+  std::vector<SparkBlock> blocks;
+  std::vector<MapOutput> map_outputs;
+  uint64_t tuples = 0;
+};
+
+/// One batch's contribution to a reduce partition.
+struct BatchPartial {
+  int64_t batch_index = 0;
+  std::unordered_map<uint64_t, WindowKeyAgg> aggs;  // aggregation query
+  std::vector<Record> purchases;                    // join query
+  std::vector<Record> ads;
+  uint64_t tuples = 0;
+  SimTime max_event_time = 0;
+  SimTime max_ingest_time = 0;
+};
+
+struct PartitionState {
+  std::deque<BatchPartial> history;          // newest at back
+  std::unordered_map<uint64_t, WindowKeyAgg> running;  // inverse-reduce mode
+  int64_t heap_bytes = 0;
+};
+
+class SparkSut : public driver::Sut {
+ public:
+  explicit SparkSut(SparkConfig config) : config_(config) {}
+
+  std::string name() const override { return "spark"; }
+
+  Status Start(const driver::SutContext& ctx) override {
+    const auto& w = config_.query.window;
+    if (w.range % config_.batch_interval != 0 || w.slide % config_.batch_interval != 0) {
+      return Status::InvalidArgument(
+          "spark: window range and slide must be multiples of the batch interval");
+    }
+    range_batches_ = w.range / config_.batch_interval;
+    slide_batches_ = w.slide / config_.batch_interval;
+
+    ctx_ = ctx;
+    cluster::Cluster& cluster = *ctx.cluster;
+    const int workers = cluster.num_workers();
+    overhead_ = InterpolateOverhead(config_.scaling_overhead, workers);
+    receiver_overhead_ = InterpolateOverhead(config_.receiver_scaling_overhead, workers);
+    num_receivers_ = static_cast<int>(ctx.queues.size());
+    num_reduce_ = workers * config_.reduce_tasks_per_worker;
+    partitions_.resize(static_cast<size_t>(num_reduce_));
+    block_manager_bytes_.assign(static_cast<size_t>(workers), 0);
+    current_blocks_.resize(static_cast<size_t>(num_receivers_));
+    receivers_done_ = 0;
+
+    for (int r = 0; r < num_receivers_; ++r) {
+      // Backpressure starts effectively uncapped: the first overrunning
+      // batch triggers the controller (the paper's Fig. 11: "Initially,
+      // Spark ingests more tuples than it can sustain").
+      // Modest burst: a throttled receiver must not coast on banked
+      // tokens (guava RateLimiter semantics).
+      limiters_.push_back(std::make_unique<engine::RateLimiter>(
+          *ctx.sim, 1e12, /*burst=*/5e4));
+    }
+    job_channel_ = std::make_unique<des::Channel<SparkJob*>>(*ctx.sim, 1024);
+
+    constexpr int kFetchersPerReceiver = 6;  // in-flight TCP segments
+    fetchers_left_.assign(static_cast<size_t>(num_receivers_), kFetchersPerReceiver);
+    for (int r = 0; r < num_receivers_; ++r) {
+      fetch_bufs_.push_back(std::make_unique<des::Channel<Record>>(*ctx.sim, 32));
+      receiver_cores_.push_back(std::make_unique<des::Resource>(*ctx.sim, 1));
+    }
+    for (int r = 0; r < num_receivers_; ++r) {
+      for (int f = 0; f < kFetchersPerReceiver; ++f) ctx.sim->Spawn(FetcherProcess(r));
+      ctx.sim->Spawn(ReceiverProcess(r));
+      ctx.sim->Spawn(BlockSealer(r));
+    }
+    ctx.sim->Spawn(JobTrigger());
+    ctx.sim->Spawn(JobRunner());
+    return Status::OK();
+  }
+
+  void Stop() override { job_channel_->Close(); }
+
+  void ExportSeries(std::map<std::string, driver::TimeSeries>* out) const override {
+    (*out)["scheduler_delay_s"] = scheduler_delay_series_;
+    (*out)["job_runtime_s"] = job_runtime_series_;
+    (*out)["receiver_rate_limit"] = rate_limit_series_;
+  }
+
+ private:
+  cluster::Node& WorkerOfReceiver(int r) {
+    return ctx_.cluster->worker(r % ctx_.cluster->num_workers());
+  }
+  cluster::Node& WorkerOfReduce(int r) {
+    return ctx_.cluster->worker(r % ctx_.cluster->num_workers());
+  }
+
+  double SpillFactor(const cluster::Node& worker) const {
+    const size_t idx = static_cast<size_t>(worker.id()) - 1 -
+                       static_cast<size_t>(ctx_.cluster->num_drivers());
+    const double budget =
+        config_.storage_fraction * static_cast<double>(config_.executor_heap_bytes);
+    return static_cast<double>(block_manager_bytes_[idx]) > budget
+               ? config_.spill_slowdown
+               : 1.0;
+  }
+  void SetPartitionHeap(int partition, int64_t bytes) {
+    PartitionState& st = partitions_[static_cast<size_t>(partition)];
+    const size_t widx =
+        static_cast<size_t>(partition) % static_cast<size_t>(ctx_.cluster->num_workers());
+    block_manager_bytes_[widx] += bytes - st.heap_bytes;
+    st.heap_bytes = bytes;
+  }
+
+  /// Network fetch pipeline: several in-flight TCP segments per receiver
+  /// connection, so transfer latency overlaps receiver CPU. The rate
+  /// limiter gates the pops: a throttled receiver leaves data in the
+  /// driver queue (the externally observable backpressure signal).
+  Task<> FetcherProcess(int r) {
+    cluster::Node& my_worker = WorkerOfReceiver(r);
+    cluster::Node& queue_node = ctx_.cluster->driver(r);
+    driver::DriverQueue& queue = *ctx_.queues[static_cast<size_t>(r)];
+    engine::RateLimiter& limiter = *limiters_[static_cast<size_t>(r)];
+    des::Channel<Record>& buf = *fetch_bufs_[static_cast<size_t>(r)];
+
+    // Tokens per record (the generator's batching weight) are learned from
+    // the first record; the initial rate limit is uncapped anyway.
+    double tokens_per_record = 0.0;
+    for (;;) {
+      if (tokens_per_record > 0) co_await limiter.Acquire(tokens_per_record);
+      auto rec = co_await queue.Pop();
+      if (!rec.has_value()) break;
+      tokens_per_record = static_cast<double>(rec->weight);
+      co_await ctx_.cluster->Send(queue_node, my_worker, engine::WireBytes(*rec));
+      rec->ingest_time = ctx_.sim->now();
+      if (!co_await buf.Send(*rec)) co_return;
+    }
+    if (--fetchers_left_[static_cast<size_t>(r)] == 0) buf.Close();
+  }
+
+  Task<> ReceiverProcess(int r) {
+    cluster::Node& my_worker = WorkerOfReceiver(r);
+    des::Channel<Record>& buf = *fetch_bufs_[static_cast<size_t>(r)];
+    // Spark receivers run as long-running tasks that permanently occupy
+    // one executor core — they do not queue behind batch tasks.
+    des::Resource& my_core = *receiver_cores_[static_cast<size_t>(r)];
+    for (;;) {
+      auto rec = co_await buf.Recv();
+      if (!rec.has_value()) break;
+      // Single-threaded receiver loop: this serial cost caps per-receiver
+      // ingest (Spark deployments scale by adding receivers). Contention
+      // with running batch tasks slows the pull while a job executes.
+      const double busy_frac =
+          static_cast<double>(my_worker.cpu().busy()) /
+          static_cast<double>(my_worker.cpu().servers());
+      co_await my_core.Use(
+          CostUs(config_.receiver_cost_us * receiver_overhead_ *
+                 (1.0 + config_.receiver_contention * busy_frac) * rec->weight));
+      my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec->weight);
+      SparkBlock& block = current_blocks_[static_cast<size_t>(r)];
+      block.home_worker = r % ctx_.cluster->num_workers();
+      block.records.push_back(*rec);
+      block.tuples += rec->weight;
+    }
+    ++receivers_done_;
+  }
+
+  Task<> BlockSealer(int r) {
+    for (;;) {
+      co_await des::Delay(*ctx_.sim, config_.block_interval);
+      SparkBlock& block = current_blocks_[static_cast<size_t>(r)];
+      if (!block.records.empty()) {
+        pending_blocks_.push_back(std::move(block));
+        block = SparkBlock{};
+      }
+      if (receivers_done_ == num_receivers_) co_return;
+    }
+  }
+
+  Task<> JobTrigger() {
+    for (;;) {
+      co_await des::Delay(*ctx_.sim, config_.batch_interval);
+      auto* job = new SparkJob;
+      job->batch_index = ++batch_index_;
+      job->created = ctx_.sim->now();
+      job->blocks = std::move(pending_blocks_);
+      pending_blocks_.clear();
+      for (const SparkBlock& b : job->blocks) job->tuples += b.tuples;
+      if (!co_await job_channel_->Send(job)) {
+        delete job;
+        co_return;
+      }
+    }
+  }
+
+  Task<> JobRunner() {
+    for (;;) {
+      auto job = co_await job_channel_->Recv();
+      if (!job.has_value()) co_return;
+      SparkJob* j = *job;
+      const SimTime delay = ctx_.sim->now() - j->created;
+      scheduler_delay_series_.Add(ctx_.sim->now(), ToSeconds(delay));
+      const SimTime start = ctx_.sim->now();
+      co_await ExecuteJob(*j);
+      const SimTime runtime = ctx_.sim->now() - start;
+      job_runtime_series_.Add(ctx_.sim->now(), ToSeconds(runtime));
+      UpdateRateController(j->tuples, runtime, delay);
+      delete j;
+    }
+  }
+
+  Task<> ExecuteJob(SparkJob& job) {
+    des::Simulator& sim = *ctx_.sim;
+    const int n_map = static_cast<int>(job.blocks.size());
+    // Serial task dispatch on the master (DAG scheduler).
+    co_await ctx_.cluster->master().cpu().Use(
+        CostUs(config_.task_dispatch_ms * 1000.0 * overhead_ *
+               static_cast<double>(n_map + num_reduce_)));
+
+    // -- Stage 1: map / combine / shuffle write (blocking stage) ------------
+    job.map_outputs.resize(static_cast<size_t>(n_map));
+    if (n_map > 0) {
+      Latch stage1(sim, n_map);
+      for (int i = 0; i < n_map; ++i) sim.Spawn(MapTask(job, i, stage1));
+      co_await stage1.Wait();
+    }
+
+    // -- Shuffle: one aggregated transfer per (map worker, reduce worker) --
+    const int workers = ctx_.cluster->num_workers();
+    std::vector<int64_t> bytes_matrix(static_cast<size_t>(workers * workers), 0);
+    for (const MapOutput& mo : job.map_outputs) {
+      for (int r = 0; r < num_reduce_; ++r) {
+        const int to = r % workers;
+        int64_t bytes = 0;
+        if (!mo.combined.empty()) {
+          bytes = static_cast<int64_t>(mo.combined[static_cast<size_t>(r)].size()) *
+                  kPartialWireBytes;
+        } else if (!mo.raw.empty()) {
+          for (const Record& rec : mo.raw[static_cast<size_t>(r)]) {
+            bytes += engine::WireBytes(rec);
+          }
+        }
+        bytes_matrix[static_cast<size_t>(mo.home_worker * workers + to)] += bytes;
+      }
+    }
+    int transfers = 0;
+    for (int f = 0; f < workers; ++f) {
+      for (int t = 0; t < workers; ++t) {
+        if (f != t && bytes_matrix[static_cast<size_t>(f * workers + t)] > 0) ++transfers;
+      }
+    }
+    if (transfers > 0) {
+      Latch shuffle(sim, transfers);
+      for (int f = 0; f < workers; ++f) {
+        for (int t = 0; t < workers; ++t) {
+          const int64_t bytes = bytes_matrix[static_cast<size_t>(f * workers + t)];
+          if (f == t || bytes == 0) continue;
+          sim.Spawn(ShuffleTransfer(f, t, bytes, shuffle));
+        }
+      }
+      co_await shuffle.Wait();
+    }
+
+    // -- Stage 2: reduce + window + output (blocking stage) -----------------
+    Latch stage2(sim, num_reduce_);
+    for (int r = 0; r < num_reduce_; ++r) sim.Spawn(ReduceTask(job, r, stage2));
+    co_await stage2.Wait();
+  }
+
+  Task<> MapTask(SparkJob& job, int i, Latch& done) {
+    SparkBlock& block = job.blocks[static_cast<size_t>(i)];
+    MapOutput& out = job.map_outputs[static_cast<size_t>(i)];
+    out.home_worker = block.home_worker;
+    cluster::Node& w = ctx_.cluster->worker(block.home_worker);
+    const double slow = SpillFactor(w);
+    const double map_cost = config_.query.kind == engine::QueryKind::kJoin
+                                ? config_.join_map_cost_us
+                                : config_.map_cost_us;
+    co_await w.cpu().Use(
+        CostUs(config_.task_overhead_ms * 1000.0 +
+               map_cost * overhead_ * slow * static_cast<double>(block.tuples)));
+    w.RecordAllocation(config_.alloc_bytes_per_tuple *
+                       static_cast<int64_t>(block.tuples));
+
+    const bool combine =
+        config_.tree_aggregate && config_.query.kind == engine::QueryKind::kAggregation;
+    if (combine) {
+      out.combined.resize(static_cast<size_t>(num_reduce_));
+      for (const Record& rec : block.records) {
+        out.combined[static_cast<size_t>(engine::PartitionForKey(rec.key, num_reduce_))]
+                    [rec.key]
+                        .Merge(rec);
+      }
+    } else {
+      out.raw.resize(static_cast<size_t>(num_reduce_));
+      for (const Record& rec : block.records) {
+        out.raw[static_cast<size_t>(engine::PartitionForKey(rec.key, num_reduce_))]
+            .push_back(rec);
+      }
+    }
+    block.records.clear();
+    done.CountDown();
+  }
+
+  Task<> ShuffleTransfer(int from, int to, int64_t bytes, Latch& done) {
+    co_await ctx_.cluster->Send(ctx_.cluster->worker(from), ctx_.cluster->worker(to),
+                                bytes);
+    done.CountDown();
+  }
+
+  Task<> ReduceTask(SparkJob& job, int r, Latch& done) {
+    cluster::Node& w = WorkerOfReduce(r);
+    PartitionState& st = partitions_[static_cast<size_t>(r)];
+    const double slow = SpillFactor(w);
+
+    // Merge this batch's inputs into a new partial.
+    BatchPartial partial;
+    partial.batch_index = job.batch_index;
+    uint64_t merged_entries = 0;
+    for (const MapOutput& mo : job.map_outputs) {
+      if (!mo.combined.empty()) {
+        for (const auto& [key, agg] : mo.combined[static_cast<size_t>(r)]) {
+          MergeAgg(partial.aggs[key], agg);
+          ++merged_entries;
+          partial.tuples += agg.weight;
+          partial.max_event_time = std::max(partial.max_event_time, agg.max_event_time);
+          partial.max_ingest_time =
+              std::max(partial.max_ingest_time, agg.max_ingest_time);
+        }
+      } else if (!mo.raw.empty()) {
+        for (const Record& rec : mo.raw[static_cast<size_t>(r)]) {
+          if (config_.query.kind == engine::QueryKind::kAggregation) {
+            partial.aggs[rec.key].Merge(rec);
+          } else if (rec.stream == engine::StreamId::kPurchases) {
+            partial.purchases.push_back(rec);
+          } else {
+            partial.ads.push_back(rec);
+          }
+          partial.tuples += rec.weight;
+          partial.max_event_time = std::max(partial.max_event_time, rec.event_time);
+          partial.max_ingest_time = std::max(partial.max_ingest_time, rec.ingest_time);
+        }
+      }
+    }
+    const double merge_cost =
+        (config_.tree_aggregate && config_.query.kind == engine::QueryKind::kAggregation)
+            ? config_.reduce_entry_cost_us * static_cast<double>(merged_entries)
+            : config_.reduce_tuple_cost_us * static_cast<double>(partial.tuples);
+    co_await w.cpu().Use(CostUs(config_.task_overhead_ms * 1000.0 +
+                                merge_cost * overhead_ * slow));
+
+    // Inverse-reduce: fold into the running window aggregate.
+    if (config_.inverse_reduce && config_.query.kind == engine::QueryKind::kAggregation) {
+      for (const auto& [key, agg] : partial.aggs) MergeAgg(st.running[key], agg);
+    }
+    st.history.push_back(std::move(partial));
+
+    // Evict batches that fell out of the window.
+    while (static_cast<int64_t>(st.history.size()) > range_batches_) {
+      BatchPartial& old = st.history.front();
+      if (config_.inverse_reduce &&
+          config_.query.kind == engine::QueryKind::kAggregation) {
+        // Subtract the evicted batch (the paper's "Inverse Reduce
+        // Function" fix for Experiment 3). Max-timestamps stay correct
+        // because event-time grows with batch index.
+        co_await w.cpu().Use(CostUs(config_.reduce_entry_cost_us * overhead_ *
+                                    static_cast<double>(old.aggs.size())));
+        for (const auto& [key, agg] : old.aggs) {
+          auto it = st.running.find(key);
+          if (it == st.running.end()) continue;
+          it->second.sum -= agg.sum;
+          it->second.weight -= agg.weight;
+          if (it->second.weight == 0) st.running.erase(it);
+        }
+      }
+      st.history.pop_front();
+    }
+
+    // Block-manager accounting for this partition's retained state.
+    int64_t heap = 0;
+    for (const BatchPartial& p : st.history) {
+      heap += static_cast<int64_t>(p.aggs.size()) * kPartialHeapBytes;
+      heap += static_cast<int64_t>(p.purchases.size() + p.ads.size()) *
+              kRawTupleHeapBytes;
+      if (config_.cache_window && !config_.inverse_reduce) {
+        // Caching windowed results retains the raw window tuples as
+        // deserialized java objects.
+        heap += static_cast<int64_t>(p.tuples) * kCachedRddBytesPerTuple;
+      }
+    }
+    heap += static_cast<int64_t>(st.running.size()) * kPartialHeapBytes;
+    SetPartitionHeap(r, heap);
+
+    // Window evaluation at slide boundaries. Spark Streaming computes
+    // windows from the batches available so far, so start-up windows are
+    // partial rather than skipped.
+    if (job.batch_index % slide_batches_ == 0) {
+      if (config_.query.kind == engine::QueryKind::kAggregation) {
+        co_await EvaluateAggWindow(w, st, slow);
+      } else {
+        co_await EvaluateJoinWindow(w, st, slow);
+      }
+    }
+    done.CountDown();
+  }
+
+  Task<> EvaluateAggWindow(cluster::Node& w, PartitionState& st, double slow) {
+    std::vector<engine::OutputRecord> outs;
+    double eval_cost_us = 0;
+    if (config_.inverse_reduce) {
+      // Running aggregate is already current; only emission work remains.
+      eval_cost_us = config_.reduce_entry_cost_us * static_cast<double>(st.running.size());
+      outs.reserve(st.running.size());
+      for (const auto& [key, agg] : st.running) {
+        if (agg.weight == 0) continue;
+        outs.push_back({agg.max_event_time, agg.max_ingest_time, key, agg.sum, 1});
+      }
+    } else {
+      std::unordered_map<uint64_t, WindowKeyAgg> window;
+      uint64_t entries = 0;
+      uint64_t window_tuples = 0;
+      for (const BatchPartial& p : st.history) {
+        for (const auto& [key, agg] : p.aggs) MergeAgg(window[key], agg);
+        entries += p.aggs.size();
+        window_tuples += p.tuples;
+      }
+      if (config_.cache_window) {
+        // Combine cached per-batch partials.
+        eval_cost_us = config_.reduce_entry_cost_us * static_cast<double>(entries);
+      } else {
+        // No cache: re-aggregate the window's raw tuples on every slide
+        // ("we experienced the performance decreased due to the repeated
+        // computation").
+        eval_cost_us =
+            config_.reduce_tuple_cost_us * static_cast<double>(window_tuples);
+      }
+      outs.reserve(window.size());
+      for (const auto& [key, agg] : window) {
+        outs.push_back({agg.max_event_time, agg.max_ingest_time, key, agg.sum, 1});
+      }
+    }
+    co_await w.cpu().Use(CostUs(eval_cost_us * overhead_ * slow));
+    if (!outs.empty()) co_await EmitOutputs(w, outs);
+  }
+
+  Task<> EvaluateJoinWindow(cluster::Node& w, PartitionState& st, double slow) {
+    // Build on ads, probe with purchases, across the window's batches.
+    std::unordered_map<uint64_t, std::vector<const Record*>> build;
+    uint64_t window_tuples = 0;
+    SimTime max_event = 0, max_ingest = 0;
+    for (const BatchPartial& p : st.history) {
+      for (const Record& ad : p.ads) {
+        build[ad.key].push_back(&ad);
+        window_tuples += ad.weight;
+      }
+      max_event = std::max(max_event, p.max_event_time);
+      max_ingest = std::max(max_ingest, p.max_ingest_time);
+    }
+    std::vector<engine::OutputRecord> outs;
+    for (const BatchPartial& p : st.history) {
+      for (const Record& rec : p.purchases) {
+        window_tuples += rec.weight;
+        const auto it = build.find(rec.key);
+        if (it == build.end()) continue;
+        for (size_t m = 0; m < it->second.size(); ++m) {
+          outs.push_back({max_event, max_ingest, rec.key, rec.value, rec.weight});
+        }
+      }
+    }
+    co_await w.cpu().Use(CostUs(config_.join_tuple_cost_us * overhead_ * slow *
+                                static_cast<double>(window_tuples)));
+    if (!outs.empty()) co_await EmitOutputs(w, outs);
+  }
+
+  Task<> EmitOutputs(cluster::Node& from, const std::vector<engine::OutputRecord>& outs) {
+    co_await from.cpu().Use(
+        CostUs(config_.emit_cost_us * static_cast<double>(outs.size())));
+    int64_t bytes = 0;
+    for (const auto& out : outs) bytes += engine::WireBytes(out);
+    co_await ctx_.cluster->Send(from, ctx_.cluster->driver(0), bytes);
+    for (const auto& out : outs) ctx_.sink->Emit(out);
+  }
+
+  void UpdateRateController(uint64_t tuples, SimTime runtime, SimTime sched_delay) {
+    if (tuples == 0) return;
+    const double processing_rate =
+        static_cast<double>(tuples) / std::max(ToSeconds(runtime), 1e-3);
+    if (runtime > config_.batch_interval || sched_delay > config_.batch_interval) {
+      // Spark's PIDRateEstimator folds the scheduling delay into its error
+      // term: a growing job queue must throttle ingest below the observed
+      // processing rate until the queue drains, or queued mini-batch jobs
+      // "increase over time and the system will not be able to sustain
+      // the throughput" (paper, Experiment 2 discussion).
+      const double batch_s = ToSeconds(config_.batch_interval);
+      const double queue_penalty = batch_s / (batch_s + ToSeconds(sched_delay));
+      rate_limit_ = processing_rate * config_.backpressure_headroom * queue_penalty;
+    } else if (rate_limit_ < 1e11) {
+      rate_limit_ = std::min(rate_limit_ * config_.rate_ramp_up, 1e12);
+    }
+    const double per_receiver =
+        std::max(1000.0, rate_limit_ / static_cast<double>(num_receivers_));
+    for (auto& limiter : limiters_) limiter->SetRate(per_receiver);
+    rate_limit_series_.Add(ctx_.sim->now(), rate_limit_);
+  }
+
+  SparkConfig config_;
+  driver::SutContext ctx_;
+  double overhead_ = 1.0;
+  double receiver_overhead_ = 1.0;
+  int num_receivers_ = 0;
+  int num_reduce_ = 0;
+  int64_t range_batches_ = 0;
+  int64_t slide_batches_ = 0;
+  int64_t batch_index_ = 0;
+  int receivers_done_ = 0;
+  double rate_limit_ = 1e12;
+
+  std::vector<std::unique_ptr<engine::RateLimiter>> limiters_;
+  std::vector<std::unique_ptr<des::Channel<Record>>> fetch_bufs_;
+  std::vector<std::unique_ptr<des::Resource>> receiver_cores_;
+  std::vector<int> fetchers_left_;
+  std::vector<SparkBlock> current_blocks_;
+  std::vector<SparkBlock> pending_blocks_;
+  std::unique_ptr<des::Channel<SparkJob*>> job_channel_;
+  std::vector<PartitionState> partitions_;
+  std::vector<int64_t> block_manager_bytes_;
+
+  driver::TimeSeries scheduler_delay_series_;
+  driver::TimeSeries job_runtime_series_;
+  driver::TimeSeries rate_limit_series_;
+};
+
+}  // namespace
+
+std::unique_ptr<driver::Sut> MakeSpark(SparkConfig config) {
+  return std::make_unique<SparkSut>(config);
+}
+
+}  // namespace sdps::engines

@@ -1,0 +1,325 @@
+#include "engines/storm/storm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "cluster/cluster.h"
+#include "common/check.h"
+#include "common/strings.h"
+#include "des/channel.h"
+#include "des/task.h"
+#include "engine/partition.h"
+#include "engine/record.h"
+#include "engine/watermark.h"
+#include "engine/window_state.h"
+
+namespace sdps::engines {
+
+namespace {
+
+using des::Channel;
+using des::Task;
+using engine::Message;
+using engine::Record;
+
+constexpr SimTime kFinalWatermark = std::numeric_limits<SimTime>::max() / 4;
+
+SimTime CostUs(double us) {
+  return std::max<SimTime>(0, static_cast<SimTime>(std::llround(us)));
+}
+
+double InterpolateOverhead(const std::vector<std::pair<int, double>>& table, int workers) {
+  SDPS_CHECK(!table.empty());
+  if (workers <= table.front().first) return table.front().second;
+  for (size_t i = 1; i < table.size(); ++i) {
+    if (workers <= table[i].first) {
+      const auto [x0, y0] = table[i - 1];
+      const auto [x1, y1] = table[i];
+      const double f = static_cast<double>(workers - x0) / static_cast<double>(x1 - x0);
+      return y0 + f * (y1 - y0);
+    }
+  }
+  return table.back().second;
+}
+
+class StormSut : public driver::Sut {
+ public:
+  explicit StormSut(StormConfig config) : config_(config) {}
+
+  std::string name() const override { return "storm"; }
+
+  Status Start(const driver::SutContext& ctx) override {
+    ctx_ = ctx;
+    cluster::Cluster& cluster = *ctx.cluster;
+    const int workers = cluster.num_workers();
+    overhead_ = InterpolateOverhead(config_.scaling_overhead, workers);
+    num_bolts_ = workers * config_.bolts_per_worker;
+    num_queues_ = static_cast<int>(ctx.queues.size());
+    SDPS_CHECK_GT(num_queues_, 0);
+    spouts_per_worker_ = cluster.worker(0).config().cpu_slots;
+    num_spouts_ = workers * spouts_per_worker_;
+
+    for (int b = 0; b < num_bolts_; ++b) {
+      channels_.push_back(
+          std::make_unique<Channel<Message>>(*ctx.sim, config_.channel_capacity));
+    }
+    heap_used_.assign(static_cast<size_t>(workers), 0);
+
+    queue_max_event_.assign(static_cast<size_t>(num_queues_), engine::kNoWatermark);
+    queue_active_spouts_.assign(static_cast<size_t>(num_queues_), 0);
+    for (int s = 0; s < num_spouts_; ++s) {
+      ++queue_active_spouts_[static_cast<size_t>(QueueOfSpout(s))];
+    }
+
+    for (int s = 0; s < num_spouts_; ++s) ctx.sim->Spawn(SpoutProcess(s));
+    for (int q = 0; q < num_queues_; ++q) ctx.sim->Spawn(WatermarkProcess(q));
+    for (int b = 0; b < num_bolts_; ++b) ctx.sim->Spawn(BoltProcess(b));
+    if (config_.enable_backpressure) ctx.sim->Spawn(ThrottleMonitor());
+    return Status::OK();
+  }
+
+  void Stop() override {
+    for (auto& ch : channels_) ch->Close();
+  }
+
+ private:
+  cluster::Node& WorkerOfSpout(int s) {
+    return ctx_.cluster->worker(s / spouts_per_worker_);
+  }
+  cluster::Node& WorkerOfBolt(int b) {
+    return ctx_.cluster->worker(b % ctx_.cluster->num_workers());
+  }
+  int QueueOfSpout(int s) const { return (s / spouts_per_worker_) % num_queues_; }
+
+  /// Tracks the JVM heap of the Storm worker on `node`; OOMs the topology
+  /// when window state outgrows the configured heap.
+  bool ChargeHeap(const cluster::Node& node, int64_t delta_bytes) {
+    int64_t& used = heap_used_[WorkerIndex(node)];
+    used += delta_bytes;
+    if (used > config_.worker_heap_bytes) {
+      ctx_.report_failure(Status::ResourceExhausted(StrFormat(
+          "storm: worker heap exhausted on %s (%lld bytes of window state; "
+          "java.lang.OutOfMemoryError)",
+          node.name().c_str(), static_cast<long long>(used))));
+      return false;
+    }
+    return true;
+  }
+  size_t WorkerIndex(const cluster::Node& node) const {
+    return static_cast<size_t>(node.id()) - 1 -
+           static_cast<size_t>(ctx_.cluster->num_drivers());
+  }
+
+  Task<> SpoutProcess(int s) {
+    cluster::Node& my_worker = WorkerOfSpout(s);
+    const int queue_idx = QueueOfSpout(s);
+    cluster::Node& queue_node = ctx_.cluster->driver(queue_idx);
+    driver::DriverQueue& queue = *ctx_.queues[static_cast<size_t>(queue_idx)];
+    SimTime& queue_max_event = queue_max_event_[static_cast<size_t>(queue_idx)];
+    int consecutive_drops = 0;
+
+    for (;;) {
+      // Topology-wide bang-bang throttle: spouts stop emitting entirely.
+      while (throttled_) co_await des::Delay(*ctx_.sim, config_.throttle_poll);
+
+      auto rec = co_await queue.Pop();
+      if (!rec.has_value()) break;
+      co_await ctx_.cluster->Send(queue_node, my_worker, engine::WireBytes(*rec));
+      rec->ingest_time = ctx_.sim->now();
+      co_await my_worker.cpu().Use(
+          CostUs(config_.spout_cost_us * overhead_ * rec->weight));
+      // At-least-once ack bookkeeping (acker executor colocated with the
+      // spout's worker; acker network traffic folded into the CPU charge).
+      co_await my_worker.cpu().Use(
+          CostUs(config_.ack_cost_us * overhead_ * rec->weight));
+      my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec->weight);
+
+      if (rec->event_time > queue_max_event) queue_max_event = rec->event_time;
+
+      if (config_.query.kind == engine::QueryKind::kJoin &&
+          rec->stream == engine::StreamId::kAds) {
+        // Naive join: the ads stream is broadcast to every bolt (each bolt
+        // keeps a full ads copy and matches its purchase partition).
+        for (int w = 0; w < ctx_.cluster->num_workers(); ++w) {
+          cluster::Node& target = ctx_.cluster->worker(w);
+          if (target.id() == my_worker.id()) continue;
+          co_await my_worker.cpu().Use(
+              CostUs(config_.remote_serde_cost_us * overhead_ * rec->weight));
+          co_await ctx_.cluster->Send(my_worker, target, engine::WireBytes(*rec));
+        }
+        for (auto& bolt_ch : channels_) {
+          if (!co_await bolt_ch->Send(Message::MakeRecord(*rec))) co_return;
+        }
+        continue;
+      }
+
+      const int b = engine::PartitionForKey(rec->key, num_bolts_);
+      cluster::Node& target = WorkerOfBolt(b);
+      if (target.id() != my_worker.id()) {
+        co_await my_worker.cpu().Use(
+            CostUs(config_.remote_serde_cost_us * overhead_ * rec->weight));
+        co_await ctx_.cluster->Send(my_worker, target, engine::WireBytes(*rec));
+      }
+
+      Channel<Message>& ch = *channels_[static_cast<size_t>(b)];
+      if (config_.enable_backpressure) {
+        if (!co_await ch.Send(Message::MakeRecord(*rec))) co_return;
+      } else {
+        // No flow control: a full receive queue drops the tuple; sustained
+        // overflow drops the ingest connection (a failed run, Sec. VI-A).
+        if (ch.TrySend(Message::MakeRecord(*rec))) {
+          consecutive_drops = 0;
+        } else if (++consecutive_drops >= config_.drop_limit) {
+          ctx_.report_failure(Status::Aborted(
+              "storm: dropped connection to the data generator queue "
+              "(receive queues overflowed with backpressure disabled)"));
+          co_return;
+        }
+      }
+    }
+    --queue_active_spouts_[static_cast<size_t>(queue_idx)];
+  }
+
+  Task<> WatermarkProcess(int q) {
+    SimTime last_sent = engine::kNoWatermark;
+    for (;;) {
+      co_await des::Delay(*ctx_.sim, config_.watermark_interval);
+      if (queue_active_spouts_[static_cast<size_t>(q)] == 0) {
+        co_await Broadcast(Message::MakeWatermark(q, kFinalWatermark));
+        co_return;
+      }
+      const SimTime wm = queue_max_event_[static_cast<size_t>(q)];
+      if (wm == engine::kNoWatermark || wm == last_sent) continue;
+      last_sent = wm;
+      co_await Broadcast(Message::MakeWatermark(q, wm));
+    }
+  }
+
+  Task<> Broadcast(Message msg) {
+    for (auto& ch : channels_) {
+      if (!co_await ch->Send(msg)) co_return;
+    }
+  }
+
+  Task<> ThrottleMonitor() {
+    for (;;) {
+      co_await des::Delay(*ctx_.sim, config_.throttle_poll);
+      double max_fill = 0;
+      for (const auto& ch : channels_) {
+        max_fill = std::max(max_fill, static_cast<double>(ch->size()) /
+                                          static_cast<double>(ch->capacity()));
+      }
+      if (!throttled_ && max_fill > config_.throttle_high) throttled_ = true;
+      if (throttled_ && max_fill < config_.throttle_low) throttled_ = false;
+    }
+  }
+
+  Task<> BoltProcess(int b) {
+    if (config_.query.kind == engine::QueryKind::kAggregation) {
+      co_await AggBolt(b);
+    } else {
+      co_await JoinBolt(b);
+    }
+  }
+
+  Task<> AggBolt(int b) {
+    cluster::Node& my_worker = WorkerOfBolt(b);
+    engine::WindowAssigner assigner(config_.query.window);
+    engine::BufferedWindowState state(assigner);
+    engine::WatermarkTracker tracker(num_queues_);
+    Channel<Message>& in = *channels_[static_cast<size_t>(b)];
+    int64_t last_state_bytes = 0;
+
+    for (;;) {
+      auto msg = co_await in.Recv();
+      if (!msg.has_value()) break;
+      if (msg->kind == Message::Kind::kRecord) {
+        const Record& rec = msg->record;
+        const engine::AddResult added = state.Add(rec);
+        co_await my_worker.cpu().Use(CostUs(config_.buffer_add_cost_us * overhead_ *
+                                            rec.weight * added.window_updates));
+        my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec.weight);
+        if (!ChargeHeap(my_worker, state.state_bytes() - last_state_bytes)) co_return;
+        last_state_bytes = state.state_bytes();
+      } else if (tracker.Update(msg->origin, msg->watermark)) {
+        auto fired = state.FireUpTo(tracker.current());
+        if (fired.tuples_scanned > 0) {
+          // The bulk re-aggregation burst at trigger time.
+          co_await my_worker.cpu().Use(CostUs(config_.scan_cost_us * overhead_ *
+                                              static_cast<double>(fired.tuples_scanned)));
+        }
+        ChargeHeap(my_worker, state.state_bytes() - last_state_bytes);
+        last_state_bytes = state.state_bytes();
+        if (!fired.outputs.empty()) co_await EmitOutputs(my_worker, fired.outputs);
+      }
+    }
+  }
+
+  /// The hand-rolled naive join: SpoutProcess broadcasts the ads stream to
+  /// every bolt and hash-partitions the purchases; evaluation is a nested
+  /// loop over the window at trigger time.
+  Task<> JoinBolt(int b) {
+    cluster::Node& my_worker = WorkerOfBolt(b);
+    engine::WindowAssigner assigner(config_.query.window);
+    engine::JoinWindowState state(assigner);
+    engine::WatermarkTracker tracker(num_queues_);
+    Channel<Message>& in = *channels_[static_cast<size_t>(b)];
+    int64_t last_state_bytes = 0;
+
+    for (;;) {
+      auto msg = co_await in.Recv();
+      if (!msg.has_value()) break;
+      if (msg->kind == Message::Kind::kRecord) {
+        const Record& rec = msg->record;
+        const engine::AddResult added = state.Add(rec);
+        co_await my_worker.cpu().Use(CostUs(config_.buffer_add_cost_us * overhead_ *
+                                            rec.weight * added.window_updates));
+        my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec.weight);
+        if (!ChargeHeap(my_worker, state.state_bytes() - last_state_bytes)) co_return;
+        last_state_bytes = state.state_bytes();
+      } else if (tracker.Update(msg->origin, msg->watermark)) {
+        auto fired = state.FireUpTo(tracker.current());
+        if (fired.naive_pairs > 0) {
+          co_await my_worker.cpu().Use(CostUs(config_.naive_pair_cost_ns * 1e-3 *
+                                              static_cast<double>(fired.naive_pairs)));
+        }
+        ChargeHeap(my_worker, state.state_bytes() - last_state_bytes);
+        last_state_bytes = state.state_bytes();
+        if (!fired.outputs.empty()) co_await EmitOutputs(my_worker, fired.outputs);
+      }
+    }
+  }
+
+  Task<> EmitOutputs(cluster::Node& from, const std::vector<engine::OutputRecord>& outs) {
+    co_await from.cpu().Use(
+        CostUs(config_.emit_cost_us * overhead_ * static_cast<double>(outs.size())));
+    int64_t bytes = 0;
+    for (const auto& out : outs) bytes += engine::WireBytes(out);
+    cluster::Node& sink_node = ctx_.cluster->driver(0);
+    co_await ctx_.cluster->Send(from, sink_node, bytes);
+    for (const auto& out : outs) ctx_.sink->Emit(out);
+  }
+
+  StormConfig config_;
+  driver::SutContext ctx_;
+  double overhead_ = 1.0;
+  int num_bolts_ = 0;
+  int num_spouts_ = 0;
+  int num_queues_ = 0;
+  int spouts_per_worker_ = 1;
+  bool throttled_ = false;
+  std::vector<std::unique_ptr<Channel<Message>>> channels_;
+  std::vector<int64_t> heap_used_;
+  std::vector<SimTime> queue_max_event_;
+  std::vector<int> queue_active_spouts_;
+};
+
+}  // namespace
+
+std::unique_ptr<driver::Sut> MakeStorm(StormConfig config) {
+  return std::make_unique<StormSut>(config);
+}
+
+}  // namespace sdps::engines

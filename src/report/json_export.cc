@@ -1,0 +1,102 @@
+#include "report/json_export.h"
+
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace sdps::report {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendSeries(std::string* out, const std::string& name,
+                  const driver::TimeSeries& series, SimTime bucket, bool* first) {
+  if (!*first) *out += ",";
+  *first = false;
+  *out += "\"" + JsonEscape(name) + "\":[";
+  const driver::TimeSeries down = bucket > 0 ? series.Downsample(bucket) : series;
+  bool first_sample = true;
+  for (const auto& s : down.samples()) {
+    if (!first_sample) *out += ",";
+    first_sample = false;
+    *out += StrFormat("[%.3f,%.6g]", ToSeconds(s.time), s.value);
+  }
+  *out += "]";
+}
+
+void AppendLatency(std::string* out, const std::string& name,
+                   const driver::Histogram& h) {
+  const auto s = h.Summarize();
+  *out += StrFormat(
+      "\"%s\":{\"count\":%llu,\"avg_s\":%.6g,\"min_s\":%.6g,\"max_s\":%.6g,"
+      "\"p90_s\":%.6g,\"p95_s\":%.6g,\"p99_s\":%.6g}",
+      name.c_str(), static_cast<unsigned long long>(s.count), s.avg_s, s.min_s,
+      s.max_s, s.p90_s, s.p95_s, s.p99_s);
+}
+
+}  // namespace
+
+std::string ExperimentResultToJson(const driver::ExperimentResult& result,
+                                   SimTime series_bucket) {
+  std::string out = "{";
+  out += StrFormat("\"sustainable\":%s,", result.sustainable ? "true" : "false");
+  out += "\"verdict\":\"" + JsonEscape(result.verdict) + "\",";
+  out += "\"failure\":\"" + JsonEscape(result.failure.ToString()) + "\",";
+  out += StrFormat("\"offered_rate\":%.6g,", result.offered_rate);
+  out += StrFormat("\"mean_ingest_rate\":%.6g,", result.mean_ingest_rate);
+  out += StrFormat("\"output_records\":%llu,",
+                   static_cast<unsigned long long>(result.output_records));
+  AppendLatency(&out, "event_latency", result.event_latency);
+  out += ",";
+  AppendLatency(&out, "processing_latency", result.processing_latency);
+  if (series_bucket > 0) {
+    out += ",\"series\":{";
+    bool first = true;
+    AppendSeries(&out, "event_latency_s", result.event_latency_series, series_bucket,
+                 &first);
+    AppendSeries(&out, "processing_latency_s", result.processing_latency_series,
+                 series_bucket, &first);
+    AppendSeries(&out, "ingest_tuples_per_s", result.ingest_rate_series, series_bucket,
+                 &first);
+    AppendSeries(&out, "backlog_tuples", result.backlog_series, series_bucket, &first);
+    for (const auto& [name, series] : result.engine_series) {
+      AppendSeries(&out, name, series, series_bucket, &first);
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+Status WriteExperimentJson(const std::string& path,
+                           const driver::ExperimentResult& result,
+                           SimTime series_bucket) {
+  std::ofstream f(path, std::ios::out | std::ios::trunc);
+  if (!f.is_open()) return Status::NotFound("cannot open for writing: " + path);
+  f << ExperimentResultToJson(result, series_bucket) << "\n";
+  f.close();
+  if (f.fail()) return Status::Internal("error writing " + path);
+  return Status::OK();
+}
+
+}  // namespace sdps::report

@@ -1,0 +1,31 @@
+// JSON export of experiment results, for plotting pipelines and regression
+// tracking outside this repository. The writer emits a small, stable
+// schema: scalar summary fields, latency summaries, and (optionally
+// downsampled) series.
+#ifndef SDPS_REPORT_JSON_EXPORT_H_
+#define SDPS_REPORT_JSON_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "driver/experiment.h"
+
+namespace sdps::report {
+
+/// Serializes an ExperimentResult to a JSON string.
+/// `series_bucket` > 0 downsamples every series to that bucket width;
+/// 0 drops the series (summary-only export).
+std::string ExperimentResultToJson(const driver::ExperimentResult& result,
+                                   SimTime series_bucket = Seconds(1));
+
+/// Writes the JSON to `path`.
+Status WriteExperimentJson(const std::string& path,
+                           const driver::ExperimentResult& result,
+                           SimTime series_bucket = Seconds(1));
+
+/// Escapes a string for embedding in JSON (quotes added by the caller).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace sdps::report
+
+#endif  // SDPS_REPORT_JSON_EXPORT_H_

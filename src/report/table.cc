@@ -1,0 +1,68 @@
+#include "report/table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace sdps::report {
+
+void Table::AddRow(std::vector<std::string> row) {
+  SDPS_CHECK_EQ(row.size(), headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (const size_t w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep + render_row(headers_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string FormatLatencyRow(const driver::Histogram::Summary& s) {
+  return StrFormat("%.2f %.3f %.1f (%.1f, %.1f, %.1f)", s.avg_s, s.min_s, s.max_s,
+                   s.p90_s, s.p95_s, s.p99_s);
+}
+
+bool ShapeCheck::Pass() const {
+  if (paper_value == 0) return measured_value == 0;
+  const double ratio = measured_value / paper_value;
+  return ratio >= tolerance_factor && ratio <= 1.0 / tolerance_factor;
+}
+
+std::string ShapeCheck::ToString() const {
+  return StrFormat("[%s] %-52s paper=%-10.3g measured=%-10.3g ratio=%.2f",
+                   Pass() ? "PASS" : "WARN", name.c_str(), paper_value, measured_value,
+                   paper_value != 0 ? measured_value / paper_value : 0.0);
+}
+
+std::string RenderChecks(const std::vector<ShapeCheck>& checks) {
+  std::string out;
+  int pass = 0;
+  for (const auto& c : checks) {
+    out += c.ToString() + "\n";
+    if (c.Pass()) ++pass;
+  }
+  out += StrFormat("shape checks: %d/%zu within tolerance\n", pass, checks.size());
+  return out;
+}
+
+}  // namespace sdps::report

@@ -1,0 +1,48 @@
+// ASCII table rendering in the paper's layout, plus paper-vs-measured
+// shape checks recorded by the bench harness into EXPERIMENTS.md.
+#ifndef SDPS_REPORT_TABLE_H_
+#define SDPS_REPORT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "driver/histogram.h"
+
+namespace sdps::report {
+
+/// Column-aligned plain-text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row);
+
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a latency summary like the paper's Table II cells:
+/// "avg min max (p90, p95, p99)", all in seconds.
+std::string FormatLatencyRow(const driver::Histogram::Summary& s);
+
+/// One paper-vs-measured comparison line.
+struct ShapeCheck {
+  std::string name;
+  double paper_value = 0;
+  double measured_value = 0;
+  /// Accepted relative band, e.g. 0.5 means measured within [0.5x, 2x].
+  double tolerance_factor = 0.5;
+
+  bool Pass() const;
+  std::string ToString() const;
+};
+
+/// Renders the checks and a PASS/FAIL tally.
+std::string RenderChecks(const std::vector<ShapeCheck>& checks);
+
+}  // namespace sdps::report
+
+#endif  // SDPS_REPORT_TABLE_H_

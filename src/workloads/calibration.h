@@ -1,0 +1,63 @@
+// Calibration constants: every number here is tuned against a specific
+// observation in the paper, and only the SHAPE of results (who wins, by
+// what rough factor, where crossovers fall) is the reproduction target.
+//
+// The three engine models are mechanistic (CPU slots, bounded buffers,
+// batch scheduling, bandwidth-limited links); these constants set the
+// per-tuple costs so that the emergent sustainable throughputs land near
+// Table I / Table III:
+//
+//   Table I (windowed aggregation, M tuples/s):
+//                2-node  4-node  8-node
+//     Storm       0.40    0.69    0.99
+//     Spark       0.38    0.64    0.91
+//     Flink       1.20    1.20    1.20   (network-bound at >= 4 nodes)
+//
+//   Table III (windowed join, M tuples/s):
+//     Spark       0.36    0.63    0.94
+//     Flink       0.85    1.12    1.19
+//
+// Derivations (per-node budget = 16 slots; drivers == workers):
+//  * Flink 2-node CPU bound: total per-tuple slot cost must be
+//    ~32 slots / 1.25 M/s ≈ 26 us; split across source (11), shuffle serde
+//    (5 x ~50% remote), window update (3.2 x 2 overlapping windows).
+//  * The inter-rack trunk (120 MB/s per direction, cluster.h) caps ingest
+//    at 120e6/100B = 1.2 M tuples/s — Flink's 4-/8-node ceiling.
+//  * Storm 2-node: ~32/0.4 M/s = 80 us per tuple: spout 34 + ack 10 +
+//    serde 8 x ~50% + buffered-window add 9 x 2 windows + scan 2.6 x 2.
+//    The sublinear 4-/8-node scaling (x1.73, x1.43 instead of x2) is a
+//    lumped coordination overhead table (StormConfig::scaling_overhead).
+//  * Spark per-receiver ingest is single-threaded: receiver_cost_us = 5.6
+//    caps one receiver at ~0.18 M/s; 2/4/8 receivers give 0.36/0.71/1.43,
+//    and job runtime + scheduler delay pull 8-node down to ~0.9 (Fig. 11).
+//  * Join costs are higher per tuple (two-sided buffering, probe work,
+//    larger results): Flink join 2-node ~0.85 M/s; the 8-node value rides
+//    just under the trunk ceiling (paper: 1.19 vs 1.2).
+//
+// Latency shape anchors (Table II / Table IV):
+//  * Flink agg avg 0.2-0.5 s: watermark interval 200 ms + queue/emit path.
+//  * Spark agg avg 3.1-3.6 s, min >= 1.2 s: batch quantisation (0..4 s wait)
+//    + job runtime; mini-batching bounds the spread (small stddev).
+//  * Storm avg 1.4-2.2 s with heavy tails: bulk window evaluation bursts +
+//    bang-bang throttling + GC pauses.
+//
+// The constants live in the engine config structs (engines/*/..h) as
+// defaults; CalibratedFlink/Storm/Spark in workloads.cc apply query-kind
+// specific adjustments documented there.
+#ifndef SDPS_WORKLOADS_CALIBRATION_H_
+#define SDPS_WORKLOADS_CALIBRATION_H_
+
+namespace sdps::workloads {
+
+/// Logical tuples represented by one simulated record in paper-scale
+/// benches. Tests and examples use 1 (tuple-exact semantics); benches use
+/// 100 so that 100 M-tuple experiments stay tractable. Latency semantics
+/// are unaffected (timestamps are exact); CPU and network costs scale with
+/// the weight.
+inline constexpr unsigned kBenchTuplesPerRecord = 100;
+
+/// Serialized wire size of one tuple: see engine/record.h (120 B).
+
+}  // namespace sdps::workloads
+
+#endif  // SDPS_WORKLOADS_CALIBRATION_H_

@@ -1,0 +1,113 @@
+#include "workloads/workloads.h"
+
+#include "common/check.h"
+#include "workloads/calibration.h"
+
+namespace sdps::workloads {
+
+std::string EngineName(Engine engine) {
+  switch (engine) {
+    case Engine::kStorm: return "Storm";
+    case Engine::kSpark: return "Spark";
+    case Engine::kFlink: return "Flink";
+  }
+  return "?";
+}
+
+engines::FlinkConfig CalibratedFlink(engine::QueryConfig query) {
+  engines::FlinkConfig config;
+  config.query = query;
+  return config;  // defaults in flink.h are the calibrated values
+}
+
+engines::StormConfig CalibratedStorm(engine::QueryConfig query, EngineTuning tuning) {
+  engines::StormConfig config;
+  config.query = query;
+  config.enable_backpressure = tuning.storm_backpressure;
+  return config;
+}
+
+engines::SparkConfig CalibratedSpark(engine::QueryConfig query, EngineTuning tuning) {
+  engines::SparkConfig config;
+  config.query = query;
+  config.cache_window = tuning.spark_cache_window;
+  config.inverse_reduce = tuning.spark_inverse_reduce;
+  config.tree_aggregate = tuning.spark_tree_aggregate;
+  return config;
+}
+
+driver::SutFactory MakeEngineFactory(Engine engine, engine::QueryConfig query,
+                                     EngineTuning tuning) {
+  switch (engine) {
+    case Engine::kFlink:
+      return [config = CalibratedFlink(query)](const driver::SutContext&) {
+        return engines::MakeFlink(config);
+      };
+    case Engine::kStorm:
+      return [config = CalibratedStorm(query, tuning)](const driver::SutContext&) {
+        return engines::MakeStorm(config);
+      };
+    case Engine::kSpark:
+      return [config = CalibratedSpark(query, tuning)](const driver::SutContext&) {
+        return engines::MakeSpark(config);
+      };
+  }
+  SDPS_CHECK(false) << "unknown engine";
+  return nullptr;
+}
+
+driver::GeneratorConfig AggregationGenerator() {
+  driver::GeneratorConfig config;
+  config.tuples_per_record = kBenchTuplesPerRecord;
+  config.num_keys = 1000;  // gem-pack catalogue size
+  config.key_distribution = driver::KeyDistribution::kNormal;
+  return config;
+}
+
+driver::GeneratorConfig JoinGenerator() {
+  driver::GeneratorConfig config;
+  config.tuples_per_record = kBenchTuplesPerRecord;
+  config.num_keys = 100000;  // (userID, gemPackID) pairs active per window
+  config.key_distribution = driver::KeyDistribution::kUniform;
+  config.ads_fraction = 0.5;
+  // Reduced selectivity (paper Experiment 2) so result volume does not
+  // turn the sink or network into the bottleneck.
+  config.join_selectivity = 0.05;
+  return config;
+}
+
+cluster::ClusterConfig PaperCluster(int workers) {
+  cluster::ClusterConfig config;
+  config.workers = workers;
+  config.drivers = workers;  // paper: equal numbers of workers and drivers
+  config.node.cpu_slots = 16;
+  config.node.memory_bytes = 16LL * 1024 * 1024 * 1024;
+  config.nic_bytes_per_sec = 125e6;    // 1 Gb/s
+  config.trunk_bytes_per_sec = 120e6;  // see calibration.h
+  return config;
+}
+
+driver::ExperimentConfig MakeExperiment(engine::QueryKind query_kind, int workers,
+                                        double total_rate, SimTime duration) {
+  driver::ExperimentConfig config;
+  config.cluster = PaperCluster(workers);
+  config.generator = query_kind == engine::QueryKind::kAggregation
+                         ? AggregationGenerator()
+                         : JoinGenerator();
+  config.total_rate = total_rate;
+  config.duration = duration;
+  return config;
+}
+
+driver::RateProfile FluctuatingProfile(SimTime duration) {
+  // Paper Experiment 5: "We start the benchmark with a workload of
+  // 0.84 M/s then decrease it to 0.28 M/s and increase again after a
+  // while."
+  return driver::StepRate({
+      {0, 0.84e6},
+      {duration * 2 / 5, 0.28e6},
+      {duration * 3 / 5, 0.84e6},
+  });
+}
+
+}  // namespace sdps::workloads

@@ -1,0 +1,70 @@
+// Preset assemblies of the paper's workloads (Section V): the Rovio-style
+// gaming streams (PURCHASES, ADS), the Listing-1 queries, key
+// distributions, and rate profiles — plus factories that bind the three
+// engine models to a driver experiment.
+#ifndef SDPS_WORKLOADS_WORKLOADS_H_
+#define SDPS_WORKLOADS_WORKLOADS_H_
+
+#include <string>
+
+#include "driver/experiment.h"
+#include "driver/sut.h"
+#include "engine/query.h"
+#include "engines/flink/flink.h"
+#include "engines/spark/spark.h"
+#include "engines/storm/storm.h"
+
+namespace sdps::workloads {
+
+enum class Engine { kStorm, kSpark, kFlink };
+
+std::string EngineName(Engine engine);
+
+/// Per-engine knobs exercised by individual experiments; defaults match
+/// the paper's tuned configurations (Section VI-A).
+struct EngineTuning {
+  /// Storm: the paper enables backpressure ("we enable backpressure in all
+  /// systems"); disabling it reproduces the connection-drop failure mode.
+  bool storm_backpressure = true;
+  /// Spark Experiment 3 modes.
+  bool spark_cache_window = true;
+  bool spark_inverse_reduce = false;
+  /// Spark Experiment 4 ablation (tree aggregate off).
+  bool spark_tree_aggregate = true;
+};
+
+/// Builds the SUT factory for one engine + query.
+driver::SutFactory MakeEngineFactory(Engine engine, engine::QueryConfig query,
+                                     EngineTuning tuning = {});
+
+/// Calibrated engine configs (cost constants documented in
+/// workloads/calibration.h).
+engines::FlinkConfig CalibratedFlink(engine::QueryConfig query);
+engines::StormConfig CalibratedStorm(engine::QueryConfig query, EngineTuning tuning = {});
+engines::SparkConfig CalibratedSpark(engine::QueryConfig query, EngineTuning tuning = {});
+
+/// Generator preset for the aggregation workload: purchases only, normal
+/// key distribution over the gem-pack catalogue.
+driver::GeneratorConfig AggregationGenerator();
+
+/// Generator preset for the join workload: purchases + ads with reduced
+/// selectivity (paper Experiment 2: "we decreased the selectivity of the
+/// input streams" to keep sink and network out of the bottleneck).
+driver::GeneratorConfig JoinGenerator();
+
+/// The paper's base deployment: `workers` worker nodes, equally many
+/// driver nodes, one master; 16 cores / 16 GB / 1 Gb/s.
+cluster::ClusterConfig PaperCluster(int workers);
+
+/// Assembles a full experiment config for one engine/query/deployment.
+driver::ExperimentConfig MakeExperiment(engine::QueryKind query_kind, int workers,
+                                        double total_rate,
+                                        SimTime duration = Seconds(300));
+
+/// The paper's fluctuating-workload profile (Experiment 5): 0.84 M/s,
+/// dropping to 0.28 M/s mid-run, then back.
+driver::RateProfile FluctuatingProfile(SimTime duration);
+
+}  // namespace sdps::workloads
+
+#endif  // SDPS_WORKLOADS_WORKLOADS_H_

@@ -1,0 +1,83 @@
+#include "cluster/gc.h"
+
+#include <gtest/gtest.h>
+
+#include "des/simulator.h"
+#include "des/task.h"
+
+namespace sdps::cluster {
+namespace {
+
+NodeConfig SmallNode() {
+  NodeConfig config;
+  config.cpu_slots = 2;
+  return config;
+}
+
+GcConfig FastGc() {
+  GcConfig config;
+  config.young_gen_bytes = 1000;
+  config.minor_pause_min = Millis(10);
+  config.minor_pause_max = Millis(10);
+  config.full_gc_every = 0;  // minor only
+  config.check_interval = Millis(10);
+  return config;
+}
+
+des::Task<> Allocator(des::Simulator& sim, Node& node, int64_t bytes_per_tick) {
+  for (;;) {
+    co_await des::Delay(sim, Millis(1));
+    node.RecordAllocation(bytes_per_tick);
+  }
+}
+
+TEST(GcTest, PausesTrackAllocationRate) {
+  des::Simulator sim;
+  Node node(sim, 1, NodeGroup::kWorker, "w0", SmallNode());
+  AttachGc(sim, node, FastGc(), Rng(1));
+  sim.Spawn(Allocator(sim, node, 200));  // 200 KB/s -> GC every ~5ms budget
+  sim.RunUntil(Seconds(1));
+  // 200 B/ms = young gen (1000 B) filled every 5 ms; checks every 10 ms
+  // -> roughly one collection per check.
+  EXPECT_GT(node.total_gc_pause(), Millis(300));
+  EXPECT_LT(node.total_gc_pause(), Millis(1100));
+}
+
+TEST(GcTest, NoAllocationNoPauses) {
+  des::Simulator sim;
+  Node node(sim, 1, NodeGroup::kWorker, "w0", SmallNode());
+  AttachGc(sim, node, FastGc(), Rng(1));
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(node.total_gc_pause(), 0);
+}
+
+TEST(GcTest, FullGcLongerThanMinor) {
+  GcConfig config = FastGc();
+  config.full_gc_every = 2;
+  config.full_pause_min = Millis(100);
+  config.full_pause_max = Millis(100);
+
+  des::Simulator sim;
+  Node node(sim, 1, NodeGroup::kWorker, "w0", SmallNode());
+  AttachGc(sim, node, config, Rng(1));
+  sim.Spawn(Allocator(sim, node, 500));
+  sim.RunUntil(Seconds(1));
+  // Every second collection is a full one at 100 ms: total far exceeds
+  // what minor-only pauses (10 ms each) could produce.
+  EXPECT_GT(node.total_gc_pause(), Millis(1000));
+}
+
+TEST(GcTest, DeterministicForSameSeed) {
+  auto run = [](uint64_t seed) {
+    des::Simulator sim;
+    Node node(sim, 1, NodeGroup::kWorker, "w0", SmallNode());
+    AttachGc(sim, node, FastGc(), Rng(seed));
+    sim.Spawn(Allocator(sim, node, 300));
+    sim.RunUntil(Seconds(1));
+    return node.total_gc_pause();
+  };
+  EXPECT_EQ(run(5), run(5));
+}
+
+}  // namespace
+}  // namespace sdps::cluster

@@ -1,0 +1,154 @@
+#include "cluster/network.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "des/simulator.h"
+#include "des/task.h"
+
+namespace sdps::cluster {
+namespace {
+
+TEST(LinkTest, TransferTakesBytesOverBandwidthPlusLatency) {
+  des::Simulator sim;
+  Link link(sim, /*bytes_per_sec=*/1e6, /*latency=*/200);
+  SimTime done_at = -1;
+  sim.Spawn([](des::Simulator& s, Link& l, SimTime& t) -> des::Task<> {
+    co_await l.Transfer(1000);  // 1000 B at 1 MB/s = 1000 us
+    t = s.now();
+  }(sim, link, done_at));
+  sim.RunUntilIdle();
+  EXPECT_EQ(done_at, 1200);
+  EXPECT_EQ(link.bytes_transferred(), 1000);
+}
+
+TEST(LinkTest, TransfersSerializeFifo) {
+  des::Simulator sim;
+  Link link(sim, 1e6, 0);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 3; ++i) {
+    sim.Spawn([](des::Simulator& s, Link& l, std::vector<SimTime>& d) -> des::Task<> {
+      co_await l.Transfer(1000);
+      d.push_back(s.now());
+    }(sim, link, done));
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(done, (std::vector<SimTime>{1000, 2000, 3000}));
+}
+
+TEST(LinkTest, SaturationThroughputMatchesBandwidth) {
+  des::Simulator sim;
+  Link link(sim, 1e6, 0);  // 1 MB/s
+  sim.Spawn([](des::Simulator&, Link& l) -> des::Task<> {
+    for (int i = 0; i < 100; ++i) co_await l.Transfer(10000);
+  }(sim, link));
+  sim.RunUntilIdle();
+  // 1 MB over a 1 MB/s link = 1 simulated second.
+  EXPECT_EQ(sim.now(), Seconds(1));
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  ClusterConfig Config() {
+    ClusterConfig config;
+    config.workers = 2;
+    config.drivers = 2;
+    config.nic_bytes_per_sec = 1e6;
+    config.trunk_bytes_per_sec = 1e6;
+    config.link_latency_us = 0;
+    return config;
+  }
+};
+
+TEST_F(ClusterTest, TopologySizes) {
+  des::Simulator sim;
+  Cluster cluster(sim, Config());
+  EXPECT_EQ(cluster.num_workers(), 2);
+  EXPECT_EQ(cluster.num_drivers(), 2);
+  EXPECT_EQ(cluster.master().group(), NodeGroup::kMaster);
+  EXPECT_EQ(cluster.worker(0).group(), NodeGroup::kWorker);
+  EXPECT_EQ(cluster.driver(1).group(), NodeGroup::kDriver);
+  // All node ids distinct.
+  EXPECT_NE(cluster.worker(0).id(), cluster.worker(1).id());
+  EXPECT_NE(cluster.worker(0).id(), cluster.driver(0).id());
+}
+
+TEST_F(ClusterTest, DriversDefaultToWorkerCount) {
+  des::Simulator sim;
+  ClusterConfig config = Config();
+  config.drivers = -1;
+  config.workers = 4;
+  Cluster cluster(sim, config);
+  EXPECT_EQ(cluster.num_drivers(), 4);
+}
+
+TEST_F(ClusterTest, SameNodeSendIsInstant) {
+  des::Simulator sim;
+  Cluster cluster(sim, Config());
+  sim.Spawn([](Cluster& c) -> des::Task<> {
+    co_await c.Send(c.worker(0), c.worker(0), 1 << 20);
+  }(cluster));
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(cluster.NodeNetworkBytes(cluster.worker(0)), 0);
+}
+
+TEST_F(ClusterTest, DriverToWorkerCrossesIngestTrunk) {
+  des::Simulator sim;
+  Cluster cluster(sim, Config());
+  sim.Spawn([](Cluster& c) -> des::Task<> {
+    co_await c.Send(c.driver(0), c.worker(1), 1000);
+  }(cluster));
+  sim.RunUntilIdle();
+  EXPECT_EQ(cluster.trunk_ingest().bytes_transferred(), 1000);
+  EXPECT_EQ(cluster.trunk_egress().bytes_transferred(), 0);
+  // NIC out of the driver + NIC in of the worker.
+  EXPECT_EQ(cluster.NodeNetworkBytes(cluster.driver(0)), 1000);
+  EXPECT_EQ(cluster.NodeNetworkBytes(cluster.worker(1)), 1000);
+  // Three store-and-forward hops at 1 MB/s each.
+  EXPECT_EQ(sim.now(), 3000);
+}
+
+TEST_F(ClusterTest, WorkerToDriverCrossesEgressTrunk) {
+  des::Simulator sim;
+  Cluster cluster(sim, Config());
+  sim.Spawn([](Cluster& c) -> des::Task<> {
+    co_await c.Send(c.worker(0), c.driver(0), 500);
+  }(cluster));
+  sim.RunUntilIdle();
+  EXPECT_EQ(cluster.trunk_egress().bytes_transferred(), 500);
+  EXPECT_EQ(cluster.trunk_ingest().bytes_transferred(), 0);
+}
+
+TEST_F(ClusterTest, WorkerToWorkerSkipsTrunk) {
+  des::Simulator sim;
+  Cluster cluster(sim, Config());
+  sim.Spawn([](Cluster& c) -> des::Task<> {
+    co_await c.Send(c.worker(0), c.worker(1), 700);
+  }(cluster));
+  sim.RunUntilIdle();
+  EXPECT_EQ(cluster.trunk_ingest().bytes_transferred(), 0);
+  EXPECT_EQ(cluster.trunk_egress().bytes_transferred(), 0);
+  EXPECT_EQ(cluster.NodeNetworkBytes(cluster.worker(0)), 700);
+  EXPECT_EQ(cluster.NodeNetworkBytes(cluster.worker(1)), 700);
+}
+
+TEST_F(ClusterTest, TrunkIsTheSharedBottleneck) {
+  des::Simulator sim;
+  ClusterConfig config = Config();
+  config.nic_bytes_per_sec = 100e6;  // fast NICs
+  config.trunk_bytes_per_sec = 1e6;  // slow shared trunk
+  Cluster cluster(sim, config);
+  // Both drivers push 1 MB each through the shared trunk concurrently.
+  for (int d = 0; d < 2; ++d) {
+    sim.Spawn([](Cluster& c, int from) -> des::Task<> {
+      co_await c.Send(c.driver(from), c.worker(from), 1 << 20);
+    }(cluster, d));
+  }
+  sim.RunUntilIdle();
+  // 2 MB over the 1 MB/s trunk needs >= ~2.1 simulated seconds.
+  EXPECT_GE(sim.now(), Seconds(2));
+}
+
+}  // namespace
+}  // namespace sdps::cluster

@@ -1,0 +1,72 @@
+#include "cluster/node.h"
+
+#include <gtest/gtest.h>
+
+#include "des/simulator.h"
+#include "des/task.h"
+
+namespace sdps::cluster {
+namespace {
+
+NodeConfig SmallNode() {
+  NodeConfig config;
+  config.cpu_slots = 4;
+  config.memory_bytes = 1000;
+  return config;
+}
+
+TEST(NodeTest, MemoryAccounting) {
+  des::Simulator sim;
+  Node node(sim, 1, NodeGroup::kWorker, "w0", SmallNode());
+  EXPECT_EQ(node.memory_free(), 1000);
+  EXPECT_TRUE(node.AllocateMemory(600).ok());
+  EXPECT_EQ(node.memory_used(), 600);
+  EXPECT_EQ(node.memory_free(), 400);
+  node.FreeMemory(100);
+  EXPECT_EQ(node.memory_used(), 500);
+}
+
+TEST(NodeTest, AllocationFailsBeyondCapacity) {
+  des::Simulator sim;
+  Node node(sim, 1, NodeGroup::kWorker, "w0", SmallNode());
+  EXPECT_TRUE(node.AllocateMemory(1000).ok());
+  const Status s = node.AllocateMemory(1);
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_NE(s.message().find("w0"), std::string::npos);
+}
+
+TEST(NodeTest, AllocationRateCounter) {
+  des::Simulator sim;
+  Node node(sim, 1, NodeGroup::kWorker, "w0", SmallNode());
+  node.RecordAllocation(100);
+  node.RecordAllocation(50);
+  EXPECT_EQ(node.TakeAllocatedSinceGc(), 150);
+  EXPECT_EQ(node.TakeAllocatedSinceGc(), 0);
+}
+
+TEST(NodeTest, StopTheWorldOccupiesAllSlots) {
+  des::Simulator sim;
+  Node node(sim, 1, NodeGroup::kWorker, "w0", SmallNode());
+  node.StopTheWorld(1000);
+  // During the pause, a new task must wait for a slot.
+  SimTime done_at = -1;
+  sim.Spawn([](des::Simulator& s, Node& n, SimTime& t) -> des::Task<> {
+    co_await n.cpu().Use(10);
+    t = s.now();
+  }(sim, node, done_at));
+  sim.RunUntilIdle();
+  EXPECT_EQ(done_at, 1010);
+  EXPECT_EQ(node.total_gc_pause(), 1000);
+}
+
+TEST(NodeTest, IdentityAndConfig) {
+  des::Simulator sim;
+  Node node(sim, 7, NodeGroup::kDriver, "driver-3", SmallNode());
+  EXPECT_EQ(node.id(), 7);
+  EXPECT_EQ(node.group(), NodeGroup::kDriver);
+  EXPECT_EQ(node.name(), "driver-3");
+  EXPECT_EQ(node.cpu().servers(), 4);
+}
+
+}  // namespace
+}  // namespace sdps::cluster

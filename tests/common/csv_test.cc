@@ -1,0 +1,50 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace sdps {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/sdps_csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesRows) {
+  auto w = CsvWriter::Open(path_);
+  ASSERT_TRUE(w.ok());
+  w->WriteHeader({"time_s", "latency_s"});
+  w->WriteRow({"1.0", "0.25"});
+  w->WriteRow({"2.0", "0.30"});
+  ASSERT_TRUE(w->Close().ok());
+  EXPECT_EQ(ReadAll(path_), "time_s,latency_s\n1.0,0.25\n2.0,0.30\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  auto w = CsvWriter::Open(path_);
+  ASSERT_TRUE(w.ok());
+  w->WriteRow({"a,b", "quote\"inside", "line\nbreak", "plain"});
+  ASSERT_TRUE(w->Close().ok());
+  EXPECT_EQ(ReadAll(path_), "\"a,b\",\"quote\"\"inside\",\"line\nbreak\",plain\n");
+}
+
+TEST_F(CsvTest, OpenFailsForBadPath) {
+  auto w = CsvWriter::Open("/nonexistent_dir_xyz/file.csv");
+  EXPECT_FALSE(w.ok());
+  EXPECT_TRUE(w.status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace sdps

@@ -1,0 +1,139 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sdps {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng(11);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++seen[rng.NextBelow(10)];
+  }
+  for (int c : seen) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  // The child stream must not replay the parent stream.
+  Rng parent2(23);
+  (void)parent2.NextUint64();  // same position as parent after Fork
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.NextUint64() == parent2.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(ZipfTest, FrequenciesDecreaseWithRank) {
+  Rng rng(29);
+  ZipfDistribution zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[9]);
+  EXPECT_GT(counts[9], counts[99]);
+  // Rank-1 frequency for s=1, N=100: 1/H_100 ~ 0.193.
+  EXPECT_NEAR(counts[0] / 100000.0, 0.193, 0.02);
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  Rng rng(31);
+  ZipfDistribution zipf(10, 1.5);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(zipf.Sample(rng), 10u);
+  }
+}
+
+TEST(NormalKeyTest, SamplesInRangeAndCenterHeavy) {
+  Rng rng(37);
+  NormalKeyDistribution dist(1000);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t k = dist.Sample(rng);
+    ASSERT_LT(k, 1000u);
+    ++counts[k / 100];  // decile buckets
+  }
+  // Middle deciles (4,5) carry far more mass than edge deciles (0,9).
+  EXPECT_GT(counts[4], 10 * std::max(counts[0], 1));
+  EXPECT_GT(counts[5], 10 * std::max(counts[9], 1));
+}
+
+TEST(NormalKeyTest, SingleKeySpace) {
+  Rng rng(41);
+  NormalKeyDistribution dist(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace sdps

@@ -1,0 +1,114 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace sdps {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+
+  Status s = Status::InvalidArgument("rate must be positive");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "rate must be positive");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: rate must be positive");
+}
+
+TEST(StatusTest, CopyIsCheap) {
+  Status a = Status::Aborted("halt");
+  Status b = a;  // shared rep
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.message(), "halt");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("f"), Status::NotFound("f"));
+  EXPECT_FALSE(Status::NotFound("f") == Status::NotFound("g"));
+  EXPECT_FALSE(Status::NotFound("f") == Status::Internal("f"));
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted), "ResourceExhausted");
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chained(int v) {
+  SDPS_RETURN_IF_ERROR(FailIfNegative(v));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chained(1).ok());
+  EXPECT_TRUE(Chained(-1).IsInvalidArgument());
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::OutOfRange("not positive");
+  return v;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+  EXPECT_EQ(r.value_or(42), 42);
+}
+
+TEST(ResultTest, ValueOrReturnsValueOnSuccess) {
+  EXPECT_EQ(ParsePositive(3).value_or(42), 3);
+}
+
+Result<int> DoubleIt(int v) {
+  SDPS_ASSIGN_OR_RETURN(const int x, ParsePositive(v));
+  return x * 2;
+}
+
+TEST(ResultTest, AssignOrReturn) {
+  EXPECT_EQ(DoubleIt(5).value(), 10);
+  EXPECT_TRUE(DoubleIt(-5).status().IsOutOfRange());
+}
+
+TEST(ResultTest, MoveOnlyType) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 9);
+}
+
+TEST(CheckDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ SDPS_CHECK(1 == 2) << "impossible"; }, "CHECK failed");
+  EXPECT_DEATH({ SDPS_CHECK_OK(Status::Internal("boom")); }, "boom");
+}
+
+}  // namespace
+}  // namespace sdps

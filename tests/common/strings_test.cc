@@ -1,0 +1,45 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace sdps {
+namespace {
+
+TEST(StringsTest, StrFormatBasic) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, StrFormatLongOutput) {
+  const std::string big(500, 'a');
+  EXPECT_EQ(StrFormat("%s!", big.c_str()), big + "!");
+}
+
+TEST(StringsTest, StrJoin) {
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"a"}, ","), "a");
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, StrSplit) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("a,", ','), (std::vector<std::string>{"a", ""}));
+}
+
+TEST(StringsTest, FormatRateMps) {
+  EXPECT_EQ(FormatRateMps(1200000.0), "1.20 M/s");
+  EXPECT_EQ(FormatRateMps(400000.0), "0.40 M/s");
+  EXPECT_EQ(FormatRateMps(0.0), "0.00 M/s");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("flink-agg", "flink"));
+  EXPECT_FALSE(StartsWith("flink", "flink-agg"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+}  // namespace
+}  // namespace sdps

@@ -1,0 +1,30 @@
+#include "common/time_util.h"
+
+#include <gtest/gtest.h>
+
+namespace sdps {
+namespace {
+
+TEST(TimeUtilTest, Conversions) {
+  EXPECT_EQ(Seconds(1), 1000000);
+  EXPECT_EQ(Seconds(8), 8000000);
+  EXPECT_EQ(Seconds(0.5), 500000);
+  EXPECT_EQ(Millis(250), 250000);
+  EXPECT_EQ(Minutes(1), 60000000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(4)), 4.0);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(12)), 12.0);
+}
+
+TEST(TimeUtilTest, RoundTripFractional) {
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(2.25)), 2.25);
+}
+
+TEST(TimeUtilTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(500), "500us");
+  EXPECT_EQ(FormatDuration(Millis(2.5)), "2.500ms");
+  EXPECT_EQ(FormatDuration(Seconds(1.5)), "1.500s");
+  EXPECT_EQ(FormatDuration(-Seconds(1.5)), "-1.500s");
+}
+
+}  // namespace
+}  // namespace sdps

@@ -1,0 +1,215 @@
+#include "des/channel.h"
+
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "des/simulator.h"
+#include "des/task.h"
+
+namespace sdps::des {
+namespace {
+
+Task<> Produce(Simulator& sim, Channel<int>& ch, int n, SimTime gap,
+               std::vector<SimTime>* send_times = nullptr) {
+  for (int i = 0; i < n; ++i) {
+    if (gap > 0) co_await Delay(sim, gap);
+    const bool ok = co_await ch.Send(i);
+    if (!ok) co_return;
+    if (send_times) send_times->push_back(sim.now());
+  }
+}
+
+Task<> Consume(Simulator& sim, Channel<int>& ch, std::vector<int>& out,
+               SimTime per_item = 0) {
+  for (;;) {
+    auto v = co_await ch.Recv();
+    if (!v) co_return;
+    out.push_back(*v);
+    if (per_item > 0) co_await Delay(sim, per_item);
+  }
+}
+
+TEST(ChannelTest, DeliversInFifoOrder) {
+  Simulator sim;
+  Channel<int> ch(sim, 100);
+  std::vector<int> got;
+  sim.Spawn(Produce(sim, ch, 10, 0));
+  sim.Spawn(Consume(sim, ch, got));
+  sim.RunUntilIdle();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(ChannelTest, ReceiverBlocksUntilDataArrives) {
+  Simulator sim;
+  Channel<int> ch(sim, 4);
+  std::vector<int> got;
+  SimTime recv_time = -1;
+  sim.Spawn([](Simulator& s, Channel<int>& c, SimTime& t) -> Task<> {
+    auto v = co_await c.Recv();
+    EXPECT_TRUE(v.has_value());
+    t = s.now();
+  }(sim, ch, recv_time));
+  sim.Spawn([](Simulator& s, Channel<int>& c) -> Task<> {
+    co_await Delay(s, 500);
+    co_await c.Send(1);
+  }(sim, ch));
+  sim.RunUntilIdle();
+  EXPECT_EQ(recv_time, 500);
+}
+
+TEST(ChannelTest, SenderBlocksWhenFull) {
+  Simulator sim;
+  Channel<int> ch(sim, 2);
+  std::vector<SimTime> send_times;
+  std::vector<int> got;
+  sim.Spawn(Produce(sim, ch, 4, 0, &send_times));
+  // Consumer starts late and drains slowly: 100us per item.
+  sim.Spawn([](Simulator& s, Channel<int>& c, std::vector<int>& out) -> Task<> {
+    co_await Delay(s, 1000);
+    co_await Consume(s, c, out, 100);
+  }(sim, ch, got));
+  sim.Spawn([](Simulator& s, Channel<int>& c) -> Task<> {
+    co_await Delay(s, 5000);
+    c.Close();
+  }(sim, ch));
+  sim.RunUntilIdle();
+  ASSERT_EQ(send_times.size(), 4u);
+  EXPECT_EQ(send_times[0], 0);  // buffered immediately
+  EXPECT_EQ(send_times[1], 0);
+  EXPECT_GE(send_times[2], 1000);  // had to wait for the consumer
+  EXPECT_GE(send_times[3], 1100);
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ChannelTest, CloseWakesReceiversWithNullopt) {
+  Simulator sim;
+  Channel<int> ch(sim, 4);
+  bool got_nullopt = false;
+  sim.Spawn([](Simulator&, Channel<int>& c, bool& flag) -> Task<> {
+    auto v = co_await c.Recv();
+    flag = !v.has_value();
+  }(sim, ch, got_nullopt));
+  sim.Spawn([](Simulator& s, Channel<int>& c) -> Task<> {
+    co_await Delay(s, 10);
+    c.Close();
+  }(sim, ch));
+  sim.RunUntilIdle();
+  EXPECT_TRUE(got_nullopt);
+}
+
+TEST(ChannelTest, CloseFailsPendingAndFutureSends) {
+  Simulator sim;
+  Channel<int> ch(sim, 1);
+  std::vector<bool> results;
+  sim.Spawn([](Simulator&, Channel<int>& c, std::vector<bool>& r) -> Task<> {
+    r.push_back(co_await c.Send(1));  // fills the buffer
+    r.push_back(co_await c.Send(2));  // blocks, then fails on Close
+    r.push_back(co_await c.Send(3));  // fails immediately (closed)
+  }(sim, ch, results));
+  sim.Spawn([](Simulator& s, Channel<int>& c) -> Task<> {
+    co_await Delay(s, 10);
+    c.Close();
+  }(sim, ch));
+  sim.RunUntilIdle();
+  EXPECT_EQ(results, (std::vector<bool>{true, false, false}));
+}
+
+TEST(ChannelTest, DrainsBufferAfterClose) {
+  Simulator sim;
+  Channel<int> ch(sim, 10);
+  std::vector<int> got;
+  sim.Spawn([](Simulator&, Channel<int>& c) -> Task<> {
+    co_await c.Send(1);
+    co_await c.Send(2);
+    c.Close();
+  }(sim, ch));
+  sim.Spawn([](Simulator& s, Channel<int>& c, std::vector<int>& out) -> Task<> {
+    co_await Delay(s, 100);
+    co_await Consume(s, c, out);
+  }(sim, ch, got));
+  sim.RunUntilIdle();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(ChannelTest, TrySendRespectsCapacityAndClose) {
+  Simulator sim;
+  Channel<int> ch(sim, 2);
+  EXPECT_TRUE(ch.TrySend(1));
+  EXPECT_TRUE(ch.TrySend(2));
+  EXPECT_FALSE(ch.TrySend(3));  // full
+  ch.Close();
+  EXPECT_FALSE(ch.TrySend(4));  // closed
+  EXPECT_EQ(ch.size(), 2u);
+}
+
+TEST(ChannelTest, MultipleReceiversNoSpuriousWakeupsOrLostValues) {
+  Simulator sim;
+  Channel<int> ch(sim, 1);
+  std::vector<int> got_a, got_b;
+  sim.Spawn(Consume(sim, ch, got_a));
+  sim.Spawn(Consume(sim, ch, got_b));
+  sim.Spawn([](Simulator& s, Channel<int>& c) -> Task<> {
+    for (int i = 0; i < 100; ++i) co_await c.Send(i);
+    co_await Delay(s, 1);
+    c.Close();
+  }(sim, ch));
+  sim.RunUntilIdle();
+  // All 100 values received exactly once across the two consumers.
+  std::vector<int> all = got_a;
+  all.insert(all.end(), got_b.begin(), got_b.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(all[i], i);
+  EXPECT_FALSE(got_a.empty());
+  EXPECT_FALSE(got_b.empty());
+}
+
+TEST(ChannelTest, BackpressurePropagatesThroughPipeline) {
+  // generator -> ch1 -> relay -> ch2 -> slow sink. The slow sink's pace
+  // must throttle the generator through both channels.
+  Simulator sim;
+  Channel<int> ch1(sim, 2), ch2(sim, 2);
+  std::vector<SimTime> send_times;
+  std::vector<int> got;
+  sim.Spawn(Produce(sim, ch1, 20, 0, &send_times));
+  sim.Spawn([](Simulator&, Channel<int>& in, Channel<int>& out) -> Task<> {
+    for (;;) {
+      auto v = co_await in.Recv();
+      if (!v) {
+        out.Close();
+        co_return;
+      }
+      if (!co_await out.Send(*v)) co_return;
+    }
+  }(sim, ch1, ch2));
+  sim.Spawn(Consume(sim, ch2, got, /*per_item=*/1000));
+  sim.Spawn([](Simulator& s, Channel<int>& c) -> Task<> {
+    co_await Delay(s, 60000);
+    c.Close();
+  }(sim, ch1));
+  sim.RunUntilIdle();
+  ASSERT_EQ(got.size(), 20u);
+  // The last sends must have been delayed by sink pacing (~1ms/item).
+  EXPECT_GT(send_times.back(), 10000);
+}
+
+TEST(ChannelTest, MoveOnlyPayload) {
+  Simulator sim;
+  Channel<std::unique_ptr<int>> ch(sim, 2);
+  int out = 0;
+  sim.Spawn([](Simulator&, Channel<std::unique_ptr<int>>& c) -> Task<> {
+    co_await c.Send(std::make_unique<int>(99));
+    c.Close();
+  }(sim, ch));
+  sim.Spawn([](Simulator&, Channel<std::unique_ptr<int>>& c, int& o) -> Task<> {
+    auto v = co_await c.Recv();
+    if (v && *v) o = **v;
+  }(sim, ch, out));
+  sim.RunUntilIdle();
+  EXPECT_EQ(out, 99);
+}
+
+}  // namespace
+}  // namespace sdps::des

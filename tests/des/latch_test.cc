@@ -1,0 +1,88 @@
+#include "des/latch.h"
+
+#include <gtest/gtest.h>
+
+#include "des/simulator.h"
+#include "des/task.h"
+
+namespace sdps::des {
+namespace {
+
+TEST(LatchTest, WaitCompletesWhenCountReachesZero) {
+  Simulator sim;
+  Latch latch(sim, 3);
+  SimTime done_at = -1;
+  sim.Spawn([](Simulator& s, Latch& l, SimTime& t) -> Task<> {
+    co_await l.Wait();
+    t = s.now();
+  }(sim, latch, done_at));
+  for (int i = 1; i <= 3; ++i) {
+    sim.ScheduleAt(i * 100, [&latch] { latch.CountDown(); });
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(done_at, 300);
+}
+
+TEST(LatchTest, ZeroCountIsImmediatelyReady) {
+  Simulator sim;
+  Latch latch(sim, 0);
+  bool done = false;
+  sim.Spawn([](Simulator&, Latch& l, bool& d) -> Task<> {
+    co_await l.Wait();
+    d = true;
+  }(sim, latch, done));
+  sim.RunUntilIdle();
+  EXPECT_TRUE(done);
+}
+
+TEST(LatchTest, MultipleWaitersAllReleased) {
+  Simulator sim;
+  Latch latch(sim, 1);
+  int released = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.Spawn([](Simulator&, Latch& l, int& r) -> Task<> {
+      co_await l.Wait();
+      ++r;
+    }(sim, latch, released));
+  }
+  sim.ScheduleAt(10, [&] { latch.CountDown(); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(released, 5);
+}
+
+TEST(LatchTest, CountDownByN) {
+  Simulator sim;
+  Latch latch(sim, 10);
+  bool done = false;
+  sim.Spawn([](Simulator&, Latch& l, bool& d) -> Task<> {
+    co_await l.Wait();
+    d = true;
+  }(sim, latch, done));
+  sim.ScheduleAt(5, [&] { latch.CountDown(4); });
+  sim.ScheduleAt(6, [&] { latch.CountDown(6); });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(latch.count(), 0);
+}
+
+TEST(LatchTest, FanOutFanIn) {
+  // The Spark-stage pattern: spawn N tasks, wait for all.
+  Simulator sim;
+  Latch latch(sim, 4);
+  SimTime stage_done = -1;
+  for (int i = 0; i < 4; ++i) {
+    sim.Spawn([](Simulator& s, Latch& l, int id) -> Task<> {
+      co_await Delay(s, 100 * (id + 1));
+      l.CountDown();
+    }(sim, latch, i));
+  }
+  sim.Spawn([](Simulator& s, Latch& l, SimTime& t) -> Task<> {
+    co_await l.Wait();
+    t = s.now();
+  }(sim, latch, stage_done));
+  sim.RunUntilIdle();
+  EXPECT_EQ(stage_done, 400);  // slowest task
+}
+
+}  // namespace
+}  // namespace sdps::des

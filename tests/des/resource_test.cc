@@ -1,0 +1,108 @@
+#include "des/resource.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "des/simulator.h"
+#include "des/task.h"
+
+namespace sdps::des {
+namespace {
+
+Task<> UseOnce(Simulator& sim, Resource& res, SimTime dur, std::vector<SimTime>& done) {
+  co_await res.Use(dur);
+  done.push_back(sim.now());
+}
+
+TEST(ResourceTest, SingleServerSerializesRequests) {
+  Simulator sim;
+  Resource res(sim, 1);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 3; ++i) sim.Spawn(UseOnce(sim, res, 100, done));
+  sim.RunUntilIdle();
+  EXPECT_EQ(done, (std::vector<SimTime>{100, 200, 300}));
+}
+
+TEST(ResourceTest, MultiServerRunsInParallel) {
+  Simulator sim;
+  Resource res(sim, 3);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 3; ++i) sim.Spawn(UseOnce(sim, res, 100, done));
+  sim.RunUntilIdle();
+  EXPECT_EQ(done, (std::vector<SimTime>{100, 100, 100}));
+}
+
+TEST(ResourceTest, QueueingIsFcfs) {
+  Simulator sim;
+  Resource res(sim, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Spawn([](Simulator&, Resource& r, std::vector<int>& ord, int id) -> Task<> {
+      co_await r.Use(10);
+      ord.push_back(id);
+    }(sim, res, order, i));
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ResourceTest, MixedDurations) {
+  Simulator sim;
+  Resource res(sim, 2);
+  std::vector<SimTime> done;
+  // Two servers: [A:300] [B:100]; C(50) starts when B finishes at 100.
+  sim.Spawn(UseOnce(sim, res, 300, done));
+  sim.Spawn(UseOnce(sim, res, 100, done));
+  sim.Spawn(UseOnce(sim, res, 50, done));
+  sim.RunUntilIdle();
+  EXPECT_EQ(done, (std::vector<SimTime>{100, 150, 300}));
+}
+
+TEST(ResourceTest, BusyAndQueueCounters) {
+  Simulator sim;
+  Resource res(sim, 2);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 5; ++i) sim.Spawn(UseOnce(sim, res, 100, done));
+  sim.ScheduleAt(50, [&] {
+    EXPECT_EQ(res.busy(), 2);
+    EXPECT_EQ(res.queue_length(), 3u);
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(res.busy(), 0);
+  EXPECT_EQ(res.queue_length(), 0u);
+}
+
+TEST(ResourceTest, UtilizationIntegral) {
+  Simulator sim;
+  Resource res(sim, 2);
+  std::vector<SimTime> done;
+  // One server busy 0..1000, other idle: integral = 1000 busy-us.
+  sim.Spawn(UseOnce(sim, res, 1000, done));
+  sim.RunUntil(2000);
+  EXPECT_DOUBLE_EQ(res.BusyIntegral(), 1000.0);
+  // Average utilization over [0, 2000] with 2 servers = 1000 / (2*2000) = 25%.
+  EXPECT_DOUBLE_EQ(res.BusyIntegral() / (res.servers() * 2000.0), 0.25);
+}
+
+TEST(ResourceTest, ZeroDurationUse) {
+  Simulator sim;
+  Resource res(sim, 1);
+  std::vector<SimTime> done;
+  sim.Spawn(UseOnce(sim, res, 0, done));
+  sim.RunUntilIdle();
+  EXPECT_EQ(done, (std::vector<SimTime>{0}));
+}
+
+TEST(ResourceTest, HighContentionThroughputMatchesCapacity) {
+  Simulator sim;
+  Resource res(sim, 4);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 100; ++i) sim.Spawn(UseOnce(sim, res, 10, done));
+  sim.RunUntilIdle();
+  // 100 jobs x 10us on 4 servers = 250us makespan.
+  EXPECT_EQ(done.back(), 250);
+}
+
+}  // namespace
+}  // namespace sdps::des

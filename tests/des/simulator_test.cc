@@ -1,0 +1,170 @@
+#include "des/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "des/task.h"
+
+namespace sdps::des {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, ExecutesCallbacksInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulatorTest, BreaksTimeTiesByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime observed = -1;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAfter(50, [&] { observed = sim.now(); });
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(observed, 150);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(1000);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(SimulatorTest, RunUntilDoesNotExecuteLaterEvents) {
+  Simulator sim;
+  bool early = false, late = false;
+  sim.ScheduleAt(500, [&] { early = true; });
+  sim.ScheduleAt(1500, [&] { late = true; });
+  sim.RunUntil(1000);
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.now(), 1000);
+  sim.RunUntil(2000);
+  EXPECT_TRUE(late);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenIdle) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.ScheduleAt(1, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(i, [&] {
+      ++count;
+      if (count == 3) sim.Stop();
+    });
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.pending_events(), 7u);
+}
+
+TEST(SimulatorTest, CountsProcessedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.ScheduleAt(i, [] {});
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.processed_events(), 5u);
+}
+
+Task<> DelayingProcess(Simulator& sim, std::vector<SimTime>& times) {
+  times.push_back(sim.now());
+  co_await Delay(sim, 100);
+  times.push_back(sim.now());
+  co_await Delay(sim, 250);
+  times.push_back(sim.now());
+}
+
+TEST(SimulatorTest, CoroutineDelays) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.Spawn(DelayingProcess(sim, times));
+  sim.RunUntilIdle();
+  EXPECT_EQ(times, (std::vector<SimTime>{0, 100, 350}));
+}
+
+Task<int> Compute(Simulator& sim, int x) {
+  co_await Delay(sim, 10);
+  co_return x * 2;
+}
+
+Task<> Composed(Simulator& sim, int& out) {
+  const int a = co_await Compute(sim, 5);
+  const int b = co_await Compute(sim, a);
+  out = b;
+}
+
+TEST(SimulatorTest, NestedTasksReturnValues) {
+  Simulator sim;
+  int out = 0;
+  sim.Spawn(Composed(sim, out));
+  sim.RunUntilIdle();
+  EXPECT_EQ(out, 20);
+  EXPECT_EQ(sim.now(), 20);
+}
+
+Task<> Forever(Simulator& sim, int& steps) {
+  for (;;) {
+    co_await Delay(sim, 100);
+    ++steps;
+  }
+}
+
+TEST(SimulatorTest, DestroysSuspendedRootsCleanly) {
+  int steps = 0;
+  {
+    Simulator sim;
+    sim.Spawn(Forever(sim, steps));
+    sim.RunUntil(1000);
+    EXPECT_EQ(steps, 10);
+  }  // destructor must free the still-suspended coroutine frame
+  EXPECT_EQ(steps, 10);
+}
+
+TEST(SimulatorTest, ManyProcessesDeterministicInterleaving) {
+  auto run = [] {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+      sim.Spawn([](Simulator& s, std::vector<int>& ord, int id) -> Task<> {
+        for (int k = 0; k < 3; ++k) {
+          co_await Delay(s, 10 * (id + 1));
+          ord.push_back(id);
+        }
+      }(sim, order, i));
+    }
+    sim.RunUntilIdle();
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace sdps::des

@@ -1,0 +1,173 @@
+#include "driver/generator.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "des/simulator.h"
+#include "engine/window.h"
+
+namespace sdps::driver {
+namespace {
+
+GeneratorConfig BaseConfig(double rate, SimTime duration = Seconds(10)) {
+  GeneratorConfig config;
+  config.rate = ConstantRate(rate);
+  config.tuples_per_record = 1;
+  config.num_keys = 100;
+  config.duration = duration;
+  return config;
+}
+
+TEST(GeneratorTest, RateAccuracy) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  SpawnGenerator(sim, q, BaseConfig(1000.0), Rng(1));
+  sim.RunUntil(Seconds(10));
+  // 1000 tuples/s for 10 s ~ 10000 tuples (integer pacing rounds slightly).
+  EXPECT_NEAR(static_cast<double>(q.total_pushed_tuples()), 10000.0, 200.0);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(GeneratorTest, WeightedRecordsKeepTupleRate) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  GeneratorConfig config = BaseConfig(10000.0);
+  config.tuples_per_record = 100;
+  SpawnGenerator(sim, q, config, Rng(1));
+  sim.RunUntil(Seconds(10));
+  EXPECT_NEAR(static_cast<double>(q.total_pushed_tuples()), 100000.0, 2000.0);
+  EXPECT_NEAR(static_cast<double>(q.queued_records()), 1000.0, 20.0);
+}
+
+TEST(GeneratorTest, EventTimesAreGenerationTimes) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  SpawnGenerator(sim, q, BaseConfig(100.0, Seconds(2)), Rng(2));
+  std::vector<SimTime> times;
+  sim.Spawn([](DriverQueue& queue, std::vector<SimTime>& out) -> des::Task<> {
+    for (;;) {
+      auto r = co_await queue.Pop();
+      if (!r) co_return;
+      out.push_back(r->event_time);
+      EXPECT_EQ(r->ingest_time, -1);  // not yet ingested by any SUT
+    }
+  }(q, times));
+  sim.RunUntilIdle();
+  ASSERT_GT(times.size(), 100u);
+  for (size_t i = 1; i < times.size(); ++i) ASSERT_GE(times[i], times[i - 1]);
+  EXPECT_LE(times.back(), Seconds(2));
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  auto run = [](uint64_t seed) {
+    des::Simulator sim;
+    DriverQueue q(sim, nullptr);
+    SpawnGenerator(sim, q, BaseConfig(500.0, Seconds(5)), Rng(seed));
+    sim.RunUntilIdle();
+    return q.total_pushed_tuples();
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+TEST(GeneratorTest, StepRateProfile) {
+  des::Simulator sim;
+  ThroughputMeter meter(Seconds(1));
+  DriverQueue q(sim, &meter);
+  GeneratorConfig config = BaseConfig(0, Seconds(10));
+  config.rate = StepRate({{0, 1000.0}, {Seconds(5), 100.0}});
+  SpawnGenerator(sim, q, config, Rng(3));
+  // Drain everything as it arrives so the meter sees the push rate.
+  sim.Spawn([](DriverQueue& queue) -> des::Task<> {
+    for (;;) {
+      auto r = co_await queue.Pop();
+      if (!r) co_return;
+    }
+  }(q));
+  sim.RunUntilIdle();
+  EXPECT_NEAR(meter.MeanRate(0, Seconds(5)), 1000.0, 60.0);
+  EXPECT_NEAR(meter.MeanRate(Seconds(5), Seconds(10)), 100.0, 20.0);
+}
+
+TEST(GeneratorTest, SingleKeyDistribution) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  GeneratorConfig config = BaseConfig(1000.0, Seconds(2));
+  config.key_distribution = KeyDistribution::kSingle;
+  SpawnGenerator(sim, q, config, Rng(4));
+  bool all_same = true;
+  sim.Spawn([](DriverQueue& queue, bool& same) -> des::Task<> {
+    for (;;) {
+      auto r = co_await queue.Pop();
+      if (!r) co_return;
+      if (r->key != 0) same = false;
+    }
+  }(q, all_same));
+  sim.RunUntilIdle();
+  EXPECT_TRUE(all_same);
+}
+
+TEST(GeneratorTest, JoinWorkloadStreamsAndSelectivity) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  GeneratorConfig config = BaseConfig(20000.0, Seconds(10));
+  config.ads_fraction = 0.5;
+  config.join_selectivity = 0.2;
+  SpawnGenerator(sim, q, config, Rng(5));
+  struct Counts {
+    uint64_t ads = 0, purchases = 0, matching = 0;
+    std::map<uint64_t, bool> ad_keys;
+  } counts;
+  // NOTE: coroutine lambdas must not capture (the closure dies before the
+  // frame) — state is passed by reference parameter instead.
+  sim.Spawn([](DriverQueue& queue, Counts& c) -> des::Task<> {
+    for (;;) {
+      auto r = co_await queue.Pop();
+      if (!r) co_return;
+      if (r->stream == engine::StreamId::kAds) {
+        ++c.ads;
+        c.ad_keys[r->key] = true;
+      } else {
+        ++c.purchases;
+        if (c.ad_keys.count(r->key)) ++c.matching;
+        EXPECT_GT(r->value, 0.0);  // purchases carry a price
+      }
+    }
+  }(q, counts));
+  sim.RunUntilIdle();
+  const double total = static_cast<double>(counts.ads + counts.purchases);
+  EXPECT_NEAR(static_cast<double>(counts.ads) / total, 0.5, 0.02);
+  // ~20% of purchases reference a previously seen ad key.
+  EXPECT_NEAR(
+      static_cast<double>(counts.matching) / static_cast<double>(counts.purchases),
+      0.2, 0.03);
+}
+
+TEST(GeneratorTest, NonMatchingPurchasesUseDisjointKeySpace) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  GeneratorConfig config = BaseConfig(5000.0, Seconds(4));
+  config.ads_fraction = 0.5;
+  config.join_selectivity = 0.0;  // no purchase may match any ad
+  SpawnGenerator(sim, q, config, Rng(6));
+  struct Seen {
+    std::map<uint64_t, int> ad_keys;
+    bool overlap = false;
+  } seen;
+  sim.Spawn([](DriverQueue& queue, Seen& sn) -> des::Task<> {
+    for (;;) {
+      auto r = co_await queue.Pop();
+      if (!r) co_return;
+      if (r->stream == engine::StreamId::kAds) {
+        sn.ad_keys[r->key] = 1;
+      } else if (sn.ad_keys.count(r->key)) {
+        sn.overlap = true;
+      }
+    }
+  }(q, seen));
+  sim.RunUntilIdle();
+  EXPECT_FALSE(seen.overlap);
+}
+
+}  // namespace
+}  // namespace sdps::driver

@@ -1,0 +1,76 @@
+#include "driver/latency_sink.h"
+
+#include <gtest/gtest.h>
+
+#include "des/simulator.h"
+
+namespace sdps::driver {
+namespace {
+
+engine::OutputRecord Out(SimTime max_event, SimTime max_ingest, uint64_t key = 1) {
+  engine::OutputRecord o;
+  o.max_event_time = max_event;
+  o.max_ingest_time = max_ingest;
+  o.key = key;
+  return o;
+}
+
+TEST(LatencySinkTest, ComputesBothLatenciesPerDefinitions) {
+  des::Simulator sim;
+  LatencySink sink(sim, /*warmup_end=*/0);
+  sim.RunUntil(Seconds(10));
+  // Definition 1/3: event-time latency = arrival - max event-time.
+  // Definition 2/4: processing-time latency = arrival - max ingest-time.
+  sink.Emit(Out(Seconds(4), Seconds(7)));
+  ASSERT_EQ(sink.event_latency().count(), 1u);
+  EXPECT_EQ(sink.event_latency().Min(), Seconds(6));
+  EXPECT_EQ(sink.processing_latency().Min(), Seconds(3));
+  // Event-time latency includes queueing; processing-time never exceeds it.
+  EXPECT_GE(sink.event_latency().Min(), sink.processing_latency().Min());
+}
+
+TEST(LatencySinkTest, WarmupSamplesExcludedButCounted) {
+  des::Simulator sim;
+  LatencySink sink(sim, /*warmup_end=*/Seconds(10));
+  sim.RunUntil(Seconds(5));
+  sink.Emit(Out(Seconds(4), Seconds(4)));  // during warm-up
+  EXPECT_EQ(sink.total_outputs(), 1u);
+  EXPECT_EQ(sink.event_latency().count(), 0u);
+  sim.RunUntil(Seconds(11));
+  sink.Emit(Out(Seconds(10), Seconds(10)));
+  EXPECT_EQ(sink.total_outputs(), 2u);
+  EXPECT_EQ(sink.event_latency().count(), 1u);
+}
+
+TEST(LatencySinkTest, SeriesSampleTimesAreArrivalTimes) {
+  des::Simulator sim;
+  LatencySink sink(sim, 0);
+  sim.RunUntil(Seconds(3));
+  sink.Emit(Out(Seconds(1), Seconds(2)));
+  ASSERT_EQ(sink.event_latency_series().size(), 1u);
+  EXPECT_EQ(sink.event_latency_series().samples()[0].time, Seconds(3));
+  EXPECT_DOUBLE_EQ(sink.event_latency_series().samples()[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(sink.processing_latency_series().samples()[0].value, 1.0);
+}
+
+TEST(LatencySinkTest, MissingIngestTimeFallsBackToEventLatency) {
+  des::Simulator sim;
+  LatencySink sink(sim, 0);
+  sim.RunUntil(Seconds(2));
+  engine::OutputRecord o = Out(Seconds(1), -1);
+  sink.Emit(o);
+  EXPECT_EQ(sink.processing_latency().Min(), Seconds(1));
+}
+
+TEST(LatencySinkTest, CountsOutputTuplesWithWeight) {
+  des::Simulator sim;
+  LatencySink sink(sim, 0);
+  engine::OutputRecord o = Out(0, 0);
+  o.weight = 25;
+  sink.Emit(o);
+  EXPECT_EQ(sink.total_outputs(), 1u);
+  EXPECT_EQ(sink.total_output_tuples(), 25u);
+}
+
+}  // namespace
+}  // namespace sdps::driver

@@ -1,0 +1,135 @@
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "driver/histogram.h"
+#include "driver/throughput.h"
+#include "driver/timeseries.h"
+
+namespace sdps::driver {
+namespace {
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (SimTime v : {10, 20, 30, 40, 50}) h.Add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.Min(), 10);
+  EXPECT_EQ(h.Max(), 50);
+  EXPECT_DOUBLE_EQ(h.Mean(), 30.0);
+  EXPECT_NEAR(h.Stddev(), 14.14, 0.01);
+}
+
+TEST(HistogramTest, QuantilesMatchSortedReference) {
+  Histogram h;
+  Rng rng(11);
+  std::vector<SimTime> ref;
+  for (int i = 0; i < 10007; ++i) {
+    const auto v = static_cast<SimTime>(rng.NextBelow(1000000));
+    h.Add(v);
+    ref.push_back(v);
+  }
+  std::sort(ref.begin(), ref.end());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    const auto idx = static_cast<size_t>(std::llround(q * (ref.size() - 1)));
+    EXPECT_EQ(h.Quantile(q), ref[idx]) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, QuantileMonotoneProperty) {
+  Histogram h;
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) h.Add(static_cast<SimTime>(rng.NextBelow(5000)));
+  SimTime prev = h.Quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const SimTime v = h.Quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, SummaryInSeconds) {
+  Histogram h;
+  h.Add(Seconds(1));
+  h.Add(Seconds(3));
+  const auto s = h.Summarize();
+  EXPECT_DOUBLE_EQ(s.avg_s, 2.0);
+  EXPECT_DOUBLE_EQ(s.min_s, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_s, 3.0);
+  EXPECT_EQ(s.count, 2u);
+}
+
+TEST(HistogramTest, EmptySummaryIsZero) {
+  Histogram h;
+  const auto s = h.Summarize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.avg_s, 0.0);
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.Add(42);
+  EXPECT_EQ(h.Quantile(0.0), 42);
+  EXPECT_EQ(h.Quantile(0.5), 42);
+  EXPECT_EQ(h.Quantile(1.0), 42);
+}
+
+TEST(TimeSeriesTest, MeanAndMaxInRange) {
+  TimeSeries ts;
+  ts.Add(Seconds(1), 10.0);
+  ts.Add(Seconds(2), 20.0);
+  ts.Add(Seconds(3), 60.0);
+  EXPECT_DOUBLE_EQ(ts.MeanInRange(0, Seconds(3)), 15.0);
+  EXPECT_DOUBLE_EQ(ts.MaxInRange(0, Seconds(10)), 60.0);
+  EXPECT_DOUBLE_EQ(ts.MeanInRange(Seconds(5), Seconds(10)), 0.0);
+}
+
+TEST(TimeSeriesTest, SlopeOfLinearSeries) {
+  TimeSeries ts;
+  for (int i = 0; i <= 100; ++i) {
+    ts.Add(Seconds(i), 5.0 * i + 3.0);
+  }
+  EXPECT_NEAR(ts.SlopePerSecond(), 5.0, 1e-9);
+}
+
+TEST(TimeSeriesTest, SlopeOfFlatSeriesIsZero) {
+  TimeSeries ts;
+  for (int i = 0; i < 50; ++i) ts.Add(Seconds(i), 7.0);
+  EXPECT_NEAR(ts.SlopePerSecond(), 0.0, 1e-12);
+}
+
+TEST(TimeSeriesTest, DownsampleAveragesBuckets) {
+  TimeSeries ts;
+  ts.Add(Millis(100), 1.0);
+  ts.Add(Millis(200), 3.0);
+  ts.Add(Millis(1100), 10.0);
+  TimeSeries down = ts.Downsample(Seconds(1));
+  ASSERT_EQ(down.size(), 2u);
+  EXPECT_DOUBLE_EQ(down.samples()[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(down.samples()[1].value, 10.0);
+  EXPECT_EQ(down.samples()[0].time, Millis(500));  // bucket midpoint
+}
+
+TEST(ThroughputMeterTest, BucketsAndTotal) {
+  ThroughputMeter meter(Seconds(1));
+  meter.Add(Millis(100), 100);
+  meter.Add(Millis(900), 200);
+  meter.Add(Millis(1500), 400);
+  EXPECT_EQ(meter.total_tuples(), 700u);
+  EXPECT_DOUBLE_EQ(meter.MeanRate(0, Seconds(2)), 350.0);
+  EXPECT_DOUBLE_EQ(meter.MeanRate(0, Seconds(1)), 300.0);
+  const auto series = meter.RateSeries();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.samples()[0].value, 300.0);
+  EXPECT_DOUBLE_EQ(series.samples()[1].value, 400.0);
+}
+
+TEST(ThroughputMeterTest, SparseBucketsCountAsZero) {
+  ThroughputMeter meter(Seconds(1));
+  meter.Add(Millis(500), 1000);
+  meter.Add(Seconds(9), 1000);
+  EXPECT_DOUBLE_EQ(meter.MeanRate(0, Seconds(10)), 200.0);
+}
+
+}  // namespace
+}  // namespace sdps::driver

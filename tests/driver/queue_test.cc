@@ -1,0 +1,127 @@
+#include "driver/queue.h"
+
+#include <gtest/gtest.h>
+
+#include "des/simulator.h"
+#include "des/task.h"
+
+namespace sdps::driver {
+namespace {
+
+engine::Record Rec(SimTime t, uint32_t weight = 1) {
+  engine::Record r;
+  r.event_time = t;
+  r.weight = weight;
+  return r;
+}
+
+TEST(DriverQueueTest, PushNeverBlocksAndCountsTuples) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  for (int i = 0; i < 1000; ++i) q.Push(Rec(i, 100));
+  EXPECT_EQ(q.queued_records(), 1000u);
+  EXPECT_EQ(q.queued_tuples(), 100000u);
+  EXPECT_EQ(q.total_pushed_tuples(), 100000u);
+}
+
+TEST(DriverQueueTest, PopDrainsFifo) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  q.Push(Rec(1));
+  q.Push(Rec(2));
+  std::vector<SimTime> got;
+  sim.Spawn([](DriverQueue& queue, std::vector<SimTime>& out) -> des::Task<> {
+    for (;;) {
+      auto r = co_await queue.Pop();
+      if (!r) co_return;
+      out.push_back(r->event_time);
+    }
+  }(q, got));
+  sim.ScheduleAt(10, [&] { q.Close(); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(got, (std::vector<SimTime>{1, 2}));
+  EXPECT_EQ(q.total_popped_tuples(), 2u);
+  EXPECT_EQ(q.queued_tuples(), 0u);
+}
+
+TEST(DriverQueueTest, PopBlocksUntilPush) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  SimTime got_at = -1;
+  sim.Spawn([](des::Simulator& s, DriverQueue& queue, SimTime& t) -> des::Task<> {
+    auto r = co_await queue.Pop();
+    EXPECT_TRUE(r.has_value());
+    t = s.now();
+  }(sim, q, got_at));
+  sim.ScheduleAt(500, [&] { q.Push(Rec(1)); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(got_at, 500);
+}
+
+TEST(DriverQueueTest, MetersPopsNotPushes) {
+  des::Simulator sim;
+  ThroughputMeter meter(Seconds(1));
+  DriverQueue q(sim, &meter);
+  q.Push(Rec(0, 50));
+  q.Push(Rec(0, 50));
+  EXPECT_EQ(meter.total_tuples(), 0u);  // nothing popped yet
+  sim.Spawn([](DriverQueue& queue) -> des::Task<> {
+    (void)co_await queue.Pop();
+  }(q));
+  sim.RunUntilIdle();
+  EXPECT_EQ(meter.total_tuples(), 50u);
+}
+
+TEST(DriverQueueTest, MultipleConsumersEachRecordDeliveredOnce) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  std::vector<int> counts(3, 0);
+  for (int c = 0; c < 3; ++c) {
+    sim.Spawn([](DriverQueue& queue, int& n) -> des::Task<> {
+      for (;;) {
+        auto r = co_await queue.Pop();
+        if (!r) co_return;
+        ++n;
+      }
+    }(q, counts[static_cast<size_t>(c)]));
+  }
+  for (int i = 0; i < 300; ++i) q.Push(Rec(i));
+  sim.ScheduleAt(100, [&] { q.Close(); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], 300);
+}
+
+TEST(DriverQueueTest, CloseWakesWaitersWithNullopt) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  int wakeups = 0;
+  for (int i = 0; i < 4; ++i) {
+    sim.Spawn([](DriverQueue& queue, int& n) -> des::Task<> {
+      auto r = co_await queue.Pop();
+      if (!r.has_value()) ++n;
+    }(q, wakeups));
+  }
+  sim.ScheduleAt(10, [&] { q.Close(); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(wakeups, 4);
+}
+
+TEST(DriverQueueTest, DirectHandoffWhenConsumerWaiting) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  SimTime seen = -1;
+  sim.Spawn([](DriverQueue& queue, SimTime& t) -> des::Task<> {
+    auto r = co_await queue.Pop();
+    t = r->event_time;
+  }(q, seen));
+  sim.ScheduleAt(1, [&] {
+    q.Push(Rec(77));
+    // Value was handed to the waiter, not parked in the buffer.
+    EXPECT_EQ(q.queued_records(), 0u);
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(seen, 77);
+}
+
+}  // namespace
+}  // namespace sdps::driver

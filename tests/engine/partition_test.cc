@@ -1,0 +1,48 @@
+#include "engine/partition.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sdps::engine {
+namespace {
+
+TEST(PartitionTest, InRange) {
+  for (uint64_t k = 0; k < 10000; ++k) {
+    const int p = PartitionForKey(k, 16);
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 16);
+  }
+}
+
+TEST(PartitionTest, Deterministic) {
+  EXPECT_EQ(PartitionForKey(42, 8), PartitionForKey(42, 8));
+}
+
+TEST(PartitionTest, SequentialKeysSpreadEvenly) {
+  // Generator keys are small sequential integers; the mixer must spread
+  // them (raw modulo would alias small key spaces onto few partitions).
+  const int n = 16;
+  std::vector<int> counts(n, 0);
+  for (uint64_t k = 0; k < 16000; ++k) ++counts[static_cast<size_t>(PartitionForKey(k, n))];
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(PartitionTest, SinglePartition) {
+  EXPECT_EQ(PartitionForKey(123456, 1), 0);
+}
+
+TEST(PartitionTest, MixerChangesAllBits) {
+  // Adjacent keys land far apart after mixing.
+  int same = 0;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    if (PartitionForKey(k, 64) == PartitionForKey(k + 1, 64)) ++same;
+  }
+  EXPECT_LT(same, 60);  // ~1/64 expected by chance
+}
+
+}  // namespace
+}  // namespace sdps::engine

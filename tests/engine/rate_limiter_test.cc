@@ -1,0 +1,93 @@
+#include "engine/rate_limiter.h"
+
+#include <gtest/gtest.h>
+
+#include "des/simulator.h"
+#include "des/task.h"
+
+namespace sdps::engine {
+namespace {
+
+des::Task<> AcquireLoop(des::Simulator& sim, RateLimiter& limiter, int n, double tokens,
+                        std::vector<SimTime>& times) {
+  for (int i = 0; i < n; ++i) {
+    co_await limiter.Acquire(tokens);
+    times.push_back(sim.now());
+  }
+}
+
+TEST(RateLimiterTest, PacesToConfiguredRate) {
+  des::Simulator sim;
+  RateLimiter limiter(sim, /*tokens_per_sec=*/1000.0, /*burst=*/1.0);
+  std::vector<SimTime> times;
+  sim.Spawn(AcquireLoop(sim, limiter, 100, 1.0, times));
+  sim.RunUntilIdle();
+  ASSERT_EQ(times.size(), 100u);
+  // 100 tokens at 1000 tokens/s ~ 100 ms total (within rounding).
+  EXPECT_NEAR(static_cast<double>(times.back()), Millis(100), Millis(5));
+}
+
+TEST(RateLimiterTest, BurstAllowsImmediateStart) {
+  des::Simulator sim;
+  RateLimiter limiter(sim, 10.0, /*burst=*/100.0);
+  std::vector<SimTime> times;
+  sim.Spawn([](des::Simulator& s, RateLimiter& l, std::vector<SimTime>& t) -> des::Task<> {
+    co_await des::Delay(s, Seconds(10));  // accumulate burst
+    co_await l.Acquire(50.0);
+    t.push_back(s.now());
+    co_await l.Acquire(50.0);
+    t.push_back(s.now());
+  }(sim, limiter, times));
+  sim.RunUntilIdle();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], Seconds(10));  // burst covers it
+  EXPECT_EQ(times[1], Seconds(10));  // 100 tokens were banked
+}
+
+TEST(RateLimiterTest, BurstIsCapped) {
+  des::Simulator sim;
+  RateLimiter limiter(sim, 10.0, /*burst=*/20.0);
+  SimTime done = -1;
+  sim.Spawn([](des::Simulator& s, RateLimiter& l, SimTime& t) -> des::Task<> {
+    co_await des::Delay(s, Seconds(100));  // would bank 1000 without the cap
+    co_await l.Acquire(20.0);              // covered by burst
+    co_await l.Acquire(10.0);              // must wait ~1s
+    t = s.now();
+  }(sim, limiter, done));
+  sim.RunUntilIdle();
+  EXPECT_NEAR(static_cast<double>(done), Seconds(101), Millis(20));
+}
+
+TEST(RateLimiterTest, SetRateTakesEffect) {
+  des::Simulator sim;
+  RateLimiter limiter(sim, 1000.0, 1.0);
+  std::vector<SimTime> times;
+  sim.Spawn([](des::Simulator& s, RateLimiter& l, std::vector<SimTime>& t) -> des::Task<> {
+    for (int i = 0; i < 10; ++i) {
+      co_await l.Acquire(1.0);
+      t.push_back(s.now());
+    }
+    l.SetRate(10.0);  // 100x slower
+    for (int i = 0; i < 5; ++i) {
+      co_await l.Acquire(1.0);
+      t.push_back(s.now());
+    }
+  }(sim, limiter, times));
+  sim.RunUntilIdle();
+  ASSERT_EQ(times.size(), 15u);
+  const SimTime fast_phase = times[9];
+  const SimTime slow_phase = times[14] - times[9];
+  EXPECT_LT(fast_phase, Millis(15));
+  EXPECT_GT(slow_phase, Millis(400));  // 5 tokens at 10/s ~ 500 ms
+}
+
+TEST(RateLimiterTest, TryAcquire) {
+  des::Simulator sim;
+  RateLimiter limiter(sim, 1000.0, 10.0);
+  sim.RunUntil(Millis(10));  // bank 10 tokens
+  EXPECT_TRUE(limiter.TryAcquire(10.0));
+  EXPECT_FALSE(limiter.TryAcquire(10.0));
+}
+
+}  // namespace
+}  // namespace sdps::engine

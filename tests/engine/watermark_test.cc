@@ -1,0 +1,52 @@
+#include "engine/watermark.h"
+
+#include <gtest/gtest.h>
+
+namespace sdps::engine {
+namespace {
+
+TEST(WatermarkTrackerTest, NoWatermarkUntilAllInputsReport) {
+  WatermarkTracker tracker(3);
+  EXPECT_EQ(tracker.current(), kNoWatermark);
+  EXPECT_FALSE(tracker.Update(0, 100));  // min still kNoWatermark
+  EXPECT_FALSE(tracker.Update(1, 200));
+  EXPECT_TRUE(tracker.Update(2, 150));   // now min = 100
+  EXPECT_EQ(tracker.current(), 100);
+}
+
+TEST(WatermarkTrackerTest, MinAcrossInputs) {
+  WatermarkTracker tracker(2);
+  tracker.Update(0, 100);
+  tracker.Update(1, 50);
+  EXPECT_EQ(tracker.current(), 50);
+  EXPECT_TRUE(tracker.Update(1, 120));  // min advances to 100
+  EXPECT_EQ(tracker.current(), 100);
+}
+
+TEST(WatermarkTrackerTest, StaleWatermarksIgnored) {
+  WatermarkTracker tracker(1);
+  EXPECT_TRUE(tracker.Update(0, 100));
+  EXPECT_FALSE(tracker.Update(0, 90));  // watermarks are monotone
+  EXPECT_EQ(tracker.current(), 100);
+  EXPECT_FALSE(tracker.Update(0, 100));  // no advance
+}
+
+TEST(WatermarkTrackerTest, AdvanceOnlyWhenMinMoves) {
+  WatermarkTracker tracker(2);
+  tracker.Update(0, 10);
+  tracker.Update(1, 10);
+  EXPECT_FALSE(tracker.Update(0, 20));  // input 1 still holds min at 10
+  EXPECT_EQ(tracker.current(), 10);
+  EXPECT_TRUE(tracker.Update(1, 15));
+  EXPECT_EQ(tracker.current(), 15);
+}
+
+TEST(WatermarkTrackerTest, SingleInput) {
+  WatermarkTracker tracker(1);
+  EXPECT_TRUE(tracker.Update(0, 5));
+  EXPECT_TRUE(tracker.Update(0, 6));
+  EXPECT_EQ(tracker.current(), 6);
+}
+
+}  // namespace
+}  // namespace sdps::engine

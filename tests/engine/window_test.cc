@@ -1,0 +1,113 @@
+#include "engine/window.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace sdps::engine {
+namespace {
+
+TEST(WindowAssignerTest, PaperWindowBasics) {
+  // The paper's Experiment 1 window: 8 s range, 4 s slide.
+  WindowAssigner assigner({Seconds(8), Seconds(4)});
+  EXPECT_EQ(assigner.WindowsPerRecord(), 2);
+  EXPECT_EQ(assigner.WindowStart(0), 0);
+  EXPECT_EQ(assigner.WindowEnd(0), Seconds(8));
+  EXPECT_EQ(assigner.WindowStart(3), Seconds(12));
+  EXPECT_EQ(assigner.WindowEnd(3), Seconds(20));
+}
+
+TEST(WindowAssignerTest, AssignReturnsAllContainingWindows) {
+  WindowAssigner assigner({Seconds(8), Seconds(4)});
+  std::vector<int64_t> windows;
+  assigner.Assign(Seconds(5), &windows);  // in [0,8) and [4,12)
+  EXPECT_EQ(windows, (std::vector<int64_t>{0, 1}));
+
+  windows.clear();
+  assigner.Assign(Seconds(4), &windows);  // boundary: [0,8) and [4,12)
+  EXPECT_EQ(windows, (std::vector<int64_t>{0, 1}));
+
+  windows.clear();
+  assigner.Assign(0, &windows);
+  EXPECT_EQ(windows, (std::vector<int64_t>{-1, 0}));
+}
+
+TEST(WindowAssignerTest, TumblingWindowSingleAssignment) {
+  WindowAssigner assigner({Seconds(60), Seconds(60)});
+  EXPECT_EQ(assigner.WindowsPerRecord(), 1);
+  std::vector<int64_t> windows;
+  assigner.Assign(Seconds(61), &windows);
+  EXPECT_EQ(windows, (std::vector<int64_t>{1}));
+}
+
+TEST(WindowAssignerTest, FirstAndLastWindow) {
+  WindowAssigner assigner({Seconds(8), Seconds(4)});
+  EXPECT_EQ(assigner.LastWindowFor(Seconds(9)), 2);
+  EXPECT_EQ(assigner.FirstWindowFor(Seconds(9)), 1);
+}
+
+TEST(WindowAssignerDeathTest, RejectsMisalignedSpec) {
+  EXPECT_DEATH(WindowAssigner({Seconds(10), Seconds(4)}), "multiple");
+  EXPECT_DEATH(WindowAssigner({Seconds(4), Seconds(8)}), "CHECK");
+  EXPECT_DEATH(WindowAssigner({0, Seconds(4)}), "CHECK");
+}
+
+// -- Property-based sweep over (range, slide, timestamp) --------------------
+
+struct WindowParam {
+  SimTime range;
+  SimTime slide;
+};
+
+class WindowPropertyTest : public ::testing::TestWithParam<WindowParam> {};
+
+TEST_P(WindowPropertyTest, AssignmentInvariants) {
+  const auto [range, slide] = GetParam();
+  WindowAssigner assigner({range, slide});
+  Rng rng(range * 31 + slide);
+  std::vector<int64_t> windows;
+  for (int i = 0; i < 2000; ++i) {
+    const SimTime t = static_cast<SimTime>(rng.NextBelow(
+        static_cast<uint64_t>(Seconds(1000))));
+    windows.clear();
+    assigner.Assign(t, &windows);
+    // Exactly range/slide windows, each actually containing t, consecutive.
+    ASSERT_EQ(static_cast<int64_t>(windows.size()), range / slide);
+    for (size_t k = 0; k < windows.size(); ++k) {
+      ASSERT_TRUE(assigner.Contains(windows[k], t))
+          << "t=" << t << " window=" << windows[k];
+      if (k > 0) {
+        ASSERT_EQ(windows[k], windows[k - 1] + 1);
+      }
+    }
+    // The neighbouring windows do NOT contain t.
+    ASSERT_FALSE(assigner.Contains(windows.front() - 1, t));
+    ASSERT_FALSE(assigner.Contains(windows.back() + 1, t));
+  }
+}
+
+TEST_P(WindowPropertyTest, WindowGeometry) {
+  const auto [range, slide] = GetParam();
+  WindowAssigner assigner({range, slide});
+  for (int64_t w = -5; w <= 5; ++w) {
+    EXPECT_EQ(assigner.WindowEnd(w) - assigner.WindowStart(w), range);
+    EXPECT_EQ(assigner.WindowStart(w + 1) - assigner.WindowStart(w), slide);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WindowPropertyTest,
+    ::testing::Values(WindowParam{Seconds(8), Seconds(4)},
+                      WindowParam{Seconds(8), Seconds(8)},
+                      WindowParam{Seconds(60), Seconds(60)},
+                      WindowParam{Seconds(60), Seconds(4)},
+                      WindowParam{Seconds(10), Seconds(2)},
+                      WindowParam{Millis(500), Millis(100)},
+                      WindowParam{Seconds(1), Seconds(1)}),
+    [](const auto& info) {
+      return "r" + std::to_string(info.param.range / 1000) + "_s" +
+             std::to_string(info.param.slide / 1000);
+    });
+
+}  // namespace
+}  // namespace sdps::engine

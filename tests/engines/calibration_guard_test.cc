@@ -1,0 +1,115 @@
+// Calibration guards: fast integration runs asserting that each engine
+// model still sits in its paper-shaped operating envelope (Table I
+// anchors). These protect the calibrated constants against accidental
+// regression — if one fails after an engine change, re-run
+// bench/calibrate and re-tune (see workloads/calibration.h).
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+#include "workloads/workloads.h"
+
+namespace sdps {
+namespace {
+
+using workloads::Engine;
+using workloads::MakeEngineFactory;
+using workloads::MakeExperiment;
+
+driver::ExperimentResult RunOnce(Engine engine, engine::QueryKind query, int workers,
+                             double rate) {
+  driver::ExperimentConfig config = MakeExperiment(query, workers, rate, Seconds(60));
+  return driver::RunExperiment(config,
+                               MakeEngineFactory(engine, engine::QueryConfig{query, {}}));
+}
+
+// -- Table I anchors: each engine sustains slightly below its paper rate
+// -- and fails well above it. ------------------------------------------------
+
+TEST(CalibrationGuardTest, FlinkAggSustainsNearPaperRate) {
+  auto r = RunOnce(Engine::kFlink, engine::QueryKind::kAggregation, 2, 1.1e6);
+  EXPECT_TRUE(r.sustainable) << r.verdict;  // paper: 1.2 M/s
+}
+
+TEST(CalibrationGuardTest, FlinkAggCappedByNetwork) {
+  auto r = RunOnce(Engine::kFlink, engine::QueryKind::kAggregation, 8, 1.5e6);
+  EXPECT_FALSE(r.sustainable);  // the trunk ceiling is ~1.2 M/s
+  EXPECT_GT(r.mean_ingest_rate, 0.85e6);  // run aborts early at 1.5x, truncating the mean
+  EXPECT_LT(r.mean_ingest_rate, 1.35e6);
+}
+
+TEST(CalibrationGuardTest, StormAggEnvelope) {
+  EXPECT_TRUE(RunOnce(Engine::kStorm, engine::QueryKind::kAggregation, 2, 0.37e6)
+                  .sustainable);          // paper: 0.40
+  EXPECT_FALSE(RunOnce(Engine::kStorm, engine::QueryKind::kAggregation, 2, 0.55e6)
+                   .sustainable);
+}
+
+TEST(CalibrationGuardTest, SparkAggEnvelope) {
+  EXPECT_TRUE(RunOnce(Engine::kSpark, engine::QueryKind::kAggregation, 4, 0.58e6)
+                  .sustainable);          // paper: 0.64
+  EXPECT_FALSE(RunOnce(Engine::kSpark, engine::QueryKind::kAggregation, 4, 0.85e6)
+                   .sustainable);
+}
+
+TEST(CalibrationGuardTest, FlinkBeatsSparkAndStormOnAggThroughput) {
+  // The paper's headline ordering at 4 nodes: Flink sustains a rate that
+  // chokes both Storm and Spark.
+  const double rate = 0.9e6;
+  EXPECT_TRUE(
+      RunOnce(Engine::kFlink, engine::QueryKind::kAggregation, 4, rate).sustainable);
+  EXPECT_FALSE(
+      RunOnce(Engine::kStorm, engine::QueryKind::kAggregation, 4, rate).sustainable);
+  EXPECT_FALSE(
+      RunOnce(Engine::kSpark, engine::QueryKind::kAggregation, 4, rate).sustainable);
+}
+
+TEST(CalibrationGuardTest, JoinOrderingFlinkOverSpark) {
+  const double rate = 0.55e6;  // between Spark's (~0.36) and Flink's (~0.82) 2-node caps
+  EXPECT_TRUE(RunOnce(Engine::kFlink, engine::QueryKind::kJoin, 2, rate).sustainable);
+  EXPECT_FALSE(RunOnce(Engine::kSpark, engine::QueryKind::kJoin, 2, rate).sustainable);
+}
+
+TEST(CalibrationGuardTest, LatencyOrderingAtModerateLoad) {
+  // At a load all three sustain, the paper's latency ordering holds:
+  // Flink < Storm < Spark.
+  const double rate = 0.3e6;
+  auto flink = RunOnce(Engine::kFlink, engine::QueryKind::kAggregation, 4, rate);
+  auto storm = RunOnce(Engine::kStorm, engine::QueryKind::kAggregation, 4, rate);
+  auto spark = RunOnce(Engine::kSpark, engine::QueryKind::kAggregation, 4, rate);
+  ASSERT_FALSE(flink.event_latency.empty());
+  ASSERT_FALSE(storm.event_latency.empty());
+  ASSERT_FALSE(spark.event_latency.empty());
+  EXPECT_LT(flink.event_latency.Mean(), storm.event_latency.Mean());
+  EXPECT_LT(storm.event_latency.Mean(), spark.event_latency.Mean());
+}
+
+TEST(CalibrationGuardTest, SparkLatencyQuantisedByBatch) {
+  auto r = RunOnce(Engine::kSpark, engine::QueryKind::kAggregation, 4, 0.3e6);
+  ASSERT_FALSE(r.event_latency.empty());
+  // No Spark output can beat the job pipeline after the batch boundary.
+  EXPECT_GT(r.event_latency.Min(), Millis(300));
+}
+
+TEST(CalibrationGuardTest, SparkJobQueueGrowthThrottlesIngest) {
+  // Regression guard for the PID's scheduling-delay term: when the job
+  // path (here: a single hot reduce partition without map-side combine)
+  // overruns the batch interval persistently, the controller must
+  // throttle the receivers so the overload becomes visible at the driver
+  // queues — it must NOT hide inside a growing internal job queue.
+  driver::ExperimentConfig config = MakeExperiment(
+      engine::QueryKind::kAggregation, 4, 0.66e6, Seconds(60));
+  config.generator.key_distribution = driver::KeyDistribution::kSingle;
+  config.generator.num_keys = 1;
+  workloads::EngineTuning no_tree;
+  no_tree.spark_tree_aggregate = false;
+  auto r = driver::RunExperiment(
+      config,
+      MakeEngineFactory(Engine::kSpark,
+                        engine::QueryConfig{engine::QueryKind::kAggregation, {}},
+                        no_tree));
+  EXPECT_FALSE(r.sustainable);
+  EXPECT_LT(r.mean_ingest_rate, 0.4e6);  // throttled well below offered
+}
+
+}  // namespace
+}  // namespace sdps

@@ -1,0 +1,94 @@
+#include "report/json_export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace sdps::report {
+namespace {
+
+driver::ExperimentResult SampleResult() {
+  driver::ExperimentResult r;
+  r.sustainable = true;
+  r.verdict = "sustained";
+  r.offered_rate = 1e6;
+  r.mean_ingest_rate = 9.9e5;
+  r.output_records = 1234;
+  r.event_latency.Add(Seconds(1));
+  r.event_latency.Add(Seconds(3));
+  r.processing_latency.Add(Seconds(1));
+  r.event_latency_series.Add(Seconds(1), 1.0);
+  r.event_latency_series.Add(Seconds(2), 3.0);
+  r.ingest_rate_series.Add(Seconds(1), 1e6);
+  r.engine_series["scheduler_delay_s"].Add(Seconds(4), 0.5);
+  return r;
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonExportTest, ContainsSummaryFields) {
+  const std::string json = ExperimentResultToJson(SampleResult());
+  EXPECT_NE(json.find("\"sustainable\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\":\"sustained\""), std::string::npos);
+  EXPECT_NE(json.find("\"output_records\":1234"), std::string::npos);
+  EXPECT_NE(json.find("\"event_latency\":{\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"avg_s\":2"), std::string::npos);
+}
+
+TEST(JsonExportTest, SeriesIncludedAndEngineSeriesNamed) {
+  const std::string json = ExperimentResultToJson(SampleResult(), Seconds(1));
+  EXPECT_NE(json.find("\"ingest_tuples_per_s\":[["), std::string::npos);
+  EXPECT_NE(json.find("\"scheduler_delay_s\":[["), std::string::npos);
+}
+
+TEST(JsonExportTest, SummaryOnlyExportSkipsSeries) {
+  const std::string json = ExperimentResultToJson(SampleResult(), 0);
+  EXPECT_EQ(json.find("\"series\""), std::string::npos);
+}
+
+TEST(JsonExportTest, BalancedBracesAndQuotes) {
+  const std::string json = ExperimentResultToJson(SampleResult());
+  int braces = 0, brackets = 0, quotes = 0;
+  bool escaped = false;
+  for (const char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') escaped = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    if (c == '"') ++quotes;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(quotes % 2, 0);
+}
+
+TEST(JsonExportTest, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/sdps_result.json";
+  ASSERT_TRUE(WriteExperimentJson(path, SampleResult()).ok());
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("\"sustainable\":true"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(JsonExportTest, BadPathFails) {
+  EXPECT_TRUE(
+      WriteExperimentJson("/nonexistent_dir_xyz/r.json", SampleResult()).IsNotFound());
+}
+
+}  // namespace
+}  // namespace sdps::report

@@ -1,0 +1,66 @@
+#include "report/table.h"
+
+#include <gtest/gtest.h>
+
+namespace sdps::report {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"System", "2-node"});
+  t.AddRow({"Storm", "0.40 M/s"});
+  t.AddRow({"Flink", "1.20 M/s"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("| System | 2-node   |"), std::string::npos);
+  EXPECT_NE(out.find("| Storm  | 0.40 M/s |"), std::string::npos);
+  EXPECT_NE(out.find("+--------+----------+"), std::string::npos);
+}
+
+TEST(TableTest, WidensForLongCells) {
+  Table t({"a"});
+  t.AddRow({"a-very-long-cell"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("| a-very-long-cell |"), std::string::npos);
+}
+
+TEST(TableDeathTest, RowArityMustMatchHeader) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "CHECK");
+}
+
+TEST(FormatLatencyRowTest, PaperCellFormat) {
+  driver::Histogram h;
+  h.Add(Seconds(1));
+  h.Add(Seconds(2));
+  h.Add(Seconds(3));
+  const std::string cell = FormatLatencyRow(h.Summarize());
+  EXPECT_EQ(cell, "2.00 1.000 3.0 (3.0, 3.0, 3.0)");
+}
+
+TEST(ShapeCheckTest, PassWithinToleranceBand) {
+  ShapeCheck c{"x", 1.0, 1.4, 0.5};
+  EXPECT_TRUE(c.Pass());  // ratio 1.4 within [0.5, 2.0]
+  c.measured_value = 2.5;
+  EXPECT_FALSE(c.Pass());
+  c.measured_value = 0.4;
+  EXPECT_FALSE(c.Pass());
+  c.measured_value = 0.55;
+  EXPECT_TRUE(c.Pass());
+}
+
+TEST(ShapeCheckTest, ZeroPaperValue) {
+  ShapeCheck c{"x", 0.0, 0.0, 0.5};
+  EXPECT_TRUE(c.Pass());
+  c.measured_value = 0.1;
+  EXPECT_FALSE(c.Pass());
+}
+
+TEST(ShapeCheckTest, RenderTally) {
+  std::vector<ShapeCheck> checks = {{"good", 1.0, 1.0, 0.5}, {"bad", 1.0, 9.0, 0.5}};
+  const std::string out = RenderChecks(checks);
+  EXPECT_NE(out.find("[PASS] good"), std::string::npos);
+  EXPECT_NE(out.find("[WARN] bad"), std::string::npos);
+  EXPECT_NE(out.find("1/2 within tolerance"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdps::report

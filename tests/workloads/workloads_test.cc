@@ -1,0 +1,72 @@
+#include "workloads/workloads.h"
+
+#include <gtest/gtest.h>
+
+namespace sdps::workloads {
+namespace {
+
+TEST(WorkloadsTest, EngineNames) {
+  EXPECT_EQ(EngineName(Engine::kStorm), "Storm");
+  EXPECT_EQ(EngineName(Engine::kSpark), "Spark");
+  EXPECT_EQ(EngineName(Engine::kFlink), "Flink");
+}
+
+TEST(WorkloadsTest, PaperClusterMatchesTestbed) {
+  const auto config = PaperCluster(4);
+  EXPECT_EQ(config.workers, 4);
+  EXPECT_EQ(config.drivers, 4);  // "equal number of workers and driver nodes"
+  EXPECT_EQ(config.node.cpu_slots, 16);
+  EXPECT_EQ(config.node.memory_bytes, 16LL * 1024 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(config.nic_bytes_per_sec, 125e6);  // 1 Gb/s
+}
+
+TEST(WorkloadsTest, GeneratorPresets) {
+  const auto agg = AggregationGenerator();
+  EXPECT_EQ(agg.key_distribution, driver::KeyDistribution::kNormal);
+  EXPECT_DOUBLE_EQ(agg.ads_fraction, 0.0);
+
+  const auto join = JoinGenerator();
+  EXPECT_GT(join.ads_fraction, 0.0);
+  EXPECT_GT(join.join_selectivity, 0.0);
+  EXPECT_LT(join.join_selectivity, 0.2);  // "reduced selectivity"
+}
+
+TEST(WorkloadsTest, MakeExperimentWiresEverything) {
+  const auto config = MakeExperiment(engine::QueryKind::kJoin, 8, 1.5e6, Seconds(60));
+  EXPECT_EQ(config.cluster.workers, 8);
+  EXPECT_DOUBLE_EQ(config.total_rate, 1.5e6);
+  EXPECT_EQ(config.duration, Seconds(60));
+  EXPECT_GT(config.generator.ads_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(config.warmup_fraction, 0.25);  // paper: 25% warm-up
+}
+
+TEST(WorkloadsTest, FluctuatingProfileMatchesPaper) {
+  // "We start the benchmark with a workload of 0.84M/s then decrease it
+  // to 0.28M/s and increase again after a while."
+  const auto profile = FluctuatingProfile(Seconds(100));
+  EXPECT_DOUBLE_EQ(profile(0), 0.84e6);
+  EXPECT_DOUBLE_EQ(profile(Seconds(50)), 0.28e6);
+  EXPECT_DOUBLE_EQ(profile(Seconds(70)), 0.84e6);
+}
+
+TEST(WorkloadsTest, FactoriesProduceNamedEngines) {
+  engine::QueryConfig query{engine::QueryKind::kAggregation, {}};
+  driver::SutContext dummy_ctx;
+  EXPECT_EQ(MakeEngineFactory(Engine::kFlink, query)(dummy_ctx)->name(), "flink");
+  EXPECT_EQ(MakeEngineFactory(Engine::kStorm, query)(dummy_ctx)->name(), "storm");
+  EXPECT_EQ(MakeEngineFactory(Engine::kSpark, query)(dummy_ctx)->name(), "spark");
+}
+
+TEST(WorkloadsTest, TuningFlagsReachConfigs) {
+  engine::QueryConfig query{engine::QueryKind::kAggregation, {}};
+  EngineTuning tuning;
+  tuning.storm_backpressure = false;
+  tuning.spark_inverse_reduce = true;
+  tuning.spark_tree_aggregate = false;
+  EXPECT_FALSE(CalibratedStorm(query, tuning).enable_backpressure);
+  EXPECT_TRUE(CalibratedSpark(query, tuning).inverse_reduce);
+  EXPECT_FALSE(CalibratedSpark(query, tuning).tree_aggregate);
+}
+
+}  // namespace
+}  // namespace sdps::workloads
