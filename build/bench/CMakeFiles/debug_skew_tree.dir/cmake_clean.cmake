@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_skew_tree.dir/debug_skew_tree.cc.o"
+  "CMakeFiles/debug_skew_tree.dir/debug_skew_tree.cc.o.d"
+  "debug_skew_tree"
+  "debug_skew_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_skew_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

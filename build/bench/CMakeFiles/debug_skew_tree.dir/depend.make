@@ -1,0 +1,2 @@
+# Empty dependencies file for debug_skew_tree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp3_large_windows.dir/exp3_large_windows.cc.o"
+  "CMakeFiles/exp3_large_windows.dir/exp3_large_windows.cc.o.d"
+  "exp3_large_windows"
+  "exp3_large_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp3_large_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp4_skew.dir/exp4_skew.cc.o"
+  "CMakeFiles/exp4_skew.dir/exp4_skew.cc.o.d"
+  "exp4_skew"
+  "exp4_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp4_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

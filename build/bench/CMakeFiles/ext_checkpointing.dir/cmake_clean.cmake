@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_checkpointing.dir/ext_checkpointing.cc.o"
+  "CMakeFiles/ext_checkpointing.dir/ext_checkpointing.cc.o.d"
+  "ext_checkpointing"
+  "ext_checkpointing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_checkpointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

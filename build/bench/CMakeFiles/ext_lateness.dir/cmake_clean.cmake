@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_lateness.dir/ext_lateness.cc.o"
+  "CMakeFiles/ext_lateness.dir/ext_lateness.cc.o.d"
+  "ext_lateness"
+  "ext_lateness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lateness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

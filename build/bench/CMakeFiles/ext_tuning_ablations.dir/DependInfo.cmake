@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_tuning_ablations.cc" "bench/CMakeFiles/ext_tuning_ablations.dir/ext_tuning_ablations.cc.o" "gcc" "bench/CMakeFiles/ext_tuning_ablations.dir/ext_tuning_ablations.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/sdps_benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sdps_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/flink/CMakeFiles/sdps_flink.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/storm/CMakeFiles/sdps_storm.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/spark/CMakeFiles/sdps_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/sdps_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/sdps_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/sdps_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sdps_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/sdps_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tuning_ablations.dir/ext_tuning_ablations.cc.o"
+  "CMakeFiles/ext_tuning_ablations.dir/ext_tuning_ablations.cc.o.d"
+  "ext_tuning_ablations"
+  "ext_tuning_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tuning_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

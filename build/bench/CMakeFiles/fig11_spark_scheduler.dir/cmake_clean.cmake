@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_spark_scheduler.dir/fig11_spark_scheduler.cc.o"
+  "CMakeFiles/fig11_spark_scheduler.dir/fig11_spark_scheduler.cc.o.d"
+  "fig11_spark_scheduler"
+  "fig11_spark_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_spark_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_agg_latency_series.dir/fig4_agg_latency_series.cc.o"
+  "CMakeFiles/fig4_agg_latency_series.dir/fig4_agg_latency_series.cc.o.d"
+  "fig4_agg_latency_series"
+  "fig4_agg_latency_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_agg_latency_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

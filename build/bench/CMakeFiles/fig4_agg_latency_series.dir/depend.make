@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_agg_latency_series.
+# This may be replaced when dependencies are built.

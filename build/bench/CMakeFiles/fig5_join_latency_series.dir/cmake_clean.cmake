@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_join_latency_series.dir/fig5_join_latency_series.cc.o"
+  "CMakeFiles/fig5_join_latency_series.dir/fig5_join_latency_series.cc.o.d"
+  "fig5_join_latency_series"
+  "fig5_join_latency_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_join_latency_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fluctuating.dir/fig6_fluctuating.cc.o"
+  "CMakeFiles/fig6_fluctuating.dir/fig6_fluctuating.cc.o.d"
+  "fig6_fluctuating"
+  "fig6_fluctuating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fluctuating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_overload.dir/fig7_overload.cc.o"
+  "CMakeFiles/fig7_overload.dir/fig7_overload.cc.o.d"
+  "fig7_overload"
+  "fig7_overload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_overload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

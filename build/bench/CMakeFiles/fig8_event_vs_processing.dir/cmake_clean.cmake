@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_event_vs_processing.dir/fig8_event_vs_processing.cc.o"
+  "CMakeFiles/fig8_event_vs_processing.dir/fig8_event_vs_processing.cc.o.d"
+  "fig8_event_vs_processing"
+  "fig8_event_vs_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_event_vs_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

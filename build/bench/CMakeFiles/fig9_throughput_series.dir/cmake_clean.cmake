@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_throughput_series.dir/fig9_throughput_series.cc.o"
+  "CMakeFiles/fig9_throughput_series.dir/fig9_throughput_series.cc.o.d"
+  "fig9_throughput_series"
+  "fig9_throughput_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_throughput_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdps_benchutil.dir/bench_util.cc.o"
+  "CMakeFiles/sdps_benchutil.dir/bench_util.cc.o.d"
+  "libsdps_benchutil.a"
+  "libsdps_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdps_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

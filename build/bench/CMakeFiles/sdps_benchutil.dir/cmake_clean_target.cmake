@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdps_benchutil.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_agg_latency.dir/table2_agg_latency.cc.o"
+  "CMakeFiles/table2_agg_latency.dir/table2_agg_latency.cc.o.d"
+  "table2_agg_latency"
+  "table2_agg_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_agg_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

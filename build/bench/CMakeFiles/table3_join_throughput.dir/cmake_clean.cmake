@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_join_throughput.dir/table3_join_throughput.cc.o"
+  "CMakeFiles/table3_join_throughput.dir/table3_join_throughput.cc.o.d"
+  "table3_join_throughput"
+  "table3_join_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_join_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_campaign_join.dir/ad_campaign_join.cpp.o"
+  "CMakeFiles/ad_campaign_join.dir/ad_campaign_join.cpp.o.d"
+  "ad_campaign_join"
+  "ad_campaign_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_campaign_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

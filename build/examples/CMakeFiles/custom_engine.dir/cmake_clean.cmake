@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_engine.dir/custom_engine.cpp.o"
+  "CMakeFiles/custom_engine.dir/custom_engine.cpp.o.d"
+  "custom_engine"
+  "custom_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

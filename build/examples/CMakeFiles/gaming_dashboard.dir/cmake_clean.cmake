@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaming_dashboard.dir/gaming_dashboard.cpp.o"
+  "CMakeFiles/gaming_dashboard.dir/gaming_dashboard.cpp.o.d"
+  "gaming_dashboard"
+  "gaming_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaming_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

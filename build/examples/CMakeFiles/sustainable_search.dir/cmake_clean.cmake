@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sustainable_search.dir/sustainable_search.cpp.o"
+  "CMakeFiles/sustainable_search.dir/sustainable_search.cpp.o.d"
+  "sustainable_search"
+  "sustainable_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sustainable_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

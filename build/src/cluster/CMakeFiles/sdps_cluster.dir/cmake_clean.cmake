@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdps_cluster.dir/cluster.cc.o"
+  "CMakeFiles/sdps_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/sdps_cluster.dir/gc.cc.o"
+  "CMakeFiles/sdps_cluster.dir/gc.cc.o.d"
+  "CMakeFiles/sdps_cluster.dir/network.cc.o"
+  "CMakeFiles/sdps_cluster.dir/network.cc.o.d"
+  "CMakeFiles/sdps_cluster.dir/node.cc.o"
+  "CMakeFiles/sdps_cluster.dir/node.cc.o.d"
+  "libsdps_cluster.a"
+  "libsdps_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdps_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

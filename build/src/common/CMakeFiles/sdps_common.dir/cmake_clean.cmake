@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdps_common.dir/csv.cc.o"
+  "CMakeFiles/sdps_common.dir/csv.cc.o.d"
+  "CMakeFiles/sdps_common.dir/logging.cc.o"
+  "CMakeFiles/sdps_common.dir/logging.cc.o.d"
+  "CMakeFiles/sdps_common.dir/random.cc.o"
+  "CMakeFiles/sdps_common.dir/random.cc.o.d"
+  "CMakeFiles/sdps_common.dir/status.cc.o"
+  "CMakeFiles/sdps_common.dir/status.cc.o.d"
+  "CMakeFiles/sdps_common.dir/strings.cc.o"
+  "CMakeFiles/sdps_common.dir/strings.cc.o.d"
+  "CMakeFiles/sdps_common.dir/time_util.cc.o"
+  "CMakeFiles/sdps_common.dir/time_util.cc.o.d"
+  "libsdps_common.a"
+  "libsdps_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdps_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdps_des.dir/simulator.cc.o"
+  "CMakeFiles/sdps_des.dir/simulator.cc.o.d"
+  "libsdps_des.a"
+  "libsdps_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdps_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

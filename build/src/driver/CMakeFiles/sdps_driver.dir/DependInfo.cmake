@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/experiment.cc" "src/driver/CMakeFiles/sdps_driver.dir/experiment.cc.o" "gcc" "src/driver/CMakeFiles/sdps_driver.dir/experiment.cc.o.d"
+  "/root/repo/src/driver/generator.cc" "src/driver/CMakeFiles/sdps_driver.dir/generator.cc.o" "gcc" "src/driver/CMakeFiles/sdps_driver.dir/generator.cc.o.d"
+  "/root/repo/src/driver/histogram.cc" "src/driver/CMakeFiles/sdps_driver.dir/histogram.cc.o" "gcc" "src/driver/CMakeFiles/sdps_driver.dir/histogram.cc.o.d"
+  "/root/repo/src/driver/sustainable.cc" "src/driver/CMakeFiles/sdps_driver.dir/sustainable.cc.o" "gcc" "src/driver/CMakeFiles/sdps_driver.dir/sustainable.cc.o.d"
+  "/root/repo/src/driver/throughput.cc" "src/driver/CMakeFiles/sdps_driver.dir/throughput.cc.o" "gcc" "src/driver/CMakeFiles/sdps_driver.dir/throughput.cc.o.d"
+  "/root/repo/src/driver/timeseries.cc" "src/driver/CMakeFiles/sdps_driver.dir/timeseries.cc.o" "gcc" "src/driver/CMakeFiles/sdps_driver.dir/timeseries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/sdps_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sdps_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/sdps_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

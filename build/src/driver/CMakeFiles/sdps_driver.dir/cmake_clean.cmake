@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdps_driver.dir/experiment.cc.o"
+  "CMakeFiles/sdps_driver.dir/experiment.cc.o.d"
+  "CMakeFiles/sdps_driver.dir/generator.cc.o"
+  "CMakeFiles/sdps_driver.dir/generator.cc.o.d"
+  "CMakeFiles/sdps_driver.dir/histogram.cc.o"
+  "CMakeFiles/sdps_driver.dir/histogram.cc.o.d"
+  "CMakeFiles/sdps_driver.dir/sustainable.cc.o"
+  "CMakeFiles/sdps_driver.dir/sustainable.cc.o.d"
+  "CMakeFiles/sdps_driver.dir/throughput.cc.o"
+  "CMakeFiles/sdps_driver.dir/throughput.cc.o.d"
+  "CMakeFiles/sdps_driver.dir/timeseries.cc.o"
+  "CMakeFiles/sdps_driver.dir/timeseries.cc.o.d"
+  "libsdps_driver.a"
+  "libsdps_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdps_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

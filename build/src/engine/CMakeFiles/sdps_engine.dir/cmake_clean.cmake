@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdps_engine.dir/window_state.cc.o"
+  "CMakeFiles/sdps_engine.dir/window_state.cc.o.d"
+  "libsdps_engine.a"
+  "libsdps_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdps_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

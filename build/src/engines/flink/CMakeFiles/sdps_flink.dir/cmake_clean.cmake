@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdps_flink.dir/flink.cc.o"
+  "CMakeFiles/sdps_flink.dir/flink.cc.o.d"
+  "libsdps_flink.a"
+  "libsdps_flink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdps_flink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

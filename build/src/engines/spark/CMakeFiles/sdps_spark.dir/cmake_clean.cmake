@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdps_spark.dir/spark.cc.o"
+  "CMakeFiles/sdps_spark.dir/spark.cc.o.d"
+  "libsdps_spark.a"
+  "libsdps_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdps_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

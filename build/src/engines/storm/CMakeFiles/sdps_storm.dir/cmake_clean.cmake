@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdps_storm.dir/storm.cc.o"
+  "CMakeFiles/sdps_storm.dir/storm.cc.o.d"
+  "libsdps_storm.a"
+  "libsdps_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdps_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

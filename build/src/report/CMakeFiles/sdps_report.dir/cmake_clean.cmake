@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdps_report.dir/json_export.cc.o"
+  "CMakeFiles/sdps_report.dir/json_export.cc.o.d"
+  "CMakeFiles/sdps_report.dir/table.cc.o"
+  "CMakeFiles/sdps_report.dir/table.cc.o.d"
+  "libsdps_report.a"
+  "libsdps_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdps_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdps_workloads.dir/workloads.cc.o"
+  "CMakeFiles/sdps_workloads.dir/workloads.cc.o.d"
+  "libsdps_workloads.a"
+  "libsdps_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdps_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

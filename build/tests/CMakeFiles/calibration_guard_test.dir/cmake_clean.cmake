@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_guard_test.dir/engines/calibration_guard_test.cc.o"
+  "CMakeFiles/calibration_guard_test.dir/engines/calibration_guard_test.cc.o.d"
+  "calibration_guard_test"
+  "calibration_guard_test.pdb"
+  "calibration_guard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_guard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

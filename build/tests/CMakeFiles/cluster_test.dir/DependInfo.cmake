@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/gc_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster/gc_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/gc_test.cc.o.d"
+  "/root/repo/tests/cluster/network_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster/network_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/network_test.cc.o.d"
+  "/root/repo/tests/cluster/node_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster/node_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/node_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/sdps_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/sdps_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

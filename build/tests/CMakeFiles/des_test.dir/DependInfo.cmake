@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/des/channel_test.cc" "tests/CMakeFiles/des_test.dir/des/channel_test.cc.o" "gcc" "tests/CMakeFiles/des_test.dir/des/channel_test.cc.o.d"
+  "/root/repo/tests/des/latch_test.cc" "tests/CMakeFiles/des_test.dir/des/latch_test.cc.o" "gcc" "tests/CMakeFiles/des_test.dir/des/latch_test.cc.o.d"
+  "/root/repo/tests/des/property_test.cc" "tests/CMakeFiles/des_test.dir/des/property_test.cc.o" "gcc" "tests/CMakeFiles/des_test.dir/des/property_test.cc.o.d"
+  "/root/repo/tests/des/resource_test.cc" "tests/CMakeFiles/des_test.dir/des/resource_test.cc.o" "gcc" "tests/CMakeFiles/des_test.dir/des/resource_test.cc.o.d"
+  "/root/repo/tests/des/simulator_test.cc" "tests/CMakeFiles/des_test.dir/des/simulator_test.cc.o" "gcc" "tests/CMakeFiles/des_test.dir/des/simulator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/sdps_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/partition_test.cc" "tests/CMakeFiles/engine_test.dir/engine/partition_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/partition_test.cc.o.d"
+  "/root/repo/tests/engine/rate_limiter_test.cc" "tests/CMakeFiles/engine_test.dir/engine/rate_limiter_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/rate_limiter_test.cc.o.d"
+  "/root/repo/tests/engine/watermark_test.cc" "tests/CMakeFiles/engine_test.dir/engine/watermark_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/watermark_test.cc.o.d"
+  "/root/repo/tests/engine/window_state_test.cc" "tests/CMakeFiles/engine_test.dir/engine/window_state_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/window_state_test.cc.o.d"
+  "/root/repo/tests/engine/window_test.cc" "tests/CMakeFiles/engine_test.dir/engine/window_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/window_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/sdps_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/sdps_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
