@@ -4,13 +4,74 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "common/csv.h"
 #include "common/strings.h"
+#include "obs/export.h"
+#include "obs/log_bridge.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sdps::bench {
+
+namespace {
+
+/// Strips `--<flag>=` and returns the value, or false if `arg` is some
+/// other argument.
+bool ConsumeFlag(const char* arg, const char* prefix, std::string* value) {
+  const size_t len = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, len) != 0) return false;
+  *value = arg + len;
+  return true;
+}
+
+void WriteDump(const char* what, const std::string& path, const Status& status) {
+  if (status.ok()) {
+    std::fprintf(stderr, "[obs] %s written to %s\n", what, path.c_str());
+  } else {
+    std::fprintf(stderr, "[obs] failed to write %s %s: %s\n", what, path.c_str(),
+                 status.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+TelemetryScope::TelemetryScope(int& argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (ConsumeFlag(argv[i], "--trace=", &trace_path_) ||
+        ConsumeFlag(argv[i], "--metrics=", &metrics_path_) ||
+        ConsumeFlag(argv[i], "--metrics-csv=", &metrics_csv_path_)) {
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+
+  if (!trace_path_.empty() || !metrics_path_.empty() || !metrics_csv_path_.empty()) {
+    obs::Registry::Default().set_enabled(true);
+    obs::InstallLogCounters();
+  }
+  if (!trace_path_.empty()) obs::Tracer::Default().set_enabled(true);
+}
+
+TelemetryScope::~TelemetryScope() {
+  if (!trace_path_.empty()) {
+    WriteDump("trace", trace_path_,
+              obs::WriteChromeTrace(trace_path_, obs::Tracer::Default()));
+  }
+  if (!metrics_path_.empty()) {
+    WriteDump("metrics", metrics_path_,
+              obs::WritePrometheusText(metrics_path_, obs::Registry::Default()));
+  }
+  if (!metrics_csv_path_.empty()) {
+    WriteDump("metrics csv", metrics_csv_path_,
+              obs::WriteMetricsCsv(metrics_csv_path_, obs::Registry::Default()));
+  }
+}
 
 namespace {
 

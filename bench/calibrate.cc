@@ -7,6 +7,7 @@
 #include <cstring>
 #include <ctime>
 
+#include "bench_util.h"
 #include "common/strings.h"
 #include "driver/experiment.h"
 #include "driver/sustainable.h"
@@ -17,6 +18,7 @@ using namespace sdps;          // NOLINT
 using namespace sdps::workloads;  // NOLINT
 
 int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
   Engine engine = Engine::kFlink;
   engine::QueryKind query = engine::QueryKind::kAggregation;
   int workers = 2;

@@ -7,7 +7,8 @@
 using namespace sdps;             // NOLINT
 using namespace sdps::workloads;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
   for (const bool tree : {true, false}) {
     driver::ExperimentConfig config = MakeExperiment(
         engine::QueryKind::kAggregation, 4, 0.66e6, Seconds(60));

@@ -44,7 +44,8 @@ void Report(const char* label, const driver::ExperimentResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
   printf("== Experiment 3: large windows (60s, 60s) vs (8s, 4s), 4-node ==\n\n");
   const engine::WindowSpec small{Seconds(8), Seconds(4)};
   const engine::WindowSpec large{Seconds(60), Seconds(60)};

@@ -46,7 +46,8 @@ double FindSkewedRate(Engine engine, engine::QueryKind query, int workers,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
   printf("== Experiment 4: single-key data skew ==\n\n");
   printf("Aggregation, sustainable throughput under extreme skew:\n");
   std::vector<report::ShapeCheck> checks;

@@ -51,7 +51,8 @@ void Sweep(engine::QueryKind query, double probe_rate) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
   printf("== Extension: exactly-once checkpointing cost (Flink, 4-node) ==\n\n");
   // Probe just below the engine's no-checkpoint sustainable rates so the
   // checkpointing overhead is what tips the system over.

@@ -16,7 +16,8 @@
 using namespace sdps;             // NOLINT
 using namespace sdps::workloads;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
   printf("== Extension: out-of-order data vs allowed lateness (Flink, 4-node) ==\n\n");
   const double rate = 0.6e6;
   report::Table table({"event-time lag", "allowed lateness", "dropped tuples",

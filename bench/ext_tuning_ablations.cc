@@ -30,7 +30,8 @@ driver::SearchConfig QuickSearch(double initial) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
   printf("== Tuning ablations (4-node, windowed aggregation) ==\n");
   const engine::QueryConfig agg{engine::QueryKind::kAggregation, {}};
   driver::ExperimentConfig base =

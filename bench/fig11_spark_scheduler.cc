@@ -16,7 +16,8 @@
 using namespace sdps;             // NOLINT
 using namespace sdps::workloads;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
   printf("== Fig. 11: Spark scheduler delay vs throughput (4-node) ==\n\n");
   engines::SparkConfig spark = CalibratedSpark(
       engine::QueryConfig{engine::QueryKind::kAggregation, {}});

@@ -12,7 +12,8 @@
 using namespace sdps;             // NOLINT
 using namespace sdps::workloads;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
   printf("== Fig. 4: aggregation latency distributions over time ==\n\n");
   const Engine engines[3] = {Engine::kStorm, Engine::kSpark, Engine::kFlink};
   const int sizes[3] = {2, 4, 8};

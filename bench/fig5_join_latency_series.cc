@@ -10,7 +10,8 @@
 using namespace sdps;             // NOLINT
 using namespace sdps::workloads;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
   printf("== Fig. 5: join latency distributions over time ==\n\n");
   const Engine engines[2] = {Engine::kSpark, Engine::kFlink};
   const int sizes[3] = {2, 4, 8};

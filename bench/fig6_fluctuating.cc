@@ -22,7 +22,8 @@ struct Panel {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
   // 4-node deployment, as in the paper's spike setting: the 0.84 M/s
   // plateau transiently OVERLOADS Storm (0.70 sustainable) and Spark
   // (0.66) — their event-time latency climbs during the high phases and

@@ -10,7 +10,8 @@
 using namespace sdps;             // NOLINT
 using namespace sdps::workloads;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
   printf("== Fig. 7: event vs processing time, Spark overloaded (2-node) ==\n\n");
   const double sustainable =
       bench::SustainableRate(Engine::kSpark, engine::QueryKind::kAggregation, 2);

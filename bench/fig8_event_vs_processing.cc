@@ -11,7 +11,8 @@
 using namespace sdps;             // NOLINT
 using namespace sdps::workloads;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
   printf("== Fig. 8: event vs processing-time latency (2-node, sustainable) ==\n\n");
   const Engine engines[3] = {Engine::kStorm, Engine::kSpark, Engine::kFlink};
   for (const Engine e : engines) {

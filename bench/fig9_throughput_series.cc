@@ -12,7 +12,8 @@
 using namespace sdps;             // NOLINT
 using namespace sdps::workloads;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
   printf("== Fig. 9: ingest throughput over time (4-node, sustainable) ==\n\n");
   const Engine engines[3] = {Engine::kStorm, Engine::kSpark, Engine::kFlink};
   double cov[3];

@@ -10,7 +10,8 @@
 using namespace sdps;             // NOLINT
 using namespace sdps::workloads;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
   printf("== Table I: sustainable throughput, windowed aggregation (8s, 4s) ==\n\n");
   // Paper values, M tuples/s.
   const double paper[3][3] = {{0.40, 0.69, 0.99},   // Storm

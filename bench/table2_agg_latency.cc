@@ -10,7 +10,8 @@
 using namespace sdps;             // NOLINT
 using namespace sdps::workloads;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
   printf("== Table II: latency stats (s), windowed aggregation (8s, 4s) ==\n\n");
   // Paper avg latencies (seconds): rows Storm, Storm90, Spark, Spark90,
   // Flink, Flink90; columns 2/4/8 nodes.

@@ -11,7 +11,8 @@
 using namespace sdps;             // NOLINT
 using namespace sdps::workloads;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
   printf("== Table III: sustainable throughput, windowed join (8s, 4s) ==\n\n");
   const double paper[2][3] = {{0.36, 0.63, 0.94},   // Spark
                               {0.85, 1.12, 1.19}};  // Flink

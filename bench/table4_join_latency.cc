@@ -10,7 +10,8 @@
 using namespace sdps;             // NOLINT
 using namespace sdps::workloads;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
   printf("== Table IV: latency stats (s), windowed join (8s, 4s) ==\n\n");
   const double paper_avg[4][3] = {{7.7, 6.7, 6.2},   // Spark
                                   {7.1, 5.8, 5.7},   // Spark(90%)

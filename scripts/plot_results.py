@@ -2,7 +2,7 @@
 """Plot the benchmark CSV series produced in ./results into PNG panels.
 
 Usage:
-    python3 scripts/plot_results.py [--results results] [--out plots]
+    python3 scripts/plot_results.py [--results-dir results] [--out plots]
 
 Produces one PNG per paper figure:
     fig4.png  - aggregation latency over time (3 systems x 3 sizes x 2 loads)
@@ -63,9 +63,15 @@ def panel_grid(plt, paths, title, ylabel, out, ncols=3):
 
 
 def main():
-    parser = argparse.ArgumentParser()
-    parser.add_argument("--results", default="results")
-    parser.add_argument("--out", default="plots")
+    parser = argparse.ArgumentParser(
+        description="Plot the benchmark CSV series from the results "
+                    "directory into one PNG per paper figure.")
+    parser.add_argument("--results-dir", "--results", dest="results",
+                        default="results", metavar="DIR",
+                        help="directory holding the bench CSV series "
+                             "(default: %(default)s)")
+    parser.add_argument("--out", default="plots", metavar="DIR",
+                        help="output directory for PNGs (default: %(default)s)")
     args = parser.parse_args()
 
     try:

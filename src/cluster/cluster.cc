@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace sdps::cluster {
 
@@ -53,9 +54,18 @@ const Cluster::Nic& Cluster::nic(const Node& node) const {
 
 des::Task<> Cluster::Send(Node& from, Node& to, int64_t bytes) {
   if (from.id() == to.id()) co_return;  // in-process handoff
+  static obs::Counter* net_transfers =
+      obs::Registry::Default().GetCounter("cluster.net.transfers");
+  static obs::Counter* net_bytes =
+      obs::Registry::Default().GetCounter("cluster.net.bytes");
+  net_transfers->Add(1);
+  net_bytes->Add(static_cast<uint64_t>(bytes));
   co_await nic(from).out->Transfer(bytes);
   const bool crosses_trunk = from.group() != to.group();
   if (crosses_trunk) {
+    static obs::Counter* trunk_bytes =
+        obs::Registry::Default().GetCounter("cluster.net.trunk_bytes");
+    trunk_bytes->Add(static_cast<uint64_t>(bytes));
     Link& trunk = (to.group() == NodeGroup::kWorker || to.group() == NodeGroup::kMaster)
                       ? *trunk_ingest_
                       : *trunk_egress_;

@@ -1,12 +1,17 @@
 #include "cluster/gc.h"
 
 #include "des/task.h"
+#include "obs/metrics.h"
 
 namespace sdps::cluster {
 
 namespace {
 
 des::Task<> GcProcess(des::Simulator& sim, Node& node, GcConfig config, Rng rng) {
+  static obs::Counter* minor_collections =
+      obs::Registry::Default().GetCounter("cluster.gc.collections", {{"kind", "minor"}});
+  static obs::Counter* full_collections =
+      obs::Registry::Default().GetCounter("cluster.gc.collections", {{"kind", "full"}});
   int64_t accumulated = 0;
   int minor_count = 0;
   for (;;) {
@@ -20,10 +25,12 @@ des::Task<> GcProcess(des::Simulator& sim, Node& node, GcConfig config, Rng rng)
       pause = static_cast<SimTime>(rng.Uniform(
           static_cast<double>(config.full_pause_min),
           static_cast<double>(config.full_pause_max)));
+      full_collections->Add(1);
     } else {
       pause = static_cast<SimTime>(rng.Uniform(
           static_cast<double>(config.minor_pause_min),
           static_cast<double>(config.minor_pause_max)));
+      minor_collections->Add(1);
     }
     node.StopTheWorld(pause);
   }

@@ -2,6 +2,8 @@
 
 #include "common/strings.h"
 #include "des/task.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sdps::cluster {
 
@@ -32,6 +34,18 @@ des::Task<> OccupySlot(des::Resource& cpu, SimTime pause) {
 
 void Node::StopTheWorld(SimTime pause) {
   total_gc_pause_ += pause;
+  static obs::Counter* pauses = obs::Registry::Default().GetCounter("cluster.gc.pauses");
+  static obs::Counter* pause_ns =
+      obs::Registry::Default().GetCounter("cluster.gc.pause_ns");
+  pauses->Add(1);
+  pause_ns->Add(static_cast<uint64_t>(pause) * 1000);  // SimTime is microseconds
+  obs::Tracer& tracer = obs::Tracer::Default();
+  if (tracer.enabled()) {
+    // The pause occupies each slot as soon as its current task finishes;
+    // the span shows the nominal stop-the-world interval.
+    tracer.Span(tracer.Track(name_, "gc"), "gc.pause", sim_.now(), sim_.now() + pause,
+                "pause_ms", ToMillis(pause));
+  }
   for (int i = 0; i < config_.cpu_slots; ++i) {
     sim_.Spawn(OccupySlot(cpu_, pause));
   }

@@ -7,12 +7,21 @@ namespace sdps {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+std::atomic<LogObserver> g_log_observer{nullptr};
 }  // namespace
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed)); }
 
 void SetLogLevel(LogLevel level) {
   g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void SetLogObserver(LogObserver observer) {
+  g_log_observer.store(observer, std::memory_order_relaxed);
+}
+
+LogObserver GetLogObserver() {
+  return g_log_observer.load(std::memory_order_relaxed);
 }
 
 namespace internal {

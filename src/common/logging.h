@@ -15,6 +15,15 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Observer invoked once per constructed log message (even ones below the
+/// emission threshold), with the message's level. The telemetry subsystem
+/// installs a counter here (`log.messages{level=...}`) so tests and the
+/// sustainable-throughput search can detect error noise without scraping
+/// stderr. Pass nullptr to uninstall.
+using LogObserver = void (*)(LogLevel);
+void SetLogObserver(LogObserver observer);
+LogObserver GetLogObserver();
+
 namespace internal {
 
 class LogMessage {
@@ -23,6 +32,7 @@ class LogMessage {
     stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
   }
   ~LogMessage() {
+    if (LogObserver observer = GetLogObserver()) observer(level_);
     if (level_ >= GetLogLevel()) {
       stream_ << "\n";
       std::cerr << stream_.str();

@@ -5,6 +5,8 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "des/task.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sdps::driver {
 
@@ -16,13 +18,21 @@ namespace {
 des::Task<> BacklogProbe(des::Simulator& sim, std::vector<DriverQueue*> queues,
                          TimeSeries* series, double hard_limit_tuples,
                          SimTime interval, bool* hard_limit_hit) {
+  static obs::Gauge* depth_gauge =
+      obs::Registry::Default().GetGauge("driver.queue.depth");
   for (;;) {
     co_await des::Delay(sim, interval);
     uint64_t backlog = 0;
     for (const DriverQueue* q : queues) backlog += q->queued_tuples();
     series->Add(sim.now(), static_cast<double>(backlog));
+    depth_gauge->Set(static_cast<double>(backlog));
     if (static_cast<double>(backlog) > hard_limit_tuples) {
       *hard_limit_hit = true;
+      obs::Tracer& tracer = obs::Tracer::Default();
+      if (tracer.enabled()) {
+        tracer.Instant(tracer.Track("driver", "experiment"), "backlog.hard_limit",
+                       sim.now(), "backlog_tuples", static_cast<double>(backlog));
+      }
       sim.Stop();
       co_return;
     }
@@ -62,6 +72,13 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const SutFactory&
   result.offered_rate = config.total_rate;
 
   des::Simulator sim;
+  // Bind telemetry time to this run's simulator; a fresh run clears the
+  // trace ring so --trace files show the last experiment executed.
+  obs::Tracer& tracer = obs::Tracer::Default();
+  obs::ClockGuard clock_guard(tracer, [&sim] { return sim.now(); });
+  static obs::Counter* runs_counter =
+      obs::Registry::Default().GetCounter("driver.experiment.runs");
+  runs_counter->Add(1);
   cluster::Cluster cluster(sim, config.cluster);
   const SimTime warmup_end =
       static_cast<SimTime>(config.warmup_fraction * static_cast<double>(config.duration));
@@ -136,6 +153,14 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const SutFactory&
   // Run to the horizon plus drain slack so in-flight windows can fire.
   sim.RunUntil(config.duration);
   sut->Stop();
+
+  if (tracer.enabled()) {
+    const obs::TrackId run_track = tracer.Track("driver", "experiment");
+    tracer.Span(run_track, "experiment.warmup", 0, warmup_end);
+    tracer.Span(run_track, "experiment.run", 0, sim.now(), "offered_rate",
+                config.total_rate, "workers",
+                static_cast<double>(cluster.num_workers()));
+  }
 
   // -- Collect ---------------------------------------------------------------
   result.failure = failure;

@@ -20,13 +20,20 @@
 #include "driver/histogram.h"
 #include "driver/timeseries.h"
 #include "engine/record.h"
+#include "obs/metrics.h"
 
 namespace sdps::driver {
 
 class LatencySink {
  public:
   LatencySink(des::Simulator& sim, SimTime warmup_end)
-      : sim_(sim), warmup_end_(warmup_end) {}
+      : sim_(sim),
+        warmup_end_(warmup_end),
+        obs_outputs_(obs::Registry::Default().GetCounter("driver.sink.outputs")),
+        obs_event_latency_(
+            obs::Registry::Default().GetHistogram("driver.sink.event_latency_s")),
+        obs_proc_latency_(obs::Registry::Default().GetHistogram(
+            "driver.sink.processing_latency_s")) {}
 
   LatencySink(const LatencySink&) = delete;
   LatencySink& operator=(const LatencySink&) = delete;
@@ -47,7 +54,10 @@ class LatencySink {
     const SimTime event_latency = now - out.max_event_time;
     const SimTime proc_latency =
         out.max_ingest_time >= 0 ? now - out.max_ingest_time : event_latency;
+    obs_outputs_->Add(1);
     if (now < warmup_end_) return;
+    obs_event_latency_->Observe(ToSeconds(event_latency));
+    obs_proc_latency_->Observe(ToSeconds(proc_latency));
     event_latency_.Add(event_latency);
     processing_latency_.Add(proc_latency);
     event_series_.Add(now, ToSeconds(event_latency));
@@ -69,6 +79,9 @@ class LatencySink {
  private:
   des::Simulator& sim_;
   SimTime warmup_end_;
+  obs::Counter* obs_outputs_;
+  obs::Histogram* obs_event_latency_;
+  obs::Histogram* obs_proc_latency_;
   Histogram event_latency_;
   Histogram processing_latency_;
   TimeSeries event_series_;

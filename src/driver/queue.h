@@ -14,6 +14,7 @@
 #include "des/simulator.h"
 #include "driver/throughput.h"
 #include "engine/record.h"
+#include "obs/metrics.h"
 
 namespace sdps::driver {
 
@@ -22,7 +23,10 @@ class DriverQueue {
   /// `meter` (optional) receives one Add per popped record, weighted by the
   /// logical tuples the record represents.
   DriverQueue(des::Simulator& sim, ThroughputMeter* meter)
-      : sim_(sim), meter_(meter) {}
+      : sim_(sim),
+        meter_(meter),
+        obs_pushed_(obs::Registry::Default().GetCounter("driver.queue.pushed_tuples")),
+        obs_popped_(obs::Registry::Default().GetCounter("driver.queue.popped_tuples")) {}
 
   DriverQueue(const DriverQueue&) = delete;
   DriverQueue& operator=(const DriverQueue&) = delete;
@@ -53,11 +57,14 @@ class DriverQueue {
   void AccountPop(const engine::Record& rec) {
     queued_tuples_ -= rec.weight;
     popped_tuples_ += rec.weight;
+    obs_popped_->Add(rec.weight);
     if (meter_ != nullptr) meter_->Add(sim_.now(), rec.weight);
   }
 
   des::Simulator& sim_;
   ThroughputMeter* meter_;
+  obs::Counter* obs_pushed_;
+  obs::Counter* obs_popped_;
   bool closed_ = false;
   std::deque<engine::Record> buffer_;
   std::deque<PopOp*> waiters_;
@@ -93,12 +100,14 @@ class DriverQueue {
 inline void DriverQueue::Push(engine::Record rec) {
   SDPS_CHECK(!closed_) << "Push after Close";
   pushed_tuples_ += rec.weight;
+  obs_pushed_->Add(rec.weight);
   if (!waiters_.empty()) {
     // Direct hand-off to the oldest waiting connection (never parked where
     // another popper could steal it).
     PopOp* op = waiters_.front();
     waiters_.pop_front();
     popped_tuples_ += rec.weight;
+    obs_popped_->Add(rec.weight);
     if (meter_ != nullptr) meter_->Add(sim_.now(), rec.weight);
     op->value.emplace(rec);
     sim_.ScheduleResumeAfter(0, op->handle);

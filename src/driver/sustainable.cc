@@ -2,6 +2,8 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/log_bridge.h"
+#include "obs/metrics.h"
 
 namespace sdps::driver {
 
@@ -9,16 +11,27 @@ namespace {
 
 Trial RunTrial(const ExperimentConfig& base, const SutFactory& factory,
                const SearchConfig& search, double rate) {
+  static obs::Counter* trials_counter =
+      obs::Registry::Default().GetCounter("driver.search.trials");
+  trials_counter->Add(1);
   ExperimentConfig config = base;
   config.total_rate = rate;
   config.rate_profile = nullptr;  // the search always probes constant rates
   config.duration = search.trial_duration;
+  const uint64_t warnings_before = obs::LogMessageCount(LogLevel::kWarning);
+  const uint64_t errors_before = obs::LogMessageCount(LogLevel::kError);
   const ExperimentResult result = RunExperiment(config, factory);
   Trial trial;
   trial.rate = rate;
   trial.sustainable = result.sustainable;
   trial.verdict = result.verdict;
   trial.mean_ingest_rate = result.mean_ingest_rate;
+  trial.log_warnings = obs::LogMessageCount(LogLevel::kWarning) - warnings_before;
+  trial.log_errors = obs::LogMessageCount(LogLevel::kError) - errors_before;
+  if (trial.log_errors > 0) {
+    SDPS_LOG(Warning) << "trial " << FormatRateMps(rate) << " emitted "
+                      << trial.log_errors << " error log message(s)";
+  }
   SDPS_LOG(Info) << "trial " << FormatRateMps(rate) << " -> "
                  << (trial.sustainable ? "sustained" : trial.verdict);
   return trial;

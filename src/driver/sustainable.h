@@ -34,6 +34,11 @@ struct Trial {
   bool sustainable = false;
   std::string verdict;
   double mean_ingest_rate = 0;
+  /// SDPS_LOG messages at Warning/Error emitted during this trial (from
+  /// the telemetry `log.messages` counters; 0 when the metrics registry is
+  /// disabled). Unexpected error noise flags a suspect verdict.
+  uint64_t log_warnings = 0;
+  uint64_t log_errors = 0;
 };
 
 struct SearchResult {

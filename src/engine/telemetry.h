@@ -1,0 +1,43 @@
+// Telemetry handles shared by the engine models. Each engine resolves one
+// EngineMetrics (labelled engine=<name>) at Start() and increments the
+// handles on its hot paths; span helpers name tracks consistently so the
+// Chrome trace groups one process per simulated node and one thread per
+// operator instance.
+#ifndef SDPS_ENGINE_TELEMETRY_H_
+#define SDPS_ENGINE_TELEMETRY_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sdps::engine {
+
+/// Per-engine-model counters under the `engine.` namespace.
+struct EngineMetrics {
+  obs::Counter* records = nullptr;        // records entering operator state
+  obs::Counter* windows_fired = nullptr;  // window trigger evaluations
+  obs::Counter* late_dropped = nullptr;   // tuples dropped as late
+
+  EngineMetrics() = default;
+  explicit EngineMetrics(const std::string& engine) {
+    obs::Registry& registry = obs::Registry::Default();
+    records = registry.GetCounter("engine.records.processed", {{"engine", engine}});
+    windows_fired = registry.GetCounter("engine.window.fired", {{"engine", engine}});
+    late_dropped =
+        registry.GetCounter("engine.late.dropped_tuples", {{"engine", engine}});
+  }
+};
+
+/// Track for one operator instance: process = the simulated node the task
+/// runs on, thread = "<engine>/<operator>-<index>" (e.g. "flink/task-3").
+inline obs::TrackId OperatorTrack(const std::string& node_name,
+                                  const std::string& engine, const char* op,
+                                  int index) {
+  return obs::Tracer::Default().Track(
+      node_name, engine + "/" + op + "-" + std::to_string(index));
+}
+
+}  // namespace sdps::engine
+
+#endif  // SDPS_ENGINE_TELEMETRY_H_

@@ -7,12 +7,16 @@
 
 #include "cluster/cluster.h"
 #include "common/check.h"
+#include "common/strings.h"
 #include "des/channel.h"
 #include "des/task.h"
 #include "engine/partition.h"
 #include "engine/record.h"
+#include "engine/telemetry.h"
 #include "engine/watermark.h"
 #include "engine/window_state.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sdps::engines {
 
@@ -67,6 +71,10 @@ class FlinkSut : public driver::Sut {
     for (int s = 0; s < num_sources_; ++s) {
       ++queue_active_sources_[static_cast<size_t>(QueueOfSource(s))];
     }
+
+    metrics_ = engine::EngineMetrics(name());
+    obs_checkpoints_ = obs::Registry::Default().GetCounter(
+        "engine.checkpoint.snapshots", {{"engine", name()}});
 
     for (int s = 0; s < num_sources_; ++s) {
       ctx.sim->Spawn(SourceProcess(s));
@@ -180,11 +188,15 @@ class FlinkSut : public driver::Sut {
   }
 
   /// Synchronous part of a task's checkpoint: alignment stall + snapshot.
-  Task<> TakeSnapshot(cluster::Node& worker, int64_t state_bytes) {
+  Task<> TakeSnapshot(cluster::Node& worker, obs::TrackId track,
+                      int64_t state_bytes) {
+    obs::ScopedSpan span(obs::Tracer::Default(), track, "checkpoint.snapshot");
     const double kb = static_cast<double>(state_bytes) / 1024.0;
+    span.Arg("state_kb", kb);
     co_await worker.cpu().Use(
         config_.alignment_stall + CostUs(config_.snapshot_cost_us_per_kb * kb));
     snapshot_bytes_total_ += state_bytes;
+    obs_checkpoints_->Add(1);
   }
 
   Task<> WindowTaskProcess(int t) {
@@ -201,6 +213,9 @@ class FlinkSut : public driver::Sut {
     engine::AggWindowState state(assigner);
     engine::WatermarkTracker tracker(num_queues_);
     Channel<Message>& in = *channels_[static_cast<size_t>(t)];
+    obs::Tracer& tracer = obs::Tracer::Default();
+    const obs::TrackId track =
+        engine::OperatorTrack(my_worker.name(), name(), "task", t);
 
     for (;;) {
       auto msg = co_await in.Recv();
@@ -209,6 +224,8 @@ class FlinkSut : public driver::Sut {
         const Record& rec = msg->record;
         const engine::AddResult added = state.Add(rec);
         late_dropped_tuples_ += added.late_tuples;
+        metrics_.records->Add(rec.weight);
+        metrics_.late_dropped->Add(added.late_tuples);
         const double slow = state.state_bytes() > spill_threshold_bytes_
                                 ? config_.spill_slowdown
                                 : 1.0;
@@ -216,10 +233,16 @@ class FlinkSut : public driver::Sut {
                                             added.window_updates * slow));
         my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec.weight);
       } else if (msg->origin == kBarrierOrigin) {
-        co_await TakeSnapshot(my_worker, state.state_bytes());
+        co_await TakeSnapshot(my_worker, track, state.state_bytes());
       } else if (tracker.Update(msg->origin, msg->watermark)) {
         auto outs = state.FireUpTo(tracker.current());
-        if (!outs.empty()) co_await EmitOutputs(my_worker, outs);
+        if (!outs.empty()) {
+          metrics_.windows_fired->Add(1);
+          obs::ScopedSpan span(tracer, track, "window.fire");
+          span.Arg("outputs", static_cast<double>(outs.size()));
+          span.Arg("watermark_ms", ToMillis(tracker.current()));
+          co_await EmitOutputs(my_worker, outs);
+        }
       }
     }
   }
@@ -230,6 +253,9 @@ class FlinkSut : public driver::Sut {
     engine::JoinWindowState state(assigner);
     engine::WatermarkTracker tracker(num_queues_);
     Channel<Message>& in = *channels_[static_cast<size_t>(t)];
+    obs::Tracer& tracer = obs::Tracer::Default();
+    const obs::TrackId track =
+        engine::OperatorTrack(my_worker.name(), name(), "task", t);
 
     for (;;) {
       auto msg = co_await in.Recv();
@@ -241,18 +267,26 @@ class FlinkSut : public driver::Sut {
                                 : 1.0;
         const engine::AddResult added = state.Add(rec);
         late_dropped_tuples_ += added.late_tuples;
+        metrics_.records->Add(rec.weight);
+        metrics_.late_dropped->Add(added.late_tuples);
         co_await my_worker.cpu().Use(CostUs(config_.join_buffer_cost_us * rec.weight *
                                             added.window_updates * slow));
         my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec.weight);
       } else if (msg->origin == kBarrierOrigin) {
-        co_await TakeSnapshot(my_worker, state.state_bytes());
+        co_await TakeSnapshot(my_worker, track, state.state_bytes());
       } else if (tracker.Update(msg->origin, msg->watermark)) {
         auto fired = state.FireUpTo(tracker.current());
-        if (fired.join_work > 0) {
-          co_await my_worker.cpu().Use(
-              CostUs(config_.join_probe_cost_us * static_cast<double>(fired.join_work)));
+        if (fired.join_work > 0 || !fired.outputs.empty()) {
+          metrics_.windows_fired->Add(1);
+          obs::ScopedSpan span(tracer, track, "window.fire");
+          span.Arg("outputs", static_cast<double>(fired.outputs.size()));
+          span.Arg("join_work", static_cast<double>(fired.join_work));
+          if (fired.join_work > 0) {
+            co_await my_worker.cpu().Use(CostUs(config_.join_probe_cost_us *
+                                                static_cast<double>(fired.join_work)));
+          }
+          if (!fired.outputs.empty()) co_await EmitOutputs(my_worker, fired.outputs);
         }
-        if (!fired.outputs.empty()) co_await EmitOutputs(my_worker, fired.outputs);
       }
     }
   }
@@ -280,6 +314,8 @@ class FlinkSut : public driver::Sut {
   uint64_t late_dropped_tuples_ = 0;
   uint64_t checkpoints_started_ = 0;
   int64_t snapshot_bytes_total_ = 0;
+  engine::EngineMetrics metrics_;
+  obs::Counter* obs_checkpoints_ = nullptr;
 };
 
 }  // namespace

@@ -15,7 +15,10 @@
 #include "engine/partition.h"
 #include "engine/rate_limiter.h"
 #include "engine/record.h"
+#include "engine/telemetry.h"
 #include "engine/window_state.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sdps::engines {
 
@@ -149,6 +152,18 @@ class SparkSut : public driver::Sut {
       ctx.sim->Spawn(ReceiverProcess(r));
       ctx.sim->Spawn(BlockSealer(r));
     }
+    metrics_ = engine::EngineMetrics(name());
+    obs::Registry& registry = obs::Registry::Default();
+    obs_jobs_ = registry.GetCounter("engine.batch.jobs", {{"engine", name()}});
+    obs_shuffle_bytes_ =
+        registry.GetCounter("engine.shuffle.bytes", {{"engine", name()}});
+    obs_rate_limit_ =
+        registry.GetGauge("engine.receiver.rate_limit", {{"engine", name()}});
+    obs_sched_delay_ =
+        registry.GetGauge("engine.scheduler.delay_s", {{"engine", name()}});
+    scheduler_track_ =
+        obs::Tracer::Default().Track(cluster.master().name(), "spark/scheduler");
+
     ctx.sim->Spawn(JobTrigger());
     ctx.sim->Spawn(JobRunner());
     return Status::OK();
@@ -232,6 +247,7 @@ class SparkSut : public driver::Sut {
           CostUs(config_.receiver_cost_us * receiver_overhead_ *
                  (1.0 + config_.receiver_contention * busy_frac) * rec->weight));
       my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec->weight);
+      metrics_.records->Add(rec->weight);
       SparkBlock& block = current_blocks_[static_cast<size_t>(r)];
       block.home_worker = r % ctx_.cluster->num_workers();
       block.records.push_back(*rec);
@@ -275,8 +291,15 @@ class SparkSut : public driver::Sut {
       SparkJob* j = *job;
       const SimTime delay = ctx_.sim->now() - j->created;
       scheduler_delay_series_.Add(ctx_.sim->now(), ToSeconds(delay));
+      obs_sched_delay_->Set(ToSeconds(delay));
       const SimTime start = ctx_.sim->now();
-      co_await ExecuteJob(*j);
+      {
+        obs::ScopedSpan span(obs::Tracer::Default(), scheduler_track_, "spark.job");
+        span.Arg("batch", static_cast<double>(j->batch_index));
+        span.Arg("tuples", static_cast<double>(j->tuples));
+        co_await ExecuteJob(*j);
+      }
+      obs_jobs_->Add(1);
       const SimTime runtime = ctx_.sim->now() - start;
       job_runtime_series_.Add(ctx_.sim->now(), ToSeconds(runtime));
       UpdateRateController(j->tuples, runtime, delay);
@@ -295,6 +318,8 @@ class SparkSut : public driver::Sut {
     // -- Stage 1: map / combine / shuffle write (blocking stage) ------------
     job.map_outputs.resize(static_cast<size_t>(n_map));
     if (n_map > 0) {
+      obs::ScopedSpan span(obs::Tracer::Default(), scheduler_track_, "stage.map");
+      span.Arg("tasks", static_cast<double>(n_map));
       Latch stage1(sim, n_map);
       for (int i = 0; i < n_map; ++i) sim.Spawn(MapTask(job, i, stage1));
       co_await stage1.Wait();
@@ -325,6 +350,12 @@ class SparkSut : public driver::Sut {
       }
     }
     if (transfers > 0) {
+      obs::ScopedSpan span(obs::Tracer::Default(), scheduler_track_, "shuffle");
+      span.Arg("transfers", static_cast<double>(transfers));
+      int64_t total_bytes = 0;
+      for (const int64_t b : bytes_matrix) total_bytes += b;
+      span.Arg("bytes", static_cast<double>(total_bytes));
+      obs_shuffle_bytes_->Add(static_cast<uint64_t>(total_bytes));
       Latch shuffle(sim, transfers);
       for (int f = 0; f < workers; ++f) {
         for (int t = 0; t < workers; ++t) {
@@ -337,6 +368,8 @@ class SparkSut : public driver::Sut {
     }
 
     // -- Stage 2: reduce + window + output (blocking stage) -----------------
+    obs::ScopedSpan span(obs::Tracer::Default(), scheduler_track_, "stage.reduce");
+    span.Arg("tasks", static_cast<double>(num_reduce_));
     Latch stage2(sim, num_reduce_);
     for (int r = 0; r < num_reduce_; ++r) sim.Spawn(ReduceTask(job, r, stage2));
     co_await stage2.Wait();
@@ -470,6 +503,7 @@ class SparkSut : public driver::Sut {
     // windows from the batches available so far, so start-up windows are
     // partial rather than skipped.
     if (job.batch_index % slide_batches_ == 0) {
+      metrics_.windows_fired->Add(1);
       if (config_.query.kind == engine::QueryKind::kAggregation) {
         co_await EvaluateAggWindow(w, st, slow);
       } else {
@@ -576,6 +610,7 @@ class SparkSut : public driver::Sut {
         std::max(1000.0, rate_limit_ / static_cast<double>(num_receivers_));
     for (auto& limiter : limiters_) limiter->SetRate(per_receiver);
     rate_limit_series_.Add(ctx_.sim->now(), rate_limit_);
+    obs_rate_limit_->Set(rate_limit_);
   }
 
   SparkConfig config_;
@@ -603,6 +638,13 @@ class SparkSut : public driver::Sut {
   driver::TimeSeries scheduler_delay_series_;
   driver::TimeSeries job_runtime_series_;
   driver::TimeSeries rate_limit_series_;
+
+  engine::EngineMetrics metrics_;
+  obs::Counter* obs_jobs_ = nullptr;
+  obs::Counter* obs_shuffle_bytes_ = nullptr;
+  obs::Gauge* obs_rate_limit_ = nullptr;
+  obs::Gauge* obs_sched_delay_ = nullptr;
+  obs::TrackId scheduler_track_ = 0;
 };
 
 }  // namespace

@@ -12,8 +12,11 @@
 #include "des/task.h"
 #include "engine/partition.h"
 #include "engine/record.h"
+#include "engine/telemetry.h"
 #include "engine/watermark.h"
 #include "engine/window_state.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sdps::engines {
 
@@ -72,6 +75,10 @@ class StormSut : public driver::Sut {
     for (int s = 0; s < num_spouts_; ++s) {
       ++queue_active_spouts_[static_cast<size_t>(QueueOfSpout(s))];
     }
+
+    metrics_ = engine::EngineMetrics(name());
+    obs_throttle_transitions_ = obs::Registry::Default().GetCounter(
+        "engine.throttle.transitions", {{"engine", name()}});
 
     for (int s = 0; s < num_spouts_; ++s) ctx.sim->Spawn(SpoutProcess(s));
     for (int q = 0; q < num_queues_; ++q) ctx.sim->Spawn(WatermarkProcess(q));
@@ -204,6 +211,8 @@ class StormSut : public driver::Sut {
   }
 
   Task<> ThrottleMonitor() {
+    obs::Tracer& tracer = obs::Tracer::Default();
+    const obs::TrackId track = tracer.Track("storm-topology", "throttle");
     for (;;) {
       co_await des::Delay(*ctx_.sim, config_.throttle_poll);
       double max_fill = 0;
@@ -211,8 +220,16 @@ class StormSut : public driver::Sut {
         max_fill = std::max(max_fill, static_cast<double>(ch->size()) /
                                           static_cast<double>(ch->capacity()));
       }
-      if (!throttled_ && max_fill > config_.throttle_high) throttled_ = true;
-      if (throttled_ && max_fill < config_.throttle_low) throttled_ = false;
+      if (!throttled_ && max_fill > config_.throttle_high) {
+        throttled_ = true;
+        obs_throttle_transitions_->Add(1);
+        tracer.Instant(track, "throttle.on", ctx_.sim->now(), "fill", max_fill);
+      }
+      if (throttled_ && max_fill < config_.throttle_low) {
+        throttled_ = false;
+        obs_throttle_transitions_->Add(1);
+        tracer.Instant(track, "throttle.off", ctx_.sim->now(), "fill", max_fill);
+      }
     }
   }
 
@@ -231,6 +248,9 @@ class StormSut : public driver::Sut {
     engine::WatermarkTracker tracker(num_queues_);
     Channel<Message>& in = *channels_[static_cast<size_t>(b)];
     int64_t last_state_bytes = 0;
+    obs::Tracer& tracer = obs::Tracer::Default();
+    const obs::TrackId track =
+        engine::OperatorTrack(my_worker.name(), name(), "bolt", b);
 
     for (;;) {
       auto msg = co_await in.Recv();
@@ -238,6 +258,8 @@ class StormSut : public driver::Sut {
       if (msg->kind == Message::Kind::kRecord) {
         const Record& rec = msg->record;
         const engine::AddResult added = state.Add(rec);
+        metrics_.records->Add(rec.weight);
+        metrics_.late_dropped->Add(added.late_tuples);
         co_await my_worker.cpu().Use(CostUs(config_.buffer_add_cost_us * overhead_ *
                                             rec.weight * added.window_updates));
         my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec.weight);
@@ -245,6 +267,13 @@ class StormSut : public driver::Sut {
         last_state_bytes = state.state_bytes();
       } else if (tracker.Update(msg->origin, msg->watermark)) {
         auto fired = state.FireUpTo(tracker.current());
+        std::optional<obs::ScopedSpan> span;
+        if (fired.tuples_scanned > 0 || !fired.outputs.empty()) {
+          metrics_.windows_fired->Add(1);
+          span.emplace(tracer, track, "window.fire");
+          span->Arg("scanned", static_cast<double>(fired.tuples_scanned));
+          span->Arg("outputs", static_cast<double>(fired.outputs.size()));
+        }
         if (fired.tuples_scanned > 0) {
           // The bulk re-aggregation burst at trigger time.
           co_await my_worker.cpu().Use(CostUs(config_.scan_cost_us * overhead_ *
@@ -267,6 +296,9 @@ class StormSut : public driver::Sut {
     engine::WatermarkTracker tracker(num_queues_);
     Channel<Message>& in = *channels_[static_cast<size_t>(b)];
     int64_t last_state_bytes = 0;
+    obs::Tracer& tracer = obs::Tracer::Default();
+    const obs::TrackId track =
+        engine::OperatorTrack(my_worker.name(), name(), "bolt", b);
 
     for (;;) {
       auto msg = co_await in.Recv();
@@ -274,6 +306,8 @@ class StormSut : public driver::Sut {
       if (msg->kind == Message::Kind::kRecord) {
         const Record& rec = msg->record;
         const engine::AddResult added = state.Add(rec);
+        metrics_.records->Add(rec.weight);
+        metrics_.late_dropped->Add(added.late_tuples);
         co_await my_worker.cpu().Use(CostUs(config_.buffer_add_cost_us * overhead_ *
                                             rec.weight * added.window_updates));
         my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec.weight);
@@ -281,6 +315,13 @@ class StormSut : public driver::Sut {
         last_state_bytes = state.state_bytes();
       } else if (tracker.Update(msg->origin, msg->watermark)) {
         auto fired = state.FireUpTo(tracker.current());
+        std::optional<obs::ScopedSpan> span;
+        if (fired.naive_pairs > 0 || !fired.outputs.empty()) {
+          metrics_.windows_fired->Add(1);
+          span.emplace(tracer, track, "window.fire");
+          span->Arg("naive_pairs", static_cast<double>(fired.naive_pairs));
+          span->Arg("outputs", static_cast<double>(fired.outputs.size()));
+        }
         if (fired.naive_pairs > 0) {
           co_await my_worker.cpu().Use(CostUs(config_.naive_pair_cost_ns * 1e-3 *
                                               static_cast<double>(fired.naive_pairs)));
@@ -314,6 +355,8 @@ class StormSut : public driver::Sut {
   std::vector<int64_t> heap_used_;
   std::vector<SimTime> queue_max_event_;
   std::vector<int> queue_active_spouts_;
+  engine::EngineMetrics metrics_;
+  obs::Counter* obs_throttle_transitions_ = nullptr;
 };
 
 }  // namespace

@@ -1,0 +1,237 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <fstream>
+#include <map>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace sdps::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest-round-trip style double rendering, deterministic across runs.
+std::string Num(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      v >= -9.0e15 && v <= 9.0e15) {
+    return StrFormat("%" PRId64, static_cast<int64_t>(v));
+  }
+  return StrFormat("%.9g", v);
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path);
+  out << content;
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-' || c == '/') c = '_';
+  }
+  return out;
+}
+
+std::string PromLabels(const LabelSet& labels, const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return "";
+  std::vector<std::string> parts;
+  for (const auto& [k, v] : labels) {
+    parts.push_back(PromName(k) + "=\"" + v + "\"");
+  }
+  if (!extra.empty()) parts.push_back(extra);
+  return "{" + StrJoin(parts, ",") + "}";
+}
+
+std::string LabelsCsvField(const LabelSet& labels) {
+  std::vector<std::string> parts;
+  for (const auto& [k, v] : labels) parts.push_back(k + "=" + v);
+  return StrJoin(parts, ";");
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const Tracer& tracer) {
+  const auto tracks = tracer.Tracks();
+  // pid per unique process name (first-appearance order); tid unique
+  // within its pid, assigned in track order.
+  std::map<std::string, int> pid_of;
+  std::vector<int> pids, tids;
+  std::map<std::string, int> next_tid;
+  pids.reserve(tracks.size());
+  tids.reserve(tracks.size());
+  for (const auto& [process, thread] : tracks) {
+    const auto it = pid_of.emplace(process, static_cast<int>(pid_of.size())).first;
+    pids.push_back(it->second);
+    tids.push_back(next_tid[process]++);
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&out, &first](const std::string& ev) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+    out += ev;
+  };
+
+  // Metadata: process and thread names.
+  for (const auto& [process, pid] : pid_of) {
+    emit(StrFormat("{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_name\","
+                   "\"args\":{\"name\":\"%s\"}}",
+                   pid, JsonEscape(process).c_str()));
+  }
+  for (size_t i = 0; i < tracks.size(); ++i) {
+    emit(StrFormat("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\","
+                   "\"args\":{\"name\":\"%s\"}}",
+                   pids[i], tids[i], JsonEscape(tracks[i].second).c_str()));
+  }
+
+  for (const SpanRecord& rec : tracer.Snapshot()) {
+    const size_t t = static_cast<size_t>(rec.track);
+    if (t >= tracks.size()) continue;  // stale snapshot; never expected
+    std::string args;
+    for (int a = 0; a < 2; ++a) {
+      if (rec.arg_key[a] == nullptr) continue;
+      if (!args.empty()) args += ",";
+      args += StrFormat("\"%s\":%s", JsonEscape(rec.arg_key[a]).c_str(),
+                        Num(rec.arg_val[a]).c_str());
+    }
+    if (rec.instant) {
+      emit(StrFormat("{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%" PRId64
+                     ",\"s\":\"t\",\"name\":\"%s\"%s}",
+                     pids[t], tids[t], rec.begin, JsonEscape(rec.name).c_str(),
+                     args.empty() ? "" : (",\"args\":{" + args + "}").c_str()));
+    } else {
+      emit(StrFormat("{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%" PRId64
+                     ",\"dur\":%" PRId64 ",\"name\":\"%s\"%s}",
+                     pids[t], tids[t], rec.begin, rec.end - rec.begin,
+                     JsonEscape(rec.name).c_str(),
+                     args.empty() ? "" : (",\"args\":{" + args + "}").c_str()));
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path, const Tracer& tracer) {
+  return WriteFile(path, ChromeTraceJson(tracer));
+}
+
+std::string PrometheusText(const Registry& registry) {
+  std::string out;
+  std::string last_typed;  // emit one # TYPE line per metric name
+  for (const MetricRow& row : registry.Snapshot()) {
+    const std::string name = PromName(row.name);
+    switch (row.kind) {
+      case MetricRow::Kind::kCounter:
+        if (name != last_typed) out += "# TYPE " + name + " counter\n";
+        out += name + PromLabels(row.labels) + " " + Num(row.value) + "\n";
+        break;
+      case MetricRow::Kind::kGauge:
+        if (name != last_typed) out += "# TYPE " + name + " gauge\n";
+        out += name + PromLabels(row.labels) + " " + Num(row.value) + "\n";
+        break;
+      case MetricRow::Kind::kHistogram: {
+        if (name != last_typed) out += "# TYPE " + name + " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < row.bucket_counts.size(); ++i) {
+          cumulative += row.bucket_counts[i];
+          const std::string le =
+              i < row.bounds.size() ? Num(row.bounds[i]) : std::string("+Inf");
+          out += name + "_bucket" + PromLabels(row.labels, "le=\"" + le + "\"") +
+                 StrFormat(" %" PRIu64 "\n", cumulative);
+        }
+        out += name + "_sum" + PromLabels(row.labels) + " " + Num(row.sum) + "\n";
+        out += name + "_count" + PromLabels(row.labels) +
+               StrFormat(" %" PRIu64 "\n", row.count);
+        break;
+      }
+    }
+    last_typed = name;
+  }
+  return out;
+}
+
+Status WritePrometheusText(const std::string& path, const Registry& registry) {
+  return WriteFile(path, PrometheusText(registry));
+}
+
+namespace {
+
+std::vector<std::vector<std::string>> MetricsCsvRows(const Registry& registry) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"kind", "name", "labels", "value", "count", "sum"});
+  for (const MetricRow& row : registry.Snapshot()) {
+    const std::string labels = LabelsCsvField(row.labels);
+    switch (row.kind) {
+      case MetricRow::Kind::kCounter:
+        rows.push_back({"counter", row.name, labels, Num(row.value), "", ""});
+        break;
+      case MetricRow::Kind::kGauge:
+        rows.push_back({"gauge", row.name, labels, Num(row.value), "", ""});
+        break;
+      case MetricRow::Kind::kHistogram: {
+        rows.push_back({"histogram", row.name, labels, "",
+                        StrFormat("%" PRIu64, row.count), Num(row.sum)});
+        for (size_t i = 0; i < row.bucket_counts.size(); ++i) {
+          const std::string le =
+              i < row.bounds.size() ? Num(row.bounds[i]) : std::string("+Inf");
+          rows.push_back({"histogram_bucket", row.name,
+                          labels.empty() ? "le=" + le : labels + ";le=" + le,
+                          StrFormat("%" PRIu64, row.bucket_counts[i]), "", ""});
+        }
+        break;
+      }
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::string MetricsCsvText(const Registry& registry) {
+  std::string out;
+  for (const auto& row : MetricsCsvRows(registry)) {
+    out += StrJoin(row, ",");
+    out += "\n";
+  }
+  return out;
+}
+
+Status WriteMetricsCsv(const std::string& path, const Registry& registry) {
+  // Route through CsvWriter so quoting rules match every other CSV the
+  // project writes (our fields never need quoting, so the text forms agree).
+  auto writer = CsvWriter::Open(path);
+  if (!writer.ok()) return writer.status();
+  CsvWriter w = std::move(writer).value();
+  for (const auto& row : MetricsCsvRows(registry)) w.WriteRow(row);
+  return w.Close();
+}
+
+}  // namespace sdps::obs

@@ -1,0 +1,38 @@
+// Pluggable exporters for the telemetry subsystem:
+//   * Chrome trace_event JSON — load in chrome://tracing or Perfetto; one
+//     process per simulated node, one thread per actor (operator task,
+//     GC, scheduler, ...);
+//   * Prometheus-style text dump of the metrics registry;
+//   * CSV dump of the metrics registry (plot pipelines, CI artifacts).
+// All output is a pure function of the recorded data, so identically
+// seeded runs export byte-identical files.
+#ifndef SDPS_OBS_EXPORT_H_
+#define SDPS_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sdps::obs {
+
+/// Serializes the tracer's retained events as Chrome trace_event JSON
+/// (object form: {"displayTimeUnit":"ms","traceEvents":[...]}).
+std::string ChromeTraceJson(const Tracer& tracer);
+Status WriteChromeTrace(const std::string& path, const Tracer& tracer);
+
+/// Prometheus text exposition format. Metric names have '.' mapped to '_'
+/// ("driver.queue.depth" -> "driver_queue_depth"); rows are sorted by
+/// (name, labels).
+std::string PrometheusText(const Registry& registry);
+Status WritePrometheusText(const std::string& path, const Registry& registry);
+
+/// CSV dump: kind,name,labels,value,count,sum per metric (histograms add
+/// one bucket column set per row via the le= label convention).
+std::string MetricsCsvText(const Registry& registry);
+Status WriteMetricsCsv(const std::string& path, const Registry& registry);
+
+}  // namespace sdps::obs
+
+#endif  // SDPS_OBS_EXPORT_H_

@@ -1,0 +1,44 @@
+#include "obs/log_bridge.h"
+
+#include "obs/metrics.h"
+
+namespace sdps::obs {
+
+namespace {
+
+const char* LevelLabel(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarning: return "warning";
+    case LogLevel::kError: return "error";
+  }
+  return "unknown";
+}
+
+Counter* LevelCounter(LogLevel level) {
+  // Resolved once per level; the observer fires on every log statement.
+  static Counter* counters[4] = {
+      Registry::Default().GetCounter("log.messages", {{"level", "debug"}}),
+      Registry::Default().GetCounter("log.messages", {{"level", "info"}}),
+      Registry::Default().GetCounter("log.messages", {{"level", "warning"}}),
+      Registry::Default().GetCounter("log.messages", {{"level", "error"}})};
+  const int i = static_cast<int>(level);
+  return counters[i >= 0 && i < 4 ? i : 0];
+}
+
+void CountLogMessage(LogLevel level) { LevelCounter(level)->Add(1); }
+
+}  // namespace
+
+void InstallLogCounters() { SetLogObserver(&CountLogMessage); }
+
+void RemoveLogCounters() { SetLogObserver(nullptr); }
+
+uint64_t LogMessageCount(LogLevel level) {
+  return Registry::Default()
+      .GetCounter("log.messages", {{"level", LevelLabel(level)}})
+      ->value();
+}
+
+}  // namespace sdps::obs

@@ -1,0 +1,27 @@
+// Routes SDPS_LOG messages into the metrics registry as
+// `log.messages{level=...}` counters, so error noise is detectable
+// programmatically (test assertions, sustainable-throughput verdicts)
+// instead of by scraping stderr.
+#ifndef SDPS_OBS_LOG_BRIDGE_H_
+#define SDPS_OBS_LOG_BRIDGE_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace sdps::obs {
+
+/// Installs the log observer counting into Registry::Default(). Idempotent.
+/// Counts accumulate only while the registry is enabled.
+void InstallLogCounters();
+
+/// Uninstalls the observer (tests that exercise the raw logger).
+void RemoveLogCounters();
+
+/// Convenience reader: current value of log.messages{level=...} in the
+/// default registry. Creates the counter if it does not exist yet.
+uint64_t LogMessageCount(LogLevel level);
+
+}  // namespace sdps::obs
+
+#endif  // SDPS_OBS_LOG_BRIDGE_H_

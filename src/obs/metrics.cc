@@ -1,0 +1,121 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sdps::obs {
+
+Histogram::Histogram(const std::atomic<bool>* enabled, std::vector<double> bounds)
+    : enabled_(enabled), bounds_(std::move(bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    SDPS_CHECK_LT(bounds_[i - 1], bounds_[i]) << "histogram bounds must increase";
+  }
+  for (size_t i = 0; i < bounds_.size() + 1; ++i) buckets_.emplace_back(0);
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.push_back(b.load(std::memory_order_relaxed));
+  return out;
+}
+
+std::vector<double> LatencySecondsBounds() {
+  return {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+          0.25,  0.5,    1.0,   2.5,  5.0,   10.0, 25.0, 50.0, 100.0};
+}
+
+Registry& Registry::Default() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+namespace {
+LabelSet Canonical(LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+}  // namespace
+
+Counter* Registry::GetCounter(const std::string& name, LabelSet labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[Key{name, Canonical(std::move(labels))}];
+  if (e.counter == nullptr) {
+    SDPS_CHECK(e.gauge == nullptr && e.histogram == nullptr)
+        << "metric " << name << " already registered with a different kind";
+    e.kind = MetricRow::Kind::kCounter;
+    counters_.emplace_back(new Counter(&enabled_));
+    e.counter = counters_.back().get();
+  }
+  return e.counter;
+}
+
+Gauge* Registry::GetGauge(const std::string& name, LabelSet labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[Key{name, Canonical(std::move(labels))}];
+  if (e.gauge == nullptr) {
+    SDPS_CHECK(e.counter == nullptr && e.histogram == nullptr)
+        << "metric " << name << " already registered with a different kind";
+    e.kind = MetricRow::Kind::kGauge;
+    gauges_.emplace_back(new Gauge(&enabled_));
+    e.gauge = gauges_.back().get();
+  }
+  return e.gauge;
+}
+
+Histogram* Registry::GetHistogram(const std::string& name, LabelSet labels,
+                                  std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[Key{name, Canonical(std::move(labels))}];
+  if (e.histogram == nullptr) {
+    SDPS_CHECK(e.counter == nullptr && e.gauge == nullptr)
+        << "metric " << name << " already registered with a different kind";
+    e.kind = MetricRow::Kind::kHistogram;
+    if (bounds.empty()) bounds = LatencySecondsBounds();
+    histograms_.emplace_back(new Histogram(&enabled_, std::move(bounds)));
+    e.histogram = histograms_.back().get();
+  }
+  return e.histogram;
+}
+
+void Registry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& c : counters_) c->value_.store(0, std::memory_order_relaxed);
+  for (auto& g : gauges_) g->value_.store(0.0, std::memory_order_relaxed);
+  for (auto& h : histograms_) {
+    for (auto& b : h->buckets_) b.store(0, std::memory_order_relaxed);
+    h->count_.store(0, std::memory_order_relaxed);
+    h->sum_.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<MetricRow> Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricRow> rows;
+  rows.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {  // std::map: sorted by (name, labels)
+    MetricRow row;
+    row.kind = entry.kind;
+    row.name = key.name;
+    row.labels = key.labels;
+    switch (entry.kind) {
+      case MetricRow::Kind::kCounter:
+        row.value = static_cast<double>(entry.counter->value());
+        break;
+      case MetricRow::Kind::kGauge:
+        row.value = entry.gauge->value();
+        break;
+      case MetricRow::Kind::kHistogram:
+        row.count = entry.histogram->count();
+        row.sum = entry.histogram->sum();
+        row.bounds = entry.histogram->bounds();
+        row.bucket_counts = entry.histogram->bucket_counts();
+        break;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace sdps::obs

@@ -1,0 +1,83 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace sdps::obs {
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+TrackId Tracer::Track(const std::string& process, const std::string& thread) {
+  const auto key = std::make_pair(process, thread);
+  const auto it = track_ids_.find(key);
+  if (it != track_ids_.end()) return it->second;
+  const TrackId id = static_cast<TrackId>(tracks_.size());
+  track_ids_.emplace(key, id);
+  tracks_.push_back(key);
+  return id;
+}
+
+void Tracer::Span(TrackId track, const char* name, SimTime begin, SimTime end,
+                  const char* k0, double v0, const char* k1, double v1) {
+  if (!enabled_) return;
+  SpanRecord rec;
+  rec.begin = begin;
+  rec.end = end;
+  rec.track = track;
+  rec.name = name;
+  rec.arg_key[0] = k0;
+  rec.arg_val[0] = v0;
+  rec.arg_key[1] = k1;
+  rec.arg_val[1] = v1;
+  Push(rec);
+}
+
+void Tracer::Instant(TrackId track, const char* name, SimTime t,
+                     const char* k0, double v0) {
+  if (!enabled_) return;
+  SpanRecord rec;
+  rec.begin = t;
+  rec.end = t;
+  rec.track = track;
+  rec.name = name;
+  rec.instant = true;
+  rec.arg_key[0] = k0;
+  rec.arg_val[0] = v0;
+  Push(rec);
+}
+
+void Tracer::Push(SpanRecord rec) {
+  rec.seq = next_seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(rec);
+    return;
+  }
+  // Overwrite the oldest record (the tail of a run matters most).
+  ring_[ring_head_] = rec;
+  ring_head_ = (ring_head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void Tracer::Reset() {
+  ring_.clear();
+  ring_head_ = 0;
+  next_seq_ = 0;
+  dropped_ = 0;
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::vector<SpanRecord> out = ring_;
+  std::sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    if (a.begin != b.begin) return a.begin < b.begin;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> Tracer::Tracks() const {
+  return tracks_;
+}
+
+}  // namespace sdps::obs

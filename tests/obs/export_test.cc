@@ -1,0 +1,341 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workloads/workloads.h"
+
+namespace sdps::obs {
+namespace {
+
+using ::testing::HasSubstr;
+
+// ---------------------------------------------------------------------------
+// A minimal JSON reader, just enough to validate the Chrome trace schema.
+// Parses objects/arrays/strings/numbers/literals; fails the test on any
+// syntax error.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool Parse(JsonValue* out) {
+    const bool ok = ParseValue(out);
+    SkipSpace();
+    return ok && pos_ == s_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->string);
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      out->type = JsonValue::Type::kBool;
+      return true;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u':
+            if (pos_ + 4 >= s_.size()) return false;
+            pos_ += 4;  // test data is ASCII; keep the escape opaque
+            *out += '?';
+            break;
+          default: *out += s_[pos_];
+        }
+      } else {
+        *out += s_[pos_];
+      }
+      ++pos_;
+    }
+    return Consume('"');
+  }
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
+            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->type = JsonValue::Type::kNumber;
+    out->number = atof(s_.substr(start, pos_ - start).c_str());
+    return true;
+  }
+  bool ParseArray(JsonValue* out) {
+    if (!Consume('[')) return false;
+    out->type = JsonValue::Type::kArray;
+    if (Consume(']')) return true;
+    do {
+      JsonValue v;
+      if (!ParseValue(&v)) return false;
+      out->array.push_back(std::move(v));
+    } while (Consume(','));
+    return Consume(']');
+  }
+  bool ParseObject(JsonValue* out) {
+    if (!Consume('{')) return false;
+    out->type = JsonValue::Type::kObject;
+    if (Consume('}')) return true;
+    do {
+      std::string key;
+      if (!ParseString(&key) || !Consume(':')) return false;
+      JsonValue v;
+      if (!ParseValue(&v)) return false;
+      out->object.emplace_back(std::move(key), std::move(v));
+    } while (Consume(','));
+    return Consume('}');
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+JsonValue ParseOrDie(const std::string& json) {
+  JsonValue root;
+  JsonParser parser(json);
+  EXPECT_TRUE(parser.Parse(&root)) << "invalid JSON:\n" << json;
+  return root;
+}
+
+/// Validates the trace_event schema and collects the names of all span
+/// ("X") and instant ("i") events into `names`.
+void ValidateChromeTrace(const std::string& json, std::vector<std::string>* names) {
+  const JsonValue root = ParseOrDie(json);
+  EXPECT_EQ(root.type, JsonValue::Type::kObject);
+  const JsonValue* unit = root.Find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr) << json;
+  EXPECT_EQ(unit->string, "ms");
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->type, JsonValue::Type::kArray);
+  for (const JsonValue& ev : events->array) {
+    EXPECT_EQ(ev.type, JsonValue::Type::kObject);
+    const JsonValue* ph = ev.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    const JsonValue* name = ev.Find("name");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ev.Find("pid"), nullptr);
+    ASSERT_NE(ev.Find("tid"), nullptr);
+    if (ph->string == "M") {
+      EXPECT_TRUE(name->string == "process_name" || name->string == "thread_name");
+      ASSERT_NE(ev.Find("args"), nullptr);
+    } else if (ph->string == "X") {
+      ASSERT_NE(ev.Find("ts"), nullptr);
+      const JsonValue* dur = ev.Find("dur");
+      ASSERT_NE(dur, nullptr);
+      EXPECT_GE(dur->number, 0);
+      names->push_back(name->string);
+    } else if (ph->string == "i") {
+      ASSERT_NE(ev.Find("ts"), nullptr);
+      names->push_back(name->string);
+    } else {
+      ADD_FAILURE() << "unexpected event phase: " << ph->string;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exporter goldens over a hand-built registry / tracer.
+
+TEST(PrometheusTextTest, GoldenOutput) {
+  Registry registry;
+  registry.set_enabled(true);
+  registry.GetCounter("driver.queue.pushed_tuples")->Add(12);
+  registry.GetCounter("engine.records.processed", {{"engine", "flink"}})->Add(3);
+  registry.GetCounter("engine.records.processed", {{"engine", "storm"}})->Add(4);
+  registry.GetGauge("driver.queue.depth")->Set(2.5);
+  Histogram* h = registry.GetHistogram("sink.latency_s", {}, {0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(0.05);
+  h->Observe(5.0);
+
+  EXPECT_EQ(PrometheusText(registry),
+            "# TYPE driver_queue_depth gauge\n"
+            "driver_queue_depth 2.5\n"
+            "# TYPE driver_queue_pushed_tuples counter\n"
+            "driver_queue_pushed_tuples 12\n"
+            "# TYPE engine_records_processed counter\n"
+            "engine_records_processed{engine=\"flink\"} 3\n"
+            "engine_records_processed{engine=\"storm\"} 4\n"
+            "# TYPE sink_latency_s histogram\n"
+            "sink_latency_s_bucket{le=\"0.1\"} 2\n"
+            "sink_latency_s_bucket{le=\"1\"} 2\n"
+            "sink_latency_s_bucket{le=\"+Inf\"} 3\n"
+            "sink_latency_s_sum 5.1\n"
+            "sink_latency_s_count 3\n");
+}
+
+TEST(MetricsCsvTest, GoldenOutput) {
+  Registry registry;
+  registry.set_enabled(true);
+  registry.GetCounter("a.counter", {{"engine", "flink"}})->Add(7);
+  Histogram* h = registry.GetHistogram("b.hist", {}, {1.0});
+  h->Observe(0.5);
+
+  EXPECT_EQ(MetricsCsvText(registry),
+            "kind,name,labels,value,count,sum\n"
+            "counter,a.counter,engine=flink,7,,\n"
+            "histogram,b.hist,,,1,0.5\n"
+            "histogram_bucket,b.hist,le=1,1,,\n"
+            "histogram_bucket,b.hist,le=+Inf,0,,\n");
+}
+
+TEST(ChromeTraceTest, EmitsMetadataSpansAndInstants) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const TrackId gc = tracer.Track("worker-1", "gc");
+  const TrackId task = tracer.Track("worker-1", "flink/task-0");
+  const TrackId drv = tracer.Track("driver-1", "experiment");
+  tracer.Span(gc, "gc.pause", 100, 150, "pause_ms", 0.05);
+  tracer.Span(task, "window.fire", 200, 260, "outputs", 4, "watermark_ms", 2.5);
+  tracer.Instant(drv, "backlog.hard_limit", 300);
+
+  const std::string json = ChromeTraceJson(tracer);
+  std::vector<std::string> names;
+  ValidateChromeTrace(json, &names);
+  EXPECT_THAT(names, testing::ElementsAre("gc.pause", "window.fire",
+                                          "backlog.hard_limit"));
+  // Both worker tracks share one pid; the driver track gets another.
+  EXPECT_THAT(json, HasSubstr("\"args\":{\"name\":\"worker-1\"}"));
+  EXPECT_THAT(json, HasSubstr("\"args\":{\"name\":\"driver-1\"}"));
+  EXPECT_THAT(json, HasSubstr("\"args\":{\"name\":\"flink/task-0\"}"));
+  EXPECT_THAT(json, HasSubstr("\"args\":{\"outputs\":4,\"watermark_ms\":2.5}"));
+}
+
+TEST(ChromeTraceTest, EmptyTracerIsStillValidJson) {
+  Tracer tracer;
+  std::vector<std::string> names;
+  ValidateChromeTrace(ChromeTraceJson(tracer), &names);
+  EXPECT_TRUE(names.empty());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a small simulated experiment must produce a schema-valid
+// trace with spans from the driver, the cluster, and the engine — and two
+// identically-seeded runs must export byte-identical dumps.
+
+class ObsEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::Default().set_enabled(true);
+    Tracer::Default().set_enabled(true);
+  }
+  void TearDown() override {
+    Registry::Default().set_enabled(false);
+    Tracer::Default().set_enabled(false);
+  }
+
+  static driver::ExperimentResult RunSmall() {
+    Registry::Default().ResetValues();
+    driver::ExperimentConfig config = workloads::MakeExperiment(
+        engine::QueryKind::kAggregation, /*workers=*/2, /*total_rate=*/2.0e5,
+        /*duration=*/Seconds(30));
+    return driver::RunExperiment(
+        config, workloads::MakeEngineFactory(
+                    workloads::Engine::kFlink,
+                    engine::QueryConfig{engine::QueryKind::kAggregation, {}}));
+  }
+};
+
+TEST_F(ObsEndToEndTest, TraceCoversDriverClusterAndEngine) {
+  RunSmall();
+  const std::string json = ChromeTraceJson(Tracer::Default());
+  std::vector<std::string> names;
+  ValidateChromeTrace(json, &names);
+  EXPECT_THAT(names, testing::Contains("experiment.run"));  // driver
+  EXPECT_THAT(names, testing::Contains("gc.pause"));        // cluster
+  EXPECT_THAT(names, testing::Contains("window.fire"));     // engine
+  EXPECT_THAT(json, HasSubstr("flink/task-"));
+
+  const auto rows = Registry::Default().Snapshot();
+  auto value_of = [&rows](const std::string& name) {
+    double total = 0;
+    for (const auto& row : rows) {
+      if (row.name == name) total += row.value;
+    }
+    return total;
+  };
+  EXPECT_GT(value_of("driver.queue.pushed_tuples"), 0);
+  EXPECT_GT(value_of("engine.records.processed"), 0);
+  EXPECT_GT(value_of("cluster.gc.pauses"), 0);
+}
+
+TEST_F(ObsEndToEndTest, IdenticallySeededRunsExportByteIdenticalDumps) {
+  RunSmall();
+  const std::string trace1 = ChromeTraceJson(Tracer::Default());
+  const std::string metrics1 = PrometheusText(Registry::Default());
+  const std::string csv1 = MetricsCsvText(Registry::Default());
+
+  RunSmall();
+  EXPECT_EQ(ChromeTraceJson(Tracer::Default()), trace1);
+  EXPECT_EQ(PrometheusText(Registry::Default()), metrics1);
+  EXPECT_EQ(MetricsCsvText(Registry::Default()), csv1);
+  EXPECT_FALSE(trace1.empty());
+  EXPECT_THAT(metrics1, HasSubstr("driver_sink_outputs"));
+}
+
+}  // namespace
+}  // namespace sdps::obs

@@ -1,0 +1,153 @@
+#include "obs/metrics.h"
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "obs/log_bridge.h"
+
+namespace sdps::obs {
+namespace {
+
+using ::testing::ElementsAre;
+
+TEST(CounterTest, AddsWhenEnabled) {
+  Registry registry;
+  registry.set_enabled(true);
+  Counter* c = registry.GetCounter("test.counter");
+  EXPECT_EQ(c->value(), 0u);
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42u);
+}
+
+TEST(CounterTest, DisabledIsNoOp) {
+  Registry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  c->Add(100);
+  EXPECT_EQ(c->value(), 0u);
+  registry.set_enabled(true);
+  c->Add(1);
+  registry.set_enabled(false);
+  c->Add(100);
+  EXPECT_EQ(c->value(), 1u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Registry registry;
+  registry.set_enabled(true);
+  Gauge* g = registry.GetGauge("test.gauge");
+  g->Set(2.5);
+  EXPECT_DOUBLE_EQ(g->value(), 2.5);
+  g->Add(-1.0);
+  EXPECT_DOUBLE_EQ(g->value(), 1.5);
+  registry.set_enabled(false);
+  g->Set(99);
+  EXPECT_DOUBLE_EQ(g->value(), 1.5);
+}
+
+TEST(HistogramTest, BucketsAreUpperBoundsWithInfTail) {
+  Registry registry;
+  registry.set_enabled(true);
+  Histogram* h = registry.GetHistogram("test.hist", {}, {1.0, 10.0});
+  h->Observe(0.5);   // <= 1
+  h->Observe(1.0);   // <= 1 (bounds are inclusive upper bounds)
+  h->Observe(5.0);   // <= 10
+  h->Observe(100.0); // +Inf
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_DOUBLE_EQ(h->sum(), 106.5);
+  EXPECT_THAT(h->bucket_counts(), ElementsAre(2, 1, 1));
+}
+
+TEST(HistogramTest, EmptyBoundsUseLatencyDefaults) {
+  Registry registry;
+  Histogram* h = registry.GetHistogram("test.hist");
+  EXPECT_EQ(h->bounds(), LatencySecondsBounds());
+}
+
+TEST(RegistryTest, SameNameAndLabelsReturnsSameHandle) {
+  Registry registry;
+  EXPECT_EQ(registry.GetCounter("c"), registry.GetCounter("c"));
+  EXPECT_EQ(registry.GetGauge("g"), registry.GetGauge("g"));
+  EXPECT_EQ(registry.GetHistogram("h"), registry.GetHistogram("h"));
+}
+
+TEST(RegistryTest, LabelsAreCanonicalisedBySortingKeys) {
+  Registry registry;
+  Counter* a = registry.GetCounter("c", {{"engine", "flink"}, {"query", "agg"}});
+  Counter* b = registry.GetCounter("c", {{"query", "agg"}, {"engine", "flink"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(RegistryTest, DistinctLabelsAreDistinctInstruments) {
+  Registry registry;
+  registry.set_enabled(true);
+  Counter* flink = registry.GetCounter("c", {{"engine", "flink"}});
+  Counter* storm = registry.GetCounter("c", {{"engine", "storm"}});
+  ASSERT_NE(flink, storm);
+  flink->Add(1);
+  EXPECT_EQ(storm->value(), 0u);
+}
+
+TEST(RegistryTest, ResetValuesKeepsHandlesValid) {
+  Registry registry;
+  registry.set_enabled(true);
+  Counter* c = registry.GetCounter("c");
+  Gauge* g = registry.GetGauge("g");
+  Histogram* h = registry.GetHistogram("h", {}, {1.0});
+  c->Add(7);
+  g->Set(7);
+  h->Observe(0.5);
+  registry.ResetValues();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_THAT(h->bucket_counts(), ElementsAre(0, 0));
+  c->Add(1);
+  EXPECT_EQ(c->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("c"), c);
+}
+
+TEST(RegistryTest, SnapshotIsSortedByNameThenLabels) {
+  Registry registry;
+  registry.set_enabled(true);
+  registry.GetCounter("z.last");
+  registry.GetCounter("a.first", {{"k", "2"}});
+  registry.GetCounter("a.first", {{"k", "1"}});
+  const auto rows = registry.Snapshot();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].name, "a.first");
+  EXPECT_THAT(rows[0].labels, ElementsAre(std::make_pair("k", "1")));
+  EXPECT_EQ(rows[1].name, "a.first");
+  EXPECT_THAT(rows[1].labels, ElementsAre(std::make_pair("k", "2")));
+  EXPECT_EQ(rows[2].name, "z.last");
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(RegistryDeathTest, KindConflictAborts) {
+  Registry registry;
+  registry.GetCounter("metric");
+  EXPECT_DEATH(registry.GetGauge("metric"), "metric");
+}
+#endif
+
+TEST(LogBridgeTest, CountsWarningsAndErrorsByLevel) {
+  Registry& registry = Registry::Default();
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(true);
+  InstallLogCounters();
+  const uint64_t warnings_before = LogMessageCount(LogLevel::kWarning);
+  const uint64_t errors_before = LogMessageCount(LogLevel::kError);
+  SDPS_LOG(Warning) << "telemetry test warning";
+  SDPS_LOG(Warning) << "telemetry test warning";
+  SDPS_LOG(Error) << "telemetry test error";
+  EXPECT_EQ(LogMessageCount(LogLevel::kWarning) - warnings_before, 2u);
+  EXPECT_EQ(LogMessageCount(LogLevel::kError) - errors_before, 1u);
+  RemoveLogCounters();
+  SDPS_LOG(Warning) << "not counted";
+  EXPECT_EQ(LogMessageCount(LogLevel::kWarning) - warnings_before, 2u);
+  registry.set_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace sdps::obs

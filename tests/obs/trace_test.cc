@@ -1,0 +1,121 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace sdps::obs {
+namespace {
+
+TEST(TracerTest, TrackIdsAreDedupedAndOrdered) {
+  Tracer tracer;
+  const TrackId a = tracer.Track("worker-1", "flink/task-0");
+  const TrackId b = tracer.Track("worker-1", "flink/task-1");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(tracer.Track("worker-1", "flink/task-0"), a);
+  const auto tracks = tracer.Tracks();
+  ASSERT_EQ(tracks.size(), 2u);
+  EXPECT_EQ(tracks[static_cast<size_t>(a)].second, "flink/task-0");
+  EXPECT_EQ(tracks[static_cast<size_t>(b)].second, "flink/task-1");
+}
+
+TEST(TracerTest, DisabledRecordsNothing) {
+  Tracer tracer;
+  const TrackId t = tracer.Track("p", "t");
+  tracer.Span(t, "span", 0, 10);
+  tracer.Instant(t, "instant", 5);
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+}
+
+TEST(TracerTest, SnapshotSortsByBeginThenSequence) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const TrackId t = tracer.Track("p", "t");
+  tracer.Span(t, "late", 20, 30);
+  tracer.Span(t, "early", 5, 8);
+  tracer.Span(t, "tie-a", 10, 11);
+  tracer.Span(t, "tie-b", 10, 12);
+  const auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_STREQ(spans[0].name, "early");
+  EXPECT_STREQ(spans[1].name, "tie-a");  // same begin: insertion order wins
+  EXPECT_STREQ(spans[2].name, "tie-b");
+  EXPECT_STREQ(spans[3].name, "late");
+}
+
+TEST(TracerTest, RingEvictsOldestBeyondCapacity) {
+  Tracer tracer(/*capacity=*/3);
+  tracer.set_enabled(true);
+  const TrackId t = tracer.Track("p", "t");
+  for (int i = 0; i < 5; ++i) {
+    tracer.Span(t, "span", i, i + 1);
+  }
+  EXPECT_EQ(tracer.total_recorded(), 5u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  const auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].begin, 2);  // the two oldest were overwritten
+  EXPECT_EQ(spans[2].begin, 4);
+}
+
+TEST(TracerTest, ResetClearsEventsButKeepsTrackNumbering) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const TrackId t = tracer.Track("p", "t");
+  tracer.Span(t, "span", 0, 1);
+  tracer.Reset();
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(tracer.Track("p", "t"), t);
+}
+
+TEST(ScopedSpanTest, RecordsDurationAndArgsFromBoundClock) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  SimTime now = 100;
+  tracer.set_clock([&now] { return now; });
+  const TrackId t = tracer.Track("p", "t");
+  {
+    ScopedSpan span(tracer, t, "work");
+    span.Arg("items", 7);
+    now = 150;
+  }
+  const auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].begin, 100);
+  EXPECT_EQ(spans[0].end, 150);
+  EXPECT_STREQ(spans[0].arg_key[0], "items");
+  EXPECT_DOUBLE_EQ(spans[0].arg_val[0], 7);
+  EXPECT_EQ(spans[0].arg_key[1], nullptr);
+}
+
+TEST(ScopedSpanTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  const TrackId t = tracer.Track("p", "t");
+  { ScopedSpan span(tracer, t, "work"); }
+  EXPECT_TRUE(tracer.Snapshot().empty());
+}
+
+TEST(ClockGuardTest, BindsClockAndResetsRingForEnabledTracer) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const TrackId t = tracer.Track("p", "t");
+  tracer.Span(t, "stale", 0, 1);
+  {
+    SimTime now = 42;
+    ClockGuard guard(tracer, [&now] { return now; });
+    EXPECT_TRUE(tracer.Snapshot().empty());  // previous run's events cleared
+    EXPECT_EQ(tracer.now(), 42);
+    tracer.Instant(t, "tick", tracer.now());
+  }
+  EXPECT_EQ(tracer.now(), 0);  // clock unbound after the run
+  ASSERT_EQ(tracer.Snapshot().size(), 1u);
+}
+
+TEST(ClockGuardTest, DisabledTracerKeepsRingUntouched) {
+  Tracer tracer;
+  SimTime fake = 1;
+  ClockGuard guard(tracer, [&fake] { return fake; });
+  EXPECT_EQ(tracer.now(), 1);
+}
+
+}  // namespace
+}  // namespace sdps::obs
