@@ -11,6 +11,7 @@
 #include "common/csv.h"
 #include "common/strings.h"
 #include "obs/export.h"
+#include "obs/lineage.h"
 #include "obs/log_bridge.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -44,18 +45,21 @@ TelemetryScope::TelemetryScope(int& argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (ConsumeFlag(argv[i], "--trace=", &trace_path_) ||
         ConsumeFlag(argv[i], "--metrics=", &metrics_path_) ||
-        ConsumeFlag(argv[i], "--metrics-csv=", &metrics_csv_path_)) {
+        ConsumeFlag(argv[i], "--metrics-csv=", &metrics_csv_path_) ||
+        ConsumeFlag(argv[i], "--lineage-csv=", &lineage_csv_path_)) {
       continue;
     }
     argv[kept++] = argv[i];
   }
   argc = kept;
 
-  if (!trace_path_.empty() || !metrics_path_.empty() || !metrics_csv_path_.empty()) {
+  if (!trace_path_.empty() || !metrics_path_.empty() || !metrics_csv_path_.empty() ||
+      !lineage_csv_path_.empty()) {
     obs::Registry::Default().set_enabled(true);
     obs::InstallLogCounters();
   }
   if (!trace_path_.empty()) obs::Tracer::Default().set_enabled(true);
+  if (!lineage_csv_path_.empty()) obs::LineageTracker::Default().set_enabled(true);
 }
 
 TelemetryScope::~TelemetryScope() {
@@ -70,6 +74,10 @@ TelemetryScope::~TelemetryScope() {
   if (!metrics_csv_path_.empty()) {
     WriteDump("metrics csv", metrics_csv_path_,
               obs::WriteMetricsCsv(metrics_csv_path_, obs::Registry::Default()));
+  }
+  if (!lineage_csv_path_.empty()) {
+    WriteDump("lineage csv", lineage_csv_path_,
+              obs::WriteLineageCsv(lineage_csv_path_, obs::LineageTracker::Default()));
   }
 }
 

@@ -13,14 +13,14 @@
 namespace sdps::bench {
 
 /// Telemetry flags shared by every bench binary. Construct first thing in
-/// main(): consumes `--trace=FILE`, `--metrics=FILE` (Prometheus text) and
-/// `--metrics-csv=FILE` from argv — compacting argv in place so the
-/// bench's own argument parsing never sees them — and enables the
-/// corresponding obs sinks (plus the `log.messages` counters). The dump
-/// files are written when the scope is destroyed, i.e. after the bench's
-/// last experiment; the trace therefore shows the final run (the tracer's
-/// ring is reset at each experiment start) while metrics accumulate over
-/// the whole process.
+/// main(): consumes `--trace=FILE`, `--metrics=FILE` (Prometheus text),
+/// `--metrics-csv=FILE` and `--lineage-csv=FILE` from argv — compacting
+/// argv in place so the bench's own argument parsing never sees them —
+/// and enables the corresponding obs sinks (plus the `log.messages`
+/// counters). The dump files are written when the scope is destroyed,
+/// i.e. after the bench's last experiment; the trace and lineage dumps
+/// therefore show the final run (both are reset at each experiment start)
+/// while metrics accumulate over the whole process.
 class TelemetryScope {
  public:
   TelemetryScope(int& argc, char** argv);
@@ -32,6 +32,7 @@ class TelemetryScope {
   std::string trace_path_;
   std::string metrics_path_;
   std::string metrics_csv_path_;
+  std::string lineage_csv_path_;
 };
 
 /// Creates ./results if needed and returns "results/<name>".

@@ -1,0 +1,159 @@
+// Fig. 12 (extension): latency attribution — where does an event-time
+// second go? Runs each engine below its sustainable rate with lineage
+// sampling enabled and breaks the sink latency of the sampled tuples into
+// queue-wait / network / operator / window / sink stages. The stage
+// durations telescope, so the per-record sum must equal the measured
+// event-time latency exactly; the binary exits non-zero if any sampled
+// record violates that invariant (this doubles as the CI smoke check).
+//
+// Outputs:
+//   results/fig12_breakdown.csv          long-format (engine,stage,...) table
+//   results/fig12_lineage_<engine>.csv   per-sampled-record stamp dumps
+//   results/fig12_sustain_<engine>.csv   SustainabilityIndicator time-series
+//
+// `--smoke` shrinks the run (fixed low rate, short horizon, dense
+// sampling) so CI can afford it.
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/strings.h"
+#include "obs/export.h"
+#include "obs/lineage.h"
+#include "report/breakdown.h"
+
+using namespace sdps;             // NOLINT
+using namespace sdps::workloads;  // NOLINT
+
+namespace {
+
+// Joins the indicator series (shared probe timestamps; the watermark/sink
+// series start later, once outputs arrive) into one CSV.
+void WriteSustainCsv(const std::string& file, const driver::SustainabilityIndicator& ind) {
+  auto writer = CsvWriter::Open(bench::ResultsPath(file));
+  if (!writer.ok()) {
+    std::fprintf(stderr, "failed to open %s: %s\n", file.c_str(),
+                 writer.status().ToString().c_str());
+    return;
+  }
+  writer->WriteHeader({"time_s", "backlog_tuples", "backlog_slope",
+                       "watermark_lag_s", "sink_latency_slope"});
+  size_t lag_i = 0, slope_i = 0;
+  const auto& lag = ind.watermark_lag_s.samples();
+  const auto& sink_slope = ind.sink_latency_slope.samples();
+  for (size_t i = 0; i < ind.backlog.size(); ++i) {
+    const driver::Sample& s = ind.backlog.samples()[i];
+    double lag_v = 0, slope_v = 0;
+    while (lag_i < lag.size() && lag[lag_i].time <= s.time) lag_v = lag[lag_i++].value;
+    while (slope_i < sink_slope.size() && sink_slope[slope_i].time <= s.time) {
+      slope_v = sink_slope[slope_i++].value;
+    }
+    writer->WriteRow({StrFormat("%.3f", ToSeconds(s.time)), StrFormat("%.0f", s.value),
+                      StrFormat("%.3f", ind.backlog_slope.samples()[i].value),
+                      StrFormat("%.3f", lag_v), StrFormat("%.6f", slope_v)});
+  }
+  const Status status = writer->Close();
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", file.c_str(),
+                 status.ToString().c_str());
+  }
+}
+
+/// The acceptance check: every closed sample's stage durations are
+/// non-negative and telescope to its event-time latency within 1 tick.
+int VerifyAttribution(const char* engine, const obs::LineageTracker& tracker) {
+  int bad = 0;
+  for (const obs::LineageRecord& rec : tracker.Snapshot()) {
+    SimTime sum = 0;
+    bool negative = false;
+    for (int s = 0; s < obs::kNumLineageStages; ++s) {
+      const SimTime d = rec.StageDuration(static_cast<obs::LineageStage>(s));
+      if (d < 0) negative = true;
+      sum += d;
+    }
+    const SimTime total = rec.Total();
+    if (negative || sum - total > 1 || total - sum > 1) {
+      if (bad++ < 5) {
+        std::fprintf(stderr,
+                     "  ATTRIBUTION MISMATCH (%s, id %d): stages sum to %lld us, "
+                     "sink latency %lld us\n",
+                     engine, rec.id, static_cast<long long>(sum),
+                     static_cast<long long>(total));
+      }
+    }
+  }
+  return bad;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  printf("== Fig. 12: latency attribution by pipeline stage (2-node%s) ==\n\n",
+         smoke ? ", smoke scale" : "");
+
+  obs::LineageTracker& tracker = obs::LineageTracker::Default();
+  tracker.set_enabled(true);
+  tracker.set_sample_every(smoke ? 16 : 256);
+
+  const Engine engines[] = {Engine::kStorm, Engine::kSpark, Engine::kFlink};
+  const SimTime duration = smoke ? Seconds(30) : Seconds(120);
+  std::vector<report::EngineBreakdown> rows;
+  int mismatches = 0;
+  for (const Engine engine : engines) {
+    const std::string name = EngineName(engine);
+    std::string file_tag = name;  // lowercase for stable file names
+    for (char& c : file_tag) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    const double rate =
+        smoke ? 2.0e4
+              : 0.8 * bench::SustainableRate(engine, engine::QueryKind::kAggregation, 2);
+    const auto result = bench::MeasureAt(engine, engine::QueryKind::kAggregation, 2,
+                                         rate, duration);
+
+    rows.push_back({name, tracker.Breakdown()});
+    mismatches += VerifyAttribution(name.c_str(), tracker);
+
+    const Status lineage_status = obs::WriteLineageCsv(
+        bench::ResultsPath("fig12_lineage_" + file_tag + ".csv"), tracker);
+    if (!lineage_status.ok()) {
+      std::fprintf(stderr, "failed to write lineage dump: %s\n",
+                   lineage_status.ToString().c_str());
+    }
+    WriteSustainCsv("fig12_sustain_" + file_tag + ".csv", result.indicator);
+
+    printf("  %-6s offered %.2f M/s, verdict: %s; sampled %llu, closed %llu\n",
+           name.c_str(), rate / 1e6, result.verdict.c_str(),
+           static_cast<unsigned long long>(tracker.opened()),
+           static_cast<unsigned long long>(tracker.closed()));
+  }
+
+  printf("\n%s\n", report::RenderBreakdownTable(rows).c_str());
+  const Status csv_status =
+      report::WriteBreakdownCsv(bench::ResultsPath("fig12_breakdown.csv"), rows);
+  if (!csv_status.ok()) {
+    std::fprintf(stderr, "failed to write fig12_breakdown.csv: %s\n",
+                 csv_status.ToString().c_str());
+    return 2;
+  }
+
+  printf("qualitative checks:\n");
+  printf("  all sampled records: stage sum == sink latency (±1 tick): %s\n",
+         mismatches == 0 ? "PASS" : "FAIL");
+  bool closed_everywhere = true;
+  for (const auto& row : rows) closed_everywhere &= row.breakdown.records > 0;
+  printf("  every engine closed at least one sampled record: %s\n",
+         closed_everywhere ? "PASS" : "FAIL");
+  if (mismatches > 0 || !closed_everywhere) {
+    std::fprintf(stderr, "\n%d attribution mismatch(es)\n", mismatches);
+    return 1;
+  }
+  return 0;
+}

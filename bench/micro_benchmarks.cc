@@ -12,7 +12,9 @@
 #include "engine/partition.h"
 #include "engine/window.h"
 #include "engine/window_state.h"
+#include "obs/lineage.h"
 #include "obs/metrics.h"
+#include "obs/sketch.h"
 
 namespace sdps {
 namespace {
@@ -192,6 +194,62 @@ void BM_ObsHistogramObserveEnabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ObsHistogramObserveEnabled);
+
+// Lineage sampling sits on the queue-push hot path; disabled it must be a
+// single predicted branch, and the per-stage stamps must be no-ops for
+// unsampled ids (the overwhelmingly common case even when enabled).
+void BM_LineageMaybeOpenDisabled(benchmark::State& state) {
+  obs::LineageTracker tracker;
+  tracker.set_enabled(false);
+  SimTime t = 0;
+  obs::LineageId acc = 0;
+  for (auto _ : state) {
+    t += 10;
+    acc += tracker.MaybeOpen(t, t);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LineageMaybeOpenDisabled);
+
+void BM_LineageStampUnsampled(benchmark::State& state) {
+  obs::LineageTracker tracker;
+  tracker.set_enabled(true);
+  SimTime t = 0;
+  for (auto _ : state) tracker.StampOperator(obs::kNoLineage, t += 10);
+  benchmark::DoNotOptimize(tracker.closed());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LineageStampUnsampled);
+
+void BM_LineageOpenStampClose(benchmark::State& state) {
+  obs::LineageTracker tracker;
+  tracker.set_enabled(true);
+  tracker.set_sample_every(1);
+  SimTime t = 0;
+  for (auto _ : state) {
+    if (tracker.opened() >= obs::LineageTracker::kDefaultCapacity) tracker.Reset();
+    const obs::LineageId id = tracker.MaybeOpen(t, t + 1);
+    tracker.StampPopped(id, t + 2);
+    tracker.StampIngested(id, t + 3);
+    tracker.StampOperator(id, t + 4);
+    tracker.StampFired(id, t + 5);
+    tracker.Close(id, t + 6);
+    t += 10;
+  }
+  benchmark::DoNotOptimize(tracker.closed());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LineageOpenStampClose);
+
+void BM_QuantileSketchObserve(benchmark::State& state) {
+  obs::QuantileSketch sketch;
+  double v = 0;
+  for (auto _ : state) sketch.Observe(v = (v >= 100.0 ? 1e-4 : v + 1e-3));
+  benchmark::DoNotOptimize(sketch.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuantileSketchObserve);
 
 }  // namespace
 }  // namespace sdps

@@ -3,8 +3,10 @@
 
 Usage:
     python3 scripts/plot_results.py [--results-dir results] [--out plots]
+    python3 scripts/plot_results.py breakdown       # Fig. 12 stacked bars
+    python3 scripts/plot_results.py sustainability  # indicator time-series
 
-Produces one PNG per paper figure:
+With no subcommand, produces one PNG per paper figure:
     fig4.png  - aggregation latency over time (3 systems x 3 sizes x 2 loads)
     fig5.png  - join latency over time
     fig6.png  - fluctuating-workload latency
@@ -13,6 +15,11 @@ Produces one PNG per paper figure:
     fig9.png  - ingest throughput over time
     fig10.png - per-node CPU and network usage
     fig11.png - Spark scheduler delay vs throughput
+
+The `breakdown` subcommand stacks the per-stage latency attribution from
+results/fig12_breakdown.csv into one bar per engine; `sustainability`
+plots the backpressure monitor's indicator series from
+results/fig12_sustain_<engine>.csv (backlog + watermark lag per engine).
 
 Requires matplotlib. The repository's benches must have been run first
 (`for b in build/bench/*; do $b; done`).
@@ -35,6 +42,12 @@ def read_series(path):
             xs.append(float(row[0]))
             ys.append(float(row[1]))
     return xs, ys
+
+
+def read_table(path):
+    """Reads a CSV with a header row into a list of dicts."""
+    with open(path) as f:
+        return list(csv.DictReader(f))
 
 
 def panel_grid(plt, paths, title, ylabel, out, ncols=3):
@@ -62,16 +75,118 @@ def panel_grid(plt, paths, title, ylabel, out, ncols=3):
     print(f"wrote {out}")
 
 
+def plot_breakdown(plt, results, out_dir):
+    """Fig. 12: one stacked bar per engine, one segment per pipeline stage."""
+    path = os.path.join(results, "fig12_breakdown.csv")
+    if not os.path.exists(path):
+        print(f"skip breakdown: {path} not found (run fig12_latency_breakdown)")
+        return
+    rows = read_table(path)
+    engines, stages = [], []
+    values = {}  # (engine, stage) -> mean seconds
+    for row in rows:
+        engine, stage = row["engine"], row["stage"]
+        if engine not in engines:
+            engines.append(engine)
+        if stage not in stages:
+            stages.append(stage)
+        values[(engine, stage)] = float(row["mean_seconds"])
+
+    fig, ax = plt.subplots(figsize=(1.8 + 1.2 * len(engines), 4))
+    bottoms = [0.0] * len(engines)
+    for stage in stages:
+        heights = [values.get((e, stage), 0.0) for e in engines]
+        ax.bar(engines, heights, bottom=bottoms, label=stage)
+        bottoms = [b + h for b, h in zip(bottoms, heights)]
+    ax.set_ylabel("mean latency (s)")
+    ax.set_title("Fig. 12 - latency attribution by pipeline stage")
+    ax.legend(fontsize=7)
+    fig.tight_layout()
+    out = os.path.join(out_dir, "fig12_breakdown.png")
+    fig.savefig(out, dpi=130)
+    print(f"wrote {out}")
+
+
+def plot_sustainability(plt, results, out_dir):
+    """SustainabilityIndicator series: backlog + watermark lag per engine."""
+    paths = sorted(glob.glob(os.path.join(results, "fig12_sustain_*.csv")))
+    if not paths:
+        print("skip sustainability: no fig12_sustain_*.csv "
+              "(run fig12_latency_breakdown)")
+        return
+    fig, axes = plt.subplots(len(paths), 1, figsize=(7, 2.4 * len(paths)),
+                             squeeze=False)
+    for i, path in enumerate(paths):
+        rows = read_table(path)
+        ts = [float(r["time_s"]) for r in rows]
+        backlog = [float(r["backlog_tuples"]) for r in rows]
+        lag = [float(r["watermark_lag_s"]) for r in rows]
+        ax = axes[i][0]
+        ax.plot(ts, backlog, linewidth=0.8, color="tab:blue", label="backlog (tuples)")
+        ax.set_ylabel("backlog (tuples)", fontsize=7, color="tab:blue")
+        twin = ax.twinx()
+        twin.plot(ts, lag, linewidth=0.8, color="tab:red",
+                  label="watermark lag (s)")
+        twin.set_ylabel("watermark lag (s)", fontsize=7, color="tab:red")
+        name = os.path.basename(path).replace("fig12_sustain_", "").replace(".csv", "")
+        ax.set_title(name, fontsize=8)
+        ax.set_xlabel("time (s)", fontsize=7)
+        ax.tick_params(labelsize=7)
+        twin.tick_params(labelsize=7)
+    fig.suptitle("Sustainability indicator over time")
+    fig.tight_layout()
+    out = os.path.join(out_dir, "fig12_sustainability.png")
+    fig.savefig(out, dpi=130)
+    print(f"wrote {out}")
+
+
+def plot_figures(plt, r, out_dir):
+    panel_grid(plt, glob.glob(f"{r}/fig4_*.csv"),
+               "Fig. 4 - aggregation latency over time", "latency (s)",
+               f"{out_dir}/fig4.png")
+    panel_grid(plt, glob.glob(f"{r}/fig5_*.csv"),
+               "Fig. 5 - join latency over time", "latency (s)",
+               f"{out_dir}/fig5.png")
+    panel_grid(plt, glob.glob(f"{r}/fig6_*.csv"),
+               "Fig. 6 - fluctuating workload", "latency (s)",
+               f"{out_dir}/fig6.png")
+    panel_grid(plt, glob.glob(f"{r}/fig7_*.csv"),
+               "Fig. 7 - Spark overloaded: event vs processing time",
+               "latency (s)", f"{out_dir}/fig7.png", ncols=2)
+    panel_grid(plt, glob.glob(f"{r}/fig8_*.csv"),
+               "Fig. 8 - event vs processing time", "latency (s)",
+               f"{out_dir}/fig8.png", ncols=2)
+    panel_grid(plt, glob.glob(f"{r}/fig9_*.csv"),
+               "Fig. 9 - ingest throughput", "tuples/s",
+               f"{out_dir}/fig9.png")
+    panel_grid(plt, glob.glob(f"{r}/fig10_*_cpu.csv") + glob.glob(f"{r}/fig10_*_net.csv"),
+               "Fig. 10 - CPU and network usage", "util / MB/s",
+               f"{out_dir}/fig10.png", ncols=4)
+    panel_grid(plt, glob.glob(f"{r}/fig11_*.csv"),
+               "Fig. 11 - Spark scheduler delay vs throughput", "",
+               f"{out_dir}/fig11.png", ncols=2)
+
+
 def main():
-    parser = argparse.ArgumentParser(
-        description="Plot the benchmark CSV series from the results "
-                    "directory into one PNG per paper figure.")
-    parser.add_argument("--results-dir", "--results", dest="results",
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--results-dir", "--results", dest="results",
                         default="results", metavar="DIR",
                         help="directory holding the bench CSV series "
                              "(default: %(default)s)")
-    parser.add_argument("--out", default="plots", metavar="DIR",
+    common.add_argument("--out", default="plots", metavar="DIR",
                         help="output directory for PNGs (default: %(default)s)")
+    parser = argparse.ArgumentParser(
+        description="Plot the benchmark CSV series from the results "
+                    "directory. With no subcommand, renders one PNG per "
+                    "paper figure.",
+        parents=[common])
+    subparsers = parser.add_subparsers(dest="command")
+    subparsers.add_parser(
+        "breakdown", parents=[common],
+        help="stacked per-stage latency attribution bars (fig12_breakdown.csv)")
+    subparsers.add_parser(
+        "sustainability", parents=[common],
+        help="backpressure-monitor indicator series (fig12_sustain_*.csv)")
     args = parser.parse_args()
 
     try:
@@ -82,32 +197,12 @@ def main():
         sys.exit("matplotlib is required: pip install matplotlib")
 
     os.makedirs(args.out, exist_ok=True)
-    r = args.results
-
-    panel_grid(plt, glob.glob(f"{r}/fig4_*.csv"),
-               "Fig. 4 - aggregation latency over time", "latency (s)",
-               f"{args.out}/fig4.png")
-    panel_grid(plt, glob.glob(f"{r}/fig5_*.csv"),
-               "Fig. 5 - join latency over time", "latency (s)",
-               f"{args.out}/fig5.png")
-    panel_grid(plt, glob.glob(f"{r}/fig6_*.csv"),
-               "Fig. 6 - fluctuating workload", "latency (s)",
-               f"{args.out}/fig6.png")
-    panel_grid(plt, glob.glob(f"{r}/fig7_*.csv"),
-               "Fig. 7 - Spark overloaded: event vs processing time",
-               "latency (s)", f"{args.out}/fig7.png", ncols=2)
-    panel_grid(plt, glob.glob(f"{r}/fig8_*.csv"),
-               "Fig. 8 - event vs processing time", "latency (s)",
-               f"{args.out}/fig8.png", ncols=2)
-    panel_grid(plt, glob.glob(f"{r}/fig9_*.csv"),
-               "Fig. 9 - ingest throughput", "tuples/s",
-               f"{args.out}/fig9.png")
-    panel_grid(plt, glob.glob(f"{r}/fig10_*_cpu.csv") + glob.glob(f"{r}/fig10_*_net.csv"),
-               "Fig. 10 - CPU and network usage", "util / MB/s",
-               f"{args.out}/fig10.png", ncols=4)
-    panel_grid(plt, glob.glob(f"{r}/fig11_*.csv"),
-               "Fig. 11 - Spark scheduler delay vs throughput", "",
-               f"{args.out}/fig11.png", ncols=2)
+    if args.command == "breakdown":
+        plot_breakdown(plt, args.results, args.out)
+    elif args.command == "sustainability":
+        plot_sustainability(plt, args.results, args.out)
+    else:
+        plot_figures(plt, args.results, args.out)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,110 @@
+#include "driver/backpressure.h"
+
+#include <limits>
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sdps::driver {
+
+BackpressureMonitor::BackpressureMonitor(des::Simulator& sim,
+                                         std::vector<DriverQueue*> queues,
+                                         const LatencySink* sink,
+                                         BackpressureConfig config)
+    : sim_(sim), queues_(std::move(queues)), sink_(sink), config_(config) {}
+
+void BackpressureMonitor::Start() { sim_.Spawn(Probe()); }
+
+des::Task<> BackpressureMonitor::Probe() {
+  static obs::Gauge* depth_gauge =
+      obs::Registry::Default().GetGauge("driver.queue.depth");
+  static obs::Gauge* lag_gauge =
+      obs::Registry::Default().GetGauge("driver.backpressure.watermark_lag_s");
+  static obs::Gauge* slope_gauge =
+      obs::Registry::Default().GetGauge("driver.backpressure.backlog_slope");
+  const double hard_limit_tuples =
+      config_.backlog_hard_limit_s * config_.offered_rate;
+  for (;;) {
+    co_await des::Delay(sim_, config_.probe_interval);
+    const SimTime now = sim_.now();
+    uint64_t backlog = 0;
+    for (const DriverQueue* q : queues_) backlog += q->queued_tuples();
+    indicator_.backlog.Add(now, static_cast<double>(backlog));
+    depth_gauge->Set(static_cast<double>(backlog));
+
+    const SimTime window_start = now - config_.slope_window;
+    const double backlog_slope =
+        indicator_.backlog.SlopePerSecondInRange(window_start, now + 1);
+    indicator_.backlog_slope.Add(now, backlog_slope);
+    slope_gauge->Set(backlog_slope);
+
+    if (sink_ != nullptr && sink_->event_time_frontier() >= 0) {
+      const double lag_s = ToSeconds(now - sink_->event_time_frontier());
+      indicator_.watermark_lag_s.Add(now, lag_s);
+      lag_gauge->Set(lag_s);
+      indicator_.sink_latency_slope.Add(
+          now, sink_->event_latency_series().SlopePerSecondInRange(window_start,
+                                                                   now + 1));
+    }
+
+    if (static_cast<double>(backlog) > hard_limit_tuples) {
+      indicator_.hard_limit_hit = true;
+      obs::Tracer& tracer = obs::Tracer::Default();
+      if (tracer.enabled()) {
+        tracer.Instant(tracer.Track("driver", "experiment"), "backlog.hard_limit",
+                       now, "backlog_tuples", static_cast<double>(backlog));
+      }
+      sim_.Stop();
+      co_return;
+    }
+  }
+}
+
+BackpressureMonitor::Judgement BackpressureMonitor::Judge(
+    const Status& failure) const {
+  Judgement judgement;
+  if (!failure.ok()) {
+    judgement.sustainable = false;
+    judgement.verdict = "SUT failure: " + failure.ToString();
+    return judgement;
+  }
+  if (indicator_.hard_limit_hit) {
+    judgement.sustainable = false;
+    judgement.verdict = StrFormat("backlog exceeded hard limit (%.0fs of offered data)",
+                                  config_.backlog_hard_limit_s);
+    return judgement;
+  }
+  const double offered = config_.offered_rate;
+  // Post-warmup backlog trend over the full indicator series (the
+  // trailing-window slope series is a live signal; the verdict uses the
+  // whole post-warmup fit, matching the paper's "prolonged" wording).
+  const double slope = indicator_.backlog.SlopePerSecondInRange(
+      config_.warmup_end, std::numeric_limits<SimTime>::max());
+  double backlog_end = 0.0;
+  for (auto it = indicator_.backlog.samples().rbegin();
+       it != indicator_.backlog.samples().rend(); ++it) {
+    if (it->time >= config_.warmup_end) {
+      backlog_end = it->value;
+      break;
+    }
+  }
+  if (slope > config_.backlog_slope_frac * offered) {
+    judgement.sustainable = false;
+    judgement.verdict = StrFormat(
+        "prolonged backpressure: backlog grows at %.0f tuples/s (%.1f%% of offered)",
+        slope, 100.0 * slope / offered);
+    return judgement;
+  }
+  if (backlog_end > config_.backlog_end_limit_s * offered) {
+    judgement.sustainable = false;
+    judgement.verdict = StrFormat("final backlog %.0f tuples exceeds %.1fs of offered data",
+                                  backlog_end, config_.backlog_end_limit_s);
+    return judgement;
+  }
+  judgement.sustainable = true;
+  judgement.verdict = "sustained";
+  return judgement;
+}
+
+}  // namespace sdps::driver

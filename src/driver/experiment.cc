@@ -5,39 +5,13 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "des/task.h"
+#include "obs/lineage.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace sdps::driver {
 
 namespace {
-
-/// Samples the total driver-queue backlog; aborts the run early once the
-/// backlog exceeds the hard limit (the rate is clearly unsustainable and
-/// further simulation only costs time).
-des::Task<> BacklogProbe(des::Simulator& sim, std::vector<DriverQueue*> queues,
-                         TimeSeries* series, double hard_limit_tuples,
-                         SimTime interval, bool* hard_limit_hit) {
-  static obs::Gauge* depth_gauge =
-      obs::Registry::Default().GetGauge("driver.queue.depth");
-  for (;;) {
-    co_await des::Delay(sim, interval);
-    uint64_t backlog = 0;
-    for (const DriverQueue* q : queues) backlog += q->queued_tuples();
-    series->Add(sim.now(), static_cast<double>(backlog));
-    depth_gauge->Set(static_cast<double>(backlog));
-    if (static_cast<double>(backlog) > hard_limit_tuples) {
-      *hard_limit_hit = true;
-      obs::Tracer& tracer = obs::Tracer::Default();
-      if (tracer.enabled()) {
-        tracer.Instant(tracer.Track("driver", "experiment"), "backlog.hard_limit",
-                       sim.now(), "backlog_tuples", static_cast<double>(backlog));
-      }
-      sim.Stop();
-      co_return;
-    }
-  }
-}
 
 /// Samples per-worker CPU utilisation and NIC MB/s (Fig. 10 series).
 des::Task<> ResourceProbe(des::Simulator& sim, cluster::Cluster* cluster,
@@ -76,6 +50,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const SutFactory&
   // trace ring so --trace files show the last experiment executed.
   obs::Tracer& tracer = obs::Tracer::Default();
   obs::ClockGuard clock_guard(tracer, [&sim] { return sim.now(); });
+  // Lineage samples are per-run: clear leftovers from a previous run so
+  // dumps describe exactly one experiment (and stay seed-deterministic).
+  if (obs::LineageTracker::Default().enabled()) {
+    obs::LineageTracker::Default().Reset();
+  }
   static obs::Counter* runs_counter =
       obs::Registry::Default().GetCounter("driver.experiment.runs");
   runs_counter->Add(1);
@@ -139,12 +118,16 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const SutFactory&
     return result;
   }
 
-  bool hard_limit_hit = false;
-  const double hard_limit_tuples =
-      config.backlog_hard_limit_s *
-      (config.rate_profile != nullptr ? config.rate_profile(0) : config.total_rate);
-  sim.Spawn(BacklogProbe(sim, queue_ptrs, &result.backlog_series, hard_limit_tuples,
-                         config.probe_interval, &hard_limit_hit));
+  BackpressureConfig bp_config;
+  bp_config.probe_interval = config.probe_interval;
+  bp_config.offered_rate =
+      config.rate_profile != nullptr ? config.rate_profile(0) : config.total_rate;
+  bp_config.warmup_end = warmup_end;
+  bp_config.backlog_hard_limit_s = config.backlog_hard_limit_s;
+  bp_config.backlog_end_limit_s = config.backlog_end_limit_s;
+  bp_config.backlog_slope_frac = config.backlog_slope_frac;
+  BackpressureMonitor monitor(sim, queue_ptrs, &sink, bp_config);
+  monitor.Start();
   result.worker_cpu_util.resize(static_cast<size_t>(cluster.num_workers()));
   result.worker_net_mbps.resize(static_cast<size_t>(cluster.num_workers()));
   sim.Spawn(ResourceProbe(sim, &cluster, &result.worker_cpu_util,
@@ -172,44 +155,13 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const SutFactory&
   result.output_records = sink.total_outputs();
   result.mean_ingest_rate = meter.MeanRate(warmup_end, config.duration);
   sut->ExportSeries(&result.engine_series);
+  result.indicator = monitor.indicator();
+  result.backlog_series = result.indicator.backlog;
 
   // -- Judge sustainability (Definition 5) -----------------------------------
-  const double offered =
-      config.rate_profile != nullptr ? config.rate_profile(0) : config.total_rate;
-  if (!failure.ok()) {
-    result.sustainable = false;
-    result.verdict = "SUT failure: " + failure.ToString();
-    return result;
-  }
-  if (hard_limit_hit) {
-    result.sustainable = false;
-    result.verdict = StrFormat("backlog exceeded hard limit (%.0fs of offered data)",
-                               config.backlog_hard_limit_s);
-    return result;
-  }
-  // Post-warmup backlog trend.
-  TimeSeries post_warmup;
-  for (const Sample& s : result.backlog_series.samples()) {
-    if (s.time >= warmup_end) post_warmup.Add(s.time, s.value);
-  }
-  const double slope = post_warmup.SlopePerSecond();  // tuples/s of growth
-  const double backlog_end =
-      post_warmup.empty() ? 0.0 : post_warmup.samples().back().value;
-  if (slope > config.backlog_slope_frac * offered) {
-    result.sustainable = false;
-    result.verdict = StrFormat(
-        "prolonged backpressure: backlog grows at %.0f tuples/s (%.1f%% of offered)",
-        slope, 100.0 * slope / offered);
-    return result;
-  }
-  if (backlog_end > config.backlog_end_limit_s * offered) {
-    result.sustainable = false;
-    result.verdict = StrFormat("final backlog %.0f tuples exceeds %.1fs of offered data",
-                               backlog_end, config.backlog_end_limit_s);
-    return result;
-  }
-  result.sustainable = true;
-  result.verdict = "sustained";
+  const BackpressureMonitor::Judgement judgement = monitor.Judge(failure);
+  result.sustainable = judgement.sustainable;
+  result.verdict = judgement.verdict;
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include "cluster/gc.h"
 #include "common/status.h"
 #include "common/time_util.h"
+#include "driver/backpressure.h"
 #include "driver/generator.h"
 #include "driver/histogram.h"
 #include "driver/sut.h"
@@ -71,8 +72,12 @@ struct ExperimentResult {
   TimeSeries processing_latency_series;
   /// Ingest rate measured at the driver queues (tuples/s per bucket).
   TimeSeries ingest_rate_series;
-  /// Total queued tuples across driver queues over time.
+  /// Total queued tuples across driver queues over time. (Same samples as
+  /// `indicator.backlog`, kept for existing consumers.)
   TimeSeries backlog_series;
+  /// The backpressure monitor's full sustainability indicator: backlog,
+  /// trailing backlog slope, sink watermark lag, sink latency slope.
+  SustainabilityIndicator indicator;
   /// Post-warmup mean ingest rate (tuples/s).
   double mean_ingest_rate = 0.0;
   /// Offered rate (tuples/s) this run was driven at.

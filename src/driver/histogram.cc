@@ -15,26 +15,26 @@ void Histogram::EnsureSorted() const {
 }
 
 SimTime Histogram::Min() const {
-  SDPS_CHECK(!samples_.empty());
+  if (samples_.empty()) return 0;
   EnsureSorted();
   return samples_.front();
 }
 
 SimTime Histogram::Max() const {
-  SDPS_CHECK(!samples_.empty());
+  if (samples_.empty()) return 0;
   EnsureSorted();
   return samples_.back();
 }
 
 double Histogram::Mean() const {
-  SDPS_CHECK(!samples_.empty());
+  if (samples_.empty()) return 0.0;
   double sum = 0;
   for (const SimTime v : samples_) sum += static_cast<double>(v);
   return sum / static_cast<double>(samples_.size());
 }
 
 double Histogram::Stddev() const {
-  SDPS_CHECK(!samples_.empty());
+  if (samples_.empty()) return 0.0;
   const double mean = Mean();
   double acc = 0;
   for (const SimTime v : samples_) {
@@ -45,9 +45,9 @@ double Histogram::Stddev() const {
 }
 
 SimTime Histogram::Quantile(double q) const {
-  SDPS_CHECK(!samples_.empty());
   SDPS_CHECK_GE(q, 0.0);
   SDPS_CHECK_LE(q, 1.0);
+  if (samples_.empty()) return 0;
   EnsureSorted();
   if (samples_.size() == 1) return samples_[0];
   const double rank = q * static_cast<double>(samples_.size() - 1);

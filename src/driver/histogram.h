@@ -18,12 +18,18 @@ class Histogram {
   uint64_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
+  /// Min/Max/Mean/Stddev of the samples. All statistics are defined on the
+  /// empty histogram and return 0 — callers (empty-run summaries, the
+  /// zero-activity exporters) rely on that being deterministic rather than
+  /// a crash.
   SimTime Min() const;
   SimTime Max() const;
   double Mean() const;
   double Stddev() const;
 
-  /// Quantile in [0, 1] by nearest-rank on the sorted samples.
+  /// Quantile in [0, 1] by nearest-rank on the sorted samples. Returns 0 on
+  /// an empty histogram and the sole sample (for any q) on a single-sample
+  /// histogram.
   SimTime Quantile(double q) const;
 
   /// Convenience for the paper's table row: avg, min, max, p90, p95, p99.

@@ -20,7 +20,9 @@
 #include "driver/histogram.h"
 #include "driver/timeseries.h"
 #include "engine/record.h"
+#include "obs/lineage.h"
 #include "obs/metrics.h"
+#include "obs/sketch.h"
 
 namespace sdps::driver {
 
@@ -55,11 +57,17 @@ class LatencySink {
     const SimTime proc_latency =
         out.max_ingest_time >= 0 ? now - out.max_ingest_time : event_latency;
     obs_outputs_->Add(1);
+    if (out.max_event_time > event_time_frontier_) {
+      event_time_frontier_ = out.max_event_time;
+    }
+    obs::LineageTracker::Default().Close(out.lineage, now);
     if (now < warmup_end_) return;
     obs_event_latency_->Observe(ToSeconds(event_latency));
     obs_proc_latency_->Observe(ToSeconds(proc_latency));
     event_latency_.Add(event_latency);
     processing_latency_.Add(proc_latency);
+    event_sketch_.Observe(ToSeconds(event_latency));
+    processing_sketch_.Observe(ToSeconds(proc_latency));
     event_series_.Add(now, ToSeconds(event_latency));
     processing_series_.Add(now, ToSeconds(proc_latency));
   }
@@ -68,6 +76,17 @@ class LatencySink {
   const Histogram& processing_latency() const { return processing_latency_; }
   const TimeSeries& event_latency_series() const { return event_series_; }
   const TimeSeries& processing_latency_series() const { return processing_series_; }
+
+  /// Streaming sketches: p50/p95/p99 available mid-run at fixed memory
+  /// (the exact histograms above only sort on demand at the end).
+  const obs::QuantileSketch& event_latency_sketch() const { return event_sketch_; }
+  const obs::QuantileSketch& processing_latency_sketch() const {
+    return processing_sketch_;
+  }
+
+  /// Highest contributor event-time seen across all outputs, -1 before
+  /// the first output. `now - frontier` is the sink's watermark lag.
+  SimTime event_time_frontier() const { return event_time_frontier_; }
 
   uint64_t total_outputs() const { return total_outputs_; }
   uint64_t total_output_tuples() const { return total_output_tuples_; }
@@ -84,8 +103,11 @@ class LatencySink {
   obs::Histogram* obs_proc_latency_;
   Histogram event_latency_;
   Histogram processing_latency_;
+  obs::QuantileSketch event_sketch_;
+  obs::QuantileSketch processing_sketch_;
   TimeSeries event_series_;
   TimeSeries processing_series_;
+  SimTime event_time_frontier_ = -1;
   uint64_t total_outputs_ = 0;
   uint64_t total_output_tuples_ = 0;
   double total_output_value_ = 0;

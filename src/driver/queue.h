@@ -14,6 +14,7 @@
 #include "des/simulator.h"
 #include "driver/throughput.h"
 #include "engine/record.h"
+#include "obs/lineage.h"
 #include "obs/metrics.h"
 
 namespace sdps::driver {
@@ -81,6 +82,7 @@ class DriverQueue {
         op_.value.emplace(q_.buffer_.front());
         q_.buffer_.pop_front();
         q_.AccountPop(*op_.value);
+        obs::LineageTracker::Default().StampPopped(op_.value->lineage, q_.sim_.now());
         return true;
       }
       return q_.closed_;
@@ -101,6 +103,10 @@ inline void DriverQueue::Push(engine::Record rec) {
   SDPS_CHECK(!closed_) << "Push after Close";
   pushed_tuples_ += rec.weight;
   obs_pushed_->Add(rec.weight);
+  if (rec.lineage < 0) {
+    rec.lineage =
+        obs::LineageTracker::Default().MaybeOpen(rec.event_time, sim_.now());
+  }
   if (!waiters_.empty()) {
     // Direct hand-off to the oldest waiting connection (never parked where
     // another popper could steal it).
@@ -109,6 +115,8 @@ inline void DriverQueue::Push(engine::Record rec) {
     popped_tuples_ += rec.weight;
     obs_popped_->Add(rec.weight);
     if (meter_ != nullptr) meter_->Add(sim_.now(), rec.weight);
+    // The waiter resumes at +0 ticks, so the pop happens "now".
+    obs::LineageTracker::Default().StampPopped(rec.lineage, sim_.now());
     op->value.emplace(rec);
     sim_.ScheduleResumeAfter(0, op->handle);
     return;

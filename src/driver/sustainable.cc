@@ -1,5 +1,7 @@
 #include "driver/sustainable.h"
 
+#include <limits>
+
 #include "common/logging.h"
 #include "common/strings.h"
 #include "obs/log_bridge.h"
@@ -26,6 +28,17 @@ Trial RunTrial(const ExperimentConfig& base, const SutFactory& factory,
   trial.sustainable = result.sustainable;
   trial.verdict = result.verdict;
   trial.mean_ingest_rate = result.mean_ingest_rate;
+  const SustainabilityIndicator& indicator = result.indicator;
+  trial.hard_limit_hit = indicator.hard_limit_hit;
+  const SimTime warmup_end = static_cast<SimTime>(
+      config.warmup_fraction * static_cast<double>(config.duration));
+  trial.backlog_slope = indicator.backlog.SlopePerSecondInRange(
+      warmup_end, std::numeric_limits<SimTime>::max());
+  if (!indicator.backlog.empty()) {
+    trial.final_backlog = indicator.backlog.samples().back().value;
+  }
+  trial.peak_watermark_lag_s = indicator.watermark_lag_s.MaxInRange(
+      0, std::numeric_limits<SimTime>::max());
   trial.log_warnings = obs::LogMessageCount(LogLevel::kWarning) - warnings_before;
   trial.log_errors = obs::LogMessageCount(LogLevel::kError) - errors_before;
   if (trial.log_errors > 0) {

@@ -39,6 +39,15 @@ struct Trial {
   /// disabled). Unexpected error noise flags a suspect verdict.
   uint64_t log_warnings = 0;
   uint64_t log_errors = 0;
+  // Summary of the backpressure monitor's SustainabilityIndicator for this
+  // trial — how the verdict was reached, not just what it was.
+  /// The backlog crossed the hard limit and the trial was cut short.
+  bool hard_limit_hit = false;
+  /// Final post-warmup backlog (tuples) and peak sink watermark lag (s).
+  double final_backlog = 0;
+  double peak_watermark_lag_s = 0;
+  /// Post-warmup least-squares backlog growth, tuples/s.
+  double backlog_slope = 0;
 };
 
 struct SearchResult {

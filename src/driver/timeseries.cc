@@ -44,20 +44,37 @@ TimeSeries TimeSeries::Downsample(SimTime bucket_width) const {
   return out;
 }
 
-double TimeSeries::SlopePerSecond() const {
-  if (samples_.size() < 2) return 0.0;
+namespace {
+
+double LeastSquaresSlope(const Sample* begin, const Sample* end) {
+  if (end - begin < 2) return 0.0;
   double sx = 0, sy = 0, sxx = 0, sxy = 0;
-  const double n = static_cast<double>(samples_.size());
-  for (const Sample& s : samples_) {
-    const double x = ToSeconds(s.time);
+  const double n = static_cast<double>(end - begin);
+  for (const Sample* s = begin; s != end; ++s) {
+    const double x = ToSeconds(s->time);
     sx += x;
-    sy += s.value;
+    sy += s->value;
     sxx += x * x;
-    sxy += x * s.value;
+    sxy += x * s->value;
   }
   const double denom = n * sxx - sx * sx;
   if (denom == 0.0) return 0.0;
   return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace
+
+double TimeSeries::SlopePerSecond() const {
+  return LeastSquaresSlope(samples_.data(), samples_.data() + samples_.size());
+}
+
+double TimeSeries::SlopePerSecondInRange(SimTime from, SimTime to) const {
+  const auto by_time = [](const Sample& s, SimTime t) { return s.time < t; };
+  const auto begin =
+      std::lower_bound(samples_.begin(), samples_.end(), from, by_time);
+  const auto end = std::lower_bound(begin, samples_.end(), to, by_time);
+  return LeastSquaresSlope(samples_.data() + (begin - samples_.begin()),
+                           samples_.data() + (end - samples_.begin()));
 }
 
 Status WriteSeriesCsv(const std::string& path, const std::string& value_name,

@@ -38,6 +38,12 @@ class TimeSeries {
   /// for the sustainability criterion).
   double SlopePerSecond() const;
 
+  /// Slope restricted to samples with time in [from, to). Assumes samples
+  /// were appended in time order (true for every producer in this repo) so
+  /// the range can be located by binary search — cheap enough to call from
+  /// a periodic probe against a per-output-record series.
+  double SlopePerSecondInRange(SimTime from, SimTime to) const;
+
   void Clear() { samples_.clear(); }
 
  private:

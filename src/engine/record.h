@@ -31,6 +31,9 @@ struct Record {
   /// Logical tuples represented by this record.
   uint32_t weight = 1;
   StreamId stream = StreamId::kPurchases;
+  /// Latency-attribution sample id (obs::LineageTracker); -1 = unsampled.
+  /// Kept last so positional aggregate initialisation stays valid.
+  int32_t lineage = -1;
 };
 
 /// A result emitted by the SUT to the driver's latency sink.
@@ -44,6 +47,9 @@ struct OutputRecord {
   double value = 0.0;
   /// Logical output tuples represented.
   uint64_t weight = 1;
+  /// Lineage id of a sampled contributing record (first contributor
+  /// wins); -1 when no contributor was sampled.
+  int32_t lineage = -1;
 };
 
 /// Messages on inter-operator channels: data or watermark.

@@ -35,6 +35,7 @@ std::vector<OutputRecord> AggWindowState::FireUpTo(SimTime watermark) {
       rec.weight = 1;  // one result tuple per (window, key)
       rec.max_event_time = agg.max_event_time;
       rec.max_ingest_time = agg.max_ingest_time;
+      rec.lineage = agg.lineage;
       out.push_back(rec);
     }
     entries_ -= static_cast<int64_t>(it->second.size());
@@ -85,6 +86,7 @@ BufferedWindowState::Fired BufferedWindowState::FireUpTo(SimTime watermark) {
       rec.weight = 1;
       rec.max_event_time = agg.max_event_time;
       rec.max_ingest_time = agg.max_ingest_time;
+      rec.lineage = agg.lineage;
       fired.outputs.push_back(rec);
     }
     buffered_tuples_ -= window_tuples;
@@ -144,7 +146,6 @@ JoinWindowState::Fired JoinWindowState::FireUpTo(SimTime watermark) {
       const auto match = build.find(p.key);
       if (match == build.end()) continue;
       for (const Record* ad : match->second) {
-        (void)ad;
         OutputRecord rec;
         rec.key = p.key;
         rec.value = p.value;
@@ -152,6 +153,7 @@ JoinWindowState::Fired JoinWindowState::FireUpTo(SimTime watermark) {
         rec.max_event_time = side.max_event_time;
         rec.max_ingest_time = side.max_ingest_time;
         rec.weight = p.weight;
+        rec.lineage = p.lineage >= 0 ? p.lineage : ad->lineage;
         fired.outputs.push_back(rec);
         fired.join_work += p.weight;
       }

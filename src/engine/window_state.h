@@ -35,12 +35,16 @@ struct WindowKeyAgg {
   uint64_t weight = 0;
   SimTime max_event_time = 0;
   SimTime max_ingest_time = 0;
+  /// Lineage id of the first sampled contributor (latency attribution);
+  /// -1 when none of the merged records was sampled.
+  int32_t lineage = -1;
 
   void Merge(const Record& r) {
     sum += r.value * r.weight;
     weight += r.weight;
     if (r.event_time > max_event_time) max_event_time = r.event_time;
     if (r.ingest_time > max_ingest_time) max_ingest_time = r.ingest_time;
+    if (lineage < 0) lineage = r.lineage;
   }
 };
 

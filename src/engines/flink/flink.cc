@@ -15,6 +15,7 @@
 #include "engine/telemetry.h"
 #include "engine/watermark.h"
 #include "engine/window_state.h"
+#include "obs/lineage.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -133,6 +134,7 @@ class FlinkSut : public driver::Sut {
       // Ingest transfer: driver node -> this worker (crosses the trunk).
       co_await ctx_.cluster->Send(queue_node, my_worker, engine::WireBytes(*rec));
       rec->ingest_time = ctx_.sim->now();
+      obs::LineageTracker::Default().StampIngested(rec->lineage, rec->ingest_time);
       co_await my_worker.cpu().Use(CostUs(config_.source_cost_us * rec->weight));
       my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec->weight);
 
@@ -231,6 +233,7 @@ class FlinkSut : public driver::Sut {
                                 : 1.0;
         co_await my_worker.cpu().Use(CostUs(config_.agg_update_cost_us * rec.weight *
                                             added.window_updates * slow));
+        obs::LineageTracker::Default().StampOperator(rec.lineage, ctx_.sim->now());
         my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec.weight);
       } else if (msg->origin == kBarrierOrigin) {
         co_await TakeSnapshot(my_worker, track, state.state_bytes());
@@ -271,6 +274,7 @@ class FlinkSut : public driver::Sut {
         metrics_.late_dropped->Add(added.late_tuples);
         co_await my_worker.cpu().Use(CostUs(config_.join_buffer_cost_us * rec.weight *
                                             added.window_updates * slow));
+        obs::LineageTracker::Default().StampOperator(rec.lineage, ctx_.sim->now());
         my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec.weight);
       } else if (msg->origin == kBarrierOrigin) {
         co_await TakeSnapshot(my_worker, track, state.state_bytes());
@@ -292,6 +296,9 @@ class FlinkSut : public driver::Sut {
   }
 
   Task<> EmitOutputs(cluster::Node& from, const std::vector<engine::OutputRecord>& outs) {
+    for (const auto& out : outs) {
+      obs::LineageTracker::Default().StampFired(out.lineage, ctx_.sim->now());
+    }
     co_await from.cpu().Use(
         CostUs(config_.emit_cost_us * static_cast<double>(outs.size())));
     int64_t bytes = 0;

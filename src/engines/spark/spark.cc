@@ -17,6 +17,7 @@
 #include "engine/record.h"
 #include "engine/telemetry.h"
 #include "engine/window_state.h"
+#include "obs/lineage.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -53,6 +54,7 @@ void MergeAgg(WindowKeyAgg& into, const WindowKeyAgg& from) {
   into.weight += from.weight;
   into.max_event_time = std::max(into.max_event_time, from.max_event_time);
   into.max_ingest_time = std::max(into.max_ingest_time, from.max_ingest_time);
+  if (into.lineage < 0) into.lineage = from.lineage;
 }
 
 /// Serialized size of one shuffled partial-aggregate entry.
@@ -223,6 +225,7 @@ class SparkSut : public driver::Sut {
       tokens_per_record = static_cast<double>(rec->weight);
       co_await ctx_.cluster->Send(queue_node, my_worker, engine::WireBytes(*rec));
       rec->ingest_time = ctx_.sim->now();
+      obs::LineageTracker::Default().StampIngested(rec->lineage, rec->ingest_time);
       if (!co_await buf.Send(*rec)) co_return;
     }
     if (--fetchers_left_[static_cast<size_t>(r)] == 0) buf.Close();
@@ -395,6 +398,7 @@ class SparkSut : public driver::Sut {
     if (combine) {
       out.combined.resize(static_cast<size_t>(num_reduce_));
       for (const Record& rec : block.records) {
+        obs::LineageTracker::Default().StampOperator(rec.lineage, ctx_.sim->now());
         out.combined[static_cast<size_t>(engine::PartitionForKey(rec.key, num_reduce_))]
                     [rec.key]
                         .Merge(rec);
@@ -402,6 +406,7 @@ class SparkSut : public driver::Sut {
     } else {
       out.raw.resize(static_cast<size_t>(num_reduce_));
       for (const Record& rec : block.records) {
+        obs::LineageTracker::Default().StampOperator(rec.lineage, ctx_.sim->now());
         out.raw[static_cast<size_t>(engine::PartitionForKey(rec.key, num_reduce_))]
             .push_back(rec);
       }
@@ -522,7 +527,8 @@ class SparkSut : public driver::Sut {
       outs.reserve(st.running.size());
       for (const auto& [key, agg] : st.running) {
         if (agg.weight == 0) continue;
-        outs.push_back({agg.max_event_time, agg.max_ingest_time, key, agg.sum, 1});
+        outs.push_back({agg.max_event_time, agg.max_ingest_time, key, agg.sum, 1,
+                        agg.lineage});
       }
     } else {
       std::unordered_map<uint64_t, WindowKeyAgg> window;
@@ -545,7 +551,8 @@ class SparkSut : public driver::Sut {
       }
       outs.reserve(window.size());
       for (const auto& [key, agg] : window) {
-        outs.push_back({agg.max_event_time, agg.max_ingest_time, key, agg.sum, 1});
+        outs.push_back({agg.max_event_time, agg.max_ingest_time, key, agg.sum, 1,
+                        agg.lineage});
       }
     }
     co_await w.cpu().Use(CostUs(eval_cost_us * overhead_ * slow));
@@ -572,7 +579,9 @@ class SparkSut : public driver::Sut {
         const auto it = build.find(rec.key);
         if (it == build.end()) continue;
         for (size_t m = 0; m < it->second.size(); ++m) {
-          outs.push_back({max_event, max_ingest, rec.key, rec.value, rec.weight});
+          const Record* ad = it->second[m];
+          outs.push_back({max_event, max_ingest, rec.key, rec.value, rec.weight,
+                          rec.lineage >= 0 ? rec.lineage : ad->lineage});
         }
       }
     }
@@ -582,6 +591,9 @@ class SparkSut : public driver::Sut {
   }
 
   Task<> EmitOutputs(cluster::Node& from, const std::vector<engine::OutputRecord>& outs) {
+    for (const auto& out : outs) {
+      obs::LineageTracker::Default().StampFired(out.lineage, ctx_.sim->now());
+    }
     co_await from.cpu().Use(
         CostUs(config_.emit_cost_us * static_cast<double>(outs.size())));
     int64_t bytes = 0;

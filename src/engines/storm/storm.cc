@@ -15,6 +15,7 @@
 #include "engine/telemetry.h"
 #include "engine/watermark.h"
 #include "engine/window_state.h"
+#include "obs/lineage.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -135,6 +136,7 @@ class StormSut : public driver::Sut {
       if (!rec.has_value()) break;
       co_await ctx_.cluster->Send(queue_node, my_worker, engine::WireBytes(*rec));
       rec->ingest_time = ctx_.sim->now();
+      obs::LineageTracker::Default().StampIngested(rec->lineage, rec->ingest_time);
       co_await my_worker.cpu().Use(
           CostUs(config_.spout_cost_us * overhead_ * rec->weight));
       // At-least-once ack bookkeeping (acker executor colocated with the
@@ -262,6 +264,7 @@ class StormSut : public driver::Sut {
         metrics_.late_dropped->Add(added.late_tuples);
         co_await my_worker.cpu().Use(CostUs(config_.buffer_add_cost_us * overhead_ *
                                             rec.weight * added.window_updates));
+        obs::LineageTracker::Default().StampOperator(rec.lineage, ctx_.sim->now());
         my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec.weight);
         if (!ChargeHeap(my_worker, state.state_bytes() - last_state_bytes)) co_return;
         last_state_bytes = state.state_bytes();
@@ -310,6 +313,7 @@ class StormSut : public driver::Sut {
         metrics_.late_dropped->Add(added.late_tuples);
         co_await my_worker.cpu().Use(CostUs(config_.buffer_add_cost_us * overhead_ *
                                             rec.weight * added.window_updates));
+        obs::LineageTracker::Default().StampOperator(rec.lineage, ctx_.sim->now());
         my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec.weight);
         if (!ChargeHeap(my_worker, state.state_bytes() - last_state_bytes)) co_return;
         last_state_bytes = state.state_bytes();
@@ -334,6 +338,9 @@ class StormSut : public driver::Sut {
   }
 
   Task<> EmitOutputs(cluster::Node& from, const std::vector<engine::OutputRecord>& outs) {
+    for (const auto& out : outs) {
+      obs::LineageTracker::Default().StampFired(out.lineage, ctx_.sim->now());
+    }
     co_await from.cpu().Use(
         CostUs(config_.emit_cost_us * overhead_ * static_cast<double>(outs.size())));
     int64_t bytes = 0;

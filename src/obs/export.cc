@@ -234,4 +234,42 @@ Status WriteMetricsCsv(const std::string& path, const Registry& registry) {
   return w.Close();
 }
 
+namespace {
+
+std::vector<std::vector<std::string>> LineageCsvRows(const LineageTracker& tracker) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"id", "event_time_us", "queue_wait_us", "network_us",
+                  "operator_us", "window_us", "sink_us", "total_us"});
+  for (const LineageRecord& rec : tracker.Snapshot()) {
+    rows.push_back(
+        {StrFormat("%d", rec.id), StrFormat("%" PRId64, rec.event_time),
+         StrFormat("%" PRId64, rec.StageDuration(LineageStage::kQueueWait)),
+         StrFormat("%" PRId64, rec.StageDuration(LineageStage::kNetwork)),
+         StrFormat("%" PRId64, rec.StageDuration(LineageStage::kOperator)),
+         StrFormat("%" PRId64, rec.StageDuration(LineageStage::kWindow)),
+         StrFormat("%" PRId64, rec.StageDuration(LineageStage::kSink)),
+         StrFormat("%" PRId64, rec.Total())});
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::string LineageCsvText(const LineageTracker& tracker) {
+  std::string out;
+  for (const auto& row : LineageCsvRows(tracker)) {
+    out += StrJoin(row, ",");
+    out += "\n";
+  }
+  return out;
+}
+
+Status WriteLineageCsv(const std::string& path, const LineageTracker& tracker) {
+  auto writer = CsvWriter::Open(path);
+  if (!writer.ok()) return writer.status();
+  CsvWriter w = std::move(writer).value();
+  for (const auto& row : LineageCsvRows(tracker)) w.WriteRow(row);
+  return w.Close();
+}
+
 }  // namespace sdps::obs

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/lineage.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -32,6 +33,12 @@ Status WritePrometheusText(const std::string& path, const Registry& registry);
 /// one bucket column set per row via the le= label convention).
 std::string MetricsCsvText(const Registry& registry);
 Status WriteMetricsCsv(const std::string& path, const Registry& registry);
+
+/// CSV dump of the closed lineage samples: one row per sampled record
+/// with its per-stage latency attribution in microseconds. Rows are
+/// sorted by (close time, id) — byte-identical across same-seed runs.
+std::string LineageCsvText(const LineageTracker& tracker);
+Status WriteLineageCsv(const std::string& path, const LineageTracker& tracker);
 
 }  // namespace sdps::obs
 

@@ -1,0 +1,118 @@
+#include "obs/lineage.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace sdps::obs {
+namespace {
+
+Histogram* StageHistogram(LineageStage stage) {
+  // Resolved once per stage per process; handles stay valid for the
+  // registry's lifetime.
+  static Histogram* histograms[kNumLineageStages] = {};
+  Histogram*& h = histograms[static_cast<int>(stage)];
+  if (h == nullptr) {
+    h = Registry::Default().GetHistogram(
+        "obs.lineage.stage_seconds", {{"stage", LineageStageName(stage)}});
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* LineageStageName(LineageStage stage) {
+  switch (stage) {
+    case LineageStage::kQueueWait: return "queue_wait";
+    case LineageStage::kNetwork: return "network";
+    case LineageStage::kOperator: return "operator";
+    case LineageStage::kWindow: return "window";
+    case LineageStage::kSink: return "sink";
+  }
+  return "unknown";
+}
+
+SimTime LineageRecord::StageDuration(LineageStage stage) const {
+  if (!done) return 0;
+  switch (stage) {
+    case LineageStage::kQueueWait: return popped - event_time;
+    case LineageStage::kNetwork: return ingested - popped;
+    case LineageStage::kOperator: return op_added - ingested;
+    case LineageStage::kWindow: return fired - op_added;
+    case LineageStage::kSink: return closed - fired;
+  }
+  return 0;
+}
+
+LineageTracker& LineageTracker::Default() {
+  static LineageTracker* tracker = new LineageTracker();
+  return *tracker;
+}
+
+void LineageTracker::Reset() {
+  records_.clear();
+  push_count_ = 0;
+  closed_count_ = 0;
+}
+
+LineageId LineageTracker::OpenSlow(SimTime event_time, SimTime push_time) {
+  const uint64_t n = push_count_++;
+  if (n % sample_every_ != 0) return kNoLineage;
+  if (records_.size() >= capacity_) return kNoLineage;
+  Registry::Default().GetCounter("obs.lineage.sampled_records")->Add();
+  LineageRecord rec;
+  rec.id = static_cast<LineageId>(records_.size());
+  rec.event_time = event_time;
+  rec.pushed = push_time;
+  records_.push_back(rec);
+  return rec.id;
+}
+
+void LineageTracker::Close(LineageId id, SimTime t) {
+  if (id < 0 || static_cast<size_t>(id) >= records_.size()) return;
+  LineageRecord& rec = records_[static_cast<size_t>(id)];
+  if (rec.done) return;
+  // Backfill skipped stages from the previous stamp so that stage
+  // durations stay non-negative and keep telescoping to t - event_time.
+  if (rec.popped < 0) rec.popped = rec.pushed;
+  if (rec.ingested < 0) rec.ingested = rec.popped;
+  if (rec.op_added < 0) rec.op_added = rec.ingested;
+  if (rec.fired < 0) rec.fired = rec.op_added;
+  rec.closed = t;
+  rec.done = true;
+  ++closed_count_;
+  Registry::Default().GetCounter("obs.lineage.closed_records")->Add();
+  for (int s = 0; s < kNumLineageStages; ++s) {
+    const auto stage = static_cast<LineageStage>(s);
+    StageHistogram(stage)->Observe(ToSeconds(rec.StageDuration(stage)));
+  }
+}
+
+std::vector<LineageRecord> LineageTracker::Snapshot() const {
+  std::vector<LineageRecord> out;
+  out.reserve(records_.size());
+  for (const LineageRecord& rec : records_) {
+    if (rec.done) out.push_back(rec);
+  }
+  std::sort(out.begin(), out.end(), [](const LineageRecord& a, const LineageRecord& b) {
+    if (a.closed != b.closed) return a.closed < b.closed;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+LineageBreakdown LineageTracker::Breakdown() const {
+  LineageBreakdown breakdown;
+  for (const LineageRecord& rec : records_) {
+    if (!rec.done) continue;
+    ++breakdown.records;
+    for (int s = 0; s < kNumLineageStages; ++s) {
+      breakdown.stage_seconds[s] +=
+          ToSeconds(rec.StageDuration(static_cast<LineageStage>(s)));
+    }
+    breakdown.total_seconds += ToSeconds(rec.Total());
+  }
+  return breakdown;
+}
+
+}  // namespace sdps::obs

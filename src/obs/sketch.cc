@@ -1,0 +1,59 @@
+#include "obs/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sdps::obs {
+
+QuantileSketch::QuantileSketch(double min_value, double max_value, double growth)
+    : min_value_(min_value), growth_(growth), inv_log_growth_(1.0 / std::log(growth)) {
+  SDPS_CHECK(min_value > 0 && max_value > min_value && growth > 1.0);
+  const auto geometric = static_cast<size_t>(
+      std::ceil(std::log(max_value / min_value) * inv_log_growth_));
+  // [0] holds v <= min_value, [1..geometric] the log-spaced range, and a
+  // final overflow bucket holds v > max_value.
+  buckets_.assign(geometric + 2, 0);
+}
+
+size_t QuantileSketch::BucketFor(double v) const {
+  if (!(v > min_value_)) return 0;  // also catches NaN and negatives
+  const auto i = static_cast<size_t>(
+      std::floor(std::log(v / min_value_) * inv_log_growth_)) + 1;
+  return std::min(i, buckets_.size() - 1);
+}
+
+double QuantileSketch::BucketUpperBound(size_t i) const {
+  if (i + 1 >= buckets_.size()) {
+    return min_value_ * std::pow(growth_, static_cast<double>(buckets_.size() - 2));
+  }
+  return min_value_ * std::pow(growth_, static_cast<double>(i));
+}
+
+void QuantileSketch::Observe(double v) {
+  ++buckets_[BucketFor(v)];
+  ++count_;
+  sum_ += v;
+}
+
+double QuantileSketch::Quantile(double q) const {
+  SDPS_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  const auto rank = static_cast<uint64_t>(
+      std::llround(q * static_cast<double>(count_ - 1)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(buckets_.size() - 1);
+}
+
+void QuantileSketch::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+}
+
+}  // namespace sdps::obs

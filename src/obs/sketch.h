@@ -1,0 +1,55 @@
+// A fixed-memory streaming quantile sketch: geometrically (log-) spaced
+// buckets in the HDR-histogram style. Observing is O(1) (one log), and
+// Quantile() walks the bucket array, so p50/p95/p99 are available *live*
+// during a run — unlike the exact-sample driver/histogram, which buffers
+// every value and sorts at the end.
+//
+// Accuracy contract: a quantile estimate is the upper bound of the
+// bucket containing the true value, so for any value inside the bucketed
+// range, exact < estimate <= exact * growth. The default growth of 1.05
+// gives <= 5% relative error in ~450 buckets (~4 KB) across 1 us..4000 s.
+#ifndef SDPS_OBS_SKETCH_H_
+#define SDPS_OBS_SKETCH_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace sdps::obs {
+
+class QuantileSketch {
+ public:
+  /// Buckets span [min_value, max_value] with geometric width `growth`;
+  /// values below min_value land in the first bucket (reported as
+  /// min_value), values above max_value in a final overflow bucket.
+  explicit QuantileSketch(double min_value = 1e-6, double max_value = 4000.0,
+                          double growth = 1.05);
+
+  void Observe(double v);
+  /// q in [0, 1]. Returns the upper bound of the bucket holding the
+  /// rank-q value; 0 on an empty sketch.
+  double Quantile(double q) const;
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Guaranteed relative half-width: estimate <= exact * (1 + error).
+  double relative_error() const { return growth_ - 1.0; }
+  size_t num_buckets() const { return buckets_.size(); }
+
+  void Reset();
+
+ private:
+  size_t BucketFor(double v) const;
+  double BucketUpperBound(size_t i) const;
+
+  double min_value_;
+  double growth_;
+  double inv_log_growth_;
+  std::vector<uint64_t> buckets_;  // [<=min] + geometric + [overflow]
+  uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace sdps::obs
+
+#endif  // SDPS_OBS_SKETCH_H_

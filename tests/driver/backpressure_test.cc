@@ -1,0 +1,155 @@
+#include "driver/backpressure.h"
+
+#include <gtest/gtest.h>
+#include <gmock/gmock.h>
+
+#include "driver/latency_sink.h"
+#include "driver/queue.h"
+
+namespace sdps::driver {
+namespace {
+
+using ::testing::HasSubstr;
+
+void PushTuplesAt(des::Simulator& sim, DriverQueue& queue, SimTime t, int n) {
+  sim.ScheduleAt(t, [&queue, n] {
+    for (int i = 0; i < n; ++i) {
+      engine::Record rec;
+      rec.event_time = 0;
+      queue.Push(rec);
+    }
+  });
+}
+
+TEST(BackpressureMonitorTest, HardLimitStopsRunAndSetsVerdict) {
+  des::Simulator sim;
+  DriverQueue queue(sim, nullptr);
+  BackpressureConfig config;
+  config.offered_rate = 1.0;  // hard limit = 10 tuples
+  BackpressureMonitor monitor(sim, {&queue}, nullptr, config);
+  monitor.Start();
+  PushTuplesAt(sim, queue, Seconds(1), 50);
+  sim.RunUntil(Seconds(60));
+
+  EXPECT_TRUE(monitor.indicator().hard_limit_hit);
+  // The probe stopped the simulation at the first over-limit sample.
+  EXPECT_LT(sim.now(), Seconds(2));
+  const auto judgement = monitor.Judge(Status::OK());
+  EXPECT_FALSE(judgement.sustainable);
+  EXPECT_THAT(judgement.verdict, HasSubstr("hard limit"));
+}
+
+TEST(BackpressureMonitorTest, EmptyQueuesJudgeSustained) {
+  des::Simulator sim;
+  DriverQueue queue(sim, nullptr);
+  BackpressureConfig config;
+  config.offered_rate = 100.0;
+  BackpressureMonitor monitor(sim, {&queue}, nullptr, config);
+  monitor.Start();
+  sim.RunUntil(Seconds(10));
+
+  EXPECT_FALSE(monitor.indicator().hard_limit_hit);
+  EXPECT_FALSE(monitor.indicator().backlog.empty());
+  const auto judgement = monitor.Judge(Status::OK());
+  EXPECT_TRUE(judgement.sustainable);
+  EXPECT_EQ(judgement.verdict, "sustained");
+}
+
+TEST(BackpressureMonitorTest, SutFailureTakesPrecedence) {
+  des::Simulator sim;
+  DriverQueue queue(sim, nullptr);
+  BackpressureConfig config;
+  config.offered_rate = 1.0;
+  BackpressureMonitor monitor(sim, {&queue}, nullptr, config);
+  monitor.Start();
+  PushTuplesAt(sim, queue, Seconds(1), 50);  // would hit the hard limit
+  sim.RunUntil(Seconds(60));
+
+  const auto judgement = monitor.Judge(Status::Aborted("worker died"));
+  EXPECT_FALSE(judgement.sustainable);
+  EXPECT_THAT(judgement.verdict, HasSubstr("SUT failure"));
+  EXPECT_THAT(judgement.verdict, HasSubstr("worker died"));
+}
+
+TEST(BackpressureMonitorTest, GrowingBacklogJudgesProlongedBackpressure) {
+  des::Simulator sim;
+  DriverQueue queue(sim, nullptr);
+  BackpressureConfig config;
+  config.offered_rate = 100.0;
+  config.backlog_hard_limit_s = 1e9;  // never trip the hard stop
+  config.warmup_end = Seconds(5);
+  BackpressureMonitor monitor(sim, {&queue}, nullptr, config);
+  monitor.Start();
+  // 100 tuples/s arrive and nothing drains: textbook prolonged backpressure.
+  for (int i = 0; i < 200; ++i) {
+    PushTuplesAt(sim, queue, Millis(100) * i, 10);
+  }
+  sim.RunUntil(Seconds(25));
+
+  const auto judgement = monitor.Judge(Status::OK());
+  EXPECT_FALSE(judgement.sustainable);
+  EXPECT_THAT(judgement.verdict, HasSubstr("prolonged backpressure"));
+  // The trailing-slope series tracks the ~100 tuples/s growth live while
+  // pushes are arriving (they stop at ~20s, so probe the growth phase).
+  EXPECT_FALSE(monitor.indicator().backlog_slope.empty());
+  EXPECT_NEAR(monitor.indicator().backlog_slope.MaxInRange(Seconds(6), Seconds(19)),
+              100.0, 20.0);
+}
+
+TEST(BackpressureMonitorTest, FlatButLargeResidualBacklogJudgedUnsustainable) {
+  des::Simulator sim;
+  DriverQueue queue(sim, nullptr);
+  BackpressureConfig config;
+  config.offered_rate = 100.0;  // end limit = 200 tuples
+  config.backlog_hard_limit_s = 1e9;
+  config.warmup_end = Seconds(5);
+  BackpressureMonitor monitor(sim, {&queue}, nullptr, config);
+  monitor.Start();
+  PushTuplesAt(sim, queue, Seconds(1), 1000);  // never drained, flat after
+  sim.RunUntil(Seconds(30));
+
+  const auto judgement = monitor.Judge(Status::OK());
+  EXPECT_FALSE(judgement.sustainable);
+  EXPECT_THAT(judgement.verdict, HasSubstr("final backlog"));
+}
+
+TEST(BackpressureMonitorTest, WatermarkLagTracksSinkFrontier) {
+  des::Simulator sim;
+  DriverQueue queue(sim, nullptr);
+  LatencySink sink(sim, /*warmup_end=*/0);
+  BackpressureConfig config;
+  config.offered_rate = 1e6;
+  BackpressureMonitor monitor(sim, {&queue}, &sink, config);
+  monitor.Start();
+  // One output arrives at t=100ms carrying event-time 50ms; the sink's
+  // frontier then stays at 50ms while sim time advances.
+  sim.ScheduleAt(Millis(100), [&sink] {
+    engine::OutputRecord out;
+    out.max_event_time = Millis(50);
+    out.max_ingest_time = Millis(80);
+    sink.Emit(out);
+  });
+  sim.RunUntil(Seconds(2));
+
+  const auto& lag = monitor.indicator().watermark_lag_s.samples();
+  ASSERT_FALSE(lag.empty());
+  // First probe after the output: t=250ms, lag = 0.2s; grows by 0.25s per probe.
+  EXPECT_NEAR(lag.front().value, 0.2, 1e-9);
+  EXPECT_GT(lag.back().value, lag.front().value);
+  EXPECT_EQ(monitor.indicator().sink_latency_slope.size(), lag.size());
+}
+
+TEST(BackpressureMonitorTest, NoSinkMeansNoWatermarkSeries) {
+  des::Simulator sim;
+  DriverQueue queue(sim, nullptr);
+  BackpressureConfig config;
+  config.offered_rate = 100.0;
+  BackpressureMonitor monitor(sim, {&queue}, nullptr, config);
+  monitor.Start();
+  sim.RunUntil(Seconds(2));
+  EXPECT_TRUE(monitor.indicator().watermark_lag_s.empty());
+  EXPECT_FALSE(monitor.indicator().backlog.empty());
+}
+
+}  // namespace
+}  // namespace sdps::driver

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "driver/experiment.h"
+#include "obs/lineage.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "workloads/workloads.h"
@@ -270,6 +271,61 @@ TEST(ChromeTraceTest, EmptyTracerIsStillValidJson) {
   std::vector<std::string> names;
   ValidateChromeTrace(ChromeTraceJson(tracer), &names);
   EXPECT_TRUE(names.empty());
+}
+
+TEST(LineageCsvTest, GoldenOutput) {
+  LineageTracker tracker;
+  tracker.set_enabled(true);
+  tracker.set_sample_every(1);
+  const LineageId id = tracker.MaybeOpen(/*event_time=*/100, /*push_time=*/110);
+  tracker.StampPopped(id, 130);
+  tracker.StampIngested(id, 150);
+  tracker.StampOperator(id, 160);
+  tracker.StampFired(id, 200);
+  tracker.Close(id, 230);
+  tracker.MaybeOpen(300, 300);  // still open: excluded from the dump
+
+  EXPECT_EQ(LineageCsvText(tracker),
+            "id,event_time_us,queue_wait_us,network_us,operator_us,window_us,"
+            "sink_us,total_us\n"
+            "0,100,30,20,10,40,30,130\n");
+}
+
+// ---------------------------------------------------------------------------
+// Zero-activity runs: every exporter must emit a valid, byte-stable empty
+// document when telemetry is enabled but nothing was recorded.
+
+TEST(ZeroActivityExportTest, PrometheusTextIsEmpty) {
+  Registry registry;
+  registry.set_enabled(true);
+  EXPECT_EQ(PrometheusText(registry), "");
+  EXPECT_EQ(PrometheusText(registry), PrometheusText(registry));
+}
+
+TEST(ZeroActivityExportTest, MetricsCsvIsHeaderOnly) {
+  Registry registry;
+  registry.set_enabled(true);
+  EXPECT_EQ(MetricsCsvText(registry), "kind,name,labels,value,count,sum\n");
+  EXPECT_EQ(MetricsCsvText(registry), MetricsCsvText(registry));
+}
+
+TEST(ZeroActivityExportTest, ChromeTraceIsValidAndByteStable) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const std::string json = ChromeTraceJson(tracer);
+  std::vector<std::string> names;
+  ValidateChromeTrace(json, &names);
+  EXPECT_TRUE(names.empty());
+  EXPECT_EQ(json, ChromeTraceJson(tracer));
+}
+
+TEST(ZeroActivityExportTest, LineageCsvIsHeaderOnly) {
+  LineageTracker tracker;
+  tracker.set_enabled(true);
+  EXPECT_EQ(LineageCsvText(tracker),
+            "id,event_time_us,queue_wait_us,network_us,operator_us,window_us,"
+            "sink_us,total_us\n");
+  EXPECT_EQ(LineageCsvText(tracker), LineageCsvText(tracker));
 }
 
 // ---------------------------------------------------------------------------

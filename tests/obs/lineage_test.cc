@@ -1,0 +1,182 @@
+#include "obs/lineage.h"
+
+#include <gtest/gtest.h>
+
+namespace sdps::obs {
+namespace {
+
+TEST(LineageStageTest, NamesAreStable) {
+  EXPECT_STREQ(LineageStageName(LineageStage::kQueueWait), "queue_wait");
+  EXPECT_STREQ(LineageStageName(LineageStage::kNetwork), "network");
+  EXPECT_STREQ(LineageStageName(LineageStage::kOperator), "operator");
+  EXPECT_STREQ(LineageStageName(LineageStage::kWindow), "window");
+  EXPECT_STREQ(LineageStageName(LineageStage::kSink), "sink");
+}
+
+TEST(LineageTrackerTest, DisabledTrackerSamplesNothing) {
+  LineageTracker tracker;
+  EXPECT_EQ(tracker.MaybeOpen(100, 110), kNoLineage);
+  EXPECT_EQ(tracker.opened(), 0u);
+  EXPECT_EQ(tracker.pushes_seen(), 0u);
+}
+
+TEST(LineageTrackerTest, SamplesOneInNDeterministically) {
+  LineageTracker tracker;
+  tracker.set_enabled(true);
+  tracker.set_sample_every(4);
+  int sampled = 0;
+  for (int i = 0; i < 12; ++i) {
+    if (tracker.MaybeOpen(i, i) != kNoLineage) ++sampled;
+  }
+  EXPECT_EQ(sampled, 3);  // pushes 0, 4, 8
+  EXPECT_EQ(tracker.pushes_seen(), 12u);
+  EXPECT_EQ(tracker.opened(), 3u);
+}
+
+TEST(LineageTrackerTest, FullyStampedRecordTelescopesExactly) {
+  LineageTracker tracker;
+  tracker.set_enabled(true);
+  tracker.set_sample_every(1);
+  const LineageId id = tracker.MaybeOpen(/*event_time=*/100, /*push_time=*/100);
+  ASSERT_NE(id, kNoLineage);
+  tracker.StampPopped(id, 130);
+  tracker.StampIngested(id, 175);
+  tracker.StampOperator(id, 180);
+  tracker.StampFired(id, 4100);
+  tracker.Close(id, 4150);
+
+  const auto records = tracker.Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  const LineageRecord& rec = records[0];
+  EXPECT_EQ(rec.StageDuration(LineageStage::kQueueWait), 30);
+  EXPECT_EQ(rec.StageDuration(LineageStage::kNetwork), 45);
+  EXPECT_EQ(rec.StageDuration(LineageStage::kOperator), 5);
+  EXPECT_EQ(rec.StageDuration(LineageStage::kWindow), 3920);
+  EXPECT_EQ(rec.StageDuration(LineageStage::kSink), 50);
+  SimTime sum = 0;
+  for (int s = 0; s < kNumLineageStages; ++s) {
+    sum += rec.StageDuration(static_cast<LineageStage>(s));
+  }
+  EXPECT_EQ(sum, rec.Total());
+  EXPECT_EQ(rec.Total(), 4150 - 100);
+}
+
+TEST(LineageTrackerTest, CloseBackfillsSkippedStagesAsZeroDuration) {
+  LineageTracker tracker;
+  tracker.set_enabled(true);
+  tracker.set_sample_every(1);
+  const LineageId id = tracker.MaybeOpen(100, 110);
+  tracker.Close(id, 150);  // no intermediate stamps at all
+
+  const auto records = tracker.Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  const LineageRecord& rec = records[0];
+  EXPECT_EQ(rec.StageDuration(LineageStage::kQueueWait), 10);  // up to push time
+  EXPECT_EQ(rec.StageDuration(LineageStage::kNetwork), 0);
+  EXPECT_EQ(rec.StageDuration(LineageStage::kOperator), 0);
+  EXPECT_EQ(rec.StageDuration(LineageStage::kWindow), 0);
+  EXPECT_EQ(rec.StageDuration(LineageStage::kSink), 40);
+  EXPECT_EQ(rec.Total(), 50);
+}
+
+TEST(LineageTrackerTest, FirstStampWins) {
+  LineageTracker tracker;
+  tracker.set_enabled(true);
+  tracker.set_sample_every(1);
+  const LineageId id = tracker.MaybeOpen(0, 0);
+  tracker.StampOperator(id, 10);
+  tracker.StampOperator(id, 99);  // second window add: ignored
+  tracker.Close(id, 100);
+  EXPECT_EQ(tracker.Snapshot()[0].op_added, 10);
+}
+
+TEST(LineageTrackerTest, FirstCloseWins) {
+  LineageTracker tracker;
+  tracker.set_enabled(true);
+  tracker.set_sample_every(1);
+  const LineageId id = tracker.MaybeOpen(0, 0);
+  tracker.Close(id, 100);
+  tracker.Close(id, 500);  // same tuple through a second window: ignored
+  tracker.StampFired(id, 400);  // post-close stamps are ignored too
+  EXPECT_EQ(tracker.closed(), 1u);
+  EXPECT_EQ(tracker.Snapshot()[0].closed, 100);
+  EXPECT_EQ(tracker.Snapshot()[0].fired, 0);  // backfilled at close
+}
+
+TEST(LineageTrackerTest, StampsOnUnsampledIdsAreNoOps) {
+  LineageTracker tracker;
+  tracker.set_enabled(true);
+  tracker.StampPopped(kNoLineage, 10);
+  tracker.StampIngested(kNoLineage, 10);
+  tracker.Close(kNoLineage, 10);
+  tracker.Close(12345, 10);  // out of range
+  EXPECT_EQ(tracker.closed(), 0u);
+}
+
+TEST(LineageTrackerTest, CapacityBoundsOutstandingRecords) {
+  LineageTracker tracker;
+  tracker.set_enabled(true);
+  tracker.set_sample_every(1);
+  tracker.set_capacity(2);
+  for (int i = 0; i < 5; ++i) tracker.MaybeOpen(i, i);
+  EXPECT_EQ(tracker.opened(), 2u);
+  EXPECT_EQ(tracker.pushes_seen(), 5u);
+}
+
+TEST(LineageTrackerTest, SnapshotSortsByCloseTimeThenId) {
+  LineageTracker tracker;
+  tracker.set_enabled(true);
+  tracker.set_sample_every(1);
+  const LineageId a = tracker.MaybeOpen(0, 0);
+  const LineageId b = tracker.MaybeOpen(1, 1);
+  const LineageId c = tracker.MaybeOpen(2, 2);
+  tracker.Close(c, 50);
+  tracker.Close(a, 90);
+  tracker.Close(b, 90);
+  const auto records = tracker.Snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].id, c);
+  EXPECT_EQ(records[1].id, a);
+  EXPECT_EQ(records[2].id, b);
+}
+
+TEST(LineageTrackerTest, BreakdownAggregatesClosedRecordsOnly) {
+  LineageTracker tracker;
+  tracker.set_enabled(true);
+  tracker.set_sample_every(1);
+  const LineageId a = tracker.MaybeOpen(0, 0);
+  tracker.MaybeOpen(0, 0);  // never closed: excluded
+  tracker.StampPopped(a, Seconds(1));
+  tracker.Close(a, Seconds(3));
+  const LineageBreakdown breakdown = tracker.Breakdown();
+  EXPECT_EQ(breakdown.records, 1u);
+  EXPECT_DOUBLE_EQ(breakdown.MeanStageSeconds(LineageStage::kQueueWait), 1.0);
+  EXPECT_DOUBLE_EQ(breakdown.MeanTotalSeconds(), 3.0);
+  double stage_sum = 0;
+  for (int s = 0; s < kNumLineageStages; ++s) stage_sum += breakdown.stage_seconds[s];
+  EXPECT_DOUBLE_EQ(stage_sum, breakdown.total_seconds);
+}
+
+TEST(LineageTrackerTest, ResetClearsRecordsAndCounters) {
+  LineageTracker tracker;
+  tracker.set_enabled(true);
+  tracker.set_sample_every(1);
+  tracker.Close(tracker.MaybeOpen(0, 0), 10);
+  tracker.Reset();
+  EXPECT_EQ(tracker.opened(), 0u);
+  EXPECT_EQ(tracker.closed(), 0u);
+  EXPECT_EQ(tracker.pushes_seen(), 0u);
+  EXPECT_TRUE(tracker.Snapshot().empty());
+  // The sampling phase restarts: the next push is sampled again.
+  EXPECT_NE(tracker.MaybeOpen(5, 5), kNoLineage);
+}
+
+TEST(LineageBreakdownTest, EmptyBreakdownHasZeroMeans) {
+  const LineageBreakdown breakdown;
+  EXPECT_EQ(breakdown.records, 0u);
+  EXPECT_DOUBLE_EQ(breakdown.MeanTotalSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(breakdown.MeanStageSeconds(LineageStage::kWindow), 0.0);
+}
+
+}  // namespace
+}  // namespace sdps::obs

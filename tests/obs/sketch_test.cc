@@ -1,0 +1,111 @@
+#include "obs/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace sdps::obs {
+namespace {
+
+TEST(QuantileSketchTest, EmptySketchReturnsZero) {
+  QuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.0), 0.0);
+}
+
+TEST(QuantileSketchTest, SingleValueWithinOneBucket) {
+  QuantileSketch sketch;
+  sketch.Observe(1.0);
+  EXPECT_EQ(sketch.count(), 1u);
+  EXPECT_DOUBLE_EQ(sketch.sum(), 1.0);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    const double est = sketch.Quantile(q);
+    EXPECT_GE(est, 1.0);
+    EXPECT_LE(est, 1.0 * (1.0 + sketch.relative_error()) * 1.0001);
+  }
+}
+
+// The headline guarantee: for any quantile, the sketch's estimate is the
+// upper bound of the bucket holding the exact nearest-rank sample, so
+// exact <= estimate <= exact * growth.
+TEST(QuantileSketchTest, QuantilesMatchExactWithinBucketError) {
+  QuantileSketch sketch;
+  Rng rng(17);
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) {
+    // Latency-like spread over four orders of magnitude, 100 us .. 1 s.
+    const double v = 1e-4 * std::pow(10.0, 4.0 * static_cast<double>(rng.NextBelow(10000)) / 10000.0);
+    values.push_back(v);
+    sketch.Observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    const double exact =
+        values[static_cast<size_t>(std::llround(q * static_cast<double>(values.size() - 1)))];
+    const double est = sketch.Quantile(q);
+    EXPECT_GE(est, exact) << "q=" << q;
+    EXPECT_LE(est, exact * (1.0 + sketch.relative_error()) * 1.0001) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketchTest, QuantileIsMonotoneInQ) {
+  QuantileSketch sketch;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    sketch.Observe(1e-3 * static_cast<double>(1 + rng.NextBelow(100000)));
+  }
+  double prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double est = sketch.Quantile(q);
+    EXPECT_GE(est, prev);
+    prev = est;
+  }
+}
+
+TEST(QuantileSketchTest, MemoryIsFixedRegardlessOfSampleCount) {
+  QuantileSketch sketch;
+  const size_t buckets = sketch.num_buckets();
+  for (int i = 0; i < 100000; ++i) sketch.Observe(0.001 * (i % 977 + 1));
+  EXPECT_EQ(sketch.num_buckets(), buckets);
+  EXPECT_LT(buckets, 500u);  // ~4 KB of counters at default resolution
+}
+
+TEST(QuantileSketchTest, OutOfRangeValuesClampToEdgeBuckets) {
+  QuantileSketch sketch(/*min_value=*/1e-3, /*max_value=*/10.0);
+  sketch.Observe(-5.0);   // below range (and negative): lowest bucket
+  sketch.Observe(1e-9);   // below min: lowest bucket
+  sketch.Observe(1e9);    // above max: overflow bucket
+  EXPECT_EQ(sketch.count(), 3u);
+  EXPECT_LE(sketch.Quantile(0.0), 1e-3);
+  // The overflow estimate stays finite and at least the top of the range.
+  const double top = sketch.Quantile(1.0);
+  EXPECT_TRUE(std::isfinite(top));
+  EXPECT_GE(top, 10.0 / (1.0 + sketch.relative_error()));
+}
+
+TEST(QuantileSketchTest, SumTracksObservations) {
+  QuantileSketch sketch;
+  sketch.Observe(0.25);
+  sketch.Observe(0.5);
+  sketch.Observe(1.25);
+  EXPECT_DOUBLE_EQ(sketch.sum(), 2.0);
+}
+
+TEST(QuantileSketchTest, ResetClears) {
+  QuantileSketch sketch;
+  sketch.Observe(1.0);
+  sketch.Reset();
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace sdps::obs
