@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -29,10 +30,16 @@ bool ConsumeFlag(const char* arg, const char* prefix, std::string* value) {
   return true;
 }
 
+/// File writes that failed anywhere in this process (telemetry dumps,
+/// WriteSeries). Exit() folds this into the process exit code so a bench
+/// never reports success over silently truncated results.
+int g_write_failures = 0;
+
 void WriteDump(const char* what, const std::string& path, const Status& status) {
   if (status.ok()) {
     std::fprintf(stderr, "[obs] %s written to %s\n", what, path.c_str());
   } else {
+    ++g_write_failures;
     std::fprintf(stderr, "[obs] failed to write %s %s: %s\n", what, path.c_str(),
                  status.ToString().c_str());
   }
@@ -62,23 +69,51 @@ TelemetryScope::TelemetryScope(int& argc, char** argv) {
   if (!lineage_csv_path_.empty()) obs::LineageTracker::Default().set_enabled(true);
 }
 
-TelemetryScope::~TelemetryScope() {
+TelemetryScope::~TelemetryScope() { (void)Flush(); }
+
+Status TelemetryScope::Flush() {
+  if (flushed_) return Status::OK();
+  flushed_ = true;
+  Status first = Status::OK();
+  const auto dump = [&first](const char* what, const std::string& path,
+                             const Status& status) {
+    WriteDump(what, path, status);
+    if (first.ok() && !status.ok()) first = status;
+  };
   if (!trace_path_.empty()) {
-    WriteDump("trace", trace_path_,
-              obs::WriteChromeTrace(trace_path_, obs::Tracer::Default()));
+    dump("trace", trace_path_, obs::WriteChromeTrace(trace_path_, obs::Tracer::Default()));
   }
   if (!metrics_path_.empty()) {
-    WriteDump("metrics", metrics_path_,
-              obs::WritePrometheusText(metrics_path_, obs::Registry::Default()));
+    dump("metrics", metrics_path_,
+         obs::WritePrometheusText(metrics_path_, obs::Registry::Default()));
   }
   if (!metrics_csv_path_.empty()) {
-    WriteDump("metrics csv", metrics_csv_path_,
-              obs::WriteMetricsCsv(metrics_csv_path_, obs::Registry::Default()));
+    dump("metrics csv", metrics_csv_path_,
+         obs::WriteMetricsCsv(metrics_csv_path_, obs::Registry::Default()));
   }
   if (!lineage_csv_path_.empty()) {
-    WriteDump("lineage csv", lineage_csv_path_,
-              obs::WriteLineageCsv(lineage_csv_path_, obs::LineageTracker::Default()));
+    dump("lineage csv", lineage_csv_path_,
+         obs::WriteLineageCsv(lineage_csv_path_, obs::LineageTracker::Default()));
   }
+  return first;
+}
+
+int Exit(TelemetryScope& telemetry, int code) {
+  (void)telemetry.Flush();
+  if (code != 0) return code;
+  if (g_write_failures > 0) {
+    std::fprintf(stderr, "%d result file write(s) failed\n", g_write_failures);
+    return 2;
+  }
+  return 0;
+}
+
+void ParseFlagsOrExit(const FlagParser& parser, int argc, char** argv) {
+  const Status status = parser.Parse(argc, argv);
+  if (status.ok()) return;
+  std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+               parser.Usage(argv[0]).c_str());
+  std::exit(2);
 }
 
 namespace {
@@ -95,6 +130,7 @@ std::string CacheKey(workloads::Engine engine, engine::QueryKind query, int work
   if (!tuning.spark_tree_aggregate) key += "/notree";
   if (tuning.spark_inverse_reduce) key += "/inv";
   if (!tuning.spark_cache_window) key += "/nocache";
+  if (tuning.recovery) key += "/rec";
   return key;
 }
 
@@ -126,6 +162,13 @@ double SustainableRate(workloads::Engine engine, engine::QueryKind query, int wo
       search);
   std::ofstream out(cache_path, std::ios::app);
   out << key << "," << StrFormat("%.0f", result.sustainable_rate) << "\n";
+  out.flush();
+  if (!out) {
+    // The cache is an optimisation, but a truncated line would poison
+    // later runs — surface it as a write failure.
+    ++g_write_failures;
+    std::fprintf(stderr, "failed to append %s to %s\n", key.c_str(), cache_path.c_str());
+  }
   return result.sustainable_rate;
 }
 
@@ -140,14 +183,16 @@ driver::ExperimentResult MeasureAt(workloads::Engine engine, engine::QueryKind q
       workloads::MakeEngineFactory(engine, engine::QueryConfig{query, {}}, tuning));
 }
 
-void WriteSeries(const std::string& file, const std::string& value_name,
-                 const driver::TimeSeries& series, SimTime bucket) {
+Status WriteSeries(const std::string& file, const std::string& value_name,
+                   const driver::TimeSeries& series, SimTime bucket) {
   const auto status =
       driver::WriteSeriesCsv(ResultsPath(file), value_name, series.Downsample(bucket));
   if (!status.ok()) {
+    ++g_write_failures;
     std::fprintf(stderr, "failed to write %s: %s\n", file.c_str(),
                  status.ToString().c_str());
   }
+  return status;
 }
 
 double CoefficientOfVariation(const driver::TimeSeries& series, SimTime from, SimTime to) {

@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "common/flags.h"
 #include "driver/experiment.h"
 #include "driver/sustainable.h"
 #include "workloads/workloads.h"
@@ -28,12 +29,31 @@ class TelemetryScope {
   TelemetryScope(const TelemetryScope&) = delete;
   TelemetryScope& operator=(const TelemetryScope&) = delete;
 
+  /// Writes all requested dumps now (idempotent: each is written once).
+  /// Returns the first failure — a bench that requested a dump must not
+  /// exit 0 when the file could not be written.
+  Status Flush();
+
  private:
   std::string trace_path_;
   std::string metrics_path_;
   std::string metrics_csv_path_;
   std::string lineage_csv_path_;
+  bool flushed_ = false;
 };
+
+/// Standard bench epilogue: flushes the telemetry dumps and folds write
+/// failures (telemetry or any WriteSeries call this process) into the
+/// exit code. Returns `code` when non-zero, 2 when any file write failed,
+/// 0 otherwise. Use as `return bench::Exit(telemetry, code);`.
+int Exit(TelemetryScope& telemetry, int code = 0);
+
+/// Strict argument handling: parses the remaining argv (after
+/// TelemetryScope consumed the telemetry flags) against `parser`; on any
+/// unknown or malformed argument prints the error and usage to stderr and
+/// exits 2. Benches without flags of their own pass a default parser so
+/// stray arguments still fail fast.
+void ParseFlagsOrExit(const FlagParser& parser, int argc, char** argv);
 
 /// Creates ./results if needed and returns "results/<name>".
 std::string ResultsPath(const std::string& name);
@@ -53,8 +73,10 @@ driver::ExperimentResult MeasureAt(workloads::Engine engine, engine::QueryKind q
                                    driver::RateProfile profile = nullptr);
 
 /// Writes a latency time series (downsampled to 1 s buckets) as CSV.
-void WriteSeries(const std::string& file, const std::string& value_name,
-                 const driver::TimeSeries& series, SimTime bucket = Seconds(1));
+/// Failures are returned AND remembered so `Exit()` turns them into a
+/// non-zero exit code even when the caller ignores the status.
+Status WriteSeries(const std::string& file, const std::string& value_name,
+                   const driver::TimeSeries& series, SimTime bucket = Seconds(1));
 
 /// Coefficient of variation of a series (fluctuation metric, Fig. 9).
 double CoefficientOfVariation(const driver::TimeSeries& series, SimTime from, SimTime to);

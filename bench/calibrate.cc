@@ -8,6 +8,7 @@
 #include <ctime>
 
 #include "bench_util.h"
+#include "chaos/fault_schedule.h"
 #include "common/strings.h"
 #include "driver/experiment.h"
 #include "driver/sustainable.h"
@@ -19,35 +20,61 @@ using namespace sdps::workloads;  // NOLINT
 
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
-  Engine engine = Engine::kFlink;
-  engine::QueryKind query = engine::QueryKind::kAggregation;
+  std::string engine_name = "flink";
+  std::string query_name = "agg";
   int workers = 2;
   double rate = 1.0e6;
-  SimTime duration = Seconds(120);
+  double duration_s = 120;
   bool search = false;
+  std::string fault_spec;
+  bool recovery = false;
+  FlagParser flags;
+  flags.AddString("--engine", &engine_name, "storm | spark | flink (default flink)")
+      .AddString("--query", &query_name, "agg | join (default agg)")
+      .AddInt("--workers", &workers, "deployment size (default 2)")
+      .AddDouble("--rate", &rate, "offered rate, tuples/s (default 1e6)")
+      .AddDouble("--duration", &duration_s, "horizon, seconds (default 120)")
+      .AddSwitch("--search", &search, "run the sustainable-throughput search")
+      .AddString("--fault-schedule", &fault_spec,
+                 "chaos plan, e.g. 'crash@60:node=w0,restart=10' (see chaos/fault_schedule.h)")
+      .AddSwitch("--recovery", &recovery,
+                 "enable the engine's recovery machinery (implied by --fault-schedule)");
+  bench::ParseFlagsOrExit(flags, argc, argv);
 
-  for (int i = 1; i < argc; ++i) {
-    if (!strcmp(argv[i], "--engine") && i + 1 < argc) {
-      const char* e = argv[++i];
-      engine = !strcmp(e, "storm")  ? Engine::kStorm
-               : !strcmp(e, "spark") ? Engine::kSpark
-                                     : Engine::kFlink;
-    } else if (!strcmp(argv[i], "--query") && i + 1 < argc) {
-      query = !strcmp(argv[++i], "join") ? engine::QueryKind::kJoin
-                                         : engine::QueryKind::kAggregation;
-    } else if (!strcmp(argv[i], "--workers") && i + 1 < argc) {
-      workers = atoi(argv[++i]);
-    } else if (!strcmp(argv[i], "--rate") && i + 1 < argc) {
-      rate = atof(argv[++i]);
-    } else if (!strcmp(argv[i], "--duration") && i + 1 < argc) {
-      duration = Seconds(atof(argv[++i]));
-    } else if (!strcmp(argv[i], "--search")) {
-      search = true;
-    }
+  Engine engine;
+  if (engine_name == "storm") {
+    engine = Engine::kStorm;
+  } else if (engine_name == "spark") {
+    engine = Engine::kSpark;
+  } else if (engine_name == "flink") {
+    engine = Engine::kFlink;
+  } else {
+    std::fprintf(stderr, "unknown engine '%s' (storm | spark | flink)\n",
+                 engine_name.c_str());
+    return 2;
   }
+  if (query_name != "agg" && query_name != "join") {
+    std::fprintf(stderr, "unknown query '%s' (agg | join)\n", query_name.c_str());
+    return 2;
+  }
+  const engine::QueryKind query =
+      query_name == "join" ? engine::QueryKind::kJoin : engine::QueryKind::kAggregation;
+  const SimTime duration = Seconds(duration_s);
 
   driver::ExperimentConfig config = MakeExperiment(query, workers, rate, duration);
-  auto factory = MakeEngineFactory(engine, engine::QueryConfig{query, {}});
+  if (!fault_spec.empty()) {
+    auto faults = chaos::FaultSchedule::Parse(fault_spec);
+    if (!faults.ok()) {
+      std::fprintf(stderr, "bad --fault-schedule: %s\n",
+                   faults.status().ToString().c_str());
+      return 2;
+    }
+    config.faults = std::move(faults).value();
+    recovery = true;
+  }
+  EngineTuning tuning;
+  tuning.recovery = recovery;
+  auto factory = MakeEngineFactory(engine, engine::QueryConfig{query, {}}, tuning);
 
   const std::clock_t t0 = std::clock();
   if (search) {
@@ -76,6 +103,15 @@ int main(int argc, char** argv) {
       printf("  proc-time  latency: %s\n",
              report::FormatLatencyRow(result.processing_latency.Summarize()).c_str());
     }
+    if (!config.faults.empty()) {
+      printf("  recovery: time %.1fs, output gap %.1fs, duplicates %llu, "
+             "availability %.1f%%%s\n",
+             ToSeconds(result.recovery.recovery_time),
+             ToSeconds(result.recovery.output_gap),
+             static_cast<unsigned long long>(result.recovery.duplicates),
+             100.0 * result.recovery.availability,
+             result.degraded ? " (degraded)" : "");
+    }
     if (!result.backlog_series.empty()) {
       printf("  backlog end: %.0f tuples, slope %.0f tuples/s\n",
              result.backlog_series.samples().back().value,
@@ -96,5 +132,5 @@ int main(int argc, char** argv) {
            100.0 * cpu / static_cast<double>(result.worker_cpu_util.size()));
   }
   printf("  [wall: %.1fs]\n", static_cast<double>(std::clock() - t0) / CLOCKS_PER_SEC);
-  return 0;
+  return bench::Exit(telemetry);
 }

@@ -9,6 +9,7 @@ using namespace sdps::workloads;  // NOLINT
 
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
+  sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   for (const bool tree : {true, false}) {
     driver::ExperimentConfig config = MakeExperiment(
         engine::QueryKind::kAggregation, 4, 0.66e6, Seconds(60));
@@ -36,5 +37,5 @@ int main(int argc, char** argv) {
       printf("\n");
     }
   }
-  return 0;
+  return sdps::bench::Exit(telemetry);
 }

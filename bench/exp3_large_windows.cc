@@ -46,6 +46,7 @@ void Report(const char* label, const driver::ExperimentResult& r) {
 
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
+  sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   printf("== Experiment 3: large windows (60s, 60s) vs (8s, 4s), 4-node ==\n\n");
   const engine::WindowSpec small{Seconds(8), Seconds(4)};
   const engine::WindowSpec large{Seconds(60), Seconds(60)};
@@ -108,5 +109,5 @@ int main(int argc, char** argv) {
   Report("(60s,60s), incremental", flink_big);
   printf("  Flink sustains its (8s,4s) rate with the large window: %s\n",
          flink_big.sustainable ? "PASS" : "FAIL");
-  return 0;
+  return sdps::bench::Exit(telemetry);
 }

@@ -48,6 +48,7 @@ double FindSkewedRate(Engine engine, engine::QueryKind query, int workers,
 
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
+  sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   printf("== Experiment 4: single-key data skew ==\n\n");
   printf("Aggregation, sustainable throughput under extreme skew:\n");
   std::vector<report::ShapeCheck> checks;
@@ -126,5 +127,5 @@ int main(int argc, char** argv) {
              : "FAIL");
 
   printf("\n%s", report::RenderChecks(checks).c_str());
-  return 0;
+  return sdps::bench::Exit(telemetry);
 }

@@ -53,6 +53,7 @@ void Sweep(engine::QueryKind query, double probe_rate) {
 
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
+  sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   printf("== Extension: exactly-once checkpointing cost (Flink, 4-node) ==\n\n");
   // Probe just below the engine's no-checkpoint sustainable rates so the
   // checkpointing overhead is what tips the system over.
@@ -63,5 +64,5 @@ int main(int argc, char** argv) {
       "\nshape: more frequent checkpoints raise tail latency first (barrier\n"
       "stalls + snapshot bursts), then break sustainability; the join pays\n"
       "more because its state is the raw two-sided window buffer.\n");
-  return 0;
+  return sdps::bench::Exit(telemetry);
 }

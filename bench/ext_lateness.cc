@@ -18,6 +18,7 @@ using namespace sdps::workloads;  // NOLINT
 
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
+  sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   printf("== Extension: out-of-order data vs allowed lateness (Flink, 4-node) ==\n\n");
   const double rate = 0.6e6;
   report::Table table({"event-time lag", "allowed lateness", "dropped tuples",
@@ -56,5 +57,5 @@ int main(int argc, char** argv) {
   printf("\n%s", table.Render().c_str());
   printf("\nno lag -> nothing to drop regardless of lateness; with lag, raising\n"
          "allowed lateness trades drop rate against window-close latency.\n");
-  return 0;
+  return sdps::bench::Exit(telemetry);
 }

@@ -32,6 +32,7 @@ driver::SearchConfig QuickSearch(double initial) {
 
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
+  sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   printf("== Tuning ablations (4-node, windowed aggregation) ==\n");
   const engine::QueryConfig agg{engine::QueryKind::kAggregation, {}};
   driver::ExperimentConfig base =
@@ -91,5 +92,5 @@ int main(int argc, char** argv) {
                                         : result.event_latency.Summarize().avg_s);
     fflush(stdout);
   }
-  return 0;
+  return sdps::bench::Exit(telemetry);
 }

@@ -13,6 +13,7 @@ using namespace sdps::workloads;  // NOLINT
 
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
+  sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   printf("== Fig. 10: network and CPU usage (4-node, sustainable) ==\n\n");
   const Engine engines[3] = {Engine::kStorm, Engine::kSpark, Engine::kFlink};
   double mean_cpu[3], mean_net[3];
@@ -48,5 +49,5 @@ int main(int argc, char** argv) {
          mean_cpu[0] / mean_cpu[2], mean_cpu[1] / mean_cpu[2]);
   printf("  Flink moves the most data (network-bound): %s\n",
          (mean_net[2] > mean_net[0] && mean_net[2] > mean_net[1]) ? "PASS" : "FAIL");
-  return 0;
+  return sdps::bench::Exit(telemetry);
 }

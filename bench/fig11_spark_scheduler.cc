@@ -18,6 +18,7 @@ using namespace sdps::workloads;  // NOLINT
 
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
+  sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   printf("== Fig. 11: Spark scheduler delay vs throughput (4-node) ==\n\n");
   engines::SparkConfig spark = CalibratedSpark(
       engine::QueryConfig{engine::QueryKind::kAggregation, {}});
@@ -63,5 +64,5 @@ int main(int argc, char** argv) {
              : "FAIL");
   printf("  delay builds, then the controller reins it in (late < early): %s\n",
          late_delay < early_delay ? "PASS" : "FAIL");
-  return 0;
+  return sdps::bench::Exit(telemetry);
 }

@@ -33,12 +33,12 @@ namespace {
 
 // Joins the indicator series (shared probe timestamps; the watermark/sink
 // series start later, once outputs arrive) into one CSV.
-void WriteSustainCsv(const std::string& file, const driver::SustainabilityIndicator& ind) {
+Status WriteSustainCsv(const std::string& file, const driver::SustainabilityIndicator& ind) {
   auto writer = CsvWriter::Open(bench::ResultsPath(file));
   if (!writer.ok()) {
     std::fprintf(stderr, "failed to open %s: %s\n", file.c_str(),
                  writer.status().ToString().c_str());
-    return;
+    return writer.status();
   }
   writer->WriteHeader({"time_s", "backlog_tuples", "backlog_slope",
                        "watermark_lag_s", "sink_latency_slope"});
@@ -61,6 +61,7 @@ void WriteSustainCsv(const std::string& file, const driver::SustainabilityIndica
     std::fprintf(stderr, "failed to write %s: %s\n", file.c_str(),
                  status.ToString().c_str());
   }
+  return status;
 }
 
 /// The acceptance check: every closed sample's stage durations are
@@ -94,9 +95,9 @@ int VerifyAttribution(const char* engine, const obs::LineageTracker& tracker) {
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
   bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-  }
+  FlagParser flags;
+  flags.AddSwitch("--smoke", &smoke, "CI scale: fixed low rate, short horizon");
+  bench::ParseFlagsOrExit(flags, argc, argv);
   printf("== Fig. 12: latency attribution by pipeline stage (2-node%s) ==\n\n",
          smoke ? ", smoke scale" : "");
 
@@ -108,6 +109,7 @@ int main(int argc, char** argv) {
   const SimTime duration = smoke ? Seconds(30) : Seconds(120);
   std::vector<report::EngineBreakdown> rows;
   int mismatches = 0;
+  int write_failures = 0;
   for (const Engine engine : engines) {
     const std::string name = EngineName(engine);
     std::string file_tag = name;  // lowercase for stable file names
@@ -126,8 +128,11 @@ int main(int argc, char** argv) {
     if (!lineage_status.ok()) {
       std::fprintf(stderr, "failed to write lineage dump: %s\n",
                    lineage_status.ToString().c_str());
+      ++write_failures;
     }
-    WriteSustainCsv("fig12_sustain_" + file_tag + ".csv", result.indicator);
+    if (!WriteSustainCsv("fig12_sustain_" + file_tag + ".csv", result.indicator).ok()) {
+      ++write_failures;
+    }
 
     printf("  %-6s offered %.2f M/s, verdict: %s; sampled %llu, closed %llu\n",
            name.c_str(), rate / 1e6, result.verdict.c_str(),
@@ -141,7 +146,7 @@ int main(int argc, char** argv) {
   if (!csv_status.ok()) {
     std::fprintf(stderr, "failed to write fig12_breakdown.csv: %s\n",
                  csv_status.ToString().c_str());
-    return 2;
+    return bench::Exit(telemetry, 2);
   }
 
   printf("qualitative checks:\n");
@@ -153,7 +158,7 @@ int main(int argc, char** argv) {
          closed_everywhere ? "PASS" : "FAIL");
   if (mismatches > 0 || !closed_everywhere) {
     std::fprintf(stderr, "\n%d attribution mismatch(es)\n", mismatches);
-    return 1;
+    return bench::Exit(telemetry, 1);
   }
-  return 0;
+  return bench::Exit(telemetry, write_failures > 0 ? 2 : 0);
 }

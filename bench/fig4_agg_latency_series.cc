@@ -14,6 +14,7 @@ using namespace sdps::workloads;  // NOLINT
 
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
+  sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   printf("== Fig. 4: aggregation latency distributions over time ==\n\n");
   const Engine engines[3] = {Engine::kStorm, Engine::kSpark, Engine::kFlink};
   const int sizes[3] = {2, 4, 8};
@@ -54,5 +55,5 @@ int main(int argc, char** argv) {
   printf("  latency spikes lowered (or equal) at 90%% load: %d/%d panels\n", calmer,
          total);
   printf("  Spark latency band bounded by batch quantisation: see CSVs\n");
-  return 0;
+  return sdps::bench::Exit(telemetry);
 }

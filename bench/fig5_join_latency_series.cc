@@ -12,6 +12,7 @@ using namespace sdps::workloads;  // NOLINT
 
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
+  sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   printf("== Fig. 5: join latency distributions over time ==\n\n");
   const Engine engines[2] = {Engine::kSpark, Engine::kFlink};
   const int sizes[3] = {2, 4, 8};
@@ -47,5 +48,5 @@ int main(int argc, char** argv) {
   }
   printf("  p99 spikes reduced (or equal) with 90%% workload: %d/6 panels\n",
          reduced_spikes);
-  return 0;
+  return sdps::bench::Exit(telemetry);
 }

@@ -24,6 +24,7 @@ struct Panel {
 
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
+  sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   // 4-node deployment, as in the paper's spike setting: the 0.84 M/s
   // plateau transiently OVERLOADS Storm (0.70 sustainable) and Spark
   // (0.66) — their event-time latency climbs during the high phases and
@@ -71,5 +72,5 @@ int main(int argc, char** argv) {
   // sustainable rate is the lowest, so the same 0.84 M/s plateau overloads
   // it the most and its PID drains the slowest); the paper ranks Storm as
   // the most susceptible system.
-  return 0;
+  return sdps::bench::Exit(telemetry);
 }

@@ -12,6 +12,7 @@ using namespace sdps::workloads;  // NOLINT
 
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
+  sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   printf("== Fig. 7: event vs processing time, Spark overloaded (2-node) ==\n\n");
   const double sustainable =
       bench::SustainableRate(Engine::kSpark, engine::QueryKind::kAggregation, 2);
@@ -45,5 +46,5 @@ int main(int argc, char** argv) {
          pr_slope < 0.2 * ev_slope ? "PASS" : "FAIL");
   printf("  event-time >> processing-time under overload: %s\n",
          ev.avg_s > 2 * pr.avg_s ? "PASS" : "FAIL");
-  return 0;
+  return sdps::bench::Exit(telemetry);
 }

@@ -13,6 +13,7 @@ using namespace sdps::workloads;  // NOLINT
 
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
+  sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   printf("== Fig. 8: event vs processing-time latency (2-node, sustainable) ==\n\n");
   const Engine engines[3] = {Engine::kStorm, Engine::kSpark, Engine::kFlink};
   for (const Engine e : engines) {
@@ -31,5 +32,5 @@ int main(int argc, char** argv) {
   }
   printf("\nevent-time >= processing-time by construction; the gap is the\n"
          "driver-queue residence time (Definitions 1 vs 2).\n");
-  return 0;
+  return sdps::bench::Exit(telemetry);
 }

@@ -14,6 +14,7 @@ using namespace sdps::workloads;  // NOLINT
 
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
+  sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   printf("== Fig. 9: ingest throughput over time (4-node, sustainable) ==\n\n");
   const Engine engines[3] = {Engine::kStorm, Engine::kSpark, Engine::kFlink};
   double cov[3];
@@ -49,5 +50,5 @@ int main(int argc, char** argv) {
                                                    Seconds(60), Seconds(180));
     printf("  %-5s: cov %.3f\n", EngineName(engines[i]).c_str(), c);
   }
-  return 0;
+  return sdps::bench::Exit(telemetry);
 }

@@ -1,0 +1,175 @@
+// Fig. R (extension): recovery benchmark — kill a worker mid-run and
+// measure each engine's recovery behaviour under its native fault-tolerance
+// machinery (Flink checkpoint/restore, Storm tuple replay, Spark batch
+// recompute). Each engine runs twice with the same seed: a fault-free run
+// whose output multiset is the exactly-once oracle, then a faulty run with
+// a worker crash. Reported per engine: recovery time, output gap,
+// duplicates / lost vs the oracle, and availability.
+//
+// The delivery-guarantee assertions double as the CI acceptance check:
+//   Flink  (exactly-once)        duplicates == 0 and lost == 0
+//   Spark  (exactly-once, batch) duplicates == 0 and lost == 0
+//   Storm  (at-least-once)       duplicates  > 0 (replay re-emits windows)
+// and every engine must resume output after the restart (recovery_time
+// >= 0, output_gap > 0). The binary exits non-zero on any violation.
+//
+// Outputs:
+//   results/figR_recovery.csv           per-engine recovery table
+//   results/figR_backlog_<engine>.csv   driver backlog series (outage spike)
+//
+// `--smoke` shrinks the run (fixed low rate, short horizon) so CI can
+// afford it.
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "chaos/fault_schedule.h"
+#include "common/strings.h"
+#include "driver/experiment.h"
+#include "report/recovery.h"
+
+using namespace sdps;             // NOLINT
+using namespace sdps::workloads;  // NOLINT
+
+namespace {
+
+struct EngineCase {
+  Engine engine;
+  const char* guarantee;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
+  bool smoke = false;
+  FlagParser flags;
+  flags.AddSwitch("--smoke", &smoke, "CI scale: fixed low rate, short horizon");
+  bench::ParseFlagsOrExit(flags, argc, argv);
+  printf("== Fig. R: worker-crash recovery (2-node, agg query%s) ==\n\n",
+         smoke ? ", smoke scale" : "");
+
+  const SimTime duration = smoke ? Seconds(60) : Seconds(180);
+  const SimTime crash_at = duration / 2;
+  const SimTime restart_delay = Seconds(10);
+
+  const EngineCase cases[] = {
+      {Engine::kStorm, "at-least-once"},
+      {Engine::kSpark, "exactly-once"},
+      {Engine::kFlink, "exactly-once"},
+  };
+  EngineTuning tuning;
+  tuning.recovery = true;
+
+  std::vector<report::RecoveryRow> rows;
+  int violations = 0;
+  for (const EngineCase& c : cases) {
+    const std::string name = EngineName(c.engine);
+    std::string file_tag = name;
+    for (char& ch : file_tag) {
+      ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    }
+    const double rate =
+        smoke ? 2.0e4
+              : 0.5 * bench::SustainableRate(c.engine, engine::QueryKind::kAggregation,
+                                             2, 1.0e6, tuning);
+    auto factory = MakeEngineFactory(c.engine, {engine::QueryKind::kAggregation, {}},
+                                     tuning);
+
+    // Fault-free oracle run: identical seed/config, recovery machinery on
+    // (checkpointing changes emission times, so the oracle must pay for it
+    // too), no faults injected.
+    driver::ExperimentConfig base =
+        MakeExperiment(engine::QueryKind::kAggregation, 2, rate, duration);
+    base.track_recovery = true;
+    const auto oracle_run = driver::RunExperiment(base, factory);
+    if (oracle_run.recovery.duplicates != 0) {
+      std::fprintf(stderr,
+                   "  %s VIOLATION: fault-free run emitted %llu duplicate "
+                   "output identities\n",
+                   name.c_str(),
+                   static_cast<unsigned long long>(oracle_run.recovery.duplicates));
+      ++violations;
+    }
+
+    driver::ExperimentConfig faulty = base;
+    faulty.faults.Crash("w1", crash_at, restart_delay);
+    faulty.recovery_oracle = &oracle_run.observed_outputs;
+    faulty.watchdog_timeout = Seconds(30);
+    const auto result = driver::RunExperiment(faulty, factory);
+
+    report::RecoveryRow row;
+    row.engine = name;
+    row.guarantee = c.guarantee;
+    row.offered_rate = rate;
+    row.stats = result.recovery;
+    row.degraded = result.degraded;
+    row.verdict = result.verdict;
+    rows.push_back(row);
+
+    printf("  %-6s offered %.2f M/s: %s\n", name.c_str(), rate / 1e6,
+           result.verdict.c_str());
+    printf("         recovery %.1fs, gap %.1fs, duplicates %llu, lost %llu, "
+           "availability %.1f%%\n",
+           ToSeconds(result.recovery.recovery_time),
+           ToSeconds(result.recovery.output_gap),
+           static_cast<unsigned long long>(result.recovery.duplicates),
+           static_cast<unsigned long long>(result.recovery.lost),
+           100.0 * result.recovery.availability);
+
+    const bool exactly_once = c.engine != Engine::kStorm;
+    if (exactly_once &&
+        (result.recovery.duplicates != 0 || result.recovery.lost != 0)) {
+      std::fprintf(stderr,
+                   "  %s VIOLATION: exactly-once engine produced %llu duplicates, "
+                   "%llu lost\n",
+                   name.c_str(),
+                   static_cast<unsigned long long>(result.recovery.duplicates),
+                   static_cast<unsigned long long>(result.recovery.lost));
+      ++violations;
+    }
+    if (!exactly_once && result.recovery.duplicates == 0) {
+      std::fprintf(stderr,
+                   "  %s VIOLATION: at-least-once engine replayed nothing "
+                   "(duplicates == 0 under a mid-run crash)\n",
+                   name.c_str());
+      ++violations;
+    }
+    if (result.recovery.recovery_time < 0) {
+      std::fprintf(stderr, "  %s VIOLATION: output never resumed after the restart\n",
+                   name.c_str());
+      ++violations;
+    }
+    if (result.recovery.output_gap <= 0) {
+      std::fprintf(stderr, "  %s VIOLATION: no output stall measured around a "
+                   "10s outage\n",
+                   name.c_str());
+      ++violations;
+    }
+
+    (void)bench::WriteSeries("figR_backlog_" + file_tag + ".csv", "backlog_tuples",
+                             result.backlog_series, Seconds(1));
+  }
+
+  printf("\n%s\n", report::RenderRecoveryTable(rows).c_str());
+  const Status csv_status =
+      report::WriteRecoveryCsv(bench::ResultsPath("figR_recovery.csv"), rows);
+  if (!csv_status.ok()) {
+    std::fprintf(stderr, "failed to write figR_recovery.csv: %s\n",
+                 csv_status.ToString().c_str());
+    return bench::Exit(telemetry, 2);
+  }
+
+  printf("qualitative checks:\n");
+  printf("  exactly-once engines: duplicates == 0 and lost == 0: %s\n",
+         violations == 0 ? "PASS" : "see violations above");
+  printf("  at-least-once engine: duplicates > 0: %s\n",
+         violations == 0 ? "PASS" : "see violations above");
+  if (violations > 0) {
+    std::fprintf(stderr, "\n%d delivery-guarantee violation(s)\n", violations);
+    return bench::Exit(telemetry, 1);
+  }
+  return bench::Exit(telemetry);
+}

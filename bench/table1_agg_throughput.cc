@@ -12,6 +12,7 @@ using namespace sdps::workloads;  // NOLINT
 
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
+  sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   printf("== Table I: sustainable throughput, windowed aggregation (8s, 4s) ==\n\n");
   // Paper values, M tuples/s.
   const double paper[3][3] = {{0.40, 0.69, 0.99},   // Storm
@@ -41,5 +42,5 @@ int main(int argc, char** argv) {
   printf("%s", report::RenderChecks(checks).c_str());
   // Qualitative shape: Flink flat across sizes (network-bound); Storm ~8%
   // above Spark at every size.
-  return 0;
+  return sdps::bench::Exit(telemetry);
 }

@@ -12,6 +12,7 @@ using namespace sdps::workloads;  // NOLINT
 
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
+  sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   printf("== Table II: latency stats (s), windowed aggregation (8s, 4s) ==\n\n");
   // Paper avg latencies (seconds): rows Storm, Storm90, Spark, Spark90,
   // Flink, Flink90; columns 2/4/8 nodes.
@@ -50,5 +51,5 @@ int main(int argc, char** argv) {
   }
   printf("\n%s\n", table.Render().c_str());
   printf("%s", report::RenderChecks(checks).c_str());
-  return 0;
+  return sdps::bench::Exit(telemetry);
 }

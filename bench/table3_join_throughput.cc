@@ -13,6 +13,7 @@ using namespace sdps::workloads;  // NOLINT
 
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
+  sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   printf("== Table III: sustainable throughput, windowed join (8s, 4s) ==\n\n");
   const double paper[2][3] = {{0.36, 0.63, 0.94},   // Spark
                               {0.85, 1.12, 1.19}};  // Flink
@@ -61,5 +62,5 @@ int main(int argc, char** argv) {
                                  Seconds(120));
   printf("  Storm 4-node @ 0.63 M/s: %s\n", storm4.verdict.c_str());
   printf("\n%s", report::RenderChecks(checks).c_str());
-  return 0;
+  return sdps::bench::Exit(telemetry);
 }

@@ -12,6 +12,7 @@ using namespace sdps::workloads;  // NOLINT
 
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
+  sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   printf("== Table IV: latency stats (s), windowed join (8s, 4s) ==\n\n");
   const double paper_avg[4][3] = {{7.7, 6.7, 6.2},   // Spark
                                   {7.1, 5.8, 5.7},   // Spark(90%)
@@ -53,5 +54,5 @@ int main(int argc, char** argv) {
   printf("%s", report::RenderChecks(checks).c_str());
   printf("qualitative: Flink outperforms Spark on avg join latency: %s\n",
          avg_by_engine[1] < avg_by_engine[0] ? "PASS" : "FAIL");
-  return 0;
+  return sdps::bench::Exit(telemetry);
 }

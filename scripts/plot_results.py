@@ -5,6 +5,7 @@ Usage:
     python3 scripts/plot_results.py [--results-dir results] [--out plots]
     python3 scripts/plot_results.py breakdown       # Fig. 12 stacked bars
     python3 scripts/plot_results.py sustainability  # indicator time-series
+    python3 scripts/plot_results.py recovery        # Fig. R recovery bars
 
 With no subcommand, produces one PNG per paper figure:
     fig4.png  - aggregation latency over time (3 systems x 3 sizes x 2 loads)
@@ -19,7 +20,10 @@ With no subcommand, produces one PNG per paper figure:
 The `breakdown` subcommand stacks the per-stage latency attribution from
 results/fig12_breakdown.csv into one bar per engine; `sustainability`
 plots the backpressure monitor's indicator series from
-results/fig12_sustain_<engine>.csv (backlog + watermark lag per engine).
+results/fig12_sustain_<engine>.csv (backlog + watermark lag per engine);
+`recovery` plots recovery time / output gap bars per engine (annotated
+with duplicates and losses) from results/figR_recovery.csv plus the
+driver-backlog outage spike from results/figR_backlog_<engine>.csv.
 
 Requires matplotlib. The repository's benches must have been run first
 (`for b in build/bench/*; do $b; done`).
@@ -140,6 +144,58 @@ def plot_sustainability(plt, results, out_dir):
     print(f"wrote {out}")
 
 
+def plot_recovery(plt, results, out_dir):
+    """Fig. R: recovery time and output gap bars per engine, plus the
+    driver-backlog series showing the outage spike and drain."""
+    path = os.path.join(results, "figR_recovery.csv")
+    if not os.path.exists(path):
+        print(f"skip recovery: {path} not found (run figR_recovery)")
+        return
+    rows = read_table(path)
+    engines = [r["engine"] for r in rows]
+    recovery = [float(r["recovery_time_s"]) for r in rows]
+    gap = [float(r["output_gap_s"]) for r in rows]
+
+    backlogs = sorted(glob.glob(os.path.join(results, "figR_backlog_*.csv")))
+    fig, axes = plt.subplots(1, 1 + (1 if backlogs else 0),
+                             figsize=(5 + 4 * bool(backlogs), 4), squeeze=False)
+    ax = axes[0][0]
+    xs = range(len(engines))
+    width = 0.38
+    ax.bar([x - width / 2 for x in xs], recovery, width, label="recovery time (s)")
+    ax.bar([x + width / 2 for x in xs], gap, width, label="output gap (s)")
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels(engines)
+    ax.set_ylabel("seconds")
+    ax.set_title("Fig. R - worker-crash recovery")
+    for x, r in zip(xs, rows):
+        ax.annotate(f"dup {r['duplicates']}\nlost {r['lost']}",
+                    (x, max(float(r["recovery_time_s"]), float(r["output_gap_s"]))),
+                    textcoords="offset points", xytext=(0, 4),
+                    ha="center", fontsize=7)
+    ax.legend(fontsize=7)
+
+    if backlogs:
+        ax2 = axes[0][1]
+        for p in backlogs:
+            xs2, ys2 = read_series(p)
+            name = os.path.basename(p).replace("figR_backlog_", "").replace(".csv", "")
+            ax2.plot(xs2, ys2, linewidth=0.8, label=name)
+        crash = float(rows[0]["crash_time_s"])
+        restart = float(rows[0]["restart_time_s"])
+        if crash >= 0:
+            ax2.axvspan(crash, restart, color="0.85", label="outage")
+        ax2.set_xlabel("time (s)", fontsize=7)
+        ax2.set_ylabel("driver backlog (tuples)", fontsize=7)
+        ax2.set_title("backlog during the outage", fontsize=8)
+        ax2.legend(fontsize=7)
+
+    fig.tight_layout()
+    out = os.path.join(out_dir, "figR_recovery.png")
+    fig.savefig(out, dpi=130)
+    print(f"wrote {out}")
+
+
 def plot_figures(plt, r, out_dir):
     panel_grid(plt, glob.glob(f"{r}/fig4_*.csv"),
                "Fig. 4 - aggregation latency over time", "latency (s)",
@@ -187,6 +243,9 @@ def main():
     subparsers.add_parser(
         "sustainability", parents=[common],
         help="backpressure-monitor indicator series (fig12_sustain_*.csv)")
+    subparsers.add_parser(
+        "recovery", parents=[common],
+        help="worker-crash recovery bars (figR_recovery.csv)")
     args = parser.parse_args()
 
     try:
@@ -201,6 +260,8 @@ def main():
         plot_breakdown(plt, args.results, args.out)
     elif args.command == "sustainability":
         plot_sustainability(plt, args.results, args.out)
+    elif args.command == "recovery":
+        plot_recovery(plt, args.results, args.out)
     else:
         plot_figures(plt, args.results, args.out)
 

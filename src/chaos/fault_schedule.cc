@@ -1,0 +1,284 @@
+#include "chaos/fault_schedule.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "common/strings.h"
+
+namespace sdps::chaos {
+
+namespace {
+
+// Partitions are modelled as an extreme bandwidth degradation rather than a
+// hard cut: transfers started while partitioned crawl at this fraction of
+// nominal rate, which reproduces the TCP-stall behaviour a real partition
+// induces without wedging in-flight coroutines forever.
+constexpr double kPartitionFactor = 1e-4;
+
+constexpr SimTime kDefaultRestartDelay = Seconds(10);
+constexpr SimTime kDefaultDuration = Seconds(30);
+constexpr double kDefaultStraggleFactor = 0.5;
+constexpr double kDefaultDegradeFactor = 0.25;
+constexpr SimTime kDefaultGcPause = Millis(200);
+constexpr SimTime kDefaultGcEvery = Seconds(1);
+
+Status ParseError(size_t index, const std::string& event, const std::string& why) {
+  return Status::InvalidArgument(StrFormat("fault-schedule event %zu (\"%s\"): %s",
+                                           index, event.c_str(), why.c_str()));
+}
+
+/// Parses a non-negative decimal number; returns false on garbage.
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  if (!(v >= 0.0)) return false;  // rejects negatives and NaN
+  *out = v;
+  return true;
+}
+
+std::string FormatSeconds(SimTime t) {
+  std::string s = StrFormat("%.6f", ToSeconds(t));
+  while (s.size() > 1 && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kStraggle: return "straggle";
+    case FaultKind::kGcStorm: return "gcstorm";
+    case FaultKind::kDegrade: return "degrade";
+    case FaultKind::kPartition: return "partition";
+  }
+  return "?";
+}
+
+std::pair<SimTime, SimTime> FaultEvent::Window() const {
+  const SimTime extent = kind == FaultKind::kCrash ? restart_delay : duration;
+  return {at, at + extent};
+}
+
+FaultSchedule& FaultSchedule::Crash(std::string node, SimTime at, SimTime restart_delay) {
+  FaultEvent ev;
+  ev.kind = FaultKind::kCrash;
+  ev.node = std::move(node);
+  ev.at = at;
+  ev.restart_delay = restart_delay;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Straggle(std::string node, SimTime at, SimTime duration,
+                                       double factor) {
+  FaultEvent ev;
+  ev.kind = FaultKind::kStraggle;
+  ev.node = std::move(node);
+  ev.at = at;
+  ev.duration = duration;
+  ev.factor = factor;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::GcStorm(std::string node, SimTime at, SimTime duration,
+                                      SimTime pause, SimTime every) {
+  FaultEvent ev;
+  ev.kind = FaultKind::kGcStorm;
+  ev.node = std::move(node);
+  ev.at = at;
+  ev.duration = duration;
+  ev.pause = pause;
+  ev.every = every;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Degrade(std::string node, SimTime at, SimTime duration,
+                                      double factor) {
+  FaultEvent ev;
+  ev.kind = FaultKind::kDegrade;
+  ev.node = std::move(node);
+  ev.at = at;
+  ev.duration = duration;
+  ev.factor = factor;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Partition(std::string node, SimTime at, SimTime duration) {
+  FaultEvent ev;
+  ev.kind = FaultKind::kPartition;
+  ev.node = std::move(node);
+  ev.at = at;
+  ev.duration = duration;
+  ev.factor = kPartitionFactor;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+std::vector<std::pair<SimTime, SimTime>> FaultSchedule::FaultWindows() const {
+  std::vector<std::pair<SimTime, SimTime>> windows;
+  windows.reserve(events_.size());
+  for (const FaultEvent& ev : events_) windows.push_back(ev.Window());
+  std::sort(windows.begin(), windows.end());
+  return windows;
+}
+
+std::string FaultSchedule::ToSpec() const {
+  std::vector<std::string> parts;
+  parts.reserve(events_.size());
+  for (const FaultEvent& ev : events_) {
+    std::string s = StrFormat("%s@%s:node=%s", FaultKindName(ev.kind),
+                              FormatSeconds(ev.at).c_str(), ev.node.c_str());
+    switch (ev.kind) {
+      case FaultKind::kCrash:
+        s += ",restart=" + FormatSeconds(ev.restart_delay);
+        break;
+      case FaultKind::kStraggle:
+      case FaultKind::kDegrade:
+        s += ",factor=" + StrFormat("%g", ev.factor);
+        s += ",for=" + FormatSeconds(ev.duration);
+        break;
+      case FaultKind::kGcStorm:
+        s += ",for=" + FormatSeconds(ev.duration);
+        s += ",pause=" + StrFormat("%g", ToMillis(ev.pause));
+        s += ",every=" + FormatSeconds(ev.every);
+        break;
+      case FaultKind::kPartition:
+        s += ",for=" + FormatSeconds(ev.duration);
+        break;
+    }
+    parts.push_back(std::move(s));
+  }
+  return StrJoin(parts, ";");
+}
+
+Result<FaultSchedule> FaultSchedule::Parse(const std::string& spec) {
+  FaultSchedule schedule;
+  if (spec.empty()) return schedule;
+  const std::vector<std::string> pieces = StrSplit(spec, ';');
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    const std::string& piece = pieces[i];
+    if (piece.empty()) return ParseError(i, piece, "empty event");
+    const size_t at_pos = piece.find('@');
+    if (at_pos == std::string::npos) {
+      return ParseError(i, piece, "expected <kind>@<time_s>:<params>");
+    }
+    const std::string kind_str = piece.substr(0, at_pos);
+    FaultKind kind;
+    if (kind_str == "crash") kind = FaultKind::kCrash;
+    else if (kind_str == "straggle") kind = FaultKind::kStraggle;
+    else if (kind_str == "gcstorm") kind = FaultKind::kGcStorm;
+    else if (kind_str == "degrade") kind = FaultKind::kDegrade;
+    else if (kind_str == "partition") kind = FaultKind::kPartition;
+    else return ParseError(i, piece, "unknown kind \"" + kind_str + "\"");
+
+    const size_t colon_pos = piece.find(':', at_pos);
+    const std::string time_str = piece.substr(
+        at_pos + 1, colon_pos == std::string::npos ? std::string::npos
+                                                   : colon_pos - at_pos - 1);
+    double at_s = 0;
+    if (!ParseDouble(time_str, &at_s)) {
+      return ParseError(i, piece, "bad time \"" + time_str + "\"");
+    }
+    if (colon_pos == std::string::npos) {
+      return ParseError(i, piece, "missing parameters (need at least node=)");
+    }
+
+    std::map<std::string, std::string> kv;
+    for (const std::string& pair : StrSplit(piece.substr(colon_pos + 1), ',')) {
+      const size_t eq = pair.find('=');
+      if (eq == std::string::npos || eq == 0 || eq == pair.size() - 1) {
+        return ParseError(i, piece, "malformed parameter \"" + pair + "\"");
+      }
+      const std::string key = pair.substr(0, eq);
+      if (kv.count(key) != 0) return ParseError(i, piece, "duplicate key \"" + key + "\"");
+      kv[key] = pair.substr(eq + 1);
+    }
+    if (kv.count("node") == 0) return ParseError(i, piece, "missing node=");
+
+    // Per-kind allowed keys; anything else is a typo we refuse to ignore.
+    auto take = [&kv](const char* key, std::string* out) {
+      auto it = kv.find(key);
+      if (it == kv.end()) return false;
+      *out = it->second;
+      kv.erase(it);
+      return true;
+    };
+    std::string node;
+    take("node", &node);
+
+    FaultEvent ev;
+    ev.kind = kind;
+    ev.node = node;
+    ev.at = Seconds(at_s);
+    std::string v;
+    double d = 0;
+    switch (kind) {
+      case FaultKind::kCrash:
+        ev.restart_delay = kDefaultRestartDelay;
+        if (take("restart", &v)) {
+          if (!ParseDouble(v, &d)) return ParseError(i, piece, "bad restart=\"" + v + "\"");
+          ev.restart_delay = Seconds(d);
+        }
+        break;
+      case FaultKind::kStraggle:
+      case FaultKind::kDegrade:
+        ev.duration = kDefaultDuration;
+        ev.factor = kind == FaultKind::kStraggle ? kDefaultStraggleFactor
+                                                 : kDefaultDegradeFactor;
+        if (take("for", &v)) {
+          if (!ParseDouble(v, &d)) return ParseError(i, piece, "bad for=\"" + v + "\"");
+          ev.duration = Seconds(d);
+        }
+        if (take("factor", &v)) {
+          if (!ParseDouble(v, &d) || d <= 0.0 || d > 1.0) {
+            return ParseError(i, piece, "factor must be in (0, 1], got \"" + v + "\"");
+          }
+          ev.factor = d;
+        }
+        break;
+      case FaultKind::kGcStorm:
+        ev.duration = kDefaultDuration;
+        ev.pause = kDefaultGcPause;
+        ev.every = kDefaultGcEvery;
+        if (take("for", &v)) {
+          if (!ParseDouble(v, &d)) return ParseError(i, piece, "bad for=\"" + v + "\"");
+          ev.duration = Seconds(d);
+        }
+        if (take("pause", &v)) {
+          if (!ParseDouble(v, &d)) return ParseError(i, piece, "bad pause=\"" + v + "\"");
+          ev.pause = Millis(d);
+        }
+        if (take("every", &v)) {
+          if (!ParseDouble(v, &d) || d <= 0.0) {
+            return ParseError(i, piece, "bad every=\"" + v + "\"");
+          }
+          ev.every = Seconds(d);
+        }
+        break;
+      case FaultKind::kPartition:
+        ev.duration = kDefaultDuration;
+        ev.factor = kPartitionFactor;
+        if (take("for", &v)) {
+          if (!ParseDouble(v, &d)) return ParseError(i, piece, "bad for=\"" + v + "\"");
+          ev.duration = Seconds(d);
+        }
+        break;
+    }
+    if (!kv.empty()) {
+      return ParseError(i, piece, "unknown key \"" + kv.begin()->first + "\" for kind " +
+                                      FaultKindName(kind));
+    }
+    schedule.events_.push_back(std::move(ev));
+  }
+  return schedule;
+}
+
+}  // namespace sdps::chaos

@@ -1,0 +1,84 @@
+// Deterministic fault injection plans. A FaultSchedule is an ordered list
+// of fault events pinned to virtual times; because the DES executes them at
+// exact simulated instants, a faulty run is exactly as reproducible as a
+// fault-free one (same seed => byte-identical telemetry).
+//
+// Spec grammar (`--fault-schedule=`): semicolon-separated events, each
+//   <kind>@<time_s>:<key>=<value>[,<key>=<value>...]
+// with kinds
+//   crash      node=<name>[,restart=<s>]            node down, restart later
+//   straggle   node=<name>[,for=<s>][,factor=<f>]   keep only f of the CPU
+//   gcstorm    node=<name>[,for=<s>][,pause=<ms>][,every=<s>]
+//   degrade    node=<name>[,for=<s>][,factor=<f>]   scale NIC bandwidth to f
+//   partition  node=<name>[,for=<s>]                degrade with factor ~0
+// Node names follow cluster naming: "w0".."wN" (workers), "d0".."dN"
+// (drivers), "master".
+// Example: "crash@60:node=w0,restart=15;straggle@90:node=w1,factor=0.5,for=30"
+#ifndef SDPS_CHAOS_FAULT_SCHEDULE_H_
+#define SDPS_CHAOS_FAULT_SCHEDULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/time_util.h"
+
+namespace sdps::chaos {
+
+enum class FaultKind { kCrash, kStraggle, kGcStorm, kDegrade, kPartition };
+
+const char* FaultKindName(FaultKind kind);
+
+/// One scheduled fault. Which fields are meaningful depends on `kind`; the
+/// builders and the parser fill in per-kind defaults for the rest.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  std::string node;           // "w0", "d1", "master"
+  SimTime at = 0;             // injection time
+  SimTime duration = 0;       // straggle/gcstorm/degrade/partition extent
+  SimTime restart_delay = 0;  // crash: downtime before the node restarts
+  double factor = 1.0;        // straggle: CPU fraction kept; degrade: bandwidth kept
+  SimTime pause = 0;          // gcstorm: length of each stop-the-world pause
+  SimTime every = 0;          // gcstorm: pause period
+
+  /// [start, end] interval during which this fault perturbs the SUT.
+  std::pair<SimTime, SimTime> Window() const;
+};
+
+/// An ordered fault plan. Build programmatically via the fluent methods or
+/// parse from a spec string; `ToSpec()` round-trips either way.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  FaultSchedule& Crash(std::string node, SimTime at, SimTime restart_delay);
+  FaultSchedule& Straggle(std::string node, SimTime at, SimTime duration, double factor);
+  FaultSchedule& GcStorm(std::string node, SimTime at, SimTime duration, SimTime pause,
+                         SimTime every);
+  FaultSchedule& Degrade(std::string node, SimTime at, SimTime duration, double factor);
+  FaultSchedule& Partition(std::string node, SimTime at, SimTime duration);
+
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// The union of per-event perturbation windows, sorted by start time.
+  /// Used by the BackpressureMonitor to excuse fault-local degradation.
+  std::vector<std::pair<SimTime, SimTime>> FaultWindows() const;
+
+  /// Serializes back to the spec grammar (stable field order).
+  std::string ToSpec() const;
+
+  /// Parses the `--fault-schedule=` grammar documented above. Errors name
+  /// the offending event and key.
+  static Result<FaultSchedule> Parse(const std::string& spec);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace sdps::chaos
+
+#endif  // SDPS_CHAOS_FAULT_SCHEDULE_H_

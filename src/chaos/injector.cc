@@ -1,0 +1,93 @@
+#include "chaos/injector.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace sdps::chaos {
+
+Status FaultInjector::Install() {
+  if (schedule_.empty()) return Status::OK();
+  // Validate everything before scheduling anything, so a bad spec cannot
+  // leave a half-installed plan.
+  for (const FaultEvent& ev : schedule_.events()) {
+    if (cluster_.FindNode(ev.node) == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("fault-schedule: unknown node \"%s\" (have w0..w%d, d0..d%d, master)",
+                    ev.node.c_str(), cluster_.num_workers() - 1,
+                    cluster_.num_drivers() - 1));
+    }
+    if (ev.at < 0) {
+      return Status::InvalidArgument(
+          StrFormat("fault-schedule: negative injection time for %s on %s",
+                    FaultKindName(ev.kind), ev.node.c_str()));
+    }
+  }
+  for (const FaultEvent& ev : schedule_.events()) {
+    cluster::Node& node = *cluster_.FindNode(ev.node);
+    switch (ev.kind) {
+      case FaultKind::kCrash:
+        InjectCrash(node, ev);
+        break;
+      case FaultKind::kStraggle:
+        InjectStraggle(node, ev);
+        break;
+      case FaultKind::kGcStorm:
+        InjectGcStorm(node, ev);
+        break;
+      case FaultKind::kDegrade:
+      case FaultKind::kPartition:
+        InjectDegrade(node, ev);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+void FaultInjector::InjectCrash(cluster::Node& node, const FaultEvent& ev) {
+  ++crashes_injected_;
+  cluster::Node* n = &node;
+  const SimTime restart_delay = ev.restart_delay;
+  sim_.ScheduleAt(ev.at, [this, n, restart_delay] {
+    SDPS_LOG(Info) << n->name() << ": CRASH at t=" << ToSeconds(sim_.now())
+                   << "s, restart in " << ToSeconds(restart_delay) << "s";
+    n->Crash();
+    // The machine does no work while down: every slot is seized for the
+    // whole downtime (grabbed as soon as its current burst finishes).
+    n->OccupySlots(n->config().cpu_slots, restart_delay);
+    sim_.ScheduleAfter(restart_delay, [this, n] {
+      SDPS_LOG(Info) << n->name() << ": restart at t=" << ToSeconds(sim_.now()) << "s";
+      n->Restore();
+    });
+  });
+}
+
+void FaultInjector::InjectStraggle(cluster::Node& node, const FaultEvent& ev) {
+  cluster::Node* n = &node;
+  // Keeping `factor` of the CPU means seizing the complement of the slots.
+  const int seize = static_cast<int>(
+      std::lround((1.0 - ev.factor) * n->config().cpu_slots));
+  const SimTime duration = ev.duration;
+  sim_.ScheduleAt(ev.at, [n, seize, duration] {
+    n->OccupySlots(seize, duration);
+  });
+}
+
+void FaultInjector::InjectGcStorm(cluster::Node& node, const FaultEvent& ev) {
+  cluster::Node* n = &node;
+  const SimTime pause = ev.pause;
+  for (SimTime t = ev.at; t < ev.at + ev.duration; t += ev.every) {
+    sim_.ScheduleAt(t, [n, pause] { n->StopTheWorld(pause); });
+  }
+}
+
+void FaultInjector::InjectDegrade(cluster::Node& node, const FaultEvent& ev) {
+  cluster::Node* n = &node;
+  const double factor = ev.factor;
+  sim_.ScheduleAt(ev.at, [this, n, factor] { cluster_.ScaleNodeNicRate(*n, factor); });
+  sim_.ScheduleAt(ev.at + ev.duration,
+                  [this, n] { cluster_.ScaleNodeNicRate(*n, 1.0); });
+}
+
+}  // namespace sdps::chaos

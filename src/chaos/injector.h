@@ -1,0 +1,54 @@
+// Turns a FaultSchedule into concrete DES events against a Cluster.
+//
+// Crash downtime and straggler slow-down are modelled by seizing CPU slots
+// (the same mechanism as the stop-the-world GC pause): engine coroutines
+// are never torn down — they simply cannot obtain CPU while the node is
+// down, and the node's crash epoch + listener callbacks let each engine
+// model discard and restore state per its real recovery semantics.
+//
+// An empty schedule installs nothing at all: no DES events, no callbacks,
+// no counters — a run with an empty schedule is bit-identical to a run
+// without an injector.
+#ifndef SDPS_CHAOS_INJECTOR_H_
+#define SDPS_CHAOS_INJECTOR_H_
+
+#include <utility>
+#include <vector>
+
+#include "chaos/fault_schedule.h"
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "des/simulator.h"
+
+namespace sdps::chaos {
+
+class FaultInjector {
+ public:
+  FaultInjector(des::Simulator& sim, cluster::Cluster& cluster, FaultSchedule schedule)
+      : sim_(sim), cluster_(cluster), schedule_(std::move(schedule)) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Validates node names and schedules every event. Call once, before the
+  /// simulation runs. No-op (and always OK) for an empty schedule.
+  Status Install();
+
+  const FaultSchedule& schedule() const { return schedule_; }
+  int crashes_injected() const { return crashes_injected_; }
+
+ private:
+  void InjectCrash(cluster::Node& node, const FaultEvent& ev);
+  void InjectStraggle(cluster::Node& node, const FaultEvent& ev);
+  void InjectGcStorm(cluster::Node& node, const FaultEvent& ev);
+  void InjectDegrade(cluster::Node& node, const FaultEvent& ev);
+
+  des::Simulator& sim_;
+  cluster::Cluster& cluster_;
+  FaultSchedule schedule_;
+  int crashes_injected_ = 0;
+};
+
+}  // namespace sdps::chaos
+
+#endif  // SDPS_CHAOS_INJECTOR_H_

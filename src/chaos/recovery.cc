@@ -1,0 +1,75 @@
+#include "chaos/recovery.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace sdps::chaos {
+
+void RecoveryTracker::NoteCrashWindow(SimTime crash_time, SimTime restart_time) {
+  if (crash_time_ >= 0) return;  // first crash drives the headline metrics
+  crash_time_ = crash_time;
+  restart_time_ = restart_time;
+}
+
+void RecoveryTracker::Observe(const engine::OutputRecord& out, SimTime now) {
+  ++outputs_total_;
+  const OutputId id{out.key, out.window_end, out.max_event_time,
+                    std::bit_cast<uint32_t>(static_cast<float>(out.value))};
+  ++counts_[id];
+  ++outputs_per_second_[now / kMicrosPerSecond];
+  if (restart_time_ >= 0 && now >= restart_time_ && first_output_after_ < 0) {
+    first_output_after_ = now;
+  }
+  if (prev_emit_ >= 0 && crash_time_ >= 0 && now >= crash_time_) {
+    // Inter-emit gap whose end falls at/after the crash: the output stall
+    // caused by the fault shows up as the max of these.
+    max_gap_ = std::max(max_gap_, now - prev_emit_);
+  }
+  prev_emit_ = now;
+}
+
+RecoveryStats RecoveryTracker::Finalize(SimTime start, SimTime end) const {
+  RecoveryStats stats;
+  stats.crash_time = crash_time_;
+  stats.restart_time = restart_time_;
+  stats.first_output_after = first_output_after_;
+  if (crash_time_ >= 0 && first_output_after_ >= 0) {
+    stats.recovery_time = first_output_after_ - crash_time_;
+  }
+  stats.output_gap = max_gap_;
+  // A stall still running at end-of-measurement counts up to the horizon.
+  if (crash_time_ >= 0 && prev_emit_ >= 0 && end > prev_emit_) {
+    stats.output_gap = std::max(stats.output_gap, end - prev_emit_);
+  }
+  stats.outputs_total = outputs_total_;
+
+  for (const auto& [id, count] : counts_) {
+    uint64_t expected = 1;
+    if (has_oracle_) {
+      const auto it = oracle_.find(id);
+      expected = it == oracle_.end() ? 0 : it->second;
+    }
+    if (count > expected) stats.duplicates += count - expected;
+  }
+  if (has_oracle_) {
+    for (const auto& [id, expected] : oracle_) {
+      const auto it = counts_.find(id);
+      const uint64_t seen = it == counts_.end() ? 0 : it->second;
+      if (expected > seen) stats.lost += expected - seen;
+    }
+  }
+
+  const int64_t first_bucket = start / kMicrosPerSecond;
+  const int64_t last_bucket = (end - 1) / kMicrosPerSecond;
+  if (last_bucket >= first_bucket && outputs_total_ > 0) {
+    int64_t occupied = 0;
+    for (const auto& [bucket, n] : outputs_per_second_) {
+      if (bucket >= first_bucket && bucket <= last_bucket) ++occupied;
+    }
+    stats.availability = static_cast<double>(occupied) /
+                         static_cast<double>(last_bucket - first_bucket + 1);
+  }
+  return stats;
+}
+
+}  // namespace sdps::chaos

@@ -1,0 +1,83 @@
+// Recovery metrics for faulty runs: how long until output resumes after a
+// crash, how large the output stall is, and whether the engine honoured its
+// delivery guarantee (duplicates / losses vs an exactly-once oracle).
+//
+// The tracker observes every sink emission (wired up by the driver only
+// when a fault schedule is present, so fault-free runs pay nothing) and
+// counts outputs by identity (key, window-max-event-time, value bits).
+// Because the DES is deterministic, a fault-free run with the same seed is
+// a perfect exactly-once oracle: feed its output multiset to SetOracle()
+// and `lost` becomes exact, not statistical.
+#ifndef SDPS_CHAOS_RECOVERY_H_
+#define SDPS_CHAOS_RECOVERY_H_
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "common/time_util.h"
+#include "engine/record.h"
+
+namespace sdps::chaos {
+
+struct RecoveryStats {
+  SimTime crash_time = -1;          // first crash injection (-1: none)
+  SimTime restart_time = -1;        // matching restart
+  SimTime first_output_after = -1;  // first sink emit at/after restart
+  SimTime recovery_time = -1;       // first_output_after - crash_time
+  SimTime output_gap = 0;           // max inter-emit gap from crash onward
+  uint64_t duplicates = 0;          // outputs seen more often than the oracle
+  uint64_t lost = 0;                // oracle outputs never seen (0 w/o oracle)
+  uint64_t outputs_total = 0;       // sink emissions observed
+  double availability = 1.0;        // fraction of 1s buckets with >=1 output
+};
+
+class RecoveryTracker {
+ public:
+  /// Output identity: key, window end, window max-event-time, and the
+  /// value rounded through float precision. The window end distinguishes
+  /// overlapping sliding windows whose contents for a key coincide (their
+  /// outputs are otherwise byte-identical). Exactly-once engines emit each
+  /// identity exactly once per run (aggregation; the join can emit one
+  /// identity per matched pair — compare against an oracle there). The
+  /// float round-trip absorbs ULP-level noise from floating-point sums
+  /// accumulated in a different order after a replay (double noise is
+  /// ~2^-52 relative, far below float's 2^-23 grid), while any genuinely
+  /// different aggregate — e.g. a refired window missing tuples — still
+  /// differs by whole prices.
+  using OutputId = std::tuple<uint64_t, SimTime, SimTime, uint32_t>;
+  using OutputCounts = std::map<OutputId, uint64_t>;
+
+  /// Registers the crash window [crash, restart] the stats are measured
+  /// against. Only the first registered window drives recovery_time.
+  void NoteCrashWindow(SimTime crash_time, SimTime restart_time);
+
+  /// Sink hook: called on every output emission.
+  void Observe(const engine::OutputRecord& out, SimTime now);
+
+  /// Installs the exactly-once oracle (the output counts of a fault-free
+  /// run with identical seed/config). Enables the `lost` metric.
+  void SetOracle(OutputCounts expected) { oracle_ = std::move(expected); has_oracle_ = true; }
+
+  /// The observed output multiset, for use as another run's oracle.
+  const OutputCounts& observed() const { return counts_; }
+
+  /// Computes the final stats over the measurement interval [start, end].
+  RecoveryStats Finalize(SimTime start, SimTime end) const;
+
+ private:
+  OutputCounts counts_;
+  OutputCounts oracle_;
+  bool has_oracle_ = false;
+  SimTime crash_time_ = -1;
+  SimTime restart_time_ = -1;
+  SimTime first_output_after_ = -1;
+  SimTime prev_emit_ = -1;
+  SimTime max_gap_ = 0;
+  uint64_t outputs_total_ = 0;
+  std::map<int64_t, uint64_t> outputs_per_second_;
+};
+
+}  // namespace sdps::chaos
+
+#endif  // SDPS_CHAOS_RECOVERY_H_

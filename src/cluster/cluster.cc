@@ -79,4 +79,26 @@ int64_t Cluster::NodeNetworkBytes(const Node& node) const {
   return n.in->bytes_transferred() + n.out->bytes_transferred();
 }
 
+Node* Cluster::FindNode(const std::string& name) {
+  if (name == "master") return master_.get();
+  if (name.size() < 2) return nullptr;
+  const char group = name[0];
+  if (group != 'w' && group != 'd') return nullptr;
+  int index = 0;
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return nullptr;
+    index = index * 10 + (name[i] - '0');
+  }
+  if (group == 'w') {
+    return index < num_workers() ? workers_[static_cast<size_t>(index)].get() : nullptr;
+  }
+  return index < num_drivers() ? drivers_[static_cast<size_t>(index)].get() : nullptr;
+}
+
+void Cluster::ScaleNodeNicRate(const Node& node, double scale) {
+  const Nic& n = nic(node);
+  n.in->set_rate_scale(scale);
+  n.out->set_rate_scale(scale);
+}
+
 }  // namespace sdps::cluster

@@ -52,6 +52,14 @@ class Cluster {
   /// Total bytes that crossed each node's NIC (in + out), for Fig. 10.
   int64_t NodeNetworkBytes(const Node& node) const;
 
+  /// Looks up a node by its chaos-spec name ("w0".."wN", "d0".."dN",
+  /// "master"). Returns nullptr for unknown names.
+  Node* FindNode(const std::string& name);
+
+  /// Chaos injection: scales both directions of `node`'s NIC (1.0 =
+  /// nominal). See Link::set_rate_scale for the in-flight-transfer caveat.
+  void ScaleNodeNicRate(const Node& node, double scale);
+
   /// Trunk counters (ingest direction = driver -> worker).
   const Link& trunk_ingest() const { return *trunk_ingest_; }
   const Link& trunk_egress() const { return *trunk_egress_; }

@@ -4,8 +4,10 @@ namespace sdps::cluster {
 
 des::Task<> Link::Transfer(int64_t bytes) {
   SDPS_CHECK_GE(bytes, 0);
+  // rate_scale_ is exactly 1.0 outside fault windows, so the multiply is an
+  // IEEE-754 identity and fault-free runs stay bit-identical to pre-chaos.
   const SimTime tx = static_cast<SimTime>(
-      std::llround(static_cast<double>(bytes) / bytes_per_sec_ * 1e6));
+      std::llround(static_cast<double>(bytes) / (bytes_per_sec_ * rate_scale_) * 1e6));
   co_await line_.Use(tx);
   bytes_transferred_ += bytes;
   if (latency_ > 0) co_await des::Delay(sim_, latency_);

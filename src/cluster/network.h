@@ -42,6 +42,16 @@ class Link {
 
   double bytes_per_sec() const { return bytes_per_sec_; }
 
+  /// Chaos injection: scales the effective transmission rate (1.0 =
+  /// nominal). Applies to transfers *started* after the call; transfers
+  /// already on the line keep the rate they were admitted with, matching
+  /// the store-and-forward model.
+  void set_rate_scale(double scale) {
+    SDPS_CHECK_GT(scale, 0.0);
+    rate_scale_ = scale;
+  }
+  double rate_scale() const { return rate_scale_; }
+
   /// Busy-time integral of the line (for utilisation probes).
   double BusyIntegral() const { return line_.BusyIntegral(); }
 
@@ -49,6 +59,7 @@ class Link {
   des::Simulator& sim_;
   des::Resource line_;
   double bytes_per_sec_;
+  double rate_scale_ = 1.0;
   SimTime latency_;
   int64_t bytes_transferred_ = 0;
 };

@@ -46,9 +46,42 @@ void Node::StopTheWorld(SimTime pause) {
     tracer.Span(tracer.Track(name_, "gc"), "gc.pause", sim_.now(), sim_.now() + pause,
                 "pause_ms", ToMillis(pause));
   }
-  for (int i = 0; i < config_.cpu_slots; ++i) {
-    sim_.Spawn(OccupySlot(cpu_, pause));
+  OccupySlots(config_.cpu_slots, pause);
+}
+
+void Node::OccupySlots(int slots, SimTime duration) {
+  SDPS_CHECK_GE(slots, 0);
+  SDPS_CHECK_LE(slots, config_.cpu_slots);
+  for (int i = 0; i < slots; ++i) {
+    sim_.Spawn(OccupySlot(cpu_, duration));
   }
+}
+
+void Node::Crash() {
+  SDPS_CHECK(up_) << name_ << ": Crash() while already down";
+  up_ = false;
+  ++crash_epoch_;
+  static obs::Counter* crashes =
+      obs::Registry::Default().GetCounter("cluster.chaos.crashes");
+  crashes->Add(1);
+  obs::Tracer& tracer = obs::Tracer::Default();
+  if (tracer.enabled()) {
+    tracer.Instant(tracer.Track(name_, "chaos"), "node.crash", sim_.now());
+  }
+  for (auto& fn : on_crash_) fn(*this);
+}
+
+void Node::Restore() {
+  SDPS_CHECK(!up_) << name_ << ": Restore() while up";
+  up_ = true;
+  static obs::Counter* restarts =
+      obs::Registry::Default().GetCounter("cluster.chaos.restarts");
+  restarts->Add(1);
+  obs::Tracer& tracer = obs::Tracer::Default();
+  if (tracer.enabled()) {
+    tracer.Instant(tracer.Track(name_, "chaos"), "node.restart", sim_.now());
+  }
+  for (auto& fn : on_restart_) fn(*this);
 }
 
 }  // namespace sdps::cluster

@@ -5,8 +5,10 @@
 #define SDPS_CLUSTER_NODE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "common/time_util.h"
@@ -71,8 +73,32 @@ class Node {
   /// each slot is grabbed as soon as its current task finishes).
   void StopTheWorld(SimTime pause);
 
+  /// Occupies `slots` CPU slots for `duration`, each grabbed as soon as its
+  /// current task finishes. Building block for GC pauses, crash downtime,
+  /// and straggler throttling (chaos injection).
+  void OccupySlots(int slots, SimTime duration);
+
   /// Total stop-the-world pause time injected so far.
   SimTime total_gc_pause() const { return total_gc_pause_; }
+
+  // -- Crash / restart (chaos injection) -----------------------------------
+  //
+  // A crash does not tear coroutines down (the DES has no preemption);
+  // instead the node's epoch advances and registered listeners let each
+  // engine model discard/restore state the way its real counterpart would.
+  // The injector models the downtime itself by seizing every CPU slot.
+
+  bool up() const { return up_; }
+  /// Number of crashes so far; engine tasks compare epochs to detect that
+  /// a crash happened while they were suspended.
+  int64_t crash_epoch() const { return crash_epoch_; }
+  /// Marks the node down and notifies crash listeners.
+  void Crash();
+  /// Marks the node up again and notifies restart listeners.
+  void Restore();
+  /// Registers a callback invoked synchronously from Crash() / Restore().
+  void OnCrash(std::function<void(Node&)> fn) { on_crash_.push_back(std::move(fn)); }
+  void OnRestart(std::function<void(Node&)> fn) { on_restart_.push_back(std::move(fn)); }
 
   des::Simulator& sim() { return sim_; }
 
@@ -86,6 +112,10 @@ class Node {
   int64_t memory_used_ = 0;
   int64_t allocated_since_gc_ = 0;
   SimTime total_gc_pause_ = 0;
+  bool up_ = true;
+  int64_t crash_epoch_ = 0;
+  std::vector<std::function<void(Node&)>> on_crash_;
+  std::vector<std::function<void(Node&)>> on_restart_;
 };
 
 }  // namespace sdps::cluster

@@ -1,0 +1,135 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace sdps {
+
+FlagParser& FlagParser::AddSwitch(std::string name, bool* out, std::string help) {
+  SDPS_CHECK(out != nullptr);
+  flags_.push_back({std::move(name), Kind::kSwitch, std::move(help)});
+  flags_.back().bool_out = out;
+  return *this;
+}
+
+FlagParser& FlagParser::AddString(std::string name, std::string* out, std::string help) {
+  SDPS_CHECK(out != nullptr);
+  flags_.push_back({std::move(name), Kind::kString, std::move(help)});
+  flags_.back().string_out = out;
+  return *this;
+}
+
+FlagParser& FlagParser::AddInt(std::string name, int* out, std::string help) {
+  SDPS_CHECK(out != nullptr);
+  flags_.push_back({std::move(name), Kind::kInt, std::move(help)});
+  flags_.back().int_out = out;
+  return *this;
+}
+
+FlagParser& FlagParser::AddDouble(std::string name, double* out, std::string help) {
+  SDPS_CHECK(out != nullptr);
+  flags_.push_back({std::move(name), Kind::kDouble, std::move(help)});
+  flags_.back().double_out = out;
+  return *this;
+}
+
+const FlagParser::Flag* FlagParser::Find(std::string_view name) const {
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+Status FlagParser::Assign(const Flag& flag, const std::string& value) const {
+  switch (flag.kind) {
+    case Kind::kSwitch:
+      return Status::InvalidArgument(
+          StrFormat("flag %s is a switch and takes no value", flag.name.c_str()));
+    case Kind::kString:
+      *flag.string_out = value;
+      return Status::OK();
+    case Kind::kInt: {
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0') {
+        return Status::InvalidArgument(StrFormat("flag %s: '%s' is not an integer",
+                                                 flag.name.c_str(), value.c_str()));
+      }
+      *flag.int_out = static_cast<int>(parsed);
+      return Status::OK();
+    }
+    case Kind::kDouble: {
+      char* end = nullptr;
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (value.empty() || end == nullptr || *end != '\0') {
+        return Status::InvalidArgument(StrFormat("flag %s: '%s' is not a number",
+                                                 flag.name.c_str(), value.c_str()));
+      }
+      *flag.double_out = parsed;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable flag kind");
+}
+
+Status FlagParser::Parse(int argc, char* const* argv) const {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument(
+          StrFormat("unexpected positional argument '%s'", arg.c_str()));
+    }
+    const size_t eq = arg.find('=');
+    const std::string name = eq == std::string::npos ? arg : arg.substr(0, eq);
+    const Flag* flag = Find(name);
+    if (flag == nullptr) {
+      return Status::InvalidArgument(StrFormat("unknown flag '%s'", name.c_str()));
+    }
+    if (flag->kind == Kind::kSwitch) {
+      if (eq != std::string::npos) {
+        return Status::InvalidArgument(
+            StrFormat("flag %s is a switch and takes no value", flag->name.c_str()));
+      }
+      *flag->bool_out = true;
+      continue;
+    }
+    std::string value;
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("flag %s requires a value", flag->name.c_str()));
+    }
+    SDPS_RETURN_IF_ERROR(Assign(*flag, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage(std::string_view prog) const {
+  std::string out = "usage: ";
+  out += prog;
+  out += " [flags]\n";
+  for (const Flag& flag : flags_) {
+    out += "  ";
+    out += flag.name;
+    switch (flag.kind) {
+      case Kind::kSwitch: break;
+      case Kind::kString: out += "=STR"; break;
+      case Kind::kInt: out += "=INT"; break;
+      case Kind::kDouble: out += "=NUM"; break;
+    }
+    out += "\n      ";
+    out += flag.help;
+    out += "\n";
+  }
+  out +=
+      "  --trace=FILE / --metrics=FILE / --metrics-csv=FILE / --lineage-csv=FILE\n"
+      "      telemetry dumps (see TelemetryScope)\n";
+  return out;
+}
+
+}  // namespace sdps

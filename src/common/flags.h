@@ -1,0 +1,62 @@
+// Minimal strict command-line flag parsing for the bench binaries.
+//
+// Every benchmark accepts a declared set of flags and nothing else: an
+// unknown flag, a malformed value, or a stray positional argument is an
+// InvalidArgument error naming the offender, and the binary exits
+// non-zero with usage text — mistyping "--smkoe" must not silently run
+// the full-scale experiment.
+//
+// Supported forms: switches ("--smoke") and valued flags as either
+// "--rate=2e6" or "--rate 2e6".
+#ifndef SDPS_COMMON_FLAGS_H_
+#define SDPS_COMMON_FLAGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sdps {
+
+class FlagParser {
+ public:
+  /// A boolean switch: present => true. A value ("--smoke=x") is an error.
+  FlagParser& AddSwitch(std::string name, bool* out, std::string help);
+  /// A string-valued flag; the raw value is stored as-is.
+  FlagParser& AddString(std::string name, std::string* out, std::string help);
+  /// An integer flag; the value must parse completely.
+  FlagParser& AddInt(std::string name, int* out, std::string help);
+  /// A floating-point flag; the value must parse completely ("2e6" ok).
+  FlagParser& AddDouble(std::string name, double* out, std::string help);
+
+  /// Parses argv[1..argc). Stops at the first problem: unknown flag,
+  /// missing or malformed value, value on a switch, or a positional
+  /// argument. On error the outputs already assigned keep their values.
+  Status Parse(int argc, char* const* argv) const;
+
+  /// One line per declared flag, plus the telemetry flags every bench
+  /// accepts (consumed earlier by TelemetryScope).
+  std::string Usage(std::string_view prog) const;
+
+ private:
+  enum class Kind { kSwitch, kString, kInt, kDouble };
+  struct Flag {
+    std::string name;  // including the leading "--"
+    Kind kind;
+    std::string help;
+    bool* bool_out = nullptr;
+    std::string* string_out = nullptr;
+    int* int_out = nullptr;
+    double* double_out = nullptr;
+  };
+
+  const Flag* Find(std::string_view name) const;
+  Status Assign(const Flag& flag, const std::string& value) const;
+
+  std::vector<Flag> flags_;
+};
+
+}  // namespace sdps
+
+#endif  // SDPS_COMMON_FLAGS_H_

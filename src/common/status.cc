@@ -13,6 +13,7 @@ std::string_view StatusCodeToString(StatusCode code) {
     case StatusCode::kAborted: return "Aborted";
     case StatusCode::kUnimplemented: return "Unimplemented";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }

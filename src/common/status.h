@@ -23,6 +23,7 @@ enum class StatusCode : int {
   kAborted = 6,             // experiment halted (e.g., SUT dropped connection)
   kUnimplemented = 7,
   kInternal = 8,
+  kDeadlineExceeded = 9,    // watchdog tripped (wedged trial)
 };
 
 /// Returns the canonical name for a code, e.g. "InvalidArgument".
@@ -66,6 +67,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -82,6 +86,7 @@ class Status {
   bool IsAborted() const { return code() == StatusCode::kAborted; }
   bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,5 +1,6 @@
 #include "driver/backpressure.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/strings.h"
@@ -15,6 +16,13 @@ BackpressureMonitor::BackpressureMonitor(des::Simulator& sim,
     : sim_(sim), queues_(std::move(queues)), sink_(sink), config_(config) {}
 
 void BackpressureMonitor::Start() { sim_.Spawn(Probe()); }
+
+bool BackpressureMonitor::InFaultWindow(SimTime t) const {
+  for (const auto& [start, end] : config_.fault_windows) {
+    if (t >= start && t <= end + config_.fault_grace) return true;
+  }
+  return false;
+}
 
 des::Task<> BackpressureMonitor::Probe() {
   static obs::Gauge* depth_gauge =
@@ -49,6 +57,13 @@ des::Task<> BackpressureMonitor::Probe() {
     }
 
     if (static_cast<double>(backlog) > hard_limit_tuples) {
+      if (InFaultWindow(now)) {
+        // A fault is (or just was) perturbing the SUT: a backlog spike here
+        // is the fault's signature, not an unsustainable offered rate. Keep
+        // running; the post-fault slope fit decides whether it drains.
+        indicator_.hard_limit_excused = true;
+        continue;
+      }
       indicator_.hard_limit_hit = true;
       obs::Tracer& tracer = obs::Tracer::Default();
       if (tracer.enabled()) {
@@ -79,8 +94,14 @@ BackpressureMonitor::Judgement BackpressureMonitor::Judge(
   // Post-warmup backlog trend over the full indicator series (the
   // trailing-window slope series is a live signal; the verdict uses the
   // whole post-warmup fit, matching the paper's "prolonged" wording).
+  // With fault windows, the fit starts only after the last window has had
+  // its grace period — recovery transients must not read as overload.
+  SimTime slope_start = config_.warmup_end;
+  for (const auto& [start, end] : config_.fault_windows) {
+    slope_start = std::max(slope_start, end + config_.fault_grace);
+  }
   const double slope = indicator_.backlog.SlopePerSecondInRange(
-      config_.warmup_end, std::numeric_limits<SimTime>::max());
+      slope_start, std::numeric_limits<SimTime>::max());
   double backlog_end = 0.0;
   for (auto it = indicator_.backlog.samples().rbegin();
        it != indicator_.backlog.samples().rend(); ++it) {
@@ -103,7 +124,15 @@ BackpressureMonitor::Judgement BackpressureMonitor::Judge(
     return judgement;
   }
   judgement.sustainable = true;
-  judgement.verdict = "sustained";
+  if (indicator_.hard_limit_excused) {
+    judgement.degraded = true;
+    judgement.verdict = StrFormat(
+        "degraded: backlog exceeded hard limit (%.0fs of offered data) during fault "
+        "injection but drained",
+        config_.backlog_hard_limit_s);
+  } else {
+    judgement.verdict = "sustained";
+  }
   return judgement;
 }
 

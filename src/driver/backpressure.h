@@ -12,6 +12,7 @@
 #define SDPS_DRIVER_BACKPRESSURE_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -39,6 +40,9 @@ struct SustainabilityIndicator {
   TimeSeries sink_latency_slope;
   /// The backlog crossed the hard limit and the run was stopped early.
   bool hard_limit_hit = false;
+  /// The backlog crossed the hard limit inside a fault window (+ grace):
+  /// excused as fault-local degradation, the run kept going.
+  bool hard_limit_excused = false;
 };
 
 struct BackpressureConfig {
@@ -52,6 +56,13 @@ struct BackpressureConfig {
   double backlog_hard_limit_s = 10.0;
   double backlog_end_limit_s = 2.0;
   double backlog_slope_frac = 0.05;
+  /// Fault-perturbation intervals (chaos::FaultSchedule::FaultWindows()).
+  /// Inside a window (+ `fault_grace`), a hard-limit crossing is excused
+  /// as degradation instead of stopping the run, and the end-of-run slope
+  /// fit starts only after the last window has drained. Empty (the
+  /// default) leaves every judgement bit-identical to a fault-free build.
+  std::vector<std::pair<SimTime, SimTime>> fault_windows;
+  SimTime fault_grace = Seconds(15);
 };
 
 class BackpressureMonitor {
@@ -72,6 +83,9 @@ class BackpressureMonitor {
   struct Judgement {
     bool sustainable = false;
     std::string verdict;
+    /// Sustainable, but only thanks to fault-window excusal (the backlog
+    /// spiked past the hard limit during injection and later drained).
+    bool degraded = false;
   };
 
   /// End-of-run Definition-5 judgement, in fixed precedence order:
@@ -80,6 +94,7 @@ class BackpressureMonitor {
 
  private:
   des::Task<> Probe();
+  bool InFaultWindow(SimTime t) const;
 
   des::Simulator& sim_;
   std::vector<DriverQueue*> queues_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "chaos/injector.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "des/task.h"
@@ -35,6 +36,42 @@ des::Task<> ResourceProbe(des::Simulator& sim, cluster::Cluster* cluster,
                           ToSeconds(interval) / 1e6;
       last_bytes[static_cast<size_t>(i)] = bytes;
       (*net)[static_cast<size_t>(i)].Add(sim.now(), mbps);
+    }
+  }
+}
+
+/// Wedged-trial guard: fails the run when the sink makes no progress for
+/// `timeout` outside fault windows (a crash legitimately stalls output;
+/// the injector's windows + grace are treated as progress).
+des::Task<> Watchdog(des::Simulator& sim, const LatencySink* sink, SimTime timeout,
+                     std::vector<std::pair<SimTime, SimTime>> fault_windows,
+                     SimTime fault_grace, std::function<void(Status)> report_failure) {
+  const SimTime poll = std::max<SimTime>(timeout / 4, Millis(50));
+  uint64_t last_outputs = sink->total_outputs();
+  SimTime last_progress = sim.now();
+  for (;;) {
+    co_await des::Delay(sim, poll);
+    const SimTime now = sim.now();
+    bool excused = false;
+    for (const auto& [start, end] : fault_windows) {
+      if (now >= start && now <= end + fault_grace) {
+        excused = true;
+        break;
+      }
+    }
+    const uint64_t outputs = sink->total_outputs();
+    if (outputs != last_outputs || excused) {
+      last_outputs = outputs;
+      last_progress = now;
+      continue;
+    }
+    // Don't trip before the pipeline has ever produced output: the first
+    // window legitimately takes ~window.range to fire.
+    if (last_outputs == 0) continue;
+    if (now - last_progress >= timeout) {
+      report_failure(Status::DeadlineExceeded(
+          StrFormat("watchdog: no sink output for %.1fs", ToSeconds(now - last_progress))));
+      co_return;
     }
   }
 }
@@ -118,6 +155,32 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const SutFactory&
     return result;
   }
 
+  // Fault injection + recovery tracking (sdps::chaos). With an empty
+  // schedule and track_recovery off, nothing below schedules events or
+  // hooks the sink — the run is bit-identical to a fault-free build.
+  chaos::FaultInjector injector(sim, cluster, config.faults);
+  chaos::RecoveryTracker recovery_tracker;
+  const bool track_recovery = config.track_recovery || !config.faults.empty();
+  if (!config.faults.empty()) {
+    const Status inject_status = injector.Install();
+    if (!inject_status.ok()) {
+      result.failure = inject_status;
+      result.verdict = "fault injection failed: " + inject_status.ToString();
+      return result;
+    }
+    for (const chaos::FaultEvent& ev : config.faults.events()) {
+      if (ev.kind == chaos::FaultKind::kCrash) {
+        recovery_tracker.NoteCrashWindow(ev.at, ev.at + ev.restart_delay);
+      }
+    }
+  }
+  if (track_recovery) {
+    sink.set_recovery_tracker(&recovery_tracker);
+    if (config.recovery_oracle != nullptr) {
+      recovery_tracker.SetOracle(*config.recovery_oracle);
+    }
+  }
+
   BackpressureConfig bp_config;
   bp_config.probe_interval = config.probe_interval;
   bp_config.offered_rate =
@@ -126,12 +189,18 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const SutFactory&
   bp_config.backlog_hard_limit_s = config.backlog_hard_limit_s;
   bp_config.backlog_end_limit_s = config.backlog_end_limit_s;
   bp_config.backlog_slope_frac = config.backlog_slope_frac;
+  bp_config.fault_windows = config.faults.FaultWindows();
+  bp_config.fault_grace = config.fault_grace;
   BackpressureMonitor monitor(sim, queue_ptrs, &sink, bp_config);
   monitor.Start();
   result.worker_cpu_util.resize(static_cast<size_t>(cluster.num_workers()));
   result.worker_net_mbps.resize(static_cast<size_t>(cluster.num_workers()));
   sim.Spawn(ResourceProbe(sim, &cluster, &result.worker_cpu_util,
                           &result.worker_net_mbps, config.resource_probe_interval));
+  if (config.watchdog_timeout > 0) {
+    sim.Spawn(Watchdog(sim, &sink, config.watchdog_timeout, bp_config.fault_windows,
+                       config.fault_grace, ctx.report_failure));
+  }
 
   // Run to the horizon plus drain slack so in-flight windows can fire.
   sim.RunUntil(config.duration);
@@ -159,9 +228,15 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const SutFactory&
   result.backlog_series = result.indicator.backlog;
 
   // -- Judge sustainability (Definition 5) -----------------------------------
+  if (track_recovery) {
+    result.recovery = recovery_tracker.Finalize(warmup_end, config.duration);
+    result.observed_outputs = recovery_tracker.observed();
+  }
+
   const BackpressureMonitor::Judgement judgement = monitor.Judge(failure);
   result.sustainable = judgement.sustainable;
   result.verdict = judgement.verdict;
+  result.degraded = judgement.degraded;
   return result;
 }
 

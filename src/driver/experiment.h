@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "chaos/fault_schedule.h"
+#include "chaos/recovery.h"
 #include "cluster/cluster.h"
 #include "cluster/gc.h"
 #include "common/status.h"
@@ -56,6 +58,25 @@ struct ExperimentConfig {
   SimTime resource_probe_interval = Seconds(2);
   /// Optional per-output hook (dashboards/alerting built on the driver).
   std::function<void(const engine::OutputRecord&)> output_listener;
+
+  // -- Fault injection & recovery (sdps::chaos) -------------------------
+  /// Deterministic fault plan. Empty (the default) installs nothing: no
+  /// DES events, no sink hook — the run is bit-identical to a fault-free
+  /// build.
+  chaos::FaultSchedule faults;
+  /// Grace after each fault window during which degradation (backlog
+  /// spikes past the hard limit) is excused rather than judged.
+  SimTime fault_grace = Seconds(15);
+  /// Watchdog: fail the run with DeadlineExceeded when the sink emits no
+  /// output for this long outside fault windows (wedged-trial guard).
+  /// 0 disables (default; keeps runs event-identical to earlier builds).
+  SimTime watchdog_timeout = 0;
+  /// Record output identities even without faults — the fault-free run's
+  /// counts are the exactly-once oracle for a faulty twin run.
+  bool track_recovery = false;
+  /// Oracle from a fault-free twin (same seed/config); enables the exact
+  /// `lost` metric. Must outlive the run.
+  const chaos::RecoveryTracker::OutputCounts* recovery_oracle = nullptr;
 };
 
 struct ExperimentResult {
@@ -89,6 +110,16 @@ struct ExperimentResult {
   std::vector<TimeSeries> worker_net_mbps;
   /// Engine-specific diagnostics (e.g., "scheduler_delay_s" for Spark).
   std::map<std::string, TimeSeries> engine_series;
+
+  /// Recovery metrics (populated when faults were injected or
+  /// `track_recovery` was set).
+  chaos::RecoveryStats recovery;
+  /// Sustainable only thanks to fault-window excusal: the backlog spiked
+  /// past the hard limit during injection but drained afterwards.
+  bool degraded = false;
+  /// Observed output identity counts; a fault-free run's counts serve as
+  /// the `recovery_oracle` of a faulty twin.
+  chaos::RecoveryTracker::OutputCounts observed_outputs;
 };
 
 /// Runs one experiment. `factory` builds the SUT against the freshly

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "chaos/recovery.h"
 #include "common/time_util.h"
 #include "des/simulator.h"
 #include "driver/histogram.h"
@@ -46,6 +47,10 @@ class LatencySink {
     listener_ = std::move(listener);
   }
 
+  /// Optional recovery tracker (sdps::chaos). Observes every output —
+  /// including warmup — so duplicate/lost accounting covers the whole run.
+  void set_recovery_tracker(chaos::RecoveryTracker* tracker) { recovery_ = tracker; }
+
   /// Called by the SUT when an output record arrives back at the driver.
   void Emit(const engine::OutputRecord& out) {
     if (listener_) listener_(out);
@@ -61,6 +66,7 @@ class LatencySink {
       event_time_frontier_ = out.max_event_time;
     }
     obs::LineageTracker::Default().Close(out.lineage, now);
+    if (recovery_ != nullptr) recovery_->Observe(out, now);
     if (now < warmup_end_) return;
     obs_event_latency_->Observe(ToSeconds(event_latency));
     obs_proc_latency_->Observe(ToSeconds(proc_latency));
@@ -107,6 +113,7 @@ class LatencySink {
   obs::QuantileSketch processing_sketch_;
   TimeSeries event_series_;
   TimeSeries processing_series_;
+  chaos::RecoveryTracker* recovery_ = nullptr;
   SimTime event_time_frontier_ = -1;
   uint64_t total_outputs_ = 0;
   uint64_t total_output_tuples_ = 0;

@@ -45,6 +45,67 @@ class DriverQueue {
   uint64_t total_pushed_tuples() const { return pushed_tuples_; }
   uint64_t total_popped_tuples() const { return popped_tuples_; }
 
+  // -- Retained region (fault-tolerant replay, paper III-C: the driver is
+  //    not part of the SUT, so replayable ingest must live here) ----------
+  //
+  // With retention on, every popped record is also kept in a retained
+  // region until the SUT acknowledges it (Flink: checkpoint complete;
+  // Storm: acker flush; Spark: batch committed). After a crash, Replay()
+  // re-delivers every retained-but-unacked record in original order, ahead
+  // of anything still queued.
+
+  /// Enables/disables retention. Engines with recovery enabled turn this
+  /// on at Start(); the default (off) leaves the hot path untouched.
+  void set_retain(bool on) { retain_ = on; }
+  bool retain() const { return retain_; }
+
+  /// Pauses pops (checkpoint quiesce): while paused, Pop suspends even if
+  /// records are buffered and Push never hands off directly. Unpausing
+  /// drains buffered records to parked connections; a Close() that arrived
+  /// while paused is delivered after the drain.
+  void set_paused(bool on) {
+    paused_ = on;
+    if (on) return;
+    DrainToWaiters();
+    if (closed_) {
+      for (PopOp* op : waiters_) sim_.ScheduleResumeAfter(0, op->handle);
+      waiters_.clear();
+    }
+  }
+  bool paused() const { return paused_; }
+
+  /// Monotone count of pop operations (records, not tuples). Snapshot this
+  /// at checkpoint time and pass the snapshot to Ack() on commit.
+  uint64_t popped_records() const { return popped_records_; }
+
+  /// Drops retained records whose pop index is < `upto_popped_records`.
+  void Ack(uint64_t upto_popped_records) {
+    while (!retained_.empty() && retained_base_ < upto_popped_records) {
+      retained_.pop_front();
+      ++retained_base_;
+    }
+  }
+
+  /// Storm-style ack: drops retained records from the front while their
+  /// event time is <= `t`. Conservative at-least-once semantics — a record
+  /// with an early event time sitting behind a newer one stays retained
+  /// and may be replayed (and deduplication is the SUT's problem).
+  void AckThroughEventTime(SimTime t) {
+    while (!retained_.empty() && retained_.front().event_time <= t) {
+      retained_.pop_front();
+      ++retained_base_;
+    }
+  }
+
+  /// Number of retained (popped, unacked) records.
+  size_t retained_records() const { return retained_.size(); }
+
+  /// Re-queues every retained record at the front of the buffer, in the
+  /// original pop order, and clears the retained region (re-pops will
+  /// re-retain them). Lineage ids are stripped so replayed copies do not
+  /// double-close latency samples.
+  void Replay();
+
   class PopAwaiter;
   /// SUT connection side: dequeue the next record, suspending while empty.
   PopAwaiter Pop() { return PopAwaiter(*this); }
@@ -58,26 +119,47 @@ class DriverQueue {
   void AccountPop(const engine::Record& rec) {
     queued_tuples_ -= rec.weight;
     popped_tuples_ += rec.weight;
+    ++popped_records_;
     obs_popped_->Add(rec.weight);
     if (meter_ != nullptr) meter_->Add(sim_.now(), rec.weight);
+    Retain(rec);
   }
+
+  /// Appends to the retained region, keeping retained_base_ == pop index
+  /// of retained_.front() (pops are contiguous, so only the empty->nonempty
+  /// transition needs to re-anchor it, e.g. after Replay()).
+  void Retain(const engine::Record& rec) {
+    if (!retain_) return;
+    if (retained_.empty()) retained_base_ = popped_records_ - 1;
+    retained_.push_back(rec);
+  }
+
+  /// Hands buffered records to parked connections (oldest first). Used by
+  /// Replay() and by set_paused(false).
+  void DrainToWaiters();
 
   des::Simulator& sim_;
   ThroughputMeter* meter_;
   obs::Counter* obs_pushed_;
   obs::Counter* obs_popped_;
   bool closed_ = false;
+  bool retain_ = false;
+  bool paused_ = false;
   std::deque<engine::Record> buffer_;
   std::deque<PopOp*> waiters_;
+  std::deque<engine::Record> retained_;
+  uint64_t retained_base_ = 0;  // pop index of retained_.front()
   uint64_t queued_tuples_ = 0;
   uint64_t pushed_tuples_ = 0;
   uint64_t popped_tuples_ = 0;
+  uint64_t popped_records_ = 0;
 
  public:
   class PopAwaiter {
    public:
     explicit PopAwaiter(DriverQueue& q) : q_(q) {}
     bool await_ready() {
+      if (q_.paused_) return false;  // checkpoint quiesce: park even if nonempty
       if (!q_.buffer_.empty()) {
         op_.value.emplace(q_.buffer_.front());
         q_.buffer_.pop_front();
@@ -107,14 +189,16 @@ inline void DriverQueue::Push(engine::Record rec) {
     rec.lineage =
         obs::LineageTracker::Default().MaybeOpen(rec.event_time, sim_.now());
   }
-  if (!waiters_.empty()) {
+  if (!paused_ && !waiters_.empty()) {
     // Direct hand-off to the oldest waiting connection (never parked where
     // another popper could steal it).
     PopOp* op = waiters_.front();
     waiters_.pop_front();
     popped_tuples_ += rec.weight;
+    ++popped_records_;
     obs_popped_->Add(rec.weight);
     if (meter_ != nullptr) meter_->Add(sim_.now(), rec.weight);
+    Retain(rec);
     // The waiter resumes at +0 ticks, so the pop happens "now".
     obs::LineageTracker::Default().StampPopped(rec.lineage, sim_.now());
     op->value.emplace(rec);
@@ -125,9 +209,41 @@ inline void DriverQueue::Push(engine::Record rec) {
   buffer_.push_back(rec);
 }
 
+inline void DriverQueue::Replay() {
+  // Oldest retained record ends up at buffer_.front().
+  for (auto it = retained_.rbegin(); it != retained_.rend(); ++it) {
+    engine::Record rec = *it;
+    rec.lineage = -1;
+    rec.ingest_time = -1;  // the replayed copy is re-ingested by the SUT
+    queued_tuples_ += rec.weight;
+    buffer_.push_front(rec);
+  }
+  retained_.clear();
+  // A connection may be parked in Pop (it was waiting when the crash hit);
+  // hand replayed records to waiters just like Push does.
+  DrainToWaiters();
+}
+
+inline void DriverQueue::DrainToWaiters() {
+  if (paused_) return;
+  while (!waiters_.empty() && !buffer_.empty()) {
+    PopOp* op = waiters_.front();
+    waiters_.pop_front();
+    engine::Record rec = buffer_.front();
+    buffer_.pop_front();
+    AccountPop(rec);
+    obs::LineageTracker::Default().StampPopped(rec.lineage, sim_.now());
+    op->value.emplace(rec);
+    sim_.ScheduleResumeAfter(0, op->handle);
+  }
+}
+
 inline void DriverQueue::Close() {
   if (closed_) return;
   closed_ = true;
+  // While paused, parked connections may still owe buffered records;
+  // set_paused(false) completes the close hand-off after draining.
+  if (paused_) return;
   for (PopOp* op : waiters_) sim_.ScheduleResumeAfter(0, op->handle);
   waiters_.clear();
 }

@@ -12,7 +12,7 @@ namespace sdps::driver {
 namespace {
 
 Trial RunTrial(const ExperimentConfig& base, const SutFactory& factory,
-               const SearchConfig& search, double rate) {
+               const SearchConfig& search, double rate, int attempt, bool* wedged) {
   static obs::Counter* trials_counter =
       obs::Registry::Default().GetCounter("driver.search.trials");
   trials_counter->Add(1);
@@ -20,13 +20,23 @@ Trial RunTrial(const ExperimentConfig& base, const SutFactory& factory,
   config.total_rate = rate;
   config.rate_profile = nullptr;  // the search always probes constant rates
   config.duration = search.trial_duration;
+  if (search.watchdog_timeout > 0) {
+    // Exponential backoff: each retry gets twice the patience.
+    config.watchdog_timeout = search.watchdog_timeout << attempt;
+  }
+  if (attempt > 0) {
+    // Derived seed: deterministic, but decorrelated from the wedged run.
+    config.seed = base.seed + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(attempt);
+  }
   const uint64_t warnings_before = obs::LogMessageCount(LogLevel::kWarning);
   const uint64_t errors_before = obs::LogMessageCount(LogLevel::kError);
   const ExperimentResult result = RunExperiment(config, factory);
+  *wedged = result.failure.IsDeadlineExceeded();
   Trial trial;
   trial.rate = rate;
   trial.sustainable = result.sustainable;
   trial.verdict = result.verdict;
+  trial.degraded = result.degraded;
   trial.mean_ingest_rate = result.mean_ingest_rate;
   const SustainabilityIndicator& indicator = result.indicator;
   trial.hard_limit_hit = indicator.hard_limit_hit;
@@ -45,9 +55,24 @@ Trial RunTrial(const ExperimentConfig& base, const SutFactory& factory,
     SDPS_LOG(Warning) << "trial " << FormatRateMps(rate) << " emitted "
                       << trial.log_errors << " error log message(s)";
   }
-  SDPS_LOG(Info) << "trial " << FormatRateMps(rate) << " -> "
-                 << (trial.sustainable ? "sustained" : trial.verdict);
+  SDPS_LOG(Info) << "trial " << FormatRateMps(rate) << " -> " << trial.verdict;
   return trial;
+}
+
+/// Runs one trial, retrying wedged (watchdog-killed) attempts up to
+/// `max_trial_retries` times with derived seeds and doubled timeouts.
+Trial RunTrialWithRetry(const ExperimentConfig& base, const SutFactory& factory,
+                        const SearchConfig& search, double rate) {
+  Trial trial;
+  for (int attempt = 0;; ++attempt) {
+    bool wedged = false;
+    trial = RunTrial(base, factory, search, rate, attempt, &wedged);
+    trial.attempts = attempt + 1;
+    if (!wedged || attempt >= search.max_trial_retries) return trial;
+    SDPS_LOG(Warning) << "trial " << FormatRateMps(rate)
+                      << " wedged (watchdog); retry " << (attempt + 1) << "/"
+                      << search.max_trial_retries << " with derived seed";
+  }
 }
 
 }  // namespace
@@ -65,7 +90,7 @@ SearchResult FindSustainableThroughput(const ExperimentConfig& base,
 
   // Phase 1: decrease from a very high rate until the system sustains it.
   for (;;) {
-    Trial trial = RunTrial(base, factory, search, rate);
+    Trial trial = RunTrialWithRetry(base, factory, search, rate);
     result.trials.push_back(trial);
     if (trial.sustainable) break;
     lowest_unsustainable = rate;
@@ -82,7 +107,7 @@ SearchResult FindSustainableThroughput(const ExperimentConfig& base,
   if (lowest_unsustainable > 0) {
     for (int i = 0; i < search.refine_iterations; ++i) {
       const double mid = 0.5 * (highest_sustainable + lowest_unsustainable);
-      Trial trial = RunTrial(base, factory, search, mid);
+      Trial trial = RunTrialWithRetry(base, factory, search, mid);
       result.trials.push_back(trial);
       if (trial.sustainable) {
         highest_sustainable = mid;

@@ -27,6 +27,13 @@ struct SearchConfig {
   /// Search floor — below this the SUT is declared unable to run the
   /// workload at all.
   double min_rate = 1e4;
+  /// Per-trial watchdog: fail a trial with DeadlineExceeded when the sink
+  /// emits nothing for this long (wedged-trial guard). 0 disables.
+  SimTime watchdog_timeout = 0;
+  /// Retries for a watchdog-killed trial, each with a derived seed and a
+  /// doubled watchdog timeout (exponential backoff). A rate is only judged
+  /// unsustainable-by-wedging after every retry wedged too.
+  int max_trial_retries = 0;
 };
 
 struct Trial {
@@ -48,6 +55,11 @@ struct Trial {
   double peak_watermark_lag_s = 0;
   /// Post-warmup least-squares backlog growth, tuples/s.
   double backlog_slope = 0;
+  /// Sustainable only via fault-window excusal (see BackpressureMonitor).
+  bool degraded = false;
+  /// Attempts consumed: > 1 when the watchdog tripped and the trial was
+  /// retried with a derived seed.
+  int attempts = 1;
 };
 
 struct SearchResult {

@@ -50,6 +50,10 @@ struct OutputRecord {
   /// Lineage id of a sampled contributing record (first contributor
   /// wins); -1 when no contributor was sampled.
   int32_t lineage = -1;
+  /// End of the window (or micro-batch boundary) this result was computed
+  /// for. Distinguishes overlapping sliding windows whose contents for a
+  /// key coincide — required for output-identity accounting (sdps::chaos).
+  SimTime window_end = 0;
 };
 
 /// Messages on inter-operator channels: data or watermark.
@@ -59,6 +63,10 @@ struct Message {
   Record record;        // valid when kind == kRecord
   int origin = 0;       // emitting source/instance index (watermarks)
   SimTime watermark = 0;  // valid when kind == kWatermark
+  /// Restore epoch the message was produced in (crash recovery): engines
+  /// that re-establish connections on restart drop messages from earlier
+  /// epochs. Always 0 when recovery is disabled.
+  int64_t epoch = 0;
 
   static Message MakeRecord(Record r) {
     Message m;

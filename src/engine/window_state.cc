@@ -26,7 +26,8 @@ std::vector<OutputRecord> AggWindowState::FireUpTo(SimTime watermark) {
   std::vector<OutputRecord> out;
   while (!windows_.empty()) {
     const auto it = windows_.begin();
-    if (assigner_.WindowEnd(it->first) > watermark) break;
+    const SimTime window_end = assigner_.WindowEnd(it->first);
+    if (window_end > watermark) break;
     min_unfired_window_ = std::max(min_unfired_window_, it->first + 1);
     for (const auto& [key, agg] : it->second) {
       OutputRecord rec;
@@ -36,6 +37,7 @@ std::vector<OutputRecord> AggWindowState::FireUpTo(SimTime watermark) {
       rec.max_event_time = agg.max_event_time;
       rec.max_ingest_time = agg.max_ingest_time;
       rec.lineage = agg.lineage;
+      rec.window_end = window_end;
       out.push_back(rec);
     }
     entries_ -= static_cast<int64_t>(it->second.size());
@@ -69,7 +71,8 @@ BufferedWindowState::Fired BufferedWindowState::FireUpTo(SimTime watermark) {
   Fired fired;
   while (!windows_.empty()) {
     const auto it = windows_.begin();
-    if (assigner_.WindowEnd(it->first) > watermark) break;
+    const SimTime window_end = assigner_.WindowEnd(it->first);
+    if (window_end > watermark) break;
     min_unfired_window_ = std::max(min_unfired_window_, it->first + 1);
     // Bulk evaluation: scan every buffered record of the window.
     std::unordered_map<uint64_t, WindowKeyAgg> aggs;
@@ -87,6 +90,7 @@ BufferedWindowState::Fired BufferedWindowState::FireUpTo(SimTime watermark) {
       rec.max_event_time = agg.max_event_time;
       rec.max_ingest_time = agg.max_ingest_time;
       rec.lineage = agg.lineage;
+      rec.window_end = window_end;
       fired.outputs.push_back(rec);
     }
     buffered_tuples_ -= window_tuples;
@@ -131,7 +135,8 @@ JoinWindowState::Fired JoinWindowState::FireUpTo(SimTime watermark) {
   Fired fired;
   while (!windows_.empty()) {
     const auto it = windows_.begin();
-    if (assigner_.WindowEnd(it->first) > watermark) break;
+    const SimTime window_end = assigner_.WindowEnd(it->first);
+    if (window_end > watermark) break;
     min_unfired_window_ = std::max(min_unfired_window_, it->first + 1);
     SideBuffers& side = it->second;
     // Hash join: build on ads, probe with purchases.
@@ -154,6 +159,7 @@ JoinWindowState::Fired JoinWindowState::FireUpTo(SimTime watermark) {
         rec.max_ingest_time = side.max_ingest_time;
         rec.weight = p.weight;
         rec.lineage = p.lineage >= 0 ? p.lineage : ad->lineage;
+        rec.window_end = window_end;
         fired.outputs.push_back(rec);
         fired.join_work += p.weight;
       }

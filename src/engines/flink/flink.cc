@@ -1,7 +1,10 @@
 #include "engines/flink/flink.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -77,6 +80,48 @@ class FlinkSut : public driver::Sut {
     obs_checkpoints_ = obs::Registry::Default().GetCounter(
         "engine.checkpoint.snapshots", {{"engine", name()}});
 
+    if (config_.recovery_enabled && config_.checkpoint_interval <= 0) {
+      return Status::InvalidArgument(
+          "flink: recovery_enabled requires checkpoint_interval > 0");
+    }
+    recovery_ = config_.recovery_enabled;
+    if (recovery_) {
+      for (auto* q : ctx.queues) q->set_retain(true);
+      const engine::WindowAssigner assigner(config_.query.window);
+      const bool agg = config_.query.kind == engine::QueryKind::kAggregation;
+      for (int t = 0; t < num_tasks_; ++t) {
+        if (agg) {
+          task_agg_.emplace_back(assigner);
+        } else {
+          task_join_.emplace_back(assigner);
+        }
+        task_trackers_.emplace_back(num_queues_);
+      }
+      task_commit_id_.assign(static_cast<size_t>(num_tasks_), 0);
+      task_done_.assign(static_cast<size_t>(num_tasks_), 0);
+      wm_last_sent_.assign(static_cast<size_t>(num_queues_), engine::kNoWatermark);
+      // Checkpoint 0: the empty initial state. A crash before the first
+      // completed checkpoint restores this and replays everything.
+      last_completed_ = std::make_unique<Checkpoint>();
+      last_completed_->cursors.assign(static_cast<size_t>(num_queues_), 0);
+      last_completed_->queue_max_event.assign(static_cast<size_t>(num_queues_),
+                                              engine::kNoWatermark);
+      for (int t = 0; t < num_tasks_; ++t) {
+        if (agg) {
+          last_completed_->agg.emplace(t, task_agg_[static_cast<size_t>(t)]);
+        } else {
+          last_completed_->join.emplace(t, task_join_[static_cast<size_t>(t)]);
+        }
+        last_completed_->trackers.emplace(t, task_trackers_[static_cast<size_t>(t)]);
+      }
+      obs_restores_ = obs::Registry::Default().GetCounter(
+          "engine.recovery.restores", {{"engine", name()}});
+      for (int w = 0; w < workers; ++w) {
+        cluster.worker(w).OnRestart(
+            [this](cluster::Node&) { RestoreFromCheckpoint(); });
+      }
+    }
+
     for (int s = 0; s < num_sources_; ++s) {
       ctx.sim->Spawn(SourceProcess(s));
     }
@@ -106,6 +151,11 @@ class FlinkSut : public driver::Sut {
     driver::TimeSeries cp_bytes;
     cp_bytes.Add(0, static_cast<double>(snapshot_bytes_total_));
     (*out)["snapshot_bytes"] = cp_bytes;
+    if (recovery_) {
+      driver::TimeSeries restores;
+      restores.Add(0, static_cast<double>(restores_));
+      (*out)["restores"] = restores;
+    }
   }
 
  private:
@@ -131,6 +181,11 @@ class FlinkSut : public driver::Sut {
     for (;;) {
       auto rec = co_await queue.Pop();
       if (!rec.has_value()) break;
+      // Pop-time restore epoch: if a crash hits while this record is in
+      // flight, the receiving task drops the (now stale) message and the
+      // queue replays the record instead.
+      const int64_t rec_epoch = epoch_;
+      if (recovery_) ++in_flight_;
       // Ingest transfer: driver node -> this worker (crosses the trunk).
       co_await ctx_.cluster->Send(queue_node, my_worker, engine::WireBytes(*rec));
       rec->ingest_time = ctx_.sim->now();
@@ -144,10 +199,16 @@ class FlinkSut : public driver::Sut {
         co_await my_worker.cpu().Use(CostUs(config_.remote_serde_cost_us * rec->weight));
         co_await ctx_.cluster->Send(my_worker, target, engine::WireBytes(*rec));
       }
-      if (rec->event_time > queue_max_event) queue_max_event = rec->event_time;
-      if (!co_await channels_[static_cast<size_t>(t)]->Send(Message::MakeRecord(*rec))) {
-        co_return;  // topology shut down
+      // A stale record must not advance the (restored) event-time clock:
+      // its replayed copy re-advances it on the re-pop.
+      if ((!recovery_ || rec_epoch == epoch_) && rec->event_time > queue_max_event) {
+        queue_max_event = rec->event_time;
       }
+      Message msg = Message::MakeRecord(*rec);
+      msg.epoch = rec_epoch;
+      const bool sent = co_await channels_[static_cast<size_t>(t)]->Send(msg);
+      if (recovery_) --in_flight_;
+      if (!sent) co_return;  // topology shut down
     }
     --queue_active_sources_[static_cast<size_t>(queue_idx)];
   }
@@ -156,7 +217,11 @@ class FlinkSut : public driver::Sut {
   /// window task; emits a final watermark (flushing all open windows) once
   /// the connection's sources have drained the queue.
   Task<> WatermarkProcess(int q) {
-    SimTime last_sent = engine::kNoWatermark;
+    // With recovery on, the high-water mark lives in a SUT-owned slot so a
+    // restore can rewind it (forcing a re-broadcast of the restored clock).
+    SimTime local_last_sent = engine::kNoWatermark;
+    SimTime& last_sent =
+        recovery_ ? wm_last_sent_[static_cast<size_t>(q)] : local_last_sent;
     for (;;) {
       co_await des::Delay(*ctx_.sim, config_.watermark_interval);
       if (queue_active_sources_[static_cast<size_t>(q)] == 0) {
@@ -173,6 +238,7 @@ class FlinkSut : public driver::Sut {
   }
 
   Task<> Broadcast(Message msg) {
+    msg.epoch = epoch_;
     for (auto& ch : channels_) {
       if (!co_await ch->Send(msg)) co_return;
     }
@@ -181,11 +247,39 @@ class FlinkSut : public driver::Sut {
   /// Injects checkpoint barriers in-band (simplified aligned-barrier
   /// model: the per-input alignment wait is folded into a fixed stall and
   /// a state-size-proportional synchronous snapshot in each task).
+  ///
+  /// With recovery on, each checkpoint is a consistent cut over the driver
+  /// queues: ingest is paused, in-flight records drain into their
+  /// channels, per-queue pop cursors are captured, and only then does the
+  /// barrier go out — so every record popped before the cursor is ahead of
+  /// the barrier in its channel, and every record popped after is behind
+  /// it. On completion the cursors are acked to the queues.
   Task<> CheckpointCoordinator() {
     for (;;) {
       co_await des::Delay(*ctx_.sim, config_.checkpoint_interval);
       ++checkpoints_started_;
-      co_await Broadcast(Message::MakeWatermark(kBarrierOrigin, 0));
+      if (!recovery_) {
+        co_await Broadcast(Message::MakeWatermark(kBarrierOrigin, 0));
+        continue;
+      }
+      for (auto* q : ctx_.queues) q->set_paused(true);
+      // Always wait at least one poll: a pop handed off at this very
+      // timestamp increments in_flight_ only when its +0 resume runs.
+      do {
+        co_await des::Delay(*ctx_.sim, config_.quiesce_poll);
+      } while (in_flight_ > 0);
+      const uint64_t id = ++next_checkpoint_id_;
+      auto cp = std::make_unique<Checkpoint>();
+      cp->id = id;
+      cp->remaining = num_tasks_;
+      for (auto* q : ctx_.queues) cp->cursors.push_back(q->popped_records());
+      cp->queue_max_event = queue_max_event_;
+      pending_ = std::move(cp);
+      // The pause holds through the whole broadcast: no record can be
+      // popped and overtake a barrier still being injected.
+      co_await Broadcast(
+          Message::MakeWatermark(kBarrierOrigin, static_cast<SimTime>(id)));
+      for (auto* q : ctx_.queues) q->set_paused(false);
     }
   }
 
@@ -212,8 +306,14 @@ class FlinkSut : public driver::Sut {
   Task<> AggTask(int t) {
     cluster::Node& my_worker = WorkerOfTask(t);
     engine::WindowAssigner assigner(config_.query.window);
-    engine::AggWindowState state(assigner);
-    engine::WatermarkTracker tracker(num_queues_);
+    engine::AggWindowState local_state(assigner);
+    engine::WatermarkTracker local_tracker(num_queues_);
+    // With recovery on, state lives in SUT-owned slots so a restore can
+    // swap the last checkpoint in while the coroutine keeps running.
+    engine::AggWindowState& state =
+        recovery_ ? task_agg_[static_cast<size_t>(t)] : local_state;
+    engine::WatermarkTracker& tracker =
+        recovery_ ? task_trackers_[static_cast<size_t>(t)] : local_tracker;
     Channel<Message>& in = *channels_[static_cast<size_t>(t)];
     obs::Tracer& tracer = obs::Tracer::Default();
     const obs::TrackId track =
@@ -222,6 +322,11 @@ class FlinkSut : public driver::Sut {
     for (;;) {
       auto msg = co_await in.Recv();
       if (!msg.has_value()) break;
+      // Recovery: connections are re-established on restart, so anything
+      // produced before the restore is dropped here (the queue replays the
+      // records under the new epoch).
+      if (recovery_ && msg->epoch < epoch_) continue;
+      const int64_t msg_epoch = msg->epoch;
       if (msg->kind == Message::Kind::kRecord) {
         const Record& rec = msg->record;
         const engine::AddResult added = state.Add(rec);
@@ -237,6 +342,9 @@ class FlinkSut : public driver::Sut {
         my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec.weight);
       } else if (msg->origin == kBarrierOrigin) {
         co_await TakeSnapshot(my_worker, track, state.state_bytes());
+        if (recovery_) {
+          OnTaskSnapshot(t, static_cast<uint64_t>(msg->watermark), msg_epoch);
+        }
       } else if (tracker.Update(msg->origin, msg->watermark)) {
         auto outs = state.FireUpTo(tracker.current());
         if (!outs.empty()) {
@@ -244,8 +352,9 @@ class FlinkSut : public driver::Sut {
           obs::ScopedSpan span(tracer, track, "window.fire");
           span.Arg("outputs", static_cast<double>(outs.size()));
           span.Arg("watermark_ms", ToMillis(tracker.current()));
-          co_await EmitOutputs(my_worker, outs);
+          co_await EmitOutputs(my_worker, outs, t, msg_epoch);
         }
+        if (recovery_) OnTaskWatermark(t, tracker.current());
       }
     }
   }
@@ -253,8 +362,12 @@ class FlinkSut : public driver::Sut {
   Task<> JoinTask(int t) {
     cluster::Node& my_worker = WorkerOfTask(t);
     engine::WindowAssigner assigner(config_.query.window);
-    engine::JoinWindowState state(assigner);
-    engine::WatermarkTracker tracker(num_queues_);
+    engine::JoinWindowState local_state(assigner);
+    engine::WatermarkTracker local_tracker(num_queues_);
+    engine::JoinWindowState& state =
+        recovery_ ? task_join_[static_cast<size_t>(t)] : local_state;
+    engine::WatermarkTracker& tracker =
+        recovery_ ? task_trackers_[static_cast<size_t>(t)] : local_tracker;
     Channel<Message>& in = *channels_[static_cast<size_t>(t)];
     obs::Tracer& tracer = obs::Tracer::Default();
     const obs::TrackId track =
@@ -263,6 +376,8 @@ class FlinkSut : public driver::Sut {
     for (;;) {
       auto msg = co_await in.Recv();
       if (!msg.has_value()) break;
+      if (recovery_ && msg->epoch < epoch_) continue;
+      const int64_t msg_epoch = msg->epoch;
       if (msg->kind == Message::Kind::kRecord) {
         const Record& rec = msg->record;
         const double slow = state.state_bytes() > spill_threshold_bytes_
@@ -278,6 +393,9 @@ class FlinkSut : public driver::Sut {
         my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec.weight);
       } else if (msg->origin == kBarrierOrigin) {
         co_await TakeSnapshot(my_worker, track, state.state_bytes());
+        if (recovery_) {
+          OnTaskSnapshot(t, static_cast<uint64_t>(msg->watermark), msg_epoch);
+        }
       } else if (tracker.Update(msg->origin, msg->watermark)) {
         auto fired = state.FireUpTo(tracker.current());
         if (fired.join_work > 0 || !fired.outputs.empty()) {
@@ -289,13 +407,20 @@ class FlinkSut : public driver::Sut {
             co_await my_worker.cpu().Use(CostUs(config_.join_probe_cost_us *
                                                 static_cast<double>(fired.join_work)));
           }
-          if (!fired.outputs.empty()) co_await EmitOutputs(my_worker, fired.outputs);
+          if (!fired.outputs.empty()) {
+            co_await EmitOutputs(my_worker, fired.outputs, t, msg_epoch);
+          }
         }
+        if (recovery_) OnTaskWatermark(t, tracker.current());
       }
     }
   }
 
-  Task<> EmitOutputs(cluster::Node& from, const std::vector<engine::OutputRecord>& outs) {
+  Task<> EmitOutputs(cluster::Node& from, const std::vector<engine::OutputRecord>& outs,
+                     int t, int64_t fire_epoch) {
+    // A fire computed from pre-restore state is a phantom of the dead
+    // execution: the restored state will re-fire the same windows.
+    if (recovery_ && fire_epoch != epoch_) co_return;
     for (const auto& out : outs) {
       obs::LineageTracker::Default().StampFired(out.lineage, ctx_.sim->now());
     }
@@ -305,7 +430,85 @@ class FlinkSut : public driver::Sut {
     for (const auto& out : outs) bytes += engine::WireBytes(out);
     cluster::Node& sink_node = ctx_.cluster->driver(0);
     co_await ctx_.cluster->Send(from, sink_node, bytes);
-    for (const auto& out : outs) ctx_.sink->Emit(out);
+    if (!recovery_) {
+      for (const auto& out : outs) ctx_.sink->Emit(out);
+      co_return;
+    }
+    if (fire_epoch != epoch_) co_return;  // crashed mid-emit: discard
+    // Transactional sink: outputs fired between barrier n and n+1 become
+    // visible only when checkpoint n+1 completes (or at job finish).
+    auto& bucket = uncommitted_[task_commit_id_[static_cast<size_t>(t)] + 1];
+    bucket.insert(bucket.end(), outs.begin(), outs.end());
+  }
+
+  /// Barrier processed by task `t`: store its snapshot into the pending
+  /// checkpoint; the last task to report completes (commits) it.
+  void OnTaskSnapshot(int t, uint64_t id, int64_t barrier_epoch) {
+    if (barrier_epoch != epoch_) return;  // barrier from a pre-restore epoch
+    task_commit_id_[static_cast<size_t>(t)] = id;
+    if (!pending_ || pending_->id != id) return;
+    if (config_.query.kind == engine::QueryKind::kAggregation) {
+      pending_->agg.insert_or_assign(t, task_agg_[static_cast<size_t>(t)]);
+    } else {
+      pending_->join.insert_or_assign(t, task_join_[static_cast<size_t>(t)]);
+    }
+    pending_->trackers.insert_or_assign(t, task_trackers_[static_cast<size_t>(t)]);
+    if (--pending_->remaining == 0) CompleteCheckpoint();
+  }
+
+  /// Completion is synchronous with the last task's snapshot, so a crash
+  /// either aborts the whole checkpoint or lands after the commit.
+  void CompleteCheckpoint() {
+    std::unique_ptr<Checkpoint> cp = std::move(pending_);
+    for (int q = 0; q < num_queues_; ++q) {
+      ctx_.queues[static_cast<size_t>(q)]->Ack(cp->cursors[static_cast<size_t>(q)]);
+    }
+    // Commit every output bucket covered by this checkpoint (ids can skip
+    // values when a checkpoint was aborted by a crash).
+    for (auto it = uncommitted_.begin();
+         it != uncommitted_.end() && it->first <= cp->id;) {
+      for (const auto& out : it->second) ctx_.sink->Emit(out);
+      it = uncommitted_.erase(it);
+    }
+    last_completed_ = std::move(cp);
+  }
+
+  /// Job finish: once every task has seen the final watermark, flush the
+  /// outputs still waiting on a checkpoint (Flink commits on job end).
+  void OnTaskWatermark(int t, SimTime combined) {
+    if (combined < kFinalWatermark || task_done_[static_cast<size_t>(t)]) return;
+    task_done_[static_cast<size_t>(t)] = 1;
+    if (++tasks_finished_ < num_tasks_) return;
+    for (auto& [id, outs] : uncommitted_) {
+      for (const auto& out : outs) ctx_.sink->Emit(out);
+    }
+    uncommitted_.clear();
+  }
+
+  /// Any worker restart restarts the whole job (Flink 1.1 semantics):
+  /// every task rewinds to the last completed checkpoint and the queues
+  /// replay everything popped past its cursors.
+  void RestoreFromCheckpoint() {
+    if (!recovery_) return;
+    ++epoch_;
+    ++restores_;
+    obs_restores_->Add(1);
+    pending_.reset();
+    uncommitted_.clear();
+    const Checkpoint& cp = *last_completed_;
+    const bool agg = config_.query.kind == engine::QueryKind::kAggregation;
+    for (int t = 0; t < num_tasks_; ++t) {
+      if (agg) {
+        task_agg_[static_cast<size_t>(t)] = cp.agg.at(t);
+      } else {
+        task_join_[static_cast<size_t>(t)] = cp.join.at(t);
+      }
+      task_trackers_[static_cast<size_t>(t)] = cp.trackers.at(t);
+      task_commit_id_[static_cast<size_t>(t)] = cp.id;
+    }
+    queue_max_event_ = cp.queue_max_event;
+    std::fill(wm_last_sent_.begin(), wm_last_sent_.end(), engine::kNoWatermark);
+    for (auto* q : ctx_.queues) q->Replay();
   }
 
   FlinkConfig config_;
@@ -323,6 +526,33 @@ class FlinkSut : public driver::Sut {
   int64_t snapshot_bytes_total_ = 0;
   engine::EngineMetrics metrics_;
   obs::Counter* obs_checkpoints_ = nullptr;
+
+  // -- Recovery state (untouched when recovery_ is false) ----------------
+  struct Checkpoint {
+    uint64_t id = 0;  // 0 = the initial empty checkpoint
+    int remaining = 0;
+    std::vector<uint64_t> cursors;  // per-queue popped_records() at the cut
+    std::vector<SimTime> queue_max_event;
+    std::map<int, engine::AggWindowState> agg;    // per task (agg query)
+    std::map<int, engine::JoinWindowState> join;  // per task (join query)
+    std::map<int, engine::WatermarkTracker> trackers;
+  };
+  bool recovery_ = false;
+  int64_t epoch_ = 0;       // bumped on every restore
+  int in_flight_ = 0;       // records popped but not yet in a channel
+  uint64_t next_checkpoint_id_ = 0;
+  uint64_t restores_ = 0;
+  int tasks_finished_ = 0;  // tasks that saw the final watermark
+  std::vector<engine::AggWindowState> task_agg_;
+  std::vector<engine::JoinWindowState> task_join_;
+  std::vector<engine::WatermarkTracker> task_trackers_;
+  std::vector<uint64_t> task_commit_id_;  // last barrier id seen per task
+  std::vector<char> task_done_;
+  std::vector<SimTime> wm_last_sent_;
+  std::unique_ptr<Checkpoint> pending_;
+  std::unique_ptr<Checkpoint> last_completed_;
+  std::map<uint64_t, std::vector<engine::OutputRecord>> uncommitted_;
+  obs::Counter* obs_restores_ = nullptr;
 };
 
 }  // namespace

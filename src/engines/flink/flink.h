@@ -75,6 +75,19 @@ struct FlinkConfig {
   double snapshot_cost_us_per_kb = 8.0;
   /// Fixed per-task barrier alignment stall per checkpoint.
   SimTime alignment_stall = Millis(30);
+
+  // -- Crash recovery (sdps::chaos) -------------------------------------
+  /// Full exactly-once recovery pipeline: driver-queue retention + replay,
+  /// quiesced checkpoints with per-queue cursors, a transactional sink
+  /// that holds outputs until their checkpoint commits, and whole-job
+  /// restore from the last completed checkpoint when a worker restarts
+  /// (Flink 1.1 restarts the entire job on any task failure). Requires
+  /// checkpoint_interval > 0. Off by default: fault-free runs are
+  /// bit-identical to the recovery-less model.
+  bool recovery_enabled = false;
+  /// Poll period the checkpoint coordinator uses while draining in-flight
+  /// records during the quiesce.
+  SimTime quiesce_poll = Millis(1);
 };
 
 /// Builds the Flink SUT. The returned object must outlive the simulation.

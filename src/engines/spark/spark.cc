@@ -86,6 +86,14 @@ struct SparkJob {
   std::vector<SparkBlock> blocks;
   std::vector<MapOutput> map_outputs;
   uint64_t tuples = 0;
+  // -- Recovery accounting (populated only when recovery is enabled) ----
+  /// Outputs held back until the batch commits (per reduce partition).
+  std::vector<std::vector<engine::OutputRecord>> staged;
+  /// CPU microseconds this job charged per worker — the recompute bill.
+  std::vector<double> cpu_us;
+  /// Sum of worker crash epochs at job start; a change means a worker
+  /// died mid-batch and the batch must be recomputed.
+  int64_t crash_epochs = 0;
 };
 
 /// One batch's contribution to a reduce partition.
@@ -154,9 +162,14 @@ class SparkSut : public driver::Sut {
       ctx.sim->Spawn(ReceiverProcess(r));
       ctx.sim->Spawn(BlockSealer(r));
     }
+    recovery_ = config_.recovery_enabled;
     metrics_ = engine::EngineMetrics(name());
     obs::Registry& registry = obs::Registry::Default();
     obs_jobs_ = registry.GetCounter("engine.batch.jobs", {{"engine", name()}});
+    if (recovery_) {
+      obs_recomputed_ =
+          registry.GetCounter("engine.batch.recomputed", {{"engine", name()}});
+    }
     obs_shuffle_bytes_ =
         registry.GetCounter("engine.shuffle.bytes", {{"engine", name()}});
     obs_rate_limit_ =
@@ -310,8 +323,27 @@ class SparkSut : public driver::Sut {
     }
   }
 
+  /// Sum of worker crash epochs: cheap crash detector for a running batch.
+  int64_t CrashEpochSum() {
+    int64_t sum = 0;
+    for (int w = 0; w < ctx_.cluster->num_workers(); ++w) {
+      sum += ctx_.cluster->worker(w).crash_epoch();
+    }
+    return sum;
+  }
+
+  Task<> RechargeTask(int w, double us, Latch& done) {
+    co_await ctx_.cluster->worker(w).cpu().Use(CostUs(us));
+    done.CountDown();
+  }
+
   Task<> ExecuteJob(SparkJob& job) {
     des::Simulator& sim = *ctx_.sim;
+    if (recovery_) {
+      job.staged.assign(static_cast<size_t>(num_reduce_), {});
+      job.cpu_us.assign(static_cast<size_t>(ctx_.cluster->num_workers()), 0.0);
+      job.crash_epochs = CrashEpochSum();
+    }
     const int n_map = static_cast<int>(job.blocks.size());
     // Serial task dispatch on the master (DAG scheduler).
     co_await ctx_.cluster->master().cpu().Use(
@@ -371,11 +403,46 @@ class SparkSut : public driver::Sut {
     }
 
     // -- Stage 2: reduce + window + output (blocking stage) -----------------
-    obs::ScopedSpan span(obs::Tracer::Default(), scheduler_track_, "stage.reduce");
-    span.Arg("tasks", static_cast<double>(num_reduce_));
-    Latch stage2(sim, num_reduce_);
-    for (int r = 0; r < num_reduce_; ++r) sim.Spawn(ReduceTask(job, r, stage2));
-    co_await stage2.Wait();
+    {
+      obs::ScopedSpan span(obs::Tracer::Default(), scheduler_track_, "stage.reduce");
+      span.Arg("tasks", static_cast<double>(num_reduce_));
+      Latch stage2(sim, num_reduce_);
+      for (int r = 0; r < num_reduce_; ++r) sim.Spawn(ReduceTask(job, r, stage2));
+      co_await stage2.Wait();
+    }
+
+    if (!recovery_) co_return;
+    // A worker died mid-batch: Spark re-runs the lost tasks from the
+    // WAL'd receiver blocks. The deterministic recompute rebuilds
+    // identical state, so only the CPU bill is paid again — on the
+    // restarted workers, delaying this batch (and the jobs queued behind
+    // it: the scheduler-delay spike the PID controller reacts to).
+    while (CrashEpochSum() != job.crash_epochs) {
+      job.crash_epochs = CrashEpochSum();
+      ++batches_recomputed_;
+      obs_recomputed_->Add(1);
+      int pending = 0;
+      for (const double us : job.cpu_us) {
+        if (us > 0) ++pending;
+      }
+      if (pending > 0) {
+        obs::ScopedSpan span(obs::Tracer::Default(), scheduler_track_,
+                             "stage.recompute");
+        span.Arg("batch", static_cast<double>(job.batch_index));
+        Latch redo(sim, pending);
+        for (int w = 0; w < ctx_.cluster->num_workers(); ++w) {
+          const double us = job.cpu_us[static_cast<size_t>(w)];
+          if (us > 0) sim.Spawn(RechargeTask(w, us, redo));
+        }
+        co_await redo.Wait();
+      }
+    }
+    // Output commit: the batch's results become visible atomically, and
+    // exactly once, only after every (re)computation finished.
+    for (int r = 0; r < num_reduce_; ++r) {
+      auto& outs = job.staged[static_cast<size_t>(r)];
+      if (!outs.empty()) co_await EmitOutputs(WorkerOfReduce(r), outs);
+    }
   }
 
   Task<> MapTask(SparkJob& job, int i, Latch& done) {
@@ -387,9 +454,11 @@ class SparkSut : public driver::Sut {
     const double map_cost = config_.query.kind == engine::QueryKind::kJoin
                                 ? config_.join_map_cost_us
                                 : config_.map_cost_us;
-    co_await w.cpu().Use(
-        CostUs(config_.task_overhead_ms * 1000.0 +
-               map_cost * overhead_ * slow * static_cast<double>(block.tuples)));
+    const double cost_us =
+        config_.task_overhead_ms * 1000.0 +
+        map_cost * overhead_ * slow * static_cast<double>(block.tuples);
+    co_await w.cpu().Use(CostUs(cost_us));
+    if (recovery_) job.cpu_us[static_cast<size_t>(block.home_worker)] += cost_us;
     w.RecordAllocation(config_.alloc_bytes_per_tuple *
                        static_cast<int64_t>(block.tuples));
 
@@ -459,8 +528,12 @@ class SparkSut : public driver::Sut {
         (config_.tree_aggregate && config_.query.kind == engine::QueryKind::kAggregation)
             ? config_.reduce_entry_cost_us * static_cast<double>(merged_entries)
             : config_.reduce_tuple_cost_us * static_cast<double>(partial.tuples);
-    co_await w.cpu().Use(CostUs(config_.task_overhead_ms * 1000.0 +
-                                merge_cost * overhead_ * slow));
+    const double merge_cost_us =
+        config_.task_overhead_ms * 1000.0 + merge_cost * overhead_ * slow;
+    co_await w.cpu().Use(CostUs(merge_cost_us));
+    const size_t widx =
+        static_cast<size_t>(r) % static_cast<size_t>(ctx_.cluster->num_workers());
+    if (recovery_) job.cpu_us[widx] += merge_cost_us;
 
     // Inverse-reduce: fold into the running window aggregate.
     if (config_.inverse_reduce && config_.query.kind == engine::QueryKind::kAggregation) {
@@ -476,8 +549,10 @@ class SparkSut : public driver::Sut {
         // Subtract the evicted batch (the paper's "Inverse Reduce
         // Function" fix for Experiment 3). Max-timestamps stay correct
         // because event-time grows with batch index.
-        co_await w.cpu().Use(CostUs(config_.reduce_entry_cost_us * overhead_ *
-                                    static_cast<double>(old.aggs.size())));
+        const double evict_cost_us = config_.reduce_entry_cost_us * overhead_ *
+                                     static_cast<double>(old.aggs.size());
+        co_await w.cpu().Use(CostUs(evict_cost_us));
+        if (recovery_) job.cpu_us[widx] += evict_cost_us;
         for (const auto& [key, agg] : old.aggs) {
           auto it = st.running.find(key);
           if (it == st.running.end()) continue;
@@ -510,15 +585,19 @@ class SparkSut : public driver::Sut {
     if (job.batch_index % slide_batches_ == 0) {
       metrics_.windows_fired->Add(1);
       if (config_.query.kind == engine::QueryKind::kAggregation) {
-        co_await EvaluateAggWindow(w, st, slow);
+        co_await EvaluateAggWindow(w, st, slow, job, r);
       } else {
-        co_await EvaluateJoinWindow(w, st, slow);
+        co_await EvaluateJoinWindow(w, st, slow, job, r);
       }
     }
     done.CountDown();
   }
 
-  Task<> EvaluateAggWindow(cluster::Node& w, PartitionState& st, double slow) {
+  Task<> EvaluateAggWindow(cluster::Node& w, PartitionState& st, double slow,
+                           SparkJob& job, int r) {
+    // Output identity: the window of this evaluation closes at the batch
+    // boundary (stable across recomputation of the same batch).
+    const SimTime window_end = job.batch_index * config_.batch_interval;
     std::vector<engine::OutputRecord> outs;
     double eval_cost_us = 0;
     if (config_.inverse_reduce) {
@@ -528,7 +607,7 @@ class SparkSut : public driver::Sut {
       for (const auto& [key, agg] : st.running) {
         if (agg.weight == 0) continue;
         outs.push_back({agg.max_event_time, agg.max_ingest_time, key, agg.sum, 1,
-                        agg.lineage});
+                        agg.lineage, window_end});
       }
     } else {
       std::unordered_map<uint64_t, WindowKeyAgg> window;
@@ -552,14 +631,23 @@ class SparkSut : public driver::Sut {
       outs.reserve(window.size());
       for (const auto& [key, agg] : window) {
         outs.push_back({agg.max_event_time, agg.max_ingest_time, key, agg.sum, 1,
-                        agg.lineage});
+                        agg.lineage, window_end});
       }
     }
     co_await w.cpu().Use(CostUs(eval_cost_us * overhead_ * slow));
-    if (!outs.empty()) co_await EmitOutputs(w, outs);
+    if (recovery_) {
+      job.cpu_us[static_cast<size_t>(r) %
+                 static_cast<size_t>(ctx_.cluster->num_workers())] +=
+          eval_cost_us * overhead_ * slow;
+      auto& staged = job.staged[static_cast<size_t>(r)];
+      staged.insert(staged.end(), outs.begin(), outs.end());
+    } else if (!outs.empty()) {
+      co_await EmitOutputs(w, outs);
+    }
   }
 
-  Task<> EvaluateJoinWindow(cluster::Node& w, PartitionState& st, double slow) {
+  Task<> EvaluateJoinWindow(cluster::Node& w, PartitionState& st, double slow,
+                            SparkJob& job, int r) {
     // Build on ads, probe with purchases, across the window's batches.
     std::unordered_map<uint64_t, std::vector<const Record*>> build;
     uint64_t window_tuples = 0;
@@ -572,6 +660,7 @@ class SparkSut : public driver::Sut {
       max_event = std::max(max_event, p.max_event_time);
       max_ingest = std::max(max_ingest, p.max_ingest_time);
     }
+    const SimTime window_end = job.batch_index * config_.batch_interval;
     std::vector<engine::OutputRecord> outs;
     for (const BatchPartial& p : st.history) {
       for (const Record& rec : p.purchases) {
@@ -581,13 +670,21 @@ class SparkSut : public driver::Sut {
         for (size_t m = 0; m < it->second.size(); ++m) {
           const Record* ad = it->second[m];
           outs.push_back({max_event, max_ingest, rec.key, rec.value, rec.weight,
-                          rec.lineage >= 0 ? rec.lineage : ad->lineage});
+                          rec.lineage >= 0 ? rec.lineage : ad->lineage, window_end});
         }
       }
     }
-    co_await w.cpu().Use(CostUs(config_.join_tuple_cost_us * overhead_ * slow *
-                                static_cast<double>(window_tuples)));
-    if (!outs.empty()) co_await EmitOutputs(w, outs);
+    const double eval_cost_us = config_.join_tuple_cost_us * overhead_ * slow *
+                                static_cast<double>(window_tuples);
+    co_await w.cpu().Use(CostUs(eval_cost_us));
+    if (recovery_) {
+      job.cpu_us[static_cast<size_t>(r) %
+                 static_cast<size_t>(ctx_.cluster->num_workers())] += eval_cost_us;
+      auto& staged = job.staged[static_cast<size_t>(r)];
+      staged.insert(staged.end(), outs.begin(), outs.end());
+    } else if (!outs.empty()) {
+      co_await EmitOutputs(w, outs);
+    }
   }
 
   Task<> EmitOutputs(cluster::Node& from, const std::vector<engine::OutputRecord>& outs) {
@@ -651,8 +748,12 @@ class SparkSut : public driver::Sut {
   driver::TimeSeries job_runtime_series_;
   driver::TimeSeries rate_limit_series_;
 
+  bool recovery_ = false;
+  uint64_t batches_recomputed_ = 0;
+
   engine::EngineMetrics metrics_;
   obs::Counter* obs_jobs_ = nullptr;
+  obs::Counter* obs_recomputed_ = nullptr;
   obs::Counter* obs_shuffle_bytes_ = nullptr;
   obs::Gauge* obs_rate_limit_ = nullptr;
   obs::Gauge* obs_sched_delay_ = nullptr;

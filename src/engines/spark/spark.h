@@ -110,6 +110,15 @@ struct SparkConfig {
   /// Overhead table for the job path (kept flat: job cost growth with
   /// cluster size is already captured by task-count-proportional dispatch).
   std::vector<std::pair<int, double>> scaling_overhead = {{2, 1.0}, {8, 1.0}};
+
+  // -- Crash recovery (sdps::chaos) -------------------------------------
+  /// Micro-batch recovery (receiver-WAL model): received blocks survive a
+  /// worker crash, so a failed batch is recomputed from them — the CPU
+  /// bill is paid again and the batch's outputs commit late, but exactly
+  /// once (at batch granularity). No driver-queue replay is needed. Off
+  /// by default: fault-free runs are bit-identical to the recovery-less
+  /// model.
+  bool recovery_enabled = false;
 };
 
 std::unique_ptr<driver::Sut> MakeSpark(SparkConfig config);

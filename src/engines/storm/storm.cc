@@ -81,6 +81,30 @@ class StormSut : public driver::Sut {
     obs_throttle_transitions_ = obs::Registry::Default().GetCounter(
         "engine.throttle.transitions", {{"engine", name()}});
 
+    recovery_ = config_.recovery_enabled;
+    if (recovery_) {
+      for (auto* q : ctx.queues) q->set_retain(true);
+      const engine::WindowAssigner assigner(config_.query.window);
+      const bool agg = config_.query.kind == engine::QueryKind::kAggregation;
+      for (int b = 0; b < num_bolts_; ++b) {
+        if (agg) {
+          bolt_agg_.emplace_back(assigner);
+        } else {
+          bolt_join_.emplace_back(assigner);
+        }
+        bolt_trackers_.emplace_back(num_queues_);
+      }
+      bolt_state_bytes_.assign(static_cast<size_t>(num_bolts_), 0);
+      queue_last_wm_.assign(static_cast<size_t>(num_queues_), engine::kNoWatermark);
+      obs_restores_ = obs::Registry::Default().GetCounter(
+          "engine.recovery.restores", {{"engine", name()}});
+      for (int w = 0; w < workers; ++w) {
+        cluster.worker(w).OnRestart(
+            [this](cluster::Node& n) { OnWorkerRestart(n); });
+      }
+      ctx.sim->Spawn(AckerProcess());
+    }
+
     for (int s = 0; s < num_spouts_; ++s) ctx.sim->Spawn(SpoutProcess(s));
     for (int q = 0; q < num_queues_; ++q) ctx.sim->Spawn(WatermarkProcess(q));
     for (int b = 0; b < num_bolts_; ++b) ctx.sim->Spawn(BoltProcess(b));
@@ -192,7 +216,11 @@ class StormSut : public driver::Sut {
   }
 
   Task<> WatermarkProcess(int q) {
-    SimTime last_sent = engine::kNoWatermark;
+    // With recovery on, the broadcast watermark also feeds the acker, so
+    // it lives in a SUT-owned slot.
+    SimTime local_last_sent = engine::kNoWatermark;
+    SimTime& last_sent =
+        recovery_ ? queue_last_wm_[static_cast<size_t>(q)] : local_last_sent;
     for (;;) {
       co_await des::Delay(*ctx_.sim, config_.watermark_interval);
       if (queue_active_spouts_[static_cast<size_t>(q)] == 0) {
@@ -204,6 +232,47 @@ class StormSut : public driver::Sut {
       last_sent = wm;
       co_await Broadcast(Message::MakeWatermark(q, wm));
     }
+  }
+
+  /// Storm's acker tree, collapsed into its observable effect: a tuple is
+  /// fully processed once every window containing it has fired, which is
+  /// conservatively true for event times at or below (min broadcast
+  /// watermark - window range). Those tuples are acked back to the driver
+  /// queues periodically; everything newer stays replayable.
+  Task<> AckerProcess() {
+    for (;;) {
+      co_await des::Delay(*ctx_.sim, config_.ack_flush_interval);
+      SimTime min_wm = std::numeric_limits<SimTime>::max();
+      for (const SimTime wm : queue_last_wm_) min_wm = std::min(min_wm, wm);
+      if (min_wm == engine::kNoWatermark) continue;
+      const SimTime acked = min_wm - config_.query.window.range;
+      for (auto* q : ctx_.queues) q->AckThroughEventTime(acked);
+    }
+  }
+
+  /// The crashed worker's executors come back empty: their window buffers
+  /// and event-time clocks are gone (Storm keeps no window snapshots).
+  /// Surviving workers keep their state, and every unacked tuple is
+  /// replayed from the driver queues — at-least-once: surviving bolts can
+  /// double-apply replays, rebuilt windows re-fire with partial contents.
+  void OnWorkerRestart(cluster::Node& node) {
+    const engine::WindowAssigner assigner(config_.query.window);
+    const bool agg = config_.query.kind == engine::QueryKind::kAggregation;
+    int64_t freed = 0;
+    for (int b = 0; b < num_bolts_; ++b) {
+      if (WorkerOfBolt(b).id() != node.id()) continue;
+      if (agg) {
+        bolt_agg_[static_cast<size_t>(b)] = engine::BufferedWindowState(assigner);
+      } else {
+        bolt_join_[static_cast<size_t>(b)] = engine::JoinWindowState(assigner);
+      }
+      bolt_trackers_[static_cast<size_t>(b)] = engine::WatermarkTracker(num_queues_);
+      freed += bolt_state_bytes_[static_cast<size_t>(b)];
+      bolt_state_bytes_[static_cast<size_t>(b)] = 0;
+    }
+    heap_used_[WorkerIndex(node)] -= freed;
+    obs_restores_->Add(1);
+    for (auto* q : ctx_.queues) q->Replay();
   }
 
   Task<> Broadcast(Message msg) {
@@ -246,10 +315,18 @@ class StormSut : public driver::Sut {
   Task<> AggBolt(int b) {
     cluster::Node& my_worker = WorkerOfBolt(b);
     engine::WindowAssigner assigner(config_.query.window);
-    engine::BufferedWindowState state(assigner);
-    engine::WatermarkTracker tracker(num_queues_);
+    engine::BufferedWindowState local_state(assigner);
+    engine::WatermarkTracker local_tracker(num_queues_);
+    int64_t local_last_bytes = 0;
+    // With recovery on, state lives in SUT-owned slots so a worker restart
+    // can wipe it while the coroutine keeps running.
+    engine::BufferedWindowState& state =
+        recovery_ ? bolt_agg_[static_cast<size_t>(b)] : local_state;
+    engine::WatermarkTracker& tracker =
+        recovery_ ? bolt_trackers_[static_cast<size_t>(b)] : local_tracker;
+    int64_t& last_state_bytes =
+        recovery_ ? bolt_state_bytes_[static_cast<size_t>(b)] : local_last_bytes;
     Channel<Message>& in = *channels_[static_cast<size_t>(b)];
-    int64_t last_state_bytes = 0;
     obs::Tracer& tracer = obs::Tracer::Default();
     const obs::TrackId track =
         engine::OperatorTrack(my_worker.name(), name(), "bolt", b);
@@ -295,10 +372,16 @@ class StormSut : public driver::Sut {
   Task<> JoinBolt(int b) {
     cluster::Node& my_worker = WorkerOfBolt(b);
     engine::WindowAssigner assigner(config_.query.window);
-    engine::JoinWindowState state(assigner);
-    engine::WatermarkTracker tracker(num_queues_);
+    engine::JoinWindowState local_state(assigner);
+    engine::WatermarkTracker local_tracker(num_queues_);
+    int64_t local_last_bytes = 0;
+    engine::JoinWindowState& state =
+        recovery_ ? bolt_join_[static_cast<size_t>(b)] : local_state;
+    engine::WatermarkTracker& tracker =
+        recovery_ ? bolt_trackers_[static_cast<size_t>(b)] : local_tracker;
+    int64_t& last_state_bytes =
+        recovery_ ? bolt_state_bytes_[static_cast<size_t>(b)] : local_last_bytes;
     Channel<Message>& in = *channels_[static_cast<size_t>(b)];
-    int64_t last_state_bytes = 0;
     obs::Tracer& tracer = obs::Tracer::Default();
     const obs::TrackId track =
         engine::OperatorTrack(my_worker.name(), name(), "bolt", b);
@@ -364,6 +447,15 @@ class StormSut : public driver::Sut {
   std::vector<int> queue_active_spouts_;
   engine::EngineMetrics metrics_;
   obs::Counter* obs_throttle_transitions_ = nullptr;
+
+  // -- Recovery state (untouched when recovery_ is false) ----------------
+  bool recovery_ = false;
+  std::vector<engine::BufferedWindowState> bolt_agg_;
+  std::vector<engine::JoinWindowState> bolt_join_;
+  std::vector<engine::WatermarkTracker> bolt_trackers_;
+  std::vector<int64_t> bolt_state_bytes_;
+  std::vector<SimTime> queue_last_wm_;  // last broadcast watermark per queue
+  obs::Counter* obs_restores_ = nullptr;
 };
 
 }  // namespace

@@ -75,6 +75,18 @@ struct StormConfig {
   /// considered dropped (only reachable with backpressure disabled).
   int drop_limit = 1000;
   int64_t alloc_bytes_per_tuple = 90;
+
+  // -- Crash recovery (sdps::chaos) -------------------------------------
+  /// At-least-once recovery: the driver queues retain popped tuples until
+  /// the acker flushes them, and a worker restart wipes that worker's bolt
+  /// state (Storm snapshots nothing) and replays every unacked tuple.
+  /// Replayed tuples can double-apply and rebuilt windows re-fire with
+  /// partial contents — Storm's guarantee permits duplicates. Off by
+  /// default: fault-free runs are bit-identical to the recovery-less model.
+  bool recovery_enabled = false;
+  /// Acker flush cadence: tuples whose every containing window has fired
+  /// are acknowledged to the driver queues on this period.
+  SimTime ack_flush_interval = Seconds(2);
 };
 
 std::unique_ptr<driver::Sut> MakeStorm(StormConfig config);

@@ -1,0 +1,46 @@
+#include "report/recovery.h"
+
+#include "common/csv.h"
+#include "common/strings.h"
+#include "report/table.h"
+
+namespace sdps::report {
+
+std::string RenderRecoveryTable(const std::vector<RecoveryRow>& rows) {
+  Table table({"engine", "guarantee", "rate_mps", "recovery_s", "gap_s",
+               "duplicates", "lost", "outputs", "avail_pct", "verdict"});
+  for (const RecoveryRow& row : rows) {
+    table.AddRow({row.engine, row.guarantee, StrFormat("%.2f", row.offered_rate / 1e6),
+                  StrFormat("%.1f", ToSeconds(row.stats.recovery_time)),
+                  StrFormat("%.1f", ToSeconds(row.stats.output_gap)),
+                  StrFormat("%llu", static_cast<unsigned long long>(row.stats.duplicates)),
+                  StrFormat("%llu", static_cast<unsigned long long>(row.stats.lost)),
+                  StrFormat("%llu", static_cast<unsigned long long>(row.stats.outputs_total)),
+                  StrFormat("%.1f", 100.0 * row.stats.availability),
+                  row.degraded ? "degraded" : row.verdict});
+  }
+  return table.Render();
+}
+
+Status WriteRecoveryCsv(const std::string& path, const std::vector<RecoveryRow>& rows) {
+  SDPS_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open(path));
+  writer.WriteHeader({"engine", "guarantee", "offered_rate", "crash_time_s",
+                      "restart_time_s", "recovery_time_s", "output_gap_s", "duplicates",
+                      "lost", "outputs_total", "availability", "degraded", "verdict"});
+  for (const RecoveryRow& row : rows) {
+    writer.WriteRow(
+        {row.engine, row.guarantee, StrFormat("%.0f", row.offered_rate),
+         StrFormat("%.3f", ToSeconds(row.stats.crash_time)),
+         StrFormat("%.3f", ToSeconds(row.stats.restart_time)),
+         StrFormat("%.3f", ToSeconds(row.stats.recovery_time)),
+         StrFormat("%.3f", ToSeconds(row.stats.output_gap)),
+         StrFormat("%llu", static_cast<unsigned long long>(row.stats.duplicates)),
+         StrFormat("%llu", static_cast<unsigned long long>(row.stats.lost)),
+         StrFormat("%llu", static_cast<unsigned long long>(row.stats.outputs_total)),
+         StrFormat("%.4f", row.stats.availability), row.degraded ? "1" : "0",
+         row.verdict});
+  }
+  return writer.Close();
+}
+
+}  // namespace sdps::report

@@ -1,0 +1,33 @@
+// Recovery-benchmark rendering (the figR companion table): per-engine
+// recovery time, output gap, delivery-guarantee accounting (duplicates /
+// lost vs an exactly-once oracle), and availability from faulty runs.
+#ifndef SDPS_REPORT_RECOVERY_H_
+#define SDPS_REPORT_RECOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "chaos/recovery.h"
+#include "common/status.h"
+
+namespace sdps::report {
+
+/// One engine's faulty-run outcome.
+struct RecoveryRow {
+  std::string engine;
+  std::string guarantee;  // "exactly-once", "at-least-once", ...
+  double offered_rate = 0;  // tuples/s
+  chaos::RecoveryStats stats;
+  bool degraded = false;
+  std::string verdict;
+};
+
+/// Column-aligned table: one row per engine.
+std::string RenderRecoveryTable(const std::vector<RecoveryRow>& rows);
+
+/// CSV in the shape scripts/plot_results.py's `recovery` subcommand reads.
+Status WriteRecoveryCsv(const std::string& path, const std::vector<RecoveryRow>& rows);
+
+}  // namespace sdps::report
+
+#endif  // SDPS_REPORT_RECOVERY_H_

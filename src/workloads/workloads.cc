@@ -14,16 +14,21 @@ std::string EngineName(Engine engine) {
   return "?";
 }
 
-engines::FlinkConfig CalibratedFlink(engine::QueryConfig query) {
+engines::FlinkConfig CalibratedFlink(engine::QueryConfig query, EngineTuning tuning) {
   engines::FlinkConfig config;
-  config.query = query;
-  return config;  // defaults in flink.h are the calibrated values
+  config.query = query;  // defaults in flink.h are the calibrated values
+  if (tuning.recovery) {
+    config.recovery_enabled = true;
+    config.checkpoint_interval = tuning.flink_checkpoint_interval;
+  }
+  return config;
 }
 
 engines::StormConfig CalibratedStorm(engine::QueryConfig query, EngineTuning tuning) {
   engines::StormConfig config;
   config.query = query;
   config.enable_backpressure = tuning.storm_backpressure;
+  config.recovery_enabled = tuning.recovery;
   return config;
 }
 
@@ -33,6 +38,7 @@ engines::SparkConfig CalibratedSpark(engine::QueryConfig query, EngineTuning tun
   config.cache_window = tuning.spark_cache_window;
   config.inverse_reduce = tuning.spark_inverse_reduce;
   config.tree_aggregate = tuning.spark_tree_aggregate;
+  config.recovery_enabled = tuning.recovery;
   return config;
 }
 
@@ -40,7 +46,7 @@ driver::SutFactory MakeEngineFactory(Engine engine, engine::QueryConfig query,
                                      EngineTuning tuning) {
   switch (engine) {
     case Engine::kFlink:
-      return [config = CalibratedFlink(query)](const driver::SutContext&) {
+      return [config = CalibratedFlink(query, tuning)](const driver::SutContext&) {
         return engines::MakeFlink(config);
       };
     case Engine::kStorm:

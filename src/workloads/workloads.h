@@ -31,6 +31,15 @@ struct EngineTuning {
   bool spark_inverse_reduce = false;
   /// Spark Experiment 4 ablation (tree aggregate off).
   bool spark_tree_aggregate = true;
+  /// Crash recovery (sdps::chaos recovery benchmark): enables each
+  /// engine's native recovery machinery — Flink checkpoint/restore (uses
+  /// `flink_checkpoint_interval`), Storm tuple replay, Spark batch
+  /// recompute. Off by default; fault-free runs are bit-identical either
+  /// way.
+  bool recovery = false;
+  /// Flink checkpoint cadence when `recovery` is on (the paper's Flink
+  /// 1.1.3 default configuration territory; must be > 0 for recovery).
+  SimTime flink_checkpoint_interval = Seconds(10);
 };
 
 /// Builds the SUT factory for one engine + query.
@@ -39,7 +48,7 @@ driver::SutFactory MakeEngineFactory(Engine engine, engine::QueryConfig query,
 
 /// Calibrated engine configs (cost constants documented in
 /// workloads/calibration.h).
-engines::FlinkConfig CalibratedFlink(engine::QueryConfig query);
+engines::FlinkConfig CalibratedFlink(engine::QueryConfig query, EngineTuning tuning = {});
 engines::StormConfig CalibratedStorm(engine::QueryConfig query, EngineTuning tuning = {});
 engines::SparkConfig CalibratedSpark(engine::QueryConfig query, EngineTuning tuning = {});
 

@@ -1,0 +1,76 @@
+#include "chaos/fault_schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace sdps::chaos {
+namespace {
+
+TEST(FaultScheduleTest, BuildersRecordEvents) {
+  FaultSchedule s;
+  s.Crash("w0", Seconds(60), Seconds(15))
+      .Straggle("w1", Seconds(90), Seconds(30), 0.5)
+      .GcStorm("w0", Seconds(120), Seconds(10), Millis(500), Seconds(1))
+      .Degrade("d0", Seconds(150), Seconds(20), 0.1)
+      .Partition("d1", Seconds(180), Seconds(5));
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.events()[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(s.events()[0].node, "w0");
+  EXPECT_EQ(s.events()[0].at, Seconds(60));
+  EXPECT_EQ(s.events()[0].restart_delay, Seconds(15));
+  EXPECT_EQ(s.events()[1].kind, FaultKind::kStraggle);
+  EXPECT_DOUBLE_EQ(s.events()[1].factor, 0.5);
+  EXPECT_EQ(s.events()[2].pause, Millis(500));
+  EXPECT_EQ(s.events()[4].kind, FaultKind::kPartition);
+}
+
+TEST(FaultScheduleTest, ParseRoundTripsThroughToSpec) {
+  const std::string spec =
+      "crash@60:node=w0,restart=15;straggle@90:node=w1,factor=0.5,for=30";
+  auto parsed = FaultSchedule::Parse(spec);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const FaultSchedule s = std::move(parsed).value();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.events()[0].node, "w0");
+  EXPECT_EQ(s.events()[0].at, Seconds(60));
+  EXPECT_EQ(s.events()[1].duration, Seconds(30));
+
+  auto reparsed = FaultSchedule::Parse(s.ToSpec());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed.value().ToSpec(), s.ToSpec());
+}
+
+TEST(FaultScheduleTest, ParseRejectsBadInput) {
+  EXPECT_FALSE(FaultSchedule::Parse("explode@60:node=w0").ok());  // unknown kind
+  EXPECT_FALSE(FaultSchedule::Parse("crash:node=w0").ok());       // missing @time
+  EXPECT_FALSE(FaultSchedule::Parse("crash@abc:node=w0").ok());   // bad time
+  EXPECT_FALSE(FaultSchedule::Parse("crash@60").ok());            // missing node
+  EXPECT_FALSE(FaultSchedule::Parse("crash@60:wat=w0").ok());     // unknown key
+  EXPECT_FALSE(FaultSchedule::Parse("straggle@60:node=w0,factor=nan").ok());
+}
+
+TEST(FaultScheduleTest, ParseErrorNamesTheOffender) {
+  const auto r = FaultSchedule::Parse("crash@60:node=w0;explode@90:node=w1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("explode"), std::string::npos);
+}
+
+TEST(FaultScheduleTest, EmptySpecIsEmptySchedule) {
+  auto r = FaultSchedule::Parse("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+TEST(FaultScheduleTest, FaultWindowsCoverEventExtents) {
+  FaultSchedule s;
+  s.Crash("w0", Seconds(60), Seconds(15));
+  s.Degrade("w1", Seconds(100), Seconds(20), 0.5);
+  const auto windows = s.FaultWindows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].first, Seconds(60));
+  EXPECT_EQ(windows[0].second, Seconds(75));
+  EXPECT_EQ(windows[1].first, Seconds(100));
+  EXPECT_EQ(windows[1].second, Seconds(120));
+}
+
+}  // namespace
+}  // namespace sdps::chaos

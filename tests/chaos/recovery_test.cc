@@ -1,0 +1,121 @@
+#include "chaos/recovery.h"
+
+#include <gtest/gtest.h>
+
+namespace sdps::chaos {
+namespace {
+
+engine::OutputRecord Out(uint64_t key, SimTime window_end, SimTime max_event,
+                         double value) {
+  engine::OutputRecord o;
+  o.key = key;
+  o.window_end = window_end;
+  o.max_event_time = max_event;
+  o.value = value;
+  return o;
+}
+
+TEST(RecoveryTrackerTest, NoFaultNoFindings) {
+  RecoveryTracker t;
+  t.Observe(Out(1, Seconds(8), Seconds(3), 10.0), Seconds(9));
+  t.Observe(Out(2, Seconds(8), Seconds(2), 20.0), Seconds(9));
+  const RecoveryStats stats = t.Finalize(0, Seconds(10));
+  EXPECT_EQ(stats.crash_time, -1);
+  EXPECT_EQ(stats.recovery_time, -1);
+  EXPECT_EQ(stats.duplicates, 0u);
+  EXPECT_EQ(stats.lost, 0u);
+  EXPECT_EQ(stats.outputs_total, 2u);
+}
+
+TEST(RecoveryTrackerTest, RepeatedIdentityIsDuplicate) {
+  RecoveryTracker t;
+  t.Observe(Out(1, Seconds(8), Seconds(3), 10.0), Seconds(9));
+  t.Observe(Out(1, Seconds(8), Seconds(3), 10.0), Seconds(12));
+  const RecoveryStats stats = t.Finalize(0, Seconds(20));
+  EXPECT_EQ(stats.duplicates, 1u);
+}
+
+TEST(RecoveryTrackerTest, OverlappingSlidingWindowsAreDistinctIdentities) {
+  // Same key, same contents (so identical max-event-time and value), but
+  // fired for two different overlapping windows: not a duplicate.
+  RecoveryTracker t;
+  t.Observe(Out(1, Seconds(4), Seconds(3), 10.0), Seconds(5));
+  t.Observe(Out(1, Seconds(8), Seconds(3), 10.0), Seconds(9));
+  const RecoveryStats stats = t.Finalize(0, Seconds(10));
+  EXPECT_EQ(stats.duplicates, 0u);
+}
+
+TEST(RecoveryTrackerTest, FloatGridAbsorbsSummationNoise) {
+  // A replayed sum accumulated in a different order differs by ~1 double
+  // ULP; the float round-trip must treat it as the same identity.
+  RecoveryTracker t;
+  const double sum = 12345.678901234567;
+  t.Observe(Out(1, Seconds(8), Seconds(3), sum), Seconds(9));
+  t.Observe(Out(1, Seconds(8), Seconds(3), sum * (1.0 + 1e-15)), Seconds(12));
+  const RecoveryStats stats = t.Finalize(0, Seconds(20));
+  EXPECT_EQ(stats.duplicates, 1u);  // same identity, so the re-emit counts
+}
+
+TEST(RecoveryTrackerTest, OracleEnablesLostAccounting) {
+  RecoveryTracker baseline;
+  baseline.Observe(Out(1, Seconds(8), Seconds(3), 10.0), Seconds(9));
+  baseline.Observe(Out(2, Seconds(8), Seconds(2), 20.0), Seconds(9));
+
+  RecoveryTracker faulty;
+  faulty.SetOracle(baseline.observed());
+  faulty.Observe(Out(1, Seconds(8), Seconds(3), 10.0), Seconds(9));
+  // Key 2 never arrives; key 3 is new (not in the oracle).
+  faulty.Observe(Out(3, Seconds(8), Seconds(1), 30.0), Seconds(9));
+  const RecoveryStats stats = faulty.Finalize(0, Seconds(10));
+  EXPECT_EQ(stats.lost, 1u);        // key 2
+  EXPECT_EQ(stats.duplicates, 1u);  // key 3 exceeds its oracle count of 0
+}
+
+TEST(RecoveryTrackerTest, RecoveryTimeAndGapFromCrashWindow) {
+  RecoveryTracker t;
+  t.NoteCrashWindow(Seconds(60), Seconds(70));
+  t.Observe(Out(1, Seconds(56), Seconds(55), 1.0), Seconds(58));
+  t.Observe(Out(2, Seconds(60), Seconds(59), 1.0), Seconds(59));
+  // Output resumes 8 s after the restart. (Horizon kept close to the last
+  // emit so the trailing-silence clause does not top the 19 s stall.)
+  t.Observe(Out(3, Seconds(64), Seconds(63), 1.0), Seconds(78));
+  const RecoveryStats stats = t.Finalize(0, Seconds(80));
+  EXPECT_EQ(stats.crash_time, Seconds(60));
+  EXPECT_EQ(stats.restart_time, Seconds(70));
+  EXPECT_EQ(stats.first_output_after, Seconds(78));
+  EXPECT_EQ(stats.recovery_time, Seconds(18));  // first output - crash time
+  EXPECT_EQ(stats.output_gap, Seconds(19));     // 59 s -> 78 s stall
+}
+
+TEST(RecoveryTrackerTest, OnlyFirstCrashWindowCounts) {
+  RecoveryTracker t;
+  t.NoteCrashWindow(Seconds(60), Seconds(70));
+  t.NoteCrashWindow(Seconds(90), Seconds(95));
+  const RecoveryStats stats = t.Finalize(0, Seconds(100));
+  EXPECT_EQ(stats.crash_time, Seconds(60));
+  EXPECT_EQ(stats.restart_time, Seconds(70));
+}
+
+TEST(RecoveryTrackerTest, AvailabilityCountsOccupiedSeconds) {
+  RecoveryTracker t;
+  // Outputs in 4 of the 10 measured seconds.
+  for (int s = 0; s < 4; ++s) {
+    t.Observe(Out(static_cast<uint64_t>(s), Seconds(s), Seconds(s), 1.0),
+              Seconds(s) + Millis(100));
+  }
+  const RecoveryStats stats = t.Finalize(0, Seconds(10));
+  EXPECT_DOUBLE_EQ(stats.availability, 0.4);
+}
+
+TEST(RecoveryTrackerTest, StallRunningAtHorizonCounts) {
+  RecoveryTracker t;
+  t.NoteCrashWindow(Seconds(60), Seconds(70));
+  t.Observe(Out(1, Seconds(56), Seconds(55), 1.0), Seconds(58));
+  // No output ever again: the gap extends to the measurement horizon.
+  const RecoveryStats stats = t.Finalize(0, Seconds(100));
+  EXPECT_EQ(stats.output_gap, Seconds(42));  // 58 s -> 100 s
+  EXPECT_EQ(stats.recovery_time, -1);        // never resumed
+}
+
+}  // namespace
+}  // namespace sdps::chaos

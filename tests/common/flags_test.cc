@@ -1,0 +1,120 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace sdps {
+namespace {
+
+/// Builds a mutable argv from string literals (Parse takes char* const*).
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+    for (auto& s : strings_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char* const* argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> ptrs_;
+};
+
+struct Flags {
+  bool smoke = false;
+  std::string engine = "flink";
+  int workers = 2;
+  double rate = 1.0e6;
+
+  FlagParser Parser() {
+    FlagParser p;
+    p.AddSwitch("--smoke", &smoke, "small run")
+        .AddString("--engine", &engine, "engine name")
+        .AddInt("--workers", &workers, "deployment size")
+        .AddDouble("--rate", &rate, "offered rate");
+    return p;
+  }
+};
+
+TEST(FlagParserTest, DefaultsSurviveEmptyArgv) {
+  Flags f;
+  Argv a({"prog"});
+  ASSERT_TRUE(f.Parser().Parse(a.argc(), a.argv()).ok());
+  EXPECT_FALSE(f.smoke);
+  EXPECT_EQ(f.engine, "flink");
+  EXPECT_EQ(f.workers, 2);
+  EXPECT_DOUBLE_EQ(f.rate, 1.0e6);
+}
+
+TEST(FlagParserTest, ParsesEqualsAndSpaceForms) {
+  Flags f;
+  Argv a({"prog", "--engine=storm", "--workers", "8", "--rate=2e6", "--smoke"});
+  ASSERT_TRUE(f.Parser().Parse(a.argc(), a.argv()).ok());
+  EXPECT_TRUE(f.smoke);
+  EXPECT_EQ(f.engine, "storm");
+  EXPECT_EQ(f.workers, 8);
+  EXPECT_DOUBLE_EQ(f.rate, 2.0e6);
+}
+
+TEST(FlagParserTest, UnknownFlagIsInvalidArgument) {
+  Flags f;
+  Argv a({"prog", "--smkoe"});
+  const Status s = f.Parser().Parse(a.argc(), a.argv());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("--smkoe"), std::string::npos);
+}
+
+TEST(FlagParserTest, PositionalArgumentRejected) {
+  Flags f;
+  Argv a({"prog", "storm"});
+  const Status s = f.Parser().Parse(a.argc(), a.argv());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("storm"), std::string::npos);
+}
+
+TEST(FlagParserTest, MalformedIntRejected) {
+  Flags f;
+  Argv a({"prog", "--workers=four"});
+  EXPECT_TRUE(f.Parser().Parse(a.argc(), a.argv()).IsInvalidArgument());
+  Argv trailing({"prog", "--workers=4x"});
+  EXPECT_TRUE(f.Parser().Parse(trailing.argc(), trailing.argv()).IsInvalidArgument());
+}
+
+TEST(FlagParserTest, MalformedDoubleRejected) {
+  Flags f;
+  Argv a({"prog", "--rate=fast"});
+  EXPECT_TRUE(f.Parser().Parse(a.argc(), a.argv()).IsInvalidArgument());
+}
+
+TEST(FlagParserTest, ScientificNotationDoubleAccepted) {
+  Flags f;
+  Argv a({"prog", "--rate=8.4e5"});
+  ASSERT_TRUE(f.Parser().Parse(a.argc(), a.argv()).ok());
+  EXPECT_DOUBLE_EQ(f.rate, 8.4e5);
+}
+
+TEST(FlagParserTest, ValueOnSwitchRejected) {
+  Flags f;
+  Argv a({"prog", "--smoke=yes"});
+  EXPECT_TRUE(f.Parser().Parse(a.argc(), a.argv()).IsInvalidArgument());
+}
+
+TEST(FlagParserTest, MissingValueRejected) {
+  Flags f;
+  Argv a({"prog", "--engine"});
+  const Status s = f.Parser().Parse(a.argc(), a.argv());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("--engine"), std::string::npos);
+}
+
+TEST(FlagParserTest, UsageListsEveryFlagAndTelemetry) {
+  Flags f;
+  const std::string usage = f.Parser().Usage("prog");
+  EXPECT_NE(usage.find("--smoke"), std::string::npos);
+  EXPECT_NE(usage.find("--engine"), std::string::npos);
+  EXPECT_NE(usage.find("--workers"), std::string::npos);
+  EXPECT_NE(usage.find("--rate"), std::string::npos);
+  EXPECT_NE(usage.find("--trace="), std::string::npos);  // telemetry section
+}
+
+}  // namespace
+}  // namespace sdps

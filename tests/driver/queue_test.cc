@@ -123,5 +123,112 @@ TEST(DriverQueueTest, DirectHandoffWhenConsumerWaiting) {
   EXPECT_EQ(seen, 77);
 }
 
+TEST(DriverQueueTest, RetainKeepsPoppedRecordsUntilAcked) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  q.set_retain(true);
+  for (SimTime t = 1; t <= 3; ++t) q.Push(Rec(t));
+  sim.Spawn([](DriverQueue& queue) -> des::Task<> {
+    for (int i = 0; i < 3; ++i) (void)co_await queue.Pop();
+  }(q));
+  sim.RunUntilIdle();
+  EXPECT_EQ(q.retained_records(), 3u);
+  q.Ack(2);  // the first two pop indices are 0 and 1
+  EXPECT_EQ(q.retained_records(), 1u);
+  q.Ack(q.popped_records());
+  EXPECT_EQ(q.retained_records(), 0u);
+}
+
+TEST(DriverQueueTest, AckThroughEventTimeDropsFromTheFront) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  q.set_retain(true);
+  // Out-of-order event times: the early record behind a newer one stays
+  // retained (conservative at-least-once).
+  q.Push(Rec(1));
+  q.Push(Rec(5));
+  q.Push(Rec(2));
+  sim.Spawn([](DriverQueue& queue) -> des::Task<> {
+    for (int i = 0; i < 3; ++i) (void)co_await queue.Pop();
+  }(q));
+  sim.RunUntilIdle();
+  q.AckThroughEventTime(2);
+  EXPECT_EQ(q.retained_records(), 2u);  // only event time 1 acked
+}
+
+TEST(DriverQueueTest, ReplayRedeliversUnackedAheadOfNewInput) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  q.set_retain(true);
+  std::vector<SimTime> got;
+  sim.Spawn([](DriverQueue& queue, std::vector<SimTime>& out) -> des::Task<> {
+    for (;;) {
+      auto r = co_await queue.Pop();
+      if (!r) co_return;
+      out.push_back(r->event_time);
+    }
+  }(q, got));
+  for (SimTime t = 1; t <= 3; ++t) q.Push(Rec(t));
+  sim.ScheduleAt(10, [&] {
+    q.Ack(1);  // record 1 survives the "crash"; 2 and 3 must be replayed
+    q.set_paused(true);
+    q.Push(Rec(10));  // new input arriving during the outage
+    q.Replay();       // retained records go to the buffer front
+    q.set_paused(false);
+  });
+  sim.ScheduleAt(20, [&] { q.Close(); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(got, (std::vector<SimTime>{1, 2, 3, 2, 3, 10}));
+  // Replayed copies were re-retained on their second pop.
+  EXPECT_EQ(q.retained_records(), 3u);
+}
+
+TEST(DriverQueueTest, PauseParksPopsEvenWhenNonEmpty) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  q.Push(Rec(7));
+  q.set_paused(true);
+  SimTime seen_at = -1;
+  sim.Spawn([](des::Simulator& s, DriverQueue& queue, SimTime& t) -> des::Task<> {
+    auto r = co_await queue.Pop();
+    EXPECT_TRUE(r.has_value());
+    t = s.now();
+  }(sim, q, seen_at));
+  sim.ScheduleAt(100, [&] {
+    EXPECT_EQ(seen_at, -1);  // still parked despite the buffered record
+    q.set_paused(false);
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(seen_at, 100);
+}
+
+TEST(DriverQueueTest, CloseWhilePausedDeliversAfterUnpause) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  q.Push(Rec(1));
+  q.set_paused(true);
+  std::vector<SimTime> got;
+  bool saw_close = false;
+  sim.Spawn([](DriverQueue& queue, std::vector<SimTime>& out,
+               bool& closed) -> des::Task<> {
+    for (;;) {
+      auto r = co_await queue.Pop();
+      if (!r) {
+        closed = true;
+        co_return;
+      }
+      out.push_back(r->event_time);
+    }
+  }(q, got, saw_close));
+  sim.ScheduleAt(10, [&] { q.Close(); });
+  sim.ScheduleAt(20, [&] {
+    EXPECT_FALSE(saw_close);  // close is deferred until the drain
+    q.set_paused(false);
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(got, (std::vector<SimTime>{1}));  // buffered record not lost
+  EXPECT_TRUE(saw_close);
+}
+
 }  // namespace
 }  // namespace sdps::driver
