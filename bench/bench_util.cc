@@ -2,12 +2,15 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "common/csv.h"
 #include "common/strings.h"
@@ -32,8 +35,13 @@ bool ConsumeFlag(const char* arg, const char* prefix, std::string* value) {
 
 /// File writes that failed anywhere in this process (telemetry dumps,
 /// WriteSeries). Exit() folds this into the process exit code so a bench
-/// never reports success over silently truncated results.
-int g_write_failures = 0;
+/// never reports success over silently truncated results. Atomic: series
+/// writes can happen from exec::TrialPool workers under --jobs=N.
+std::atomic<int> g_write_failures{0};
+
+/// Trial-level parallelism from --jobs=N (TelemetryScope consumes it
+/// before any bench code runs).
+int g_jobs = 1;
 
 void WriteDump(const char* what, const std::string& path, const Status& status) {
   if (status.ok()) {
@@ -49,11 +57,16 @@ void WriteDump(const char* what, const std::string& path, const Status& status) 
 
 TelemetryScope::TelemetryScope(int& argc, char** argv) {
   int kept = 1;
+  std::string jobs_value;
   for (int i = 1; i < argc; ++i) {
     if (ConsumeFlag(argv[i], "--trace=", &trace_path_) ||
         ConsumeFlag(argv[i], "--metrics=", &metrics_path_) ||
         ConsumeFlag(argv[i], "--metrics-csv=", &metrics_csv_path_) ||
         ConsumeFlag(argv[i], "--lineage-csv=", &lineage_csv_path_)) {
+      continue;
+    }
+    if (ConsumeFlag(argv[i], "--jobs=", &jobs_value)) {
+      g_jobs = exec::ResolveJobs(std::atoi(jobs_value.c_str()));
       continue;
     }
     argv[kept++] = argv[i];
@@ -101,12 +114,15 @@ Status TelemetryScope::Flush() {
 int Exit(TelemetryScope& telemetry, int code) {
   (void)telemetry.Flush();
   if (code != 0) return code;
-  if (g_write_failures > 0) {
-    std::fprintf(stderr, "%d result file write(s) failed\n", g_write_failures);
+  const int failures = g_write_failures.load();
+  if (failures > 0) {
+    std::fprintf(stderr, "%d result file write(s) failed\n", failures);
     return 2;
   }
   return 0;
 }
+
+int Jobs() { return g_jobs; }
 
 void ParseFlagsOrExit(const FlagParser& parser, int argc, char** argv) {
   const Status status = parser.Parse(argc, argv);
@@ -141,27 +157,26 @@ std::string ResultsPath(const std::string& name) {
   return "results/" + name;
 }
 
-double SustainableRate(workloads::Engine engine, engine::QueryKind query, int workers,
-                       double hint, workloads::EngineTuning tuning) {
-  const std::string cache_path = ResultsPath("rates_cache.csv");
-  const std::string key = CacheKey(engine, query, workers, tuning);
-  {
-    std::ifstream in(cache_path);
-    std::string line;
-    while (std::getline(in, line)) {
-      const auto fields = StrSplit(line, ',');
-      if (fields.size() == 2 && fields[0] == key) return atof(fields[1].c_str());
+namespace {
+
+bool LookupCachedRate(const std::string& cache_path, const std::string& key,
+                      double* rate) {
+  std::ifstream in(cache_path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto fields = StrSplit(line, ',');
+    if (fields.size() == 2 && fields[0] == key) {
+      *rate = atof(fields[1].c_str());
+      return true;
     }
   }
-  driver::ExperimentConfig base = workloads::MakeExperiment(query, workers, hint);
-  driver::SearchConfig search;
-  search.initial_rate = hint;
-  search.trial_duration = Seconds(60);
-  const auto result = driver::FindSustainableThroughput(
-      base, workloads::MakeEngineFactory(engine, engine::QueryConfig{query, {}}, tuning),
-      search);
+  return false;
+}
+
+void AppendCachedRate(const std::string& cache_path, const std::string& key,
+                      double rate) {
   std::ofstream out(cache_path, std::ios::app);
-  out << key << "," << StrFormat("%.0f", result.sustainable_rate) << "\n";
+  out << key << "," << StrFormat("%.0f", rate) << "\n";
   out.flush();
   if (!out) {
     // The cache is an optimisation, but a truncated line would poison
@@ -169,7 +184,72 @@ double SustainableRate(workloads::Engine engine, engine::QueryKind query, int wo
     ++g_write_failures;
     std::fprintf(stderr, "failed to append %s to %s\n", key.c_str(), cache_path.c_str());
   }
-  return result.sustainable_rate;
+}
+
+double SearchRate(const RateQuery& q, int search_jobs) {
+  driver::ExperimentConfig base = workloads::MakeExperiment(q.query, q.workers, q.hint);
+  driver::SearchConfig search;
+  search.initial_rate = q.hint;
+  search.trial_duration = Seconds(60);
+  search.jobs = search_jobs;
+  return driver::FindSustainableThroughput(
+             base,
+             workloads::MakeEngineFactory(q.engine, engine::QueryConfig{q.query, {}},
+                                          q.tuning),
+             search)
+      .sustainable_rate;
+}
+
+}  // namespace
+
+double SustainableRate(workloads::Engine engine, engine::QueryKind query, int workers,
+                       double hint, workloads::EngineTuning tuning) {
+  return SustainableRates({RateQuery{engine, query, workers, hint, tuning}})[0];
+}
+
+std::vector<double> SustainableRates(const std::vector<RateQuery>& queries) {
+  const std::string cache_path = ResultsPath("rates_cache.csv");
+  std::vector<double> rates(queries.size(), 0.0);
+  // Misses deduplicated by cache key, preserving first-miss order — the
+  // order the serial code would have appended cache lines in.
+  std::vector<size_t> unique;  // index of each distinct missed query
+  std::vector<std::string> unique_keys;
+  std::vector<std::pair<size_t, size_t>> aliases;  // (query idx, unique idx)
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const std::string key =
+        CacheKey(queries[i].engine, queries[i].query, queries[i].workers,
+                 queries[i].tuning);
+    if (LookupCachedRate(cache_path, key, &rates[i])) continue;
+    const auto it = std::find(unique_keys.begin(), unique_keys.end(), key);
+    if (it != unique_keys.end()) {
+      aliases.emplace_back(i, static_cast<size_t>(it - unique_keys.begin()));
+      continue;
+    }
+    aliases.emplace_back(i, unique.size());
+    unique.push_back(i);
+    unique_keys.push_back(key);
+  }
+  if (unique.empty()) return rates;
+
+  // One missing search gets the whole --jobs budget inside the search;
+  // several run side by side with serial searches (never both, to avoid
+  // oversubscribing). Either split yields identical rates.
+  std::vector<double> searched(unique.size());
+  if (unique.size() == 1) {
+    searched[0] = SearchRate(queries[unique[0]], Jobs());
+  } else {
+    std::vector<std::function<double()>> tasks;
+    tasks.reserve(unique.size());
+    for (const size_t qi : unique) {
+      tasks.emplace_back([&queries, qi] { return SearchRate(queries[qi], 1); });
+    }
+    searched = RunAll<double>(std::move(tasks));
+  }
+  for (size_t u = 0; u < unique.size(); ++u) {
+    AppendCachedRate(cache_path, unique_keys[u], searched[u]);
+  }
+  for (const auto& [qi, u] : aliases) rates[qi] = searched[u];
+  return rates;
 }
 
 driver::ExperimentResult MeasureAt(workloads::Engine engine, engine::QueryKind query,

@@ -4,24 +4,31 @@
 #ifndef SDPS_BENCH_BENCH_UTIL_H_
 #define SDPS_BENCH_BENCH_UTIL_H_
 
+#include <functional>
+#include <future>
 #include <string>
+#include <vector>
 
 #include "common/flags.h"
 #include "driver/experiment.h"
 #include "driver/sustainable.h"
+#include "exec/pool.h"
 #include "workloads/workloads.h"
 
 namespace sdps::bench {
 
 /// Telemetry flags shared by every bench binary. Construct first thing in
 /// main(): consumes `--trace=FILE`, `--metrics=FILE` (Prometheus text),
-/// `--metrics-csv=FILE` and `--lineage-csv=FILE` from argv — compacting
-/// argv in place so the bench's own argument parsing never sees them —
-/// and enables the corresponding obs sinks (plus the `log.messages`
-/// counters). The dump files are written when the scope is destroyed,
-/// i.e. after the bench's last experiment; the trace and lineage dumps
-/// therefore show the final run (both are reset at each experiment start)
-/// while metrics accumulate over the whole process.
+/// `--metrics-csv=FILE`, `--lineage-csv=FILE` and `--jobs=N` from argv —
+/// compacting argv in place so the bench's own argument parsing never
+/// sees them — and enables the corresponding obs sinks (plus the
+/// `log.messages` counters). The dump files are written when the scope is
+/// destroyed, i.e. after the bench's last experiment; the trace and
+/// lineage dumps therefore show the final run (both are reset at each
+/// experiment start) while metrics accumulate over the whole process.
+/// Deep telemetry is thread-local: run with `--jobs=1` (the default) when
+/// capturing traces or lineage, so the instrumented trial executes on the
+/// main thread the exporters read from.
 class TelemetryScope {
  public:
   TelemetryScope(int& argc, char** argv);
@@ -55,14 +62,52 @@ int Exit(TelemetryScope& telemetry, int code = 0);
 /// stray arguments still fail fast.
 void ParseFlagsOrExit(const FlagParser& parser, int argc, char** argv);
 
+/// Trial-level parallelism for this bench process, from `--jobs=N`
+/// (default 1; `--jobs=0` means hardware concurrency). Campaign outputs
+/// are bit-identical at any jobs value — parallelism only changes
+/// wall-clock time.
+int Jobs();
+
+/// Runs independent measurement closures Jobs()-wide, returning results
+/// in submission order (so row/CSV order never depends on scheduling).
+/// With Jobs() == 1 each closure runs inline at submission, exactly like
+/// the historical serial loop.
+template <typename T>
+std::vector<T> RunAll(std::vector<std::function<T()>> tasks) {
+  exec::TrialPool pool(exec::ResolveJobs(Jobs()));
+  std::vector<std::future<T>> futures;
+  futures.reserve(tasks.size());
+  for (auto& task : tasks) futures.push_back(pool.Submit(std::move(task)));
+  std::vector<T> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
 /// Creates ./results if needed and returns "results/<name>".
 std::string ResultsPath(const std::string& name);
 
 /// Returns the sustainable rate for (engine, query, workers), reading
 /// results/rates_cache.csv when present and appending after a fresh
-/// search. `hint` bounds the search start.
+/// search (the search itself runs Jobs()-wide). `hint` bounds the search
+/// start.
 double SustainableRate(workloads::Engine engine, engine::QueryKind query, int workers,
                        double hint = 2.0e6, workloads::EngineTuning tuning = {});
+
+/// One sustainable-rate lookup in a batch resolve.
+struct RateQuery {
+  workloads::Engine engine;
+  engine::QueryKind query;
+  int workers = 2;
+  double hint = 2.0e6;
+  workloads::EngineTuning tuning = {};
+};
+
+/// Batch variant of SustainableRate: resolves all queries, running the
+/// missing searches concurrently (Jobs() workers spread across searches),
+/// and appends cache lines in query order so results/rates_cache.csv is
+/// byte-identical at any --jobs value. Returns rates in query order.
+std::vector<double> SustainableRates(const std::vector<RateQuery>& queries);
 
 /// Runs one measurement at the given rate (fraction of `rate`); standard
 /// paper deployment and generator presets.

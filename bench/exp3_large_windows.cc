@@ -52,24 +52,43 @@ int main(int argc, char** argv) {
   const engine::WindowSpec large{Seconds(60), Seconds(60)};
   // 95% of the searched maximum: a comfortably-sustained operating point,
   // so any degradation below is attributable to the window size.
-  const double spark_rate =
-      0.95 * bench::SustainableRate(Engine::kSpark, engine::QueryKind::kAggregation, 4);
+  const std::vector<double> max_rates = bench::SustainableRates(
+      {{Engine::kSpark, engine::QueryKind::kAggregation, 4},
+       {Engine::kStorm, engine::QueryKind::kAggregation, 4},
+       {Engine::kFlink, engine::QueryKind::kAggregation, 4}});
+  const double spark_rate = 0.95 * max_rates[0];
+  const double storm_rate = 0.95 * max_rates[1];
+  const double flink_rate = 0.95 * max_rates[2];
+
+  // All six windowed runs are independent: fan them out Jobs()-wide.
+  EngineTuning cached;  // default: cache on, no inverse reduce
+  EngineTuning nocache;
+  nocache.spark_cache_window = false;
+  EngineTuning inverse;
+  inverse.spark_inverse_reduce = true;
+  std::vector<std::function<driver::ExperimentResult()>> tasks;
+  tasks.emplace_back([=] { return RunWindowed(Engine::kSpark, small, spark_rate, cached); });
+  tasks.emplace_back([=] { return RunWindowed(Engine::kSpark, large, spark_rate, cached); });
+  tasks.emplace_back([=] { return RunWindowed(Engine::kSpark, large, spark_rate, nocache); });
+  tasks.emplace_back([=] { return RunWindowed(Engine::kSpark, large, spark_rate, inverse); });
+  tasks.emplace_back([=] {
+    return RunWindowed(Engine::kStorm, {Seconds(60), Seconds(10)}, storm_rate, {});
+  });
+  tasks.emplace_back([=] { return RunWindowed(Engine::kFlink, large, flink_rate, {}); });
+  auto results = bench::RunAll<driver::ExperimentResult>(std::move(tasks));
+  const auto& base = results[0];
+  const auto& big_cache = results[1];
+  const auto& big_nocache = results[2];
+  const auto& big_inverse = results[3];
+  const auto& storm_big = results[4];
+  const auto& flink_big = results[5];
 
   printf("Spark (batch size fixed at 4s), driven at 95%% of its (8s,4s) rate "
          "(%.2f M/s):\n",
          spark_rate / 1e6);
-  EngineTuning cached;  // default: cache on, no inverse reduce
-  auto base = RunWindowed(Engine::kSpark, small, spark_rate, cached);
   Report("baseline (8s,4s), cache", base);
-  auto big_cache = RunWindowed(Engine::kSpark, large, spark_rate, cached);
   Report("(60s,60s), cache (default)", big_cache);
-  EngineTuning nocache;
-  nocache.spark_cache_window = false;
-  auto big_nocache = RunWindowed(Engine::kSpark, large, spark_rate, nocache);
   Report("(60s,60s), no cache (recompute)", big_nocache);
-  EngineTuning inverse;
-  inverse.spark_inverse_reduce = true;
-  auto big_inverse = RunWindowed(Engine::kSpark, large, spark_rate, inverse);
   Report("(60s,60s), inverse reduce", big_inverse);
 
   const double base_avg =
@@ -94,18 +113,11 @@ int main(int argc, char** argv) {
   // (the paper: "we encountered memory exceptions" without spill-capable
   // structures).
   printf("\nStorm with a (60s,10s) sliding window, at its (8s,4s) rate:\n");
-  const double storm_rate =
-      0.95 * bench::SustainableRate(Engine::kStorm, engine::QueryKind::kAggregation, 4);
-  auto storm_big =
-      RunWindowed(Engine::kStorm, {Seconds(60), Seconds(10)}, storm_rate, {});
   Report("(60s,10s), buffered windows", storm_big);
   printf("  Storm hits a memory exception (no spilling window state): %s\n",
          storm_big.failure.IsResourceExhausted() ? "PASS" : "FAIL");
 
   printf("\nFlink with (60s,60s) (on-the-fly aggregation, unaffected):\n");
-  const double flink_rate =
-      0.95 * bench::SustainableRate(Engine::kFlink, engine::QueryKind::kAggregation, 4);
-  auto flink_big = RunWindowed(Engine::kFlink, large, flink_rate, {});
   Report("(60s,60s), incremental", flink_big);
   printf("  Flink sustains its (8s,4s) rate with the large window: %s\n",
          flink_big.sustainable ? "PASS" : "FAIL");

@@ -38,6 +38,7 @@ double FindSkewedRate(Engine engine, engine::QueryKind query, int workers,
   driver::SearchConfig search;
   search.initial_rate = hint;
   search.trial_duration = Seconds(60);
+  search.jobs = sdps::bench::Jobs();
   const auto result = driver::FindSustainableThroughput(
       SkewedExperiment(query, workers, hint),
       MakeEngineFactory(engine, engine::QueryConfig{query, {}}, tuning), search);

@@ -16,12 +16,24 @@ int main(int argc, char** argv) {
   sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   printf("== Fig. 10: network and CPU usage (4-node, sustainable) ==\n\n");
   const Engine engines[3] = {Engine::kStorm, Engine::kSpark, Engine::kFlink};
+  const std::vector<double> rates = bench::SustainableRates(
+      {{Engine::kStorm, engine::QueryKind::kAggregation, 4},
+       {Engine::kSpark, engine::QueryKind::kAggregation, 4},
+       {Engine::kFlink, engine::QueryKind::kAggregation, 4}});
+  std::vector<std::function<driver::ExperimentResult()>> tasks;
+  for (int i = 0; i < 3; ++i) {
+    const Engine engine = engines[i];
+    const double rate = rates[static_cast<size_t>(i)];
+    tasks.emplace_back([engine, rate] {
+      return bench::MeasureAt(engine, engine::QueryKind::kAggregation, 4, rate);
+    });
+  }
+  const auto results = bench::RunAll<driver::ExperimentResult>(std::move(tasks));
+
   double mean_cpu[3], mean_net[3];
   for (int i = 0; i < 3; ++i) {
-    const double rate =
-        bench::SustainableRate(engines[i], engine::QueryKind::kAggregation, 4);
-    auto result =
-        bench::MeasureAt(engines[i], engine::QueryKind::kAggregation, 4, rate);
+    const double rate = rates[static_cast<size_t>(i)];
+    const auto& result = results[static_cast<size_t>(i)];
     double cpu = 0, net = 0;
     for (int w = 0; w < 4; ++w) {
       const auto& cs = result.worker_cpu_util[static_cast<size_t>(w)];

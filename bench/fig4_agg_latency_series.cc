@@ -20,14 +20,37 @@ int main(int argc, char** argv) {
   const int sizes[3] = {2, 4, 8};
   double fluctuation[3][3][2];  // engine x size x {max, 90%}
 
+  // Batch-resolve the rate grid, then fan the 18 panel runs out
+  // Jobs()-wide; panels are consumed (and their CSVs written) in the
+  // historical loop order.
+  std::vector<bench::RateQuery> grid;
   for (int e = 0; e < 3; ++e) {
     for (int s = 0; s < 3; ++s) {
-      const double max_rate = bench::SustainableRate(
-          engines[e], engine::QueryKind::kAggregation, sizes[s]);
+      grid.push_back({engines[e], engine::QueryKind::kAggregation, sizes[s]});
+    }
+  }
+  const std::vector<double> max_rates = bench::SustainableRates(grid);
+
+  std::vector<std::function<driver::ExperimentResult()>> tasks;
+  for (int e = 0; e < 3; ++e) {
+    for (int s = 0; s < 3; ++s) {
       for (const bool reduced : {false, true}) {
-        const double rate = reduced ? 0.9 * max_rate : max_rate;
-        auto result = bench::MeasureAt(engines[e], engine::QueryKind::kAggregation,
-                                       sizes[s], rate);
+        const double rate = (reduced ? 0.9 : 1.0) * max_rates[static_cast<size_t>(e * 3 + s)];
+        const Engine engine = engines[e];
+        const int size = sizes[s];
+        tasks.emplace_back([engine, size, rate] {
+          return bench::MeasureAt(engine, engine::QueryKind::kAggregation, size, rate);
+        });
+      }
+    }
+  }
+  const auto results = bench::RunAll<driver::ExperimentResult>(std::move(tasks));
+
+  size_t panel = 0;
+  for (int e = 0; e < 3; ++e) {
+    for (int s = 0; s < 3; ++s) {
+      for (const bool reduced : {false, true}) {
+        const auto& result = results[panel++];
         const std::string file =
             StrFormat("fig4_%s_%dnode_%s.csv", EngineName(engines[e]).c_str(),
                       sizes[s], reduced ? "90pct" : "max");

@@ -40,15 +40,25 @@ int main(int argc, char** argv) {
   };
   double spike[5];  // recovery-phase p99 EXCESS over the steady phase
 
+  // The five panels are independent runs — fan them out Jobs()-wide and
+  // consume in panel order.
+  std::vector<std::function<driver::ExperimentResult()>> tasks;
   for (int p = 0; p < 5; ++p) {
-    driver::ExperimentConfig config = MakeExperiment(panels[p].query, 4,
-                                                     /*rate=*/0.84e6, duration);
-    config.rate_profile = FluctuatingProfile(duration);
-    // Transient spikes must be observed, not aborted.
-    config.backlog_hard_limit_s = 1e9;
-    auto result = driver::RunExperiment(
-        config, MakeEngineFactory(panels[p].engine,
-                                  engine::QueryConfig{panels[p].query, {}}));
+    const Panel panel = panels[p];
+    tasks.emplace_back([panel, duration] {
+      driver::ExperimentConfig config = MakeExperiment(panel.query, 4,
+                                                       /*rate=*/0.84e6, duration);
+      config.rate_profile = FluctuatingProfile(duration);
+      // Transient spikes must be observed, not aborted.
+      config.backlog_hard_limit_s = 1e9;
+      return driver::RunExperiment(
+          config, MakeEngineFactory(panel.engine, engine::QueryConfig{panel.query, {}}));
+    });
+  }
+  const auto results = bench::RunAll<driver::ExperimentResult>(std::move(tasks));
+
+  for (int p = 0; p < 5; ++p) {
+    const auto& result = results[static_cast<size_t>(p)];
     const std::string file = StrFormat("fig6_%s.csv", panels[p].name);
     bench::WriteSeries(file, "event_latency_s", result.event_latency_series);
     // Spike metric: the worst event-time latency reached across the run —

@@ -16,10 +16,22 @@ int main(int argc, char** argv) {
   sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   printf("== Fig. 8: event vs processing-time latency (2-node, sustainable) ==\n\n");
   const Engine engines[3] = {Engine::kStorm, Engine::kSpark, Engine::kFlink};
-  for (const Engine e : engines) {
-    const double rate =
-        bench::SustainableRate(e, engine::QueryKind::kAggregation, 2);
-    auto result = bench::MeasureAt(e, engine::QueryKind::kAggregation, 2, rate);
+  const std::vector<double> rates = bench::SustainableRates(
+      {{Engine::kStorm, engine::QueryKind::kAggregation, 2},
+       {Engine::kSpark, engine::QueryKind::kAggregation, 2},
+       {Engine::kFlink, engine::QueryKind::kAggregation, 2}});
+  std::vector<std::function<driver::ExperimentResult()>> tasks;
+  for (int e = 0; e < 3; ++e) {
+    const Engine engine = engines[e];
+    const double rate = rates[static_cast<size_t>(e)];
+    tasks.emplace_back([engine, rate] {
+      return bench::MeasureAt(engine, engine::QueryKind::kAggregation, 2, rate);
+    });
+  }
+  const auto results = bench::RunAll<driver::ExperimentResult>(std::move(tasks));
+  for (int i = 0; i < 3; ++i) {
+    const Engine e = engines[i];
+    const auto& result = results[static_cast<size_t>(i)];
     bench::WriteSeries(StrFormat("fig8_%s_event.csv", EngineName(e).c_str()),
                        "event_latency_s", result.event_latency_series);
     bench::WriteSeries(StrFormat("fig8_%s_processing.csv", EngineName(e).c_str()),

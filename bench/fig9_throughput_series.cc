@@ -17,12 +17,32 @@ int main(int argc, char** argv) {
   sdps::bench::ParseFlagsOrExit(sdps::FlagParser{}, argc, argv);
   printf("== Fig. 9: ingest throughput over time (4-node, sustainable) ==\n\n");
   const Engine engines[3] = {Engine::kStorm, Engine::kSpark, Engine::kFlink};
+  const std::vector<double> rates = bench::SustainableRates(
+      {{Engine::kStorm, engine::QueryKind::kAggregation, 4},
+       {Engine::kSpark, engine::QueryKind::kAggregation, 4},
+       {Engine::kFlink, engine::QueryKind::kAggregation, 4}});
+  // Six runs (max + 70% per engine), fanned out Jobs()-wide.
+  std::vector<std::function<driver::ExperimentResult()>> tasks;
+  for (int i = 0; i < 3; ++i) {
+    const Engine engine = engines[i];
+    const double rate = rates[static_cast<size_t>(i)];
+    tasks.emplace_back([engine, rate] {
+      return bench::MeasureAt(engine, engine::QueryKind::kAggregation, 4, rate);
+    });
+  }
+  for (int i = 0; i < 3; ++i) {
+    const Engine engine = engines[i];
+    const double rate = 0.7 * rates[static_cast<size_t>(i)];
+    tasks.emplace_back([engine, rate] {
+      return bench::MeasureAt(engine, engine::QueryKind::kAggregation, 4, rate);
+    });
+  }
+  const auto results = bench::RunAll<driver::ExperimentResult>(std::move(tasks));
+
   double cov[3];
   for (int i = 0; i < 3; ++i) {
-    const double rate =
-        bench::SustainableRate(engines[i], engine::QueryKind::kAggregation, 4);
-    auto result =
-        bench::MeasureAt(engines[i], engine::QueryKind::kAggregation, 4, rate);
+    const double rate = rates[static_cast<size_t>(i)];
+    const auto& result = results[static_cast<size_t>(i)];
     const std::string file =
         StrFormat("fig9_%s_throughput.csv", EngineName(engines[i]).c_str());
     bench::WriteSeries(file, "ingest_tuples_per_s", result.ingest_rate_series);
@@ -42,10 +62,7 @@ int main(int argc, char** argv) {
   // Lower workload: Flink and Spark stabilise; Storm still fluctuates.
   printf("\nat 70%% workload:\n");
   for (int i = 0; i < 3; ++i) {
-    const double rate =
-        0.7 * bench::SustainableRate(engines[i], engine::QueryKind::kAggregation, 4);
-    auto result =
-        bench::MeasureAt(engines[i], engine::QueryKind::kAggregation, 4, rate);
+    const auto& result = results[static_cast<size_t>(3 + i)];
     const double c = bench::CoefficientOfVariation(result.ingest_rate_series,
                                                    Seconds(60), Seconds(180));
     printf("  %-5s: cov %.3f\n", EngineName(engines[i]).c_str(), c);

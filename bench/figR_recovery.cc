@@ -28,6 +28,7 @@
 #include "chaos/fault_schedule.h"
 #include "common/strings.h"
 #include "driver/experiment.h"
+#include "driver/recovery_pair.h"
 #include "report/recovery.h"
 
 using namespace sdps;             // NOLINT
@@ -80,11 +81,22 @@ int main(int argc, char** argv) {
 
     // Fault-free oracle run: identical seed/config, recovery machinery on
     // (checkpointing changes emission times, so the oracle must pay for it
-    // too), no faults injected.
+    // too), no faults injected. The oracle and its faulty twin are
+    // independent simulations, so with --jobs>1 they run concurrently and
+    // the delivery comparison happens after both finish.
     driver::ExperimentConfig base =
         MakeExperiment(engine::QueryKind::kAggregation, 2, rate, duration);
     base.track_recovery = true;
-    const auto oracle_run = driver::RunExperiment(base, factory);
+
+    driver::ExperimentConfig faulty = base;
+    faulty.faults.Crash("w1", crash_at, restart_delay);
+    faulty.watchdog_timeout = Seconds(30);
+
+    exec::TrialPool pool(exec::ResolveJobs(bench::Jobs()));
+    const driver::RecoveryPair pair =
+        driver::RunRecoveryPair(base, faulty, factory, pool);
+    const auto& oracle_run = pair.oracle;
+    const auto& result = pair.faulty;
     if (oracle_run.recovery.duplicates != 0) {
       std::fprintf(stderr,
                    "  %s VIOLATION: fault-free run emitted %llu duplicate "
@@ -93,12 +105,6 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(oracle_run.recovery.duplicates));
       ++violations;
     }
-
-    driver::ExperimentConfig faulty = base;
-    faulty.faults.Crash("w1", crash_at, restart_delay);
-    faulty.recovery_oracle = &oracle_run.observed_outputs;
-    faulty.watchdog_timeout = Seconds(30);
-    const auto result = driver::RunExperiment(faulty, factory);
 
     report::RecoveryRow row;
     row.engine = name;

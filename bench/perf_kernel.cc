@@ -1,0 +1,202 @@
+// Kernel microbenchmark for the hot paths the whole harness rides on:
+//   * des::Simulator fn-event throughput (self-rescheduling callback
+//     chains, 64 and 4096 concurrent chains — shallow and deep heaps);
+//   * window-state Add/Fire throughput per backend (AggWindowState at
+//     1 000 and 100 000 keys, BufferedWindowState, JoinWindowState);
+//   * with --smoke, wall-clock of a small sustainable-rate search at
+//     --jobs=1 vs the requested --jobs (trial-parallel speedup).
+//
+// Emits results/BENCH_kernel.json. scripts/check_perf.py gates CI on it
+// against the committed BENCH_kernel.json at the repo root: any throughput
+// metric more than 20% below its committed floor fails the build. Every
+// measurement is best-of-kRepeats to shave scheduler noise.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "des/simulator.h"
+#include "driver/sustainable.h"
+#include "engine/window_state.h"
+#include "exec/pool.h"
+
+using namespace sdps;             // NOLINT
+using namespace sdps::workloads;  // NOLINT
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr int kRepeats = 3;
+
+template <typename Fn>
+double BestOf(Fn&& run) {
+  double best = 0;
+  for (int i = 0; i < kRepeats; ++i) best = std::max(best, run());
+  return best;
+}
+
+// Self-rescheduling callback chains: every event pops, fires, and pushes,
+// so the heap is exercised at a steady depth of `chains` entries.
+double FnEventsPerSec(int chains, uint64_t total) {
+  struct Chain {
+    des::Simulator* sim;
+    uint64_t* fired;
+    uint64_t remaining;
+    SimTime step;
+    void Fire() {
+      ++*fired;
+      if (--remaining > 0) {
+        sim->ScheduleAfter(step, [this] { Fire(); });
+      }
+    }
+  };
+  return BestOf([&] {
+    des::Simulator sim;
+    uint64_t fired = 0;
+    std::vector<Chain> state;
+    state.reserve(static_cast<size_t>(chains));
+    for (int i = 0; i < chains; ++i) {
+      state.push_back(Chain{&sim, &fired, total / static_cast<uint64_t>(chains),
+                            static_cast<SimTime>(i % 7 + 1)});
+    }
+    const double t0 = Now();
+    for (auto& c : state) sim.ScheduleAfter(c.step, [&c] { c.Fire(); });
+    sim.RunUntilIdle();
+    return static_cast<double>(fired) / (Now() - t0);
+  });
+}
+
+// Pre-generated record tape: measures window-state work, not the Rng.
+std::vector<engine::Record> MakeTape(uint64_t n, uint64_t keys, bool join) {
+  Rng rng(42);
+  std::vector<engine::Record> recs(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    recs[i].event_time = static_cast<SimTime>(i / 3);  // ~3 records per us
+    recs[i].ingest_time = recs[i].event_time + 1000;
+    recs[i].key = rng.NextBelow(keys);
+    recs[i].value = 1.0;
+    if (join) {
+      recs[i].stream =
+          (i & 31) ? engine::StreamId::kPurchases : engine::StreamId::kAds;
+    }
+  }
+  return recs;
+}
+
+template <typename State, typename FireCount>
+double RecordsPerSec(const std::vector<engine::Record>& tape, FireCount&& fired) {
+  return BestOf([&] {
+    engine::WindowAssigner assigner({Seconds(8), Seconds(4)});
+    State state(assigner);
+    uint64_t outputs = 0;
+    const double t0 = Now();
+    for (uint64_t i = 0; i < tape.size(); ++i) {
+      state.Add(tape[i]);
+      if ((i & 0xFFFFF) == 0xFFFFF) {
+        outputs += fired(state, tape[i].event_time - Seconds(8));
+      }
+    }
+    outputs += fired(state, Seconds(1 << 30));
+    const double dt = Now() - t0;
+    if (outputs == 0) std::fprintf(stderr, "suspicious: no outputs fired\n");
+    return static_cast<double>(tape.size()) / dt;
+  });
+}
+
+double SearchWallClock(int jobs) {
+  driver::SearchConfig search;
+  // Deliberately unsustainable start so the ladder descends several rungs
+  // and the bisection phase runs — that is the fan-out being timed.
+  search.initial_rate = 2.0e6;
+  search.trial_duration = Seconds(10);
+  search.refine_iterations = 3;
+  search.jobs = jobs;
+  driver::ExperimentConfig base =
+      MakeExperiment(engine::QueryKind::kAggregation, 2, search.initial_rate,
+                     search.trial_duration);
+  auto factory = MakeEngineFactory(
+      Engine::kFlink, engine::QueryConfig{engine::QueryKind::kAggregation, {}});
+  const double t0 = Now();
+  const auto result = driver::FindSustainableThroughput(base, factory, search);
+  const double dt = Now() - t0;
+  std::printf("  search --jobs=%d: %.2fs wall, %zu trials, %.2f M/s\n", jobs, dt,
+              result.trials.size(), result.sustainable_rate / 1e6);
+  return dt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sdps::bench::TelemetryScope telemetry(argc, argv);
+  bool smoke = false;
+  FlagParser flags;
+  flags.AddSwitch("--smoke", &smoke,
+                  "also time a small rate search at --jobs=1 vs --jobs");
+  bench::ParseFlagsOrExit(flags, argc, argv);
+  printf("== perf_kernel: DES + window-state hot-path throughput ==\n\n");
+
+  const double fn64 = FnEventsPerSec(64, 4'000'000);
+  printf("  fn_events_64     %8.1f M events/s\n", fn64 / 1e6);
+  const double fn4k = FnEventsPerSec(4096, 4'000'000);
+  printf("  fn_events_4096   %8.1f M events/s\n", fn4k / 1e6);
+
+  const auto agg_fire = [](engine::AggWindowState& s, SimTime t) {
+    return s.FireUpTo(t).size();
+  };
+  const auto buf_fire = [](auto& s, SimTime t) { return s.FireUpTo(t).outputs.size(); };
+  const double agg1k = RecordsPerSec<engine::AggWindowState>(
+      MakeTape(3'000'000, 1000, false), agg_fire);
+  printf("  agg_1k_keys      %8.1f M records/s\n", agg1k / 1e6);
+  const double agg100k = RecordsPerSec<engine::AggWindowState>(
+      MakeTape(3'000'000, 100'000, false), agg_fire);
+  printf("  agg_100k_keys    %8.1f M records/s\n", agg100k / 1e6);
+  const double buffered = RecordsPerSec<engine::BufferedWindowState>(
+      MakeTape(2'000'000, 1000, false), buf_fire);
+  printf("  buffered_1k_keys %8.1f M records/s\n", buffered / 1e6);
+  const double join = RecordsPerSec<engine::JoinWindowState>(
+      MakeTape(2'000'000, 200'000, true), buf_fire);
+  printf("  join_200k_keys   %8.1f M records/s\n", join / 1e6);
+
+  double search_j1 = 0, search_jn = 0;
+  int jn = 1;
+  if (smoke) {
+    jn = exec::ResolveJobs(bench::Jobs());
+    printf("\nsearch smoke (Flink agg, 2 workers, 10s trials):\n");
+    search_j1 = SearchWallClock(1);
+    search_jn = jn > 1 ? SearchWallClock(jn) : search_j1;
+    if (jn > 1 && search_jn > 0) {
+      printf("  speedup x%.2f at --jobs=%d\n", search_j1 / search_jn, jn);
+    }
+  }
+
+  const std::string path = bench::ResultsPath("BENCH_kernel.json");
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return bench::Exit(telemetry, 2);
+  }
+  std::fprintf(f, "{\n  \"metrics\": {\n");
+  std::fprintf(f, "    \"fn_events_64_per_s\": %.0f,\n", fn64);
+  std::fprintf(f, "    \"fn_events_4096_per_s\": %.0f,\n", fn4k);
+  std::fprintf(f, "    \"agg_1k_records_per_s\": %.0f,\n", agg1k);
+  std::fprintf(f, "    \"agg_100k_records_per_s\": %.0f,\n", agg100k);
+  std::fprintf(f, "    \"buffered_records_per_s\": %.0f,\n", buffered);
+  std::fprintf(f, "    \"join_records_per_s\": %.0f\n", join);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"search_smoke\": {\"ran\": %s, \"jobs\": %d, "
+                  "\"wall_s_jobs1\": %.3f, \"wall_s_jobsN\": %.3f},\n",
+               smoke ? "true" : "false", jn, search_j1, search_jn);
+  std::fprintf(f, "  \"repeats\": %d\n}\n", kRepeats);
+  std::fclose(f);
+  printf("\nwrote %s\n", path.c_str());
+  return bench::Exit(telemetry);
+}

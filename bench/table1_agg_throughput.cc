@@ -21,13 +21,22 @@ int main(int argc, char** argv) {
   const Engine engines[3] = {Engine::kStorm, Engine::kSpark, Engine::kFlink};
   const int sizes[3] = {2, 4, 8};
 
+  // Resolve the whole engine x scale grid in one batch: uncached searches
+  // run side by side under --jobs=N.
+  std::vector<bench::RateQuery> grid;
+  for (int e = 0; e < 3; ++e) {
+    for (int s = 0; s < 3; ++s) {
+      grid.push_back({engines[e], engine::QueryKind::kAggregation, sizes[s]});
+    }
+  }
+  const std::vector<double> rates = bench::SustainableRates(grid);
+
   report::Table table({"System", "2-node", "4-node", "8-node"});
   std::vector<report::ShapeCheck> checks;
   for (int e = 0; e < 3; ++e) {
     std::vector<std::string> row = {EngineName(engines[e])};
     for (int s = 0; s < 3; ++s) {
-      const double rate = bench::SustainableRate(
-          engines[e], engine::QueryKind::kAggregation, sizes[s]);
+      const double rate = rates[static_cast<size_t>(e * 3 + s)];
       row.push_back(FormatRateMps(rate));
       checks.push_back({StrFormat("%s %d-node agg throughput (M/s)",
                                   EngineName(engines[e]).c_str(), sizes[s]),

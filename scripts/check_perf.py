@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""CI perf regression gate for bench/perf_kernel.
+
+Usage: check_perf.py <measured.json> <baseline.json> [--tolerance 0.20]
+
+Compares every throughput metric in the measured BENCH_kernel.json (written
+by the perf_kernel binary) against its floor in the committed baseline.
+A metric more than `tolerance` below the baseline fails the gate. Metrics
+above baseline never fail; new metrics missing from the baseline warn only,
+so adding a workload does not require a lockstep baseline bump.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("measured", help="BENCH_kernel.json from a fresh run")
+    parser.add_argument("baseline", help="committed baseline BENCH_kernel.json")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional drop below baseline")
+    args = parser.parse_args()
+
+    with open(args.measured) as f:
+        measured = json.load(f)["metrics"]
+    with open(args.baseline) as f:
+        baseline = json.load(f)["metrics"]
+
+    failures = []
+    for name, floor in sorted(baseline.items()):
+        if name not in measured:
+            failures.append(f"{name}: missing from measured output")
+            continue
+        got = measured[name]
+        ratio = got / floor if floor else float("inf")
+        status = "OK " if ratio >= 1.0 - args.tolerance else "FAIL"
+        print(f"  {status} {name}: {got:,.0f} vs floor {floor:,.0f} "
+              f"(x{ratio:.2f})")
+        if status == "FAIL":
+            failures.append(
+                f"{name}: {got:,.0f} is more than "
+                f"{args.tolerance:.0%} below the baseline {floor:,.0f}")
+    for name in sorted(set(measured) - set(baseline)):
+        print(f"  WARN {name}: not in baseline (new metric?)")
+
+    if failures:
+        print(f"\n{len(failures)} perf regression(s):", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

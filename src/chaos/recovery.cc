@@ -28,6 +28,23 @@ void RecoveryTracker::Observe(const engine::OutputRecord& out, SimTime now) {
   prev_emit_ = now;
 }
 
+void RecoveryTracker::ApplyOracle(const OutputCounts& observed,
+                                  const OutputCounts& oracle, RecoveryStats* stats) {
+  // Same arithmetic as the oracle branch of Finalize().
+  stats->duplicates = 0;
+  stats->lost = 0;
+  for (const auto& [id, count] : observed) {
+    const auto it = oracle.find(id);
+    const uint64_t expected = it == oracle.end() ? 0 : it->second;
+    if (count > expected) stats->duplicates += count - expected;
+  }
+  for (const auto& [id, expected] : oracle) {
+    const auto it = observed.find(id);
+    const uint64_t seen = it == observed.end() ? 0 : it->second;
+    if (expected > seen) stats->lost += expected - seen;
+  }
+}
+
 RecoveryStats RecoveryTracker::Finalize(SimTime start, SimTime end) const {
   RecoveryStats stats;
   stats.crash_time = crash_time_;

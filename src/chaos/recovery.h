@@ -65,6 +65,14 @@ class RecoveryTracker {
   /// Computes the final stats over the measurement interval [start, end].
   RecoveryStats Finalize(SimTime start, SimTime end) const;
 
+  /// Recomputes `stats`' duplicates/lost as if `oracle` had been installed
+  /// via SetOracle() before Finalize(). Lets a faulty run and its
+  /// fault-free oracle twin execute concurrently (neither depends on the
+  /// other mid-run; only the delivery comparison does) — the result is
+  /// identical to the serial oracle-then-faulty sequence.
+  static void ApplyOracle(const OutputCounts& observed, const OutputCounts& oracle,
+                          RecoveryStats* stats);
+
  private:
   OutputCounts counts_;
   OutputCounts oracle_;

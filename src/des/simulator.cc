@@ -4,25 +4,20 @@
 
 namespace sdps::des {
 
+namespace {
+constexpr size_t kArity = 4;
+}
+
 Simulator::~Simulator() {
   // Drop pending events without running them, then destroy root frames
   // (finished frames park at final suspend; suspended ones cascade-destroy
   // their child frames). Wait-lists in channels/resources never touch
   // handles during their own destruction, so dangling entries are inert.
   heap_.clear();
+  slots_.clear();
   for (auto it = roots_.rbegin(); it != roots_.rend(); ++it) {
     if (*it) it->destroy();
   }
-}
-
-void Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
-  SDPS_CHECK_GE(t, now_);
-  Push(Event{t, next_seq_++, nullptr, std::move(fn)});
-}
-
-void Simulator::ScheduleResumeAt(SimTime t, std::coroutine_handle<> h) {
-  SDPS_CHECK_GE(t, now_);
-  Push(Event{t, next_seq_++, h, nullptr});
 }
 
 void Simulator::Spawn(Task<> task) {
@@ -31,29 +26,75 @@ void Simulator::Spawn(Task<> task) {
   h.resume();  // run until first suspension
 }
 
-void Simulator::Push(Event ev) {
-  heap_.push_back(std::move(ev));
-  std::push_heap(heap_.begin(), heap_.end(), EventLater{});
+void Simulator::Push(SimTime t, EventFn fn) {
+  if (heap_.capacity() < kInitialEventCapacity) {
+    heap_.reserve(kInitialEventCapacity);
+    slots_.reserve(kInitialEventCapacity);
+    free_slots_.reserve(kInitialEventCapacity);
+  }
+  uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(std::move(fn));
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(fn);
+  }
+  const EventKey key = MakeKey(t, next_seq_++);
+  // Sift up with a hole: parents slide down into the hole until the new
+  // key's level is found, so each entry is written exactly once.
+  size_t i = heap_.size();
+  heap_.emplace_back();
+  while (i > 0) {
+    const size_t parent = (i - 1) / kArity;
+    if (heap_[parent].key <= key) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = HeapEntry{key, slot};
 }
 
-Simulator::Event Simulator::PopNext() {
-  std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
-  Event ev = std::move(heap_.back());
+SimTime Simulator::PopNext(EventFn& fn) {
+  const HeapEntry top = heap_.front();
+  const HeapEntry last = heap_.back();
   heap_.pop_back();
-  return ev;
+  const size_t n = heap_.size();
+  if (n > 0) {
+    // Sift the displaced last entry down with a hole at the root.
+    size_t i = 0;
+    for (;;) {
+      const size_t first_child = i * kArity + 1;
+      if (first_child >= n) break;
+      size_t best = first_child;
+      EventKey best_key = heap_[first_child].key;
+      const size_t end = std::min(first_child + kArity, n);
+      for (size_t c = first_child + 1; c < end; ++c) {
+        const EventKey ck = heap_[c].key;
+        if (ck < best_key) {
+          best = c;
+          best_key = ck;
+        }
+      }
+      if (best_key >= last.key) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  fn = std::move(slots_[top.slot]);
+  free_slots_.push_back(top.slot);
+  return KeyTime(top.key);
 }
 
 bool Simulator::Step() {
   if (heap_.empty()) return false;
-  Event ev = PopNext();
-  SDPS_CHECK_GE(ev.time, now_);
-  now_ = ev.time;
+  EventFn fn;
+  const SimTime t = PopNext(fn);
+  SDPS_CHECK_GE(t, now_);
+  now_ = t;
   ++processed_events_;
-  if (ev.handle) {
-    ev.handle.resume();
-  } else {
-    ev.fn();
-  }
+  fn();
   return true;
 }
 
@@ -66,7 +107,7 @@ void Simulator::RunUntilIdle() {
 void Simulator::RunUntil(SimTime t) {
   SDPS_CHECK_GE(t, now_);
   stop_requested_ = false;
-  while (!stop_requested_ && !heap_.empty() && heap_.front().time <= t) {
+  while (!stop_requested_ && !heap_.empty() && KeyTime(heap_.front().key) <= t) {
     Step();
   }
   if (!stop_requested_) now_ = t;

@@ -6,17 +6,28 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "common/time_util.h"
+#include "des/event_fn.h"
 #include "des/task.h"
 
 namespace sdps::des {
 
 /// The simulation executor. Not thread-safe: a simulation runs on one
-/// thread (parallelism inside the simulated world is modelled, not real).
+/// thread (parallelism inside the simulated world is modelled, not real;
+/// real parallelism runs whole Simulators side by side — see sdps::exec).
+///
+/// Events live in an indexed 4-ary min-heap: the heap itself holds only a
+/// packed 128-bit (time, seq) key plus a slot index, while the callback
+/// payloads (small-buffer-optimized des::EventFn) sit in a free-list slab
+/// and are written exactly once — sifts compare densely packed keys and
+/// never move a callback. Scheduling a callback with a small
+/// trivially-copyable capture never touches the allocator. Extraction
+/// order is identical to the historical std::push_heap binary heap:
+/// strictly by (time, seq).
 class Simulator {
  public:
   Simulator() = default;
@@ -29,15 +40,26 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedules a callback at absolute simulated time `t` (>= now()).
-  void ScheduleAt(SimTime t, std::function<void()> fn);
-
-  /// Schedules a callback `delay` microseconds from now.
-  void ScheduleAfter(SimTime delay, std::function<void()> fn) {
-    ScheduleAt(now_ + delay, std::move(fn));
+  /// Accepts any void() callable by forwarding reference; small
+  /// trivially-copyable captures are stored inline in the event.
+  template <typename F>
+  void ScheduleAt(SimTime t, F&& fn) {
+    SDPS_CHECK_GE(t, now_);
+    Push(t, EventFn(std::forward<F>(fn)));
   }
 
-  /// Schedules a coroutine resumption (hot path: no std::function allocation).
-  void ScheduleResumeAt(SimTime t, std::coroutine_handle<> h);
+  /// Schedules a callback `delay` microseconds from now.
+  template <typename F>
+  void ScheduleAfter(SimTime delay, F&& fn) {
+    ScheduleAt(now_ + delay, std::forward<F>(fn));
+  }
+
+  /// Schedules a coroutine resumption (hot path: the handle is an 8-byte
+  /// inline capture; no allocation).
+  void ScheduleResumeAt(SimTime t, std::coroutine_handle<> h) {
+    SDPS_CHECK_GE(t, now_);
+    Push(t, EventFn([h] { h.resume(); }));
+  }
   void ScheduleResumeAfter(SimTime delay, std::coroutine_handle<> h) {
     ScheduleResumeAt(now_ + delay, h);
   }
@@ -67,27 +89,39 @@ class Simulator {
   size_t pending_events() const { return heap_.size(); }
 
  private:
-  struct Event {
-    SimTime time;
-    uint64_t seq;
-    std::coroutine_handle<> handle;   // used when non-null
-    std::function<void()> fn;         // otherwise
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  /// Packed heap key: time in the high 64 bits, insertion seq in the low
+  /// 64, so a single unsigned 128-bit compare is exactly (time, seq)
+  /// lexicographic order — the same tie-break rule as the historical
+  /// binary heap. Valid because simulated time is never negative.
+  using EventKey = unsigned __int128;
+  static EventKey MakeKey(SimTime t, uint64_t seq) {
+    return (static_cast<EventKey>(static_cast<uint64_t>(t)) << 64) | seq;
+  }
+  static SimTime KeyTime(EventKey k) {
+    return static_cast<SimTime>(static_cast<uint64_t>(k >> 64));
+  }
+
+  struct HeapEntry {
+    EventKey key;
+    uint32_t slot;  // index into slots_
   };
 
-  void Push(Event ev);
-  Event PopNext();
+  /// Initial event capacity, reserved on the first push so the first few
+  /// thousand events never re-heapify through vector growth.
+  static constexpr size_t kInitialEventCapacity = 4096;
+
+  void Push(SimTime t, EventFn fn);
+  /// Pops the earliest event, moves its callback out of the slab into
+  /// `fn`, recycles the slot, and returns the event time.
+  SimTime PopNext(EventFn& fn);
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t processed_events_ = 0;
   bool stop_requested_ = false;
-  std::vector<Event> heap_;  // managed with std::push_heap/pop_heap
+  std::vector<HeapEntry> heap_;   // 4-ary min-heap on key; root at 0
+  std::vector<EventFn> slots_;    // callback slab, indexed by HeapEntry::slot
+  std::vector<uint32_t> free_slots_;
   std::vector<std::coroutine_handle<>> roots_;
 };
 

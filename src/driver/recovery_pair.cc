@@ -1,0 +1,34 @@
+#include "driver/recovery_pair.h"
+
+#include <future>
+#include <utility>
+
+#include "common/check.h"
+
+namespace sdps::driver {
+
+RecoveryPair RunRecoveryPair(const ExperimentConfig& oracle_config,
+                             const ExperimentConfig& faulty_config,
+                             const SutFactory& factory, exec::TrialPool& pool) {
+  SDPS_CHECK(oracle_config.faults.empty())
+      << "oracle twin must be fault-free (it is the exactly-once reference)";
+  SDPS_CHECK(faulty_config.recovery_oracle == nullptr)
+      << "RunRecoveryPair installs the oracle itself, after both runs complete";
+
+  RecoveryPair pair;
+  // Submission order matters for -j1 (inline) equivalence with the
+  // historical serial sequence: oracle first, then faulty.
+  auto oracle_future = pool.Submit(
+      [&oracle_config, &factory] { return RunExperiment(oracle_config, factory); });
+  auto faulty_future = pool.Submit(
+      [&faulty_config, &factory] { return RunExperiment(faulty_config, factory); });
+  pair.oracle = oracle_future.get();
+  pair.faulty = faulty_future.get();
+
+  chaos::RecoveryTracker::ApplyOracle(pair.faulty.observed_outputs,
+                                      pair.oracle.observed_outputs,
+                                      &pair.faulty.recovery);
+  return pair;
+}
+
+}  // namespace sdps::driver

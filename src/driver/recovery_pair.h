@@ -1,0 +1,36 @@
+// Oracle-twin recovery runs. A faulty run's delivery metrics (duplicates /
+// lost) are judged against a fault-free run with identical seed and config
+// — the exactly-once oracle. The two simulations are independent until the
+// final comparison, so with a parallel pool they run concurrently: the
+// faulty run executes without an installed oracle and the comparison is
+// recomputed afterwards from both output multisets, which yields stats
+// identical to the serial oracle-then-faulty sequence.
+#ifndef SDPS_DRIVER_RECOVERY_PAIR_H_
+#define SDPS_DRIVER_RECOVERY_PAIR_H_
+
+#include "driver/experiment.h"
+#include "exec/pool.h"
+
+namespace sdps::driver {
+
+struct RecoveryPair {
+  /// The fault-free twin (oracle). Its observed_outputs fed the faulty
+  /// run's delivery comparison.
+  ExperimentResult oracle;
+  /// The faulty run, with recovery.duplicates / recovery.lost already
+  /// recomputed against the oracle.
+  ExperimentResult faulty;
+};
+
+/// Runs `oracle_config` (fault-free, track_recovery set) and
+/// `faulty_config` (faults installed, recovery_oracle left null)
+/// concurrently on `pool`, then applies the oracle comparison to the
+/// faulty result. `faulty_config.recovery_oracle` must be null — the
+/// comparison is performed here, after both runs complete.
+RecoveryPair RunRecoveryPair(const ExperimentConfig& oracle_config,
+                             const ExperimentConfig& faulty_config,
+                             const SutFactory& factory, exec::TrialPool& pool);
+
+}  // namespace sdps::driver
+
+#endif  // SDPS_DRIVER_RECOVERY_PAIR_H_

@@ -1,9 +1,14 @@
 #include "driver/sustainable.h"
 
+#include <algorithm>
+#include <future>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "exec/pool.h"
 #include "obs/log_bridge.h"
 #include "obs/metrics.h"
 
@@ -28,8 +33,12 @@ Trial RunTrial(const ExperimentConfig& base, const SutFactory& factory,
     // Derived seed: deterministic, but decorrelated from the wedged run.
     config.seed = base.seed + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(attempt);
   }
-  const uint64_t warnings_before = obs::LogMessageCount(LogLevel::kWarning);
-  const uint64_t errors_before = obs::LogMessageCount(LogLevel::kError);
+  // Thread-local counts: the trial runs entirely on the calling thread, so
+  // these deltas stay exact when other trials log concurrently from
+  // exec::TrialPool workers (and equal the old global-counter deltas when
+  // the search is serial).
+  const uint64_t warnings_before = obs::ThreadLogMessageCount(LogLevel::kWarning);
+  const uint64_t errors_before = obs::ThreadLogMessageCount(LogLevel::kError);
   const ExperimentResult result = RunExperiment(config, factory);
   *wedged = result.failure.IsDeadlineExceeded();
   Trial trial;
@@ -49,8 +58,8 @@ Trial RunTrial(const ExperimentConfig& base, const SutFactory& factory,
   }
   trial.peak_watermark_lag_s = indicator.watermark_lag_s.MaxInRange(
       0, std::numeric_limits<SimTime>::max());
-  trial.log_warnings = obs::LogMessageCount(LogLevel::kWarning) - warnings_before;
-  trial.log_errors = obs::LogMessageCount(LogLevel::kError) - errors_before;
+  trial.log_warnings = obs::ThreadLogMessageCount(LogLevel::kWarning) - warnings_before;
+  trial.log_errors = obs::ThreadLogMessageCount(LogLevel::kError) - errors_before;
   if (trial.log_errors > 0) {
     SDPS_LOG(Warning) << "trial " << FormatRateMps(rate) << " emitted "
                       << trial.log_errors << " error log message(s)";
@@ -75,6 +84,122 @@ Trial RunTrialWithRetry(const ExperimentConfig& base, const SutFactory& factory,
   }
 }
 
+/// Speculative search for jobs > 1. Bit-identical to the serial walk:
+/// every probed rate the serial walk would visit is computed with the
+/// serial walk's exact floating-point expressions, results are consumed
+/// in the serial walk's order, and speculated trials the serial walk
+/// would never have run are discarded (their tokens are spent, their
+/// results never recorded).
+SearchResult ParallelSearch(const ExperimentConfig& base, const SutFactory& factory,
+                            const SearchConfig& search, int jobs) {
+  SearchResult result;
+  exec::TrialPool pool(jobs);
+  const auto submit = [&pool, &base, &factory, &search](double rate) {
+    return pool.Submit([&base, &factory, &search, rate] {
+      return RunTrialWithRetry(base, factory, search, rate);
+    });
+  };
+
+  // Phase 1: the geometric ladder, precomputed with the serial loop's
+  // exact FP recurrence and probed in waves of `jobs` rungs. The serial
+  // loop always probes the initial rate, then each next rung only while
+  // it is >= min_rate.
+  std::vector<double> rungs{search.initial_rate};
+  for (double r = search.initial_rate * search.decrease_factor; r >= search.min_rate;
+       r *= search.decrease_factor) {
+    rungs.push_back(r);
+  }
+  double highest_sustainable = -1.0;
+  double lowest_unsustainable = -1.0;
+  for (size_t wave = 0; wave < rungs.size() && highest_sustainable < 0;
+       wave += static_cast<size_t>(jobs)) {
+    const size_t end = std::min(wave + static_cast<size_t>(jobs), rungs.size());
+    std::vector<std::future<Trial>> inflight;
+    inflight.reserve(end - wave);
+    for (size_t k = wave; k < end; ++k) inflight.push_back(submit(rungs[k]));
+    for (size_t k = wave; k < end; ++k) {
+      Trial trial = inflight[k - wave].get();
+      if (highest_sustainable >= 0) continue;  // speculated past the stop
+      result.trials.push_back(std::move(trial));
+      if (result.trials.back().sustainable) {
+        highest_sustainable = rungs[k];
+      } else {
+        lowest_unsustainable = rungs[k];
+      }
+    }
+  }
+  if (highest_sustainable < 0) {
+    result.sustainable_rate = 0.0;  // cannot run this workload at any useful rate
+    return result;
+  }
+
+  // Phase 2: speculative bisection. The serial walk's probe rates form a
+  // binary verdict tree rooted at the first midpoint: node i probes
+  // mid(hs_i, lu_i) and descends to 2i+1 on sustainable, 2i+2 on not.
+  // Every node's rate depends only on the root interval, so a whole
+  // subtree is probed up front and the verdict path replayed afterwards.
+  // Speculation is only profitable when the pool can absorb the full
+  // subtree at once (2^L - 1 trials for L serial steps), so the depth is
+  // capped at the largest L with 2^L - 1 <= jobs; any leftover steps run
+  // one at a time.
+  int remaining = lowest_unsustainable > 0 ? search.refine_iterations : 0;
+  while (remaining > 0) {
+    int levels = 0;
+    while (levels < remaining &&
+           (size_t{1} << (levels + 1)) - 1 <= static_cast<size_t>(jobs)) {
+      ++levels;
+    }
+    if (levels <= 1) {
+      const double mid = 0.5 * (highest_sustainable + lowest_unsustainable);
+      Trial trial = submit(mid).get();
+      result.trials.push_back(std::move(trial));
+      if (result.trials.back().sustainable) {
+        highest_sustainable = mid;
+      } else {
+        lowest_unsustainable = mid;
+      }
+      --remaining;
+      continue;
+    }
+    const size_t nodes = (size_t{1} << levels) - 1;
+    std::vector<double> mid(nodes), hs(nodes), lu(nodes);
+    hs[0] = highest_sustainable;
+    lu[0] = lowest_unsustainable;
+    for (size_t i = 0; i < nodes; ++i) {
+      mid[i] = 0.5 * (hs[i] + lu[i]);  // the serial walk's exact expression
+      const size_t s = 2 * i + 1, u = 2 * i + 2;
+      if (s < nodes) {
+        hs[s] = mid[i];
+        lu[s] = lu[i];
+      }
+      if (u < nodes) {
+        hs[u] = hs[i];
+        lu[u] = mid[i];
+      }
+    }
+    std::vector<std::future<Trial>> inflight;
+    inflight.reserve(nodes);
+    for (size_t i = 0; i < nodes; ++i) inflight.push_back(submit(mid[i]));
+    size_t at = 0;
+    for (int step = 0; step < levels; ++step) {
+      Trial trial = inflight[at].get();
+      result.trials.push_back(std::move(trial));
+      const bool ok = result.trials.back().sustainable;
+      if (ok) {
+        highest_sustainable = mid[at];
+      } else {
+        lowest_unsustainable = mid[at];
+      }
+      at = 2 * at + (ok ? 1 : 2);
+    }
+    remaining -= levels;
+    // Off-path futures are abandoned; the pool drains them on shutdown.
+  }
+
+  result.sustainable_rate = highest_sustainable;
+  return result;
+}
+
 }  // namespace
 
 SearchResult FindSustainableThroughput(const ExperimentConfig& base,
@@ -83,6 +208,9 @@ SearchResult FindSustainableThroughput(const ExperimentConfig& base,
   SDPS_CHECK_GT(search.initial_rate, 0.0);
   SDPS_CHECK_GT(search.decrease_factor, 0.0);
   SDPS_CHECK_LT(search.decrease_factor, 1.0);
+
+  const int jobs = exec::ResolveJobs(search.jobs == 0 ? 0 : std::max(1, search.jobs));
+  if (jobs > 1) return ParallelSearch(base, factory, search, jobs);
 
   SearchResult result;
   double rate = search.initial_rate;

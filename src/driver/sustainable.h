@@ -34,6 +34,15 @@ struct SearchConfig {
   /// doubled watchdog timeout (exponential backoff). A rate is only judged
   /// unsustainable-by-wedging after every retry wedged too.
   int max_trial_retries = 0;
+  /// Trial-level parallelism (exec::TrialPool workers). Each trial is a
+  /// whole single-threaded simulation; with jobs > 1 the search
+  /// speculatively probes ladder rungs and bisection midpoints ahead of
+  /// their verdicts. The result — sustainable_rate and the recorded trial
+  /// list — is bit-identical to jobs == 1: speculated rates are computed
+  /// with the serial walk's exact floating-point expressions and trials
+  /// the serial walk would never have run are discarded. 1 runs the
+  /// historical serial loop; 0 means hardware concurrency.
+  int jobs = 1;
 };
 
 struct Trial {

@@ -4,50 +4,182 @@
 
 namespace sdps::engine {
 
+namespace {
+
+constexpr uint32_t kNil = 0xFFFFFFFFu;
+
+/// Finds or creates the slot for window `id` in a vector sorted ascending
+/// by id. Scans from the back: records arrive roughly in time order, so
+/// the target is nearly always the last or second-to-last slot, and open
+/// windows number size/slide + 1 (a handful), so the worst case is short.
+/// `make` builds a fresh slot value for a missing window.
+template <typename W, typename MakeW>
+W& WindowSlot(std::vector<W>& v, int64_t id, MakeW&& make) {
+  size_t i = v.size();
+  while (i > 0 && v[i - 1].id > id) --i;
+  if (i > 0 && v[i - 1].id == id) return v[i - 1];
+  return *v.insert(v.begin() + static_cast<ptrdiff_t>(i), make(id));
+}
+
+void SortOutputs(std::vector<OutputRecord>& out) {
+  // Deterministic output order regardless of hash-table iteration order.
+  // Stable: a key firing in two overlapping windows can tie on
+  // (max_event_time, key); every backend appends windows in ascending id
+  // order, so stability gives all of them the identical total order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const OutputRecord& a, const OutputRecord& b) {
+    if (a.max_event_time != b.max_event_time) return a.max_event_time < b.max_event_time;
+    return a.key < b.key;
+  });
+}
+
+}  // namespace
+
 AddResult AggWindowState::Add(const Record& rec) {
   AddResult result;
-  scratch_windows_.clear();
-  assigner_.Assign(rec.event_time, &scratch_windows_);
-  for (const int64_t w : scratch_windows_) {
-    if (w < min_unfired_window_) {
-      result.late_tuples += rec.weight;
-      continue;
+  if (rec.event_time < cached_slide_start_ || rec.event_time >= cached_slide_end_)
+      [[unlikely]] {
+    cached_last_window_ = assigner_.LastWindowFor(rec.event_time);
+    cached_slide_start_ = assigner_.WindowStart(cached_last_window_);
+    cached_slide_end_ = cached_slide_start_ + assigner_.spec().slide;
+  }
+  const int64_t last = cached_last_window_;
+  const int64_t first = last - overlap_ + 1;
+  if (first < min_unfired_window_) [[unlikely]] {
+    // Some (maybe all) of the record's windows already fired.
+    for (int64_t w = first; w <= last; ++w) {
+      if (w < min_unfired_window_) {
+        result.late_tuples += rec.weight;
+      } else {
+        MergeIntoWindow(rec, w, &result);
+      }
     }
-    auto& per_key = windows_[w];
-    auto [it, inserted] = per_key.try_emplace(rec.key);
-    if (inserted) ++entries_;
-    it->second.Merge(rec);
+    return result;
+  }
+  const uint32_t row = ResolveRow(rec.key);
+  size_t lane_idx = LaneOf(first, ring_mask_);
+  for (int64_t w = first; w <= last; ++w) {
+    Lane& lane = lanes_[static_cast<size_t>(row) * ring_size_ + lane_idx];
+    if (lane.window != w) [[unlikely]] {
+      if (lane.window != kNoWindow) {
+        // Ring conflict: another open window occupies this lane.
+        GrowRing(w);
+        MergeIntoWindow(rec, w, &result);
+        lane_idx = LaneOf(w + 1, ring_mask_);
+        continue;
+      }
+      ClaimLane(lane, w);
+    }
+    lane.agg.Merge(rec);
     ++result.window_updates;
+    lane_idx = (lane_idx + 1) & ring_mask_;
   }
   return result;
 }
 
+uint32_t AggWindowState::ResolveRow(uint64_t key) {
+  bool inserted;
+  uint32_t& slot = key_rows_.FindOrInsert(key, &inserted);
+  if (inserted) [[unlikely]] {
+    slot = static_cast<uint32_t>(row_keys_.size());
+    row_keys_.push_back(key);
+    lanes_.resize(lanes_.size() + ring_size_, Lane{kNoWindow, {}});
+  }
+  return slot;
+}
+
+void AggWindowState::ClaimLane(Lane& lane, int64_t w) {
+  lane.window = w;
+  lane.agg = WindowKeyAgg{};
+  ++entries_;
+  // First contribution to this window from any key opens it.
+  if (open_ids_.empty() || open_ids_.back() < w) {
+    open_ids_.push_back(w);
+  } else {
+    size_t i = open_ids_.size();
+    while (i > 0 && open_ids_[i - 1] > w) --i;
+    if (i == 0 || open_ids_[i - 1] != w) {
+      open_ids_.insert(open_ids_.begin() + static_cast<ptrdiff_t>(i), w);
+    }
+  }
+}
+
+void AggWindowState::GrowRing(int64_t incoming) {
+  std::vector<int64_t> ids = open_ids_;
+  // `incoming` may already be open (claimed through another key's row while
+  // its lane in this row collided); a duplicate id would make the xor
+  // injectivity check below unsatisfiable at any ring size.
+  if (!std::binary_search(ids.begin(), ids.end(), incoming)) ids.push_back(incoming);
+  size_t r = ring_size_;
+  for (bool injective = false; !injective;) {
+    r *= 2;
+    injective = true;
+    for (size_t i = 0; i < ids.size() && injective; ++i) {
+      for (size_t j = i + 1; j < ids.size(); ++j) {
+        if (((static_cast<uint64_t>(ids[i]) ^ static_cast<uint64_t>(ids[j])) &
+             (r - 1)) == 0) {
+          injective = false;  // still collide under this mask; double again
+          break;
+        }
+      }
+    }
+  }
+  // Terminates once r exceeds the open-window id span. Migrate every row.
+  std::vector<Lane> grown(row_keys_.size() * r, Lane{kNoWindow, {}});
+  for (size_t row = 0; row < row_keys_.size(); ++row) {
+    for (size_t l = 0; l < ring_size_; ++l) {
+      const Lane& old = lanes_[row * ring_size_ + l];
+      if (old.window == kNoWindow) continue;
+      grown[row * r + LaneOf(old.window, r - 1)] = old;
+    }
+  }
+  lanes_ = std::move(grown);
+  ring_size_ = r;
+  ring_mask_ = r - 1;
+}
+
+void AggWindowState::MergeIntoWindow(const Record& rec, int64_t w, AddResult* result) {
+  const uint32_t row = ResolveRow(rec.key);
+  Lane* lane = &lanes_[static_cast<size_t>(row) * ring_size_ + LaneOf(w, ring_mask_)];
+  if (lane->window != w) {
+    if (lane->window != kNoWindow) {
+      GrowRing(w);  // guarantees w's lane is free afterwards
+      lane = &lanes_[static_cast<size_t>(row) * ring_size_ + LaneOf(w, ring_mask_)];
+    }
+    ClaimLane(*lane, w);
+  }
+  lane->agg.Merge(rec);
+  ++result->window_updates;
+}
+
 std::vector<OutputRecord> AggWindowState::FireUpTo(SimTime watermark) {
   std::vector<OutputRecord> out;
-  while (!windows_.empty()) {
-    const auto it = windows_.begin();
-    const SimTime window_end = assigner_.WindowEnd(it->first);
+  size_t fired = 0;
+  while (fired < open_ids_.size()) {
+    const int64_t w = open_ids_[fired];
+    const SimTime window_end = assigner_.WindowEnd(w);
     if (window_end > watermark) break;
-    min_unfired_window_ = std::max(min_unfired_window_, it->first + 1);
-    for (const auto& [key, agg] : it->second) {
+    min_unfired_window_ = std::max(min_unfired_window_, w + 1);
+    const size_t lane_idx = LaneOf(w, ring_mask_);
+    for (size_t r = 0; r < row_keys_.size(); ++r) {
+      Lane& lane = lanes_[r * ring_size_ + lane_idx];
+      if (lane.window != w) continue;
       OutputRecord rec;
-      rec.key = key;
-      rec.value = agg.sum;
+      rec.key = row_keys_[r];
+      rec.value = lane.agg.sum;
       rec.weight = 1;  // one result tuple per (window, key)
-      rec.max_event_time = agg.max_event_time;
-      rec.max_ingest_time = agg.max_ingest_time;
-      rec.lineage = agg.lineage;
+      rec.max_event_time = lane.agg.max_event_time;
+      rec.max_ingest_time = lane.agg.max_ingest_time;
+      rec.lineage = lane.agg.lineage;
       rec.window_end = window_end;
       out.push_back(rec);
+      lane.window = kNoWindow;
+      --entries_;
     }
-    entries_ -= static_cast<int64_t>(it->second.size());
-    windows_.erase(it);
+    ++fired;
   }
-  // Deterministic output order (unordered_map iteration order is not).
-  std::sort(out.begin(), out.end(), [](const OutputRecord& a, const OutputRecord& b) {
-    if (a.max_event_time != b.max_event_time) return a.max_event_time < b.max_event_time;
-    return a.key < b.key;
-  });
+  open_ids_.erase(open_ids_.begin(), open_ids_.begin() + static_cast<ptrdiff_t>(fired));
+  SortOutputs(out);
   return out;
 }
 
@@ -60,7 +192,15 @@ AddResult BufferedWindowState::Add(const Record& rec) {
       result.late_tuples += rec.weight;
       continue;
     }
-    windows_[w].push_back(rec);
+    OpenWindow& win = WindowSlot(windows_, w, [this](int64_t id) {
+      OpenWindow nw{id, {}};
+      if (!arena_.empty()) {  // recycled buffers come back pre-cleared
+        nw.records = std::move(arena_.back());
+        arena_.pop_back();
+      }
+      return nw;
+    });
+    win.records.push_back(rec);
     buffered_tuples_ += rec.weight;
     ++result.window_updates;
   }
@@ -69,20 +209,22 @@ AddResult BufferedWindowState::Add(const Record& rec) {
 
 BufferedWindowState::Fired BufferedWindowState::FireUpTo(SimTime watermark) {
   Fired fired;
-  while (!windows_.empty()) {
-    const auto it = windows_.begin();
-    const SimTime window_end = assigner_.WindowEnd(it->first);
+  size_t n_fired = 0;
+  while (n_fired < windows_.size()) {
+    OpenWindow& win = windows_[n_fired];
+    const SimTime window_end = assigner_.WindowEnd(win.id);
     if (window_end > watermark) break;
-    min_unfired_window_ = std::max(min_unfired_window_, it->first + 1);
+    min_unfired_window_ = std::max(min_unfired_window_, win.id + 1);
     // Bulk evaluation: scan every buffered record of the window.
-    std::unordered_map<uint64_t, WindowKeyAgg> aggs;
+    fire_aggs_.Clear();
     uint64_t window_tuples = 0;
-    for (const Record& r : it->second) {
-      aggs[r.key].Merge(r);
+    for (const Record& r : win.records) {
+      bool inserted;
+      fire_aggs_.FindOrInsert(r.key, &inserted).Merge(r);
       window_tuples += r.weight;
     }
     fired.tuples_scanned += window_tuples;
-    for (const auto& [key, agg] : aggs) {
+    fire_aggs_.ForEach([&](uint64_t key, const WindowKeyAgg& agg) {
       OutputRecord rec;
       rec.key = key;
       rec.value = agg.sum;
@@ -92,17 +234,14 @@ BufferedWindowState::Fired BufferedWindowState::FireUpTo(SimTime watermark) {
       rec.lineage = agg.lineage;
       rec.window_end = window_end;
       fired.outputs.push_back(rec);
-    }
+    });
     buffered_tuples_ -= window_tuples;
-    windows_.erase(it);
+    win.records.clear();
+    arena_.push_back(std::move(win.records));
+    ++n_fired;
   }
-  std::sort(fired.outputs.begin(), fired.outputs.end(),
-            [](const OutputRecord& a, const OutputRecord& b) {
-              if (a.max_event_time != b.max_event_time) {
-                return a.max_event_time < b.max_event_time;
-              }
-              return a.key < b.key;
-            });
+  windows_.erase(windows_.begin(), windows_.begin() + static_cast<ptrdiff_t>(n_fired));
+  SortOutputs(fired.outputs);
   return fired;
 }
 
@@ -116,7 +255,15 @@ AddResult JoinWindowState::Add(const Record& rec) {
       continue;
     }
     ++result.window_updates;
-    SideBuffers& side = windows_[w];
+    OpenWindow& win = WindowSlot(windows_, w, [this](int64_t id) {
+      OpenWindow nw{id, {}};
+      if (!arena_.empty()) {  // recycled buffers come back pre-cleared
+        nw.side = std::move(arena_.back());
+        arena_.pop_back();
+      }
+      return nw;
+    });
+    SideBuffers& side = win.side;
     if (rec.stream == StreamId::kPurchases) {
       side.purchases.push_back(rec);
       side.purchase_tuples += rec.weight;
@@ -133,24 +280,37 @@ AddResult JoinWindowState::Add(const Record& rec) {
 
 JoinWindowState::Fired JoinWindowState::FireUpTo(SimTime watermark) {
   Fired fired;
-  while (!windows_.empty()) {
-    const auto it = windows_.begin();
-    const SimTime window_end = assigner_.WindowEnd(it->first);
+  size_t n_fired = 0;
+  while (n_fired < windows_.size()) {
+    OpenWindow& win = windows_[n_fired];
+    const SimTime window_end = assigner_.WindowEnd(win.id);
     if (window_end > watermark) break;
-    min_unfired_window_ = std::max(min_unfired_window_, it->first + 1);
-    SideBuffers& side = it->second;
-    // Hash join: build on ads, probe with purchases.
-    std::unordered_map<uint64_t, std::vector<const Record*>> build;
-    for (const Record& ad : side.ads) {
-      build[ad.key].push_back(&ad);
-      fired.join_work += ad.weight;
+    min_unfired_window_ = std::max(min_unfired_window_, win.id + 1);
+    SideBuffers& side = win.side;
+    // Hash join: build on ads (per-key chains in insertion order, so the
+    // output order matches the historical vector-of-pointers build),
+    // probe with purchases.
+    build_.Clear();
+    build_next_.resize(side.ads.size());
+    for (uint32_t i = 0; i < side.ads.size(); ++i) {
+      fired.join_work += side.ads[i].weight;
+      build_next_[i] = kNil;
+      bool inserted;
+      AdChain& chain = build_.FindOrInsert(side.ads[i].key, &inserted);
+      if (inserted) {
+        chain.head = i;
+      } else {
+        build_next_[chain.tail] = i;
+      }
+      chain.tail = i;
     }
     fired.naive_pairs += side.purchase_tuples * side.ad_tuples;
     for (const Record& p : side.purchases) {
       fired.join_work += p.weight;
-      const auto match = build.find(p.key);
-      if (match == build.end()) continue;
-      for (const Record* ad : match->second) {
+      const AdChain* chain = build_.Find(p.key);
+      if (chain == nullptr) continue;
+      for (uint32_t i = chain->head; i != kNil; i = build_next_[i]) {
+        const Record& ad = side.ads[i];
         OutputRecord rec;
         rec.key = p.key;
         rec.value = p.value;
@@ -158,7 +318,7 @@ JoinWindowState::Fired JoinWindowState::FireUpTo(SimTime watermark) {
         rec.max_event_time = side.max_event_time;
         rec.max_ingest_time = side.max_ingest_time;
         rec.weight = p.weight;
-        rec.lineage = p.lineage >= 0 ? p.lineage : ad->lineage;
+        rec.lineage = p.lineage >= 0 ? p.lineage : ad.lineage;
         rec.window_end = window_end;
         fired.outputs.push_back(rec);
         fired.join_work += p.weight;
@@ -166,15 +326,12 @@ JoinWindowState::Fired JoinWindowState::FireUpTo(SimTime watermark) {
     }
     fired.tuples_evicted += side.purchase_tuples + side.ad_tuples;
     buffered_tuples_ -= side.purchase_tuples + side.ad_tuples;
-    windows_.erase(it);
+    side.Recycle();
+    arena_.push_back(std::move(win.side));
+    ++n_fired;
   }
-  std::sort(fired.outputs.begin(), fired.outputs.end(),
-            [](const OutputRecord& a, const OutputRecord& b) {
-              if (a.max_event_time != b.max_event_time) {
-                return a.max_event_time < b.max_event_time;
-              }
-              return a.key < b.key;
-            });
+  windows_.erase(windows_.begin(), windows_.begin() + static_cast<ptrdiff_t>(n_fired));
+  SortOutputs(fired.outputs);
   return fired;
 }
 

@@ -11,6 +11,15 @@
 //                         evaluation at trigger time (Flink 1.1 / Spark
 //                         both evaluate window joins at window close).
 //
+// Storage layout (perf-critical — every simulated tuple passes through
+// Add): open windows live in a sorted vector keyed by consecutive window
+// ids (sliding windows overlap by size/slide, so there are only a handful
+// open at once — ordered lookup is a short scan from the back, not a
+// red-black tree walk), and per-window key state lives in flat
+// open-addressing tables (engine::FlatKeyMap) instead of node-based
+// unordered_maps. Fired windows return their tables/buffers to a scratch
+// arena so steady-state firing never touches the allocator.
+//
 // Output event-/processing-times follow the paper's Definitions 3 and 4:
 // aggregation outputs carry the max event-/ingest-time of the contributing
 // events of that key; join outputs carry the max over the whole window
@@ -20,10 +29,9 @@
 
 #include <cstdint>
 #include <limits>
-#include <map>
-#include <unordered_map>
 #include <vector>
 
+#include "engine/flat_hash.h"
 #include "engine/record.h"
 #include "engine/window.h"
 
@@ -33,8 +41,10 @@ namespace sdps::engine {
 struct WindowKeyAgg {
   double sum = 0.0;
   uint64_t weight = 0;
-  SimTime max_event_time = 0;
-  SimTime max_ingest_time = 0;
+  /// Max times start at SimTime min so a record with legitimate time 0
+  /// (simulation start) still registers as the max.
+  SimTime max_event_time = std::numeric_limits<SimTime>::min();
+  SimTime max_ingest_time = std::numeric_limits<SimTime>::min();
   /// Lineage id of the first sampled contributor (latency attribution);
   /// -1 when none of the merged records was sampled.
   int32_t lineage = -1;
@@ -61,9 +71,24 @@ struct AddResult {
 
 /// Incremental sliding-window SUM aggregation (SELECT SUM(price) ...
 /// GROUP BY gemPackID from Listing 1).
+///
+/// Layout is key-major, not window-major: each key resolves (one hash
+/// probe) to a row of adjacent lanes, one per open window (lane = window
+/// id masked by the ring size, a power of two >= WindowsPerRecord()).
+/// Folding a record touches one hash slot and one contiguous row instead
+/// of `overlap` separate node-based maps. Out-of-order input can hold
+/// more windows open than the ring has lanes; when two open windows
+/// collide under the mask, the ring doubles until the open set maps
+/// injectively and all rows migrate (rare — only under disorder spans
+/// larger than the window range).
 class AggWindowState {
  public:
-  explicit AggWindowState(const WindowAssigner& assigner) : assigner_(assigner) {}
+  explicit AggWindowState(const WindowAssigner& assigner)
+      : assigner_(assigner), overlap_(assigner.WindowsPerRecord()) {
+    ring_size_ = 1;
+    while (ring_size_ < static_cast<size_t>(overlap_)) ring_size_ *= 2;
+    ring_mask_ = ring_size_ - 1;
+  }
 
   /// Folds the record into every still-open window it belongs to.
   AddResult Add(const Record& rec);
@@ -74,7 +99,7 @@ class AggWindowState {
 
   /// Estimated heap footprint of the open state.
   int64_t state_bytes() const { return entries_ * kBytesPerEntry; }
-  size_t open_windows() const { return windows_.size(); }
+  size_t open_windows() const { return open_ids_.size(); }
   int64_t entries() const { return entries_; }
 
   /// Per-(window,key) JVM-heap entry estimate: boxed key + aggregate
@@ -82,11 +107,46 @@ class AggWindowState {
   static constexpr int64_t kBytesPerEntry = 96;
 
  private:
+  /// One (window, key) running aggregate. `window` tags which window the
+  /// lane currently belongs to; kNoWindow marks a free lane.
+  struct Lane {
+    int64_t window;
+    WindowKeyAgg agg;
+  };
+
+  static constexpr int64_t kNoWindow = std::numeric_limits<int64_t>::min();
+
+  static size_t LaneOf(int64_t w, size_t mask) {
+    return static_cast<size_t>(static_cast<uint64_t>(w) & mask);
+  }
+
+  /// Returns the lane-row index for `key`, allocating a row of free lanes
+  /// on first sight.
+  uint32_t ResolveRow(uint64_t key);
+  /// Claims a free lane for window `w` and tracks it in open_ids_.
+  void ClaimLane(Lane& lane, int64_t w);
+  /// Doubles the lane ring until every open window (and `incoming`) maps
+  /// to a distinct lane, migrating all rows.
+  void GrowRing(int64_t incoming);
+  /// Out-of-line slow path for records with some windows already fired.
+  void MergeIntoWindow(const Record& rec, int64_t w, AddResult* result);
+
   WindowAssigner assigner_;
-  std::map<int64_t, std::unordered_map<uint64_t, WindowKeyAgg>> windows_;
+  int64_t overlap_;                 // windows per record
+  size_t ring_size_;                // lanes per row (power of two)
+  size_t ring_mask_;                // ring_size_ - 1
+  FlatKeyMap<uint32_t> key_rows_;   // key -> row index
+  std::vector<uint64_t> row_keys_;  // row index -> key
+  std::vector<Lane> lanes_;         // row-major, ring_size_ lanes per row
+  std::vector<int64_t> open_ids_;   // sorted ascending, unfired windows
   int64_t entries_ = 0;
   int64_t min_unfired_window_ = std::numeric_limits<int64_t>::min();
-  std::vector<int64_t> scratch_windows_;
+  // One-entry window-assignment cache: event times arrive nearly
+  // monotonically, so almost every record lands in the same slide as its
+  // predecessor — skipping the int64 division in the hot path.
+  SimTime cached_slide_start_ = 1;  // empty interval until first miss
+  SimTime cached_slide_end_ = 0;
+  int64_t cached_last_window_ = 0;
 };
 
 /// Full-record buffering per window with bulk aggregation at fire time
@@ -117,8 +177,15 @@ class BufferedWindowState {
   static constexpr int64_t kBytesPerTuple = 160;
 
  private:
+  struct OpenWindow {
+    int64_t id;
+    std::vector<Record> records;
+  };
+
   WindowAssigner assigner_;
-  std::map<int64_t, std::vector<Record>> windows_;
+  std::vector<OpenWindow> windows_;        // sorted ascending by id
+  std::vector<std::vector<Record>> arena_;  // recycled fired buffers
+  FlatKeyMap<WindowKeyAgg> fire_aggs_;      // reused across fired windows
   uint64_t buffered_tuples_ = 0;
   int64_t min_unfired_window_ = std::numeric_limits<int64_t>::min();
   std::vector<int64_t> scratch_windows_;
@@ -160,12 +227,40 @@ class JoinWindowState {
     std::vector<Record> ads;
     uint64_t purchase_tuples = 0;
     uint64_t ad_tuples = 0;
-    SimTime max_event_time = 0;   // over both sides (paper Fig. 2 semantics)
-    SimTime max_ingest_time = 0;
+    /// Max over both sides (paper Fig. 2 semantics); SimTime min so a
+    /// record at time 0 registers.
+    SimTime max_event_time = std::numeric_limits<SimTime>::min();
+    SimTime max_ingest_time = std::numeric_limits<SimTime>::min();
+
+    void Recycle() {
+      purchases.clear();
+      ads.clear();
+      purchase_tuples = 0;
+      ad_tuples = 0;
+      max_event_time = std::numeric_limits<SimTime>::min();
+      max_ingest_time = std::numeric_limits<SimTime>::min();
+    }
+  };
+
+  struct OpenWindow {
+    int64_t id;
+    SideBuffers side;
+  };
+
+  /// Per-key ad chain for the fire-time hash join: index of the first and
+  /// last matching ad in the window's ad buffer (chained through
+  /// build_next_, oldest first — preserving ad insertion order in the
+  /// join output).
+  struct AdChain {
+    uint32_t head;
+    uint32_t tail;
   };
 
   WindowAssigner assigner_;
-  std::map<int64_t, SideBuffers> windows_;
+  std::vector<OpenWindow> windows_;   // sorted ascending by id
+  std::vector<SideBuffers> arena_;    // recycled fired buffers
+  FlatKeyMap<AdChain> build_;         // reused across fired windows
+  std::vector<uint32_t> build_next_;  // parallel to a window's ad buffer
   uint64_t buffered_tuples_ = 0;
   int64_t min_unfired_window_ = std::numeric_limits<int64_t>::min();
   std::vector<int64_t> scratch_windows_;

@@ -149,7 +149,8 @@ class SparkSut : public driver::Sut {
       limiters_.push_back(std::make_unique<engine::RateLimiter>(
           *ctx.sim, 1e12, /*burst=*/5e4));
     }
-    job_channel_ = std::make_unique<des::Channel<SparkJob*>>(*ctx.sim, 1024);
+    job_channel_ =
+        std::make_unique<des::Channel<std::unique_ptr<SparkJob>>>(*ctx.sim, 1024);
 
     constexpr int kFetchersPerReceiver = 6;  // in-flight TCP segments
     fetchers_left_.assign(static_cast<size_t>(num_receivers_), kFetchersPerReceiver);
@@ -287,16 +288,15 @@ class SparkSut : public driver::Sut {
   Task<> JobTrigger() {
     for (;;) {
       co_await des::Delay(*ctx_.sim, config_.batch_interval);
-      auto* job = new SparkJob;
+      auto job = std::make_unique<SparkJob>();
       job->batch_index = ++batch_index_;
       job->created = ctx_.sim->now();
       job->blocks = std::move(pending_blocks_);
       pending_blocks_.clear();
       for (const SparkBlock& b : job->blocks) job->tuples += b.tuples;
-      if (!co_await job_channel_->Send(job)) {
-        delete job;
-        co_return;
-      }
+      // The channel owns queued jobs, so jobs stranded by a teardown
+      // mid-run (crash/abort) are reclaimed with it.
+      if (!co_await job_channel_->Send(std::move(job))) co_return;
     }
   }
 
@@ -304,7 +304,7 @@ class SparkSut : public driver::Sut {
     for (;;) {
       auto job = co_await job_channel_->Recv();
       if (!job.has_value()) co_return;
-      SparkJob* j = *job;
+      SparkJob* j = job->get();
       const SimTime delay = ctx_.sim->now() - j->created;
       scheduler_delay_series_.Add(ctx_.sim->now(), ToSeconds(delay));
       obs_sched_delay_->Set(ToSeconds(delay));
@@ -319,7 +319,6 @@ class SparkSut : public driver::Sut {
       const SimTime runtime = ctx_.sim->now() - start;
       job_runtime_series_.Add(ctx_.sim->now(), ToSeconds(runtime));
       UpdateRateController(j->tuples, runtime, delay);
-      delete j;
     }
   }
 
@@ -740,7 +739,7 @@ class SparkSut : public driver::Sut {
   std::vector<int> fetchers_left_;
   std::vector<SparkBlock> current_blocks_;
   std::vector<SparkBlock> pending_blocks_;
-  std::unique_ptr<des::Channel<SparkJob*>> job_channel_;
+  std::unique_ptr<des::Channel<std::unique_ptr<SparkJob>>> job_channel_;
   std::vector<PartitionState> partitions_;
   std::vector<int64_t> block_manager_bytes_;
 

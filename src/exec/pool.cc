@@ -1,0 +1,13 @@
+#include "exec/pool.h"
+
+#include <thread>
+
+namespace sdps::exec {
+
+int ResolveJobs(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace sdps::exec

@@ -1,0 +1,120 @@
+// Deterministic trial-parallel execution.
+//
+// The paper's methodology (Definition 5, Section IV-B) needs many
+// independent trials: a rate ladder plus bisection per engine per scale,
+// oracle twins for recovery runs, engine x scale x rate grids in the
+// bench harness. Each trial owns a whole des::Simulator, so trials are
+// embarrassingly parallel — the simulator itself stays single-threaded by
+// design, and real parallelism runs whole simulations side by side.
+//
+// Determinism contract: a trial's result depends only on its inputs (all
+// trial seeds are derived, never drawn from shared state), and callers
+// consume results in submission order. Under that contract every
+// campaign's output is bit-identical at -j1 and -jN; TrialPool adds no
+// ordering of its own. With jobs == 1 the pool degenerates to inline
+// execution at Submit() time — byte-for-byte the historical serial path,
+// with no worker thread involved.
+#ifndef SDPS_EXEC_POOL_H_
+#define SDPS_EXEC_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sdps::exec {
+
+/// Picks a worker count: `requested` if positive, else the machine's
+/// hardware concurrency (at least 1).
+int ResolveJobs(int requested);
+
+/// Fixed-size work pool for independent trials.
+class TrialPool {
+ public:
+  /// jobs >= 1. jobs == 1 runs every submitted closure inline.
+  explicit TrialPool(int jobs) : jobs_(jobs) {
+    SDPS_CHECK_GE(jobs, 1);
+    // jobs worker threads when parallel (the submitting thread only
+    // coordinates); none when jobs == 1.
+    if (jobs_ > 1) {
+      workers_.reserve(static_cast<size_t>(jobs_));
+      for (int i = 0; i < jobs_; ++i) {
+        workers_.emplace_back([this](std::stop_token st) { WorkerLoop(st); });
+      }
+    }
+  }
+
+  ~TrialPool() { Shutdown(); }
+
+  TrialPool(const TrialPool&) = delete;
+  TrialPool& operator=(const TrialPool&) = delete;
+
+  int jobs() const { return jobs_; }
+
+  /// Submits a closure; returns a future for its result. Inline (and
+  /// therefore already completed) when jobs == 1.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::remove_cvref_t<F>&>> {
+    using R = std::invoke_result_t<std::remove_cvref_t<F>&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (jobs_ == 1) {
+      (*task)();
+      return future;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      SDPS_CHECK(!stopped_) << "Submit after shutdown";
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Stops accepting work and joins the workers after the queue drains.
+  void Shutdown() {
+    if (jobs_ == 1) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    workers_.clear();  // jthread joins on destruction
+  }
+
+ private:
+  void WorkerLoop(std::stop_token st) {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopped and drained
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      job();
+    }
+    (void)st;
+  }
+
+  const int jobs_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopped_ = false;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace sdps::exec
+
+#endif  // SDPS_EXEC_POOL_H_

@@ -45,8 +45,12 @@ SimTime LineageRecord::StageDuration(LineageStage stage) const {
 }
 
 LineageTracker& LineageTracker::Default() {
-  static LineageTracker* tracker = new LineageTracker();
-  return *tracker;
+  // Thread-local for the same reason as Tracer::Default(): concurrent
+  // trials sample lineage against their own simulator clocks. A value (not
+  // a leaked pointer) so short-lived pool workers release their tracker at
+  // thread exit.
+  static thread_local LineageTracker tracker;
+  return tracker;
 }
 
 void LineageTracker::Reset() {

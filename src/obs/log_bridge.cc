@@ -27,7 +27,16 @@ Counter* LevelCounter(LogLevel level) {
   return counters[i >= 0 && i < 4 ? i : 0];
 }
 
-void CountLogMessage(LogLevel level) { LevelCounter(level)->Add(1); }
+/// Per-thread tallies maintained alongside the global counters, so a
+/// trial running on an exec::TrialPool worker can attribute log traffic
+/// to itself while other trials log concurrently.
+thread_local uint64_t t_log_counts[4] = {0, 0, 0, 0};
+
+void CountLogMessage(LogLevel level) {
+  const int i = static_cast<int>(level);
+  ++t_log_counts[i >= 0 && i < 4 ? i : 0];
+  LevelCounter(level)->Add(1);
+}
 
 }  // namespace
 
@@ -39,6 +48,11 @@ uint64_t LogMessageCount(LogLevel level) {
   return Registry::Default()
       .GetCounter("log.messages", {{"level", LevelLabel(level)}})
       ->value();
+}
+
+uint64_t ThreadLogMessageCount(LogLevel level) {
+  const int i = static_cast<int>(level);
+  return t_log_counts[i >= 0 && i < 4 ? i : 0];
 }
 
 }  // namespace sdps::obs

@@ -22,6 +22,12 @@ void RemoveLogCounters();
 /// default registry. Creates the counter if it does not exist yet.
 uint64_t LogMessageCount(LogLevel level);
 
+/// Messages the *calling thread* has logged at `level` while the observer
+/// was installed. Deltas of this are exact per-trial counts even when
+/// other trials run concurrently on exec::TrialPool workers (the global
+/// counters mix all threads).
+uint64_t ThreadLogMessageCount(LogLevel level);
+
 }  // namespace sdps::obs
 
 #endif  // SDPS_OBS_LOG_BRIDGE_H_

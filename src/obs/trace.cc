@@ -5,8 +5,13 @@
 namespace sdps::obs {
 
 Tracer& Tracer::Default() {
-  static Tracer* tracer = new Tracer();
-  return *tracer;
+  // Thread-local: concurrent trials (exec::TrialPool workers) each bind
+  // their own DES clock via ClockGuard, which must not race. Tracing is
+  // enabled per thread; the dump exporters read the calling thread's
+  // tracer. A value (not a leaked pointer) so pool workers release their
+  // tracer at thread exit.
+  static thread_local Tracer tracer;
+  return tracer;
 }
 
 TrackId Tracer::Track(const std::string& process, const std::string& thread) {

@@ -1,5 +1,8 @@
 #include "des/simulator.h"
 
+#include <array>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -85,6 +88,100 @@ TEST(SimulatorTest, StopHaltsRun) {
   sim.RunUntilIdle();
   EXPECT_EQ(count, 3);
   EXPECT_EQ(sim.pending_events(), 7u);
+}
+
+TEST(SimulatorTest, TieBreakSurvivesHeapGrowthAndInterleavedTimes) {
+  // Thousands of same-time events interleaved with earlier/later ones force
+  // the event store through several capacity doublings and deep sifts; FIFO
+  // order within each timestamp must hold throughout.
+  Simulator sim;
+  std::vector<std::pair<SimTime, int>> order;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    const SimTime t = (i % 3 == 0) ? 10 : (i % 3 == 1) ? 20 : 30;
+    sim.ScheduleAt(t, [&order, t, i] { order.emplace_back(t, i); });
+  }
+  sim.RunUntilIdle();
+  ASSERT_EQ(order.size(), static_cast<size_t>(kN));
+  SimTime prev_t = 0;
+  int prev_seq[3] = {-1, -1, -1};
+  for (const auto& [t, i] : order) {
+    EXPECT_GE(t, prev_t);
+    prev_t = t;
+    int& prev = prev_seq[t / 10 - 1];
+    EXPECT_GT(i, prev) << "FIFO violated at t=" << t;
+    prev = i;
+  }
+}
+
+TEST(SimulatorTest, TieBreakAcrossCallbackRescheduling) {
+  // Events scheduled from inside a callback for the current timestamp run
+  // after everything already queued at that timestamp.
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(5, [&] {
+    order.push_back(0);
+    sim.ScheduleAt(5, [&] { order.push_back(2); });
+  });
+  sim.ScheduleAt(5, [&] { order.push_back(1); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(sim.now(), 5);
+}
+
+TEST(SimulatorTest, StopMidRunUntilPreservesClockAndResumes) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(100 * (i + 1), [&sim, &order, i] {
+      order.push_back(i);
+      if (i == 3) sim.Stop();
+    });
+  }
+  sim.RunUntil(2000);
+  // Stopped at the 4th event: clock holds at its timestamp, the rest stay
+  // queued.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sim.now(), 400);
+  EXPECT_EQ(sim.pending_events(), 6u);
+  // A fresh run resumes exactly where the stop left off.
+  sim.RunUntil(2000);
+  EXPECT_EQ(order.size(), 10u);
+  EXPECT_EQ(order.back(), 9);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.now(), 2000);
+}
+
+TEST(SimulatorTest, PendingEventsTracksScheduleAndPop) {
+  Simulator sim;
+  for (int i = 0; i < 100; ++i) sim.ScheduleAt(i, [] {});
+  EXPECT_EQ(sim.pending_events(), 100u);
+  for (int i = 0; i < 40; ++i) EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(sim.pending_events(), 60u);
+  // Callbacks that schedule more work grow the count net of their own pop.
+  sim.ScheduleAt(200, [&sim] {
+    sim.ScheduleAt(300, [] {});
+    sim.ScheduleAt(300, [] {});
+  });
+  sim.RunUntil(250);
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, LargeCaptureCallbacksSurviveHeapChurn) {
+  // Captures bigger than the inline payload buffer take the heap-allocated
+  // path; verify they execute intact after thousands of sift moves.
+  Simulator sim;
+  uint64_t total = 0;
+  constexpr int kN = 1000;
+  for (int i = 0; i < kN; ++i) {
+    std::array<uint64_t, 8> big{};  // 64 bytes: beyond small-buffer storage
+    big.fill(static_cast<uint64_t>(i));
+    sim.ScheduleAt(kN - i, [&total, big] { total += big[7]; });
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(total, static_cast<uint64_t>(kN) * (kN - 1) / 2);
 }
 
 TEST(SimulatorTest, CountsProcessedEvents) {

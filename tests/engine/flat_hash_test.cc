@@ -1,0 +1,131 @@
+#include "engine/flat_hash.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace sdps::engine {
+namespace {
+
+template <typename V>
+V& Upsert(FlatKeyMap<V>& map, uint64_t key) {
+  bool inserted = false;
+  return map.FindOrInsert(key, &inserted);
+}
+
+TEST(FlatKeyMapTest, StartsEmpty) {
+  FlatKeyMap<int> map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(0), nullptr);
+  EXPECT_EQ(map.Find(42), nullptr);
+}
+
+TEST(FlatKeyMapTest, FindOrInsertDefaultConstructsOnceAndReportsInserted) {
+  FlatKeyMap<int> map;
+  bool inserted = false;
+  int* v = &map.FindOrInsert(7, &inserted);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*v, 0);
+  *v = 99;
+  EXPECT_EQ(map.FindOrInsert(7, &inserted), 99);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(map.size(), 1u);
+  ASSERT_NE(map.Find(7), nullptr);
+  EXPECT_EQ(*map.Find(7), 99);
+}
+
+TEST(FlatKeyMapTest, GrowsPastInitialCapacityWithoutLosingEntries) {
+  FlatKeyMap<uint64_t> map;
+  constexpr uint64_t kN = 10000;
+  for (uint64_t k = 0; k < kN; ++k) Upsert(map, k) = k * 3;
+  EXPECT_EQ(map.size(), kN);
+  for (uint64_t k = 0; k < kN; ++k) {
+    auto* v = map.Find(k);
+    ASSERT_NE(v, nullptr) << "key " << k;
+    EXPECT_EQ(*v, k * 3);
+  }
+  EXPECT_EQ(map.Find(kN), nullptr);
+}
+
+TEST(FlatKeyMapTest, MatchesUnorderedMapUnderRandomWorkload) {
+  FlatKeyMap<double> map;
+  std::unordered_map<uint64_t, double> reference;
+  Rng rng(1234);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.NextBelow(4096);
+    const double delta = rng.Uniform(0, 10);
+    Upsert(map, key) += delta;
+    reference[key] += delta;
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    auto* v = map.Find(key);
+    ASSERT_NE(v, nullptr) << "key " << key;
+    EXPECT_DOUBLE_EQ(*v, value);
+  }
+}
+
+TEST(FlatKeyMapTest, SparseHighBitKeysProbeCorrectly) {
+  // Keys differing only in high bits stress the Fibonacci mix: without it
+  // they would collide into the same bucket run.
+  FlatKeyMap<int> map;
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 64; ++i) keys.push_back(i << 32);
+  for (uint64_t i = 0; i < 64; ++i) keys.push_back((i << 32) | 1);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Upsert(map, keys[i]) = static_cast<int>(i);
+  }
+  EXPECT_EQ(map.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_NE(map.Find(keys[i]), nullptr);
+    EXPECT_EQ(*map.Find(keys[i]), static_cast<int>(i));
+  }
+}
+
+TEST(FlatKeyMapTest, ReservedSentinelKeyIsStillUsable) {
+  // ~0ull doubles as the empty-slot marker internally; the map must still
+  // accept it as a user key via the out-of-line slot.
+  FlatKeyMap<int> map;
+  const uint64_t sentinel = ~0ull;
+  EXPECT_EQ(map.Find(sentinel), nullptr);
+  Upsert(map, sentinel) = 123;
+  EXPECT_EQ(map.size(), 1u);
+  ASSERT_NE(map.Find(sentinel), nullptr);
+  EXPECT_EQ(*map.Find(sentinel), 123);
+  map.Clear();
+  EXPECT_EQ(map.Find(sentinel), nullptr);
+}
+
+TEST(FlatKeyMapTest, ClearKeepsForgettingEntriesButStaysUsable) {
+  FlatKeyMap<int> map;
+  for (uint64_t k = 0; k < 100; ++k) Upsert(map, k) = 1;
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  for (uint64_t k = 0; k < 100; ++k) EXPECT_EQ(map.Find(k), nullptr);
+  Upsert(map, 55) = 7;
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.Find(55), 7);
+}
+
+TEST(FlatKeyMapTest, ForEachVisitsEveryEntryExactlyOnce) {
+  FlatKeyMap<uint64_t> map;
+  for (uint64_t k = 0; k < 500; ++k) Upsert(map, k * 7) = k;
+  std::unordered_map<uint64_t, uint64_t> seen;
+  map.ForEach([&](uint64_t key, const uint64_t& value) {
+    ASSERT_FALSE(seen.count(key)) << "key visited twice: " << key;
+    seen[key] = value;
+  });
+  EXPECT_EQ(seen.size(), 500u);
+  for (uint64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(seen.count(k * 7));
+    EXPECT_EQ(seen[k * 7], k);
+  }
+}
+
+}  // namespace
+}  // namespace sdps::engine

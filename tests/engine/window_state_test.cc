@@ -1,6 +1,9 @@
 #include "engine/window_state.h"
 
+#include <algorithm>
 #include <map>
+#include <tuple>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -104,6 +107,49 @@ TEST(AggWindowStateTest, StateBytesGrowAndShrink) {
 }
 
 // Randomised equivalence against a brute-force reference.
+TEST(WindowKeyAggTest, TracksMaxTimesAtAndBelowZero) {
+  // Regression: max times used to start at 0, so records whose event times
+  // were <= 0 (simulation epoch, or pre-epoch skew) never registered and
+  // fired outputs reported a phantom max_event_time of 0.
+  WindowKeyAgg agg;
+  Record r = MakeRecord(-Seconds(2), 1, 10.0, /*ingest_time=*/0);
+  agg.Merge(r);
+  EXPECT_EQ(agg.max_event_time, -Seconds(2));
+  EXPECT_EQ(agg.max_ingest_time, 0);
+  Record r2 = MakeRecord(-Seconds(5), 1, 1.0, /*ingest_time=*/0);
+  agg.Merge(r2);
+  EXPECT_EQ(agg.max_event_time, -Seconds(2));  // -5s does not displace -2s
+  EXPECT_DOUBLE_EQ(agg.sum, 11.0);
+}
+
+TEST(AggWindowStateTest, OutOfOrderReclaimOfOpenWindowLane) {
+  // Regression for the lane-ring index: with out-of-order input a window
+  // can be open (claimed through one key's row) while another key's row
+  // still holds a colliding window at the same lane. The ring must grow and
+  // migrate — this exact sequence used to loop forever in GrowRing.
+  WindowAssigner assigner({Seconds(8), Seconds(4)});
+  AggWindowState state(assigner);
+  // key 1 opens windows 0 and 1; key 2 then opens 2 and 3 (lane-colliding
+  // with 0 and 1 under the initial ring); key 1 re-touches 2 and 3.
+  state.Add(MakeRecord(Seconds(4), 1, 10.0));
+  state.Add(MakeRecord(Seconds(12), 2, 20.0));
+  state.Add(MakeRecord(Seconds(12), 1, 30.0));
+  EXPECT_EQ(state.open_windows(), 4u);
+
+  std::vector<std::tuple<SimTime, uint64_t, double>> outs;
+  for (const auto& out : state.FireUpTo(Seconds(100))) {
+    outs.emplace_back(out.max_event_time, out.key, out.value);
+  }
+  std::sort(outs.begin(), outs.end());
+  // t=4s lands in windows [0,8) and [4,12); t=12s in [8,16) and [12,20);
+  // each record therefore yields two per-window outputs.
+  const std::vector<std::tuple<SimTime, uint64_t, double>> expected = {
+      {Seconds(4), 1, 10.0},  {Seconds(4), 1, 10.0},
+      {Seconds(12), 1, 30.0}, {Seconds(12), 1, 30.0},
+      {Seconds(12), 2, 20.0}, {Seconds(12), 2, 20.0}};
+  EXPECT_EQ(outs, expected);
+}
+
 TEST(AggWindowStateTest, MatchesBruteForceReference) {
   WindowAssigner assigner({Seconds(8), Seconds(4)});
   AggWindowState state(assigner);

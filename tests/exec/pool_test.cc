@@ -1,0 +1,103 @@
+#include "exec/pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sdps::exec {
+namespace {
+
+TEST(ResolveJobsTest, PositiveRequestIsTakenVerbatim) {
+  EXPECT_EQ(ResolveJobs(1), 1);
+  EXPECT_EQ(ResolveJobs(7), 7);
+}
+
+TEST(ResolveJobsTest, ZeroMeansHardwareConcurrencyAtLeastOne) {
+  EXPECT_GE(ResolveJobs(0), 1);
+}
+
+TEST(TrialPoolTest, SerialPoolRunsInlineAtSubmitTime) {
+  TrialPool pool(1);
+  EXPECT_EQ(pool.jobs(), 1);
+  const auto submitter = std::this_thread::get_id();
+  std::thread::id ran_on;
+  auto f = pool.Submit([&] {
+    ran_on = std::this_thread::get_id();
+    return 42;
+  });
+  // jobs == 1 executes during Submit — the future is already ready.
+  EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(ran_on, submitter);
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(TrialPoolTest, ResultsArriveInSubmissionOrder) {
+  TrialPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(TrialPoolTest, ParallelPoolUsesWorkerThreads) {
+  TrialPool pool(2);
+  const auto submitter = std::this_thread::get_id();
+  auto f = pool.Submit([] { return std::this_thread::get_id(); });
+  EXPECT_NE(f.get(), submitter);
+}
+
+TEST(TrialPoolTest, ManyMoreTasksThanWorkersAllComplete) {
+  TrialPool pool(3);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([&done] { done.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(TrialPoolTest, ShutdownDrainsQueueBeforeJoining) {
+  std::atomic<int> done{0};
+  {
+    TrialPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        done.fetch_add(1);
+      });
+    }
+    // Destructor == Shutdown(): queued work must finish, not be dropped.
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(TrialPoolTest, AbandonedFuturesStillExecute) {
+  // The search layer discards futures for speculated trials it no longer
+  // needs; the pool must not require every future to be consumed.
+  std::atomic<int> done{0};
+  {
+    TrialPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      (void)pool.Submit([&done] { done.fetch_add(1); return 1; });
+    }
+  }
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(TrialPoolTest, MoveOnlyResultsSupported) {
+  TrialPool pool(2);
+  auto f = pool.Submit([] { return std::make_unique<int>(5); });
+  EXPECT_EQ(*f.get(), 5);
+}
+
+}  // namespace
+}  // namespace sdps::exec
