@@ -14,6 +14,7 @@
 
 #include "common/csv.h"
 #include "common/strings.h"
+#include "engine/batch.h"
 #include "obs/export.h"
 #include "obs/lineage.h"
 #include "obs/log_bridge.h"
@@ -43,6 +44,9 @@ std::atomic<int> g_write_failures{0};
 /// before any bench code runs).
 int g_jobs = 1;
 
+/// Data-plane batch size from --batch=N (1 = per-record scheduling).
+int g_batch = 1;
+
 void WriteDump(const char* what, const std::string& path, const Status& status) {
   if (status.ok()) {
     std::fprintf(stderr, "[obs] %s written to %s\n", what, path.c_str());
@@ -67,6 +71,12 @@ TelemetryScope::TelemetryScope(int& argc, char** argv) {
     }
     if (ConsumeFlag(argv[i], "--jobs=", &jobs_value)) {
       g_jobs = exec::ResolveJobs(std::atoi(jobs_value.c_str()));
+      continue;
+    }
+    std::string batch_value;
+    if (ConsumeFlag(argv[i], "--batch=", &batch_value)) {
+      g_batch = std::max(1, std::atoi(batch_value.c_str()));
+      engine::SetDefaultDataPlaneBatch(g_batch);
       continue;
     }
     argv[kept++] = argv[i];
@@ -123,6 +133,8 @@ int Exit(TelemetryScope& telemetry, int code) {
 }
 
 int Jobs() { return g_jobs; }
+
+int BatchSize() { return g_batch; }
 
 void ParseFlagsOrExit(const FlagParser& parser, int argc, char** argv) {
   const Status status = parser.Parse(argc, argv);

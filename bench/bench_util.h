@@ -68,6 +68,13 @@ void ParseFlagsOrExit(const FlagParser& parser, int argc, char** argv);
 /// wall-clock time.
 int Jobs();
 
+/// Data-plane batch size for this bench process, from `--batch=N`
+/// (default 1 = per-record scheduling, the exact historical event
+/// sequence). TelemetryScope consumes the flag and installs it as the
+/// process-wide default (engine::SetDefaultDataPlaneBatch), so every
+/// experiment whose config leaves `batch` at 0 picks it up.
+int BatchSize();
+
 /// Runs independent measurement closures Jobs()-wide, returning results
 /// in submission order (so row/CSV order never depends on scheduling).
 /// With Jobs() == 1 each closure runs inline at submission, exactly like

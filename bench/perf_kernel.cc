@@ -112,6 +112,38 @@ double RecordsPerSec(const std::vector<engine::Record>& tape, FireCount&& fired)
   });
 }
 
+// End-to-end pipeline throughput: one Flink aggregation trial, driven
+// hard enough that the driver queues hold a backlog (so PopBatch finds
+// full batches), measured as logical generator records simulated per
+// wall-clock second. The same logical workload runs at --batch=1 (the
+// per-record event sequence) and at a coalescing batch size; the ratio is
+// the data-plane batching speedup the CI floor gates.
+constexpr int kPipelineBatch = 32;
+
+double PipelineRecordsPerSec(int batch) {
+  driver::ExperimentConfig config =
+      MakeExperiment(engine::QueryKind::kAggregation, 2, 2.5e6, Seconds(10));
+  config.batch = batch;
+  // Overload is intentional here: neutralize the sustainability limits so
+  // the full horizon is simulated at every batch size.
+  config.backlog_hard_limit_s = 1e9;
+  config.backlog_end_limit_s = 1e9;
+  config.backlog_slope_frac = 1e9;
+  auto factory = MakeEngineFactory(
+      Engine::kFlink, engine::QueryConfig{engine::QueryKind::kAggregation, {}});
+  const double records = config.total_rate * ToSeconds(config.duration) /
+                         static_cast<double>(config.generator.tuples_per_record);
+  return BestOf([&] {
+    const double t0 = Now();
+    const auto result = driver::RunExperiment(config, factory);
+    const double dt = Now() - t0;
+    if (result.output_records == 0) {
+      std::fprintf(stderr, "suspicious: pipeline trial produced no outputs\n");
+    }
+    return records / dt;
+  });
+}
+
 double SearchWallClock(int jobs) {
   driver::SearchConfig search;
   // Deliberately unsustainable start so the ladder descends several rungs
@@ -166,6 +198,12 @@ int main(int argc, char** argv) {
       MakeTape(2'000'000, 200'000, true), buf_fire);
   printf("  join_200k_keys   %8.1f M records/s\n", join / 1e6);
 
+  const double pipe_b1 = PipelineRecordsPerSec(1);
+  printf("  pipeline_b1      %8.1f k records/s\n", pipe_b1 / 1e3);
+  const double pipe_bn = PipelineRecordsPerSec(kPipelineBatch);
+  printf("  pipeline_b%-2d     %8.1f k records/s  (x%.2f vs --batch=1)\n",
+         kPipelineBatch, pipe_bn / 1e3, pipe_bn / pipe_b1);
+
   double search_j1 = 0, search_jn = 0;
   int jn = 1;
   if (smoke) {
@@ -190,7 +228,17 @@ int main(int argc, char** argv) {
   std::fprintf(f, "    \"agg_1k_records_per_s\": %.0f,\n", agg1k);
   std::fprintf(f, "    \"agg_100k_records_per_s\": %.0f,\n", agg100k);
   std::fprintf(f, "    \"buffered_records_per_s\": %.0f,\n", buffered);
-  std::fprintf(f, "    \"join_records_per_s\": %.0f\n", join);
+  std::fprintf(f, "    \"join_records_per_s\": %.0f,\n", join);
+  std::fprintf(f, "    \"pipeline_b1_records_per_s\": %.0f,\n", pipe_b1);
+  std::fprintf(f, "    \"pipeline_b%d_records_per_s\": %.0f\n", kPipelineBatch,
+               pipe_bn);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"ratios\": {\n");
+  std::fprintf(f,
+               "    \"pipeline_batch_speedup\": {\"num\": "
+               "\"pipeline_b%d_records_per_s\", \"den\": "
+               "\"pipeline_b1_records_per_s\", \"value\": %.3f}\n",
+               kPipelineBatch, pipe_bn / pipe_b1);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"search_smoke\": {\"ran\": %s, \"jobs\": %d, "
                   "\"wall_s_jobs1\": %.3f, \"wall_s_jobsN\": %.3f},\n",

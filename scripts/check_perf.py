@@ -8,6 +8,13 @@ by the perf_kernel binary) against its floor in the committed baseline.
 A metric more than `tolerance` below the baseline fails the gate. Metrics
 above baseline never fail; new metrics missing from the baseline warn only,
 so adding a workload does not require a lockstep baseline bump.
+
+The baseline may also carry a "ratios" section gating relative speedups
+(e.g. the batched-data-plane pipeline speedup): each entry names a
+numerator and denominator metric and a "min" floor; the measured
+num/den ratio must not fall below it. Ratio floors are exact (no
+tolerance): they encode an algorithmic guarantee, not a noise-prone
+absolute throughput.
 """
 
 import argparse
@@ -26,7 +33,9 @@ def main() -> int:
     with open(args.measured) as f:
         measured = json.load(f)["metrics"]
     with open(args.baseline) as f:
-        baseline = json.load(f)["metrics"]
+        baseline_doc = json.load(f)
+    baseline = baseline_doc["metrics"]
+    ratio_floors = baseline_doc.get("ratios", {})
 
     failures = []
     for name, floor in sorted(baseline.items()):
@@ -44,6 +53,20 @@ def main() -> int:
                 f"{args.tolerance:.0%} below the baseline {floor:,.0f}")
     for name in sorted(set(measured) - set(baseline)):
         print(f"  WARN {name}: not in baseline (new metric?)")
+
+    for name, spec in sorted(ratio_floors.items()):
+        num, den = spec["num"], spec["den"]
+        if num not in measured or den not in measured:
+            failures.append(f"{name}: metrics {num}/{den} missing from measured output")
+            continue
+        ratio = measured[num] / measured[den] if measured[den] else float("inf")
+        status = "OK " if ratio >= spec["min"] else "FAIL"
+        print(f"  {status} {name}: {num}/{den} = x{ratio:.2f} "
+              f"(floor x{spec['min']:.2f})")
+        if status == "FAIL":
+            failures.append(
+                f"{name}: measured ratio x{ratio:.2f} is below the "
+                f"floor x{spec['min']:.2f}")
 
     if failures:
         print(f"\n{len(failures)} perf regression(s):", file=sys.stderr)

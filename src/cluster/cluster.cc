@@ -74,6 +74,44 @@ des::Task<> Cluster::Send(Node& from, Node& to, int64_t bytes) {
   co_await nic(to).in->Transfer(bytes);
 }
 
+des::Task<> Cluster::SendBatch(Node& from, Node& to, const int64_t* bytes, size_t n,
+                               SimTime* arrivals) {
+  SDPS_CHECK_GT(n, 0u);
+  if (n == 1) {
+    // Delegate so a 1-record batch is the exact Send() event sequence.
+    co_await Send(from, to, bytes[0]);
+    if (arrivals != nullptr) arrivals[0] = sim_.now();
+    co_return;
+  }
+  if (from.id() == to.id()) {  // in-process handoff
+    if (arrivals != nullptr) {
+      for (size_t i = 0; i < n; ++i) arrivals[i] = sim_.now();
+    }
+    co_return;
+  }
+  static obs::Counter* net_transfers =
+      obs::Registry::Default().GetCounter("cluster.net.transfers");
+  static obs::Counter* net_bytes =
+      obs::Registry::Default().GetCounter("cluster.net.bytes");
+  int64_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += bytes[i];
+  net_transfers->Add(n);
+  net_bytes->Add(static_cast<uint64_t>(total));
+  const bool crosses_trunk = from.group() != to.group();
+  // Only the final hop's per-item completions are the arrival times.
+  co_await nic(from).out->TransferBatch(bytes, n, nullptr);
+  if (crosses_trunk) {
+    static obs::Counter* trunk_bytes =
+        obs::Registry::Default().GetCounter("cluster.net.trunk_bytes");
+    trunk_bytes->Add(static_cast<uint64_t>(total));
+    Link& trunk = (to.group() == NodeGroup::kWorker || to.group() == NodeGroup::kMaster)
+                      ? *trunk_ingest_
+                      : *trunk_egress_;
+    co_await trunk.TransferBatch(bytes, n, nullptr);
+  }
+  co_await nic(to).in->TransferBatch(bytes, n, arrivals);
+}
+
 int64_t Cluster::NodeNetworkBytes(const Node& node) const {
   const Nic& n = nic(node);
   return n.in->bytes_transferred() + n.out->bytes_transferred();

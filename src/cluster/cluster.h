@@ -49,6 +49,18 @@ class Cluster {
   /// Same-node transfers complete immediately.
   des::Task<> Send(Node& from, Node& to, int64_t bytes);
 
+  /// Moves a back-to-back run of payloads from `from` to `to` with one
+  /// line admission per hop (instead of n per hop). When `arrivals` is
+  /// non-null it receives each item's arrival time at `to` (the final
+  /// hop's per-item completion schedule). n == 1 is event-for-event
+  /// identical to Send(). For n > 1 the run is store-and-forwarded hop by
+  /// hop as a unit — the whole run clears the sender NIC before entering
+  /// the trunk — whereas n serial Sends would pipeline items across hops;
+  /// within each hop the per-item schedule is exact (see
+  /// Link::TransferBatch).
+  des::Task<> SendBatch(Node& from, Node& to, const int64_t* bytes, size_t n,
+                        SimTime* arrivals);
+
   /// Total bytes that crossed each node's NIC (in + out), for Fig. 10.
   int64_t NodeNetworkBytes(const Node& node) const;
 

@@ -34,6 +34,16 @@ class Link {
   /// delay. Concurrent transfers queue FIFO.
   des::Task<> Transfer(int64_t bytes);
 
+  /// Transfers a back-to-back run of payloads with ONE line admission and
+  /// one completion event. Per-item transmission times use the identical
+  /// FP expression as Transfer(); item i finishes the line at
+  /// service_start + tx[0] + ... + tx[i] and arrives latency() later —
+  /// exactly the schedule `n` serial Transfer() calls produce on this
+  /// store-and-forward FIFO line (each would queue behind the previous).
+  /// When `completions` is non-null it receives the n absolute arrival
+  /// times. The coroutine itself resumes at the LAST item's arrival.
+  des::Task<> TransferBatch(const int64_t* bytes, size_t n, SimTime* completions);
+
   /// Cumulative payload bytes that completed transmission.
   int64_t bytes_transferred() const { return bytes_transferred_; }
 

@@ -8,6 +8,7 @@
 #include <deque>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "des/simulator.h"
@@ -58,9 +59,20 @@ class Channel {
 
   class SendAwaiter;
   class RecvAwaiter;
+  class RecvManyAwaiter;
 
   SendAwaiter Send(T value) { return SendAwaiter(*this, std::move(value)); }
   RecvAwaiter Recv() { return RecvAwaiter(*this); }
+
+  /// Drains up to `max` buffered values in one resume (appended to *out,
+  /// which is cleared first). Takes values in FIFO order, admitting parked
+  /// senders after each take — exactly the refill sequence `max` serial
+  /// Recv() calls at one instant would produce. When the buffer is empty
+  /// and the channel open, parks like Recv() and wakes with exactly one
+  /// value. Returns (via await_resume) false when closed & drained.
+  RecvManyAwaiter RecvMany(std::vector<T>* out, size_t max) {
+    return RecvManyAwaiter(*this, out, max);
+  }
 
   /// Non-blocking send. Returns false (drops the value) when full or closed.
   bool TrySend(T value) {
@@ -164,6 +176,44 @@ class Channel {
 
    private:
     Channel& ch_;
+    typename Channel::RecvOp op_;
+  };
+
+  class RecvManyAwaiter {
+   public:
+    RecvManyAwaiter(Channel& ch, std::vector<T>* out, size_t max)
+        : ch_(ch), out_(out), max_(max) {
+      SDPS_CHECK_GT(max, 0u);
+      out_->clear();
+    }
+    bool await_ready() {
+      if (!ch_.buffer_.empty()) {
+        // Mirror `max` serial Recv() calls at one instant: take the front,
+        // then admit a parked sender (whose value lands at the back and is
+        // eligible for this same drain), repeat.
+        while (out_->size() < max_ && !ch_.buffer_.empty()) {
+          out_->push_back(std::move(ch_.buffer_.front()));
+          ch_.buffer_.pop_front();
+          ch_.AdmitWaitingSender();
+        }
+        return true;
+      }
+      return ch_.closed_;  // closed & drained -> empty batch, false
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      op_.handle = h;
+      ch_.recv_waiters_.push_back(&op_);
+    }
+    /// True when at least one value was received.
+    bool await_resume() {
+      if (op_.value.has_value()) out_->push_back(std::move(*op_.value));
+      return !out_->empty();
+    }
+
+   private:
+    Channel& ch_;
+    std::vector<T>* out_;
+    size_t max_;
     typename Channel::RecvOp op_;
   };
 };

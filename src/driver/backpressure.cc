@@ -37,7 +37,7 @@ des::Task<> BackpressureMonitor::Probe() {
     co_await des::Delay(sim_, config_.probe_interval);
     const SimTime now = sim_.now();
     uint64_t backlog = 0;
-    for (const DriverQueue* q : queues_) backlog += q->queued_tuples();
+    for (DriverQueue* q : queues_) backlog += q->queued_tuples();
     indicator_.backlog.Add(now, static_cast<double>(backlog));
     depth_gauge->Set(static_cast<double>(backlog));
 

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "des/task.h"
+#include "engine/batch.h"
 #include "obs/lineage.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -104,6 +105,12 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const SutFactory&
 
   Rng rng(config.seed);
 
+  // Resolve the data-plane batch size: per-experiment override, else the
+  // process-wide --batch default (1 = per-record scheduling).
+  const int batch =
+      config.batch > 0 ? config.batch : engine::DefaultDataPlaneBatch();
+  SDPS_CHECK_GE(batch, 1);
+
   // One (generator, queue) pair per driver node; offered load split evenly.
   std::vector<std::unique_ptr<DriverQueue>> queues;
   std::vector<DriverQueue*> queue_ptrs;
@@ -115,6 +122,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const SutFactory&
   for (int i = 0; i < drivers; ++i) {
     GeneratorConfig gen = config.generator;
     gen.duration = config.duration;
+    gen.burst = static_cast<uint32_t>(batch);
     if (config.rate_profile != nullptr) {
       gen.rate = [total = config.rate_profile, drivers](SimTime t) {
         return total(t) / static_cast<double>(drivers);
@@ -139,6 +147,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const SutFactory&
   ctx.queues = queue_ptrs;
   ctx.sink = &sink;
   ctx.seed = rng.NextUint64();
+  ctx.batch = batch;
   ctx.report_failure = [&failure, &sim](Status s) {
     if (failure.ok() && !s.ok()) {
       failure = s;

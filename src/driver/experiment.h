@@ -52,6 +52,11 @@ struct ExperimentConfig {
   /// Backlog slope above this fraction of the offered rate counts as
   /// "continuously increasing" (prolonged backpressure).
   double backlog_slope_frac = 0.05;
+  /// Data-plane batch size: records per generator wakeup, queue pop,
+  /// network admission, and CPU admission. 0 (default) resolves to the
+  /// process-wide engine::DefaultDataPlaneBatch() (the --batch flag,
+  /// itself defaulting to 1 = per-record scheduling).
+  int batch = 0;
   /// Queue/resource sampling period.
   SimTime probe_interval = Millis(250);
   /// Resource-usage (CPU/network) sampling period (Fig. 10 buckets).

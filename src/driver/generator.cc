@@ -65,58 +65,123 @@ class KeyPicker {
   std::optional<ZipfDistribution> zipf_;
 };
 
-des::Task<> GeneratorProcess(des::Simulator& sim, DriverQueue& queue,
-                             GeneratorConfig config, Rng rng) {
-  KeyPicker picker(config);
-  // Ring buffer of recent ad keys for selectivity-controlled join matches.
-  std::vector<uint64_t> recent_ads;
-  size_t recent_ads_next = 0;
-  // Non-matching purchase keys live in a disjoint key space (top bit set).
-  constexpr uint64_t kNonMatchingBit = 1ULL << 63;
-  uint64_t non_matching_counter = 0;
+/// Deterministic record-payload builder: one instance per generator, its
+/// rng/ring state advanced in strict emission order — so payloads are a
+/// pure function of the emission index, identical at any burst size.
+class RecordBuilder {
+ public:
+  RecordBuilder(const GeneratorConfig& config, Rng& rng)
+      : config_(config), rng_(rng), picker_(config) {}
 
-  while (sim.now() < config.duration) {
-    const double rate = config.rate(sim.now());
-    SDPS_CHECK_GT(rate, 0.0) << "rate profile returned non-positive rate";
-    const double interval_us =
-        static_cast<double>(config.tuples_per_record) / rate * 1e6;
-    co_await des::Delay(sim, std::max<SimTime>(1, static_cast<SimTime>(
-                                                      std::llround(interval_us))));
-    if (sim.now() >= config.duration) break;
-
+  engine::Record Build(SimTime emit_time) {
     engine::Record rec;
-    rec.event_time = sim.now();
-    if (config.max_event_lag > 0) {
+    rec.event_time = emit_time;
+    if (config_.max_event_lag > 0) {
       rec.event_time -= static_cast<SimTime>(
-          rng.NextBelow(static_cast<uint64_t>(config.max_event_lag)));
+          rng_.NextBelow(static_cast<uint64_t>(config_.max_event_lag)));
       if (rec.event_time < 0) rec.event_time = 0;
     }
-    rec.weight = config.tuples_per_record;
-    const bool is_ad = config.ads_fraction > 0.0 && rng.NextDouble() < config.ads_fraction;
+    rec.weight = config_.tuples_per_record;
+    const bool is_ad =
+        config_.ads_fraction > 0.0 && rng_.NextDouble() < config_.ads_fraction;
     if (is_ad) {
       rec.stream = engine::StreamId::kAds;
-      rec.key = picker.Pick(rng);
+      rec.key = picker_.Pick(rng_);
       rec.value = 0.0;
-      if (recent_ads.size() < config.ad_match_memory) {
-        recent_ads.push_back(rec.key);
+      if (recent_ads_.size() < config_.ad_match_memory) {
+        recent_ads_.push_back(rec.key);
       } else {
-        recent_ads[recent_ads_next] = rec.key;
-        recent_ads_next = (recent_ads_next + 1) % config.ad_match_memory;
+        recent_ads_[recent_ads_next_] = rec.key;
+        recent_ads_next_ = (recent_ads_next_ + 1) % config_.ad_match_memory;
       }
     } else {
       rec.stream = engine::StreamId::kPurchases;
-      rec.value = rng.Uniform(config.price_min, config.price_max);
-      const bool match = config.ads_fraction > 0.0 && !recent_ads.empty() &&
-                         rng.NextDouble() < config.join_selectivity;
+      rec.value = rng_.Uniform(config_.price_min, config_.price_max);
+      const bool match = config_.ads_fraction > 0.0 && !recent_ads_.empty() &&
+                         rng_.NextDouble() < config_.join_selectivity;
       if (match) {
-        rec.key = recent_ads[rng.NextBelow(recent_ads.size())];
-      } else if (config.ads_fraction > 0.0) {
-        rec.key = kNonMatchingBit | (non_matching_counter++);
+        rec.key = recent_ads_[rng_.NextBelow(recent_ads_.size())];
+      } else if (config_.ads_fraction > 0.0) {
+        rec.key = kNonMatchingBit | (non_matching_counter_++);
       } else {
-        rec.key = picker.Pick(rng);
+        rec.key = picker_.Pick(rng_);
       }
     }
-    queue.Push(rec);
+    return rec;
+  }
+
+ private:
+  // Non-matching purchase keys live in a disjoint key space (top bit set).
+  static constexpr uint64_t kNonMatchingBit = 1ULL << 63;
+
+  const GeneratorConfig& config_;
+  Rng& rng_;
+  KeyPicker picker_;
+  // Ring buffer of recent ad keys for selectivity-controlled join matches.
+  std::vector<uint64_t> recent_ads_;
+  size_t recent_ads_next_ = 0;
+  uint64_t non_matching_counter_ = 0;
+};
+
+/// Advances the emission clock by one inter-record interval, carrying the
+/// fractional-microsecond rounding error so the realized rate tracks the
+/// configured rate exactly (no per-record drift) and rates above one
+/// record per microsecond are representable (several same-µs emissions,
+/// not a silent 1 rec/µs cap).
+SimTime NextStep(const GeneratorConfig& config, SimTime at, double* carry) {
+  const double rate = config.rate(at);
+  SDPS_CHECK_GT(rate, 0.0) << "rate profile returned non-positive rate";
+  const double interval_us =
+      static_cast<double>(config.tuples_per_record) / rate * 1e6 + *carry;
+  const SimTime step =
+      std::max<SimTime>(0, static_cast<SimTime>(std::llround(interval_us)));
+  *carry = interval_us - static_cast<double>(step);
+  return step;
+}
+
+des::Task<> GeneratorProcess(des::Simulator& sim, DriverQueue& queue,
+                             GeneratorConfig config, Rng rng) {
+  RecordBuilder builder(config, rng);
+  double carry = 0.0;
+
+  if (config.burst <= 1) {
+    // Per-record scheduling: one Delay per emission.
+    while (sim.now() < config.duration) {
+      co_await des::Delay(sim, NextStep(config, sim.now(), &carry));
+      if (sim.now() >= config.duration) break;
+      queue.Push(builder.Build(sim.now()));
+    }
+    queue.Close();
+    co_return;
+  }
+
+  // Burst scheduling: one Delay per `burst` emissions. Emission times are
+  // computed with the identical recurrence (rate sampled at the previous
+  // emission time, carry across the whole run), so the schedule and the
+  // payload rng sequence are bit-identical to the per-record loop; the
+  // records ride to the queue as one PushBurst with per-record arrivals.
+  engine::RecordBatch records;
+  std::vector<SimTime> arrivals;
+  while (sim.now() < config.duration) {
+    records.Clear();
+    arrivals.clear();
+    SimTime t = sim.now();
+    bool horizon_reached = false;
+    for (uint32_t i = 0; i < config.burst; ++i) {
+      t += NextStep(config, t, &carry);
+      if (t >= config.duration) {
+        horizon_reached = true;
+        break;
+      }
+      records.PushBack(builder.Build(t));
+      arrivals.push_back(t);
+    }
+    if (!records.empty()) queue.PushBurst(std::move(records), arrivals);
+    // Sleep to the last computed emission time — the per-record loop's
+    // final Delay lands there too (including the overshooting step that
+    // crosses the horizon without emitting).
+    co_await des::Delay(sim, t - sim.now());
+    if (horizon_reached) break;
   }
   queue.Close();
 }
@@ -128,6 +193,7 @@ void SpawnGenerator(des::Simulator& sim, DriverQueue& queue, GeneratorConfig con
   SDPS_CHECK(config.rate != nullptr);
   SDPS_CHECK_GT(config.tuples_per_record, 0u);
   SDPS_CHECK_GT(config.num_keys, 0u);
+  SDPS_CHECK_GT(config.burst, 0u);
   sim.Spawn(GeneratorProcess(sim, queue, std::move(config), rng));
 }
 

@@ -67,6 +67,13 @@ struct GeneratorConfig {
   SimTime max_event_lag = 0;
   /// Generation stops at this time (the experiment horizon).
   SimTime duration = Seconds(300);
+  /// Records emitted per generator wakeup (the data-plane batch size).
+  /// 1 = one Delay per record, the per-record scheduling path. Larger
+  /// bursts compute up to `burst` emission times per wakeup with the same
+  /// carry-corrected recurrence and hand them to DriverQueue::PushBurst —
+  /// the emission schedule and record payloads are bit-identical at any
+  /// burst value (see tests/driver/generator_test.cc).
+  uint32_t burst = 1;
 };
 
 /// Spawns the generator process onto the simulator. Records are stamped

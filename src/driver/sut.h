@@ -32,6 +32,10 @@ struct SutContext {
   /// not sustaining the given throughput.
   std::function<void(Status)> report_failure;
   uint64_t seed = 0;
+  /// Data-plane batch size the engines should move records in (resolved
+  /// from ExperimentConfig::batch / --batch). 1 = per-record scheduling,
+  /// structurally identical to the pre-batching code paths.
+  int batch = 1;
 };
 
 class Sut {

@@ -1,0 +1,16 @@
+#include "engine/batch.h"
+
+namespace sdps::engine {
+
+namespace {
+int g_default_batch = 1;
+}  // namespace
+
+int DefaultDataPlaneBatch() { return g_default_batch; }
+
+void SetDefaultDataPlaneBatch(int batch) {
+  SDPS_CHECK_GE(batch, 1);
+  g_default_batch = batch;
+}
+
+}  // namespace sdps::engine

@@ -1,0 +1,76 @@
+// Record batches: the unit moved through the batched data plane, plus the
+// process-wide default batch size (the `--batch=N` knob).
+//
+// A RecordBatch is a run of records that entered the data plane together:
+// the generator emits one burst per wakeup, DriverQueue::PopBatch hands a
+// source up to `batch` queued records per resume, and the FIFO resources
+// (cluster::Link lines, worker CPUs) admit the whole run with one heap
+// event. Per-record event-times, lineage stamps, metering, and window
+// mutations are all preserved — batching coalesces *scheduling*, not
+// semantics. `--batch=1` reproduces the per-record code paths structurally
+// (every batched call site delegates to the serial primitive at k == 1).
+#ifndef SDPS_ENGINE_BATCH_H_
+#define SDPS_ENGINE_BATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "engine/record.h"
+
+namespace sdps::engine {
+
+/// A run of records moving through the data plane together. Records are
+/// stored contiguously (they are small, trivially copyable structs, so a
+/// flat vector is already the SoA-friendly layout for every per-field
+/// sweep the engines do: WireBytes sums, cost vectors, key partitioning).
+/// The inline capacity covers the common batch sizes without touching the
+/// allocator; larger bursts spill to the heap transparently.
+class RecordBatch {
+ public:
+  RecordBatch() { records_.reserve(kInlineCapacity); }
+
+  void Reserve(size_t n) { records_.reserve(n); }
+  void Clear() { records_.clear(); }
+  void PushBack(const Record& rec) { records_.push_back(rec); }
+  void PushBack(Record&& rec) { records_.push_back(rec); }
+
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  Record& operator[](size_t i) { return records_[i]; }
+  const Record& operator[](size_t i) const { return records_[i]; }
+  Record* begin() { return records_.data(); }
+  Record* end() { return records_.data() + records_.size(); }
+  const Record* begin() const { return records_.data(); }
+  const Record* end() const { return records_.data() + records_.size(); }
+
+  /// Summed logical tuples (records are weight-scaled).
+  uint64_t TotalWeight() const {
+    uint64_t total = 0;
+    for (const Record& r : records_) total += static_cast<uint64_t>(r.weight);
+    return total;
+  }
+
+  /// Summed wire size of the run.
+  int64_t TotalWireBytes() const {
+    int64_t total = 0;
+    for (const Record& r : records_) total += WireBytes(r);
+    return total;
+  }
+
+  static constexpr size_t kInlineCapacity = 64;
+
+ private:
+  std::vector<Record> records_;
+};
+
+/// Process-wide data-plane batch size, set from `--batch=N` before any
+/// trial runs (bench::TelemetryScope consumes the flag) and read by
+/// driver::RunExperiment when ExperimentConfig::batch is 0. The default
+/// is 1: per-record scheduling, bit-identical to the pre-batching tree.
+int DefaultDataPlaneBatch();
+void SetDefaultDataPlaneBatch(int batch);
+
+}  // namespace sdps::engine
+
+#endif  // SDPS_ENGINE_BATCH_H_

@@ -67,7 +67,28 @@ struct AddResult {
   int window_updates = 0;
   /// Logical tuples x windows whose contribution arrived too late.
   uint64_t late_tuples = 0;
+
+  void Accumulate(const AddResult& r) {
+    window_updates += r.window_updates;
+    late_tuples += r.late_tuples;
+  }
 };
+
+/// Folds a run of records into `state` in order (identical mutations to n
+/// serial Adds — batching the data plane must not reorder state updates).
+/// When `per_record` is non-null it receives each record's own AddResult
+/// (engines charge CPU per window update, per record). Returns the sum.
+template <typename State>
+AddResult AddBatch(State& state, const Record* recs, size_t n,
+                   AddResult* per_record = nullptr) {
+  AddResult total;
+  for (size_t i = 0; i < n; ++i) {
+    const AddResult r = state.Add(recs[i]);
+    if (per_record != nullptr) per_record[i] = r;
+    total.Accumulate(r);
+  }
+  return total;
+}
 
 /// Incremental sliding-window SUM aggregation (SELECT SUM(price) ...
 /// GROUP BY gemPackID from Listing 1).

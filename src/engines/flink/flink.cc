@@ -13,6 +13,7 @@
 #include "common/strings.h"
 #include "des/channel.h"
 #include "des/task.h"
+#include "engine/batch.h"
 #include "engine/partition.h"
 #include "engine/record.h"
 #include "engine/telemetry.h"
@@ -71,6 +72,7 @@ class FlinkSut : public driver::Sut {
     // Watermarks are generated per ingest connection (queue): the sources
     // of one queue share a max-event-time clock.
     queue_max_event_.assign(static_cast<size_t>(num_queues_), engine::kNoWatermark);
+    source_unsent_floor_.assign(static_cast<size_t>(num_sources_), kNoUnsentFloor);
     queue_active_sources_.assign(static_cast<size_t>(num_queues_), 0);
     for (int s = 0; s < num_sources_; ++s) {
       ++queue_active_sources_[static_cast<size_t>(QueueOfSource(s))];
@@ -122,8 +124,11 @@ class FlinkSut : public driver::Sut {
       }
     }
 
+    // Data-plane batch size: 1 spawns the per-record processes (the exact
+    // historical code paths); >1 spawns the coalescing variants.
+    batch_ = static_cast<size_t>(std::max(1, ctx.batch));
     for (int s = 0; s < num_sources_; ++s) {
-      ctx.sim->Spawn(SourceProcess(s));
+      ctx.sim->Spawn(batch_ > 1 ? SourceProcessBatched(s) : SourceProcess(s));
     }
     for (int q = 0; q < num_queues_; ++q) {
       ctx.sim->Spawn(WatermarkProcess(q));
@@ -213,6 +218,99 @@ class FlinkSut : public driver::Sut {
     --queue_active_sources_[static_cast<size_t>(queue_idx)];
   }
 
+  /// Batched source: one PopBatch / ingest SendBatch / cpu UseBatch per up
+  /// to `batch_` records. Per-record side effects (ingest stamps at the
+  /// per-record link completion times, epoch bookkeeping, partitioned
+  /// channel sends) are preserved; only the event-scheduling is coalesced.
+  Task<> SourceProcessBatched(int s) {
+    cluster::Node& my_worker = WorkerOfSource(s);
+    const int queue_idx = QueueOfSource(s);
+    cluster::Node& queue_node = ctx_.cluster->driver(queue_idx);
+    driver::DriverQueue& queue = *ctx_.queues[static_cast<size_t>(queue_idx)];
+    SimTime& queue_max_event = queue_max_event_[static_cast<size_t>(queue_idx)];
+    SimTime& unsent_floor = source_unsent_floor_[static_cast<size_t>(s)];
+
+    engine::RecordBatch recs;
+    std::vector<int64_t> bytes;
+    std::vector<SimTime> arrivals;
+    std::vector<SimTime> costs;
+    std::vector<int> targets;
+    // Remote records grouped per target worker, first-appearance order.
+    std::vector<std::pair<cluster::Node*, std::vector<int64_t>>> remote;
+
+    for (;;) {
+      if (!co_await queue.PopBatch(&recs, batch_)) break;
+      const size_t k = recs.size();
+      // Raised before the first suspension: from this instant until each
+      // record lands in its channel, watermarks stay below the batch.
+      unsent_floor = recs[0].event_time;
+      const int64_t rec_epoch = epoch_;
+      if (recovery_) in_flight_ += static_cast<int>(k);
+      // Ingest transfer: driver node -> this worker, one coalesced batch;
+      // arrivals[i] is the exact per-record link completion time.
+      bytes.clear();
+      arrivals.assign(k, 0);
+      for (const Record& rec : recs) bytes.push_back(engine::WireBytes(rec));
+      co_await ctx_.cluster->SendBatch(queue_node, my_worker, bytes.data(), k,
+                                       arrivals.data());
+      costs.clear();
+      int64_t alloc = 0;
+      for (size_t i = 0; i < k; ++i) {
+        recs[i].ingest_time = arrivals[i];
+        obs::LineageTracker::Default().StampIngested(recs[i].lineage, arrivals[i]);
+        costs.push_back(CostUs(config_.source_cost_us * recs[i].weight));
+        alloc += config_.alloc_bytes_per_tuple * recs[i].weight;
+      }
+      co_await my_worker.cpu().UseBatch(costs);
+      my_worker.RecordAllocation(alloc);
+
+      // Partition; coalesce serde + transfer of the remote records.
+      targets.clear();
+      costs.clear();
+      remote.clear();
+      for (size_t i = 0; i < k; ++i) {
+        const int t = engine::PartitionForKey(recs[i].key, num_tasks_);
+        targets.push_back(t);
+        cluster::Node& target = WorkerOfTask(t);
+        if (target.id() == my_worker.id()) continue;
+        costs.push_back(CostUs(config_.remote_serde_cost_us * recs[i].weight));
+        auto it = std::find_if(remote.begin(), remote.end(),
+                               [&target](const auto& g) { return g.first == &target; });
+        if (it == remote.end()) {
+          remote.emplace_back(&target, std::vector<int64_t>{});
+          it = remote.end() - 1;
+        }
+        it->second.push_back(engine::WireBytes(recs[i]));
+      }
+      if (!costs.empty()) {
+        co_await my_worker.cpu().UseBatch(costs);
+        for (const auto& [node, group] : remote) {
+          co_await ctx_.cluster->SendBatch(my_worker, *node, group.data(),
+                                           group.size(), nullptr);
+        }
+      }
+      for (size_t i = 0; i < k; ++i) {
+        if ((!recovery_ || rec_epoch == epoch_) &&
+            recs[i].event_time > queue_max_event) {
+          queue_max_event = recs[i].event_time;
+        }
+        Message msg = Message::MakeRecord(recs[i]);
+        msg.epoch = rec_epoch;
+        const bool sent =
+            co_await channels_[static_cast<size_t>(targets[i])]->Send(msg);
+        unsent_floor = i + 1 < k ? recs[i + 1].event_time : kNoUnsentFloor;
+        if (recovery_) --in_flight_;
+        if (!sent) {
+          // Topology shut down mid-batch: release the never-sent remainder.
+          unsent_floor = kNoUnsentFloor;
+          if (recovery_) in_flight_ -= static_cast<int>(k - 1 - i);
+          co_return;
+        }
+      }
+    }
+    --queue_active_sources_[static_cast<size_t>(queue_idx)];
+  }
+
   /// Periodically broadcasts the connection's event-time clock to every
   /// window task; emits a final watermark (flushing all open windows) once
   /// the connection's sources have drained the queue.
@@ -230,6 +328,16 @@ class FlinkSut : public driver::Sut {
       }
       SimTime wm = queue_max_event_[static_cast<size_t>(q)];
       if (wm == engine::kNoWatermark) continue;
+      // Batched data plane: a source may hold popped-but-undelivered
+      // records below the shared clock (other sources advanced it while
+      // this one was blocked on a full channel). Per-queue event times are
+      // monotone, so capping the broadcast below the oldest such record
+      // keeps every watermark behind all records it could retire.
+      for (int s = 0; s < num_sources_; ++s) {
+        if (QueueOfSource(s) != q) continue;
+        const SimTime floor = source_unsent_floor_[static_cast<size_t>(s)];
+        if (floor != kNoUnsentFloor && floor - 1 < wm) wm = floor - 1;
+      }
       wm -= config_.allowed_lateness;
       if (wm == last_sent) continue;
       last_sent = wm;
@@ -297,7 +405,13 @@ class FlinkSut : public driver::Sut {
 
   Task<> WindowTaskProcess(int t) {
     if (config_.query.kind == engine::QueryKind::kAggregation) {
-      co_await AggTask(t);
+      if (batch_ > 1) {
+        co_await AggTaskBatched(t);
+      } else {
+        co_await AggTask(t);
+      }
+    } else if (batch_ > 1) {
+      co_await JoinTaskBatched(t);
     } else {
       co_await JoinTask(t);
     }
@@ -416,6 +530,176 @@ class FlinkSut : public driver::Sut {
     }
   }
 
+  /// Batched window task (aggregation): receives up to `batch_` queued
+  /// messages per resume and coalesces each consecutive run of valid
+  /// records into one state.AddBatch-style pass + one cpu UseBatch whose
+  /// per-record completion times (service start + cost prefix sums) equal
+  /// the serial task's — operator stamps land at those exact times.
+  /// Barriers and watermarks are handled singly, exactly as the serial
+  /// task, so fire/snapshot ordering relative to records is unchanged.
+  Task<> AggTaskBatched(int t) {
+    cluster::Node& my_worker = WorkerOfTask(t);
+    engine::WindowAssigner assigner(config_.query.window);
+    engine::AggWindowState local_state(assigner);
+    engine::WatermarkTracker local_tracker(num_queues_);
+    engine::AggWindowState& state =
+        recovery_ ? task_agg_[static_cast<size_t>(t)] : local_state;
+    engine::WatermarkTracker& tracker =
+        recovery_ ? task_trackers_[static_cast<size_t>(t)] : local_tracker;
+    Channel<Message>& in = *channels_[static_cast<size_t>(t)];
+    obs::Tracer& tracer = obs::Tracer::Default();
+    const obs::TrackId track =
+        engine::OperatorTrack(my_worker.name(), name(), "task", t);
+
+    std::vector<Message> msgs;
+    std::vector<SimTime> costs;
+    std::vector<int64_t> lineages;
+    for (;;) {
+      if (!co_await in.RecvMany(&msgs, batch_)) break;
+      size_t i = 0;
+      while (i < msgs.size()) {
+        if (recovery_ && msgs[i].epoch < epoch_) {
+          ++i;
+          continue;
+        }
+        if (msgs[i].kind == Message::Kind::kRecord) {
+          // Coalesce the run of consecutive valid records. No co_await
+          // separates the Adds, but Add depends only on record event times
+          // and fired watermarks (which only move between runs), so the
+          // results match the serial interleaving.
+          costs.clear();
+          lineages.clear();
+          int64_t alloc = 0;
+          while (i < msgs.size() && msgs[i].kind == Message::Kind::kRecord &&
+                 !(recovery_ && msgs[i].epoch < epoch_)) {
+            const Record& rec = msgs[i].record;
+            const engine::AddResult added = state.Add(rec);
+            late_dropped_tuples_ += added.late_tuples;
+            metrics_.records->Add(rec.weight);
+            metrics_.late_dropped->Add(added.late_tuples);
+            const double slow = state.state_bytes() > spill_threshold_bytes_
+                                    ? config_.spill_slowdown
+                                    : 1.0;
+            costs.push_back(CostUs(config_.agg_update_cost_us * rec.weight *
+                                   added.window_updates * slow));
+            lineages.push_back(rec.lineage);
+            alloc += config_.alloc_bytes_per_tuple * rec.weight;
+            ++i;
+          }
+          SimTime done = co_await my_worker.cpu().UseBatch(costs);
+          for (size_t m = 0; m < costs.size(); ++m) {
+            done += costs[m];
+            obs::LineageTracker::Default().StampOperator(lineages[m], done);
+          }
+          my_worker.RecordAllocation(alloc);
+          continue;
+        }
+        const Message msg = msgs[i];
+        ++i;
+        if (msg.origin == kBarrierOrigin) {
+          co_await TakeSnapshot(my_worker, track, state.state_bytes());
+          if (recovery_) {
+            OnTaskSnapshot(t, static_cast<uint64_t>(msg.watermark), msg.epoch);
+          }
+        } else if (tracker.Update(msg.origin, msg.watermark)) {
+          auto outs = state.FireUpTo(tracker.current());
+          if (!outs.empty()) {
+            metrics_.windows_fired->Add(1);
+            obs::ScopedSpan span(tracer, track, "window.fire");
+            span.Arg("outputs", static_cast<double>(outs.size()));
+            span.Arg("watermark_ms", ToMillis(tracker.current()));
+            co_await EmitOutputs(my_worker, outs, t, msg.epoch);
+          }
+          if (recovery_) OnTaskWatermark(t, tracker.current());
+        }
+      }
+    }
+  }
+
+  /// Batched window task (join). Mirrors AggTaskBatched with the join
+  /// task's cost model: the spill check precedes Add, buffering is charged
+  /// per record, probes/emits happen at the (singly handled) watermark.
+  Task<> JoinTaskBatched(int t) {
+    cluster::Node& my_worker = WorkerOfTask(t);
+    engine::WindowAssigner assigner(config_.query.window);
+    engine::JoinWindowState local_state(assigner);
+    engine::WatermarkTracker local_tracker(num_queues_);
+    engine::JoinWindowState& state =
+        recovery_ ? task_join_[static_cast<size_t>(t)] : local_state;
+    engine::WatermarkTracker& tracker =
+        recovery_ ? task_trackers_[static_cast<size_t>(t)] : local_tracker;
+    Channel<Message>& in = *channels_[static_cast<size_t>(t)];
+    obs::Tracer& tracer = obs::Tracer::Default();
+    const obs::TrackId track =
+        engine::OperatorTrack(my_worker.name(), name(), "task", t);
+
+    std::vector<Message> msgs;
+    std::vector<SimTime> costs;
+    std::vector<int64_t> lineages;
+    for (;;) {
+      if (!co_await in.RecvMany(&msgs, batch_)) break;
+      size_t i = 0;
+      while (i < msgs.size()) {
+        if (recovery_ && msgs[i].epoch < epoch_) {
+          ++i;
+          continue;
+        }
+        if (msgs[i].kind == Message::Kind::kRecord) {
+          costs.clear();
+          lineages.clear();
+          int64_t alloc = 0;
+          while (i < msgs.size() && msgs[i].kind == Message::Kind::kRecord &&
+                 !(recovery_ && msgs[i].epoch < epoch_)) {
+            const Record& rec = msgs[i].record;
+            const double slow = state.state_bytes() > spill_threshold_bytes_
+                                    ? config_.spill_slowdown
+                                    : 1.0;
+            const engine::AddResult added = state.Add(rec);
+            late_dropped_tuples_ += added.late_tuples;
+            metrics_.records->Add(rec.weight);
+            metrics_.late_dropped->Add(added.late_tuples);
+            costs.push_back(CostUs(config_.join_buffer_cost_us * rec.weight *
+                                   added.window_updates * slow));
+            lineages.push_back(rec.lineage);
+            alloc += config_.alloc_bytes_per_tuple * rec.weight;
+            ++i;
+          }
+          SimTime done = co_await my_worker.cpu().UseBatch(costs);
+          for (size_t m = 0; m < costs.size(); ++m) {
+            done += costs[m];
+            obs::LineageTracker::Default().StampOperator(lineages[m], done);
+          }
+          my_worker.RecordAllocation(alloc);
+          continue;
+        }
+        const Message msg = msgs[i];
+        ++i;
+        if (msg.origin == kBarrierOrigin) {
+          co_await TakeSnapshot(my_worker, track, state.state_bytes());
+          if (recovery_) {
+            OnTaskSnapshot(t, static_cast<uint64_t>(msg.watermark), msg.epoch);
+          }
+        } else if (tracker.Update(msg.origin, msg.watermark)) {
+          auto fired = state.FireUpTo(tracker.current());
+          if (fired.join_work > 0 || !fired.outputs.empty()) {
+            metrics_.windows_fired->Add(1);
+            obs::ScopedSpan span(tracer, track, "window.fire");
+            span.Arg("outputs", static_cast<double>(fired.outputs.size()));
+            span.Arg("join_work", static_cast<double>(fired.join_work));
+            if (fired.join_work > 0) {
+              co_await my_worker.cpu().Use(CostUs(
+                  config_.join_probe_cost_us * static_cast<double>(fired.join_work)));
+            }
+            if (!fired.outputs.empty()) {
+              co_await EmitOutputs(my_worker, fired.outputs, t, msg.epoch);
+            }
+          }
+          if (recovery_) OnTaskWatermark(t, tracker.current());
+        }
+      }
+    }
+  }
+
   Task<> EmitOutputs(cluster::Node& from, const std::vector<engine::OutputRecord>& outs,
                      int t, int64_t fire_epoch) {
     // A fire computed from pre-restore state is a phantom of the dead
@@ -517,9 +801,20 @@ class FlinkSut : public driver::Sut {
   int num_sources_ = 0;
   int num_queues_ = 0;
   int sources_per_worker_ = 1;
+  size_t batch_ = 1;  // data-plane batch size (1 = per-record paths)
   int64_t spill_threshold_bytes_ = 0;
   std::vector<std::unique_ptr<Channel<Message>>> channels_;
   std::vector<SimTime> queue_max_event_;
+  /// Batched data plane only: event time of the oldest record each source
+  /// has popped but not yet delivered into a task channel (kNoUnsentFloor
+  /// when it holds none). A batched source holds up to `batch_` records
+  /// between pop and delivery, so the shared queue clock can run far ahead
+  /// of undelivered records while other sources race through the backlog;
+  /// WatermarkProcess caps the broadcast below this floor so a watermark
+  /// can never overtake a popped record into its channel. The per-record
+  /// path keeps the historical behavior (floors stay clear).
+  static constexpr SimTime kNoUnsentFloor = std::numeric_limits<SimTime>::max();
+  std::vector<SimTime> source_unsent_floor_;
   std::vector<int> queue_active_sources_;
   uint64_t late_dropped_tuples_ = 0;
   uint64_t checkpoints_started_ = 0;

@@ -10,6 +10,7 @@
 #include "common/strings.h"
 #include "des/channel.h"
 #include "des/task.h"
+#include "engine/batch.h"
 #include "engine/partition.h"
 #include "engine/record.h"
 #include "engine/telemetry.h"
@@ -72,6 +73,7 @@ class StormSut : public driver::Sut {
     heap_used_.assign(static_cast<size_t>(workers), 0);
 
     queue_max_event_.assign(static_cast<size_t>(num_queues_), engine::kNoWatermark);
+    spout_unsent_floor_.assign(static_cast<size_t>(num_spouts_), kNoUnsentFloor);
     queue_active_spouts_.assign(static_cast<size_t>(num_queues_), 0);
     for (int s = 0; s < num_spouts_; ++s) {
       ++queue_active_spouts_[static_cast<size_t>(QueueOfSpout(s))];
@@ -105,7 +107,12 @@ class StormSut : public driver::Sut {
       ctx.sim->Spawn(AckerProcess());
     }
 
-    for (int s = 0; s < num_spouts_; ++s) ctx.sim->Spawn(SpoutProcess(s));
+    // Data-plane batch size: 1 spawns the per-record processes (the exact
+    // historical code paths); >1 spawns the coalescing variants.
+    batch_ = static_cast<size_t>(std::max(1, ctx.batch));
+    for (int s = 0; s < num_spouts_; ++s) {
+      ctx.sim->Spawn(batch_ > 1 ? SpoutProcessBatched(s) : SpoutProcess(s));
+    }
     for (int q = 0; q < num_queues_; ++q) ctx.sim->Spawn(WatermarkProcess(q));
     for (int b = 0; b < num_bolts_; ++b) ctx.sim->Spawn(BoltProcess(b));
     if (config_.enable_backpressure) ctx.sim->Spawn(ThrottleMonitor());
@@ -215,6 +222,124 @@ class StormSut : public driver::Sut {
     --queue_active_spouts_[static_cast<size_t>(queue_idx)];
   }
 
+  /// Batched spout: one PopBatch / ingest SendBatch / cpu UseBatch per up
+  /// to `batch_` records. Spout + acker CPU charges are coalesced into a
+  /// single FIFO admission (two cost entries per record, identical total);
+  /// remote serde/transfers are grouped per target worker; channel
+  /// delivery (including the naive-join ads broadcast and the
+  /// drop-counting no-backpressure path) stays per record.
+  Task<> SpoutProcessBatched(int s) {
+    cluster::Node& my_worker = WorkerOfSpout(s);
+    const int queue_idx = QueueOfSpout(s);
+    cluster::Node& queue_node = ctx_.cluster->driver(queue_idx);
+    driver::DriverQueue& queue = *ctx_.queues[static_cast<size_t>(queue_idx)];
+    SimTime& queue_max_event = queue_max_event_[static_cast<size_t>(queue_idx)];
+    SimTime& unsent_floor = spout_unsent_floor_[static_cast<size_t>(s)];
+    int consecutive_drops = 0;
+    const bool join = config_.query.kind == engine::QueryKind::kJoin;
+
+    engine::RecordBatch recs;
+    std::vector<int64_t> bytes;
+    std::vector<SimTime> arrivals;
+    std::vector<SimTime> costs;
+    std::vector<int> bolts;  // target bolt per record; -1 = ads broadcast
+    std::vector<std::pair<cluster::Node*, std::vector<int64_t>>> remote;
+
+    for (;;) {
+      while (throttled_) co_await des::Delay(*ctx_.sim, config_.throttle_poll);
+
+      if (!co_await queue.PopBatch(&recs, batch_)) break;
+      const size_t k = recs.size();
+      // Raised before the first suspension: from this instant until each
+      // record lands in its channel, watermarks stay below the batch.
+      unsent_floor = recs[0].event_time;
+      bytes.clear();
+      arrivals.assign(k, 0);
+      for (const Record& rec : recs) bytes.push_back(engine::WireBytes(rec));
+      co_await ctx_.cluster->SendBatch(queue_node, my_worker, bytes.data(), k,
+                                       arrivals.data());
+      costs.clear();
+      int64_t alloc = 0;
+      for (size_t i = 0; i < k; ++i) {
+        recs[i].ingest_time = arrivals[i];
+        obs::LineageTracker::Default().StampIngested(recs[i].lineage, arrivals[i]);
+        costs.push_back(CostUs(config_.spout_cost_us * overhead_ * recs[i].weight));
+        costs.push_back(CostUs(config_.ack_cost_us * overhead_ * recs[i].weight));
+        alloc += config_.alloc_bytes_per_tuple * recs[i].weight;
+      }
+      co_await my_worker.cpu().UseBatch(costs);
+      my_worker.RecordAllocation(alloc);
+
+      // Route: coalesce serde + transfers per target worker; an ads record
+      // under the naive join fans out to every remote worker.
+      costs.clear();
+      bolts.clear();
+      remote.clear();
+      auto add_remote = [&](cluster::Node& target, const Record& rec) {
+        costs.push_back(
+            CostUs(config_.remote_serde_cost_us * overhead_ * rec.weight));
+        auto it = std::find_if(remote.begin(), remote.end(),
+                               [&target](const auto& g) { return g.first == &target; });
+        if (it == remote.end()) {
+          remote.emplace_back(&target, std::vector<int64_t>{});
+          it = remote.end() - 1;
+        }
+        it->second.push_back(engine::WireBytes(rec));
+      };
+      for (size_t i = 0; i < k; ++i) {
+        if (recs[i].event_time > queue_max_event) queue_max_event = recs[i].event_time;
+        if (join && recs[i].stream == engine::StreamId::kAds) {
+          bolts.push_back(-1);
+          for (int w = 0; w < ctx_.cluster->num_workers(); ++w) {
+            cluster::Node& target = ctx_.cluster->worker(w);
+            if (target.id() != my_worker.id()) add_remote(target, recs[i]);
+          }
+          continue;
+        }
+        const int b = engine::PartitionForKey(recs[i].key, num_bolts_);
+        bolts.push_back(b);
+        cluster::Node& target = WorkerOfBolt(b);
+        if (target.id() != my_worker.id()) add_remote(target, recs[i]);
+      }
+      if (!costs.empty()) {
+        co_await my_worker.cpu().UseBatch(costs);
+        for (const auto& [node, group] : remote) {
+          co_await ctx_.cluster->SendBatch(my_worker, *node, group.data(),
+                                           group.size(), nullptr);
+        }
+      }
+      for (size_t i = 0; i < k; ++i) {
+        if (bolts[i] < 0) {
+          for (auto& bolt_ch : channels_) {
+            if (!co_await bolt_ch->Send(Message::MakeRecord(recs[i]))) {
+              unsent_floor = kNoUnsentFloor;
+              co_return;
+            }
+          }
+          unsent_floor = i + 1 < k ? recs[i + 1].event_time : kNoUnsentFloor;
+          continue;
+        }
+        Channel<Message>& ch = *channels_[static_cast<size_t>(bolts[i])];
+        if (config_.enable_backpressure) {
+          if (!co_await ch.Send(Message::MakeRecord(recs[i]))) {
+            unsent_floor = kNoUnsentFloor;
+            co_return;
+          }
+        } else if (ch.TrySend(Message::MakeRecord(recs[i]))) {
+          consecutive_drops = 0;
+        } else if (++consecutive_drops >= config_.drop_limit) {
+          ctx_.report_failure(Status::Aborted(
+              "storm: dropped connection to the data generator queue "
+              "(receive queues overflowed with backpressure disabled)"));
+          unsent_floor = kNoUnsentFloor;
+          co_return;
+        }
+        unsent_floor = i + 1 < k ? recs[i + 1].event_time : kNoUnsentFloor;
+      }
+    }
+    --queue_active_spouts_[static_cast<size_t>(queue_idx)];
+  }
+
   Task<> WatermarkProcess(int q) {
     // With recovery on, the broadcast watermark also feeds the acker, so
     // it lives in a SUT-owned slot.
@@ -227,8 +352,16 @@ class StormSut : public driver::Sut {
         co_await Broadcast(Message::MakeWatermark(q, kFinalWatermark));
         co_return;
       }
-      const SimTime wm = queue_max_event_[static_cast<size_t>(q)];
-      if (wm == engine::kNoWatermark || wm == last_sent) continue;
+      SimTime wm = queue_max_event_[static_cast<size_t>(q)];
+      if (wm == engine::kNoWatermark) continue;
+      // Batched data plane: cap below the oldest popped-but-undelivered
+      // record across this queue's spouts (see the member comment).
+      for (int s = 0; s < num_spouts_; ++s) {
+        if (QueueOfSpout(s) != q) continue;
+        const SimTime floor = spout_unsent_floor_[static_cast<size_t>(s)];
+        if (floor != kNoUnsentFloor && floor - 1 < wm) wm = floor - 1;
+      }
+      if (wm == last_sent) continue;
       last_sent = wm;
       co_await Broadcast(Message::MakeWatermark(q, wm));
     }
@@ -306,7 +439,13 @@ class StormSut : public driver::Sut {
 
   Task<> BoltProcess(int b) {
     if (config_.query.kind == engine::QueryKind::kAggregation) {
-      co_await AggBolt(b);
+      if (batch_ > 1) {
+        co_await AggBoltBatched(b);
+      } else {
+        co_await AggBolt(b);
+      }
+    } else if (batch_ > 1) {
+      co_await JoinBoltBatched(b);
     } else {
       co_await JoinBolt(b);
     }
@@ -420,6 +559,166 @@ class StormSut : public driver::Sut {
     }
   }
 
+  /// Batched aggregation bolt: receives up to `batch_` queued messages per
+  /// resume; each consecutive run of records is folded into the window
+  /// state with one AddBatch + one cpu UseBatch whose per-record completion
+  /// times (service start + cost prefix sums) equal the serial bolt's.
+  /// Heap is charged with the run's total state delta (the per-record OOM
+  /// probe collapses to one check per run); watermark triggers are handled
+  /// singly, exactly as the serial bolt.
+  Task<> AggBoltBatched(int b) {
+    cluster::Node& my_worker = WorkerOfBolt(b);
+    engine::WindowAssigner assigner(config_.query.window);
+    engine::BufferedWindowState local_state(assigner);
+    engine::WatermarkTracker local_tracker(num_queues_);
+    int64_t local_last_bytes = 0;
+    engine::BufferedWindowState& state =
+        recovery_ ? bolt_agg_[static_cast<size_t>(b)] : local_state;
+    engine::WatermarkTracker& tracker =
+        recovery_ ? bolt_trackers_[static_cast<size_t>(b)] : local_tracker;
+    int64_t& last_state_bytes =
+        recovery_ ? bolt_state_bytes_[static_cast<size_t>(b)] : local_last_bytes;
+    Channel<Message>& in = *channels_[static_cast<size_t>(b)];
+    obs::Tracer& tracer = obs::Tracer::Default();
+    const obs::TrackId track =
+        engine::OperatorTrack(my_worker.name(), name(), "bolt", b);
+
+    std::vector<Message> msgs;
+    engine::RecordBatch run;
+    std::vector<engine::AddResult> added;
+    std::vector<SimTime> costs;
+    for (;;) {
+      if (!co_await in.RecvMany(&msgs, batch_)) break;
+      size_t i = 0;
+      while (i < msgs.size()) {
+        if (msgs[i].kind == Message::Kind::kRecord) {
+          run.Clear();
+          while (i < msgs.size() && msgs[i].kind == Message::Kind::kRecord) {
+            run.PushBack(msgs[i].record);
+            ++i;
+          }
+          added.assign(run.size(), {});
+          engine::AddBatch(state, run.begin(), run.size(), added.data());
+          costs.clear();
+          int64_t alloc = 0;
+          for (size_t m = 0; m < run.size(); ++m) {
+            metrics_.records->Add(run[m].weight);
+            metrics_.late_dropped->Add(added[m].late_tuples);
+            costs.push_back(CostUs(config_.buffer_add_cost_us * overhead_ *
+                                   run[m].weight * added[m].window_updates));
+            alloc += config_.alloc_bytes_per_tuple * run[m].weight;
+          }
+          SimTime done = co_await my_worker.cpu().UseBatch(costs);
+          for (size_t m = 0; m < run.size(); ++m) {
+            done += costs[m];
+            obs::LineageTracker::Default().StampOperator(run[m].lineage, done);
+          }
+          my_worker.RecordAllocation(alloc);
+          if (!ChargeHeap(my_worker, state.state_bytes() - last_state_bytes)) co_return;
+          last_state_bytes = state.state_bytes();
+          continue;
+        }
+        const Message msg = msgs[i];
+        ++i;
+        if (tracker.Update(msg.origin, msg.watermark)) {
+          auto fired = state.FireUpTo(tracker.current());
+          std::optional<obs::ScopedSpan> span;
+          if (fired.tuples_scanned > 0 || !fired.outputs.empty()) {
+            metrics_.windows_fired->Add(1);
+            span.emplace(tracer, track, "window.fire");
+            span->Arg("scanned", static_cast<double>(fired.tuples_scanned));
+            span->Arg("outputs", static_cast<double>(fired.outputs.size()));
+          }
+          if (fired.tuples_scanned > 0) {
+            co_await my_worker.cpu().Use(CostUs(
+                config_.scan_cost_us * overhead_ *
+                static_cast<double>(fired.tuples_scanned)));
+          }
+          ChargeHeap(my_worker, state.state_bytes() - last_state_bytes);
+          last_state_bytes = state.state_bytes();
+          if (!fired.outputs.empty()) co_await EmitOutputs(my_worker, fired.outputs);
+        }
+      }
+    }
+  }
+
+  /// Batched join bolt: mirrors AggBoltBatched with the join cost model.
+  Task<> JoinBoltBatched(int b) {
+    cluster::Node& my_worker = WorkerOfBolt(b);
+    engine::WindowAssigner assigner(config_.query.window);
+    engine::JoinWindowState local_state(assigner);
+    engine::WatermarkTracker local_tracker(num_queues_);
+    int64_t local_last_bytes = 0;
+    engine::JoinWindowState& state =
+        recovery_ ? bolt_join_[static_cast<size_t>(b)] : local_state;
+    engine::WatermarkTracker& tracker =
+        recovery_ ? bolt_trackers_[static_cast<size_t>(b)] : local_tracker;
+    int64_t& last_state_bytes =
+        recovery_ ? bolt_state_bytes_[static_cast<size_t>(b)] : local_last_bytes;
+    Channel<Message>& in = *channels_[static_cast<size_t>(b)];
+    obs::Tracer& tracer = obs::Tracer::Default();
+    const obs::TrackId track =
+        engine::OperatorTrack(my_worker.name(), name(), "bolt", b);
+
+    std::vector<Message> msgs;
+    engine::RecordBatch run;
+    std::vector<engine::AddResult> added;
+    std::vector<SimTime> costs;
+    for (;;) {
+      if (!co_await in.RecvMany(&msgs, batch_)) break;
+      size_t i = 0;
+      while (i < msgs.size()) {
+        if (msgs[i].kind == Message::Kind::kRecord) {
+          run.Clear();
+          while (i < msgs.size() && msgs[i].kind == Message::Kind::kRecord) {
+            run.PushBack(msgs[i].record);
+            ++i;
+          }
+          added.assign(run.size(), {});
+          engine::AddBatch(state, run.begin(), run.size(), added.data());
+          costs.clear();
+          int64_t alloc = 0;
+          for (size_t m = 0; m < run.size(); ++m) {
+            metrics_.records->Add(run[m].weight);
+            metrics_.late_dropped->Add(added[m].late_tuples);
+            costs.push_back(CostUs(config_.buffer_add_cost_us * overhead_ *
+                                   run[m].weight * added[m].window_updates));
+            alloc += config_.alloc_bytes_per_tuple * run[m].weight;
+          }
+          SimTime done = co_await my_worker.cpu().UseBatch(costs);
+          for (size_t m = 0; m < run.size(); ++m) {
+            done += costs[m];
+            obs::LineageTracker::Default().StampOperator(run[m].lineage, done);
+          }
+          my_worker.RecordAllocation(alloc);
+          if (!ChargeHeap(my_worker, state.state_bytes() - last_state_bytes)) co_return;
+          last_state_bytes = state.state_bytes();
+          continue;
+        }
+        const Message msg = msgs[i];
+        ++i;
+        if (tracker.Update(msg.origin, msg.watermark)) {
+          auto fired = state.FireUpTo(tracker.current());
+          std::optional<obs::ScopedSpan> span;
+          if (fired.naive_pairs > 0 || !fired.outputs.empty()) {
+            metrics_.windows_fired->Add(1);
+            span.emplace(tracer, track, "window.fire");
+            span->Arg("naive_pairs", static_cast<double>(fired.naive_pairs));
+            span->Arg("outputs", static_cast<double>(fired.outputs.size()));
+          }
+          if (fired.naive_pairs > 0) {
+            co_await my_worker.cpu().Use(CostUs(
+                config_.naive_pair_cost_ns * 1e-3 *
+                static_cast<double>(fired.naive_pairs)));
+          }
+          ChargeHeap(my_worker, state.state_bytes() - last_state_bytes);
+          last_state_bytes = state.state_bytes();
+          if (!fired.outputs.empty()) co_await EmitOutputs(my_worker, fired.outputs);
+        }
+      }
+    }
+  }
+
   Task<> EmitOutputs(cluster::Node& from, const std::vector<engine::OutputRecord>& outs) {
     for (const auto& out : outs) {
       obs::LineageTracker::Default().StampFired(out.lineage, ctx_.sim->now());
@@ -440,10 +739,19 @@ class StormSut : public driver::Sut {
   int num_spouts_ = 0;
   int num_queues_ = 0;
   int spouts_per_worker_ = 1;
+  size_t batch_ = 1;  // data-plane batch size (1 = per-record paths)
   bool throttled_ = false;
   std::vector<std::unique_ptr<Channel<Message>>> channels_;
   std::vector<int64_t> heap_used_;
   std::vector<SimTime> queue_max_event_;
+  /// Batched data plane only: event time of the oldest record each spout
+  /// has popped but not yet delivered into a bolt channel (kNoUnsentFloor
+  /// when it holds none). WatermarkProcess caps its broadcast below this
+  /// floor so a watermark cannot overtake undelivered records while other
+  /// spouts race ahead through a backlog (see flink.cc for the full
+  /// rationale); the per-record path keeps the historical behavior.
+  static constexpr SimTime kNoUnsentFloor = std::numeric_limits<SimTime>::max();
+  std::vector<SimTime> spout_unsent_floor_;
   std::vector<int> queue_active_spouts_;
   engine::EngineMetrics metrics_;
   obs::Counter* obs_throttle_transitions_ = nullptr;

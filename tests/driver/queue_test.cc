@@ -4,6 +4,7 @@
 
 #include "des/simulator.h"
 #include "des/task.h"
+#include "engine/batch.h"
 
 namespace sdps::driver {
 namespace {
@@ -228,6 +229,162 @@ TEST(DriverQueueTest, CloseWhilePausedDeliversAfterUnpause) {
   sim.RunUntilIdle();
   EXPECT_EQ(got, (std::vector<SimTime>{1}));  // buffered record not lost
   EXPECT_TRUE(saw_close);
+}
+
+engine::RecordBatch Burst(std::initializer_list<SimTime> event_times) {
+  engine::RecordBatch b;
+  for (const SimTime t : event_times) b.PushBack(Rec(t));
+  return b;
+}
+
+TEST(DriverQueueTest, PushBurstMaterializesArrivalsLazily) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  q.PushBurst(Burst({0, 10, 20}), {0, 10, 20});
+  // Only the zero-interval head has arrived yet.
+  EXPECT_EQ(q.queued_records(), 1u);
+  EXPECT_EQ(q.total_pushed_tuples(), 1u);
+  sim.ScheduleAt(10, [&] {
+    EXPECT_EQ(q.queued_records(), 2u);
+    EXPECT_EQ(q.total_pushed_tuples(), 2u);
+  });
+  sim.ScheduleAt(15, [&] { EXPECT_EQ(q.queued_records(), 2u); });
+  sim.ScheduleAt(25, [&] {
+    EXPECT_EQ(q.queued_records(), 3u);
+    EXPECT_EQ(q.total_pushed_tuples(), 3u);
+  });
+  sim.RunUntilIdle();
+}
+
+TEST(DriverQueueTest, PushBurstHandsOffToParkedConsumerAtArrivalInstants) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  struct Seen {
+    std::vector<SimTime> at, event;
+  } seen;
+  sim.Spawn([](des::Simulator& s, DriverQueue& queue, Seen& sn) -> des::Task<> {
+    for (;;) {
+      auto r = co_await queue.Pop();
+      if (!r) co_return;
+      sn.at.push_back(s.now());
+      sn.event.push_back(r->event_time);
+    }
+  }(sim, q, seen));
+  sim.ScheduleAt(5, [&] { q.PushBurst(Burst({5, 30, 31}), {5, 30, 31}); });
+  sim.ScheduleAt(40, [&] { q.Close(); });
+  sim.RunUntilIdle();
+  // Each record reaches the parked consumer at its exact arrival time —
+  // the same pop times three Push calls at 5/30/31 would produce.
+  EXPECT_EQ(seen.at, (std::vector<SimTime>{5, 30, 31}));
+  EXPECT_EQ(seen.event, (std::vector<SimTime>{5, 30, 31}));
+}
+
+TEST(DriverQueueTest, PopBatchDrainsFifoUpToMaxWithAccounting) {
+  des::Simulator sim;
+  ThroughputMeter meter(Seconds(1));
+  DriverQueue q(sim, &meter);
+  for (SimTime t = 0; t < 5; ++t) q.Push(Rec(t, 10));
+  struct Out {
+    std::vector<SimTime> first, second;
+  } out;
+  sim.Spawn([](DriverQueue& queue, Out& o) -> des::Task<> {
+    engine::RecordBatch batch;
+    EXPECT_TRUE(co_await queue.PopBatch(&batch, 3));
+    for (const auto& r : batch) o.first.push_back(r.event_time);
+    EXPECT_TRUE(co_await queue.PopBatch(&batch, 3));
+    for (const auto& r : batch) o.second.push_back(r.event_time);
+  }(q, out));
+  sim.RunUntilIdle();
+  EXPECT_EQ(out.first, (std::vector<SimTime>{0, 1, 2}));
+  EXPECT_EQ(out.second, (std::vector<SimTime>{3, 4}));
+  EXPECT_EQ(q.total_popped_tuples(), 50u);
+  EXPECT_EQ(q.queued_tuples(), 0u);
+  EXPECT_EQ(q.popped_records(), 5u);
+  EXPECT_EQ(meter.total_tuples(), 50u);
+}
+
+TEST(DriverQueueTest, PopBatchParksWhenEmptyAndWakesWithOneRecord) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  struct Out {
+    SimTime at = -1;
+    size_t n = 0;
+  } out;
+  sim.Spawn([](des::Simulator& s, DriverQueue& queue, Out& o) -> des::Task<> {
+    engine::RecordBatch batch;
+    EXPECT_TRUE(co_await queue.PopBatch(&batch, 64));
+    o.at = s.now();
+    o.n = batch.size();
+  }(sim, q, out));
+  sim.ScheduleAt(200, [&] { q.Push(Rec(7)); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(out.at, 200);
+  EXPECT_EQ(out.n, 1u);  // a parked batch pop wakes with exactly one record
+}
+
+TEST(DriverQueueTest, PopBatchReturnsFalseWhenClosedAndDrained) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  q.Push(Rec(1));
+  q.Close();
+  bool first = false, second = true;
+  sim.Spawn([](DriverQueue& queue, bool& a, bool& b) -> des::Task<> {
+    engine::RecordBatch batch;
+    a = co_await queue.PopBatch(&batch, 8);
+    b = co_await queue.PopBatch(&batch, 8);
+    EXPECT_TRUE(batch.empty());
+  }(q, first, second));
+  sim.RunUntilIdle();
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(second);
+}
+
+TEST(DriverQueueTest, PopBatchRetainsAndReplays) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  q.set_retain(true);
+  for (SimTime t = 1; t <= 4; ++t) q.Push(Rec(t));
+  std::vector<SimTime> got;
+  sim.Spawn([](DriverQueue& queue, std::vector<SimTime>& out) -> des::Task<> {
+    engine::RecordBatch batch;
+    while (co_await queue.PopBatch(&batch, 2)) {
+      for (const auto& r : batch) out.push_back(r.event_time);
+    }
+  }(q, got));
+  sim.ScheduleAt(10, [&] {
+    EXPECT_EQ(q.retained_records(), 4u);
+    q.Ack(2);  // pop indices 0 and 1 committed
+    EXPECT_EQ(q.retained_records(), 2u);
+    q.Replay();  // 3 and 4 go back to the buffer front
+  });
+  sim.ScheduleAt(20, [&] { q.Close(); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(got, (std::vector<SimTime>{1, 2, 3, 4, 3, 4}));
+  EXPECT_EQ(q.retained_records(), 2u);  // replayed copies re-retained
+}
+
+TEST(DriverQueueTest, PopBatchParksWhilePaused) {
+  des::Simulator sim;
+  DriverQueue q(sim, nullptr);
+  q.Push(Rec(3));
+  q.set_paused(true);
+  struct Out {
+    SimTime at = -1;
+    size_t n = 0;
+  } out;
+  sim.Spawn([](des::Simulator& s, DriverQueue& queue, Out& o) -> des::Task<> {
+    engine::RecordBatch batch;
+    EXPECT_TRUE(co_await queue.PopBatch(&batch, 8));
+    o.at = s.now();
+    o.n = batch.size();
+  }(sim, q, out));
+  sim.ScheduleAt(50, [&] {
+    EXPECT_EQ(out.at, -1);  // quiesced despite the buffered record
+    q.set_paused(false);
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(out.at, 50);
+  EXPECT_EQ(out.n, 1u);
 }
 
 }  // namespace
