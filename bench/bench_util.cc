@@ -47,6 +47,13 @@ int g_jobs = 1;
 /// Data-plane batch size from --batch=N (1 = per-record scheduling).
 int g_batch = 1;
 
+/// Realtime backend requested via --realtime.
+bool g_realtime = false;
+
+/// True when the user passed --jobs=N explicitly (as opposed to the
+/// default); --realtime needs to know to print the override diagnostic.
+bool g_jobs_explicit = false;
+
 void WriteDump(const char* what, const std::string& path, const Status& status) {
   if (status.ok()) {
     std::fprintf(stderr, "[obs] %s written to %s\n", what, path.c_str());
@@ -71,6 +78,11 @@ TelemetryScope::TelemetryScope(int& argc, char** argv) {
     }
     if (ConsumeFlag(argv[i], "--jobs=", &jobs_value)) {
       g_jobs = exec::ResolveJobs(std::atoi(jobs_value.c_str()));
+      g_jobs_explicit = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--realtime") == 0) {
+      g_realtime = true;
       continue;
     }
     std::string batch_value;
@@ -82,6 +94,19 @@ TelemetryScope::TelemetryScope(int& argc, char** argv) {
     argv[kept++] = argv[i];
   }
   argc = kept;
+
+  // Realtime trials measure the hardware itself: every pipeline stage is
+  // a pinned OS thread, so running trials in parallel would contend for
+  // the cores under measurement and corrupt the numbers. Force serial
+  // trials, loudly, rather than silently oversubscribing.
+  if (g_realtime && g_jobs != 1) {
+    std::fprintf(stderr,
+                 "--realtime: overriding %s to --jobs=1 — realtime trials run "
+                 "pinned threads on the physical cores and must not share them "
+                 "with concurrent trials\n",
+                 g_jobs_explicit ? "the explicit --jobs setting" : "--jobs");
+    g_jobs = 1;
+  }
 
   if (!trace_path_.empty() || !metrics_path_.empty() || !metrics_csv_path_.empty() ||
       !lineage_csv_path_.empty()) {
@@ -135,6 +160,8 @@ int Exit(TelemetryScope& telemetry, int code) {
 int Jobs() { return g_jobs; }
 
 int BatchSize() { return g_batch; }
+
+bool Realtime() { return g_realtime; }
 
 void ParseFlagsOrExit(const FlagParser& parser, int argc, char** argv) {
   const Status status = parser.Parse(argc, argv);

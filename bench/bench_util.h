@@ -75,6 +75,14 @@ int Jobs();
 /// experiment whose config leaves `batch` at 0 picks it up.
 int BatchSize();
 
+/// True when `--realtime` was given: benches that support it run their
+/// workloads on the rt backend (real threads, wall-clock time) in
+/// addition to / instead of the DES model. Realtime trials own the whole
+/// machine (one thread per pipeline stage, pinned), so TelemetryScope
+/// forces `--jobs=1` with a diagnostic rather than letting trial-level
+/// parallelism oversubscribe the cores being measured.
+bool Realtime();
+
 /// Runs independent measurement closures Jobs()-wide, returning results
 /// in submission order (so row/CSV order never depends on scheduling).
 /// With Jobs() == 1 each closure runs inline at submission, exactly like

@@ -4,7 +4,13 @@
 //   * window-state Add/Fire throughput per backend (AggWindowState at
 //     1 000 and 100 000 keys, BufferedWindowState, JoinWindowState);
 //   * with --smoke, wall-clock of a small sustainable-rate search at
-//     --jobs=1 vs the requested --jobs (trial-parallel speedup).
+//     --jobs=1 vs the requested --jobs (trial-parallel speedup);
+//   * rt_pipeline_b32: the same Flink-aggregation workload on the sdps::rt
+//     backend (real threads + SPSC rings), measured records/s;
+//   * with --realtime, one smoke per engine model on real threads: measured
+//     records/s (unpaced), wall-clock sink latency percentiles (paced), and
+//     the DES twin's modeled p50 as a calibration delta. --rt-only skips
+//     the DES kernels entirely (the TSan CI job).
 //
 // Emits results/BENCH_kernel.json. scripts/check_perf.py gates CI on it
 // against the committed BENCH_kernel.json at the repo root: any throughput
@@ -23,6 +29,8 @@
 #include "driver/sustainable.h"
 #include "engine/window_state.h"
 #include "exec/pool.h"
+#include "rt/pipeline.h"
+#include "workloads/realtime.h"
 
 using namespace sdps;             // NOLINT
 using namespace sdps::workloads;  // NOLINT
@@ -144,6 +152,54 @@ double PipelineRecordsPerSec(int batch) {
   });
 }
 
+// Realtime kernel row: the same Flink-aggregation workload as pipeline_b32
+// executed on the rt backend — real threads, SPSC rings, wall-clock time —
+// unpaced (sources emit as fast as the rings accept), so the number is the
+// host's measured pipeline capacity rather than a model prediction.
+double RtPipelineRecordsPerSec() {
+  rt::RtPipelineConfig config = MakeRealtime(
+      Engine::kFlink, engine::QueryKind::kAggregation, 2, 2.5e6, Seconds(10));
+  config.batch = kPipelineBatch;
+  return BestOf([&] {
+    const rt::RtResult r = rt::RunRtPipeline(config);
+    if (r.output_records == 0) {
+      std::fprintf(stderr, "suspicious: rt pipeline produced no outputs\n");
+    }
+    return r.records_per_s;
+  });
+}
+
+// One engine's --realtime smoke: an unpaced run for measured throughput
+// plus a paced run at a light offered rate for wall-clock sink latency.
+struct RtSmoke {
+  rt::RtResult unpaced;
+  rt::RtResult paced;
+  /// DES twin's modeled event-latency p50 at the paced rate, seconds
+  /// (0 when the calibration run was skipped under --rt-only).
+  double des_p50_s = 0;
+};
+
+RtSmoke RunRtSmoke(Engine engine, double paced_rate, SimTime duration,
+                   bool calibrate) {
+  RtSmoke smoke;
+  rt::RtPipelineConfig config = MakeRealtime(
+      engine, engine::QueryKind::kAggregation, 2, 2.5e6, duration);
+  config.batch = std::max(1, bench::BatchSize());
+  smoke.unpaced = rt::RunRtPipeline(config);
+  config.total_rate = paced_rate;
+  config.paced = true;
+  smoke.paced = rt::RunRtPipeline(config);
+  if (calibrate) {
+    // The DES twin at the same offered rate: its latency is what the model
+    // *predicts* for the paper cluster; the paced rt run is what this host
+    // actually *does*. The ratio is the calibration delta.
+    const auto des = bench::MeasureAt(engine, engine::QueryKind::kAggregation, 2,
+                                      paced_rate, duration);
+    smoke.des_p50_s = ToSeconds(des.event_latency.Quantile(0.5));
+  }
+  return smoke;
+}
+
 double SearchWallClock(int jobs) {
   driver::SearchConfig search;
   // Deliberately unsustainable start so the ladder descends several rungs
@@ -170,43 +226,91 @@ double SearchWallClock(int jobs) {
 int main(int argc, char** argv) {
   sdps::bench::TelemetryScope telemetry(argc, argv);
   bool smoke = false;
+  bool rt_only = false;
   FlagParser flags;
   flags.AddSwitch("--smoke", &smoke,
-                  "also time a small rate search at --jobs=1 vs --jobs");
+                  "also time a small rate search at --jobs=1 vs --jobs; "
+                  "shortens the --realtime trials");
+  flags.AddSwitch("--rt-only", &rt_only,
+                  "skip the DES kernels and run only the realtime backend "
+                  "(the TSan CI smoke; implies --realtime)");
   bench::ParseFlagsOrExit(flags, argc, argv);
+  const bool realtime = bench::Realtime() || rt_only;
   printf("== perf_kernel: DES + window-state hot-path throughput ==\n\n");
 
-  const double fn64 = FnEventsPerSec(64, 4'000'000);
-  printf("  fn_events_64     %8.1f M events/s\n", fn64 / 1e6);
-  const double fn4k = FnEventsPerSec(4096, 4'000'000);
-  printf("  fn_events_4096   %8.1f M events/s\n", fn4k / 1e6);
+  double fn64 = 0, fn4k = 0, agg1k = 0, agg100k = 0, buffered = 0, join = 0;
+  double pipe_b1 = 0, pipe_bn = 0, rt_pipe = 0;
+  if (!rt_only) {
+    fn64 = FnEventsPerSec(64, 4'000'000);
+    printf("  fn_events_64     %8.1f M events/s\n", fn64 / 1e6);
+    fn4k = FnEventsPerSec(4096, 4'000'000);
+    printf("  fn_events_4096   %8.1f M events/s\n", fn4k / 1e6);
 
-  const auto agg_fire = [](engine::AggWindowState& s, SimTime t) {
-    return s.FireUpTo(t).size();
-  };
-  const auto buf_fire = [](auto& s, SimTime t) { return s.FireUpTo(t).outputs.size(); };
-  const double agg1k = RecordsPerSec<engine::AggWindowState>(
-      MakeTape(3'000'000, 1000, false), agg_fire);
-  printf("  agg_1k_keys      %8.1f M records/s\n", agg1k / 1e6);
-  const double agg100k = RecordsPerSec<engine::AggWindowState>(
-      MakeTape(3'000'000, 100'000, false), agg_fire);
-  printf("  agg_100k_keys    %8.1f M records/s\n", agg100k / 1e6);
-  const double buffered = RecordsPerSec<engine::BufferedWindowState>(
-      MakeTape(2'000'000, 1000, false), buf_fire);
-  printf("  buffered_1k_keys %8.1f M records/s\n", buffered / 1e6);
-  const double join = RecordsPerSec<engine::JoinWindowState>(
-      MakeTape(2'000'000, 200'000, true), buf_fire);
-  printf("  join_200k_keys   %8.1f M records/s\n", join / 1e6);
+    const auto agg_fire = [](engine::AggWindowState& s, SimTime t) {
+      return s.FireUpTo(t).size();
+    };
+    const auto buf_fire = [](auto& s, SimTime t) {
+      return s.FireUpTo(t).outputs.size();
+    };
+    agg1k = RecordsPerSec<engine::AggWindowState>(MakeTape(3'000'000, 1000, false),
+                                                  agg_fire);
+    printf("  agg_1k_keys      %8.1f M records/s\n", agg1k / 1e6);
+    agg100k = RecordsPerSec<engine::AggWindowState>(
+        MakeTape(3'000'000, 100'000, false), agg_fire);
+    printf("  agg_100k_keys    %8.1f M records/s\n", agg100k / 1e6);
+    buffered = RecordsPerSec<engine::BufferedWindowState>(
+        MakeTape(2'000'000, 1000, false), buf_fire);
+    printf("  buffered_1k_keys %8.1f M records/s\n", buffered / 1e6);
+    join = RecordsPerSec<engine::JoinWindowState>(MakeTape(2'000'000, 200'000, true),
+                                                  buf_fire);
+    printf("  join_200k_keys   %8.1f M records/s\n", join / 1e6);
 
-  const double pipe_b1 = PipelineRecordsPerSec(1);
-  printf("  pipeline_b1      %8.1f k records/s\n", pipe_b1 / 1e3);
-  const double pipe_bn = PipelineRecordsPerSec(kPipelineBatch);
-  printf("  pipeline_b%-2d     %8.1f k records/s  (x%.2f vs --batch=1)\n",
-         kPipelineBatch, pipe_bn / 1e3, pipe_bn / pipe_b1);
+    pipe_b1 = PipelineRecordsPerSec(1);
+    printf("  pipeline_b1      %8.1f k records/s\n", pipe_b1 / 1e3);
+    pipe_bn = PipelineRecordsPerSec(kPipelineBatch);
+    printf("  pipeline_b%-2d     %8.1f k records/s  (x%.2f vs --batch=1)\n",
+           kPipelineBatch, pipe_bn / 1e3, pipe_bn / pipe_b1);
+
+    rt_pipe = RtPipelineRecordsPerSec();
+    printf("  rt_pipeline_b%-2d  %8.1f k records/s  (real threads, measured)\n",
+           kPipelineBatch, rt_pipe / 1e3);
+  }
+
+  // --realtime: one smoke per engine model on real threads — measured
+  // records/s from the unpaced run, wall-clock sink latency from the paced
+  // run, and (outside --rt-only) the DES twin's modeled p50 for the
+  // calibration delta.
+  const Engine kEngines[] = {Engine::kFlink, Engine::kStorm, Engine::kSpark};
+  RtSmoke rt_smokes[3];
+  const double rt_paced_rate = 4e5;  // tuples/s, light enough for any host
+  const SimTime rt_duration = smoke ? Seconds(6) : Seconds(30);
+  if (realtime) {
+    printf("\nrealtime smoke (2 sources, batch=%d, paced at %.0f k tuples/s "
+           "for %.0f s):\n",
+           std::max(1, bench::BatchSize()), rt_paced_rate / 1e3,
+           ToSeconds(rt_duration));
+    for (int e = 0; e < 3; ++e) {
+      rt_smokes[e] = RunRtSmoke(kEngines[e], rt_paced_rate, rt_duration, !rt_only);
+      const RtSmoke& s = rt_smokes[e];
+      printf("  %-5s %8.1f k records/s measured; paced p50/p95/p99 = "
+             "%.3f/%.3f/%.3f s",
+             EngineName(kEngines[e]).c_str(), s.unpaced.records_per_s / 1e3,
+             s.paced.event_p50_s, s.paced.event_p95_s, s.paced.event_p99_s);
+      if (s.des_p50_s > 0) {
+        printf("  (DES modeled p50 %.3f s, delta x%.2f)", s.des_p50_s,
+               s.paced.event_p50_s / s.des_p50_s);
+      }
+      printf("\n");
+      if (s.unpaced.late_dropped_tuples != 0 || s.paced.late_dropped_tuples != 0) {
+        std::fprintf(stderr, "suspicious: rt %s dropped late tuples\n",
+                     EngineName(kEngines[e]).c_str());
+      }
+    }
+  }
 
   double search_j1 = 0, search_jn = 0;
   int jn = 1;
-  if (smoke) {
+  if (smoke && !rt_only) {
     jn = exec::ResolveJobs(bench::Jobs());
     printf("\nsearch smoke (Flink agg, 2 workers, 10s trials):\n");
     search_j1 = SearchWallClock(1);
@@ -223,26 +327,56 @@ int main(int argc, char** argv) {
     return bench::Exit(telemetry, 2);
   }
   std::fprintf(f, "{\n  \"metrics\": {\n");
-  std::fprintf(f, "    \"fn_events_64_per_s\": %.0f,\n", fn64);
-  std::fprintf(f, "    \"fn_events_4096_per_s\": %.0f,\n", fn4k);
-  std::fprintf(f, "    \"agg_1k_records_per_s\": %.0f,\n", agg1k);
-  std::fprintf(f, "    \"agg_100k_records_per_s\": %.0f,\n", agg100k);
-  std::fprintf(f, "    \"buffered_records_per_s\": %.0f,\n", buffered);
-  std::fprintf(f, "    \"join_records_per_s\": %.0f,\n", join);
-  std::fprintf(f, "    \"pipeline_b1_records_per_s\": %.0f,\n", pipe_b1);
-  std::fprintf(f, "    \"pipeline_b%d_records_per_s\": %.0f\n", kPipelineBatch,
-               pipe_bn);
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"ratios\": {\n");
-  std::fprintf(f,
-               "    \"pipeline_batch_speedup\": {\"num\": "
-               "\"pipeline_b%d_records_per_s\", \"den\": "
-               "\"pipeline_b1_records_per_s\", \"value\": %.3f}\n",
-               kPipelineBatch, pipe_bn / pipe_b1);
-  std::fprintf(f, "  },\n");
+  if (!rt_only) {
+    std::fprintf(f, "    \"fn_events_64_per_s\": %.0f,\n", fn64);
+    std::fprintf(f, "    \"fn_events_4096_per_s\": %.0f,\n", fn4k);
+    std::fprintf(f, "    \"agg_1k_records_per_s\": %.0f,\n", agg1k);
+    std::fprintf(f, "    \"agg_100k_records_per_s\": %.0f,\n", agg100k);
+    std::fprintf(f, "    \"buffered_records_per_s\": %.0f,\n", buffered);
+    std::fprintf(f, "    \"join_records_per_s\": %.0f,\n", join);
+    std::fprintf(f, "    \"pipeline_b1_records_per_s\": %.0f,\n", pipe_b1);
+    std::fprintf(f, "    \"pipeline_b%d_records_per_s\": %.0f,\n", kPipelineBatch,
+                 pipe_bn);
+    std::fprintf(f, "    \"rt_pipeline_b%d_records_per_s\": %.0f\n",
+                 kPipelineBatch, rt_pipe);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"ratios\": {\n");
+    std::fprintf(f,
+                 "    \"pipeline_batch_speedup\": {\"num\": "
+                 "\"pipeline_b%d_records_per_s\", \"den\": "
+                 "\"pipeline_b1_records_per_s\", \"value\": %.3f}\n",
+                 kPipelineBatch, pipe_bn / pipe_b1);
+    std::fprintf(f, "  },\n");
+  } else {
+    std::fprintf(f, "  },\n");
+  }
+  std::fprintf(f, "  \"realtime\": {\"ran\": %s", realtime ? "true" : "false");
+  if (realtime) {
+    std::fprintf(f,
+                 ", \"batch\": %d, \"paced_rate_tuples_per_s\": %.0f, "
+                 "\"duration_s\": %.0f,\n    \"engines\": {",
+                 std::max(1, bench::BatchSize()), rt_paced_rate,
+                 ToSeconds(rt_duration));
+    for (int e = 0; e < 3; ++e) {
+      const RtSmoke& s = rt_smokes[e];
+      std::fprintf(
+          f,
+          "%s\n      \"%s\": {\"records_per_s\": %.0f, \"p50_s\": %.4f, "
+          "\"p95_s\": %.4f, \"p99_s\": %.4f, \"des_p50_s\": %.4f, "
+          "\"calibration_p50_ratio\": %.3f, \"late_dropped_tuples\": %llu}",
+          e == 0 ? "" : ",", EngineName(kEngines[e]).c_str(),
+          s.unpaced.records_per_s, s.paced.event_p50_s, s.paced.event_p95_s,
+          s.paced.event_p99_s, s.des_p50_s,
+          s.des_p50_s > 0 ? s.paced.event_p50_s / s.des_p50_s : 0.0,
+          static_cast<unsigned long long>(s.paced.late_dropped_tuples +
+                                          s.unpaced.late_dropped_tuples));
+    }
+    std::fprintf(f, "\n    }");
+  }
+  std::fprintf(f, "},\n");
   std::fprintf(f, "  \"search_smoke\": {\"ran\": %s, \"jobs\": %d, "
                   "\"wall_s_jobs1\": %.3f, \"wall_s_jobsN\": %.3f},\n",
-               smoke ? "true" : "false", jn, search_j1, search_jn);
+               smoke && !rt_only ? "true" : "false", jn, search_j1, search_jn);
   std::fprintf(f, "  \"repeats\": %d\n}\n", kRepeats);
   std::fclose(f);
   printf("\nwrote %s\n", path.c_str());

@@ -13,6 +13,7 @@
 #include "common/time_util.h"
 #include "des/event_fn.h"
 #include "des/task.h"
+#include "des/time_source.h"
 
 namespace sdps::des {
 
@@ -28,16 +29,18 @@ namespace sdps::des {
 /// trivially-copyable capture never touches the allocator. Extraction
 /// order is identical to the historical std::push_heap binary heap:
 /// strictly by (time, seq).
-class Simulator {
+class Simulator final : public TimeSource {
  public:
   Simulator() = default;
-  ~Simulator();
+  ~Simulator() override;
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulated time (microseconds since simulation start).
-  SimTime now() const { return now_; }
+  /// Overrides des::TimeSource; `final` keeps calls through a concrete
+  /// Simulator& devirtualized, so the event hot loop is unchanged.
+  SimTime now() const final { return now_; }
 
   /// Schedules a callback at absolute simulated time `t` (>= now()).
   /// Accepts any void() callable by forwarding reference; small

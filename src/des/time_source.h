@@ -1,0 +1,30 @@
+// The clock seam between the two runtime backends (DESIGN.md §6,
+// "runtime duality"): everything that only *reads* time — the latency
+// sink, telemetry span stamps, warmup boundaries — depends on this
+// interface, not on des::Simulator. The DES backend implements it with
+// simulated microseconds; the realtime backend (sdps::rt) implements it
+// with a monotonic wall clock rebased to microseconds since run start.
+// Both report SimTime, so every consumer works unchanged on either
+// timeline.
+#ifndef SDPS_DES_TIME_SOURCE_H_
+#define SDPS_DES_TIME_SOURCE_H_
+
+#include "common/time_util.h"
+
+namespace sdps::des {
+
+/// A monotonic microsecond clock. Implementations: des::Simulator
+/// (simulated time, single-threaded) and rt::Clock (steady_clock since
+/// Start(), safe to read from any thread).
+class TimeSource {
+ public:
+  virtual ~TimeSource() = default;
+
+  /// Microseconds since the timeline's origin (simulation start / run
+  /// start). Never decreases.
+  virtual SimTime now() const = 0;
+};
+
+}  // namespace sdps::des
+
+#endif  // SDPS_DES_TIME_SOURCE_H_

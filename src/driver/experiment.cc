@@ -211,8 +211,9 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, const SutFactory&
                        config.fault_grace, ctx.report_failure));
   }
 
-  // Run to the horizon plus drain slack so in-flight windows can fire.
-  sim.RunUntil(config.duration);
+  // Run to the horizon, plus the configured drain slack so in-flight
+  // windows can fire (identity tests need the complete output set).
+  sim.RunUntil(config.duration + config.drain);
   sut->Stop();
 
   if (tracer.enabled()) {

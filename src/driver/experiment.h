@@ -40,6 +40,14 @@ struct ExperimentConfig {
   SimTime duration = Seconds(300);
   /// Paper: "We use 25% of the input data as a warmup."
   double warmup_fraction = 0.25;
+  /// Extra simulated time past the horizon. Generation stops at
+  /// `duration` as always; the drain window lets the close cascade run —
+  /// sources see the closed queues, final watermarks flush every open
+  /// window, trailing Spark jobs evaluate the remaining boundaries. 0
+  /// (default) keeps the historical behaviour (in-flight windows at the
+  /// horizon never fire). Used by the runtime-duality identity tests,
+  /// where both backends must emit the *complete* output set.
+  SimTime drain = 0;
   uint64_t seed = 42;
   /// JVM GC pause injection on SUT worker nodes.
   bool attach_gc = true;

@@ -1,12 +1,11 @@
 #include "driver/generator.h"
 
-#include <algorithm>
-#include <cmath>
-#include <memory>
-#include <optional>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "des/task.h"
+#include "driver/record_stream.h"
 
 namespace sdps::driver {
 
@@ -28,128 +27,19 @@ RateProfile StepRate(std::vector<std::pair<SimTime, double>> steps) {
 
 namespace {
 
-class KeyPicker {
- public:
-  KeyPicker(const GeneratorConfig& config)
-      : config_(config) {
-    switch (config.key_distribution) {
-      case KeyDistribution::kNormal:
-        normal_.emplace(config.num_keys);
-        break;
-      case KeyDistribution::kZipf:
-        zipf_.emplace(config.num_keys, config.zipf_exponent);
-        break;
-      case KeyDistribution::kUniform:
-      case KeyDistribution::kSingle:
-        break;
-    }
-  }
-
-  uint64_t Pick(Rng& rng) const {
-    switch (config_.key_distribution) {
-      case KeyDistribution::kNormal:
-        return normal_->Sample(rng);
-      case KeyDistribution::kUniform:
-        return rng.NextBelow(config_.num_keys);
-      case KeyDistribution::kZipf:
-        return zipf_->Sample(rng);
-      case KeyDistribution::kSingle:
-        return 0;
-    }
-    return 0;
-  }
-
- private:
-  const GeneratorConfig& config_;
-  std::optional<NormalKeyDistribution> normal_;
-  std::optional<ZipfDistribution> zipf_;
-};
-
-/// Deterministic record-payload builder: one instance per generator, its
-/// rng/ring state advanced in strict emission order — so payloads are a
-/// pure function of the emission index, identical at any burst size.
-class RecordBuilder {
- public:
-  RecordBuilder(const GeneratorConfig& config, Rng& rng)
-      : config_(config), rng_(rng), picker_(config) {}
-
-  engine::Record Build(SimTime emit_time) {
-    engine::Record rec;
-    rec.event_time = emit_time;
-    if (config_.max_event_lag > 0) {
-      rec.event_time -= static_cast<SimTime>(
-          rng_.NextBelow(static_cast<uint64_t>(config_.max_event_lag)));
-      if (rec.event_time < 0) rec.event_time = 0;
-    }
-    rec.weight = config_.tuples_per_record;
-    const bool is_ad =
-        config_.ads_fraction > 0.0 && rng_.NextDouble() < config_.ads_fraction;
-    if (is_ad) {
-      rec.stream = engine::StreamId::kAds;
-      rec.key = picker_.Pick(rng_);
-      rec.value = 0.0;
-      if (recent_ads_.size() < config_.ad_match_memory) {
-        recent_ads_.push_back(rec.key);
-      } else {
-        recent_ads_[recent_ads_next_] = rec.key;
-        recent_ads_next_ = (recent_ads_next_ + 1) % config_.ad_match_memory;
-      }
-    } else {
-      rec.stream = engine::StreamId::kPurchases;
-      rec.value = rng_.Uniform(config_.price_min, config_.price_max);
-      const bool match = config_.ads_fraction > 0.0 && !recent_ads_.empty() &&
-                         rng_.NextDouble() < config_.join_selectivity;
-      if (match) {
-        rec.key = recent_ads_[rng_.NextBelow(recent_ads_.size())];
-      } else if (config_.ads_fraction > 0.0) {
-        rec.key = kNonMatchingBit | (non_matching_counter_++);
-      } else {
-        rec.key = picker_.Pick(rng_);
-      }
-    }
-    return rec;
-  }
-
- private:
-  // Non-matching purchase keys live in a disjoint key space (top bit set).
-  static constexpr uint64_t kNonMatchingBit = 1ULL << 63;
-
-  const GeneratorConfig& config_;
-  Rng& rng_;
-  KeyPicker picker_;
-  // Ring buffer of recent ad keys for selectivity-controlled join matches.
-  std::vector<uint64_t> recent_ads_;
-  size_t recent_ads_next_ = 0;
-  uint64_t non_matching_counter_ = 0;
-};
-
-/// Advances the emission clock by one inter-record interval, carrying the
-/// fractional-microsecond rounding error so the realized rate tracks the
-/// configured rate exactly (no per-record drift) and rates above one
-/// record per microsecond are representable (several same-µs emissions,
-/// not a silent 1 rec/µs cap).
-SimTime NextStep(const GeneratorConfig& config, SimTime at, double* carry) {
-  const double rate = config.rate(at);
-  SDPS_CHECK_GT(rate, 0.0) << "rate profile returned non-positive rate";
-  const double interval_us =
-      static_cast<double>(config.tuples_per_record) / rate * 1e6 + *carry;
-  const SimTime step =
-      std::max<SimTime>(0, static_cast<SimTime>(std::llround(interval_us)));
-  *carry = interval_us - static_cast<double>(step);
-  return step;
-}
-
+// Emission schedule and payloads come from driver::RecordStream (shared
+// with the realtime backend); this process only paces it with simulated
+// Delays and hands records to the queue.
 des::Task<> GeneratorProcess(des::Simulator& sim, DriverQueue& queue,
                              GeneratorConfig config, Rng rng) {
-  RecordBuilder builder(config, rng);
-  double carry = 0.0;
+  RecordStream stream(config, rng);
 
   if (config.burst <= 1) {
     // Per-record scheduling: one Delay per emission.
     while (sim.now() < config.duration) {
-      co_await des::Delay(sim, NextStep(config, sim.now(), &carry));
+      co_await des::Delay(sim, stream.NextTime(sim.now()) - sim.now());
       if (sim.now() >= config.duration) break;
-      queue.Push(builder.Build(sim.now()));
+      queue.Push(stream.Build(sim.now()));
     }
     queue.Close();
     co_return;
@@ -168,12 +58,12 @@ des::Task<> GeneratorProcess(des::Simulator& sim, DriverQueue& queue,
     SimTime t = sim.now();
     bool horizon_reached = false;
     for (uint32_t i = 0; i < config.burst; ++i) {
-      t += NextStep(config, t, &carry);
+      t = stream.NextTime(t);
       if (t >= config.duration) {
         horizon_reached = true;
         break;
       }
-      records.PushBack(builder.Build(t));
+      records.PushBack(stream.Build(t));
       arrivals.push_back(t);
     }
     if (!records.empty()) queue.PushBurst(std::move(records), arrivals);

@@ -17,7 +17,7 @@
 
 #include "chaos/recovery.h"
 #include "common/time_util.h"
-#include "des/simulator.h"
+#include "des/time_source.h"
 #include "driver/histogram.h"
 #include "driver/timeseries.h"
 #include "engine/record.h"
@@ -29,8 +29,11 @@ namespace sdps::driver {
 
 class LatencySink {
  public:
-  LatencySink(des::Simulator& sim, SimTime warmup_end)
-      : sim_(sim),
+  /// `clock` is the backend's timeline (des::Simulator for simulated
+  /// runs, rt::Clock for realtime runs — the clock seam of DESIGN.md §6);
+  /// arrival stamps and warmup comparisons read it exclusively.
+  LatencySink(const des::TimeSource& clock, SimTime warmup_end)
+      : clock_(clock),
         warmup_end_(warmup_end),
         obs_outputs_(obs::Registry::Default().GetCounter("driver.sink.outputs")),
         obs_event_latency_(
@@ -54,7 +57,7 @@ class LatencySink {
   /// Called by the SUT when an output record arrives back at the driver.
   void Emit(const engine::OutputRecord& out) {
     if (listener_) listener_(out);
-    const SimTime now = sim_.now();
+    const SimTime now = clock_.now();
     ++total_outputs_;
     total_output_tuples_ += out.weight;
     total_output_value_ += out.value;
@@ -102,7 +105,7 @@ class LatencySink {
   SimTime warmup_end() const { return warmup_end_; }
 
  private:
-  des::Simulator& sim_;
+  const des::TimeSource& clock_;
   SimTime warmup_end_;
   obs::Counter* obs_outputs_;
   obs::Histogram* obs_event_latency_;

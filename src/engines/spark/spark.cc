@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
+#include <map>
 #include <optional>
 #include <unordered_map>
 
@@ -33,6 +35,17 @@ using engine::WindowKeyAgg;
 
 SimTime CostUs(double us) {
   return std::max<SimTime>(0, static_cast<SimTime>(std::llround(us)));
+}
+
+/// Sentinel frontier once every receiver drained: all buckets are sealed.
+constexpr SimTime kFinalFrontier = std::numeric_limits<SimTime>::max() / 4;
+/// "No sealed records yet" frontier (blocks every boundary).
+constexpr SimTime kNoFrontier = std::numeric_limits<SimTime>::min();
+
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
 }
 
 double InterpolateOverhead(const std::vector<std::pair<int, double>>& table, int workers) {
@@ -95,6 +108,12 @@ struct SparkJob {
   /// Sum of worker crash epochs at job start; a change means a worker
   /// died mid-batch and the batch must be recomputed.
   int64_t crash_epochs = 0;
+  /// Deterministic batching only: min over receivers of the sealed
+  /// event-time frontier at job creation. Every sealed record with a
+  /// smaller event time is in this or an earlier job, so window
+  /// boundaries at or below the frontier are complete. kFinalFrontier
+  /// once all receivers drained and every block was sealed into a job.
+  SimTime det_frontier = kNoFrontier;
 };
 
 /// One batch's contribution to a reduce partition.
@@ -112,6 +131,13 @@ struct PartitionState {
   std::deque<BatchPartial> history;          // newest at back
   std::unordered_map<uint64_t, WindowKeyAgg> running;  // inverse-reduce mode
   int64_t heap_bytes = 0;
+  /// Deterministic batching: per-event-time-bucket partials (bucket b
+  /// covers [(b-1)*batch_interval, b*batch_interval)), ordered so window
+  /// assembly walks a contiguous range. Replaces `history` in det mode.
+  std::map<int64_t, BatchPartial> det_buckets;
+  /// Next window boundary (bucket index, multiple of slide_batches) to
+  /// evaluate; 0 = not initialised yet.
+  int64_t det_next_boundary = 0;
 };
 
 class SparkSut : public driver::Sut {
@@ -139,6 +165,7 @@ class SparkSut : public driver::Sut {
     partitions_.resize(static_cast<size_t>(num_reduce_));
     block_manager_bytes_.assign(static_cast<size_t>(workers), 0);
     current_blocks_.resize(static_cast<size_t>(num_receivers_));
+    sealed_frontier_.assign(static_cast<size_t>(num_receivers_), kNoFrontier);
     receivers_done_ = 0;
 
     for (int r = 0; r < num_receivers_; ++r) {
@@ -361,6 +388,15 @@ class SparkSut : public driver::Sut {
       co_await des::Delay(*ctx_.sim, config_.block_interval);
       SparkBlock& block = current_blocks_[static_cast<size_t>(r)];
       if (!block.records.empty()) {
+        if (config_.deterministic_batching) {
+          // The receiver's sealed event-time frontier: with in-order
+          // input, every future record of this receiver has event time >=
+          // the max sealed so far.
+          SimTime& frontier = sealed_frontier_[static_cast<size_t>(r)];
+          for (const Record& rec : block.records) {
+            frontier = std::max(frontier, rec.event_time);
+          }
+        }
         pending_blocks_.push_back(std::move(block));
         block = SparkBlock{};
       }
@@ -377,6 +413,21 @@ class SparkSut : public driver::Sut {
       job->blocks = std::move(pending_blocks_);
       pending_blocks_.clear();
       for (const SparkBlock& b : job->blocks) job->tuples += b.tuples;
+      if (config_.deterministic_batching) {
+        // Frontier snapshot: this job carries every sealed block, so once
+        // all receivers drained AND nothing is left unsealed, every record
+        // of the run rides in this or an earlier job.
+        bool drained = receivers_done_ == num_receivers_;
+        for (const SparkBlock& b : current_blocks_) {
+          if (!b.records.empty()) drained = false;
+        }
+        if (drained) {
+          job->det_frontier = kFinalFrontier;
+        } else {
+          job->det_frontier = *std::min_element(sealed_frontier_.begin(),
+                                                sealed_frontier_.end());
+        }
+      }
       // The channel owns queued jobs, so jobs stranded by a teardown
       // mid-run (crash/abort) are reclaimed with it.
       if (!co_await job_channel_->Send(std::move(job))) co_return;
@@ -544,8 +595,11 @@ class SparkSut : public driver::Sut {
     w.RecordAllocation(config_.alloc_bytes_per_tuple *
                        static_cast<int64_t>(block.tuples));
 
-    const bool combine =
-        config_.tree_aggregate && config_.query.kind == engine::QueryKind::kAggregation;
+    // Deterministic batching needs raw records on the reduce side (the
+    // map-side combine would merge event-time buckets together).
+    const bool combine = config_.tree_aggregate &&
+                         config_.query.kind == engine::QueryKind::kAggregation &&
+                         !config_.deterministic_batching;
     if (combine) {
       out.combined.resize(static_cast<size_t>(num_reduce_));
       for (const Record& rec : block.records) {
@@ -576,6 +630,12 @@ class SparkSut : public driver::Sut {
     cluster::Node& w = WorkerOfReduce(r);
     PartitionState& st = partitions_[static_cast<size_t>(r)];
     const double slow = SpillFactor(w);
+
+    if (config_.deterministic_batching) {
+      co_await ReduceTaskDet(job, r, w, st, slow);
+      done.CountDown();
+      co_return;
+    }
 
     // Merge this batch's inputs into a new partial.
     BatchPartial partial;
@@ -673,6 +733,151 @@ class SparkSut : public driver::Sut {
       }
     }
     done.CountDown();
+  }
+
+  /// Deterministic-batching reduce: merge this job's raw shuffled records
+  /// into per-event-time-bucket partials, then evaluate every window
+  /// boundary the job's sealed frontier has passed. Bucket membership is
+  /// a pure function of the record's event time, and a boundary is only
+  /// evaluated once all its buckets are sealed — so the emitted multiset
+  /// of (key, window_end, value, weight) does not depend on arrival
+  /// timing. This is the Spark model the realtime backend reproduces
+  /// (DESIGN.md §6).
+  Task<> ReduceTaskDet(SparkJob& job, int r, cluster::Node& w, PartitionState& st,
+                       double slow) {
+    uint64_t batch_tuples = 0;
+    for (const MapOutput& mo : job.map_outputs) {
+      if (mo.raw.empty()) continue;
+      for (const Record& rec : mo.raw[static_cast<size_t>(r)]) {
+        const int64_t bucket = FloorDiv(rec.event_time, config_.batch_interval) + 1;
+        BatchPartial& bp = st.det_buckets[bucket];
+        bp.batch_index = bucket;
+        if (config_.query.kind == engine::QueryKind::kAggregation) {
+          bp.aggs[rec.key].Merge(rec);
+        } else if (rec.stream == engine::StreamId::kPurchases) {
+          bp.purchases.push_back(rec);
+        } else {
+          bp.ads.push_back(rec);
+        }
+        bp.tuples += rec.weight;
+        bp.max_event_time = std::max(bp.max_event_time, rec.event_time);
+        bp.max_ingest_time = std::max(bp.max_ingest_time, rec.ingest_time);
+        batch_tuples += rec.weight;
+      }
+    }
+    const double merge_cost_us =
+        config_.task_overhead_ms * 1000.0 +
+        config_.reduce_tuple_cost_us * static_cast<double>(batch_tuples) * overhead_ *
+            slow;
+    co_await w.cpu().Use(CostUs(merge_cost_us));
+    const size_t widx =
+        static_cast<size_t>(r) % static_cast<size_t>(ctx_.cluster->num_workers());
+    if (recovery_) job.cpu_us[widx] += merge_cost_us;
+
+    int64_t heap = 0;
+    for (const auto& [bucket, p] : st.det_buckets) {
+      heap += static_cast<int64_t>(p.aggs.size()) * kPartialHeapBytes;
+      heap += static_cast<int64_t>(p.purchases.size() + p.ads.size()) *
+              kRawTupleHeapBytes;
+    }
+    SetPartitionHeap(r, heap);
+
+    if (st.det_next_boundary == 0) st.det_next_boundary = slide_batches_;
+    const bool final_frontier = job.det_frontier >= kFinalFrontier;
+    for (;;) {
+      if (st.det_next_boundary * config_.batch_interval > job.det_frontier) break;
+      if (final_frontier && st.det_buckets.empty()) break;
+      const int64_t nb = st.det_next_boundary;
+      metrics_.windows_fired->Add(1);
+      if (config_.query.kind == engine::QueryKind::kAggregation) {
+        co_await EvaluateDetAggBoundary(w, st, slow, job, r, nb);
+      } else {
+        co_await EvaluateDetJoinBoundary(w, st, slow, job, r, nb);
+      }
+      // Evict buckets no future boundary's window covers (the next
+      // boundary's window starts after bucket nb + slide - range).
+      const int64_t evict_thru = nb + slide_batches_ - range_batches_;
+      while (!st.det_buckets.empty() && st.det_buckets.begin()->first <= evict_thru) {
+        st.det_buckets.erase(st.det_buckets.begin());
+      }
+      st.det_next_boundary += slide_batches_;
+    }
+  }
+
+  /// One deterministic boundary of the aggregation query: merge the
+  /// bucket partials of window (nb - range_batches, nb] per key and emit
+  /// with window_end = nb * batch_interval.
+  Task<> EvaluateDetAggBoundary(cluster::Node& w, PartitionState& st, double slow,
+                                SparkJob& job, int r, int64_t nb) {
+    const SimTime window_end = nb * config_.batch_interval;
+    std::unordered_map<uint64_t, WindowKeyAgg> window;
+    uint64_t entries = 0;
+    auto it = st.det_buckets.lower_bound(nb - range_batches_ + 1);
+    for (; it != st.det_buckets.end() && it->first <= nb; ++it) {
+      for (const auto& [key, agg] : it->second.aggs) MergeAgg(window[key], agg);
+      entries += it->second.aggs.size();
+    }
+    std::vector<engine::OutputRecord> outs;
+    outs.reserve(window.size());
+    for (const auto& [key, agg] : window) {
+      outs.push_back({agg.max_event_time, agg.max_ingest_time, key, agg.sum, 1,
+                      agg.lineage, window_end});
+    }
+    const double eval_cost_us =
+        config_.reduce_entry_cost_us * static_cast<double>(entries) * overhead_ * slow;
+    co_await w.cpu().Use(CostUs(eval_cost_us));
+    if (recovery_) {
+      job.cpu_us[static_cast<size_t>(r) %
+                 static_cast<size_t>(ctx_.cluster->num_workers())] += eval_cost_us;
+      auto& staged = job.staged[static_cast<size_t>(r)];
+      staged.insert(staged.end(), outs.begin(), outs.end());
+    } else if (!outs.empty()) {
+      co_await EmitOutputs(w, outs);
+    }
+  }
+
+  /// One deterministic boundary of the join query: build on the window
+  /// buckets' ads, probe with their purchases (same pair emission as
+  /// EvaluateJoinWindow: one output per matching (purchase, ad) record
+  /// pair carrying the purchase's value and weight).
+  Task<> EvaluateDetJoinBoundary(cluster::Node& w, PartitionState& st, double slow,
+                                 SparkJob& job, int r, int64_t nb) {
+    const SimTime window_end = nb * config_.batch_interval;
+    std::unordered_map<uint64_t, std::vector<const Record*>> build;
+    uint64_t window_tuples = 0;
+    SimTime max_event = 0, max_ingest = 0;
+    const auto first = st.det_buckets.lower_bound(nb - range_batches_ + 1);
+    for (auto it = first; it != st.det_buckets.end() && it->first <= nb; ++it) {
+      for (const Record& ad : it->second.ads) {
+        build[ad.key].push_back(&ad);
+        window_tuples += ad.weight;
+      }
+      max_event = std::max(max_event, it->second.max_event_time);
+      max_ingest = std::max(max_ingest, it->second.max_ingest_time);
+    }
+    std::vector<engine::OutputRecord> outs;
+    for (auto it = first; it != st.det_buckets.end() && it->first <= nb; ++it) {
+      for (const Record& rec : it->second.purchases) {
+        window_tuples += rec.weight;
+        const auto match = build.find(rec.key);
+        if (match == build.end()) continue;
+        for (const Record* ad : match->second) {
+          outs.push_back({max_event, max_ingest, rec.key, rec.value, rec.weight,
+                          rec.lineage >= 0 ? rec.lineage : ad->lineage, window_end});
+        }
+      }
+    }
+    const double eval_cost_us = config_.join_tuple_cost_us * overhead_ * slow *
+                                static_cast<double>(window_tuples);
+    co_await w.cpu().Use(CostUs(eval_cost_us));
+    if (recovery_) {
+      job.cpu_us[static_cast<size_t>(r) %
+                 static_cast<size_t>(ctx_.cluster->num_workers())] += eval_cost_us;
+      auto& staged = job.staged[static_cast<size_t>(r)];
+      staged.insert(staged.end(), outs.begin(), outs.end());
+    } else if (!outs.empty()) {
+      co_await EmitOutputs(w, outs);
+    }
   }
 
   Task<> EvaluateAggWindow(cluster::Node& w, PartitionState& st, double slow,
@@ -822,6 +1027,8 @@ class SparkSut : public driver::Sut {
   std::vector<std::unique_ptr<des::Resource>> receiver_cores_;
   std::vector<int> fetchers_left_;
   std::vector<SparkBlock> current_blocks_;
+  /// Det batching: per-receiver max event time across sealed blocks.
+  std::vector<SimTime> sealed_frontier_;
   std::vector<SparkBlock> pending_blocks_;
   std::unique_ptr<des::Channel<std::unique_ptr<SparkJob>>> job_channel_;
   std::vector<PartitionState> partitions_;

@@ -55,4 +55,14 @@ uint64_t ThreadLogMessageCount(LogLevel level) {
   return t_log_counts[i >= 0 && i < 4 ? i : 0];
 }
 
+ThreadLogCounts ThreadLogMessageCounts() {
+  ThreadLogCounts snap;
+  for (int i = 0; i < 4; ++i) snap.counts[i] = t_log_counts[i];
+  return snap;
+}
+
+void MergeThreadLogMessageCounts(const ThreadLogCounts& delta) {
+  for (int i = 0; i < 4; ++i) t_log_counts[i] += delta.counts[i];
+}
+
 }  // namespace sdps::obs

@@ -28,6 +28,23 @@ uint64_t LogMessageCount(LogLevel level);
 /// counters mix all threads).
 uint64_t ThreadLogMessageCount(LogLevel level);
 
+/// Snapshot of one thread's tallies across all four levels, indexed by
+/// LogLevel. Used by rt::Executor to capture a worker thread's counts
+/// right before it exits.
+struct ThreadLogCounts {
+  uint64_t counts[4] = {0, 0, 0, 0};
+};
+
+/// All four of the calling thread's tallies at once.
+ThreadLogCounts ThreadLogMessageCounts();
+
+/// Folds `delta` into the *calling* thread's tallies. rt::Executor calls
+/// this on the joining thread with each worker's (exit − spawn) delta, so
+/// log traffic from realtime worker threads lands in the tally of the
+/// thread that ran the pipeline — ThreadLogMessageCount() deltas stay
+/// exact per-trial counts outside the TrialPool too.
+void MergeThreadLogMessageCounts(const ThreadLogCounts& delta);
+
 }  // namespace sdps::obs
 
 #endif  // SDPS_OBS_LOG_BRIDGE_H_

@@ -1,0 +1,83 @@
+#include "rt/executor.h"
+
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/log_bridge.h"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace sdps::rt {
+
+namespace {
+
+void PinToCpu(std::thread& thread, int cpu) {
+#ifdef __linux__
+  const unsigned n = std::thread::hardware_concurrency();
+  if (n == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu) % n, &set);
+  // Best-effort: failure (e.g. restricted affinity mask in a container)
+  // leaves the thread floating, which is correct, just less reproducible.
+  pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set);
+#else
+  (void)thread;
+  (void)cpu;
+#endif
+}
+
+void NameThread(std::thread& thread, const std::string& name) {
+#ifdef __linux__
+  pthread_setname_np(thread.native_handle(), name.substr(0, 15).c_str());
+#else
+  (void)thread;
+  (void)name;
+#endif
+}
+
+}  // namespace
+
+struct Executor::Worker {
+  std::thread thread;
+  // Written by the worker right before exiting, read after join — the
+  // join itself synchronizes, no atomics needed.
+  obs::ThreadLogCounts log_delta;
+};
+
+Executor::Executor(Options options)
+    : options_(options), next_cpu_(options.first_cpu) {}
+
+Executor::~Executor() { JoinAll(); }
+
+void Executor::Spawn(std::string name, std::function<void()> fn) {
+  SDPS_CHECK(fn != nullptr);
+  threads_.push_back(std::make_unique<Worker>());
+  Worker* worker = threads_.back().get();
+  worker->thread = std::thread([worker, fn = std::move(fn)] {
+    // Fresh thread ⇒ tallies start at zero, so the exit snapshot IS the
+    // delta this worker contributed.
+    fn();
+    worker->log_delta = obs::ThreadLogMessageCounts();
+  });
+  NameThread(worker->thread, name);
+  if (options_.pin_threads) {
+    PinToCpu(worker->thread, next_cpu_++);
+  }
+}
+
+void Executor::JoinAll() {
+  for (std::unique_ptr<Worker>& worker : threads_) {
+    if (worker->thread.joinable()) {
+      worker->thread.join();
+      obs::MergeThreadLogMessageCounts(worker->log_delta);
+    }
+  }
+  threads_.clear();
+}
+
+}  // namespace sdps::rt

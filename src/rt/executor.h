@@ -1,0 +1,69 @@
+// The realtime thread pool: one named OS thread per pipeline stage (the
+// wall-clock analogue of the DES cooperative processes), round-robin
+// pinned to cores so a run's thread placement — and therefore its cache
+// and contention behaviour — is reproducible across invocations.
+//
+// Not a task-stealing pool: realtime pipelines are static graphs, every
+// stage owns its thread for the whole run, so Spawn + JoinAll is the
+// entire lifecycle. Each worker's per-thread log tallies are captured at
+// exit and folded into the joining thread's tallies, keeping
+// obs::ThreadLogMessageCount() deltas exact for the caller even though
+// the log traffic happened on pool threads (the TrialPool gets this for
+// free by running trials on the caller's thread when jobs=1).
+#ifndef SDPS_RT_EXECUTOR_H_
+#define SDPS_RT_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sdps::rt {
+
+class Executor {
+ public:
+  struct Options {
+    /// Pin spawned threads round-robin across CPUs (Linux only; a no-op
+    /// elsewhere and under failure — pinning is an optimisation, never a
+    /// correctness requirement).
+    bool pin_threads = true;
+    /// First CPU of the round-robin cycle.
+    int first_cpu = 0;
+  };
+
+  Executor() : Executor(Options{}) {}
+  explicit Executor(Options options);
+
+  /// Joins any still-running workers (prefer an explicit JoinAll so
+  /// shutdown ordering is visible at the call site).
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Launches `fn` on a dedicated thread named `name` (visible in
+  /// /proc/<pid>/task/*/comm, debuggers, and profilers; truncated to the
+  /// kernel's 15-char limit), pinned to the next CPU in the round-robin
+  /// cycle.
+  void Spawn(std::string name, std::function<void()> fn);
+
+  /// Joins every spawned thread, folding each worker's log tallies into
+  /// the calling thread's. Returns when all workers have exited; the
+  /// caller is responsible for having closed the rings that make them
+  /// exit.
+  void JoinAll();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  struct Worker;
+  Options options_;
+  // unique_ptr: running threads hold a pointer to their Worker slot, so
+  // the slot must not move when the vector grows.
+  std::vector<std::unique_ptr<Worker>> threads_;
+  int next_cpu_ = 0;
+};
+
+}  // namespace sdps::rt
+
+#endif  // SDPS_RT_EXECUTOR_H_

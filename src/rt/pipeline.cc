@@ -1,0 +1,435 @@
+#include "rt/pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <map>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "driver/latency_sink.h"
+#include "engine/batch.h"
+#include "engine/partition.h"
+#include "engine/watermark.h"
+#include "engine/window_state.h"
+#include "obs/log_bridge.h"
+#include "obs/trace.h"
+#include "rt/clock.h"
+#include "rt/executor.h"
+#include "rt/generator.h"
+#include "rt/spsc_ring.h"
+
+namespace sdps::rt {
+
+namespace {
+
+using engine::Message;
+using engine::OutputRecord;
+using engine::Record;
+using engine::WindowKeyAgg;
+
+/// Same final-watermark sentinel as the DES engines: flushes every open
+/// window / remaining boundary.
+constexpr SimTime kFinalWatermark = std::numeric_limits<SimTime>::max() / 4;
+
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// One ring element: a run of same-partition records (the batched data
+/// plane's coalescing unit) and/or an in-band per-source watermark. The
+/// watermark applies AFTER the records — ring FIFO order is what keeps
+/// watermarks from overtaking the records they retire.
+struct Envelope {
+  engine::RecordBatch records;
+  bool has_watermark = false;
+  SimTime watermark = 0;
+  int origin = 0;
+};
+
+/// Round-robin non-blocking pop across several rings with the ring's
+/// spin/yield/nap backoff. Returns nullopt only once every ring is closed
+/// AND drained (a final sweep after observing closed catches the
+/// push-then-close race: the close's release makes the last push visible).
+template <typename T>
+std::optional<T> PopAny(std::vector<SpscRing<T>*>& rings, size_t* rr) {
+  int spins = 0;
+  for (;;) {
+    bool all_closed = true;
+    for (size_t k = 0; k < rings.size(); ++k) {
+      SpscRing<T>& ring = *rings[(*rr + k) % rings.size()];
+      if (auto v = ring.TryPop()) {
+        *rr = (*rr + k + 1) % rings.size();
+        return v;
+      }
+      if (!ring.closed()) all_closed = false;
+    }
+    if (all_closed) {
+      for (SpscRing<T>* ring : rings) {
+        if (auto v = ring->TryPop()) return v;
+      }
+      return std::nullopt;
+    }
+    ++spins;
+    if (spins < 64) {
+    } else if (spins < 128) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+/// The Spark model's event-time bucket partial: one micro-batch bucket's
+/// per-key aggregates (aggregation) or two-sided raw buffers (join).
+/// Mirrors the DES SparkSut's deterministic-batching BatchPartial.
+struct SparkBucket {
+  std::unordered_map<uint64_t, WindowKeyAgg> aggs;
+  std::vector<Record> purchases;
+  std::vector<Record> ads;
+  SimTime max_event_time = 0;
+  SimTime max_ingest_time = 0;
+};
+
+/// Per-task window state for the Spark model: bucket partials plus the
+/// frontier-gated boundary cursor (same recurrence as ReduceTaskDet in
+/// engines/spark).
+class SparkTaskState {
+ public:
+  SparkTaskState(const engine::QueryConfig& query, SimTime batch_interval)
+      : query_(query), batch_interval_(batch_interval) {
+    range_batches_ = query.window.range / batch_interval;
+    slide_batches_ = query.window.slide / batch_interval;
+    next_boundary_ = slide_batches_;
+  }
+
+  void Add(const Record& rec) {
+    const int64_t bucket = FloorDiv(rec.event_time, batch_interval_) + 1;
+    SparkBucket& bp = buckets_[bucket];
+    if (query_.kind == engine::QueryKind::kAggregation) {
+      bp.aggs[rec.key].Merge(rec);
+    } else if (rec.stream == engine::StreamId::kPurchases) {
+      bp.purchases.push_back(rec);
+    } else {
+      bp.ads.push_back(rec);
+    }
+    bp.max_event_time = std::max(bp.max_event_time, rec.event_time);
+    bp.max_ingest_time = std::max(bp.max_ingest_time, rec.ingest_time);
+  }
+
+  /// Evaluates every boundary the frontier has passed (all boundaries
+  /// when the frontier is the final watermark), appending outputs.
+  void FireUpTo(SimTime frontier, std::vector<OutputRecord>* outs) {
+    const bool final_frontier = frontier >= kFinalWatermark;
+    for (;;) {
+      if (next_boundary_ * batch_interval_ > frontier) break;
+      if (final_frontier && buckets_.empty()) break;
+      EvaluateBoundary(next_boundary_, outs);
+      const int64_t evict_thru = next_boundary_ + slide_batches_ - range_batches_;
+      while (!buckets_.empty() && buckets_.begin()->first <= evict_thru) {
+        buckets_.erase(buckets_.begin());
+      }
+      next_boundary_ += slide_batches_;
+    }
+  }
+
+ private:
+  void EvaluateBoundary(int64_t nb, std::vector<OutputRecord>* outs) {
+    const SimTime window_end = nb * batch_interval_;
+    const auto first = buckets_.lower_bound(nb - range_batches_ + 1);
+    if (query_.kind == engine::QueryKind::kAggregation) {
+      std::unordered_map<uint64_t, WindowKeyAgg> window;
+      for (auto it = first; it != buckets_.end() && it->first <= nb; ++it) {
+        for (const auto& [key, agg] : it->second.aggs) {
+          WindowKeyAgg& into = window[key];
+          into.sum += agg.sum;
+          into.weight += agg.weight;
+          into.max_event_time = std::max(into.max_event_time, agg.max_event_time);
+          into.max_ingest_time = std::max(into.max_ingest_time, agg.max_ingest_time);
+          if (into.lineage < 0) into.lineage = agg.lineage;
+        }
+      }
+      for (const auto& [key, agg] : window) {
+        outs->push_back({agg.max_event_time, agg.max_ingest_time, key, agg.sum, 1,
+                         agg.lineage, window_end});
+      }
+      return;
+    }
+    // Join: build on the window buckets' ads, probe with their purchases
+    // (one output per matching record pair, the purchase's value/weight —
+    // same emission as the DES EvaluateDetJoinBoundary).
+    std::unordered_map<uint64_t, std::vector<const Record*>> build;
+    SimTime max_event = 0, max_ingest = 0;
+    for (auto it = first; it != buckets_.end() && it->first <= nb; ++it) {
+      for (const Record& ad : it->second.ads) build[ad.key].push_back(&ad);
+      max_event = std::max(max_event, it->second.max_event_time);
+      max_ingest = std::max(max_ingest, it->second.max_ingest_time);
+    }
+    for (auto it = first; it != buckets_.end() && it->first <= nb; ++it) {
+      for (const Record& rec : it->second.purchases) {
+        const auto match = build.find(rec.key);
+        if (match == build.end()) continue;
+        for (const Record* ad : match->second) {
+          outs->push_back({max_event, max_ingest, rec.key, rec.value, rec.weight,
+                           rec.lineage >= 0 ? rec.lineage : ad->lineage, window_end});
+        }
+      }
+    }
+  }
+
+  engine::QueryConfig query_;
+  SimTime batch_interval_;
+  int64_t range_batches_ = 0;
+  int64_t slide_batches_ = 0;
+  int64_t next_boundary_ = 0;
+  std::map<int64_t, SparkBucket> buckets_;
+};
+
+}  // namespace
+
+RtResult RunRtPipeline(const RtPipelineConfig& config) {
+  SDPS_CHECK_GT(config.num_sources, 0);
+  SDPS_CHECK_GT(config.num_tasks, 0);
+  SDPS_CHECK_GE(config.batch, 1);
+  SDPS_CHECK_GT(config.total_rate, 0.0);
+  if (config.model == RtPipelineConfig::Model::kSpark) {
+    SDPS_CHECK_EQ(config.query.window.range % config.batch_interval, 0)
+        << "rt spark model: window range must be a multiple of batch_interval";
+    SDPS_CHECK_EQ(config.query.window.slide % config.batch_interval, 0)
+        << "rt spark model: window slide must be a multiple of batch_interval";
+  }
+  // Counting observers must be live before worker threads start logging.
+  obs::InstallLogCounters();
+
+  const int S = config.num_sources;
+  const int T = config.num_tasks;
+  const size_t batch = static_cast<size_t>(config.batch);
+
+  Clock clock;
+  // Telemetry time = this pipeline's wall clock: spans recorded by any
+  // component during the run get hardware-truth timestamps.
+  obs::Tracer& tracer = obs::Tracer::Default();
+  obs::ClockGuard clock_guard(tracer, [&clock] { return clock.now(); });
+
+  // Rings: S x T data edges, T sink edges.
+  std::vector<std::unique_ptr<SpscRing<Envelope>>> data_rings;
+  data_rings.reserve(static_cast<size_t>(S * T));
+  for (int i = 0; i < S * T; ++i) {
+    data_rings.push_back(std::make_unique<SpscRing<Envelope>>(config.ring_capacity));
+  }
+  auto ring_of = [&](int s, int t) -> SpscRing<Envelope>& {
+    return *data_rings[static_cast<size_t>(s * T + t)];
+  };
+  std::vector<std::unique_ptr<SpscRing<std::vector<OutputRecord>>>> sink_rings;
+  for (int t = 0; t < T; ++t) {
+    sink_rings.push_back(
+        std::make_unique<SpscRing<std::vector<OutputRecord>>>(config.ring_capacity));
+  }
+
+  // Same seed-fork protocol as driver::RunExperiment: one fork per driver
+  // (source), in driver order — the record streams are bit-identical.
+  Rng root(config.seed);
+  std::vector<Rng> source_rngs;
+  source_rngs.reserve(static_cast<size_t>(S));
+  for (int s = 0; s < S; ++s) source_rngs.push_back(root.Fork());
+
+  std::vector<driver::GeneratorConfig> gen_configs(static_cast<size_t>(S),
+                                                   config.generator);
+  for (auto& gen : gen_configs) {
+    gen.duration = config.duration;
+    gen.rate = driver::ConstantRate(config.total_rate / static_cast<double>(S));
+  }
+
+  const SimTime warmup_end =
+      config.paced ? static_cast<SimTime>(config.warmup_fraction *
+                                          static_cast<double>(config.duration))
+                   : 0;
+  driver::LatencySink sink(clock, warmup_end);
+  RtResult result;
+  std::vector<OutputRecord> captured;
+  if (config.capture_outputs) {
+    sink.SetOutputListener(
+        [&captured](const OutputRecord& out) { captured.push_back(out); });
+  }
+
+  std::atomic<uint64_t> input_records{0};
+  std::atomic<uint64_t> input_tuples{0};
+  std::atomic<uint64_t> late_tuples{0};
+
+  Executor::Options exec_options;
+  exec_options.pin_threads = config.pin_threads;
+  Executor executor(exec_options);
+  clock.Start();
+
+  // -- Sources --------------------------------------------------------------
+  for (int s = 0; s < S; ++s) {
+    executor.Spawn("rt-src-" + std::to_string(s), [&, s] {
+      Generator gen(gen_configs[static_cast<size_t>(s)],
+                    source_rngs[static_cast<size_t>(s)]);
+      std::vector<engine::RecordBatch> open(static_cast<size_t>(T));
+      uint64_t records = 0, tuples = 0;
+      SimTime max_event = engine::kNoWatermark;
+      SimTime next_wm = config.watermark_every;
+
+      auto flush = [&](int t) {
+        engine::RecordBatch& b = open[static_cast<size_t>(t)];
+        if (b.empty()) return;
+        Envelope env;
+        env.records = std::move(b);
+        b = engine::RecordBatch();
+        ring_of(s, t).Push(std::move(env));
+      };
+      auto broadcast_wm = [&](SimTime wm) {
+        for (int t = 0; t < T; ++t) {
+          flush(t);  // records first: the watermark must not overtake them
+          Envelope env;
+          env.has_watermark = true;
+          env.watermark = wm;
+          env.origin = s;
+          ring_of(s, t).Push(std::move(env));
+        }
+      };
+
+      for (;;) {
+        auto rec = gen.Next();
+        if (!rec.has_value()) break;
+        const SimTime planned = gen.planned_time();
+        if (config.paced) gen.PaceTo(clock);
+        if (planned >= next_wm && max_event != engine::kNoWatermark) {
+          broadcast_wm(max_event);
+          while (next_wm <= planned) next_wm += config.watermark_every;
+        }
+        rec->ingest_time = clock.now();
+        max_event = std::max(max_event, rec->event_time);
+        ++records;
+        tuples += rec->weight;
+        const int t = engine::PartitionForKey(rec->key, T);
+        engine::RecordBatch& b = open[static_cast<size_t>(t)];
+        b.PushBack(*rec);
+        if (b.size() >= batch) flush(t);
+      }
+      // Horizon reached: flush everything, flush every window, end the
+      // streams. Close after the final watermark so consumers drain it.
+      broadcast_wm(kFinalWatermark);
+      for (int t = 0; t < T; ++t) ring_of(s, t).Close();
+      input_records.fetch_add(records, std::memory_order_relaxed);
+      input_tuples.fetch_add(tuples, std::memory_order_relaxed);
+    });
+  }
+
+  // -- Tasks ----------------------------------------------------------------
+  for (int t = 0; t < T; ++t) {
+    executor.Spawn("rt-task-" + std::to_string(t), [&, t] {
+      std::vector<SpscRing<Envelope>*> inputs;
+      for (int s = 0; s < S; ++s) inputs.push_back(&ring_of(s, t));
+      engine::WatermarkTracker tracker(S);
+      const engine::WindowAssigner assigner(config.query.window);
+      const bool agg = config.query.kind == engine::QueryKind::kAggregation;
+
+      // The engines' own logical state, per model (flink: incremental
+      // aggregates; storm: buffered windows; spark: bucket partials).
+      std::optional<engine::AggWindowState> flink_state;
+      std::optional<engine::BufferedWindowState> storm_state;
+      std::optional<engine::JoinWindowState> join_state;
+      std::optional<SparkTaskState> spark_state;
+      if (config.model == RtPipelineConfig::Model::kSpark) {
+        spark_state.emplace(config.query, config.batch_interval);
+      } else if (!agg) {
+        join_state.emplace(assigner);
+      } else if (config.model == RtPipelineConfig::Model::kFlink) {
+        flink_state.emplace(assigner);
+      } else {
+        storm_state.emplace(assigner);
+      }
+
+      uint64_t late = 0;
+      std::vector<OutputRecord> fired;
+      size_t rr = 0;
+      for (;;) {
+        auto env = PopAny(inputs, &rr);
+        if (!env.has_value()) break;
+        if (!env->records.empty()) {
+          if (spark_state) {
+            for (const Record& rec : env->records) spark_state->Add(rec);
+          } else if (flink_state) {
+            late += engine::AddBatch(*flink_state, env->records.begin(),
+                                     env->records.size())
+                        .late_tuples;
+          } else if (storm_state) {
+            late += engine::AddBatch(*storm_state, env->records.begin(),
+                                     env->records.size())
+                        .late_tuples;
+          } else {
+            late += engine::AddBatch(*join_state, env->records.begin(),
+                                     env->records.size())
+                        .late_tuples;
+          }
+        }
+        if (env->has_watermark && tracker.Update(env->origin, env->watermark)) {
+          fired.clear();
+          const SimTime wm = tracker.current();
+          if (spark_state) {
+            spark_state->FireUpTo(wm, &fired);
+          } else if (flink_state) {
+            fired = flink_state->FireUpTo(wm);
+          } else if (storm_state) {
+            fired = storm_state->FireUpTo(wm).outputs;
+          } else {
+            fired = join_state->FireUpTo(wm).outputs;
+          }
+          if (!fired.empty()) {
+            sink_rings[static_cast<size_t>(t)]->Push(std::move(fired));
+            fired = std::vector<OutputRecord>();
+          }
+        }
+      }
+      sink_rings[static_cast<size_t>(t)]->Close();
+      late_tuples.fetch_add(late, std::memory_order_relaxed);
+    });
+  }
+
+  // -- Sink -----------------------------------------------------------------
+  executor.Spawn("rt-sink", [&] {
+    std::vector<SpscRing<std::vector<OutputRecord>>*> inputs;
+    for (auto& ring : sink_rings) inputs.push_back(ring.get());
+    size_t rr = 0;
+    for (;;) {
+      auto outs = PopAny(inputs, &rr);
+      if (!outs.has_value()) break;
+      for (const OutputRecord& out : *outs) sink.Emit(out);
+    }
+  });
+
+  executor.JoinAll();
+  const SimTime wall = clock.now();
+
+  result.input_records = input_records.load(std::memory_order_relaxed);
+  result.input_tuples = input_tuples.load(std::memory_order_relaxed);
+  result.late_dropped_tuples = late_tuples.load(std::memory_order_relaxed);
+  result.output_records = sink.total_outputs();
+  result.output_tuples = sink.total_output_tuples();
+  result.output_value = sink.total_output_value();
+  result.wall_seconds = ToSeconds(wall);
+  if (result.wall_seconds > 0) {
+    result.records_per_s =
+        static_cast<double>(result.input_records) / result.wall_seconds;
+    result.tuples_per_s =
+        static_cast<double>(result.input_tuples) / result.wall_seconds;
+  }
+  const obs::QuantileSketch& sketch = sink.event_latency_sketch();
+  if (sketch.count() > 0) {
+    result.event_p50_s = sketch.Quantile(0.50);
+    result.event_p95_s = sketch.Quantile(0.95);
+    result.event_p99_s = sketch.Quantile(0.99);
+  }
+  result.outputs = std::move(captured);
+  return result;
+}
+
+}  // namespace sdps::rt

@@ -1,0 +1,119 @@
+// The realtime pipeline: the engines' logical layer (window states,
+// watermark tracking, key partitioning, record streams) executed on real
+// threads with wall-clock time instead of on the DES event loop with
+// simulated time — the other half of the runtime duality (DESIGN.md §6).
+//
+// Topology (one OS thread per box, SPSC rings on every edge):
+//
+//   source 0 ──ring──▸ task 0 ──ring──▸
+//          ╲╱                           sink ── LatencySink(rt::Clock)
+//          ╱╲                          ▸
+//   source 1 ──ring──▸ task 1 ──ring──▸
+//
+// Sources replay the deterministic RecordStream (same seed-fork order as
+// driver::RunExperiment), key-partition each record to a task ring, and
+// emit in-band per-source watermarks; tasks fold records into the same
+// engine::*WindowState the DES engines use (or the Spark model's
+// event-time bucket partials) and fire on the combined watermark; the
+// sink measures wall-clock latency through the same LatencySink the DES
+// driver uses, via the des::TimeSource seam.
+//
+// What carries over from a same-seed DES run and what doesn't:
+//   exact      — record sequence, window contents, the output multiset of
+//                (key, window_end, weight); value sums up to FP ordering
+//   backend's  — latencies, rates, thread placement, all timing
+// The identity tests in tests/rt/identity_test.cc assert the first row.
+#ifndef SDPS_RT_PIPELINE_H_
+#define SDPS_RT_PIPELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time_util.h"
+#include "driver/generator.h"
+#include "engine/query.h"
+#include "engine/record.h"
+
+namespace sdps::rt {
+
+struct RtPipelineConfig {
+  /// Which engine's task model runs on the threads: Flink = incremental
+  /// per-(window,key) aggregates, Storm = full-record window buffers with
+  /// bulk evaluation, Spark = event-time micro-batch bucket partials
+  /// merged at batch-aligned boundaries. The join query uses the shared
+  /// two-sided window buffer for Flink/Storm and bucket buffers for
+  /// Spark, mirroring the DES engines.
+  enum class Model { kFlink, kStorm, kSpark };
+  Model model = Model::kFlink;
+  engine::QueryConfig query;
+
+  /// Generator template (rate/duration fields are overridden below). Must
+  /// match the DES ExperimentConfig::generator for identity comparisons.
+  driver::GeneratorConfig generator;
+  /// Offered load across all sources, tuples/s; split evenly.
+  double total_rate = 1e5;
+  /// Source threads. Identity with a DES run requires this to equal the
+  /// DES cluster's driver count (the seed-fork order is per driver).
+  int num_sources = 2;
+  /// Task threads. The output multiset is partition-count independent
+  /// (every key is wholly owned by one task), so this is free to match
+  /// the host rather than the simulated cluster.
+  int num_tasks = 4;
+  uint64_t seed = 42;
+  SimTime duration = Seconds(10);
+  double warmup_fraction = 0.25;
+
+  /// Records per ring envelope — the realtime face of the batched data
+  /// plane (--batch=N): sources coalesce up to this many same-partition
+  /// records per push, tasks fold them with one engine::AddBatch.
+  int batch = 32;
+  /// Ring capacity in envelopes. Full ring = producer blocks = real
+  /// backpressure.
+  size_t ring_capacity = 1024;
+  /// true: pace emissions to the planned schedule with SleepUntil
+  /// (hardware-truth latency runs). false: emit as fast as the pipeline
+  /// accepts (throughput measurement, fast identity tests) — outputs are
+  /// identical either way because event times come from the planned
+  /// schedule.
+  bool paced = false;
+  /// Spark model only: micro-batch bucket width. Window range and slide
+  /// must be multiples (same validation as the DES SparkSut).
+  SimTime batch_interval = Seconds(4);
+  /// In-band watermark cadence, in planned-schedule time.
+  SimTime watermark_every = Millis(200);
+  /// Collect every OutputRecord into RtResult::outputs (identity tests).
+  bool capture_outputs = false;
+  bool pin_threads = true;
+};
+
+struct RtResult {
+  uint64_t input_records = 0;
+  uint64_t input_tuples = 0;
+  uint64_t output_records = 0;
+  uint64_t output_tuples = 0;
+  double output_value = 0.0;
+  uint64_t late_dropped_tuples = 0;
+  /// Wall-clock run time (first source start to sink drain), seconds.
+  double wall_seconds = 0.0;
+  /// MEASURED throughput: input records (and logical tuples) over wall
+  /// time — hardware truth, not a model prediction.
+  double records_per_s = 0.0;
+  double tuples_per_s = 0.0;
+  /// Sink event-time latency percentiles, seconds (obs::QuantileSketch;
+  /// meaningful in paced mode where the planned schedule is real time).
+  double event_p50_s = 0.0;
+  double event_p95_s = 0.0;
+  double event_p99_s = 0.0;
+  std::vector<engine::OutputRecord> outputs;  // when capture_outputs
+};
+
+/// Runs one realtime pipeline to completion (sources exhaust their
+/// schedules, tasks drain, final watermarks flush every window) and
+/// returns the measurements. Spawns num_sources + num_tasks + 1 threads;
+/// the caller should not run concurrent trials (the whole point is
+/// hardware truth on an unshared machine).
+RtResult RunRtPipeline(const RtPipelineConfig& config);
+
+}  // namespace sdps::rt
+
+#endif  // SDPS_RT_PIPELINE_H_

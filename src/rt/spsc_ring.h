@@ -1,0 +1,153 @@
+// Bounded single-producer/single-consumer ring buffer: the realtime
+// backend's transport between operator stages, replacing the DES
+// DriverQueue/Channel hops with a lock-free queue whose *fullness* is the
+// backpressure signal — a producer pushing into a full ring blocks (spins,
+// then yields, then naps), which is exactly how a saturated downstream
+// operator slows an upstream one on real hardware.
+//
+// Classic cached-index design (see Rigtorp's SPSCQueue): head_ and tail_
+// live on separate cache lines, and each side keeps a *cached* copy of the
+// other side's index so the common case touches no shared line at all.
+// Capacity is rounded up to a power of two; one slot is sacrificed to
+// distinguish full from empty.
+#ifndef SDPS_RT_SPSC_RING_H_
+#define SDPS_RT_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sdps::rt {
+
+#ifdef __cpp_lib_hardware_interference_size
+inline constexpr size_t kCacheLine = std::hardware_destructive_interference_size;
+#else
+inline constexpr size_t kCacheLine = 64;
+#endif
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is the number of elements the ring can hold; internally
+  /// rounded up to a power of two (plus the sacrificial slot).
+  explicit SpscRing(size_t capacity) {
+    SDPS_CHECK_GT(capacity, size_t{0});
+    size_t cap = 1;
+    while (cap < capacity + 1) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer. Returns false when the ring is full (value untouched —
+  /// the move happens only on success).
+  bool TryPush(const T& value) { return PushSlot(value); }
+  bool TryPush(T&& value) { return PushSlot(std::move(value)); }
+
+  /// Producer. Blocks until the value is in the ring — this wait *is* the
+  /// realtime backpressure: a full downstream ring stalls the producer
+  /// thread. Spins briefly, then yields, then naps in 50µs steps so a
+  /// long-stalled producer doesn't burn a core.
+  void Push(T value) {
+    int spins = 0;
+    while (!TryPush(std::move(value))) {
+      ++spins;
+      if (spins < 64) {
+        // busy-spin: the consumer is usually a few hundred ns away
+      } else if (spins < 128) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  }
+
+  /// Consumer. Returns nullopt when the ring is currently empty (which
+  /// does NOT mean the stream ended — check closed()).
+  std::optional<T> TryPop() {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return std::nullopt;
+    }
+    std::optional<T> value(std::move(slots_[head]));
+    head_.store((head + 1) & mask_, std::memory_order_release);
+    return value;
+  }
+
+  /// Consumer. Blocks until an element arrives or the producer closed the
+  /// ring AND the ring drained. The close-then-drain order means every
+  /// element pushed before Close() is delivered — shutdown never drops
+  /// in-flight records (the identity tests depend on this).
+  std::optional<T> Pop() {
+    int spins = 0;
+    for (;;) {
+      std::optional<T> value = TryPop();
+      if (value.has_value()) return value;
+      // Empty: re-check after observing closed so a Close() racing with
+      // the last Push is handled — acquire on closed_ pairs with the
+      // producer's release, making its final tail_ store visible.
+      if (closed_.load(std::memory_order_acquire)) {
+        value = TryPop();
+        return value;  // nullopt = closed and drained
+      }
+      ++spins;
+      if (spins < 64) {
+      } else if (spins < 128) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  }
+
+  /// Producer, after its last Push: marks the stream complete. Consumers
+  /// drain remaining elements, then Pop() returns nullopt.
+  void Close() { closed_.store(true, std::memory_order_release); }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Approximate occupancy (either side may race it forward); for tests
+  /// and diagnostics only.
+  size_t SizeApprox() const {
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    const size_t head = head_.load(std::memory_order_acquire);
+    return (tail - head) & mask_;
+  }
+
+  size_t capacity() const { return mask_; }
+
+ private:
+  template <typename U>
+  bool PushSlot(U&& value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t next = (tail + 1) & mask_;
+    if (next == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (next == head_cache_) return false;
+    }
+    slots_[tail] = std::forward<U>(value);
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<size_t> head_{0};  // next slot to pop
+  alignas(kCacheLine) size_t tail_cache_ = 0;        // consumer's view of tail_
+  alignas(kCacheLine) std::atomic<size_t> tail_{0};  // next slot to push
+  alignas(kCacheLine) size_t head_cache_ = 0;        // producer's view of head_
+  alignas(kCacheLine) std::atomic<bool> closed_{false};
+};
+
+}  // namespace sdps::rt
+
+#endif  // SDPS_RT_SPSC_RING_H_

@@ -1,0 +1,38 @@
+#include "workloads/realtime.h"
+
+namespace sdps::workloads {
+
+rt::RtPipelineConfig::Model RealtimeModel(Engine engine) {
+  switch (engine) {
+    case Engine::kFlink:
+      return rt::RtPipelineConfig::Model::kFlink;
+    case Engine::kStorm:
+      return rt::RtPipelineConfig::Model::kStorm;
+    case Engine::kSpark:
+      return rt::RtPipelineConfig::Model::kSpark;
+  }
+  return rt::RtPipelineConfig::Model::kFlink;
+}
+
+rt::RtPipelineConfig MakeRealtime(Engine engine, engine::QueryKind query_kind,
+                                  int workers, double total_rate,
+                                  SimTime duration, uint64_t seed) {
+  rt::RtPipelineConfig config;
+  config.model = RealtimeModel(engine);
+  config.query.kind = query_kind;
+  config.generator = query_kind == engine::QueryKind::kAggregation
+                         ? AggregationGenerator()
+                         : JoinGenerator();
+  config.total_rate = total_rate;
+  // Paper cluster: as many driver nodes as workers; the seed-fork order is
+  // per driver, so matching the count is what makes the streams identical.
+  config.num_sources = workers;
+  config.seed = seed;
+  config.duration = duration;
+  // The Spark model's bucket width is the engine's calibrated mini-batch
+  // interval (the paper's 4 s).
+  config.batch_interval = CalibratedSpark(config.query).batch_interval;
+  return config;
+}
+
+}  // namespace sdps::workloads

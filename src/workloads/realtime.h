@@ -1,0 +1,30 @@
+// Bridges the paper's workload presets onto the realtime backend: builds
+// the rt::RtPipelineConfig that corresponds to a DES experiment of the
+// same engine/query/seed (same generator preset, same source count as the
+// paper cluster's drivers, same Spark micro-batch interval), so benches
+// and identity tests configure both backends from one place.
+#ifndef SDPS_WORKLOADS_REALTIME_H_
+#define SDPS_WORKLOADS_REALTIME_H_
+
+#include "engine/query.h"
+#include "rt/pipeline.h"
+#include "workloads/workloads.h"
+
+namespace sdps::workloads {
+
+/// The realtime twin of MakeExperiment(query, workers, rate, duration):
+/// same record streams (seed-fork order per driver), same windows, same
+/// engine task model. num_sources is fixed to the paper cluster's driver
+/// count (= workers) so the per-source schedules match the DES drivers;
+/// num_tasks defaults to 4 host threads (free to change — the output
+/// multiset is partition-count independent).
+rt::RtPipelineConfig MakeRealtime(Engine engine, engine::QueryKind query_kind,
+                                  int workers, double total_rate,
+                                  SimTime duration, uint64_t seed = 42);
+
+/// Maps the workloads engine id onto the rt task model.
+rt::RtPipelineConfig::Model RealtimeModel(Engine engine);
+
+}  // namespace sdps::workloads
+
+#endif  // SDPS_WORKLOADS_REALTIME_H_

@@ -1,0 +1,69 @@
+#include "rt/clock.h"
+
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace sdps::rt {
+namespace {
+
+TEST(RtClockTest, StartsNearZeroAndAdvancesMonotonically) {
+  Clock clock;
+  clock.Start();
+  const SimTime t0 = clock.now();
+  EXPECT_GE(t0, 0);
+  EXPECT_LT(t0, Millis(100));  // fresh epoch
+  SimTime prev = t0;
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = clock.now();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(RtClockTest, NowTracksWallTime) {
+  Clock clock;
+  clock.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const SimTime t = clock.now();
+  // Sleeps can oversleep but never undersleep.
+  EXPECT_GE(t, Millis(30));
+  EXPECT_LT(t, Seconds(5));  // sanity: not wildly off
+}
+
+TEST(RtClockTest, SleepUntilReachesTargetExactly) {
+  Clock clock;
+  clock.Start();
+  const SimTime target = clock.now() + Millis(20);
+  clock.SleepUntil(target);
+  // The spin tail guarantees we never wake early.
+  EXPECT_GE(clock.now(), target);
+}
+
+TEST(RtClockTest, SleepUntilPastTargetReturnsImmediately) {
+  Clock clock;
+  clock.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const SimTime before = clock.now();
+  clock.SleepUntil(0);  // already behind schedule
+  EXPECT_LT(clock.now() - before, Millis(50));
+}
+
+TEST(RtClockTest, RestartResetsEpoch) {
+  Clock clock;
+  clock.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(clock.now(), Millis(20));
+  clock.Start();
+  EXPECT_LT(clock.now(), Millis(20));
+}
+
+TEST(RtClockTest, IsATimeSource) {
+  Clock clock;
+  clock.Start();
+  const des::TimeSource& source = clock;
+  EXPECT_GE(source.now(), 0);
+}
+
+}  // namespace
+}  // namespace sdps::rt

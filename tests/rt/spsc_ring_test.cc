@@ -1,0 +1,147 @@
+#include "rt/spsc_ring.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace sdps::rt {
+namespace {
+
+TEST(SpscRingTest, SingleThreadedFifo) {
+  SpscRing<int> ring(4);
+  EXPECT_FALSE(ring.TryPop().has_value());
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  EXPECT_TRUE(ring.TryPush(3));
+  EXPECT_EQ(ring.TryPop().value(), 1);
+  EXPECT_EQ(ring.TryPop().value(), 2);
+  EXPECT_EQ(ring.TryPop().value(), 3);
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(SpscRingTest, CapacityRoundsUpAndFullRingRejectsPush) {
+  SpscRing<int> ring(3);  // rounds up to a power of two >= 4
+  EXPECT_GE(ring.capacity(), 3u);
+  size_t pushed = 0;
+  while (ring.TryPush(static_cast<int>(pushed))) ++pushed;
+  EXPECT_EQ(pushed, ring.capacity());
+  EXPECT_FALSE(ring.TryPush(999));
+  // Draining one slot makes exactly one push possible again.
+  EXPECT_EQ(ring.TryPop().value(), 0);
+  EXPECT_TRUE(ring.TryPush(1000));
+  EXPECT_FALSE(ring.TryPush(1001));
+}
+
+TEST(SpscRingTest, WraparoundPreservesFifoAcrossManyLaps) {
+  SpscRing<uint64_t> ring(8);
+  uint64_t next_push = 0, next_pop = 0;
+  // Push/pop in unequal runs so head and tail wrap the (small) ring many
+  // times at varying offsets.
+  for (int round = 0; round < 1000; ++round) {
+    const int burst = 1 + round % 5;
+    for (int i = 0; i < burst; ++i) {
+      if (ring.TryPush(next_push)) ++next_push;
+    }
+    const int drain = 1 + (round * 3) % 5;
+    for (int i = 0; i < drain; ++i) {
+      auto v = ring.TryPop();
+      if (!v.has_value()) break;
+      EXPECT_EQ(*v, next_pop);
+      ++next_pop;
+    }
+  }
+  while (auto v = ring.TryPop()) {
+    EXPECT_EQ(*v, next_pop);
+    ++next_pop;
+  }
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(SpscRingTest, BlockingPushWaitsForConsumer) {
+  SpscRing<int> ring(2);
+  // Fill the ring, then start a producer that must block in Push until
+  // the consumer drains a slot — the realtime pipeline's backpressure.
+  while (ring.TryPush(0)) {
+  }
+  std::atomic<bool> push_returned{false};
+  std::thread producer([&] {
+    ring.Push(42);
+    push_returned.store(true);
+  });
+  // The producer cannot complete while the ring stays full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(push_returned.load());
+  // Draining one slot unblocks it.
+  EXPECT_TRUE(ring.TryPop().has_value());
+  producer.join();
+  EXPECT_TRUE(push_returned.load());
+}
+
+TEST(SpscRingTest, PopBlocksUntilPushArrives) {
+  SpscRing<int> ring(4);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ring.Push(7);
+  });
+  // Pop must block (not return nullopt) on an open, empty ring.
+  auto v = ring.Pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+  producer.join();
+}
+
+TEST(SpscRingTest, ShutdownDrainsBufferedItemsThenReportsClosed) {
+  SpscRing<int> ring(8);
+  ring.Push(1);
+  ring.Push(2);
+  ring.Close();
+  EXPECT_TRUE(ring.closed());
+  // Close-then-drain: buffered items survive the close...
+  EXPECT_EQ(ring.Pop().value(), 1);
+  EXPECT_EQ(ring.Pop().value(), 2);
+  // ...and only then does Pop report end-of-stream.
+  EXPECT_FALSE(ring.Pop().has_value());
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(SpscRingTest, ConsumerBlockedInPopWakesOnClose) {
+  SpscRing<int> ring(4);
+  std::thread consumer([&] {
+    EXPECT_FALSE(ring.Pop().has_value());  // wakes with end-of-stream
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ring.Close();
+  consumer.join();
+}
+
+TEST(SpscRingTest, TwoThreadStressKeepsSequenceExact) {
+  constexpr uint64_t kItems = 200'000;
+  SpscRing<uint64_t> ring(64);
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kItems; ++i) ring.Push(i);
+    ring.Close();
+  });
+  uint64_t expect = 0;
+  while (auto v = ring.Pop()) {
+    ASSERT_EQ(*v, expect);
+    ++expect;
+  }
+  producer.join();
+  EXPECT_EQ(expect, kItems);
+}
+
+TEST(SpscRingTest, MoveOnlyPayloadsMoveThrough) {
+  SpscRing<std::vector<int>> ring(4);
+  std::vector<int> payload = {1, 2, 3};
+  ring.Push(std::move(payload));
+  auto out = ring.Pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->size(), 3u);
+  EXPECT_EQ((*out)[2], 3);
+}
+
+}  // namespace
+}  // namespace sdps::rt
