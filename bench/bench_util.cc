@@ -16,6 +16,7 @@
 #include "common/strings.h"
 #include "engine/batch.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/lineage.h"
 #include "obs/log_bridge.h"
 #include "obs/metrics.h"
@@ -49,6 +50,10 @@ int g_batch = 1;
 
 /// Realtime backend requested via --realtime.
 bool g_realtime = false;
+
+/// Realtime observability: --rt-trace=FILE / --rt-profile.
+bool g_rt_trace = false;
+bool g_rt_profile = false;
 
 /// True when the user passed --jobs=N explicitly (as opposed to the
 /// default); --realtime needs to know to print the override diagnostic.
@@ -85,6 +90,15 @@ TelemetryScope::TelemetryScope(int& argc, char** argv) {
       g_realtime = true;
       continue;
     }
+    if (ConsumeFlag(argv[i], "--rt-trace=", &rt_trace_path_)) {
+      g_rt_trace = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--rt-profile") == 0) {
+      g_rt_profile = true;
+      continue;
+    }
+    if (ConsumeFlag(argv[i], "--flight-dump=", &flight_dump_path_)) continue;
     std::string batch_value;
     if (ConsumeFlag(argv[i], "--batch=", &batch_value)) {
       g_batch = std::max(1, std::atoi(batch_value.c_str()));
@@ -115,6 +129,18 @@ TelemetryScope::TelemetryScope(int& argc, char** argv) {
   }
   if (!trace_path_.empty()) obs::Tracer::Default().set_enabled(true);
   if (!lineage_csv_path_.empty()) obs::LineageTracker::Default().set_enabled(true);
+  // --rt-trace: the main thread's tracer receives every worker's merged
+  // spans at pipeline join; enabling it here makes ClockGuard reset the
+  // ring per run, so the dump shows the last pipeline executed.
+  if (!rt_trace_path_.empty()) obs::Tracer::Default().set_enabled(true);
+  // --rt-profile mirrors sampler readings into the registry gauges;
+  // enable the registry so they are live even without --metrics=.
+  if (g_rt_profile) obs::Registry::Default().set_enabled(true);
+  if (!flight_dump_path_.empty()) {
+    obs::FlightRecorder::set_enabled(true);
+    obs::FlightRecorder::SetDumpPath(flight_dump_path_);
+    obs::FlightRecorder::InstallCrashHandler();
+  }
 }
 
 TelemetryScope::~TelemetryScope() { (void)Flush(); }
@@ -143,6 +169,17 @@ Status TelemetryScope::Flush() {
     dump("lineage csv", lineage_csv_path_,
          obs::WriteLineageCsv(lineage_csv_path_, obs::LineageTracker::Default()));
   }
+  if (!rt_trace_path_.empty()) {
+    dump("rt trace", rt_trace_path_,
+         obs::WriteChromeTrace(rt_trace_path_, obs::Tracer::Default()));
+  }
+  if (!flight_dump_path_.empty()) {
+    // Unconditional end-of-run dump: the artifact exists even when no
+    // watchdog or fault tripped (a triggered dump earlier in the run was
+    // a snapshot of the same rings; this one supersedes it).
+    dump("flight dump", flight_dump_path_,
+         obs::FlightRecorder::DumpTo(flight_dump_path_, "end of run"));
+  }
   return first;
 }
 
@@ -162,6 +199,10 @@ int Jobs() { return g_jobs; }
 int BatchSize() { return g_batch; }
 
 bool Realtime() { return g_realtime; }
+
+bool RtTrace() { return g_rt_trace; }
+
+bool RtProfile() { return g_rt_profile; }
 
 void ParseFlagsOrExit(const FlagParser& parser, int argc, char** argv) {
   const Status status = parser.Parse(argc, argv);

@@ -29,6 +29,14 @@ namespace sdps::bench {
 /// Deep telemetry is thread-local: run with `--jobs=1` (the default) when
 /// capturing traces or lineage, so the instrumented trial executes on the
 /// main thread the exporters read from.
+/// Realtime observability flags (also consumed): `--rt-trace=FILE` writes
+/// a wall-clock Chrome trace of the last realtime pipeline run (real
+/// pid/tid lanes, loadable in Perfetto), `--rt-profile` runs the sampling
+/// profiler inside every realtime pipeline (stall/compute/idle breakdown
+/// per stage), and `--flight-dump=FILE` arms the flight recorder: crash
+/// handlers are installed, watchdog/chaos trips dump to FILE, and an
+/// end-of-run dump is always written so the artifact exists even on a
+/// clean exit.
 class TelemetryScope {
  public:
   TelemetryScope(int& argc, char** argv);
@@ -46,6 +54,8 @@ class TelemetryScope {
   std::string metrics_path_;
   std::string metrics_csv_path_;
   std::string lineage_csv_path_;
+  std::string rt_trace_path_;
+  std::string flight_dump_path_;
   bool flushed_ = false;
 };
 
@@ -82,6 +92,15 @@ int BatchSize();
 /// forces `--jobs=1` with a diagnostic rather than letting trial-level
 /// parallelism oversubscribe the cores being measured.
 bool Realtime();
+
+/// True when `--rt-trace=FILE` was given: realtime pipelines record
+/// wall-clock spans on every worker, merged (with OS tids) into the main
+/// thread's tracer and written to FILE at Flush().
+bool RtTrace();
+
+/// True when `--rt-profile` was given: realtime pipelines run the
+/// sampling profiler and benches report the stall/compute/idle breakdown.
+bool RtProfile();
 
 /// Runs independent measurement closures Jobs()-wide, returning results
 /// in submission order (so row/CSV order never depends on scheduling).

@@ -156,10 +156,15 @@ double PipelineRecordsPerSec(int batch) {
 // executed on the rt backend — real threads, SPSC rings, wall-clock time —
 // unpaced (sources emit as fast as the rings accept), so the number is the
 // host's measured pipeline capacity rather than a model prediction.
-double RtPipelineRecordsPerSec() {
+// Measured twice: with the sampling profiler on (the committed floor — the
+// observability plane must not cost throughput) and off; their ratio is
+// the profiler's overhead, gated as rt_profiler_overhead.
+double RtPipelineRecordsPerSec(bool profile) {
   rt::RtPipelineConfig config = MakeRealtime(
       Engine::kFlink, engine::QueryKind::kAggregation, 2, 2.5e6, Seconds(10));
   config.batch = kPipelineBatch;
+  config.profile = profile;
+  config.trace = bench::RtTrace();
   return BestOf([&] {
     const rt::RtResult r = rt::RunRtPipeline(config);
     if (r.output_records == 0) {
@@ -167,6 +172,32 @@ double RtPipelineRecordsPerSec() {
     }
     return r.records_per_s;
   });
+}
+
+// Per-stage stall/compute/idle table from a profiled run (the sampler's
+// CPU/occupancy snapshots + the stages' own block/wait tallies).
+void PrintStageBreakdown(const rt::Profiler::Report& report) {
+  if (report.stages.empty()) return;
+  printf("    %-12s %8s %9s %8s %8s %8s %12s\n", "stage", "wall_s", "compute_s",
+         "stall_s", "wait_s", "idle_s", "records");
+  for (const auto& s : report.stages) {
+    printf("    %-12s %8.2f %9.2f %8.2f %8.2f %8.2f %12llu\n", s.name.c_str(),
+           s.wall_s, s.compute_s, s.stall_s, s.wait_s, s.idle_s,
+           static_cast<unsigned long long>(s.records));
+  }
+  double max_mean = 0;
+  std::string busiest;
+  for (const auto& r : report.rings) {
+    if (r.mean_occupancy >= max_mean) {
+      max_mean = r.mean_occupancy;
+      busiest = r.name;
+    }
+  }
+  if (!busiest.empty()) {
+    printf("    busiest ring %s: mean occupancy %.1f (%d samples over %.1f s)\n",
+           busiest.c_str(), max_mean, static_cast<int>(report.samples),
+           report.duration_s);
+  }
 }
 
 // One engine's --realtime smoke: an unpaced run for measured throughput
@@ -185,7 +216,15 @@ RtSmoke RunRtSmoke(Engine engine, double paced_rate, SimTime duration,
   rt::RtPipelineConfig config = MakeRealtime(
       engine, engine::QueryKind::kAggregation, 2, 2.5e6, duration);
   config.batch = std::max(1, bench::BatchSize());
+  // The unpaced (capacity) run carries the observability plane: profiler
+  // always (the stall/compute/idle breakdown is part of the smoke's
+  // output), wall-clock tracing when --rt-trace was given.
+  config.profile = true;
+  config.trace = bench::RtTrace();
   smoke.unpaced = rt::RunRtPipeline(config);
+  // The paced (latency) run stays unprofiled unless asked: percentiles
+  // shouldn't carry even the sampler's noise by default.
+  config.profile = bench::RtProfile();
   config.total_rate = paced_rate;
   config.paced = true;
   smoke.paced = rt::RunRtPipeline(config);
@@ -239,7 +278,7 @@ int main(int argc, char** argv) {
   printf("== perf_kernel: DES + window-state hot-path throughput ==\n\n");
 
   double fn64 = 0, fn4k = 0, agg1k = 0, agg100k = 0, buffered = 0, join = 0;
-  double pipe_b1 = 0, pipe_bn = 0, rt_pipe = 0;
+  double pipe_b1 = 0, pipe_bn = 0, rt_pipe = 0, rt_pipe_noprof = 0;
   if (!rt_only) {
     fn64 = FnEventsPerSec(64, 4'000'000);
     printf("  fn_events_64     %8.1f M events/s\n", fn64 / 1e6);
@@ -271,9 +310,14 @@ int main(int argc, char** argv) {
     printf("  pipeline_b%-2d     %8.1f k records/s  (x%.2f vs --batch=1)\n",
            kPipelineBatch, pipe_bn / 1e3, pipe_bn / pipe_b1);
 
-    rt_pipe = RtPipelineRecordsPerSec();
-    printf("  rt_pipeline_b%-2d  %8.1f k records/s  (real threads, measured)\n",
+    rt_pipe = RtPipelineRecordsPerSec(/*profile=*/true);
+    printf("  rt_pipeline_b%-2d  %8.1f k records/s  (real threads, profiler on)\n",
            kPipelineBatch, rt_pipe / 1e3);
+    rt_pipe_noprof = RtPipelineRecordsPerSec(/*profile=*/false);
+    printf("  rt_pipeline_b%-2d  %8.1f k records/s  (profiler off; overhead "
+           "x%.3f)\n",
+           kPipelineBatch, rt_pipe_noprof / 1e3,
+           rt_pipe_noprof > 0 ? rt_pipe / rt_pipe_noprof : 0.0);
   }
 
   // --realtime: one smoke per engine model on real threads — measured
@@ -301,6 +345,7 @@ int main(int argc, char** argv) {
                s.paced.event_p50_s / s.des_p50_s);
       }
       printf("\n");
+      if (s.unpaced.profiled) PrintStageBreakdown(s.unpaced.profile);
       if (s.unpaced.late_dropped_tuples != 0 || s.paced.late_dropped_tuples != 0) {
         std::fprintf(stderr, "suspicious: rt %s dropped late tuples\n",
                      EngineName(kEngines[e]).c_str());
@@ -337,15 +382,23 @@ int main(int argc, char** argv) {
     std::fprintf(f, "    \"pipeline_b1_records_per_s\": %.0f,\n", pipe_b1);
     std::fprintf(f, "    \"pipeline_b%d_records_per_s\": %.0f,\n", kPipelineBatch,
                  pipe_bn);
-    std::fprintf(f, "    \"rt_pipeline_b%d_records_per_s\": %.0f\n",
+    std::fprintf(f, "    \"rt_pipeline_b%d_records_per_s\": %.0f,\n",
                  kPipelineBatch, rt_pipe);
+    std::fprintf(f, "    \"rt_pipeline_b%d_noprof_records_per_s\": %.0f\n",
+                 kPipelineBatch, rt_pipe_noprof);
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"ratios\": {\n");
     std::fprintf(f,
                  "    \"pipeline_batch_speedup\": {\"num\": "
                  "\"pipeline_b%d_records_per_s\", \"den\": "
-                 "\"pipeline_b1_records_per_s\", \"value\": %.3f}\n",
+                 "\"pipeline_b1_records_per_s\", \"value\": %.3f},\n",
                  kPipelineBatch, pipe_bn / pipe_b1);
+    std::fprintf(f,
+                 "    \"rt_profiler_overhead\": {\"num\": "
+                 "\"rt_pipeline_b%d_records_per_s\", \"den\": "
+                 "\"rt_pipeline_b%d_noprof_records_per_s\", \"value\": %.3f}\n",
+                 kPipelineBatch, kPipelineBatch,
+                 rt_pipe_noprof > 0 ? rt_pipe / rt_pipe_noprof : 0.0);
     std::fprintf(f, "  },\n");
   } else {
     std::fprintf(f, "  },\n");
@@ -363,13 +416,30 @@ int main(int argc, char** argv) {
           f,
           "%s\n      \"%s\": {\"records_per_s\": %.0f, \"p50_s\": %.4f, "
           "\"p95_s\": %.4f, \"p99_s\": %.4f, \"des_p50_s\": %.4f, "
-          "\"calibration_p50_ratio\": %.3f, \"late_dropped_tuples\": %llu}",
+          "\"calibration_p50_ratio\": %.3f, \"late_dropped_tuples\": %llu",
           e == 0 ? "" : ",", EngineName(kEngines[e]).c_str(),
           s.unpaced.records_per_s, s.paced.event_p50_s, s.paced.event_p95_s,
           s.paced.event_p99_s, s.des_p50_s,
           s.des_p50_s > 0 ? s.paced.event_p50_s / s.des_p50_s : 0.0,
           static_cast<unsigned long long>(s.paced.late_dropped_tuples +
                                           s.unpaced.late_dropped_tuples));
+      if (s.unpaced.profiled) {
+        const rt::Profiler::Report& report = s.unpaced.profile;
+        std::fprintf(f, ",\n        \"profiler_samples\": %lld, \"stages\": [",
+                     static_cast<long long>(report.samples));
+        for (size_t i = 0; i < report.stages.size(); ++i) {
+          const auto& st = report.stages[i];
+          std::fprintf(f,
+                       "%s\n          {\"name\": \"%s\", \"wall_s\": %.3f, "
+                       "\"compute_s\": %.3f, \"stall_s\": %.3f, \"wait_s\": "
+                       "%.3f, \"idle_s\": %.3f, \"records\": %llu}",
+                       i == 0 ? "" : ",", st.name.c_str(), st.wall_s,
+                       st.compute_s, st.stall_s, st.wait_s, st.idle_s,
+                       static_cast<unsigned long long>(st.records));
+        }
+        std::fprintf(f, "\n        ]");
+      }
+      std::fprintf(f, "}");
     }
     std::fprintf(f, "\n    }");
   }

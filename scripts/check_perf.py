@@ -46,27 +46,36 @@ def main() -> int:
     ratio_floors = baseline_doc.get("ratios", {})
 
     failures = []
+    passed = 0
     for name, floor in sorted(baseline.items()):
         if name not in measured:
-            failures.append(f"{name}: missing from measured output")
+            failures.append(f"{name}: expected >= {floor:,.0f}, "
+                            f"missing from measured output")
+            print(f"  FAIL {name}: missing from measured output")
             continue
         got = measured[name]
         tolerance = args.rt_tolerance if name.startswith("rt_") else args.tolerance
+        minimum = floor * (1.0 - tolerance)
         ratio = got / floor if floor else float("inf")
-        status = "OK " if ratio >= 1.0 - tolerance else "FAIL"
+        status = "OK " if got >= minimum else "FAIL"
         print(f"  {status} {name}: {got:,.0f} vs floor {floor:,.0f} "
-              f"(x{ratio:.2f})")
+              f"(x{ratio:.2f}, min {minimum:,.0f})")
         if status == "FAIL":
             failures.append(
-                f"{name}: {got:,.0f} is more than "
-                f"{tolerance:.0%} below the baseline {floor:,.0f}")
-    for name in sorted(set(measured) - set(baseline)):
+                f"{name}: expected >= {minimum:,.0f} "
+                f"(floor {floor:,.0f} - {tolerance:.0%}), got {got:,.0f}")
+        else:
+            passed += 1
+    new_metrics = sorted(set(measured) - set(baseline))
+    for name in new_metrics:
         print(f"  WARN {name}: not in baseline (new metric?)")
 
     for name, spec in sorted(ratio_floors.items()):
         num, den = spec["num"], spec["den"]
         if num not in measured or den not in measured:
-            failures.append(f"{name}: metrics {num}/{den} missing from measured output")
+            failures.append(f"{name}: expected ratio >= x{spec['min']:.2f}, "
+                            f"but metrics {num}/{den} missing from measured output")
+            print(f"  FAIL {name}: {num}/{den} missing from measured output")
             continue
         ratio = measured[num] / measured[den] if measured[den] else float("inf")
         status = "OK " if ratio >= spec["min"] else "FAIL"
@@ -74,15 +83,23 @@ def main() -> int:
               f"(floor x{spec['min']:.2f})")
         if status == "FAIL":
             failures.append(
-                f"{name}: measured ratio x{ratio:.2f} is below the "
-                f"floor x{spec['min']:.2f}")
+                f"{name}: expected {num}/{den} >= x{spec['min']:.2f}, "
+                f"got x{ratio:.2f}")
+        else:
+            passed += 1
 
+    # One summary line either way, then every failure with its
+    # expected-vs-actual — a red CI log should not require scrolling back
+    # through the per-metric table to see what regressed.
+    total = len(baseline) + len(ratio_floors)
+    summary = (f"perf gate: {passed}/{total} floors OK, "
+               f"{len(failures)} failed, {len(new_metrics)} unbaselined")
     if failures:
-        print(f"\n{len(failures)} perf regression(s):", file=sys.stderr)
+        print(f"\n{summary}", file=sys.stderr)
         for msg in failures:
-            print(f"  {msg}", file=sys.stderr)
+            print(f"  FAIL {msg}", file=sys.stderr)
         return 1
-    print("\nperf gate passed")
+    print(f"\n{summary}")
     return 0
 
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/flight_recorder.h"
 
 namespace sdps::chaos {
 
@@ -52,6 +53,13 @@ void FaultInjector::InjectCrash(cluster::Node& node, const FaultEvent& ev) {
   sim_.ScheduleAt(ev.at, [this, n, restart_delay] {
     SDPS_LOG(Info) << n->name() << ": CRASH at t=" << ToSeconds(sim_.now())
                    << "s, restart in " << ToSeconds(restart_delay) << "s";
+    // Snapshot the pre-crash state for the post-mortem: the fault itself
+    // is the moment the flight recorder exists for.
+    obs::FlightRecorder::Note("chaos.crash", sim_.now(), restart_delay);
+    const Status dumped = obs::FlightRecorder::Dump("chaos: node crash injected");
+    if (!dumped.ok()) {
+      SDPS_LOG(Warning) << "flight-recorder dump failed: " << dumped.ToString();
+    }
     n->Crash();
     // The machine does no work while down: every slot is seized for the
     // whole downtime (grabbed as soon as its current burst finishes).
@@ -70,6 +78,7 @@ void FaultInjector::InjectStraggle(cluster::Node& node, const FaultEvent& ev) {
       std::lround((1.0 - ev.factor) * n->config().cpu_slots));
   const SimTime duration = ev.duration;
   sim_.ScheduleAt(ev.at, [n, seize, duration] {
+    obs::FlightRecorder::Note("chaos.straggle", seize, duration);
     n->OccupySlots(seize, duration);
   });
 }
@@ -78,14 +87,20 @@ void FaultInjector::InjectGcStorm(cluster::Node& node, const FaultEvent& ev) {
   cluster::Node* n = &node;
   const SimTime pause = ev.pause;
   for (SimTime t = ev.at; t < ev.at + ev.duration; t += ev.every) {
-    sim_.ScheduleAt(t, [n, pause] { n->StopTheWorld(pause); });
+    sim_.ScheduleAt(t, [n, pause] {
+      obs::FlightRecorder::Note("chaos.gc_storm", pause);
+      n->StopTheWorld(pause);
+    });
   }
 }
 
 void FaultInjector::InjectDegrade(cluster::Node& node, const FaultEvent& ev) {
   cluster::Node* n = &node;
   const double factor = ev.factor;
-  sim_.ScheduleAt(ev.at, [this, n, factor] { cluster_.ScaleNodeNicRate(*n, factor); });
+  sim_.ScheduleAt(ev.at, [this, n, factor] {
+    obs::FlightRecorder::Note("chaos.degrade", static_cast<int64_t>(factor * 100));
+    cluster_.ScaleNodeNicRate(*n, factor);
+  });
   sim_.ScheduleAt(ev.at + ev.duration,
                   [this, n] { cluster_.ScaleNodeNicRate(*n, 1.0); });
 }

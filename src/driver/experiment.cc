@@ -7,6 +7,7 @@
 #include "common/strings.h"
 #include "des/task.h"
 #include "engine/batch.h"
+#include "obs/flight_recorder.h"
 #include "obs/lineage.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -70,6 +71,16 @@ des::Task<> Watchdog(des::Simulator& sim, const LatencySink* sink, SimTime timeo
     // window legitimately takes ~window.range to fire.
     if (last_outputs == 0) continue;
     if (now - last_progress >= timeout) {
+      // Post-mortem before the failure propagates: the last thing every
+      // thread did, to the configured flight-dump path.
+      obs::FlightRecorder::Note("driver.watchdog",
+                                static_cast<int64_t>(last_outputs),
+                                now - last_progress);
+      const Status dumped =
+          obs::FlightRecorder::Dump("watchdog: sink made no progress");
+      if (!dumped.ok()) {
+        SDPS_LOG(Warning) << "flight-recorder dump failed: " << dumped.ToString();
+      }
       report_failure(Status::DeadlineExceeded(
           StrFormat("watchdog: no sink output for %.1fs", ToSeconds(now - last_progress))));
       co_return;

@@ -1,5 +1,7 @@
 #include "obs/export.h"
 
+#include <unistd.h>
+
 #include <cinttypes>
 #include <fstream>
 #include <map>
@@ -77,18 +79,32 @@ std::string LabelsCsvField(const LabelSet& labels) {
 }  // namespace
 
 std::string ChromeTraceJson(const Tracer& tracer) {
-  const auto tracks = tracer.Tracks();
+  const auto& tracks = tracer.TrackInfos();
   // pid per unique process name (first-appearance order); tid unique
-  // within its pid, assigned in track order.
+  // within its pid, assigned in track order. Tracks recorded by real
+  // threads (os_tid >= 0, the rt workers) instead use the actual process
+  // id and kernel tid, so the exported lanes match what external tools
+  // (perf, /proc, Perfetto's process view) observed. Purely simulated
+  // traces keep the synthetic numbering byte-for-byte.
   std::map<std::string, int> pid_of;
-  std::vector<int> pids, tids;
+  std::vector<int64_t> pids, tids;
   std::map<std::string, int> next_tid;
+  std::map<std::string, int64_t> real_pid_of;  // processes with real threads
+  const int64_t self_pid = static_cast<int64_t>(::getpid());
   pids.reserve(tracks.size());
   tids.reserve(tracks.size());
-  for (const auto& [process, thread] : tracks) {
-    const auto it = pid_of.emplace(process, static_cast<int>(pid_of.size())).first;
-    pids.push_back(it->second);
-    tids.push_back(next_tid[process]++);
+  for (const auto& info : tracks) {
+    const auto it =
+        pid_of.emplace(info.process, static_cast<int>(pid_of.size())).first;
+    const int synthetic_tid = next_tid[info.process]++;
+    if (info.os_tid >= 0) {
+      real_pid_of[info.process] = self_pid;
+      pids.push_back(self_pid);
+      tids.push_back(info.os_tid);
+    } else {
+      pids.push_back(it->second);
+      tids.push_back(synthetic_tid);
+    }
   }
 
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -102,14 +118,19 @@ std::string ChromeTraceJson(const Tracer& tracer) {
 
   // Metadata: process and thread names.
   for (const auto& [process, pid] : pid_of) {
-    emit(StrFormat("{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_name\","
+    const auto real = real_pid_of.find(process);
+    const int64_t out_pid =
+        real != real_pid_of.end() ? real->second : static_cast<int64_t>(pid);
+    emit(StrFormat("{\"ph\":\"M\",\"pid\":%" PRId64
+                   ",\"tid\":0,\"name\":\"process_name\","
                    "\"args\":{\"name\":\"%s\"}}",
-                   pid, JsonEscape(process).c_str()));
+                   out_pid, JsonEscape(process).c_str()));
   }
   for (size_t i = 0; i < tracks.size(); ++i) {
-    emit(StrFormat("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\","
+    emit(StrFormat("{\"ph\":\"M\",\"pid\":%" PRId64 ",\"tid\":%" PRId64
+                   ",\"name\":\"thread_name\","
                    "\"args\":{\"name\":\"%s\"}}",
-                   pids[i], tids[i], JsonEscape(tracks[i].second).c_str()));
+                   pids[i], tids[i], JsonEscape(tracks[i].thread).c_str()));
   }
 
   for (const SpanRecord& rec : tracer.Snapshot()) {
@@ -123,13 +144,13 @@ std::string ChromeTraceJson(const Tracer& tracer) {
                         Num(rec.arg_val[a]).c_str());
     }
     if (rec.instant) {
-      emit(StrFormat("{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%" PRId64
-                     ",\"s\":\"t\",\"name\":\"%s\"%s}",
+      emit(StrFormat("{\"ph\":\"i\",\"pid\":%" PRId64 ",\"tid\":%" PRId64
+                     ",\"ts\":%" PRId64 ",\"s\":\"t\",\"name\":\"%s\"%s}",
                      pids[t], tids[t], rec.begin, JsonEscape(rec.name).c_str(),
                      args.empty() ? "" : (",\"args\":{" + args + "}").c_str()));
     } else {
-      emit(StrFormat("{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%" PRId64
-                     ",\"dur\":%" PRId64 ",\"name\":\"%s\"%s}",
+      emit(StrFormat("{\"ph\":\"X\",\"pid\":%" PRId64 ",\"tid\":%" PRId64
+                     ",\"ts\":%" PRId64 ",\"dur\":%" PRId64 ",\"name\":\"%s\"%s}",
                      pids[t], tids[t], rec.begin, rec.end - rec.begin,
                      JsonEscape(rec.name).c_str(),
                      args.empty() ? "" : (",\"args\":{" + args + "}").c_str()));

@@ -1,0 +1,314 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#ifdef __linux__
+#include <sys/syscall.h>
+#endif
+
+namespace sdps::obs {
+
+namespace {
+
+int64_t OsTid() {
+#ifdef __linux__
+  return static_cast<int64_t>(::syscall(SYS_gettid));
+#else
+  return -1;
+#endif
+}
+
+int64_t MonotonicUs() {
+  timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000 +
+         static_cast<int64_t>(ts.tv_nsec) / 1'000;
+}
+
+/// Process-wide epoch: the first event ever noted defines t=0, so
+/// per-thread timestamps are mutually comparable.
+std::atomic<int64_t> g_epoch{-1};
+
+int64_t NowUs() {
+  const int64_t now = MonotonicUs();
+  int64_t epoch = g_epoch.load(std::memory_order_relaxed);
+  if (epoch < 0) {
+    int64_t expected = -1;
+    g_epoch.compare_exchange_strong(expected, now, std::memory_order_relaxed);
+    epoch = g_epoch.load(std::memory_order_relaxed);
+  }
+  return now - epoch;
+}
+
+/// One recorded event. Fields are individually atomic (relaxed) so a
+/// concurrent dump tears at most across fields, never inside one — the
+/// dump stays well-formed and TSan stays quiet.
+struct AtomicEvent {
+  std::atomic<int64_t> t{0};
+  std::atomic<const char*> what{nullptr};
+  std::atomic<int64_t> a{0};
+  std::atomic<int64_t> b{0};
+};
+
+struct ThreadRing {
+  /// Leaked heap copy of the thread name; atomic so AnnotateThread racing
+  /// a dump is clean. Null until annotated.
+  std::atomic<const char*> name{nullptr};
+  int64_t tid = -1;
+  std::atomic<uint64_t> next{0};  // total events ever noted; write at next % N
+  AtomicEvent events[FlightRecorder::kRingEvents];
+  ThreadRing* next_ring = nullptr;  // intrusive registry list, set pre-publish
+};
+
+std::atomic<bool> g_enabled{false};
+/// Registry: lock-free LIFO list of every thread ring ever created.
+/// Rings are never freed — a dead thread's final events are exactly what
+/// a post-mortem wants, and the signal handler can walk the list without
+/// locks.
+std::atomic<ThreadRing*> g_rings{nullptr};
+thread_local ThreadRing* tls_ring = nullptr;
+
+/// Triggered-dump path; written under g_path_mu, read lock-free (length
+/// published with release so the handler sees complete bytes).
+std::mutex g_path_mu;
+char g_path[512] = {0};
+std::atomic<size_t> g_path_len{0};
+
+ThreadRing* RingForThisThread() {
+  if (tls_ring != nullptr) return tls_ring;
+  auto* ring = new ThreadRing();  // leaked: registered for process lifetime
+  ring->tid = OsTid();
+  ThreadRing* head = g_rings.load(std::memory_order_relaxed);
+  do {
+    ring->next_ring = head;
+  } while (!g_rings.compare_exchange_weak(head, ring, std::memory_order_release,
+                                          std::memory_order_relaxed));
+  tls_ring = ring;
+  return ring;
+}
+
+/// write(2)-only formatter: no allocation, no stdio, usable from the
+/// fatal-signal handler.
+class RawWriter {
+ public:
+  explicit RawWriter(int fd) : fd_(fd) {}
+  ~RawWriter() { Flush(); }
+
+  void Str(const char* s) {
+    if (s == nullptr) s = "?";
+    for (; *s != '\0'; ++s) Put(*s);
+  }
+  void Int(int64_t v) {
+    char digits[24];
+    int n = 0;
+    uint64_t u = v < 0 ? static_cast<uint64_t>(-(v + 1)) + 1 : static_cast<uint64_t>(v);
+    if (v < 0) Put('-');
+    do {
+      digits[n++] = static_cast<char>('0' + u % 10);
+      u /= 10;
+    } while (u != 0);
+    while (n > 0) Put(digits[--n]);
+  }
+  void Flush() {
+    size_t off = 0;
+    while (off < len_) {
+      const ssize_t w = ::write(fd_, buf_ + off, len_ - off);
+      if (w <= 0) {
+        failed_ = true;
+        break;
+      }
+      off += static_cast<size_t>(w);
+    }
+    len_ = 0;
+  }
+  bool failed() const { return failed_; }
+
+ private:
+  void Put(char c) {
+    if (len_ == sizeof(buf_)) Flush();
+    buf_[len_++] = c;
+  }
+  int fd_;
+  char buf_[4096];
+  size_t len_ = 0;
+  bool failed_ = false;
+};
+
+/// Dump body shared by the normal-context and signal paths.
+bool WriteDump(int fd, const char* reason) {
+  RawWriter w(fd);
+  int rings = 0;
+  for (ThreadRing* r = g_rings.load(std::memory_order_acquire); r != nullptr;
+       r = r->next_ring) {
+    ++rings;
+  }
+  w.Str("sdps_flight_recorder version=1 reason=\"");
+  w.Str(reason);
+  w.Str("\" t_us=");
+  w.Int(NowUs());
+  w.Str(" rings=");
+  w.Int(rings);
+  w.Str("\n");
+
+  for (ThreadRing* r = g_rings.load(std::memory_order_acquire); r != nullptr;
+       r = r->next_ring) {
+    const uint64_t next = r->next.load(std::memory_order_acquire);
+    const uint64_t retained =
+        next < FlightRecorder::kRingEvents ? next : FlightRecorder::kRingEvents;
+    const char* name = r->name.load(std::memory_order_acquire);
+    w.Str("ring name=\"");
+    if (name != nullptr) {
+      w.Str(name);
+    } else {
+      w.Str("tid-");
+      w.Int(r->tid);
+    }
+    w.Str("\" tid=");
+    w.Int(r->tid);
+    w.Str(" noted=");
+    w.Int(static_cast<int64_t>(next));
+    w.Str(" dropped=");
+    w.Int(static_cast<int64_t>(next - retained));
+    w.Str("\n");
+    for (uint64_t i = next - retained; i < next; ++i) {
+      const AtomicEvent& ev = r->events[i % FlightRecorder::kRingEvents];
+      w.Str("event t_us=");
+      w.Int(ev.t.load(std::memory_order_relaxed));
+      w.Str(" what=\"");
+      w.Str(ev.what.load(std::memory_order_relaxed));
+      w.Str("\" a=");
+      w.Int(ev.a.load(std::memory_order_relaxed));
+      w.Str(" b=");
+      w.Int(ev.b.load(std::memory_order_relaxed));
+      w.Str("\n");
+    }
+  }
+  w.Str("end\n");
+  w.Flush();
+  return !w.failed();
+}
+
+Status DumpToFd(const char* path, const char* reason) {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::Internal(std::string("flight recorder: cannot open ") + path);
+  const bool ok = WriteDump(fd, reason);
+  ::close(fd);
+  if (!ok) return Status::Internal(std::string("flight recorder: write failed: ") + path);
+  return Status::OK();
+}
+
+/// Fatal-signal path: configured path + reason derived from the signal.
+void CrashDump(int sig) {
+  const size_t len = g_path_len.load(std::memory_order_acquire);
+  if (len == 0) return;
+  const char* reason = "fatal signal";
+  switch (sig) {
+    case SIGSEGV: reason = "fatal signal SIGSEGV"; break;
+    case SIGBUS: reason = "fatal signal SIGBUS"; break;
+    case SIGILL: reason = "fatal signal SIGILL"; break;
+    case SIGFPE: reason = "fatal signal SIGFPE"; break;
+    case SIGABRT: reason = "fatal signal SIGABRT"; break;
+  }
+  const int fd = ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  WriteDump(fd, reason);
+  ::close(fd);
+}
+
+void CrashHandler(int sig) {
+  // Reentry guard: a crash inside the dump must not loop.
+  static std::atomic<bool> dumping{false};
+  bool expected = false;
+  if (dumping.compare_exchange_strong(expected, true)) {
+    if (g_enabled.load(std::memory_order_relaxed)) CrashDump(sig);
+  }
+  // SA_RESETHAND restored the default action; re-raise for it.
+  ::raise(sig);
+}
+
+}  // namespace
+
+void FlightRecorder::set_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool FlightRecorder::enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void FlightRecorder::AnnotateThread(const std::string& name) {
+  if (!enabled()) return;
+  ThreadRing* ring = RingForThisThread();
+  char* copy = new char[32];  // leaked with the ring
+  std::strncpy(copy, name.c_str(), 31);
+  copy[31] = '\0';
+  ring->name.store(copy, std::memory_order_release);
+}
+
+void FlightRecorder::Note(const char* what, int64_t a, int64_t b) {
+  if (!enabled()) return;
+  ThreadRing* ring = RingForThisThread();
+  const uint64_t i = ring->next.load(std::memory_order_relaxed);
+  AtomicEvent& ev = ring->events[i % kRingEvents];
+  ev.t.store(NowUs(), std::memory_order_relaxed);
+  ev.what.store(what, std::memory_order_relaxed);
+  ev.a.store(a, std::memory_order_relaxed);
+  ev.b.store(b, std::memory_order_relaxed);
+  ring->next.store(i + 1, std::memory_order_release);
+}
+
+void FlightRecorder::SetDumpPath(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_path_mu);
+  const size_t n = path.size() < sizeof(g_path) - 1 ? path.size() : sizeof(g_path) - 1;
+  std::memcpy(g_path, path.c_str(), n);
+  g_path[n] = '\0';
+  g_path_len.store(n, std::memory_order_release);
+}
+
+std::string FlightRecorder::dump_path() {
+  std::lock_guard<std::mutex> lock(g_path_mu);
+  return std::string(g_path, g_path_len.load(std::memory_order_relaxed));
+}
+
+Status FlightRecorder::Dump(const char* reason) {
+  if (!enabled()) return Status::OK();
+  const size_t len = g_path_len.load(std::memory_order_acquire);
+  if (len == 0) return Status::OK();
+  return DumpToFd(g_path, reason);
+}
+
+Status FlightRecorder::DumpTo(const std::string& path, const char* reason) {
+  return DumpToFd(path.c_str(), reason);
+}
+
+void FlightRecorder::InstallCrashHandler() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = CrashHandler;
+    action.sa_flags = SA_RESETHAND;
+    sigemptyset(&action.sa_mask);
+    for (const int sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT}) {
+      ::sigaction(sig, &action, nullptr);
+    }
+  });
+}
+
+uint64_t FlightRecorder::ThreadNoted() {
+  return tls_ring != nullptr ? tls_ring->next.load(std::memory_order_relaxed) : 0;
+}
+
+void FlightRecorder::ResetForTest() {
+  for (ThreadRing* r = g_rings.load(std::memory_order_acquire); r != nullptr;
+       r = r->next_ring) {
+    r->next.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace sdps::obs

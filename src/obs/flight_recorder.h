@@ -1,0 +1,84 @@
+// The flight recorder: a per-thread lock-free bounded ring of recent
+// events, dumped to a file when something goes wrong — the driver
+// watchdog declares a trial wedged, a chaos fault fires, or the process
+// takes a fatal signal. It turns "trial killed after deadline" into a
+// post-mortem artifact: the last N things every thread did, with
+// monotonic timestamps, in one parseable text file.
+//
+// Design constraints, in order:
+//   * ~free when disabled — Note() is one relaxed load and a branch;
+//   * cheap when enabled — four relaxed stores and a release store, no
+//     locks, no allocation after a thread's first Note();
+//   * dumpable from a fatal-signal handler — the registry is a lock-free
+//     intrusive list walked with acquire loads, events are relaxed
+//     atomics, and the dump path uses only write(2) with hand-rolled
+//     integer formatting (no malloc, no stdio locks);
+//   * bounded — each thread ring holds kRingEvents events and overwrites
+//     the oldest (the moments before the failure matter most).
+//
+// The dump is best-effort by construction: a thread racing its own ring
+// while the dumper reads it can tear one in-flight event (each field is
+// individually atomic, so the file stays well-formed — the event is just
+// stitched from two writes). Quiesced threads dump exactly.
+#ifndef SDPS_OBS_FLIGHT_RECORDER_H_
+#define SDPS_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace sdps::obs {
+
+class FlightRecorder {
+ public:
+  /// Events retained per thread ring (power of two).
+  static constexpr size_t kRingEvents = 1024;
+
+  /// Global gate. Disabled (the default) makes Note() a no-op branch and
+  /// Dump() return OK without writing — deterministic DES runs are
+  /// untouched unless a bench or test opts in.
+  static void set_enabled(bool enabled);
+  static bool enabled();
+
+  /// Names the calling thread's ring (truncated to 31 chars) and
+  /// registers it if this thread has never noted before. rt::Executor
+  /// calls this with the worker name; unnamed threads appear as
+  /// "tid-<n>".
+  static void AnnotateThread(const std::string& name);
+
+  /// Records one event on the calling thread's ring. `what` must be a
+  /// string literal (stored unowned, read at dump time — possibly from a
+  /// signal handler).
+  static void Note(const char* what, int64_t a = 0, int64_t b = 0);
+
+  /// Where triggered dumps (watchdog, chaos, fatal signal) are written.
+  /// Empty (the default) disables triggered dumps; DumpTo still works.
+  static void SetDumpPath(const std::string& path);
+  static std::string dump_path();
+
+  /// Writes every registered ring to the configured dump path with
+  /// `reason` in the header. No-op (OK) when the recorder is disabled or
+  /// no path is configured — trigger sites call this unconditionally.
+  static Status Dump(const char* reason);
+
+  /// Writes every registered ring to an explicit path (requires only
+  /// that the recorder is enabled).
+  static Status DumpTo(const std::string& path, const char* reason);
+
+  /// Installs fatal-signal handlers (SIGSEGV, SIGBUS, SIGILL, SIGFPE,
+  /// SIGABRT) that write the dump to the configured path and then
+  /// re-raise for the default termination. Idempotent.
+  static void InstallCrashHandler();
+
+  /// Total events ever noted by the calling thread (tests).
+  static uint64_t ThreadNoted();
+
+  /// Drops every registered ring's contents and un-names them (tests;
+  /// rings stay registered — threads are not re-created).
+  static void ResetForTest();
+};
+
+}  // namespace sdps::obs
+
+#endif  // SDPS_OBS_FLIGHT_RECORDER_H_

@@ -2,7 +2,26 @@
 
 #include <algorithm>
 
+#ifdef __linux__
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
 namespace sdps::obs {
+
+namespace {
+
+/// Kernel thread id of the calling thread (-1 off Linux). syscall rather
+/// than gettid() so older glibc (< 2.30) builds too.
+int64_t CurrentOsTid() {
+#ifdef __linux__
+  return static_cast<int64_t>(::syscall(SYS_gettid));
+#else
+  return -1;
+#endif
+}
+
+}  // namespace
 
 Tracer& Tracer::Default() {
   // Thread-local: concurrent trials (exec::TrialPool workers) each bind
@@ -20,7 +39,7 @@ TrackId Tracer::Track(const std::string& process, const std::string& thread) {
   if (it != track_ids_.end()) return it->second;
   const TrackId id = static_cast<TrackId>(tracks_.size());
   track_ids_.emplace(key, id);
-  tracks_.push_back(key);
+  tracks_.push_back(TrackInfo{process, thread, -1});
   return id;
 }
 
@@ -82,7 +101,40 @@ std::vector<SpanRecord> Tracer::Snapshot() const {
 }
 
 std::vector<std::pair<std::string, std::string>> Tracer::Tracks() const {
-  return tracks_;
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(tracks_.size());
+  for (const TrackInfo& info : tracks_) out.emplace_back(info.process, info.thread);
+  return out;
+}
+
+Tracer::Capture Tracer::CaptureForMerge() const {
+  Capture capture;
+  capture.records = Snapshot();
+  capture.tracks = tracks_;
+  capture.dropped = dropped_;
+  const int64_t tid = CurrentOsTid();
+  for (TrackInfo& info : capture.tracks) info.os_tid = tid;
+  return capture;
+}
+
+void Tracer::Merge(const Capture& capture) {
+  // Remap the capture's track ids into this tracer's table, adopting the
+  // worker's OS tid for tracks it recorded on.
+  std::vector<TrackId> remap;
+  remap.reserve(capture.tracks.size());
+  for (const TrackInfo& info : capture.tracks) {
+    const TrackId id = Track(info.process, info.thread);
+    if (info.os_tid >= 0) tracks_[static_cast<size_t>(id)].os_tid = info.os_tid;
+    remap.push_back(id);
+  }
+  for (const SpanRecord& rec : capture.records) {
+    const size_t t = static_cast<size_t>(rec.track);
+    if (t >= remap.size()) continue;  // malformed capture; never expected
+    SpanRecord merged = rec;
+    merged.track = remap[t];
+    Push(merged);  // assigns a fresh seq in merge order
+  }
+  dropped_ += capture.dropped;
 }
 
 }  // namespace sdps::obs

@@ -27,6 +27,17 @@ namespace sdps::obs {
 /// Index into the tracer's track table.
 using TrackId = int32_t;
 
+/// One track's identity. `os_tid` is the kernel thread id of the thread
+/// that recorded on this track (realtime workers), or -1 for simulated
+/// actors — the Chrome exporter uses real pid/tid lanes when present, so
+/// rt traces line up with externally observed thread activity (perf,
+/// /proc) in Perfetto.
+struct TrackInfo {
+  std::string process;
+  std::string thread;
+  int64_t os_tid = -1;
+};
+
 /// One recorded span or instant event. `name` and argument keys must be
 /// string literals (they are stored unowned; every built-in
 /// instrumentation point uses literals).
@@ -84,6 +95,28 @@ class Tracer {
   std::vector<SpanRecord> Snapshot() const;
   /// Track table in id order: (process, thread) names.
   std::vector<std::pair<std::string, std::string>> Tracks() const;
+  /// Track table in id order, including each track's OS tid (-1 for
+  /// simulated actors).
+  const std::vector<TrackInfo>& TrackInfos() const { return tracks_; }
+
+  /// A movable snapshot of one thread's tracer: what a realtime worker
+  /// carries across the join back to the pipeline thread. Records are
+  /// sorted by (begin, seq); every track is stamped with the capturing
+  /// thread's OS tid.
+  struct Capture {
+    std::vector<SpanRecord> records;
+    std::vector<TrackInfo> tracks;
+    uint64_t dropped = 0;
+  };
+  /// Snapshot of this tracer stamped with the calling thread's OS tid.
+  /// Call on the thread that owns the tracer (rt workers capture right
+  /// before exiting).
+  Capture CaptureForMerge() const;
+  /// Folds a worker's capture into this tracer: tracks are re-registered
+  /// by name (adopting the worker's OS tid) and records are appended with
+  /// fresh sequence numbers in capture order. Appends regardless of the
+  /// enabled flag — the records were gated when originally recorded.
+  void Merge(const Capture& capture);
 
   uint64_t total_recorded() const { return next_seq_; }
   uint64_t dropped() const { return dropped_; }
@@ -100,7 +133,7 @@ class Tracer {
   std::vector<SpanRecord> ring_;  // circular once size() == capacity_
   size_t ring_head_ = 0;          // index of the oldest record when full
   std::map<std::pair<std::string, std::string>, TrackId> track_ids_;
-  std::vector<std::pair<std::string, std::string>> tracks_;
+  std::vector<TrackInfo> tracks_;
 };
 
 /// RAII span: captures the clock at construction, records at destruction.

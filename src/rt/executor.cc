@@ -4,7 +4,11 @@
 #include <utility>
 
 #include "common/check.h"
+#include "des/time_source.h"
+#include "obs/flight_recorder.h"
 #include "obs/log_bridge.h"
+#include "obs/trace.h"
+#include "rt/profiler.h"
 
 #ifdef __linux__
 #include <pthread.h>
@@ -47,6 +51,10 @@ struct Executor::Worker {
   // Written by the worker right before exiting, read after join — the
   // join itself synchronizes, no atomics needed.
   obs::ThreadLogCounts log_delta;
+  // Spans the worker recorded into its thread-local tracer (when
+  // Options::trace_clock is set), stamped with its OS tid.
+  obs::Tracer::Capture trace_delta;
+  bool traced = false;
 };
 
 Executor::Executor(Options options)
@@ -58,12 +66,30 @@ void Executor::Spawn(std::string name, std::function<void()> fn) {
   SDPS_CHECK(fn != nullptr);
   threads_.push_back(std::make_unique<Worker>());
   Worker* worker = threads_.back().get();
-  worker->thread = std::thread([worker, fn = std::move(fn)] {
-    // Fresh thread ⇒ tallies start at zero, so the exit snapshot IS the
-    // delta this worker contributed.
-    fn();
-    worker->log_delta = obs::ThreadLogMessageCounts();
-  });
+  const des::TimeSource* trace_clock = options_.trace_clock;
+  Profiler* profiler = options_.profiler;
+  worker->thread =
+      std::thread([worker, trace_clock, profiler, name, fn = std::move(fn)] {
+        obs::FlightRecorder::AnnotateThread(name);
+        if (profiler != nullptr) profiler->BindCurrentThread(name);
+        if (trace_clock != nullptr) {
+          // Fresh thread ⇒ fresh thread-local tracer: enable it for this
+          // worker's lifetime and hand its spans to the joiner on exit.
+          obs::Tracer& tracer = obs::Tracer::Default();
+          tracer.set_enabled(true);
+          tracer.set_clock([trace_clock] { return trace_clock->now(); });
+          fn();
+          worker->trace_delta = tracer.CaptureForMerge();
+          worker->traced = true;
+          tracer.set_clock(nullptr);
+        } else {
+          fn();
+        }
+        if (profiler != nullptr) profiler->FinishCurrentThread(name);
+        // Fresh thread ⇒ tallies start at zero, so the exit snapshot IS
+        // the delta this worker contributed.
+        worker->log_delta = obs::ThreadLogMessageCounts();
+      });
   NameThread(worker->thread, name);
   if (options_.pin_threads) {
     PinToCpu(worker->thread, next_cpu_++);
@@ -75,6 +101,7 @@ void Executor::JoinAll() {
     if (worker->thread.joinable()) {
       worker->thread.join();
       obs::MergeThreadLogMessageCounts(worker->log_delta);
+      if (worker->traced) obs::Tracer::Default().Merge(worker->trace_delta);
     }
   }
   threads_.clear();

@@ -18,7 +18,13 @@
 #include <string>
 #include <vector>
 
+namespace sdps::des {
+class TimeSource;
+}  // namespace sdps::des
+
 namespace sdps::rt {
+
+class Profiler;
 
 class Executor {
  public:
@@ -29,6 +35,16 @@ class Executor {
     bool pin_threads = true;
     /// First CPU of the round-robin cycle.
     int first_cpu = 0;
+    /// When set, every worker's thread-local obs::Tracer is enabled and
+    /// bound to this clock for the worker's lifetime; the spans it records
+    /// are captured at worker exit and merged — stamped with the worker's
+    /// OS tid — into the joining thread's tracer by JoinAll(). Null (the
+    /// default) leaves worker tracers untouched.
+    const des::TimeSource* trace_clock = nullptr;
+    /// When set, every worker binds its stage (looked up by worker name)
+    /// on entry and publishes its final CPU time on exit, so the sampler
+    /// attributes thread time without ever probing a dead thread.
+    Profiler* profiler = nullptr;
   };
 
   Executor() : Executor(Options{}) {}

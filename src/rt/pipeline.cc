@@ -16,11 +16,14 @@
 #include "engine/partition.h"
 #include "engine/watermark.h"
 #include "engine/window_state.h"
+#include "obs/flight_recorder.h"
 #include "obs/log_bridge.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rt/clock.h"
 #include "rt/executor.h"
 #include "rt/generator.h"
+#include "rt/profiler.h"
 #include "rt/spsc_ring.h"
 
 namespace sdps::rt {
@@ -57,24 +60,44 @@ struct Envelope {
 /// spin/yield/nap backoff. Returns nullopt only once every ring is closed
 /// AND drained (a final sweep after observing closed catches the
 /// push-then-close race: the close's release makes the last push visible).
+/// With `counters`/`clock` set, wall time spent past the first empty sweep
+/// is charged to counters->pop_wait_us (the profiler's "wait" bucket);
+/// the instant-hit fast path never reads the clock.
 template <typename T>
-std::optional<T> PopAny(std::vector<SpscRing<T>*>& rings, size_t* rr) {
+std::optional<T> PopAny(std::vector<SpscRing<T>*>& rings, size_t* rr,
+                        Profiler::StageCounters* counters = nullptr,
+                        const Clock* clock = nullptr) {
   int spins = 0;
+  SimTime wait_begin = -1;
+  const auto charge_wait = [&] {
+    if (wait_begin >= 0 && counters != nullptr) {
+      counters->pop_wait_us.fetch_add(clock->now() - wait_begin,
+                                      std::memory_order_relaxed);
+    }
+  };
   for (;;) {
     bool all_closed = true;
     for (size_t k = 0; k < rings.size(); ++k) {
       SpscRing<T>& ring = *rings[(*rr + k) % rings.size()];
       if (auto v = ring.TryPop()) {
         *rr = (*rr + k + 1) % rings.size();
+        charge_wait();
         return v;
       }
       if (!ring.closed()) all_closed = false;
     }
     if (all_closed) {
       for (SpscRing<T>* ring : rings) {
-        if (auto v = ring->TryPop()) return v;
+        if (auto v = ring->TryPop()) {
+          charge_wait();
+          return v;
+        }
       }
+      charge_wait();
       return std::nullopt;
+    }
+    if (counters != nullptr && clock != nullptr && wait_begin < 0) {
+      wait_begin = clock->now();
     }
     ++spins;
     if (spins < 64) {
@@ -262,28 +285,89 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
   std::atomic<uint64_t> input_tuples{0};
   std::atomic<uint64_t> late_tuples{0};
 
+  // Observability plane (DESIGN.md §6): optional sampler profiling every
+  // ring and stage thread, optional wall-clock span tracing on every
+  // worker. Both default off — the measured pipeline is the plain one.
+  std::optional<Profiler> profiler;
+  std::vector<Profiler::StageCounters*> src_counters(static_cast<size_t>(S),
+                                                     nullptr);
+  std::vector<Profiler::StageCounters*> task_counters(static_cast<size_t>(T),
+                                                      nullptr);
+  Profiler::StageCounters* sink_counters = nullptr;
+  if (config.profile) {
+    profiler.emplace(Profiler::Options{config.profile_period});
+    for (int s = 0; s < S; ++s) {
+      src_counters[static_cast<size_t>(s)] =
+          profiler->AddStage("rt-src-" + std::to_string(s));
+    }
+    for (int t = 0; t < T; ++t) {
+      task_counters[static_cast<size_t>(t)] =
+          profiler->AddStage("rt-task-" + std::to_string(t));
+    }
+    sink_counters = profiler->AddStage("rt-sink");
+    for (int s = 0; s < S; ++s) {
+      for (int t = 0; t < T; ++t) {
+        SpscRing<Envelope>* ring = &ring_of(s, t);
+        profiler->AddRing(
+            "src" + std::to_string(s) + "-task" + std::to_string(t),
+            ring->capacity(), [ring] { return ring->SizeApprox(); });
+      }
+    }
+    for (int t = 0; t < T; ++t) {
+      SpscRing<std::vector<OutputRecord>>* ring =
+          sink_rings[static_cast<size_t>(t)].get();
+      profiler->AddRing("task" + std::to_string(t) + "-sink", ring->capacity(),
+                        [ring] { return ring->SizeApprox(); });
+    }
+  }
+
   Executor::Options exec_options;
   exec_options.pin_threads = config.pin_threads;
+  exec_options.trace_clock = config.trace ? &clock : nullptr;
+  exec_options.profiler = profiler.has_value() ? &*profiler : nullptr;
   Executor executor(exec_options);
   clock.Start();
+  if (profiler.has_value()) profiler->Start();
+  obs::FlightRecorder::Note("rt.pipeline.start", S, T);
 
   // -- Sources --------------------------------------------------------------
   for (int s = 0; s < S; ++s) {
-    executor.Spawn("rt-src-" + std::to_string(s), [&, s] {
+    Profiler::StageCounters* const counters = src_counters[static_cast<size_t>(s)];
+    executor.Spawn("rt-src-" + std::to_string(s), [&, s, counters] {
       Generator gen(gen_configs[static_cast<size_t>(s)],
                     source_rngs[static_cast<size_t>(s)]);
       std::vector<engine::RecordBatch> open(static_cast<size_t>(T));
-      uint64_t records = 0, tuples = 0;
+      uint64_t records = 0, tuples = 0, watermarks = 0;
       SimTime max_event = engine::kNoWatermark;
       SimTime next_wm = config.watermark_every;
+      // The worker's thread-local tracer (enabled by the executor when
+      // config.trace); disabled, the spans below are a branch each.
+      obs::Tracer& tracer = obs::Tracer::Default();
+      const obs::TrackId track =
+          tracer.Track("rt", "rt-src-" + std::to_string(s));
 
+      auto push_blocking = [&](int t, Envelope env) {
+        SpscRing<Envelope>& ring = ring_of(s, t);
+        if (ring.TryPush(std::move(env))) return;  // value untouched on failure
+        const SimTime t0 = clock.now();
+        {
+          obs::ScopedSpan blocked(tracer, track, "ring.push_block");
+          ring.Push(std::move(env));
+        }
+        if (counters != nullptr) {
+          counters->blocked_us.fetch_add(clock.now() - t0,
+                                         std::memory_order_relaxed);
+        }
+      };
       auto flush = [&](int t) {
         engine::RecordBatch& b = open[static_cast<size_t>(t)];
         if (b.empty()) return;
+        obs::ScopedSpan span(tracer, track, "src.flush");
+        span.Arg("records", static_cast<double>(b.size()));
         Envelope env;
         env.records = std::move(b);
         b = engine::RecordBatch();
-        ring_of(s, t).Push(std::move(env));
+        push_blocking(t, std::move(env));
       };
       auto broadcast_wm = [&](SimTime wm) {
         for (int t = 0; t < T; ++t) {
@@ -292,8 +376,10 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
           env.has_watermark = true;
           env.watermark = wm;
           env.origin = s;
-          ring_of(s, t).Push(std::move(env));
+          push_blocking(t, std::move(env));
         }
+        ++watermarks;
+        obs::FlightRecorder::Note("src.wm", s, wm);
       };
 
       for (;;) {
@@ -320,17 +406,32 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
       for (int t = 0; t < T; ++t) ring_of(s, t).Close();
       input_records.fetch_add(records, std::memory_order_relaxed);
       input_tuples.fetch_add(tuples, std::memory_order_relaxed);
+      if (counters != nullptr) {
+        counters->records.fetch_add(records, std::memory_order_relaxed);
+      }
+      // Fold this worker's totals into the process registry at exit
+      // (instruments are atomic + enabled-gated; one resolve per run).
+      obs::Registry& reg = obs::Registry::Default();
+      const obs::LabelSet labels = {{"source", std::to_string(s)}};
+      reg.GetCounter("rt.source.records", labels)->Add(records);
+      reg.GetCounter("rt.source.tuples", labels)->Add(tuples);
+      reg.GetCounter("rt.source.watermarks", labels)->Add(watermarks);
+      obs::FlightRecorder::Note("src.done", s, static_cast<int64_t>(records));
     });
   }
 
   // -- Tasks ----------------------------------------------------------------
   for (int t = 0; t < T; ++t) {
-    executor.Spawn("rt-task-" + std::to_string(t), [&, t] {
+    Profiler::StageCounters* const counters = task_counters[static_cast<size_t>(t)];
+    executor.Spawn("rt-task-" + std::to_string(t), [&, t, counters] {
       std::vector<SpscRing<Envelope>*> inputs;
       for (int s = 0; s < S; ++s) inputs.push_back(&ring_of(s, t));
       engine::WatermarkTracker tracker(S);
       const engine::WindowAssigner assigner(config.query.window);
       const bool agg = config.query.kind == engine::QueryKind::kAggregation;
+      obs::Tracer& tracer = obs::Tracer::Default();
+      const obs::TrackId track =
+          tracer.Track("rt", "rt-task-" + std::to_string(t));
 
       // The engines' own logical state, per model (flink: incremental
       // aggregates; storm: buffered windows; spark: bucket partials).
@@ -348,13 +449,16 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
         storm_state.emplace(assigner);
       }
 
-      uint64_t late = 0;
+      uint64_t late = 0, records = 0, fired_outputs = 0;
       std::vector<OutputRecord> fired;
       size_t rr = 0;
       for (;;) {
-        auto env = PopAny(inputs, &rr);
+        auto env = PopAny(inputs, &rr, counters, &clock);
         if (!env.has_value()) break;
         if (!env->records.empty()) {
+          records += env->records.size();
+          obs::ScopedSpan apply(tracer, track, "window.apply");
+          apply.Arg("records", static_cast<double>(env->records.size()));
           if (spark_state) {
             for (const Record& rec : env->records) spark_state->Add(rec);
           } else if (flink_state) {
@@ -374,6 +478,7 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
         if (env->has_watermark && tracker.Update(env->origin, env->watermark)) {
           fired.clear();
           const SimTime wm = tracker.current();
+          obs::ScopedSpan fire(tracer, track, "window.fire");
           if (spark_state) {
             spark_state->FireUpTo(wm, &fired);
           } else if (flink_state) {
@@ -383,14 +488,39 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
           } else {
             fired = join_state->FireUpTo(wm).outputs;
           }
+          fire.Arg("outputs", static_cast<double>(fired.size()));
+          obs::FlightRecorder::Note("task.fire", t,
+                                    static_cast<int64_t>(fired.size()));
           if (!fired.empty()) {
-            sink_rings[static_cast<size_t>(t)]->Push(std::move(fired));
+            fired_outputs += fired.size();
+            SpscRing<std::vector<OutputRecord>>& out_ring =
+                *sink_rings[static_cast<size_t>(t)];
+            if (!out_ring.TryPush(std::move(fired))) {
+              const SimTime t0 = clock.now();
+              {
+                obs::ScopedSpan blocked(tracer, track, "ring.push_block");
+                out_ring.Push(std::move(fired));
+              }
+              if (counters != nullptr) {
+                counters->blocked_us.fetch_add(clock.now() - t0,
+                                               std::memory_order_relaxed);
+              }
+            }
             fired = std::vector<OutputRecord>();
           }
         }
       }
       sink_rings[static_cast<size_t>(t)]->Close();
       late_tuples.fetch_add(late, std::memory_order_relaxed);
+      if (counters != nullptr) {
+        counters->records.fetch_add(records, std::memory_order_relaxed);
+      }
+      obs::Registry& reg = obs::Registry::Default();
+      const obs::LabelSet labels = {{"task", std::to_string(t)}};
+      reg.GetCounter("rt.task.records", labels)->Add(records);
+      reg.GetCounter("rt.task.fired_outputs", labels)->Add(fired_outputs);
+      reg.GetCounter("rt.task.late_tuples", labels)->Add(late);
+      obs::FlightRecorder::Note("task.done", t, static_cast<int64_t>(records));
     });
   }
 
@@ -398,22 +528,43 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
   executor.Spawn("rt-sink", [&] {
     std::vector<SpscRing<std::vector<OutputRecord>>*> inputs;
     for (auto& ring : sink_rings) inputs.push_back(ring.get());
+    obs::Tracer& tracer = obs::Tracer::Default();
+    const obs::TrackId track = tracer.Track("rt", "rt-sink");
+    uint64_t outputs = 0;
     size_t rr = 0;
     for (;;) {
-      auto outs = PopAny(inputs, &rr);
+      auto outs = PopAny(inputs, &rr, sink_counters, &clock);
       if (!outs.has_value()) break;
+      outputs += outs->size();
+      obs::ScopedSpan emit(tracer, track, "sink.emit");
+      emit.Arg("outputs", static_cast<double>(outs->size()));
       for (const OutputRecord& out : *outs) sink.Emit(out);
     }
+    if (sink_counters != nullptr) {
+      sink_counters->records.fetch_add(outputs, std::memory_order_relaxed);
+    }
+    obs::Registry::Default()
+        .GetCounter("rt.sink.outputs")
+        ->Add(outputs);
+    obs::FlightRecorder::Note("sink.done", static_cast<int64_t>(outputs));
   });
 
   executor.JoinAll();
   const SimTime wall = clock.now();
+  obs::FlightRecorder::Note("rt.pipeline.done", static_cast<int64_t>(wall));
+  if (profiler.has_value()) {
+    result.profiled = true;
+    result.profile = profiler->Stop();
+  }
 
   result.input_records = input_records.load(std::memory_order_relaxed);
   result.input_tuples = input_tuples.load(std::memory_order_relaxed);
   result.late_dropped_tuples = late_tuples.load(std::memory_order_relaxed);
   result.output_records = sink.total_outputs();
   result.output_tuples = sink.total_output_tuples();
+  obs::Registry::Default()
+      .GetCounter("rt.sink.output_tuples")
+      ->Add(result.output_tuples);
   result.output_value = sink.total_output_value();
   result.wall_seconds = ToSeconds(wall);
   if (result.wall_seconds > 0) {

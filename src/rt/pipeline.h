@@ -33,6 +33,7 @@
 #include "driver/generator.h"
 #include "engine/query.h"
 #include "engine/record.h"
+#include "rt/profiler.h"
 
 namespace sdps::rt {
 
@@ -84,6 +85,17 @@ struct RtPipelineConfig {
   /// Collect every OutputRecord into RtResult::outputs (identity tests).
   bool capture_outputs = false;
   bool pin_threads = true;
+
+  /// Record wall-clock spans (source flushes, ring push-blocks, window
+  /// apply/fire, sink emits) into each worker's tracer and merge them —
+  /// with real OS tids — into the caller's tracer at join. Off by
+  /// default: deterministic DES trace dumps stay byte-identical.
+  bool trace = false;
+  /// Run the sampling profiler: ring occupancy + per-thread CPU at
+  /// profile_period cadence, stall/compute/idle breakdown in
+  /// RtResult::profile.
+  bool profile = false;
+  SimTime profile_period = Millis(10);
 };
 
 struct RtResult {
@@ -105,6 +117,9 @@ struct RtResult {
   double event_p95_s = 0.0;
   double event_p99_s = 0.0;
   std::vector<engine::OutputRecord> outputs;  // when capture_outputs
+  /// Stall/compute/idle breakdown (when RtPipelineConfig::profile).
+  bool profiled = false;
+  Profiler::Report profile;
 };
 
 /// Runs one realtime pipeline to completion (sources exhaust their

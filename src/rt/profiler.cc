@@ -1,0 +1,262 @@
+#include "rt/profiler.h"
+
+#include <pthread.h>
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+#ifdef __linux__
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace sdps::rt {
+
+namespace {
+
+int64_t MonotonicUs() {
+  timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000 +
+         static_cast<int64_t>(ts.tv_nsec) / 1'000;
+}
+
+/// CPU µs charged to `clock`, or -1 when the clockid is stale (the
+/// thread exited — clock_gettime reports EINVAL, never garbage).
+int64_t CpuUsOrNegative(clockid_t clock) {
+  timespec ts;
+  if (::clock_gettime(clock, &ts) != 0) return -1;
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000 +
+         static_cast<int64_t>(ts.tv_nsec) / 1'000;
+}
+
+int64_t OsTid() {
+#ifdef __linux__
+  return static_cast<int64_t>(::syscall(SYS_gettid));
+#else
+  return -1;
+#endif
+}
+
+}  // namespace
+
+struct Profiler::Stage {
+  std::string name;
+  StageCounters counters;
+  obs::Gauge* cpu_gauge = nullptr;
+  obs::Gauge* blocked_gauge = nullptr;
+  obs::Gauge* wait_gauge = nullptr;
+
+  // Worker-published identity. `cpu_clock` is plain: written before the
+  // `bound` release store, read only after its acquire.
+  clockid_t cpu_clock{};
+  std::atomic<int64_t> tid{-1};
+  std::atomic<int64_t> start_wall_us{0};
+  std::atomic<bool> bound{false};
+  // Exit snapshot, published before `done` (release) so readers seeing
+  // done never probe the (now stale) clockid.
+  std::atomic<int64_t> final_cpu_us{0};
+  std::atomic<int64_t> end_wall_us{0};
+  std::atomic<bool> done{false};
+  // Sampler's view; survives the thread so Stop() has a floor even if
+  // a worker skipped FinishCurrentThread.
+  std::atomic<int64_t> sampled_cpu_us{0};
+};
+
+struct Profiler::Ring {
+  std::string name;
+  size_t capacity = 0;
+  std::function<size_t()> occupancy;
+  obs::Gauge* gauge = nullptr;
+  // Sampler-only accumulators (the sampler is one thread).
+  uint64_t occupancy_sum = 0;
+  size_t occupancy_max = 0;
+};
+
+Profiler::Profiler() : Profiler(Options{}) {}
+
+Profiler::Profiler(Options options) : options_(options) {
+  SDPS_CHECK_GT(options_.period, 0);
+}
+
+Profiler::~Profiler() { Stop(); }
+
+Profiler::StageCounters* Profiler::AddStage(const std::string& name) {
+  SDPS_CHECK(!started_) << "AddStage after Start";
+  stages_.emplace_back();
+  Stage& stage = stages_.back();
+  stage.name = name;
+  if (options_.update_registry) {
+    obs::Registry& reg = obs::Registry::Default();
+    stage.cpu_gauge = reg.GetGauge("rt.stage.cpu_s", {{"stage", name}});
+    stage.blocked_gauge = reg.GetGauge("rt.stage.blocked_s", {{"stage", name}});
+    stage.wait_gauge = reg.GetGauge("rt.stage.wait_s", {{"stage", name}});
+  }
+  return &stage.counters;
+}
+
+void Profiler::AddRing(const std::string& name, size_t capacity,
+                       std::function<size_t()> occupancy) {
+  SDPS_CHECK(!started_) << "AddRing after Start";
+  SDPS_CHECK(occupancy != nullptr);
+  rings_.emplace_back();
+  Ring& ring = rings_.back();
+  ring.name = name;
+  ring.capacity = capacity;
+  ring.occupancy = std::move(occupancy);
+  if (options_.update_registry) {
+    ring.gauge =
+        obs::Registry::Default().GetGauge("rt.ring.occupancy", {{"ring", name}});
+  }
+}
+
+Profiler::Stage* Profiler::FindStage(const std::string& name) {
+  for (Stage& stage : stages_) {
+    if (stage.name == name) return &stage;
+  }
+  return nullptr;
+}
+
+void Profiler::BindCurrentThread(const std::string& name) {
+  Stage* stage = FindStage(name);
+  SDPS_CHECK(stage != nullptr) << "BindCurrentThread: unknown stage " << name;
+  clockid_t clock{};
+  if (pthread_getcpuclockid(pthread_self(), &clock) != 0) return;
+  stage->cpu_clock = clock;
+  stage->tid.store(OsTid(), std::memory_order_relaxed);
+  stage->start_wall_us.store(MonotonicUs(), std::memory_order_relaxed);
+  stage->bound.store(true, std::memory_order_release);
+}
+
+void Profiler::FinishCurrentThread(const std::string& name) {
+  Stage* stage = FindStage(name);
+  SDPS_CHECK(stage != nullptr) << "FinishCurrentThread: unknown stage " << name;
+  timespec ts;
+  int64_t cpu = 0;
+  if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    cpu = static_cast<int64_t>(ts.tv_sec) * 1'000'000 +
+          static_cast<int64_t>(ts.tv_nsec) / 1'000;
+  }
+  stage->final_cpu_us.store(cpu, std::memory_order_relaxed);
+  stage->end_wall_us.store(MonotonicUs(), std::memory_order_relaxed);
+  stage->done.store(true, std::memory_order_release);
+}
+
+void Profiler::SampleOnce() {
+  for (Stage& stage : stages_) {
+    if (!stage.bound.load(std::memory_order_acquire)) continue;
+    int64_t cpu;
+    if (stage.done.load(std::memory_order_acquire)) {
+      cpu = stage.final_cpu_us.load(std::memory_order_relaxed);
+    } else {
+      cpu = CpuUsOrNegative(stage.cpu_clock);
+      if (cpu < 0) continue;  // raced thread exit; next sample sees done
+      stage.sampled_cpu_us.store(cpu, std::memory_order_relaxed);
+    }
+    if (stage.cpu_gauge != nullptr) {
+      stage.cpu_gauge->Set(static_cast<double>(cpu) * 1e-6);
+    }
+    if (stage.blocked_gauge != nullptr) {
+      stage.blocked_gauge->Set(
+          static_cast<double>(
+              stage.counters.blocked_us.load(std::memory_order_relaxed)) *
+          1e-6);
+    }
+    if (stage.wait_gauge != nullptr) {
+      stage.wait_gauge->Set(
+          static_cast<double>(
+              stage.counters.pop_wait_us.load(std::memory_order_relaxed)) *
+          1e-6);
+    }
+  }
+  for (Ring& ring : rings_) {
+    const size_t occ = ring.occupancy();
+    ring.occupancy_sum += occ;
+    ring.occupancy_max = std::max(ring.occupancy_max, occ);
+    if (ring.gauge != nullptr) ring.gauge->Set(static_cast<double>(occ));
+  }
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Profiler::Start() {
+  SDPS_CHECK(!started_) << "Profiler started twice";
+  started_ = true;
+  start_wall_us_ = MonotonicUs();
+  sampler_ = std::jthread([this](std::stop_token stop) {
+    // Local cv + dummy mutex: wait_for(stop_token) wakes immediately on
+    // request_stop(), which is the whole shutdown story — no flags, no
+    // sleep-loop polling, no lost-wakeup window.
+    std::mutex mu;
+    std::condition_variable_any cv;
+    std::unique_lock<std::mutex> lock(mu);
+    const auto period = std::chrono::microseconds(options_.period);
+    while (!stop.stop_requested()) {
+      SampleOnce();
+      cv.wait_for(lock, stop, period, [] { return false; });
+    }
+  });
+}
+
+Profiler::Report Profiler::Stop() {
+  if (stopped_) return report_;
+  if (!started_) return Report{};
+  sampler_.request_stop();
+  sampler_.join();
+  const int64_t stop_wall_us = MonotonicUs();
+  SampleOnce();  // final snapshot: short runs get exact end-state values
+  report_ = BuildReport(stop_wall_us);
+  stopped_ = true;
+  return report_;
+}
+
+Profiler::Report Profiler::BuildReport(int64_t stop_wall_us) const {
+  Report report;
+  report.duration_s = static_cast<double>(stop_wall_us - start_wall_us_) * 1e-6;
+  report.samples = samples_.load(std::memory_order_relaxed);
+  for (const Stage& stage : stages_) {
+    StageReport out;
+    out.name = stage.name;
+    out.records = stage.counters.records.load(std::memory_order_relaxed);
+    if (stage.bound.load(std::memory_order_acquire)) {
+      const int64_t start = stage.start_wall_us.load(std::memory_order_relaxed);
+      const int64_t end = stage.done.load(std::memory_order_acquire)
+                              ? stage.end_wall_us.load(std::memory_order_relaxed)
+                              : stop_wall_us;
+      const int64_t cpu = stage.done.load(std::memory_order_acquire)
+                              ? stage.final_cpu_us.load(std::memory_order_relaxed)
+                              : stage.sampled_cpu_us.load(std::memory_order_relaxed);
+      out.wall_s = static_cast<double>(end - start) * 1e-6;
+      out.compute_s = static_cast<double>(cpu) * 1e-6;
+      out.stall_s = static_cast<double>(
+                        stage.counters.blocked_us.load(std::memory_order_relaxed)) *
+                    1e-6;
+      out.wait_s = static_cast<double>(
+                       stage.counters.pop_wait_us.load(std::memory_order_relaxed)) *
+                   1e-6;
+      out.idle_s =
+          std::max(0.0, out.wall_s - out.compute_s - out.stall_s - out.wait_s);
+    }
+    report.stages.push_back(std::move(out));
+  }
+  const int64_t samples = report.samples;
+  for (const Ring& ring : rings_) {
+    RingReport out;
+    out.name = ring.name;
+    out.capacity = ring.capacity;
+    out.max_occupancy = ring.occupancy_max;
+    if (samples > 0) {
+      out.mean_occupancy = static_cast<double>(ring.occupancy_sum) /
+                           static_cast<double>(samples);
+    }
+    report.rings.push_back(std::move(out));
+  }
+  return report;
+}
+
+}  // namespace sdps::rt

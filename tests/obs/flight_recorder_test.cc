@@ -1,0 +1,134 @@
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace sdps::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+/// Restores the recorder to its pristine disabled state around each test;
+/// the rings themselves are per-thread singletons that survive, so the
+/// contents are dropped explicitly.
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::ResetForTest();
+    FlightRecorder::set_enabled(true);
+  }
+  void TearDown() override {
+    FlightRecorder::set_enabled(false);
+    FlightRecorder::SetDumpPath("");
+    FlightRecorder::ResetForTest();
+  }
+};
+
+TEST_F(FlightRecorderTest, DisabledNoteIsANoOp) {
+  FlightRecorder::set_enabled(false);
+  const uint64_t before = FlightRecorder::ThreadNoted();
+  FlightRecorder::Note("should.not.appear", 1, 2);
+  EXPECT_EQ(FlightRecorder::ThreadNoted(), before);
+}
+
+TEST_F(FlightRecorderTest, NoteCountsAndDumpToWritesParseableFile) {
+  FlightRecorder::AnnotateThread("test-main");
+  const uint64_t before = FlightRecorder::ThreadNoted();
+  FlightRecorder::Note("unit.event", 7, -3);
+  FlightRecorder::Note("unit.other", 42);
+  EXPECT_EQ(FlightRecorder::ThreadNoted(), before + 2);
+
+  const std::string path = TempPath("flight_dump.txt");
+  ASSERT_TRUE(FlightRecorder::DumpTo(path, "unit test").ok());
+  const std::string dump = ReadFile(path);
+  std::remove(path.c_str());
+
+  // Header names the format version and the reason verbatim.
+  EXPECT_NE(dump.find("sdps_flight_recorder version=1"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("reason=\"unit test\""), std::string::npos) << dump;
+  // The calling thread's ring appears under its annotated name with both
+  // events, arguments intact (including the negative one).
+  EXPECT_NE(dump.find("ring name=\"test-main\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("what=\"unit.event\" a=7 b=-3"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("what=\"unit.other\" a=42 b=0"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("end\n"), std::string::npos) << dump;
+}
+
+TEST_F(FlightRecorderTest, RingOverwritesOldestAndReportsDropped) {
+  FlightRecorder::AnnotateThread("wrap");
+  for (size_t i = 0; i < FlightRecorder::kRingEvents + 10; ++i) {
+    FlightRecorder::Note("wrap.tick", static_cast<int64_t>(i));
+  }
+  const std::string path = TempPath("flight_wrap.txt");
+  ASSERT_TRUE(FlightRecorder::DumpTo(path, "wrap").ok());
+  const std::string dump = ReadFile(path);
+  std::remove(path.c_str());
+
+  // The oldest 10 events were overwritten; the dump says so and retains
+  // the most recent ring-full.
+  EXPECT_NE(dump.find("dropped=10"), std::string::npos) << dump.substr(0, 400);
+  EXPECT_EQ(dump.find("a=5 "), std::string::npos);  // overwritten
+  EXPECT_NE(dump.find(" a=1033 "), std::string::npos);  // last event kept
+}
+
+TEST_F(FlightRecorderTest, TriggeredDumpIsGatedOnPathAndEnable) {
+  // No path configured: trigger sites call Dump unconditionally and it
+  // must succeed as a no-op.
+  FlightRecorder::SetDumpPath("");
+  EXPECT_TRUE(FlightRecorder::Dump("no path").ok());
+  // Disabled: also a no-op even with a path.
+  FlightRecorder::set_enabled(false);
+  const std::string path = TempPath("flight_gated.txt");
+  FlightRecorder::SetDumpPath(path);
+  EXPECT_TRUE(FlightRecorder::Dump("disabled").ok());
+  std::ifstream probe(path);
+  EXPECT_FALSE(probe.good());
+  // Enabled with a path: the dump lands at the configured location.
+  FlightRecorder::set_enabled(true);
+  FlightRecorder::Note("gate.open");
+  ASSERT_TRUE(FlightRecorder::Dump("armed").ok());
+  const std::string dump = ReadFile(path);
+  std::remove(path.c_str());
+  EXPECT_NE(dump.find("reason=\"armed\""), std::string::npos);
+  EXPECT_NE(dump.find("gate.open"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, OtherThreadsAppearAsOwnRings) {
+  FlightRecorder::AnnotateThread("main-ring");
+  FlightRecorder::Note("main.event");
+  std::thread worker([] {
+    FlightRecorder::AnnotateThread("worker-ring");
+    FlightRecorder::Note("worker.event", 99);
+  });
+  worker.join();
+  const std::string path = TempPath("flight_threads.txt");
+  ASSERT_TRUE(FlightRecorder::DumpTo(path, "threads").ok());
+  const std::string dump = ReadFile(path);
+  std::remove(path.c_str());
+  EXPECT_NE(dump.find("ring name=\"main-ring\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("ring name=\"worker-ring\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("what=\"worker.event\" a=99"), std::string::npos) << dump;
+}
+
+TEST_F(FlightRecorderTest, BadDumpPathReturnsError) {
+  FlightRecorder::Note("doomed");
+  EXPECT_FALSE(
+      FlightRecorder::DumpTo("/nonexistent-dir/sub/flight.txt", "bad path").ok());
+}
+
+}  // namespace
+}  // namespace sdps::obs
