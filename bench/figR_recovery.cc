@@ -17,6 +17,17 @@
 //   results/figR_recovery.csv           per-engine recovery table
 //   results/figR_backlog_<engine>.csv   driver backlog series (outage spike)
 //
+// `--realtime` runs the same experiment on the rt backend instead of the
+// DES: rt::chaos injects a wall-clock crash into a live worker thread,
+// the rt::Supervisor restarts the slot, and recovery time is a real
+// measurement (µs between the injected fault and the first post-restart
+// sink output) rather than a model prediction. The oracle twin runs
+// unpaced (the output multiset is pacing-independent), the faulty run
+// paced so the crash lands at a deterministic stream position. Writes
+// results/figR_recovery_rt.csv plus results/BENCH_recovery.json, whose
+// rt_recovery_time_ms_* metrics scripts/check_perf.py gates against the
+// ceilings in the committed BENCH_recovery.json.
+//
 // `--smoke` shrinks the run (fixed low rate, short horizon) so CI can
 // afford it.
 #include <cctype>
@@ -26,10 +37,13 @@
 
 #include "bench_util.h"
 #include "chaos/fault_schedule.h"
+#include "chaos/recovery.h"
 #include "common/strings.h"
 #include "driver/experiment.h"
 #include "driver/recovery_pair.h"
 #include "report/recovery.h"
+#include "rt/pipeline.h"
+#include "workloads/realtime.h"
 
 using namespace sdps;             // NOLINT
 using namespace sdps::workloads;  // NOLINT
@@ -41,6 +55,195 @@ struct EngineCase {
   const char* guarantee;
 };
 
+std::string LowerTag(const std::string& name) {
+  std::string tag = name;
+  for (char& ch : tag) {
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  return tag;
+}
+
+/// The --realtime face of the bench: real threads, wall-clock faults,
+/// measured (not modeled) recovery time. Exits non-zero on any
+/// delivery-guarantee violation, same contract as the DES path.
+int RunRealtime(sdps::bench::TelemetryScope& telemetry, bool smoke) {
+  const SimTime duration = smoke ? Seconds(6) : Seconds(30);
+  const double rate = smoke ? 2.0e4 : 1.0e5;
+  const SimTime crash_at = duration * 45 / 100;
+
+  printf("== Fig. R (--realtime): wall-clock worker-crash recovery%s ==\n\n",
+         smoke ? " (smoke scale)" : "");
+
+  const EngineCase cases[] = {
+      {Engine::kStorm, "at-least-once"},
+      {Engine::kSpark, "exactly-once"},
+      {Engine::kFlink, "exactly-once"},
+  };
+
+  const auto configure = [&](Engine engine, bool paced) {
+    rt::RtPipelineConfig config =
+        MakeRealtime(engine, engine::QueryKind::kAggregation, 2, rate, duration);
+    // Short windows so several fire on both sides of the fault, and the
+    // retained replay span (one window range of stream) stays well under
+    // the ring capacity — see DESIGN.md §6 on ack starvation.
+    config.query.window.range = Seconds(2);
+    config.query.window.slide = Seconds(1);
+    config.batch_interval = Seconds(1);
+    config.ring_capacity = 4096;
+    config.pin_threads = false;  // CI runners may forbid affinity calls
+    config.paced = paced;
+    config.track_recovery = true;
+    return config;
+  };
+
+  std::vector<report::RecoveryRow> rows;
+  std::vector<std::pair<std::string, double>> metrics;
+  int violations = 0;
+  for (const EngineCase& c : cases) {
+    const std::string name = EngineName(c.engine);
+    const std::string tag = LowerTag(name);
+
+    const rt::RtResult oracle = rt::RunRtPipeline(configure(c.engine, false));
+    if (!oracle.failure.ok() || oracle.observed_outputs.empty()) {
+      std::fprintf(stderr, "  %s VIOLATION: oracle run failed: %s\n", name.c_str(),
+                   oracle.failure.ToString().c_str());
+      ++violations;
+      continue;
+    }
+
+    rt::RtPipelineConfig faulty_config = configure(c.engine, true);
+    faulty_config.faults.Crash("w1", crash_at, /*restart_delay=*/0);
+    faulty_config.watchdog_timeout = Seconds(30);
+    rt::RtResult result = rt::RunRtPipeline(faulty_config);
+    chaos::RecoveryTracker::ApplyOracle(result.observed_outputs,
+                                        oracle.observed_outputs, &result.recovery);
+
+    report::RecoveryRow row;
+    row.engine = name;
+    row.guarantee = c.guarantee;
+    row.offered_rate = rate;
+    row.stats = result.recovery;
+    row.verdict = result.failure.ok() ? "recovered" : result.failure.ToString();
+    rows.push_back(row);
+
+    printf("  %-6s offered %.0f k/s: %s\n", name.c_str(), rate / 1e3,
+           row.verdict.c_str());
+    printf("         recovery %.0f ms, gap %.0f ms, restarts %d, replayed %llu, "
+           "duplicates %llu, lost %llu, availability %.1f%%\n",
+           ToMillis(result.recovery.recovery_time),
+           ToMillis(result.recovery.output_gap), result.restarts,
+           static_cast<unsigned long long>(result.replayed_envelopes),
+           static_cast<unsigned long long>(result.recovery.duplicates),
+           static_cast<unsigned long long>(result.recovery.lost),
+           100.0 * result.recovery.availability);
+
+    if (!result.failure.ok()) {
+      std::fprintf(stderr, "  %s VIOLATION: faulty run failed: %s\n", name.c_str(),
+                   result.failure.ToString().c_str());
+      ++violations;
+      continue;
+    }
+    if (result.restarts != 1) {
+      std::fprintf(stderr, "  %s VIOLATION: expected 1 supervised restart, got %d\n",
+                   name.c_str(), result.restarts);
+      ++violations;
+    }
+    const bool exactly_once = c.engine != Engine::kStorm;
+    if (exactly_once &&
+        (result.recovery.duplicates != 0 || result.recovery.lost != 0)) {
+      std::fprintf(stderr,
+                   "  %s VIOLATION: exactly-once engine produced %llu duplicates, "
+                   "%llu lost\n",
+                   name.c_str(),
+                   static_cast<unsigned long long>(result.recovery.duplicates),
+                   static_cast<unsigned long long>(result.recovery.lost));
+      ++violations;
+    }
+    if (!exactly_once && result.recovery.duplicates == 0) {
+      std::fprintf(stderr,
+                   "  %s VIOLATION: at-least-once engine replayed nothing "
+                   "(duplicates == 0 under a mid-run crash)\n",
+                   name.c_str());
+      ++violations;
+    }
+    if (!exactly_once && result.recovery.lost != 0) {
+      std::fprintf(stderr,
+                   "  %s VIOLATION: at-least-once engine lost %llu outputs\n",
+                   name.c_str(),
+                   static_cast<unsigned long long>(result.recovery.lost));
+      ++violations;
+    }
+    if (result.recovery.recovery_time < 0) {
+      std::fprintf(stderr, "  %s VIOLATION: output never resumed after the restart\n",
+                   name.c_str());
+      ++violations;
+    }
+    metrics.emplace_back("rt_recovery_time_ms_" + tag,
+                         ToMillis(result.recovery.recovery_time));
+    metrics.emplace_back("rt_output_gap_ms_" + tag,
+                         ToMillis(result.recovery.output_gap));
+
+    // Straggle companion (Flink only): a throttled-but-alive worker must
+    // neither trip the liveness detector nor change the output multiset.
+    if (c.engine == Engine::kFlink) {
+      rt::RtPipelineConfig straggle_config = configure(c.engine, true);
+      straggle_config.faults.Straggle("w1", crash_at, duration, 0.5);
+      rt::RtResult sresult = rt::RunRtPipeline(straggle_config);
+      chaos::RecoveryTracker::ApplyOracle(
+          sresult.observed_outputs, oracle.observed_outputs, &sresult.recovery);
+      report::RecoveryRow srow;
+      srow.engine = name + "+straggle";
+      srow.guarantee = "exactly-once";
+      srow.offered_rate = rate;
+      srow.stats = sresult.recovery;
+      srow.verdict = sresult.failure.ok() ? "tolerated" : sresult.failure.ToString();
+      rows.push_back(srow);
+      printf("  %-6s straggle x0.5: %s (restarts %d, duplicates %llu, lost %llu)\n",
+             name.c_str(), srow.verdict.c_str(), sresult.restarts,
+             static_cast<unsigned long long>(sresult.recovery.duplicates),
+             static_cast<unsigned long long>(sresult.recovery.lost));
+      if (!sresult.failure.ok() || sresult.restarts != 0 ||
+          sresult.recovery.duplicates != 0 || sresult.recovery.lost != 0) {
+        std::fprintf(stderr,
+                     "  %s VIOLATION: straggler tripped recovery (restarts %d) or "
+                     "changed the output multiset\n",
+                     name.c_str(), sresult.restarts);
+        ++violations;
+      }
+    }
+  }
+
+  printf("\n%s\n", report::RenderRecoveryTable(rows).c_str());
+  const Status csv_status =
+      report::WriteRecoveryCsv(bench::ResultsPath("figR_recovery_rt.csv"), rows);
+  if (!csv_status.ok()) {
+    std::fprintf(stderr, "failed to write figR_recovery_rt.csv: %s\n",
+                 csv_status.ToString().c_str());
+    return bench::Exit(telemetry, 2);
+  }
+
+  const std::string json_path = bench::ResultsPath("BENCH_recovery.json");
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return bench::Exit(telemetry, 2);
+  }
+  std::fprintf(f, "{\n  \"metrics\": {\n");
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "    \"%s\": %.0f%s\n", metrics[i].first.c_str(),
+                 metrics[i].second, i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  printf("wrote %s\n", json_path.c_str());
+
+  if (violations > 0) {
+    std::fprintf(stderr, "\n%d delivery-guarantee violation(s)\n", violations);
+    return bench::Exit(telemetry, 1);
+  }
+  return bench::Exit(telemetry);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -49,6 +252,7 @@ int main(int argc, char** argv) {
   FlagParser flags;
   flags.AddSwitch("--smoke", &smoke, "CI scale: fixed low rate, short horizon");
   bench::ParseFlagsOrExit(flags, argc, argv);
+  if (bench::Realtime()) return RunRealtime(telemetry, smoke);
   printf("== Fig. R: worker-crash recovery (2-node, agg query%s) ==\n\n",
          smoke ? ", smoke scale" : "");
 

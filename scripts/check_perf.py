@@ -16,6 +16,12 @@ num/den ratio must not fall below it. Ratio floors are exact (no
 tolerance): they encode an algorithmic guarantee, not a noise-prone
 absolute throughput.
 
+A "ceilings" section gates metrics where LOWER is better (e.g.
+rt_recovery_time_ms_*): the measured value must not rise more than
+`tolerance` above the committed ceiling. Values below the ceiling never
+fail, and a ceiling whose metric is missing from the measured output
+fails (the measurement silently disappearing is itself a regression).
+
 Metrics prefixed "rt_" are wall-clock measurements on real threads (the
 sdps::rt backend), not DES kernel numbers: they depend on the runner's
 core count, pinning permissions, and co-tenancy, so they get the wider
@@ -44,6 +50,7 @@ def main() -> int:
         baseline_doc = json.load(f)
     baseline = baseline_doc["metrics"]
     ratio_floors = baseline_doc.get("ratios", {})
+    ceilings = baseline_doc.get("ceilings", {})
 
     failures = []
     passed = 0
@@ -66,9 +73,29 @@ def main() -> int:
                 f"(floor {floor:,.0f} - {tolerance:.0%}), got {got:,.0f}")
         else:
             passed += 1
-    new_metrics = sorted(set(measured) - set(baseline))
+    new_metrics = sorted(set(measured) - set(baseline) - set(ceilings))
     for name in new_metrics:
         print(f"  WARN {name}: not in baseline (new metric?)")
+
+    for name, ceiling in sorted(ceilings.items()):
+        if name not in measured:
+            failures.append(f"{name}: expected <= {ceiling:,.0f}, "
+                            f"missing from measured output")
+            print(f"  FAIL {name}: missing from measured output")
+            continue
+        got = measured[name]
+        tolerance = args.rt_tolerance if name.startswith("rt_") else args.tolerance
+        maximum = ceiling * (1.0 + tolerance)
+        ratio = got / ceiling if ceiling else float("inf")
+        status = "OK " if got <= maximum else "FAIL"
+        print(f"  {status} {name}: {got:,.0f} vs ceiling {ceiling:,.0f} "
+              f"(x{ratio:.2f}, max {maximum:,.0f})")
+        if status == "FAIL":
+            failures.append(
+                f"{name}: expected <= {maximum:,.0f} "
+                f"(ceiling {ceiling:,.0f} + {tolerance:.0%}), got {got:,.0f}")
+        else:
+            passed += 1
 
     for name, spec in sorted(ratio_floors.items()):
         num, den = spec["num"], spec["den"]
@@ -91,7 +118,7 @@ def main() -> int:
     # One summary line either way, then every failure with its
     # expected-vs-actual — a red CI log should not require scrolling back
     # through the per-metric table to see what regressed.
-    total = len(baseline) + len(ratio_floors)
+    total = len(baseline) + len(ratio_floors) + len(ceilings)
     summary = (f"perf gate: {passed}/{total} floors OK, "
                f"{len(failures)} failed, {len(new_metrics)} unbaselined")
     if failures:

@@ -55,6 +55,7 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kGcStorm: return "gcstorm";
     case FaultKind::kDegrade: return "degrade";
     case FaultKind::kPartition: return "partition";
+    case FaultKind::kWedge: return "wedge";
   }
   return "?";
 }
@@ -122,6 +123,16 @@ FaultSchedule& FaultSchedule::Partition(std::string node, SimTime at, SimTime du
   return *this;
 }
 
+FaultSchedule& FaultSchedule::Wedge(std::string node, SimTime at, SimTime duration) {
+  FaultEvent ev;
+  ev.kind = FaultKind::kWedge;
+  ev.node = std::move(node);
+  ev.at = at;
+  ev.duration = duration;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
 std::vector<std::pair<SimTime, SimTime>> FaultSchedule::FaultWindows() const {
   std::vector<std::pair<SimTime, SimTime>> windows;
   windows.reserve(events_.size());
@@ -151,6 +162,7 @@ std::string FaultSchedule::ToSpec() const {
         s += ",every=" + FormatSeconds(ev.every);
         break;
       case FaultKind::kPartition:
+      case FaultKind::kWedge:
         s += ",for=" + FormatSeconds(ev.duration);
         break;
     }
@@ -177,6 +189,7 @@ Result<FaultSchedule> FaultSchedule::Parse(const std::string& spec) {
     else if (kind_str == "gcstorm") kind = FaultKind::kGcStorm;
     else if (kind_str == "degrade") kind = FaultKind::kDegrade;
     else if (kind_str == "partition") kind = FaultKind::kPartition;
+    else if (kind_str == "wedge") kind = FaultKind::kWedge;
     else return ParseError(i, piece, "unknown kind \"" + kind_str + "\"");
 
     const size_t colon_pos = piece.find(':', at_pos);
@@ -264,8 +277,9 @@ Result<FaultSchedule> FaultSchedule::Parse(const std::string& spec) {
         }
         break;
       case FaultKind::kPartition:
+      case FaultKind::kWedge:
         ev.duration = kDefaultDuration;
-        ev.factor = kPartitionFactor;
+        if (kind == FaultKind::kPartition) ev.factor = kPartitionFactor;
         if (take("for", &v)) {
           if (!ParseDouble(v, &d)) return ParseError(i, piece, "bad for=\"" + v + "\"");
           ev.duration = Seconds(d);

@@ -11,8 +11,15 @@
 //   gcstorm    node=<name>[,for=<s>][,pause=<ms>][,every=<s>]
 //   degrade    node=<name>[,for=<s>][,factor=<f>]   scale NIC bandwidth to f
 //   partition  node=<name>[,for=<s>]                degrade with factor ~0
+//   wedge      node=<name>[,for=<s>]                stop consuming input, stay alive
 // Node names follow cluster naming: "w0".."wN" (workers), "d0".."dN"
 // (drivers), "master".
+//
+// `wedge` is a wall-clock-only fault: the worker thread keeps running but
+// stops popping its input ring, so only a liveness detector (the
+// rt::Supervisor heartbeat) can tell it from a slow worker. The DES
+// injector rejects it — modeled time has no "alive but not making
+// progress" state that is distinguishable from a straggle.
 // Example: "crash@60:node=w0,restart=15;straggle@90:node=w1,factor=0.5,for=30"
 #ifndef SDPS_CHAOS_FAULT_SCHEDULE_H_
 #define SDPS_CHAOS_FAULT_SCHEDULE_H_
@@ -27,7 +34,7 @@
 
 namespace sdps::chaos {
 
-enum class FaultKind { kCrash, kStraggle, kGcStorm, kDegrade, kPartition };
+enum class FaultKind { kCrash, kStraggle, kGcStorm, kDegrade, kPartition, kWedge };
 
 const char* FaultKindName(FaultKind kind);
 
@@ -59,6 +66,7 @@ class FaultSchedule {
                          SimTime every);
   FaultSchedule& Degrade(std::string node, SimTime at, SimTime duration, double factor);
   FaultSchedule& Partition(std::string node, SimTime at, SimTime duration);
+  FaultSchedule& Wedge(std::string node, SimTime at, SimTime duration);
 
   bool empty() const { return events_.empty(); }
   size_t size() const { return events_.size(); }

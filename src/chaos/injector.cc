@@ -24,6 +24,15 @@ Status FaultInjector::Install() {
           StrFormat("fault-schedule: negative injection time for %s on %s",
                     FaultKindName(ev.kind), ev.node.c_str()));
     }
+    if (ev.kind == FaultKind::kWedge) {
+      // A wedge is "alive but not consuming": in modeled time that is
+      // indistinguishable from a straggle, so the fault only exists on the
+      // realtime backend where a heartbeat can observe the stalled ring.
+      return Status::InvalidArgument(
+          StrFormat("fault-schedule: wedge on %s is a realtime-only fault "
+                    "(use --realtime, or straggle under DES)",
+                    ev.node.c_str()));
+    }
   }
   for (const FaultEvent& ev : schedule_.events()) {
     cluster::Node& node = *cluster_.FindNode(ev.node);
@@ -41,6 +50,8 @@ Status FaultInjector::Install() {
       case FaultKind::kPartition:
         InjectDegrade(node, ev);
         break;
+      case FaultKind::kWedge:
+        break;  // rejected above
     }
   }
   return Status::OK();

@@ -62,10 +62,21 @@ Executor::Executor(Options options)
 
 Executor::~Executor() { JoinAll(); }
 
-void Executor::Spawn(std::string name, std::function<void()> fn) {
+int Executor::num_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+Executor::WorkerId Executor::Spawn(std::string name, std::function<void()> fn) {
   SDPS_CHECK(fn != nullptr);
-  threads_.push_back(std::make_unique<Worker>());
-  Worker* worker = threads_.back().get();
+  Worker* worker = nullptr;
+  WorkerId id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads_.push_back(std::make_unique<Worker>());
+    worker = threads_.back().get();
+    id = static_cast<WorkerId>(threads_.size()) - 1;
+  }
   const des::TimeSource* trace_clock = options_.trace_clock;
   Profiler* profiler = options_.profiler;
   worker->thread =
@@ -92,18 +103,46 @@ void Executor::Spawn(std::string name, std::function<void()> fn) {
       });
   NameThread(worker->thread, name);
   if (options_.pin_threads) {
+    std::lock_guard<std::mutex> lock(mu_);
     PinToCpu(worker->thread, next_cpu_++);
+  }
+  return id;
+}
+
+void Executor::JoinWorker(Worker& worker) {
+  if (worker.thread.joinable()) {
+    worker.thread.join();
+    obs::MergeThreadLogMessageCounts(worker.log_delta);
+    if (worker.traced) obs::Tracer::Default().Merge(worker.trace_delta);
   }
 }
 
-void Executor::JoinAll() {
-  for (std::unique_ptr<Worker>& worker : threads_) {
-    if (worker->thread.joinable()) {
-      worker->thread.join();
-      obs::MergeThreadLogMessageCounts(worker->log_delta);
-      if (worker->traced) obs::Tracer::Default().Merge(worker->trace_delta);
-    }
+void Executor::Join(WorkerId id) {
+  Worker* worker = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SDPS_CHECK_GE(id, 0);
+    SDPS_CHECK_LT(static_cast<size_t>(id), threads_.size());
+    worker = threads_[static_cast<size_t>(id)].get();
   }
+  // Join outside the lock: the worker slot never moves, and a concurrent
+  // Spawn must not wait behind a (possibly slow) thread exit.
+  JoinWorker(*worker);
+}
+
+void Executor::JoinAll() {
+  // Index-based so a Spawn that raced the start of shutdown (none in the
+  // current protocol, but cheap to be exact about) is still joined.
+  for (size_t i = 0;; ++i) {
+    Worker* worker = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (i >= threads_.size()) break;
+      worker = threads_[i].get();
+    }
+    JoinWorker(*worker);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   threads_.clear();
 }
 

@@ -15,6 +15,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -57,11 +58,21 @@ class Executor {
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
+  /// Identifies one spawned worker for a targeted Join().
+  using WorkerId = int;
+
   /// Launches `fn` on a dedicated thread named `name` (visible in
   /// /proc/<pid>/task/*/comm, debuggers, and profilers; truncated to the
   /// kernel's 15-char limit), pinned to the next CPU in the round-robin
-  /// cycle.
-  void Spawn(std::string name, std::function<void()> fn);
+  /// cycle. Thread-safe: the rt::Supervisor spawns replacement workers
+  /// from its own pool thread while the main thread owns the pipeline.
+  WorkerId Spawn(std::string name, std::function<void()> fn);
+
+  /// Joins one worker (which must be about to exit or already exited),
+  /// folding its log tallies and trace capture into the calling thread —
+  /// the supervisor's path for retiring a crashed incarnation before
+  /// spawning its replacement.
+  void Join(WorkerId id);
 
   /// Joins every spawned thread, folding each worker's log tallies into
   /// the calling thread's. Returns when all workers have exited; the
@@ -69,11 +80,17 @@ class Executor {
   /// exit.
   void JoinAll();
 
-  int num_threads() const { return static_cast<int>(threads_.size()); }
+  int num_threads() const;
 
  private:
   struct Worker;
+  void JoinWorker(Worker& worker);
+
   Options options_;
+  // Guards threads_ growth: the supervisor thread spawns replacements
+  // concurrently with nothing else, but the lock keeps the invariant
+  // local instead of protocol-dependent.
+  mutable std::mutex mu_;
   // unique_ptr: running threads hold a pointer to their Worker slot, so
   // the slot must not move when the vector grows.
   std::vector<std::unique_ptr<Worker>> threads_;

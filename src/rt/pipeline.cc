@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <deque>
+#include <functional>
 #include <limits>
 #include <map>
 #include <optional>
@@ -9,7 +11,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "chaos/recovery.h"
 #include "common/check.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "driver/latency_sink.h"
 #include "engine/batch.h"
@@ -20,11 +24,13 @@
 #include "obs/log_bridge.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rt/chaos.h"
 #include "rt/clock.h"
 #include "rt/executor.h"
 #include "rt/generator.h"
 #include "rt/profiler.h"
 #include "rt/spsc_ring.h"
+#include "rt/supervisor.h"
 
 namespace sdps::rt {
 
@@ -48,7 +54,9 @@ int64_t FloorDiv(int64_t a, int64_t b) {
 /// One ring element: a run of same-partition records (the batched data
 /// plane's coalescing unit) and/or an in-band per-source watermark. The
 /// watermark applies AFTER the records — ring FIFO order is what keeps
-/// watermarks from overtaking the records they retire.
+/// watermarks from overtaking the records they retire. `origin` is the
+/// producing source on every envelope (the recovery path acks per ring,
+/// so tasks must know which ring each envelope came from).
 struct Envelope {
   engine::RecordBatch records;
   bool has_watermark = false;
@@ -59,14 +67,24 @@ struct Envelope {
 /// Round-robin non-blocking pop across several rings with the ring's
 /// spin/yield/nap backoff. Returns nullopt only once every ring is closed
 /// AND drained (a final sweep after observing closed catches the
-/// push-then-close race: the close's release makes the last push visible).
-/// With `counters`/`clock` set, wall time spent past the first empty sweep
-/// is charged to counters->pop_wait_us (the profiler's "wait" bucket);
-/// the instant-hit fast path never reads the clock.
+/// push-then-close race: the close's release makes the last push visible)
+/// — or, on the supervised/chaos path, when the slot was ordered out
+/// (`ctrl->kill`) or the pipeline aborted. With `ctrl` set, each sweep
+/// bumps the slot heartbeat so an idle-but-alive consumer never looks
+/// wedged. With `deadline` >= 0, an idle wait past it returns nullopt with
+/// `*timed_out` set — the transactional (Flink) task uses this to commit a
+/// checkpoint while idle: its producers may be blocked on the retained
+/// ring waiting for exactly that ack, so waiting for an envelope first
+/// would deadlock. With `counters`/`clock` set, wall time spent past the
+/// first empty sweep is charged to counters->pop_wait_us (the profiler's
+/// "wait" bucket); the instant-hit fast path never reads the clock.
 template <typename T>
 std::optional<T> PopAny(std::vector<SpscRing<T>*>& rings, size_t* rr,
                         Profiler::StageCounters* counters = nullptr,
-                        const Clock* clock = nullptr) {
+                        const Clock* clock = nullptr,
+                        Supervisor::SlotCtrl* ctrl = nullptr,
+                        const std::atomic<bool>* aborted = nullptr,
+                        SimTime deadline = -1, bool* timed_out = nullptr) {
   int spins = 0;
   SimTime wait_begin = -1;
   const auto charge_wait = [&] {
@@ -76,6 +94,17 @@ std::optional<T> PopAny(std::vector<SpscRing<T>*>& rings, size_t* rr,
     }
   };
   for (;;) {
+    if (ctrl != nullptr) {
+      ctrl->heartbeat.fetch_add(1, std::memory_order_relaxed);
+      if (ctrl->kill.load(std::memory_order_acquire)) {
+        charge_wait();
+        return std::nullopt;
+      }
+    }
+    if (aborted != nullptr && aborted->load(std::memory_order_acquire)) {
+      charge_wait();
+      return std::nullopt;
+    }
     bool all_closed = true;
     for (size_t k = 0; k < rings.size(); ++k) {
       SpscRing<T>& ring = *rings[(*rr + k) % rings.size()];
@@ -104,6 +133,11 @@ std::optional<T> PopAny(std::vector<SpscRing<T>*>& rings, size_t* rr,
     } else if (spins < 128) {
       std::this_thread::yield();
     } else {
+      if (deadline >= 0 && clock != nullptr && clock->now() >= deadline) {
+        if (timed_out != nullptr) *timed_out = true;
+        charge_wait();
+        return std::nullopt;
+      }
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
   }
@@ -125,11 +159,15 @@ struct SparkBucket {
 /// engines/spark).
 class SparkTaskState {
  public:
-  SparkTaskState(const engine::QueryConfig& query, SimTime batch_interval)
+  /// `resume_boundary` >= 0 restarts the cursor at a committed boundary (a
+  /// recovered incarnation must not re-evaluate what it already emitted);
+  /// -1 starts fresh at the first boundary.
+  SparkTaskState(const engine::QueryConfig& query, SimTime batch_interval,
+                 int64_t resume_boundary = -1)
       : query_(query), batch_interval_(batch_interval) {
     range_batches_ = query.window.range / batch_interval;
     slide_batches_ = query.window.slide / batch_interval;
-    next_boundary_ = slide_batches_;
+    next_boundary_ = resume_boundary >= 0 ? resume_boundary : slide_batches_;
   }
 
   void Add(const Record& rec) {
@@ -161,6 +199,11 @@ class SparkTaskState {
       next_boundary_ += slide_batches_;
     }
   }
+
+  /// The next boundary FireUpTo will evaluate: everything below is
+  /// committed output (the Spark recovery cursor).
+  int64_t next_boundary() const { return next_boundary_; }
+  int64_t range_batches() const { return range_batches_; }
 
  private:
   void EvaluateBoundary(int64_t nb, std::vector<OutputRecord>* outs) {
@@ -214,6 +257,29 @@ class SparkTaskState {
   std::map<int64_t, SparkBucket> buckets_;
 };
 
+/// The Flink model's committed checkpoint: a deep copy of the window state
+/// + watermark tracker at the commit point. Restoring it and replaying the
+/// ring suffix above the ack frontier reconstructs the crashed incarnation
+/// exactly (replay re-folds exactly the post-checkpoint envelopes).
+struct FlinkSnapshot {
+  std::optional<engine::AggWindowState> agg;
+  std::optional<engine::JoinWindowState> join;
+  std::optional<engine::WatermarkTracker> tracker;
+  uint64_t late = 0;
+};
+
+/// Durable per-task-slot state shared by every incarnation of the slot.
+/// The supervisor's join serializes incarnations (and the respawn path),
+/// so the non-atomic fields need no locks.
+struct TaskSlot {
+  Supervisor::SlotCtrl ctrl;
+  SlotChaos chaos;
+  std::optional<FlinkSnapshot> flink_ckpt;  // Flink: last committed checkpoint
+  int64_t spark_committed = -1;             // Spark: committed boundary cursor
+  uint64_t replayed = 0;                    // envelopes re-delivered on restarts
+  uint64_t checkpoints = 0;                 // Flink checkpoints committed
+};
+
 }  // namespace
 
 RtResult RunRtPipeline(const RtPipelineConfig& config) {
@@ -233,6 +299,31 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
   const int S = config.num_sources;
   const int T = config.num_tasks;
   const size_t batch = static_cast<size_t>(config.batch);
+  RtResult result;
+
+  // Compile the fault plan against this pipeline shape before anything
+  // spawns: a bad plan is a config error, not a mid-run surprise.
+  Result<RtChaosPlan> plan_or = RtChaosPlan::Compile(config.faults, S, T);
+  if (!plan_or.ok()) {
+    result.failure = plan_or.status();
+    return result;
+  }
+  const RtChaosPlan plan = std::move(plan_or).value();
+  const auto task_fault = [&plan](chaos::FaultKind kind) {
+    for (const auto& faults : plan.task_faults) {
+      for (const RtFault& f : faults) {
+        if (f.kind == kind) return true;
+      }
+    }
+    return false;
+  };
+  // Crash/wedge on a task makes its input rings a replayable log; the
+  // plain pipeline (and straggle-only runs) keeps the original move-out
+  // pop with no ack bookkeeping.
+  const bool retain = task_fault(chaos::FaultKind::kCrash) ||
+                      task_fault(chaos::FaultKind::kWedge);
+  const bool supervise_tasks = retain && config.chaos.supervise;
+  const bool run_supervisor = supervise_tasks || config.watchdog_timeout > 0;
 
   Clock clock;
   // Telemetry time = this pipeline's wall clock: spans recorded by any
@@ -245,6 +336,7 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
   data_rings.reserve(static_cast<size_t>(S * T));
   for (int i = 0; i < S * T; ++i) {
     data_rings.push_back(std::make_unique<SpscRing<Envelope>>(config.ring_capacity));
+    if (retain) data_rings.back()->set_retain(true);
   }
   auto ring_of = [&](int s, int t) -> SpscRing<Envelope>& {
     return *data_rings[static_cast<size_t>(s * T + t)];
@@ -274,7 +366,8 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
                                           static_cast<double>(config.duration))
                    : 0;
   driver::LatencySink sink(clock, warmup_end);
-  RtResult result;
+  chaos::RecoveryTracker rtracker;
+  if (config.track_recovery) sink.set_recovery_tracker(&rtracker);
   std::vector<OutputRecord> captured;
   if (config.capture_outputs) {
     sink.SetOutputListener(
@@ -284,6 +377,27 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
   std::atomic<uint64_t> input_records{0};
   std::atomic<uint64_t> input_tuples{0};
   std::atomic<uint64_t> late_tuples{0};
+  // Teardown + watchdog plane: one flag every blocking loop checks, one
+  // monotone counter the watchdog reads as sink progress, one flag that
+  // tells the supervisor the sink drained (its exit condition).
+  std::atomic<bool> pipeline_aborted{false};
+  std::atomic<bool> sink_done{false};
+  std::atomic<uint64_t> outputs_emitted{0};
+  const auto abort_pipeline = [&] {
+    pipeline_aborted.store(true, std::memory_order_release);
+    for (auto& ring : data_rings) ring->Abort();
+    for (auto& ring : sink_rings) ring->Abort();
+  };
+
+  // Durable slot state (fault plans, checkpoint snapshots, commit
+  // cursors): outlives every incarnation.
+  std::vector<std::unique_ptr<TaskSlot>> task_slots;
+  task_slots.reserve(static_cast<size_t>(T));
+  for (int t = 0; t < T; ++t) {
+    task_slots.push_back(std::make_unique<TaskSlot>());
+    task_slots.back()->chaos =
+        SlotChaos(plan.task_faults[static_cast<size_t>(t)]);
+  }
 
   // Observability plane (DESIGN.md §6): optional sampler profiling every
   // ring and stage thread, optional wall-clock span tracing on every
@@ -326,6 +440,28 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
   exec_options.trace_clock = config.trace ? &clock : nullptr;
   exec_options.profiler = profiler.has_value() ? &*profiler : nullptr;
   Executor executor(exec_options);
+
+  std::optional<Supervisor> supervisor;
+  if (run_supervisor) {
+    Supervisor::Options sup;
+    sup.clock = &clock;
+    sup.executor = &executor;
+    sup.poll_period = config.chaos.poll_period;
+    sup.stall_timeout = config.chaos.stall_timeout;
+    sup.max_restarts = config.chaos.max_restarts;
+    sup.backoff_initial = config.chaos.backoff_initial;
+    sup.watchdog_timeout = config.watchdog_timeout;
+    sup.progress = [&outputs_emitted] {
+      return outputs_emitted.load(std::memory_order_relaxed);
+    };
+    sup.fault_windows = plan.WallWindows(config.fault_grace, supervise_tasks);
+    sup.abort_pipeline = abort_pipeline;
+    sup.pipeline_done = [&sink_done] {
+      return sink_done.load(std::memory_order_acquire);
+    };
+    supervisor.emplace(std::move(sup));
+  }
+
   clock.Start();
   if (profiler.has_value()) profiler->Start();
   obs::FlightRecorder::Note("rt.pipeline.start", S, T);
@@ -336,10 +472,13 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
     executor.Spawn("rt-src-" + std::to_string(s), [&, s, counters] {
       Generator gen(gen_configs[static_cast<size_t>(s)],
                     source_rngs[static_cast<size_t>(s)]);
+      SlotChaos schaos(plan.source_faults[static_cast<size_t>(s)]);
       std::vector<engine::RecordBatch> open(static_cast<size_t>(T));
       uint64_t records = 0, tuples = 0, watermarks = 0;
       SimTime max_event = engine::kNoWatermark;
       SimTime next_wm = config.watermark_every;
+      SimTime straggle_last = clock.now();
+      bool alive = true;
       // The worker's thread-local tracer (enabled by the executor when
       // config.trace); disabled, the spans below are a branch each.
       obs::Tracer& tracer = obs::Tracer::Default();
@@ -352,7 +491,9 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
         const SimTime t0 = clock.now();
         {
           obs::ScopedSpan blocked(tracer, track, "ring.push_block");
-          ring.Push(std::move(env));
+          // A false return means the ring was aborted (supervisor
+          // teardown): stop producing, the run is over.
+          if (!ring.Push(std::move(env))) alive = false;
         }
         if (counters != nullptr) {
           counters->blocked_us.fetch_add(clock.now() - t0,
@@ -366,6 +507,7 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
         span.Arg("records", static_cast<double>(b.size()));
         Envelope env;
         env.records = std::move(b);
+        env.origin = s;
         b = engine::RecordBatch();
         push_blocking(t, std::move(env));
       };
@@ -384,7 +526,7 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
 
       for (;;) {
         auto rec = gen.Next();
-        if (!rec.has_value()) break;
+        if (!rec.has_value() || !alive) break;
         const SimTime planned = gen.planned_time();
         if (config.paced) gen.PaceTo(clock);
         if (planned >= next_wm && max_event != engine::kNoWatermark) {
@@ -399,10 +541,20 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
         engine::RecordBatch& b = open[static_cast<size_t>(t)];
         b.PushBack(*rec);
         if (b.size() >= batch) flush(t);
+        if (schaos.armed()) {
+          // Source straggle: throttle ingest to `factor` of wall time
+          // (sources are unsupervised — slow, never dead).
+          const SimTime now = clock.now();
+          const SimTime zzz = schaos.StraggleSleep(now, now - straggle_last);
+          if (zzz > 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(zzz));
+          }
+          straggle_last = clock.now();
+        }
       }
       // Horizon reached: flush everything, flush every window, end the
       // streams. Close after the final watermark so consumers drain it.
-      broadcast_wm(kFinalWatermark);
+      if (alive) broadcast_wm(kFinalWatermark);
       for (int t = 0; t < T; ++t) ring_of(s, t).Close();
       input_records.fetch_add(records, std::memory_order_relaxed);
       input_tuples.fetch_add(tuples, std::memory_order_relaxed);
@@ -421,40 +573,208 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
   }
 
   // -- Tasks ----------------------------------------------------------------
+  // The body is a named, durable callable (not a one-shot lambda in Spawn)
+  // because the supervisor's respawn path runs the same body again as the
+  // slot's next incarnation.
+  std::vector<std::function<void()>> task_bodies(static_cast<size_t>(T));
+  std::vector<Executor::WorkerId> task_workers(static_cast<size_t>(T), -1);
   for (int t = 0; t < T; ++t) {
     Profiler::StageCounters* const counters = task_counters[static_cast<size_t>(t)];
-    executor.Spawn("rt-task-" + std::to_string(t), [&, t, counters] {
+    task_bodies[static_cast<size_t>(t)] = [&, t, counters] {
+      TaskSlot& slot = *task_slots[static_cast<size_t>(t)];
+      Supervisor::SlotCtrl* const ctrl = supervise_tasks ? &slot.ctrl : nullptr;
       std::vector<SpscRing<Envelope>*> inputs;
       for (int s = 0; s < S; ++s) inputs.push_back(&ring_of(s, t));
-      engine::WatermarkTracker tracker(S);
       const engine::WindowAssigner assigner(config.query.window);
       const bool agg = config.query.kind == engine::QueryKind::kAggregation;
+      const bool flink = config.model == RtPipelineConfig::Model::kFlink;
+      const bool spark = config.model == RtPipelineConfig::Model::kSpark;
       obs::Tracer& tracer = obs::Tracer::Default();
       const obs::TrackId track =
           tracer.Track("rt", "rt-task-" + std::to_string(t));
 
       // The engines' own logical state, per model (flink: incremental
       // aggregates; storm: buffered windows; spark: bucket partials).
+      // Recovery restore per engine model:
+      //   flink  last committed checkpoint snapshot (exactly-once)
+      //   spark  committed boundary cursor; bucket recompute from replay
+      //          (exactly-once)
+      //   storm  fresh state + full replay from the ack frontier
+      //          (at-least-once: already-delivered windows refire)
+      engine::WatermarkTracker tracker(S);
       std::optional<engine::AggWindowState> flink_state;
       std::optional<engine::BufferedWindowState> storm_state;
       std::optional<engine::JoinWindowState> join_state;
       std::optional<SparkTaskState> spark_state;
-      if (config.model == RtPipelineConfig::Model::kSpark) {
-        spark_state.emplace(config.query, config.batch_interval);
+      uint64_t late = 0;
+      if (spark) {
+        spark_state.emplace(config.query, config.batch_interval,
+                            slot.spark_committed);
       } else if (!agg) {
         join_state.emplace(assigner);
-      } else if (config.model == RtPipelineConfig::Model::kFlink) {
+      } else if (flink) {
         flink_state.emplace(assigner);
       } else {
         storm_state.emplace(assigner);
       }
+      if (flink && slot.flink_ckpt.has_value()) {
+        const FlinkSnapshot& ckpt = *slot.flink_ckpt;
+        if (ckpt.agg) flink_state = ckpt.agg;
+        if (ckpt.join) join_state = ckpt.join;
+        tracker = *ckpt.tracker;
+        late = ckpt.late;
+      }
 
-      uint64_t late = 0, records = 0, fired_outputs = 0;
+      // Flink under retention runs a transactional sink: fired outputs
+      // buffer here and reach the sink ring only when the checkpoint
+      // commits (so a crash can never have emitted uncommitted state).
+      const bool transactional = flink && retain;
+      std::vector<OutputRecord> pending;
+      SimTime next_ckpt = clock.now() + config.chaos.checkpoint_every;
+      // Storm/Spark ack bookkeeping: per input ring, FIFO entries of
+      // (absolute pop index one past the envelope, its max event time).
+      // An envelope is acked once no unfired window / uncommitted
+      // boundary can still need its records.
+      const bool storm_acks =
+          retain && config.model == RtPipelineConfig::Model::kStorm;
+      const bool spark_acks = retain && spark;
+      std::vector<std::deque<std::pair<uint64_t, SimTime>>> ack_log;
+      if (storm_acks || spark_acks) ack_log.resize(inputs.size());
+      const auto ack_through_frontier = [&](SimTime frontier, bool strict) {
+        for (size_t r = 0; r < inputs.size(); ++r) {
+          auto& log = ack_log[r];
+          uint64_t ack_to = 0;
+          bool any = false;
+          while (!log.empty() && (strict ? log.front().second < frontier
+                                         : log.front().second <= frontier)) {
+            ack_to = log.front().first;
+            any = true;
+            log.pop_front();
+          }
+          if (any) inputs[r]->AckThrough(ack_to);
+        }
+      };
+
+      SpscRing<std::vector<OutputRecord>>& out_ring =
+          *sink_rings[static_cast<size_t>(t)];
+      auto push_outputs = [&](std::vector<OutputRecord>&& outs) {
+        if (outs.empty()) return;
+        if (out_ring.TryPush(std::move(outs))) return;
+        const SimTime t0 = clock.now();
+        {
+          obs::ScopedSpan blocked(tracer, track, "ring.push_block");
+          out_ring.Push(std::move(outs));  // false only on abort: run over
+        }
+        if (counters != nullptr) {
+          counters->blocked_us.fetch_add(clock.now() - t0,
+                                         std::memory_order_relaxed);
+        }
+      };
+      // Flink checkpoint: commit pending outputs, snapshot state, ack the
+      // consumed ring prefix. Runs between envelopes, so it is atomic
+      // with respect to injected faults by construction.
+      const auto checkpoint = [&](SimTime now) {
+        obs::ScopedSpan span(tracer, track, "chaos.checkpoint");
+        push_outputs(std::move(pending));
+        pending.clear();
+        FlinkSnapshot snap;
+        if (flink_state) snap.agg = *flink_state;
+        if (join_state) snap.join = *join_state;
+        snap.tracker = tracker;
+        snap.late = late;
+        slot.flink_ckpt = std::move(snap);
+        for (SpscRing<Envelope>* ring : inputs) {
+          ring->AckThrough(ring->pop_index());
+        }
+        ++slot.checkpoints;
+        next_ckpt = now + config.chaos.checkpoint_every;
+      };
+
+      uint64_t records = 0, fired_outputs = 0;
       std::vector<OutputRecord> fired;
       size_t rr = 0;
+      bool fault_exit = false;
       for (;;) {
-        auto env = PopAny(inputs, &rr, counters, &clock);
-        if (!env.has_value()) break;
+        bool pop_timed_out = false;
+        auto env = PopAny(inputs, &rr, counters, &clock, ctrl,
+                          &pipeline_aborted,
+                          transactional ? next_ckpt : SimTime{-1},
+                          &pop_timed_out);
+        if (!env.has_value()) {
+          if (pop_timed_out) {
+            // Idle past the checkpoint cadence: commit now — the sources
+            // may be blocked on the retained rings waiting for this ack.
+            checkpoint(clock.now());
+            continue;
+          }
+          // nullopt: the streams drained — or the slot was ordered out /
+          // the pipeline aborted, which must not look like a clean end.
+          fault_exit = (ctrl != nullptr &&
+                        ctrl->kill.load(std::memory_order_acquire)) ||
+                       pipeline_aborted.load(std::memory_order_acquire);
+          break;
+        }
+        if (slot.chaos.armed()) {
+          const RtFault* fault = slot.chaos.Due(clock.now());
+          if (fault != nullptr && fault->kind == chaos::FaultKind::kCrash) {
+            // Injected crash: the incarnation dies with this envelope
+            // popped but unapplied — exactly the mid-batch loss the
+            // retained ring replays to the replacement.
+            const SimTime now = clock.now();
+            slot.ctrl.fault_wall.store(now, std::memory_order_release);
+            SDPS_LOG(Warning) << "rt chaos: injected crash on rt-task-" << t
+                              << " at t=" << ToSeconds(now) << "s";
+            obs::FlightRecorder::Note("rt.chaos.crash", t, now);
+            if (const Status dumped =
+                    obs::FlightRecorder::Dump("rt chaos: injected crash");
+                !dumped.ok()) {
+              SDPS_LOG(Warning) << "flight-recorder dump failed: "
+                                << dumped.ToString();
+            }
+            fault_exit = true;
+            break;
+          }
+          if (fault != nullptr && fault->kind == chaos::FaultKind::kWedge) {
+            // Injected wedge: stay alive, stop consuming, freeze the
+            // heartbeat. Only the supervisor's liveness detector (or the
+            // wedge window expiring) gets the slot out of here.
+            const SimTime now = clock.now();
+            slot.ctrl.fault_wall.store(now, std::memory_order_release);
+            SDPS_LOG(Warning) << "rt chaos: injected wedge on rt-task-" << t
+                              << " at t=" << ToSeconds(now) << "s";
+            obs::FlightRecorder::Note("rt.chaos.wedge", t, now);
+            if (const Status dumped =
+                    obs::FlightRecorder::Dump("rt chaos: injected wedge");
+                !dumped.ok()) {
+              SDPS_LOG(Warning) << "flight-recorder dump failed: "
+                                << dumped.ToString();
+            }
+            const SimTime wedge_end =
+                fault->duration > 0 ? fault->at + fault->duration
+                                    : std::numeric_limits<SimTime>::max();
+            bool killed = false;
+            for (;;) {
+              if (ctrl != nullptr &&
+                  ctrl->kill.load(std::memory_order_acquire)) {
+                killed = true;
+                break;
+              }
+              if (pipeline_aborted.load(std::memory_order_acquire)) {
+                killed = true;
+                break;
+              }
+              if (clock.now() >= wedge_end) break;
+              std::this_thread::sleep_for(std::chrono::microseconds(500));
+            }
+            if (killed) {
+              fault_exit = true;
+              break;
+            }
+            // Transient wedge nobody killed: resume, starting with the
+            // envelope we froze on.
+          }
+        }
+        const SimTime busy_begin = slot.chaos.armed() ? clock.now() : 0;
         if (!env->records.empty()) {
           records += env->records.size();
           obs::ScopedSpan apply(tracer, track, "window.apply");
@@ -475,6 +795,20 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
                         .late_tuples;
           }
         }
+        if (!ack_log.empty()) {
+          // Record this envelope's ack entry under its ring: the index one
+          // past it (pop_index right after the pop) and the largest event
+          // time it carries (a watermark envelope's is its wm value).
+          SimTime ack_event = env->watermark;
+          if (!env->has_watermark) {
+            ack_event = std::numeric_limits<SimTime>::min();
+            for (const Record& rec : env->records) {
+              ack_event = std::max(ack_event, rec.event_time);
+            }
+          }
+          ack_log[static_cast<size_t>(env->origin)].emplace_back(
+              inputs[static_cast<size_t>(env->origin)]->pop_index(), ack_event);
+        }
         if (env->has_watermark && tracker.Update(env->origin, env->watermark)) {
           fired.clear();
           const SimTime wm = tracker.current();
@@ -493,24 +827,78 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
                                     static_cast<int64_t>(fired.size()));
           if (!fired.empty()) {
             fired_outputs += fired.size();
-            SpscRing<std::vector<OutputRecord>>& out_ring =
-                *sink_rings[static_cast<size_t>(t)];
-            if (!out_ring.TryPush(std::move(fired))) {
-              const SimTime t0 = clock.now();
-              {
-                obs::ScopedSpan blocked(tracer, track, "ring.push_block");
-                out_ring.Push(std::move(fired));
-              }
-              if (counters != nullptr) {
-                counters->blocked_us.fetch_add(clock.now() - t0,
-                                               std::memory_order_relaxed);
-              }
+            if (transactional) {
+              pending.insert(pending.end(), fired.begin(), fired.end());
+            } else {
+              push_outputs(std::move(fired));
+              fired = std::vector<OutputRecord>();
             }
-            fired = std::vector<OutputRecord>();
+          }
+          if (storm_acks) {
+            // At-least-once ack frontier: every window containing a record
+            // with event time e has end > e, and fires once end <= wm — so
+            // an envelope whose max event <= wm - range can no longer
+            // reach an unfired window. Its outputs were pushed above
+            // (before the ack), hence at-least-once: a crash after the
+            // push refires those windows from replay as duplicates.
+            ack_through_frontier(wm - config.query.window.range,
+                                 /*strict=*/false);
+          } else if (spark_acks) {
+            // Committed-cursor commit: boundaries below next_boundary()
+            // are emitted; a restart resumes the cursor there and only
+            // needs buckets >= cursor - range_batches + 1, i.e. records
+            // with event time >= (cursor - range_batches) * interval.
+            slot.spark_committed = spark_state->next_boundary();
+            const SimTime frontier =
+                (slot.spark_committed - spark_state->range_batches()) *
+                config.batch_interval;
+            ack_through_frontier(frontier, /*strict=*/true);
           }
         }
+        if (slot.chaos.armed()) {
+          // Straggle throttle: stretch this envelope's processing time to
+          // busy / factor, sleeping in short chunks that keep the
+          // heartbeat live (a straggler is slow, not wedged) and stay
+          // responsive to kill/abort.
+          const SimTime now = clock.now();
+          SimTime zzz = slot.chaos.StraggleSleep(now, now - busy_begin);
+          while (zzz > 0) {
+            if (ctrl != nullptr && ctrl->kill.load(std::memory_order_acquire)) {
+              break;
+            }
+            if (pipeline_aborted.load(std::memory_order_acquire)) break;
+            const SimTime chunk = std::min<SimTime>(zzz, Millis(5));
+            std::this_thread::sleep_for(std::chrono::microseconds(chunk));
+            if (ctrl != nullptr) {
+              ctrl->heartbeat.fetch_add(1, std::memory_order_relaxed);
+            }
+            zzz -= chunk;
+          }
+        }
+        if (transactional) {
+          const SimTime now = clock.now();
+          if (now >= next_ckpt) checkpoint(now);
+        }
       }
-      sink_rings[static_cast<size_t>(t)]->Close();
+
+      if (fault_exit) {
+        obs::FlightRecorder::Note("rt.task.exit", t, clock.now());
+        if (ctrl != nullptr) {
+          // Hand the slot to the supervisor: it joins this thread, rewinds
+          // the rings to the ack frontier, and respawns the body.
+          ctrl->exited.store(true, std::memory_order_release);
+        }
+        return;
+      }
+      // Clean drain: commit the tail, close downstream, fold metrics.
+      // Folding happens only here — a restarted incarnation re-processes
+      // replayed envelopes, so per-incarnation folding would double-count.
+      if (transactional && !pending.empty()) {
+        push_outputs(std::move(pending));
+        pending.clear();
+      }
+      out_ring.Close();
+      slot.ctrl.done.store(true, std::memory_order_release);
       late_tuples.fetch_add(late, std::memory_order_relaxed);
       if (counters != nullptr) {
         counters->records.fetch_add(records, std::memory_order_relaxed);
@@ -521,7 +909,31 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
       reg.GetCounter("rt.task.fired_outputs", labels)->Add(fired_outputs);
       reg.GetCounter("rt.task.late_tuples", labels)->Add(late);
       obs::FlightRecorder::Note("task.done", t, static_cast<int64_t>(records));
-    });
+    };
+    task_workers[static_cast<size_t>(t)] = executor.Spawn(
+        "rt-task-" + std::to_string(t), task_bodies[static_cast<size_t>(t)]);
+  }
+
+  if (supervise_tasks) {
+    for (int t = 0; t < T; ++t) {
+      TaskSlot* const slot = task_slots[static_cast<size_t>(t)].get();
+      supervisor->AddSlot(
+          "rt-task-" + std::to_string(t), &slot->ctrl,
+          task_workers[static_cast<size_t>(t)],
+          [&, t, slot]() -> Executor::WorkerId {
+            // Supervisor thread, after joining the dead incarnation (so
+            // everything it did happens-before this): rewind each input
+            // ring to its ack frontier — the consumed-but-uncommitted
+            // suffix replays to the replacement in original FIFO order.
+            for (int s = 0; s < S; ++s) {
+              SpscRing<Envelope>& ring = ring_of(s, t);
+              slot->replayed += ring.pop_index() - ring.acked_index();
+              ring.ReplayFromAcked();
+            }
+            return executor.Spawn("rt-task-" + std::to_string(t),
+                                  task_bodies[static_cast<size_t>(t)]);
+          });
+    }
   }
 
   // -- Sink -----------------------------------------------------------------
@@ -532,10 +944,24 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
     const obs::TrackId track = tracer.Track("rt", "rt-sink");
     uint64_t outputs = 0;
     size_t rr = 0;
+    bool crash_noted = false;
     for (;;) {
-      auto outs = PopAny(inputs, &rr, sink_counters, &clock);
+      auto outs = PopAny(inputs, &rr, sink_counters, &clock, nullptr,
+                         &pipeline_aborted);
       if (!outs.has_value()) break;
       outputs += outs->size();
+      outputs_emitted.fetch_add(outs->size(), std::memory_order_relaxed);
+      if (config.track_recovery && !crash_noted && supervisor.has_value()) {
+        // Register the measured crash window (worker fault instant →
+        // supervisor respawn instant) before observing these emissions so
+        // the tracker attributes first-output-after correctly.
+        const SimTime crash = supervisor->first_fault_wall();
+        const SimTime restart = supervisor->first_restart_wall();
+        if (crash >= 0 && restart >= 0) {
+          rtracker.NoteCrashWindow(crash, restart);
+          crash_noted = true;
+        }
+      }
       obs::ScopedSpan emit(tracer, track, "sink.emit");
       emit.Arg("outputs", static_cast<double>(outs->size()));
       for (const OutputRecord& out : *outs) sink.Emit(out);
@@ -546,15 +972,44 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
     obs::Registry::Default()
         .GetCounter("rt.sink.outputs")
         ->Add(outputs);
+    sink_done.store(true, std::memory_order_release);
     obs::FlightRecorder::Note("sink.done", static_cast<int64_t>(outputs));
   });
 
+  if (run_supervisor) supervisor->Start();
+
+  // Shutdown protocol: the supervisor exits on its own once the sink
+  // drains (or the teardown aborts it); waiting for that BEFORE JoinAll
+  // means its targeted Join never races the bulk join below.
+  if (run_supervisor) supervisor->AwaitExit();
   executor.JoinAll();
   const SimTime wall = clock.now();
   obs::FlightRecorder::Note("rt.pipeline.done", static_cast<int64_t>(wall));
   if (profiler.has_value()) {
     result.profiled = true;
     result.profile = profiler->Stop();
+  }
+
+  if (run_supervisor) {
+    result.failure = supervisor->failure();
+    result.restarts = supervisor->total_restarts();
+  }
+  for (const auto& slot : task_slots) {
+    result.checkpoints += slot->checkpoints;
+    result.replayed_envelopes += slot->replayed;
+  }
+  if (result.restarts > 0 || result.checkpoints > 0 ||
+      result.replayed_envelopes > 0) {
+    obs::Registry& reg = obs::Registry::Default();
+    reg.GetCounter("rt.recovery.restarts")
+        ->Add(static_cast<uint64_t>(result.restarts));
+    reg.GetCounter("rt.recovery.checkpoints")->Add(result.checkpoints);
+    reg.GetCounter("rt.recovery.replayed_envelopes")
+        ->Add(result.replayed_envelopes);
+  }
+  if (config.track_recovery) {
+    result.recovery = rtracker.Finalize(warmup_end, wall);
+    result.observed_outputs = rtracker.observed();
   }
 
   result.input_records = input_records.load(std::memory_order_relaxed);

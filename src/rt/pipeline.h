@@ -29,6 +29,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "chaos/fault_schedule.h"
+#include "chaos/recovery.h"
+#include "common/status.h"
 #include "common/time_util.h"
 #include "driver/generator.h"
 #include "engine/query.h"
@@ -36,6 +39,28 @@
 #include "rt/profiler.h"
 
 namespace sdps::rt {
+
+/// Knobs for the fault/recovery path (rt::chaos + rt::Supervisor); all
+/// ignored when RtPipelineConfig::faults is empty and watchdog_timeout
+/// is 0 — the plain pipeline pays nothing for them.
+struct RtChaosOptions {
+  /// Supervision cadence.
+  SimTime poll_period = Millis(2);
+  /// Heartbeat frozen this long ⇒ the slot is wedged ⇒ kill + restart.
+  SimTime stall_timeout = Millis(500);
+  /// Restarts per slot before the run fails with Status::Aborted.
+  int max_restarts = 3;
+  /// First restart delay; doubles per further restart of the same slot.
+  SimTime backoff_initial = Millis(25);
+  /// Flink model: wall-clock checkpoint cadence. Each checkpoint commits
+  /// buffered outputs to the sink (transactional), snapshots window
+  /// state, and acks the consumed ring region.
+  SimTime checkpoint_every = Millis(250);
+  /// false: compile + inject faults but run no supervision thread slots —
+  /// the watchdog-only regression path (a wedge nobody rescues must trip
+  /// the wall-clock watchdog, not hang).
+  bool supervise = true;
+};
 
 struct RtPipelineConfig {
   /// Which engine's task model runs on the threads: Flink = incremental
@@ -96,6 +121,25 @@ struct RtPipelineConfig {
   /// RtResult::profile.
   bool profile = false;
   SimTime profile_period = Millis(10);
+
+  /// Wall-clock fault plan (same spec grammar as the DES injector; see
+  /// rt/chaos.h for the node-name → slot mapping). Crash/wedge on a task
+  /// slot switches its input rings into retained mode and arms the
+  /// supervisor; an invalid plan fails the run with
+  /// RtResult::failure before any thread spawns.
+  chaos::FaultSchedule faults;
+  RtChaosOptions chaos;
+  /// The rt face of ExperimentConfig::watchdog_timeout: wall-clock µs the
+  /// sink may make no progress (outside scheduled fault windows + grace)
+  /// before the run fails with DeadlineExceeded and a flight dump. 0 off.
+  SimTime watchdog_timeout = 0;
+  /// Watchdog excusal pad around each fault window (crashes have no
+  /// scheduled restart instant on hardware, so the window extends by
+  /// this much).
+  SimTime fault_grace = Seconds(15);
+  /// Observe every sink emission in a chaos::RecoveryTracker and report
+  /// RtResult::recovery / observed_outputs.
+  bool track_recovery = false;
 };
 
 struct RtResult {
@@ -120,6 +164,21 @@ struct RtResult {
   /// Stall/compute/idle breakdown (when RtPipelineConfig::profile).
   bool profiled = false;
   Profiler::Report profile;
+
+  /// OK on a clean run; DeadlineExceeded (watchdog), Aborted (a slot
+  /// exhausted its restarts), or InvalidArgument (bad fault plan).
+  Status failure;
+  /// Recovery-path counters: slot restarts performed, Flink checkpoints
+  /// committed, envelopes re-delivered from retained ring regions.
+  int restarts = 0;
+  uint64_t checkpoints = 0;
+  uint64_t replayed_envelopes = 0;
+  /// Wall-clock recovery metrics (when track_recovery): crash/restart
+  /// instants, recovery time, output gap, availability, duplicates.
+  /// `lost` needs an oracle — apply RecoveryTracker::ApplyOracle with a
+  /// DES twin's output counts to observed_outputs.
+  chaos::RecoveryStats recovery;
+  chaos::RecoveryTracker::OutputCounts observed_outputs;
 };
 
 /// Runs one realtime pipeline to completion (sources exhaust their

@@ -8,16 +8,38 @@
 // Classic cached-index design (see Rigtorp's SPSCQueue): head_ and tail_
 // live on separate cache lines, and each side keeps a *cached* copy of the
 // other side's index so the common case touches no shared line at all.
-// Capacity is rounded up to a power of two; one slot is sacrificed to
-// distinguish full from empty.
+// Indices are absolute (monotonically increasing uint64_t, slot = idx &
+// mask), which makes "full" a subtraction instead of a sacrificial slot
+// and — more importantly — gives every element a stable position that
+// survives wraparound. That stable position is what the recovery path
+// keys on:
+//
+//   - In *retain* mode (chaos runs) a popped slot is copied out, not
+//     moved, and stays live until the consumer calls AckThrough(): the
+//     producer's fullness check runs against acked_, not head_, so the
+//     window [acked_, head_) is a replayable log of consumed-but-not-yet-
+//     committed elements.
+//   - After a consumer crash, ReplayFromAcked() rewinds head_ to the ack
+//     frontier and the restarted consumer re-pops the retained region in
+//     original FIFO order. (Caller serializes this with a thread join:
+//     the dead consumer's effects happen-before the rewind.)
+//   - Reopen() clears a Close() so a restarted *producer* incarnation can
+//     finish a stream; Abort() tears the ring down from either side —
+//     blocked Push returns false, Pop returns nullopt — so a supervisor
+//     that gives up on a slot never strands its peers mid-block.
+//
+// With retain off (the default), behavior and hot-path cost are the
+// original design: pop moves out of the slot and head_ itself frees it.
 #ifndef SDPS_RT_SPSC_RING_H_
 #define SDPS_RT_SPSC_RING_H_
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <new>
 #include <optional>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -35,11 +57,11 @@ template <typename T>
 class SpscRing {
  public:
   /// `capacity` is the number of elements the ring can hold; internally
-  /// rounded up to a power of two (plus the sacrificial slot).
+  /// rounded up to a power of two.
   explicit SpscRing(size_t capacity) {
     SDPS_CHECK_GT(capacity, size_t{0});
     size_t cap = 1;
-    while (cap < capacity + 1) cap <<= 1;
+    while (cap < capacity) cap <<= 1;
     mask_ = cap - 1;
     slots_.resize(cap);
   }
@@ -47,18 +69,27 @@ class SpscRing {
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 
-  /// Producer. Returns false when the ring is full (value untouched —
-  /// the move happens only on success).
+  /// Switch the ring into retained (replayable) mode. Must be called
+  /// before the producer and consumer threads start — it is a plain field
+  /// read on both hot paths.
+  void set_retain(bool retain) { retain_ = retain; }
+  bool retain() const { return retain_; }
+
+  /// Producer. Returns false when the ring is full or aborted (value
+  /// untouched — the move happens only on success).
   bool TryPush(const T& value) { return PushSlot(value); }
   bool TryPush(T&& value) { return PushSlot(std::move(value)); }
 
   /// Producer. Blocks until the value is in the ring — this wait *is* the
   /// realtime backpressure: a full downstream ring stalls the producer
   /// thread. Spins briefly, then yields, then naps in 50µs steps so a
-  /// long-stalled producer doesn't burn a core.
-  void Push(T value) {
+  /// long-stalled producer doesn't burn a core. Returns false only when
+  /// the ring was aborted (the value is dropped: the pipeline is being
+  /// torn down).
+  bool Push(T value) {
     int spins = 0;
     while (!TryPush(std::move(value))) {
+      if (aborted_.load(std::memory_order_acquire)) return false;
       ++spins;
       if (spins < 64) {
         // busy-spin: the consumer is usually a few hundred ns away
@@ -68,28 +99,36 @@ class SpscRing {
         std::this_thread::sleep_for(std::chrono::microseconds(50));
       }
     }
+    return true;
   }
 
   /// Consumer. Returns nullopt when the ring is currently empty (which
-  /// does NOT mean the stream ended — check closed()).
+  /// does NOT mean the stream ended — check closed()). In retain mode the
+  /// slot is copied, not moved: it stays replayable until acked.
   std::optional<T> TryPop() {
-    const size_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_relaxed);
     if (head == tail_cache_) {
       tail_cache_ = tail_.load(std::memory_order_acquire);
       if (head == tail_cache_) return std::nullopt;
     }
-    std::optional<T> value(std::move(slots_[head]));
-    head_.store((head + 1) & mask_, std::memory_order_release);
+    std::optional<T> value;
+    if constexpr (std::is_copy_constructible_v<T>) {
+      if (retain_) value.emplace(slots_[head & mask_]);
+    }
+    if (!value.has_value()) value.emplace(std::move(slots_[head & mask_]));
+    head_.store(head + 1, std::memory_order_release);
     return value;
   }
 
   /// Consumer. Blocks until an element arrives or the producer closed the
-  /// ring AND the ring drained. The close-then-drain order means every
-  /// element pushed before Close() is delivered — shutdown never drops
-  /// in-flight records (the identity tests depend on this).
+  /// ring AND the ring drained (or the ring was aborted). The
+  /// close-then-drain order means every element pushed before Close() is
+  /// delivered — shutdown never drops in-flight records (the identity
+  /// tests depend on this).
   std::optional<T> Pop() {
     int spins = 0;
     for (;;) {
+      if (aborted_.load(std::memory_order_acquire)) return std::nullopt;
       std::optional<T> value = TryPop();
       if (value.has_value()) return value;
       // Empty: re-check after observing closed so a Close() racing with
@@ -115,37 +154,85 @@ class SpscRing {
 
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 
+  /// Clears a Close() so a restarted producer incarnation can append to
+  /// the same stream. Caller must serialize with the old producer (join
+  /// its thread first); the consumer side needs no coordination — it just
+  /// stops seeing closed.
+  void Reopen() { closed_.store(false, std::memory_order_release); }
+
+  /// Either side (or a supervisor): tears the ring down. Blocked Push
+  /// returns false and drops its value; Pop returns nullopt regardless of
+  /// remaining elements. Irreversible.
+  void Abort() { aborted_.store(true, std::memory_order_release); }
+
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  // ---- Retained-region bookkeeping (retain mode; consumer side) ----
+
+  /// Absolute index of the next element Pop will return. Consumer thread
+  /// (or a supervisor serialized with it) only.
+  uint64_t pop_index() const { return head_.load(std::memory_order_relaxed); }
+
+  /// Absolute index one past the last pushed element.
+  uint64_t end_index() const { return tail_.load(std::memory_order_acquire); }
+
+  /// Ack frontier: elements below it are freed for the producer to reuse.
+  uint64_t acked_index() const { return acked_.load(std::memory_order_relaxed); }
+
+  /// Consumer: commits everything below `index` — those slots become
+  /// unreplayable and the producer may overwrite them. Monotonic, and
+  /// never past the pop cursor.
+  void AckThrough(uint64_t index) {
+    SDPS_CHECK(retain_);
+    SDPS_CHECK_LE(index, head_.load(std::memory_order_relaxed));
+    SDPS_CHECK_GE(index, acked_.load(std::memory_order_relaxed));
+    acked_.store(index, std::memory_order_release);
+  }
+
+  /// Rewinds the pop cursor to the ack frontier so the retained region
+  /// replays in original FIFO order. Must be serialized with the consumer
+  /// thread (called between joining a dead incarnation and spawning its
+  /// replacement); the producer may keep pushing concurrently.
+  void ReplayFromAcked() {
+    SDPS_CHECK(retain_);
+    head_.store(acked_.load(std::memory_order_relaxed), std::memory_order_release);
+  }
+
   /// Approximate occupancy (either side may race it forward); for tests
   /// and diagnostics only.
   size_t SizeApprox() const {
-    const size_t tail = tail_.load(std::memory_order_acquire);
-    const size_t head = head_.load(std::memory_order_acquire);
-    return (tail - head) & mask_;
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<size_t>(tail - head);
   }
 
-  size_t capacity() const { return mask_; }
+  size_t capacity() const { return mask_ + 1; }
 
  private:
   template <typename U>
   bool PushSlot(U&& value) {
-    const size_t tail = tail_.load(std::memory_order_relaxed);
-    const size_t next = (tail + 1) & mask_;
-    if (next == head_cache_) {
-      head_cache_ = head_.load(std::memory_order_acquire);
-      if (next == head_cache_) return false;
+    if (aborted_.load(std::memory_order_relaxed)) return false;
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - free_cache_ > mask_) {  // would exceed capacity
+      free_cache_ = retain_ ? acked_.load(std::memory_order_acquire)
+                            : head_.load(std::memory_order_acquire);
+      if (tail - free_cache_ > mask_) return false;
     }
-    slots_[tail] = std::forward<U>(value);
-    tail_.store(next, std::memory_order_release);
+    slots_[tail & mask_] = std::forward<U>(value);
+    tail_.store(tail + 1, std::memory_order_release);
     return true;
   }
 
   std::vector<T> slots_;
   size_t mask_ = 0;
-  alignas(kCacheLine) std::atomic<size_t> head_{0};  // next slot to pop
-  alignas(kCacheLine) size_t tail_cache_ = 0;        // consumer's view of tail_
-  alignas(kCacheLine) std::atomic<size_t> tail_{0};  // next slot to push
-  alignas(kCacheLine) size_t head_cache_ = 0;        // producer's view of head_
+  bool retain_ = false;
+  alignas(kCacheLine) std::atomic<uint64_t> head_{0};   // next index to pop
+  alignas(kCacheLine) std::atomic<uint64_t> acked_{0};  // free frontier (retain mode)
+  alignas(kCacheLine) uint64_t tail_cache_ = 0;         // consumer's view of tail_
+  alignas(kCacheLine) std::atomic<uint64_t> tail_{0};   // next index to push
+  alignas(kCacheLine) uint64_t free_cache_ = 0;  // producer's view of head_/acked_
   alignas(kCacheLine) std::atomic<bool> closed_{false};
+  alignas(kCacheLine) std::atomic<bool> aborted_{false};
 };
 
 }  // namespace sdps::rt

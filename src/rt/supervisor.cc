@@ -1,0 +1,180 @@
+#include "rt/supervisor.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "obs/flight_recorder.h"
+#include "rt/clock.h"
+
+namespace sdps::rt {
+
+namespace {
+
+void NapFor(SimTime us) {
+  if (us <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace
+
+void Supervisor::AddSlot(std::string name, SlotCtrl* ctrl,
+                         Executor::WorkerId initial,
+                         std::function<Executor::WorkerId()> respawn) {
+  SDPS_CHECK(!started_);
+  SDPS_CHECK(ctrl != nullptr);
+  Slot slot;
+  slot.name = std::move(name);
+  slot.ctrl = ctrl;
+  slot.respawn = std::move(respawn);
+  slot.worker = initial;
+  slots_.push_back(std::move(slot));
+}
+
+void Supervisor::Start() {
+  SDPS_CHECK(!started_);
+  SDPS_CHECK(options_.clock != nullptr);
+  SDPS_CHECK(options_.executor != nullptr);
+  SDPS_CHECK(options_.pipeline_done != nullptr);
+  started_ = true;
+  options_.executor->Spawn("rt-supervisor", [this] { Run(); });
+}
+
+void Supervisor::AwaitExit() const {
+  SDPS_CHECK(started_);
+  while (!exited_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+bool Supervisor::InFaultWindow(SimTime now) const {
+  for (const auto& [begin, end] : options_.fault_windows) {
+    if (now >= begin && now <= end) return true;
+  }
+  return false;
+}
+
+void Supervisor::Fail(Status status, const char* flight_reason) {
+  if (!failure_.ok()) return;  // first failure wins
+  failure_ = std::move(status);
+  SDPS_LOG(Warning) << "rt supervisor: " << failure_.ToString();
+  obs::FlightRecorder::Note("rt.supervisor.fail", options_.clock->now());
+  const Status dumped = obs::FlightRecorder::Dump(flight_reason);
+  if (!dumped.ok()) {
+    SDPS_LOG(Warning) << "flight-recorder dump failed: " << dumped.ToString();
+  }
+  // Tear the pipeline down: abort every ring so blocked producers and
+  // consumers unwind, and order every supervised slot out so a wedged
+  // spin (which never touches a ring) exits too.
+  for (Slot& slot : slots_) {
+    slot.dead = true;
+    slot.ctrl->kill.store(true, std::memory_order_release);
+  }
+  if (options_.abort_pipeline) options_.abort_pipeline();
+}
+
+void Supervisor::HandleExit(Slot& slot, SimTime now) {
+  // Reap the dead incarnation first: the join gives the respawn path a
+  // happens-before edge over everything the incarnation did, which is
+  // what makes the ring rewind + state restore race-free.
+  options_.executor->Join(slot.worker);
+  slot.ctrl->exited.store(false, std::memory_order_release);
+  if (slot.dead || !failure_.ok()) {
+    slot.dead = true;
+    return;  // already tearing down; the slot stays down
+  }
+  ++slot.restarts;
+  if (slot.restarts > options_.max_restarts) {
+    slot.dead = true;
+    Fail(Status::Aborted(StrFormat(
+             "rt slot %s: exhausted %d restarts", slot.name.c_str(),
+             options_.max_restarts)),
+         "rt supervisor: slot exhausted restarts");
+    return;
+  }
+  ++total_restarts_;  // restarts performed, not exhausted attempts
+
+  // The recovery clock starts at the injected fault when the worker
+  // recorded one, else at detection (e.g. a wedge killed by the
+  // heartbeat: the fault instant is unobservable by design).
+  const SimTime fault_wall = slot.ctrl->fault_wall.load(std::memory_order_acquire);
+  SimTime expected = -1;
+  first_fault_wall_.compare_exchange_strong(
+      expected, fault_wall >= 0 ? fault_wall : now, std::memory_order_acq_rel);
+
+  // Exponential backoff: 1st restart waits backoff_initial, doubling per
+  // further restart of this slot.
+  NapFor(options_.backoff_initial << (slot.restarts - 1));
+
+  slot.ctrl->kill.store(false, std::memory_order_release);
+  slot.kill_sent = false;
+  slot.worker = slot.respawn();
+  const SimTime restarted = options_.clock->now();
+  slot.last_heartbeat_change = restarted;
+  expected = -1;
+  first_restart_wall_.compare_exchange_strong(expected, restarted,
+                                              std::memory_order_acq_rel);
+  SDPS_LOG(Info) << "rt supervisor: restarted " << slot.name << " (attempt "
+                 << slot.restarts << ") at t=" << ToSeconds(restarted) << "s";
+  obs::FlightRecorder::Note("rt.supervisor.restart", restarted, slot.restarts);
+}
+
+void Supervisor::Run() {
+  const Clock& clock = *options_.clock;
+  for (Slot& slot : slots_) slot.last_heartbeat_change = clock.now();
+  uint64_t last_progress = options_.progress ? options_.progress() : 0;
+  SimTime last_progress_change = clock.now();
+
+  while (!options_.pipeline_done()) {
+    const SimTime now = clock.now();
+    for (Slot& slot : slots_) {
+      SlotCtrl& ctrl = *slot.ctrl;
+      if (ctrl.done.load(std::memory_order_acquire)) continue;
+      if (ctrl.exited.load(std::memory_order_acquire)) {
+        HandleExit(slot, now);
+        continue;
+      }
+      if (options_.stall_timeout <= 0 || slot.dead || slot.kill_sent) continue;
+      const uint64_t hb = ctrl.heartbeat.load(std::memory_order_acquire);
+      if (hb != slot.last_heartbeat) {
+        slot.last_heartbeat = hb;
+        slot.last_heartbeat_change = now;
+      } else if (now - slot.last_heartbeat_change >= options_.stall_timeout) {
+        // Alive thread, frozen heartbeat: wedged. Order it out; the exit
+        // lands on a later poll as `exited` and restarts above.
+        SDPS_LOG(Warning) << "rt supervisor: " << slot.name
+                          << " heartbeat stalled "
+                          << ToSeconds(now - slot.last_heartbeat_change)
+                          << "s — killing";
+        obs::FlightRecorder::Note("rt.supervisor.stall", now,
+                                  static_cast<int64_t>(hb));
+        ctrl.kill.store(true, std::memory_order_release);
+        slot.kill_sent = true;
+      }
+    }
+
+    if (options_.watchdog_timeout > 0 && failure_.ok() && options_.progress) {
+      const uint64_t p = options_.progress();
+      if (p != last_progress) {
+        last_progress = p;
+        last_progress_change = now;
+      } else if (InFaultWindow(now)) {
+        // Scheduled faults are supposed to stall output: the timer
+        // restarts when the window (plus grace) ends.
+        last_progress_change = now;
+      } else if (now - last_progress_change >= options_.watchdog_timeout) {
+        Fail(Status::DeadlineExceeded(StrFormat(
+                 "rt watchdog: no sink progress in %.1fs (outputs=%llu)",
+                 ToSeconds(options_.watchdog_timeout),
+                 static_cast<unsigned long long>(p))),
+             "rt watchdog: wall-clock progress stalled");
+      }
+    }
+    NapFor(options_.poll_period);
+  }
+  exited_.store(true, std::memory_order_release);
+}
+
+}  // namespace sdps::rt

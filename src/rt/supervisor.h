@@ -1,0 +1,144 @@
+// rt::Supervisor — liveness detection and bounded-retry restart for the
+// realtime pipeline's task slots (DESIGN.md §6). The DES recovers by
+// scheduling a restart event at an exact virtual instant; on hardware
+// nobody hands you the fault, so recovery is a detection problem:
+//
+//   heartbeat epochs   every supervised worker bumps a per-slot epoch on
+//                      each envelope (and while straggle-sleeping / idle-
+//                      waiting); a frozen epoch past stall_timeout means
+//                      the thread is wedged, not slow → kill + restart
+//   exit detection     a crashed incarnation sets its `exited` flag on the
+//                      way out; the supervisor reaps the thread and
+//                      respawns the slot after exponential backoff
+//   bounded retry      max_restarts per slot; past it the run fails with a
+//                      Status (and every ring is aborted so no peer is
+//                      left blocked) instead of hanging
+//   wall watchdog      the rt face of ExperimentConfig::watchdog_timeout:
+//                      sink progress must advance within the timeout,
+//                      measured on the rt::Clock and excused inside
+//                      scheduled fault windows (+ restart grace)
+//
+// The supervisor runs as one more executor thread. Shutdown protocol: it
+// exits on its own once the sink reports the pipeline done (normal end or
+// post-abort drain); the main thread must AwaitExit() before
+// Executor::JoinAll so the two never race a join on the same incarnation.
+#ifndef SDPS_RT_SUPERVISOR_H_
+#define SDPS_RT_SUPERVISOR_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_util.h"
+#include "rt/executor.h"
+
+namespace sdps::rt {
+
+class Clock;
+
+class Supervisor {
+ public:
+  /// Shared-memory contract between a supervised worker's incarnations
+  /// and the supervisor thread. Lives in the slot, not the incarnation.
+  struct SlotCtrl {
+    /// Bumped by the worker at every envelope boundary and wait/sleep
+    /// chunk. A frozen value is the wedge signal.
+    std::atomic<uint64_t> heartbeat{0};
+    /// Worker → supervisor: this incarnation exited abnormally (injected
+    /// crash, or it observed `kill`); the slot wants a restart.
+    std::atomic<bool> exited{false};
+    /// Worker → supervisor: the slot completed its stream; stop watching.
+    std::atomic<bool> done{false};
+    /// Supervisor → worker: abandon the incarnation (checked in the wedge
+    /// spin, straggle sleeps, and the pop wait).
+    std::atomic<bool> kill{false};
+    /// Wall time the injected fault fired (worker-side), -1 if none; the
+    /// recovery clock starts here.
+    std::atomic<SimTime> fault_wall{-1};
+  };
+
+  struct Options {
+    const Clock* clock = nullptr;
+    Executor* executor = nullptr;
+    /// Supervision cadence; also the watchdog poll.
+    SimTime poll_period = Millis(2);
+    /// Heartbeat frozen this long ⇒ wedged ⇒ kill + restart. 0 disables
+    /// heartbeat detection (exit detection still runs).
+    SimTime stall_timeout = Millis(500);
+    int max_restarts = 3;
+    /// First restart waits this long; doubles per restart of the slot.
+    SimTime backoff_initial = Millis(25);
+    /// 0 disables the watchdog.
+    SimTime watchdog_timeout = 0;
+    /// Monotone progress signal for the watchdog (sink output count).
+    std::function<uint64_t()> progress;
+    /// Wall-clock windows during which a progress stall is excused (the
+    /// scheduled faults are *supposed* to stall output).
+    std::vector<std::pair<SimTime, SimTime>> fault_windows;
+    /// Tear the pipeline down (abort every ring) on unrecoverable failure.
+    std::function<void()> abort_pipeline;
+    /// True once the sink drained — the supervisor's exit condition.
+    std::function<bool()> pipeline_done;
+  };
+
+  explicit Supervisor(Options options) : options_(std::move(options)) {}
+
+  /// Registers a supervised slot. `respawn` runs on the supervisor thread
+  /// after the dead incarnation is joined: rewind the slot's input rings
+  /// and spawn the replacement, returning its WorkerId.
+  void AddSlot(std::string name, SlotCtrl* ctrl, Executor::WorkerId initial,
+               std::function<Executor::WorkerId()> respawn);
+
+  /// Spawns the supervision thread on the executor.
+  void Start();
+
+  /// Main thread, before Executor::JoinAll: blocks until the supervision
+  /// thread has exited, so JoinAll never races a targeted Join.
+  void AwaitExit() const;
+
+  // -- Results (after AwaitExit) --------------------------------------------
+  const Status& failure() const { return failure_; }
+  int total_restarts() const { return total_restarts_; }
+
+  // -- Live signals (any thread; the sink reads these per emission) ---------
+  SimTime first_fault_wall() const {
+    return first_fault_wall_.load(std::memory_order_acquire);
+  }
+  SimTime first_restart_wall() const {
+    return first_restart_wall_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Slot {
+    std::string name;
+    SlotCtrl* ctrl = nullptr;
+    std::function<Executor::WorkerId()> respawn;
+    Executor::WorkerId worker = -1;
+    int restarts = 0;
+    uint64_t last_heartbeat = 0;
+    SimTime last_heartbeat_change = 0;
+    bool kill_sent = false;
+    bool dead = false;  // exhausted retries / aborting: stop respawning
+  };
+
+  void Run();
+  void HandleExit(Slot& slot, SimTime now);
+  void Fail(Status status, const char* flight_reason);
+  bool InFaultWindow(SimTime now) const;
+
+  Options options_;
+  std::vector<Slot> slots_;
+  Status failure_;
+  int total_restarts_ = 0;
+  std::atomic<SimTime> first_fault_wall_{-1};
+  std::atomic<SimTime> first_restart_wall_{-1};
+  std::atomic<bool> exited_{false};
+  bool started_ = false;
+};
+
+}  // namespace sdps::rt
+
+#endif  // SDPS_RT_SUPERVISOR_H_

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
+#include "common/strings.h"
+
 namespace sdps::chaos {
 namespace {
 
@@ -58,6 +61,69 @@ TEST(FaultScheduleTest, EmptySpecIsEmptySchedule) {
   auto r = FaultSchedule::Parse("");
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r.value().empty());
+}
+
+// Property: ToSpec() of any built schedule parses back to the same events
+// and is a fixpoint of Parse∘ToSpec. Times and durations are dyadic
+// eighths of a second and factors sixteenths: exactly representable both
+// as binary doubles and in the spec's 6-decimal text, so the round trip
+// has no float-vs-text truncation slack to absorb and equality is exact.
+TEST(FaultScheduleTest, ToSpecRoundTripsRandomSchedules) {
+  Rng rng(20260809);
+  const char* nodes[] = {"w0", "w1", "w3", "t2", "d0", "d1"};
+  for (int iter = 0; iter < 200; ++iter) {
+    FaultSchedule s;
+    const int n = 1 + static_cast<int>(rng.NextBelow(6));
+    for (int i = 0; i < n; ++i) {
+      const std::string node = nodes[rng.NextBelow(6)];
+      const SimTime at = Millis(125.0 * static_cast<double>(rng.NextBelow(2400)));
+      const SimTime dur = Millis(125.0 * static_cast<double>(1 + rng.NextBelow(800)));
+      const double factor = static_cast<double>(1 + rng.NextBelow(16)) / 16.0;
+      switch (rng.NextBelow(6)) {
+        case 0:
+          s.Crash(node, at, Millis(125.0 * static_cast<double>(rng.NextBelow(240))));
+          break;
+        case 1: s.Straggle(node, at, dur, factor); break;
+        case 2:
+          s.GcStorm(node, at, dur, Millis(static_cast<double>(1 + rng.NextBelow(500))),
+                    Millis(125.0 * static_cast<double>(1 + rng.NextBelow(40))));
+          break;
+        case 3: s.Degrade(node, at, dur, factor); break;
+        case 4: s.Partition(node, at, dur); break;
+        case 5: s.Wedge(node, at, dur); break;
+      }
+    }
+    const std::string spec = s.ToSpec();
+    auto parsed = FaultSchedule::Parse(spec);
+    ASSERT_TRUE(parsed.ok()) << spec << "\n" << parsed.status().ToString();
+    const FaultSchedule& r = parsed.value();
+    ASSERT_EQ(r.size(), s.size()) << spec;
+    for (size_t i = 0; i < s.size(); ++i) {
+      const FaultEvent& a = s.events()[i];
+      const FaultEvent& b = r.events()[i];
+      EXPECT_EQ(b.kind, a.kind) << spec;
+      EXPECT_EQ(b.node, a.node) << spec;
+      EXPECT_EQ(b.at, a.at) << spec;
+      EXPECT_EQ(b.duration, a.duration) << spec;
+      EXPECT_EQ(b.restart_delay, a.restart_delay) << spec;
+      EXPECT_DOUBLE_EQ(b.factor, a.factor) << spec;
+      EXPECT_EQ(b.pause, a.pause) << spec;
+      EXPECT_EQ(b.every, a.every) << spec;
+    }
+    EXPECT_EQ(r.ToSpec(), spec);
+  }
+}
+
+TEST(FaultScheduleTest, WedgeParsesAndRoundTrips) {
+  auto parsed = FaultSchedule::Parse("wedge@12.5:node=w1,for=3.25");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 1u);
+  const FaultEvent& ev = parsed.value().events()[0];
+  EXPECT_EQ(ev.kind, FaultKind::kWedge);
+  EXPECT_EQ(ev.node, "w1");
+  EXPECT_EQ(ev.at, Millis(12500));
+  EXPECT_EQ(ev.duration, Millis(3250));
+  EXPECT_EQ(parsed.value().ToSpec(), "wedge@12.5:node=w1,for=3.25");
 }
 
 TEST(FaultScheduleTest, FaultWindowsCoverEventExtents) {

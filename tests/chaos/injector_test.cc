@@ -53,6 +53,20 @@ TEST(FaultInjectorTest, EmptyScheduleIsANoOp) {
   EXPECT_EQ(injector.crashes_injected(), 0);
 }
 
+// A wedge is "alive but not consuming" — in modeled time that is
+// indistinguishable from a straggle, so the DES injector refuses it and
+// points at the realtime backend where a heartbeat can observe the stall.
+TEST(FaultInjectorTest, WedgeIsRealtimeOnlyAndRejected) {
+  des::Simulator sim;
+  cluster::Cluster cluster(sim, SmallCluster());
+  FaultSchedule schedule;
+  schedule.Wedge("w0", Seconds(10), Seconds(5));
+  FaultInjector injector(sim, cluster, std::move(schedule));
+  const Status s = injector.Install();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("realtime"), std::string::npos);
+}
+
 TEST(FaultInjectorTest, CrashTakesNodeDownThenRestores) {
   des::Simulator sim;
   cluster::Cluster cluster(sim, SmallCluster());

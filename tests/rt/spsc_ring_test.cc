@@ -133,6 +133,140 @@ TEST(SpscRingTest, TwoThreadStressKeepsSequenceExact) {
   EXPECT_EQ(expect, kItems);
 }
 
+// ---- Retained-region lifecycle: close/reopen/replay (the rt::chaos
+// transport contract). ----
+
+TEST(SpscRingReplayTest, RetainedPopIsReplayableUntilAcked) {
+  SpscRing<int> ring(8);
+  ring.set_retain(true);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.TryPush(i));
+  // Consume three, ack one: [1, 3) stays replayable.
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(ring.TryPop().value(), i);
+  ring.AckThrough(1);
+  EXPECT_EQ(ring.acked_index(), 1u);
+  EXPECT_EQ(ring.pop_index(), 3u);
+  ring.ReplayFromAcked();
+  EXPECT_EQ(ring.pop_index(), 1u);
+  // Replay re-delivers the unacked prefix in original order, then new data.
+  for (int i = 1; i < 5; ++i) EXPECT_EQ(ring.TryPop().value(), i);
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(SpscRingReplayTest, RetainModeFullnessKeysOffAckNotPop) {
+  SpscRing<int> ring(4);
+  ring.set_retain(true);
+  size_t pushed = 0;
+  while (ring.TryPush(static_cast<int>(pushed))) ++pushed;
+  EXPECT_EQ(pushed, ring.capacity());
+  // Popping without acking frees nothing: the slots stay retained.
+  EXPECT_EQ(ring.TryPop().value(), 0);
+  EXPECT_EQ(ring.TryPop().value(), 1);
+  EXPECT_FALSE(ring.TryPush(999));
+  // Acking is what returns capacity to the producer.
+  ring.AckThrough(2);
+  EXPECT_TRUE(ring.TryPush(100));
+  EXPECT_TRUE(ring.TryPush(101));
+  EXPECT_FALSE(ring.TryPush(102));
+}
+
+TEST(SpscRingReplayTest, WraparoundAcrossReopenKeepsFifoExact) {
+  SpscRing<uint64_t> ring(8);
+  ring.set_retain(true);
+  uint64_t next_push = 0, next_pop = 0;
+  // Several close/reopen generations, each wrapping the small ring a few
+  // times, with a replay in the middle of each generation: absolute
+  // indices must keep FIFO order exact through every lap and restart.
+  for (int generation = 0; generation < 4; ++generation) {
+    for (int round = 0; round < 40; ++round) {
+      const int burst = 1 + round % 3;
+      for (int i = 0; i < burst; ++i) {
+        if (ring.TryPush(next_push)) ++next_push;
+      }
+      for (int i = 0; i < 2; ++i) {
+        auto v = ring.TryPop();
+        if (!v.has_value()) break;
+        EXPECT_EQ(*v, next_pop);
+        ++next_pop;
+        // Ack lags the pop cursor by up to 3 elements, so the
+        // mid-generation replay below actually has a region to re-deliver.
+        if (next_pop % 3 == 0) ring.AckThrough(next_pop);
+      }
+    }
+    ring.Close();
+    EXPECT_TRUE(ring.closed());
+    // Crash-restart in the middle of the generation: everything popped
+    // since the last ack replays in order.
+    const uint64_t acked = ring.acked_index();
+    ring.ReplayFromAcked();
+    next_pop = acked;
+    while (auto v = ring.TryPop()) {
+      EXPECT_EQ(*v, next_pop);
+      ++next_pop;
+    }
+    ring.AckThrough(ring.pop_index());
+    EXPECT_EQ(next_pop, next_push);
+    ring.Reopen();
+    EXPECT_FALSE(ring.closed());
+  }
+}
+
+TEST(SpscRingReplayTest, ConcurrentCloseVsBlockedPushDeliversEverything) {
+  SpscRing<int> ring(2);
+  ring.set_retain(true);
+  // Producer fills the ring, blocks in Push, then closes once unblocked.
+  // The consumer's drain races the close; close-then-drain must still
+  // deliver every element exactly once (in ack order).
+  constexpr int kItems = 64;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) EXPECT_TRUE(ring.Push(i));
+    ring.Close();
+  });
+  int expect = 0;
+  while (auto v = ring.Pop()) {
+    EXPECT_EQ(*v, expect);
+    ++expect;
+    ring.AckThrough(ring.pop_index());
+  }
+  producer.join();
+  EXPECT_EQ(expect, kItems);
+}
+
+TEST(SpscRingReplayTest, ShutdownDrainAfterRestartDeliversRetainedSuffix) {
+  SpscRing<int> ring(16);
+  ring.set_retain(true);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(ring.Push(i));
+  ring.Close();
+  // Consumer processes 7, commits 4, then "crashes".
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(ring.Pop().value(), i);
+  ring.AckThrough(4);
+  // Restarted consumer replays from the ack frontier and must see the
+  // retained suffix [4, 10) and then a clean end-of-stream, even though
+  // the close happened before the crash.
+  ring.ReplayFromAcked();
+  for (int i = 4; i < 10; ++i) EXPECT_EQ(ring.Pop().value(), i);
+  EXPECT_FALSE(ring.Pop().has_value());
+}
+
+TEST(SpscRingReplayTest, AbortUnblocksBothSides) {
+  SpscRing<int> full_ring(2);
+  while (full_ring.TryPush(0)) {
+  }
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] { push_result.store(full_ring.Push(42)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  full_ring.Abort();
+  producer.join();
+  EXPECT_FALSE(push_result.load());  // value dropped, not delivered
+
+  SpscRing<int> empty_ring(2);
+  std::thread consumer([&] { EXPECT_FALSE(empty_ring.Pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  empty_ring.Abort();
+  consumer.join();
+  // After abort, even buffered elements are unreachable: teardown wins.
+  EXPECT_FALSE(full_ring.Pop().has_value());
+}
+
 TEST(SpscRingTest, MoveOnlyPayloadsMoveThrough) {
   SpscRing<std::vector<int>> ring(4);
   std::vector<int> payload = {1, 2, 3};
