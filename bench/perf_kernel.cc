@@ -27,6 +27,7 @@
 #include "common/random.h"
 #include "des/simulator.h"
 #include "driver/sustainable.h"
+#include "engine/columnar.h"
 #include "engine/window_state.h"
 #include "exec/pool.h"
 #include "rt/pipeline.h"
@@ -120,6 +121,94 @@ double RecordsPerSec(const std::vector<engine::Record>& tape, FireCount&& fired)
   });
 }
 
+// Shuffle-fabric kernels (engine/columnar.h). The shuffle write as the
+// engines execute it, block by block over a large-cardinality record
+// stream: the columnar path (key-lane load, one-pass radix plan, exact
+// flat destination-major gather — one allocation, sequential writes) vs
+// the per-record loop it replaced (PartitionForKey's 64-bit divide, then
+// push_back into one growing vector per destination, Spark's map-output
+// shape). 48 partitions — a non-power of two, so the Partitioner's
+// multiply-shift reciprocal path (not the pow2 mask fast path) is what
+// gets timed. Their exact ratio is gated as shuffle_radix_speedup.
+constexpr int kShuffleParts = 48;
+// Runtime-opaque copy for the scalar reference: the engines' per-record
+// path divides by a runtime task count, so the baseline must pay a real
+// divide — a constexpr divisor would let the compiler strength-reduce it
+// into exactly the multiply-shift the Partitioner is being credited for.
+volatile int g_shuffle_parts = kShuffleParts;
+
+double ShuffleScatterRecordsPerSec(bool radix) {
+  Rng rng(7);
+  const size_t n = 1 << 20;
+  // Block = one staging run between flushes. 1024 keeps the radix working
+  // set (key lane + index + gathered rows) cache-resident, which is the
+  // regime the columnar path is built for; block sizes past ~16K spill
+  // L2 and erode the win.
+  const size_t block = 1024;
+  std::vector<engine::Record> tape(n);
+  for (size_t i = 0; i < n; ++i) {
+    tape[i].key = rng.NextBelow(2'000'000);
+    tape[i].event_time = static_cast<SimTime>(i / 3);
+    tape[i].value = 1.0;
+  }
+  engine::Partitioner partitioner(kShuffleParts);
+  engine::ColumnarBatch cols;
+  engine::PartitionPlan plan;
+  return BestOf([&] {
+    uint64_t sink = 0;
+    const double t0 = Now();
+    for (size_t off = 0; off < n; off += block) {
+      const engine::Record* base = tape.data() + off;
+      if (radix) {
+        cols.LoadKeys(base, block);
+        engine::RadixPartition(cols.keys.data(), block, partitioner, &plan);
+        std::vector<engine::Record> rows;
+        engine::GatherRows(base, plan, &rows);
+        sink += plan.RunSize(0) + static_cast<uint64_t>(rows[0].key);
+      } else {
+        const int parts = g_shuffle_parts;
+        std::vector<std::vector<engine::Record>> raw(static_cast<size_t>(parts));
+        for (size_t i = 0; i < block; ++i) {
+          raw[static_cast<size_t>(engine::PartitionForKey(base[i].key, parts))]
+              .push_back(base[i]);
+        }
+        sink += raw[0].size();
+      }
+    }
+    const double dt = Now() - t0;
+    if (sink == ~0ull) std::fprintf(stderr, "impossible\n");
+    return static_cast<double>(n) / dt;
+  });
+}
+
+// Combiner pre-aggregation over batch-sized runs drawn from a large key
+// space: records/s through ShuffleCombiner::Combine at a run size typical
+// of the batched data plane's link transfers.
+double ShuffleCombineRecordsPerSec() {
+  Rng rng(11);
+  const size_t n = 1 << 21;
+  const size_t run = 4096;
+  std::vector<engine::Record> tape(n);
+  for (size_t i = 0; i < n; ++i) {
+    tape[i].event_time = static_cast<SimTime>(i / 3);
+    tape[i].key = rng.NextBelow(2'000'000);
+    tape[i].value = 1.0;
+  }
+  engine::ShuffleCombiner combiner(Seconds(4));
+  engine::RecordBatch out;
+  return BestOf([&] {
+    uint64_t groups = 0;
+    const double t0 = Now();
+    for (size_t i = 0; i + run <= n; i += run) {
+      out.Clear();
+      groups += combiner.Combine(&tape[i], run, &out);
+    }
+    const double dt = Now() - t0;
+    if (groups == 0) std::fprintf(stderr, "suspicious: combiner emitted 0\n");
+    return static_cast<double>(n / run * run) / dt;
+  });
+}
+
 // End-to-end pipeline throughput: one Flink aggregation trial, driven
 // hard enough that the driver queues hold a backlog (so PopBatch finds
 // full batches), measured as logical generator records simulated per
@@ -147,6 +236,34 @@ double PipelineRecordsPerSec(int batch) {
     const double dt = Now() - t0;
     if (result.output_records == 0) {
       std::fprintf(stderr, "suspicious: pipeline trial produced no outputs\n");
+    }
+    return records / dt;
+  });
+}
+
+// End-to-end shuffle-workload throughput: the large-cardinality shuffle
+// preset (2M uniform keys) through the Flink engine with the batched data
+// plane and the shuffle-side combiner on — the configuration the shuffle
+// fabric exists for.
+double PipelineShuffleRecordsPerSec() {
+  driver::ExperimentConfig config = MakeShuffle(2, 2.5e6, Seconds(10));
+  config.batch = kPipelineBatch;
+  config.backlog_hard_limit_s = 1e9;
+  config.backlog_end_limit_s = 1e9;
+  config.backlog_slope_frac = 1e9;
+  EngineTuning tuning;
+  tuning.shuffle_combine = true;
+  auto factory = MakeEngineFactory(
+      Engine::kFlink, engine::QueryConfig{engine::QueryKind::kAggregation, {}},
+      tuning);
+  const double records = config.total_rate * ToSeconds(config.duration) /
+                         static_cast<double>(config.generator.tuples_per_record);
+  return BestOf([&] {
+    const double t0 = Now();
+    const auto result = driver::RunExperiment(config, factory);
+    const double dt = Now() - t0;
+    if (result.output_records == 0) {
+      std::fprintf(stderr, "suspicious: shuffle trial produced no outputs\n");
     }
     return records / dt;
   });
@@ -279,6 +396,8 @@ int main(int argc, char** argv) {
 
   double fn64 = 0, fn4k = 0, agg1k = 0, agg100k = 0, buffered = 0, join = 0;
   double pipe_b1 = 0, pipe_bn = 0, rt_pipe = 0, rt_pipe_noprof = 0;
+  double shuffle_radix = 0, shuffle_scalar = 0, shuffle_combine = 0;
+  double pipe_shuffle = 0;
   if (!rt_only) {
     fn64 = FnEventsPerSec(64, 4'000'000);
     printf("  fn_events_64     %8.1f M events/s\n", fn64 / 1e6);
@@ -304,11 +423,24 @@ int main(int argc, char** argv) {
                                                   buf_fire);
     printf("  join_200k_keys   %8.1f M records/s\n", join / 1e6);
 
+    shuffle_radix = ShuffleScatterRecordsPerSec(/*radix=*/true);
+    printf("  shuffle_radix    %8.1f M records/s  (%d parts)\n",
+           shuffle_radix / 1e6, kShuffleParts);
+    shuffle_scalar = ShuffleScatterRecordsPerSec(/*radix=*/false);
+    printf("  shuffle_scalar   %8.1f M records/s  (x%.2f radix speedup)\n",
+           shuffle_scalar / 1e6,
+           shuffle_scalar > 0 ? shuffle_radix / shuffle_scalar : 0.0);
+    shuffle_combine = ShuffleCombineRecordsPerSec();
+    printf("  shuffle_combine  %8.1f M records/s\n", shuffle_combine / 1e6);
+
     pipe_b1 = PipelineRecordsPerSec(1);
     printf("  pipeline_b1      %8.1f k records/s\n", pipe_b1 / 1e3);
     pipe_bn = PipelineRecordsPerSec(kPipelineBatch);
     printf("  pipeline_b%-2d     %8.1f k records/s  (x%.2f vs --batch=1)\n",
            kPipelineBatch, pipe_bn / 1e3, pipe_bn / pipe_b1);
+    pipe_shuffle = PipelineShuffleRecordsPerSec();
+    printf("  pipeline_shuffle_b%-2d %4.1f k records/s  (2M keys, combiner on)\n",
+           kPipelineBatch, pipe_shuffle / 1e3);
 
     rt_pipe = RtPipelineRecordsPerSec(/*profile=*/true);
     printf("  rt_pipeline_b%-2d  %8.1f k records/s  (real threads, profiler on)\n",
@@ -379,9 +511,17 @@ int main(int argc, char** argv) {
     std::fprintf(f, "    \"agg_100k_records_per_s\": %.0f,\n", agg100k);
     std::fprintf(f, "    \"buffered_records_per_s\": %.0f,\n", buffered);
     std::fprintf(f, "    \"join_records_per_s\": %.0f,\n", join);
+    std::fprintf(f, "    \"shuffle_partition_records_per_s\": %.0f,\n",
+                 shuffle_radix);
+    std::fprintf(f, "    \"shuffle_scalar_records_per_s\": %.0f,\n",
+                 shuffle_scalar);
+    std::fprintf(f, "    \"shuffle_combine_records_per_s\": %.0f,\n",
+                 shuffle_combine);
     std::fprintf(f, "    \"pipeline_b1_records_per_s\": %.0f,\n", pipe_b1);
     std::fprintf(f, "    \"pipeline_b%d_records_per_s\": %.0f,\n", kPipelineBatch,
                  pipe_bn);
+    std::fprintf(f, "    \"pipeline_shuffle_b%d_records_per_s\": %.0f,\n",
+                 kPipelineBatch, pipe_shuffle);
     std::fprintf(f, "    \"rt_pipeline_b%d_records_per_s\": %.0f,\n",
                  kPipelineBatch, rt_pipe);
     std::fprintf(f, "    \"rt_pipeline_b%d_noprof_records_per_s\": %.0f\n",
@@ -393,6 +533,11 @@ int main(int argc, char** argv) {
                  "\"pipeline_b%d_records_per_s\", \"den\": "
                  "\"pipeline_b1_records_per_s\", \"value\": %.3f},\n",
                  kPipelineBatch, pipe_bn / pipe_b1);
+    std::fprintf(f,
+                 "    \"shuffle_radix_speedup\": {\"num\": "
+                 "\"shuffle_partition_records_per_s\", \"den\": "
+                 "\"shuffle_scalar_records_per_s\", \"value\": %.3f},\n",
+                 shuffle_scalar > 0 ? shuffle_radix / shuffle_scalar : 0.0);
     std::fprintf(f,
                  "    \"rt_profiler_overhead\": {\"num\": "
                  "\"rt_pipeline_b%d_records_per_s\", \"den\": "

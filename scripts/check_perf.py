@@ -97,17 +97,20 @@ def main() -> int:
         else:
             passed += 1
 
+    ratio_results = []
     for name, spec in sorted(ratio_floors.items()):
         num, den = spec["num"], spec["den"]
         if num not in measured or den not in measured:
             failures.append(f"{name}: expected ratio >= x{spec['min']:.2f}, "
                             f"but metrics {num}/{den} missing from measured output")
             print(f"  FAIL {name}: {num}/{den} missing from measured output")
+            ratio_results.append(f"{name} missing")
             continue
         ratio = measured[num] / measured[den] if measured[den] else float("inf")
         status = "OK " if ratio >= spec["min"] else "FAIL"
         print(f"  {status} {name}: {num}/{den} = x{ratio:.2f} "
               f"(floor x{spec['min']:.2f})")
+        ratio_results.append(f"{name} x{ratio:.2f}>=x{spec['min']:.2f}")
         if status == "FAIL":
             failures.append(
                 f"{name}: expected {num}/{den} >= x{spec['min']:.2f}, "
@@ -121,6 +124,10 @@ def main() -> int:
     total = len(baseline) + len(ratio_floors) + len(ceilings)
     summary = (f"perf gate: {passed}/{total} floors OK, "
                f"{len(failures)} failed, {len(new_metrics)} unbaselined")
+    if ratio_results:
+        # The exact ratio gates ARE the algorithmic guarantees this script
+        # exists for — surface them in the one line people actually read.
+        summary += " | ratios: " + ", ".join(ratio_results)
     if failures:
         print(f"\n{summary}", file=sys.stderr)
         for msg in failures:

@@ -6,6 +6,7 @@ Usage:
     python3 scripts/plot_results.py breakdown       # Fig. 12 stacked bars
     python3 scripts/plot_results.py sustainability  # indicator time-series
     python3 scripts/plot_results.py recovery        # Fig. R recovery bars
+    python3 scripts/plot_results.py shuffle         # Fig. S combiner bars
 
 With no subcommand, produces one PNG per paper figure:
     fig4.png  - aggregation latency over time (3 systems x 3 sizes x 2 loads)
@@ -196,6 +197,60 @@ def plot_recovery(plt, results, out_dir):
     print(f"wrote {out}")
 
 
+def plot_shuffle(plt, results, out_dir):
+    """Fig. S: combiner on/off bars for the large-cardinality shuffle
+    workload — DES event-time p50 per engine, plus rt measured throughput
+    when the --realtime run's CSV is present."""
+    path = os.path.join(results, "figS_shuffle.csv")
+    if not os.path.exists(path):
+        print(f"skip shuffle: {path} not found (run figS_shuffle)")
+        return
+    rows = read_table(path)
+    rt_path = os.path.join(results, "figS_shuffle_rt.csv")
+    rt_rows = read_table(rt_path) if os.path.exists(rt_path) else []
+
+    def grouped(table, value_key):
+        engines, off, on = [], [], []
+        for row in table:
+            if row["engine"] not in engines:
+                engines.append(row["engine"])
+            (off if row["combine"] == "off" else on).append(float(row[value_key]))
+        return engines, off, on
+
+    fig, axes = plt.subplots(1, 1 + bool(rt_rows),
+                             figsize=(5 + 4 * bool(rt_rows), 4), squeeze=False)
+    ax = axes[0][0]
+    engines, off, on = grouped(rows, "event_p50_s")
+    xs = range(len(engines))
+    width = 0.38
+    ax.bar([x - width / 2 for x in xs], off, width, label="combiner off")
+    ax.bar([x + width / 2 for x in xs], on, width, label="combiner on")
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels(engines)
+    ax.set_ylabel("event-time p50 (s)")
+    ax.set_title("Fig. S - shuffle workload (DES)")
+    ax.legend(fontsize=7)
+
+    if rt_rows:
+        ax2 = axes[0][1]
+        engines, off, on = grouped(rt_rows, "records_per_s")
+        xs = range(len(engines))
+        ax2.bar([x - width / 2 for x in xs], [v / 1e6 for v in off], width,
+                label="combiner off")
+        ax2.bar([x + width / 2 for x in xs], [v / 1e6 for v in on], width,
+                label="combiner on")
+        ax2.set_xticks(list(xs))
+        ax2.set_xticklabels(engines)
+        ax2.set_ylabel("throughput (M records/s)")
+        ax2.set_title("rt backend (wall clock)", fontsize=8)
+        ax2.legend(fontsize=7)
+
+    fig.tight_layout()
+    out = os.path.join(out_dir, "figS_shuffle.png")
+    fig.savefig(out, dpi=130)
+    print(f"wrote {out}")
+
+
 def plot_figures(plt, r, out_dir):
     panel_grid(plt, glob.glob(f"{r}/fig4_*.csv"),
                "Fig. 4 - aggregation latency over time", "latency (s)",
@@ -246,6 +301,9 @@ def main():
     subparsers.add_parser(
         "recovery", parents=[common],
         help="worker-crash recovery bars (figR_recovery.csv)")
+    subparsers.add_parser(
+        "shuffle", parents=[common],
+        help="shuffle-fabric combiner on/off bars (figS_shuffle*.csv)")
     args = parser.parse_args()
 
     try:
@@ -262,6 +320,8 @@ def main():
         plot_sustainability(plt, args.results, args.out)
     elif args.command == "recovery":
         plot_recovery(plt, args.results, args.out)
+    elif args.command == "shuffle":
+        plot_shuffle(plt, args.results, args.out)
     else:
         plot_figures(plt, args.results, args.out)
 

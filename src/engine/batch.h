@@ -31,37 +31,76 @@ class RecordBatch {
   RecordBatch() { records_.reserve(kInlineCapacity); }
 
   void Reserve(size_t n) { records_.reserve(n); }
-  void Clear() { records_.clear(); }
-  void PushBack(const Record& rec) { records_.push_back(rec); }
-  void PushBack(Record&& rec) { records_.push_back(rec); }
+  void Clear() {
+    records_.clear();
+    sums_valid_ = false;
+  }
+  void PushBack(const Record& rec) {
+    records_.push_back(rec);
+    sums_valid_ = false;
+  }
+  void PushBack(Record&& rec) {
+    records_.push_back(rec);
+    sums_valid_ = false;
+  }
 
   size_t size() const { return records_.size(); }
   bool empty() const { return records_.empty(); }
-  Record& operator[](size_t i) { return records_[i]; }
+  /// Mutable access may change weights/preagg, so it drops the cached
+  /// sums; use the const overloads on sealed batches to keep them.
+  Record& operator[](size_t i) {
+    sums_valid_ = false;
+    return records_[i];
+  }
   const Record& operator[](size_t i) const { return records_[i]; }
-  Record* begin() { return records_.data(); }
+  Record* begin() {
+    sums_valid_ = false;
+    return records_.data();
+  }
   Record* end() { return records_.data() + records_.size(); }
   const Record* begin() const { return records_.data(); }
   const Record* end() const { return records_.data() + records_.size(); }
 
+  /// Computes and memoizes the weight/wire sums. Call when the batch
+  /// stops mutating (queue burst creation, shuffle flush); the cached
+  /// sums travel with the batch through moves so every later admission
+  /// site reads them instead of re-summing. Mutation invalidates.
+  void Seal() const { ComputeSums(); }
+  bool sealed() const { return sums_valid_; }
+
   /// Summed logical tuples (records are weight-scaled).
   uint64_t TotalWeight() const {
-    uint64_t total = 0;
-    for (const Record& r : records_) total += static_cast<uint64_t>(r.weight);
-    return total;
+    if (!sums_valid_) ComputeSums();
+    return cached_weight_;
   }
 
-  /// Summed wire size of the run.
+  /// Summed wire size of the run (physical tuples: combiner partials
+  /// count once).
   int64_t TotalWireBytes() const {
-    int64_t total = 0;
-    for (const Record& r : records_) total += WireBytes(r);
-    return total;
+    if (!sums_valid_) ComputeSums();
+    return cached_wire_bytes_;
   }
 
   static constexpr size_t kInlineCapacity = 64;
 
  private:
+  void ComputeSums() const {
+    uint64_t weight = 0;
+    int64_t wire = 0;
+    for (const Record& r : records_) {
+      weight += static_cast<uint64_t>(r.weight);
+      wire += WireBytes(r);
+    }
+    cached_weight_ = weight;
+    cached_wire_bytes_ = wire;
+    sums_valid_ = true;
+  }
+
   std::vector<Record> records_;
+  // Memoized sums: logically derived state, so mutable + const compute.
+  mutable uint64_t cached_weight_ = 0;
+  mutable int64_t cached_wire_bytes_ = 0;
+  mutable bool sums_valid_ = false;
 };
 
 /// Process-wide data-plane batch size, set from `--batch=N` before any

@@ -1,0 +1,125 @@
+#include "engine/columnar.h"
+
+namespace sdps::engine {
+
+void RadixPartition(const uint64_t* keys, size_t n,
+                    const Partitioner& partitioner, PartitionPlan* plan) {
+  const int parts = partitioner.parts();
+  plan->parts = parts;
+  plan->dests.resize(n);
+  plan->offsets.assign(static_cast<size_t>(parts) + 1, 0);
+
+  // Pass 1: mix + assign + histogram. The mixed hash feeds the
+  // divide-free ApplyMixed, so the whole loop is multiply/shift/add.
+  uint32_t* dests = plan->dests.data();
+  uint32_t* counts = plan->offsets.data() + 1;  // offsets[d+1] = count(d)
+  for (size_t i = 0; i < n; ++i) {
+    const int d = partitioner.ApplyMixed(MixKey(keys[i]));
+    dests[i] = static_cast<uint32_t>(d);
+    ++counts[d];
+  }
+
+  // Prefix sum: offsets[p] becomes the start of run p.
+  for (int p = 0; p < parts; ++p) plan->offsets[p + 1] += plan->offsets[p];
+
+  // Stable scatter: ascending i per destination preserves arrival order.
+  plan->index.resize(n);
+  plan->cursors.assign(plan->offsets.begin(), plan->offsets.end() - 1);
+  uint32_t* cursors = plan->cursors.data();
+  uint32_t* index = plan->index.data();
+  for (size_t i = 0; i < n; ++i) {
+    index[cursors[dests[i]]++] = static_cast<uint32_t>(i);
+  }
+}
+
+void ScalarPartition(const uint64_t* keys, size_t n, int parts,
+                     std::vector<std::vector<uint32_t>>* dest_lists) {
+  dest_lists->resize(static_cast<size_t>(parts));
+  for (auto& list : *dest_lists) list.clear();
+  for (size_t i = 0; i < n; ++i) {
+    (*dest_lists)[static_cast<size_t>(PartitionForKey(keys[i], parts))]
+        .push_back(static_cast<uint32_t>(i));
+  }
+}
+
+void GatherRows(const Record* recs, const PartitionPlan& plan,
+                std::vector<Record>* rows) {
+  const size_t n = plan.index.size();
+  rows->resize(n);
+  Record* out = rows->data();
+  const uint32_t* index = plan.index.data();
+  for (size_t i = 0; i < n; ++i) out[i] = recs[index[i]];
+}
+
+void ShuffleCombiner::Add(const Record* recs, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const Record& r = recs[i];
+    const int64_t bucket = FloorDiv(r.event_time, bucket_width_);
+    // The exact contribution WindowKeyAgg::Merge would add for r.
+    const double contribution = r.preagg ? r.value : r.value * r.weight;
+    bool inserted;
+    uint32_t& head = head_.FindOrInsert(r.key, &inserted);
+    if (inserted) head = kNone;
+    uint32_t gi = head;
+    while (gi != kNone && groups_[gi].bucket != bucket) {
+      gi = groups_[gi].next;
+    }
+    if (gi == kNone) {
+      Group g;
+      g.bucket = bucket;
+      g.next = head;
+      g.rec = r;
+      g.rec.value = contribution;
+      g.rec.preagg = true;
+      head = static_cast<uint32_t>(groups_.size());
+      groups_.push_back(g);
+      continue;
+    }
+    Record& into = groups_[gi].rec;
+    into.value += contribution;
+    into.weight += r.weight;
+    if (r.event_time > into.event_time) into.event_time = r.event_time;
+    if (r.ingest_time > into.ingest_time) into.ingest_time = r.ingest_time;
+    if (into.lineage < 0) into.lineage = r.lineage;
+  }
+}
+
+size_t ShuffleCombiner::Emit(RecordBatch* out) const {
+  out->Reserve(out->size() + groups_.size());
+  for (const Group& g : groups_) out->PushBack(g.rec);
+  return groups_.size();
+}
+
+size_t ShuffleCombiner::Emit(std::vector<Record>* out) const {
+  out->reserve(out->size() + groups_.size());
+  for (const Group& g : groups_) out->push_back(g.rec);
+  return groups_.size();
+}
+
+uint64_t TreeCombine(std::vector<RecordBatch>* groups,
+                     ShuffleCombiner* combiner) {
+  uint64_t folded = 0;
+  std::vector<RecordBatch>& g = *groups;
+  std::vector<RecordBatch> next;
+  while (g.size() > 1) {
+    next.clear();
+    next.reserve((g.size() + 1) / 2);
+    for (size_t i = 0; i < g.size(); i += 2) {
+      if (i + 1 == g.size()) {  // odd group rides up a level untouched
+        next.push_back(std::move(g[i]));
+        continue;
+      }
+      folded += g[i].size() + g[i + 1].size();
+      combiner->Reset();
+      combiner->Add(g[i].begin(), g[i].size());
+      combiner->Add(g[i + 1].begin(), g[i + 1].size());
+      RecordBatch merged;
+      combiner->Emit(&merged);
+      next.push_back(std::move(merged));
+    }
+    g.swap(next);
+  }
+  return folded;
+}
+
+}  // namespace sdps::engine

@@ -94,6 +94,35 @@ class FlatKeyMap {
     if (has_empty_key_) fn(kEmptyKey, empty_val_);
   }
 
+  /// Probe-length distribution over the current entries: how far each
+  /// stored key sits from its home bucket (0 = in place). Lets tests gate
+  /// large-cardinality regressions (clustering from a bad hash or a
+  /// load-factor bug shows up as max/mean probe blowup long before
+  /// throughput benches notice).
+  struct ProbeStats {
+    size_t capacity = 0;   // slot count (excludes the out-of-line key)
+    size_t entries = 0;    // stored entries (excludes the out-of-line key)
+    size_t max_probe = 0;
+    double mean_probe = 0.0;
+  };
+  ProbeStats ComputeProbeStats() const {
+    ProbeStats st;
+    st.capacity = slots_.size();
+    st.entries = size_;
+    uint64_t total = 0;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].key == kEmptyKey) continue;
+      const size_t home = Bucket(slots_[i].key);
+      const size_t probe = (i - home) & mask_;  // wrap-around distance
+      total += probe;
+      if (probe > st.max_probe) st.max_probe = probe;
+    }
+    if (st.entries > 0) {
+      st.mean_probe = static_cast<double>(total) / static_cast<double>(st.entries);
+    }
+    return st;
+  }
+
  private:
   struct Slot {
     uint64_t key;

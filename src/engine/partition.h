@@ -17,11 +17,58 @@ inline uint64_t MixKey(uint64_t k) {
   return k ^ (k >> 31);
 }
 
-/// Maps a key to one of n partitions.
+/// Maps a key to one of n partitions. Reference mapping: every fast path
+/// (Partitioner below) must agree with this bit for bit, so figures
+/// produced before the fast paths existed stay byte-identical.
 inline int PartitionForKey(uint64_t key, int n) {
   SDPS_CHECK_GT(n, 0);
   return static_cast<int>(MixKey(key) % static_cast<uint64_t>(n));
 }
+
+/// Precomputed partition mapper for a fixed partition count. Produces
+/// exactly PartitionForKey(key, n) without the per-record 64-bit divide:
+/// a mask when n is a power of two, otherwise a multiply-shift reciprocal
+/// with one conditional correction step.
+///
+/// Reciprocal exactness: with m = floor((2^64 - 1) / n) we have
+/// 2^64/n - 1 < m <= 2^64/n, so q = mulhi(h, m) satisfies
+/// floor(h/n) - 1 <= q <= floor(h/n) for every h, and the remainder
+/// r = h - q*n lands in [0, 2n) — a single subtract-if-too-big yields the
+/// exact h % n.
+class Partitioner {
+ public:
+  explicit Partitioner(int n) : n_(static_cast<uint64_t>(n)) {
+    SDPS_CHECK_GT(n, 0);
+    if ((n_ & (n_ - 1)) == 0) {
+      mask_ = n_ - 1;
+      reciprocal_ = 0;
+    } else {
+      mask_ = 0;
+      reciprocal_ = ~0ull / n_;
+    }
+  }
+
+  int parts() const { return static_cast<int>(n_); }
+
+  /// Partition of an already-mixed hash (radix kernels mix once and
+  /// reuse the hash for the whole pass).
+  int ApplyMixed(uint64_t h) const {
+    if (reciprocal_ == 0) return static_cast<int>(h & mask_);
+    const uint64_t q = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(h) * reciprocal_) >> 64);
+    uint64_t r = h - q * n_;
+    if (r >= n_) r -= n_;
+    return static_cast<int>(r);
+  }
+
+  /// Partition of a key; identical to PartitionForKey(key, parts()).
+  int operator()(uint64_t key) const { return ApplyMixed(MixKey(key)); }
+
+ private:
+  uint64_t n_;
+  uint64_t mask_;        // n-1 when n is a power of two
+  uint64_t reciprocal_;  // floor((2^64-1)/n) otherwise; 0 selects the mask
+};
 
 }  // namespace sdps::engine
 

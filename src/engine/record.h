@@ -32,9 +32,23 @@ struct Record {
   uint32_t weight = 1;
   StreamId stream = StreamId::kPurchases;
   /// Latency-attribution sample id (obs::LineageTracker); -1 = unsampled.
-  /// Kept last so positional aggregate initialisation stays valid.
+  /// Kept after the fields above so positional aggregate initialisation
+  /// stays valid.
   int32_t lineage = -1;
+  /// Set on shuffle-side combiner output: `value` already holds the
+  /// partial aggregate sum of the `weight` logical tuples this record
+  /// speaks for, and the record occupies ONE physical tuple on the wire
+  /// and in per-tuple CPU charges (see PhysicalTuples). Never set on
+  /// generator output.
+  bool preagg = false;
 };
+
+/// Tuples a record occupies physically — on the wire and in per-tuple CPU
+/// charges. A combiner partial is one serialized tuple no matter how many
+/// logical tuples it pre-aggregates; everything else is weight-scaled.
+inline uint32_t PhysicalTuples(const Record& r) {
+  return r.preagg ? 1u : r.weight;
+}
 
 /// A result emitted by the SUT to the driver's latency sink.
 struct OutputRecord {
@@ -88,9 +102,10 @@ struct Message {
 /// serialization overhead bring a realistic wire size to ~100 bytes.
 inline constexpr int64_t kTupleWireBytes = 100;
 
-/// Wire size of a record (scales with the tuples it represents).
+/// Wire size of a record (scales with the tuples it physically carries:
+/// a pre-aggregated partial serializes as one tuple).
 inline int64_t WireBytes(const Record& r) {
-  return kTupleWireBytes * static_cast<int64_t>(r.weight);
+  return kTupleWireBytes * static_cast<int64_t>(PhysicalTuples(r));
 }
 
 /// Wire size of an output record.

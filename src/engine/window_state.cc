@@ -201,7 +201,9 @@ AddResult BufferedWindowState::Add(const Record& rec) {
       return nw;
     });
     win.records.push_back(rec);
-    buffered_tuples_ += rec.weight;
+    // Buffer accounting is physical: a combiner partial is one buffered
+    // object however many logical tuples it pre-aggregates.
+    buffered_tuples_ += PhysicalTuples(rec);
     ++result.window_updates;
   }
   return result;
@@ -221,7 +223,7 @@ BufferedWindowState::Fired BufferedWindowState::FireUpTo(SimTime watermark) {
     for (const Record& r : win.records) {
       bool inserted;
       fire_aggs_.FindOrInsert(r.key, &inserted).Merge(r);
-      window_tuples += r.weight;
+      window_tuples += PhysicalTuples(r);  // matches Add's buffer charge
     }
     fired.tuples_scanned += window_tuples;
     fire_aggs_.ForEach([&](uint64_t key, const WindowKeyAgg& agg) {

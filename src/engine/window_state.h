@@ -50,7 +50,10 @@ struct WindowKeyAgg {
   int32_t lineage = -1;
 
   void Merge(const Record& r) {
-    sum += r.value * r.weight;
+    // A combiner partial (preagg) already carries the summed
+    // value*weight products of its contributors; folding it in adds the
+    // exact double the per-record merges would have added.
+    sum += r.preagg ? r.value : r.value * r.weight;
     weight += r.weight;
     if (r.event_time > max_event_time) max_event_time = r.event_time;
     if (r.ingest_time > max_ingest_time) max_ingest_time = r.ingest_time;

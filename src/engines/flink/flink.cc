@@ -14,6 +14,7 @@
 #include "des/channel.h"
 #include "des/task.h"
 #include "engine/batch.h"
+#include "engine/columnar.h"
 #include "engine/partition.h"
 #include "engine/record.h"
 #include "engine/telemetry.h"
@@ -53,6 +54,7 @@ class FlinkSut : public driver::Sut {
     num_tasks_ = workers * config_.tasks_per_worker;
     num_queues_ = static_cast<int>(ctx.queues.size());
     SDPS_CHECK_GT(num_queues_, 0);
+    partitioner_.emplace(num_tasks_);
     // Paper setup: 16 parallel source instances per node (one per slot).
     sources_per_worker_ = cluster.worker(0).config().cpu_slots;
     num_sources_ = workers * sources_per_worker_;
@@ -127,6 +129,15 @@ class FlinkSut : public driver::Sut {
     // Data-plane batch size: 1 spawns the per-record processes (the exact
     // historical code paths); >1 spawns the coalescing variants.
     batch_ = static_cast<size_t>(std::max(1, ctx.batch));
+    // Shuffle-side combining applies to batched aggregation shuffles only
+    // (a batch of one has nothing to combine); recovery's per-raw-record
+    // in-flight accounting precludes it.
+    combine_ = config_.shuffle_combine && batch_ > 1 &&
+               config_.query.kind == engine::QueryKind::kAggregation;
+    if (combine_ && recovery_) {
+      return Status::InvalidArgument(
+          "flink: shuffle_combine is incompatible with recovery_enabled");
+    }
     for (int s = 0; s < num_sources_; ++s) {
       ctx.sim->Spawn(batch_ > 1 ? SourceProcessBatched(s) : SourceProcess(s));
     }
@@ -198,7 +209,7 @@ class FlinkSut : public driver::Sut {
       co_await my_worker.cpu().Use(CostUs(config_.source_cost_us * rec->weight));
       my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec->weight);
 
-      const int t = engine::PartitionForKey(rec->key, num_tasks_);
+      const int t = (*partitioner_)(rec->key);  // == PartitionForKey
       cluster::Node& target = WorkerOfTask(t);
       if (target.id() != my_worker.id()) {
         co_await my_worker.cpu().Use(CostUs(config_.remote_serde_cost_us * rec->weight));
@@ -234,15 +245,25 @@ class FlinkSut : public driver::Sut {
     std::vector<int64_t> bytes;
     std::vector<SimTime> arrivals;
     std::vector<SimTime> costs;
-    std::vector<int> targets;
     // Remote records grouped per target worker, first-appearance order.
     std::vector<std::pair<cluster::Node*, std::vector<int64_t>>> remote;
+    // Columnar shuffle state (see engine/columnar.h): the key lane feeds
+    // one radix pass per batch instead of a per-record divide, and the
+    // optional combiner folds the run into per-(key, slide-bucket)
+    // partials before anything crosses a link.
+    engine::ColumnarBatch cols;
+    engine::PartitionPlan plan;
+    engine::RecordBatch combined;
+    std::optional<engine::ShuffleCombiner> combiner;
+    if (combine_) combiner.emplace(config_.query.window.slide);
 
     for (;;) {
       if (!co_await queue.PopBatch(&recs, batch_)) break;
       const size_t k = recs.size();
-      // Raised before the first suspension: from this instant until each
-      // record lands in its channel, watermarks stay below the batch.
+      // Raised before the first suspension and held at the batch minimum
+      // until the last record lands in its channel: the shuffle sends in
+      // destination-major (not event-time) order, so only the whole-batch
+      // floor is a safe watermark bound.
       unsent_floor = recs[0].event_time;
       const int64_t rec_epoch = epoch_;
       if (recovery_) in_flight_ += static_cast<int>(k);
@@ -264,23 +285,38 @@ class FlinkSut : public driver::Sut {
       co_await my_worker.cpu().UseBatch(costs);
       my_worker.RecordAllocation(alloc);
 
-      // Partition; coalesce serde + transfer of the remote records.
-      targets.clear();
+      // Combine (aggregation only), then radix-partition the run into
+      // destination-major order in one pass.
+      const engine::RecordBatch* shuffle = &recs;
+      if (combine_) {
+        combined.Clear();
+        combiner->Combine(recs.begin(), k, &combined);
+        combined.Seal();
+        shuffle = &combined;
+      }
+      const size_t n = shuffle->size();
+      const engine::RecordBatch& run = *shuffle;
+      cols.LoadKeys(run.begin(), n);
+      engine::RadixPartition(cols.keys.data(), n, *partitioner_, &plan);
+
+      // Coalesce serde + transfer of the remote records, per destination.
       costs.clear();
       remote.clear();
-      for (size_t i = 0; i < k; ++i) {
-        const int t = engine::PartitionForKey(recs[i].key, num_tasks_);
-        targets.push_back(t);
+      for (int t = 0; t < num_tasks_; ++t) {
         cluster::Node& target = WorkerOfTask(t);
         if (target.id() == my_worker.id()) continue;
-        costs.push_back(CostUs(config_.remote_serde_cost_us * recs[i].weight));
-        auto it = std::find_if(remote.begin(), remote.end(),
-                               [&target](const auto& g) { return g.first == &target; });
-        if (it == remote.end()) {
-          remote.emplace_back(&target, std::vector<int64_t>{});
-          it = remote.end() - 1;
+        for (const uint32_t* it = plan.Begin(t); it != plan.End(t); ++it) {
+          const Record& rec = run[*it];
+          costs.push_back(
+              CostUs(config_.remote_serde_cost_us * engine::PhysicalTuples(rec)));
+          auto g = std::find_if(remote.begin(), remote.end(),
+                                [&target](const auto& e) { return e.first == &target; });
+          if (g == remote.end()) {
+            remote.emplace_back(&target, std::vector<int64_t>{});
+            g = remote.end() - 1;
+          }
+          g->second.push_back(engine::WireBytes(rec));
         }
-        it->second.push_back(engine::WireBytes(recs[i]));
       }
       if (!costs.empty()) {
         co_await my_worker.cpu().UseBatch(costs);
@@ -289,24 +325,31 @@ class FlinkSut : public driver::Sut {
                                            group.size(), nullptr);
         }
       }
-      for (size_t i = 0; i < k; ++i) {
-        if ((!recovery_ || rec_epoch == epoch_) &&
-            recs[i].event_time > queue_max_event) {
-          queue_max_event = recs[i].event_time;
-        }
-        Message msg = Message::MakeRecord(recs[i]);
-        msg.epoch = rec_epoch;
-        const bool sent =
-            co_await channels_[static_cast<size_t>(targets[i])]->Send(msg);
-        unsent_floor = i + 1 < k ? recs[i + 1].event_time : kNoUnsentFloor;
-        if (recovery_) --in_flight_;
-        if (!sent) {
-          // Topology shut down mid-batch: release the never-sent remainder.
-          unsent_floor = kNoUnsentFloor;
-          if (recovery_) in_flight_ -= static_cast<int>(k - 1 - i);
-          co_return;
+      // Destination-major channel sends. in_flight_ counts raw records,
+      // and combining is disallowed under recovery, so n == k whenever
+      // recovery_ is set.
+      size_t sends_left = n;
+      for (int t = 0; t < num_tasks_; ++t) {
+        for (const uint32_t* it = plan.Begin(t); it != plan.End(t); ++it) {
+          const Record& rec = run[*it];
+          if ((!recovery_ || rec_epoch == epoch_) &&
+              rec.event_time > queue_max_event) {
+            queue_max_event = rec.event_time;
+          }
+          Message msg = Message::MakeRecord(rec);
+          msg.epoch = rec_epoch;
+          const bool sent = co_await channels_[static_cast<size_t>(t)]->Send(msg);
+          --sends_left;
+          if (recovery_) --in_flight_;
+          if (!sent) {
+            // Topology shut down mid-batch: release the never-sent remainder.
+            unsent_floor = kNoUnsentFloor;
+            if (recovery_) in_flight_ -= static_cast<int>(sends_left);
+            co_return;
+          }
         }
       }
+      unsent_floor = kNoUnsentFloor;
     }
     --queue_active_sources_[static_cast<size_t>(queue_idx)];
   }
@@ -450,10 +493,15 @@ class FlinkSut : public driver::Sut {
         const double slow = state.state_bytes() > spill_threshold_bytes_
                                 ? config_.spill_slowdown
                                 : 1.0;
-        co_await my_worker.cpu().Use(CostUs(config_.agg_update_cost_us * rec.weight *
-                                            added.window_updates * slow));
+        // Per-tuple charges are physical: a combiner partial is one
+        // incremental update / one allocated object however many logical
+        // tuples it pre-aggregates (identical when no combining ran).
+        co_await my_worker.cpu().Use(
+            CostUs(config_.agg_update_cost_us * engine::PhysicalTuples(rec) *
+                   added.window_updates * slow));
         obs::LineageTracker::Default().StampOperator(rec.lineage, ctx_.sim->now());
-        my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec.weight);
+        my_worker.RecordAllocation(config_.alloc_bytes_per_tuple *
+                                   engine::PhysicalTuples(rec));
       } else if (msg->origin == kBarrierOrigin) {
         co_await TakeSnapshot(my_worker, track, state.state_bytes());
         if (recovery_) {
@@ -580,10 +628,11 @@ class FlinkSut : public driver::Sut {
             const double slow = state.state_bytes() > spill_threshold_bytes_
                                     ? config_.spill_slowdown
                                     : 1.0;
-            costs.push_back(CostUs(config_.agg_update_cost_us * rec.weight *
+            costs.push_back(CostUs(config_.agg_update_cost_us *
+                                   engine::PhysicalTuples(rec) *
                                    added.window_updates * slow));
             lineages.push_back(rec.lineage);
-            alloc += config_.alloc_bytes_per_tuple * rec.weight;
+            alloc += config_.alloc_bytes_per_tuple * engine::PhysicalTuples(rec);
             ++i;
           }
           SimTime done = co_await my_worker.cpu().UseBatch(costs);
@@ -802,6 +851,9 @@ class FlinkSut : public driver::Sut {
   int num_queues_ = 0;
   int sources_per_worker_ = 1;
   size_t batch_ = 1;  // data-plane batch size (1 = per-record paths)
+  bool combine_ = false;  // shuffle-side pre-aggregation (batched agg only)
+  // Divide-free partition mapper, identical to PartitionForKey modulo.
+  std::optional<engine::Partitioner> partitioner_;
   int64_t spill_threshold_bytes_ = 0;
   std::vector<std::unique_ptr<Channel<Message>>> channels_;
   std::vector<SimTime> queue_max_event_;

@@ -88,6 +88,15 @@ struct FlinkConfig {
   /// Poll period the checkpoint coordinator uses while draining in-flight
   /// records during the quiesce.
   SimTime quiesce_poll = Millis(1);
+
+  // -- Shuffle fabric (large-cardinality workloads) ---------------------
+  /// Shuffle-side combiner: batched sources pre-aggregate each popped run
+  /// into per-(key, slide-bucket) partials before the link transfer
+  /// (engine::ShuffleCombiner), so a partial crosses the wire as one
+  /// physical tuple. Aggregation query + batch > 1 only; incompatible
+  /// with recovery (in-flight accounting is per raw record). Logical
+  /// outputs are unchanged — see DESIGN §6 for the exactness argument.
+  bool shuffle_combine = false;
 };
 
 /// Builds the Flink SUT. The returned object must outlive the simulation.

@@ -15,6 +15,7 @@
 #include "des/resource.h"
 #include "des/task.h"
 #include "engine/batch.h"
+#include "engine/columnar.h"
 #include "engine/partition.h"
 #include "engine/rate_limiter.h"
 #include "engine/record.h"
@@ -89,9 +90,27 @@ struct SparkBlock {
 
 struct MapOutput {
   int home_worker = 0;
-  // Per reduce partition: combined partials (tree aggregate) or raw records.
+  // Per reduce partition: combined partials (tree aggregate) or the flat
+  // destination-major shuffle rows below.
   std::vector<std::unordered_map<uint64_t, WindowKeyAgg>> combined;
-  std::vector<std::vector<Record>> raw;
+  // Raw path: one flat buffer (single allocation, sequential writes);
+  // partition r's records are rows[run_offsets[r] .. run_offsets[r+1]),
+  // in arrival order — identical content and order to the per-partition
+  // vectors this layout replaced.
+  std::vector<Record> rows;
+  std::vector<uint32_t> run_offsets;  // num_reduce + 1 when rows are in use
+
+  bool has_rows() const { return !run_offsets.empty(); }
+  const Record* RunBegin(int r) const {
+    return rows.data() + run_offsets[static_cast<size_t>(r)];
+  }
+  const Record* RunEnd(int r) const {
+    return rows.data() + run_offsets[static_cast<size_t>(r) + 1];
+  }
+  size_t RunSize(int r) const {
+    return run_offsets[static_cast<size_t>(r) + 1] -
+           run_offsets[static_cast<size_t>(r)];
+  }
 };
 
 struct SparkJob {
@@ -162,6 +181,16 @@ class SparkSut : public driver::Sut {
     receiver_overhead_ = InterpolateOverhead(config_.receiver_scaling_overhead, workers);
     num_receivers_ = static_cast<int>(ctx.queues.size());
     num_reduce_ = workers * config_.reduce_tasks_per_worker;
+    partitioner_.emplace(num_reduce_);
+    // Shuffle-side combining: aggregation shuffles only. Partials stay
+    // pure per batch-interval bucket, so both classic and deterministic
+    // reduces fold them exactly (engine/columnar.h).
+    combine_ = config_.shuffle_combine &&
+               config_.query.kind == engine::QueryKind::kAggregation;
+    if (combine_ && config_.recovery_enabled) {
+      return Status::InvalidArgument(
+          "spark: shuffle_combine is incompatible with recovery_enabled");
+    }
     partitions_.resize(static_cast<size_t>(num_reduce_));
     block_manager_bytes_.assign(static_cast<size_t>(workers), 0);
     current_blocks_.resize(static_cast<size_t>(num_receivers_));
@@ -503,9 +532,9 @@ class SparkSut : public driver::Sut {
         if (!mo.combined.empty()) {
           bytes = static_cast<int64_t>(mo.combined[static_cast<size_t>(r)].size()) *
                   kPartialWireBytes;
-        } else if (!mo.raw.empty()) {
-          for (const Record& rec : mo.raw[static_cast<size_t>(r)]) {
-            bytes += engine::WireBytes(rec);
+        } else if (mo.has_rows()) {
+          for (const Record* rec = mo.RunBegin(r); rec != mo.RunEnd(r); ++rec) {
+            bytes += engine::WireBytes(*rec);
           }
         }
         bytes_matrix[static_cast<size_t>(mo.home_worker * workers + to)] += bytes;
@@ -596,11 +625,13 @@ class SparkSut : public driver::Sut {
                        static_cast<int64_t>(block.tuples));
 
     // Deterministic batching needs raw records on the reduce side (the
-    // map-side combine would merge event-time buckets together).
-    const bool combine = config_.tree_aggregate &&
-                         config_.query.kind == engine::QueryKind::kAggregation &&
-                         !config_.deterministic_batching;
-    if (combine) {
+    // map-side combine would merge event-time buckets together). The
+    // shuffle-fabric combiner supersedes it: its partials stay bucket-pure,
+    // so they survive the deterministic reduce's event-time re-bucketing.
+    const bool map_combine = config_.tree_aggregate &&
+                             config_.query.kind == engine::QueryKind::kAggregation &&
+                             !config_.deterministic_batching && !combine_;
+    if (map_combine) {
       out.combined.resize(static_cast<size_t>(num_reduce_));
       for (const Record& rec : block.records) {
         obs::LineageTracker::Default().StampOperator(rec.lineage, ctx_.sim->now());
@@ -609,11 +640,47 @@ class SparkSut : public driver::Sut {
                         .Merge(rec);
       }
     } else {
-      out.raw.resize(static_cast<size_t>(num_reduce_));
-      for (const Record& rec : block.records) {
-        obs::LineageTracker::Default().StampOperator(rec.lineage, ctx_.sim->now());
-        out.raw[static_cast<size_t>(engine::PartitionForKey(rec.key, num_reduce_))]
-            .push_back(rec);
+      // Columnar shuffle write: radix-partition the block in one pass and
+      // emit destination-major. Per destination the contents and relative
+      // order match the per-record PartitionForKey loop exactly (stable
+      // scatter), so downstream behaviour is unchanged.
+      engine::ColumnarBatch cols;
+      engine::PartitionPlan plan;
+      const size_t n = block.records.size();
+      cols.LoadKeys(block.records.data(), n);
+      engine::RadixPartition(cols.keys.data(), n, *partitioner_, &plan);
+      if (combine_) {
+        // Pre-aggregate each destination run into per-(key, bucket)
+        // partials; a partial crosses the shuffle as one physical tuple.
+        // Bucket width: the deterministic reduce re-buckets by
+        // batch_interval, so partials must not straddle those boundaries;
+        // the classic reduce folds whole partitions per job, where any
+        // bucketing is exact (slide matches the other engines).
+        engine::ShuffleCombiner combiner(config_.deterministic_batching
+                                             ? config_.batch_interval
+                                             : config_.query.window.slide);
+        out.run_offsets.assign(static_cast<size_t>(num_reduce_) + 1, 0);
+        for (int p = 0; p < num_reduce_; ++p) {
+          if (plan.RunSize(p) > 0) {
+            combiner.Reset();
+            for (const uint32_t* it = plan.Begin(p); it != plan.End(p); ++it) {
+              const Record& rec = block.records[*it];
+              obs::LineageTracker::Default().StampOperator(rec.lineage,
+                                                           ctx_.sim->now());
+              combiner.Add(rec);
+            }
+            combiner.Emit(&out.rows);
+          }
+          out.run_offsets[static_cast<size_t>(p) + 1] =
+              static_cast<uint32_t>(out.rows.size());
+        }
+      } else {
+        engine::GatherRows(block.records.data(), plan, &out.rows);
+        out.run_offsets.assign(plan.offsets.begin(), plan.offsets.end());
+        for (const Record& rec : out.rows) {
+          obs::LineageTracker::Default().StampOperator(rec.lineage,
+                                                       ctx_.sim->now());
+        }
       }
     }
     block.records.clear();
@@ -651,8 +718,9 @@ class SparkSut : public driver::Sut {
           partial.max_ingest_time =
               std::max(partial.max_ingest_time, agg.max_ingest_time);
         }
-      } else if (!mo.raw.empty()) {
-        for (const Record& rec : mo.raw[static_cast<size_t>(r)]) {
+      } else if (mo.has_rows()) {
+        for (const Record* it = mo.RunBegin(r); it != mo.RunEnd(r); ++it) {
+          const Record& rec = *it;
           if (config_.query.kind == engine::QueryKind::kAggregation) {
             partial.aggs[rec.key].Merge(rec);
           } else if (rec.stream == engine::StreamId::kPurchases) {
@@ -660,14 +728,20 @@ class SparkSut : public driver::Sut {
           } else {
             partial.ads.push_back(rec);
           }
-          partial.tuples += rec.weight;
+          // Physical tuples: a shuffle-combined partial is deserialized,
+          // folded, and retained as ONE object. Equal to weight when no
+          // combiner ran.
+          partial.tuples += engine::PhysicalTuples(rec);
           partial.max_event_time = std::max(partial.max_event_time, rec.event_time);
           partial.max_ingest_time = std::max(partial.max_ingest_time, rec.ingest_time);
         }
       }
     }
+    const bool entry_merge = config_.tree_aggregate &&
+                             config_.query.kind == engine::QueryKind::kAggregation &&
+                             !combine_;
     const double merge_cost =
-        (config_.tree_aggregate && config_.query.kind == engine::QueryKind::kAggregation)
+        entry_merge
             ? config_.reduce_entry_cost_us * static_cast<double>(merged_entries)
             : config_.reduce_tuple_cost_us * static_cast<double>(partial.tuples);
     const double merge_cost_us =
@@ -746,29 +820,58 @@ class SparkSut : public driver::Sut {
   Task<> ReduceTaskDet(SparkJob& job, int r, cluster::Node& w, PartitionState& st,
                        double slow) {
     uint64_t batch_tuples = 0;
-    for (const MapOutput& mo : job.map_outputs) {
-      if (mo.raw.empty()) continue;
-      for (const Record& rec : mo.raw[static_cast<size_t>(r)]) {
-        const int64_t bucket = FloorDiv(rec.event_time, config_.batch_interval) + 1;
-        BatchPartial& bp = st.det_buckets[bucket];
-        bp.batch_index = bucket;
-        if (config_.query.kind == engine::QueryKind::kAggregation) {
-          bp.aggs[rec.key].Merge(rec);
-        } else if (rec.stream == engine::StreamId::kPurchases) {
-          bp.purchases.push_back(rec);
-        } else {
-          bp.ads.push_back(rec);
+    uint64_t tree_entries = 0;
+    auto fold = [&](const Record& rec) {
+      const int64_t bucket = FloorDiv(rec.event_time, config_.batch_interval) + 1;
+      BatchPartial& bp = st.det_buckets[bucket];
+      bp.batch_index = bucket;
+      if (config_.query.kind == engine::QueryKind::kAggregation) {
+        bp.aggs[rec.key].Merge(rec);
+      } else if (rec.stream == engine::StreamId::kPurchases) {
+        bp.purchases.push_back(rec);
+      } else {
+        bp.ads.push_back(rec);
+      }
+      // Physical tuples: a shuffle-combined partial folds and buckets as
+      // ONE object (equal to weight when no combiner ran).
+      bp.tuples += engine::PhysicalTuples(rec);
+      bp.max_event_time = std::max(bp.max_event_time, rec.event_time);
+      bp.max_ingest_time = std::max(bp.max_ingest_time, rec.ingest_time);
+      batch_tuples += engine::PhysicalTuples(rec);
+    };
+    if (combine_) {
+      // Tree-combine the per-map partial groups for this partition before
+      // folding into buckets: each level pairwise-merges groups, charging
+      // entry cost for the records folded (tree_entries). Partials stay
+      // batch_interval-bucket-pure at every level, so the event-time
+      // re-bucketing below is unaffected (engine/columnar.h).
+      std::vector<engine::RecordBatch> groups;
+      for (const MapOutput& mo : job.map_outputs) {
+        if (!mo.has_rows() || mo.RunSize(r) == 0) continue;
+        engine::RecordBatch g;
+        g.Reserve(mo.RunSize(r));
+        for (const Record* it = mo.RunBegin(r); it != mo.RunEnd(r); ++it) {
+          g.PushBack(*it);
         }
-        bp.tuples += rec.weight;
-        bp.max_event_time = std::max(bp.max_event_time, rec.event_time);
-        bp.max_ingest_time = std::max(bp.max_ingest_time, rec.ingest_time);
-        batch_tuples += rec.weight;
+        groups.push_back(std::move(g));
+      }
+      engine::ShuffleCombiner combiner(config_.batch_interval);
+      tree_entries = engine::TreeCombine(&groups, &combiner);
+      if (!groups.empty()) {
+        const engine::RecordBatch& combined = groups.front();
+        for (size_t m = 0; m < combined.size(); ++m) fold(combined[m]);
+      }
+    } else {
+      for (const MapOutput& mo : job.map_outputs) {
+        if (!mo.has_rows()) continue;
+        for (const Record* it = mo.RunBegin(r); it != mo.RunEnd(r); ++it) fold(*it);
       }
     }
     const double merge_cost_us =
         config_.task_overhead_ms * 1000.0 +
-        config_.reduce_tuple_cost_us * static_cast<double>(batch_tuples) * overhead_ *
-            slow;
+        (config_.reduce_tuple_cost_us * static_cast<double>(batch_tuples) +
+         config_.reduce_entry_cost_us * static_cast<double>(tree_entries)) *
+            overhead_ * slow;
     co_await w.cpu().Use(CostUs(merge_cost_us));
     const size_t widx =
         static_cast<size_t>(r) % static_cast<size_t>(ctx_.cluster->num_workers());
@@ -1040,6 +1143,9 @@ class SparkSut : public driver::Sut {
 
   bool recovery_ = false;
   uint64_t batches_recomputed_ = 0;
+  /// Shuffle fabric: map-side pre-aggregation into bucket-pure partials.
+  bool combine_ = false;
+  std::optional<engine::Partitioner> partitioner_;
 
   engine::EngineMetrics metrics_;
   obs::Counter* obs_jobs_ = nullptr;

@@ -96,6 +96,17 @@ struct SparkConfig {
   /// arrival-batched behaviour above is the faithful Spark Streaming
   /// model, with its timing-dependent startup/partial windows.
   bool deterministic_batching = false;
+  /// Shuffle-side combiner (large-cardinality shuffle fabric): map tasks
+  /// pre-aggregate each block's records into per-(key, batch-bucket)
+  /// partials before the shuffle transfer, and the deterministic-mode
+  /// reduce tree-combines the per-map partial groups before folding them
+  /// into its buckets. A partial crosses the wire as one physical tuple.
+  /// Aggregation query only (ignored for the join); works in both classic
+  /// and deterministic modes — unlike tree_aggregate's map-side combine,
+  /// the partials stay bucket-pure, so event-time bucketing survives.
+  /// Logical outputs are unchanged (DESIGN §6); incompatible with
+  /// recovery_enabled to keep recompute accounting per raw record.
+  bool shuffle_combine = false;
 
   // -- Backpressure (simplified PID rate estimator) -----------------------
   /// Fraction of the observed processing rate the controller targets when

@@ -11,6 +11,7 @@
 #include "des/channel.h"
 #include "des/task.h"
 #include "engine/batch.h"
+#include "engine/columnar.h"
 #include "engine/partition.h"
 #include "engine/record.h"
 #include "engine/telemetry.h"
@@ -63,6 +64,7 @@ class StormSut : public driver::Sut {
     num_bolts_ = workers * config_.bolts_per_worker;
     num_queues_ = static_cast<int>(ctx.queues.size());
     SDPS_CHECK_GT(num_queues_, 0);
+    partitioner_.emplace(num_bolts_);
     spouts_per_worker_ = cluster.worker(0).config().cpu_slots;
     num_spouts_ = workers * spouts_per_worker_;
 
@@ -110,6 +112,14 @@ class StormSut : public driver::Sut {
     // Data-plane batch size: 1 spawns the per-record processes (the exact
     // historical code paths); >1 spawns the coalescing variants.
     batch_ = static_cast<size_t>(std::max(1, ctx.batch));
+    // Shuffle-side combining: batched aggregation shuffles only, and the
+    // ack/replay machinery tracks raw tuples, so not under recovery.
+    combine_ = config_.shuffle_combine && batch_ > 1 &&
+               config_.query.kind == engine::QueryKind::kAggregation;
+    if (combine_ && recovery_) {
+      return Status::InvalidArgument(
+          "storm: shuffle_combine is incompatible with recovery_enabled");
+    }
     for (int s = 0; s < num_spouts_; ++s) {
       ctx.sim->Spawn(batch_ > 1 ? SpoutProcessBatched(s) : SpoutProcess(s));
     }
@@ -195,7 +205,7 @@ class StormSut : public driver::Sut {
         continue;
       }
 
-      const int b = engine::PartitionForKey(rec->key, num_bolts_);
+      const int b = (*partitioner_)(rec->key);  // == PartitionForKey
       cluster::Node& target = WorkerOfBolt(b);
       if (target.id() != my_worker.id()) {
         co_await my_worker.cpu().Use(
@@ -244,6 +254,12 @@ class StormSut : public driver::Sut {
     std::vector<SimTime> costs;
     std::vector<int> bolts;  // target bolt per record; -1 = ads broadcast
     std::vector<std::pair<cluster::Node*, std::vector<int64_t>>> remote;
+    // Columnar shuffle state for the non-join path (engine/columnar.h).
+    engine::ColumnarBatch cols;
+    engine::PartitionPlan plan;
+    engine::RecordBatch combined;
+    std::optional<engine::ShuffleCombiner> combiner;
+    if (combine_) combiner.emplace(config_.query.window.slide);
 
     for (;;) {
       while (throttled_) co_await des::Delay(*ctx_.sim, config_.throttle_poll);
@@ -276,8 +292,8 @@ class StormSut : public driver::Sut {
       bolts.clear();
       remote.clear();
       auto add_remote = [&](cluster::Node& target, const Record& rec) {
-        costs.push_back(
-            CostUs(config_.remote_serde_cost_us * overhead_ * rec.weight));
+        costs.push_back(CostUs(config_.remote_serde_cost_us * overhead_ *
+                               engine::PhysicalTuples(rec)));
         auto it = std::find_if(remote.begin(), remote.end(),
                                [&target](const auto& g) { return g.first == &target; });
         if (it == remote.end()) {
@@ -286,9 +302,76 @@ class StormSut : public driver::Sut {
         }
         it->second.push_back(engine::WireBytes(rec));
       };
+      // Channel delivery shared by both routing paths: the backpressured
+      // send or the drop-counting no-flow-control path. Returns false when
+      // the topology shut down or the connection dropped.
+      auto deliver = [&](int b, const Record& rec) -> Task<bool> {
+        Channel<Message>& ch = *channels_[static_cast<size_t>(b)];
+        if (config_.enable_backpressure) {
+          if (!co_await ch.Send(Message::MakeRecord(rec))) {
+            unsent_floor = kNoUnsentFloor;
+            co_return false;
+          }
+          co_return true;
+        }
+        if (ch.TrySend(Message::MakeRecord(rec))) {
+          consecutive_drops = 0;
+        } else if (++consecutive_drops >= config_.drop_limit) {
+          ctx_.report_failure(Status::Aborted(
+              "storm: dropped connection to the data generator queue "
+              "(receive queues overflowed with backpressure disabled)"));
+          unsent_floor = kNoUnsentFloor;
+          co_return false;
+        }
+        co_return true;
+      };
+
+      if (!join) {
+        // Columnar shuffle: advance the event-time clock over the raw
+        // batch (the floor still caps watermarks below it), optionally
+        // pre-aggregate, then radix-partition into bolt-major runs.
+        for (size_t i = 0; i < k; ++i) {
+          if (recs[i].event_time > queue_max_event) {
+            queue_max_event = recs[i].event_time;
+          }
+        }
+        const engine::RecordBatch* shuffle = &recs;
+        if (combine_) {
+          combined.Clear();
+          combiner->Combine(recs.begin(), k, &combined);
+          combined.Seal();
+          shuffle = &combined;
+        }
+        const engine::RecordBatch& run = *shuffle;
+        const size_t n = run.size();
+        cols.LoadKeys(run.begin(), n);
+        engine::RadixPartition(cols.keys.data(), n, *partitioner_, &plan);
+        for (int b = 0; b < num_bolts_; ++b) {
+          cluster::Node& target = WorkerOfBolt(b);
+          if (target.id() == my_worker.id()) continue;
+          for (const uint32_t* it = plan.Begin(b); it != plan.End(b); ++it) {
+            add_remote(target, run[*it]);
+          }
+        }
+        if (!costs.empty()) {
+          co_await my_worker.cpu().UseBatch(costs);
+          for (const auto& [node, group] : remote) {
+            co_await ctx_.cluster->SendBatch(my_worker, *node, group.data(),
+                                             group.size(), nullptr);
+          }
+        }
+        for (int b = 0; b < num_bolts_; ++b) {
+          for (const uint32_t* it = plan.Begin(b); it != plan.End(b); ++it) {
+            if (!co_await deliver(b, run[*it])) co_return;
+          }
+        }
+        unsent_floor = kNoUnsentFloor;
+        continue;
+      }
+
       for (size_t i = 0; i < k; ++i) {
         if (recs[i].event_time > queue_max_event) queue_max_event = recs[i].event_time;
-        if (join && recs[i].stream == engine::StreamId::kAds) {
+        if (recs[i].stream == engine::StreamId::kAds) {
           bolts.push_back(-1);
           for (int w = 0; w < ctx_.cluster->num_workers(); ++w) {
             cluster::Node& target = ctx_.cluster->worker(w);
@@ -296,7 +379,7 @@ class StormSut : public driver::Sut {
           }
           continue;
         }
-        const int b = engine::PartitionForKey(recs[i].key, num_bolts_);
+        const int b = (*partitioner_)(recs[i].key);  // == PartitionForKey
         bolts.push_back(b);
         cluster::Node& target = WorkerOfBolt(b);
         if (target.id() != my_worker.id()) add_remote(target, recs[i]);
@@ -319,21 +402,7 @@ class StormSut : public driver::Sut {
           unsent_floor = i + 1 < k ? recs[i + 1].event_time : kNoUnsentFloor;
           continue;
         }
-        Channel<Message>& ch = *channels_[static_cast<size_t>(bolts[i])];
-        if (config_.enable_backpressure) {
-          if (!co_await ch.Send(Message::MakeRecord(recs[i]))) {
-            unsent_floor = kNoUnsentFloor;
-            co_return;
-          }
-        } else if (ch.TrySend(Message::MakeRecord(recs[i]))) {
-          consecutive_drops = 0;
-        } else if (++consecutive_drops >= config_.drop_limit) {
-          ctx_.report_failure(Status::Aborted(
-              "storm: dropped connection to the data generator queue "
-              "(receive queues overflowed with backpressure disabled)"));
-          unsent_floor = kNoUnsentFloor;
-          co_return;
-        }
+        if (!co_await deliver(bolts[i], recs[i])) co_return;
         unsent_floor = i + 1 < k ? recs[i + 1].event_time : kNoUnsentFloor;
       }
     }
@@ -478,10 +547,13 @@ class StormSut : public driver::Sut {
         const engine::AddResult added = state.Add(rec);
         metrics_.records->Add(rec.weight);
         metrics_.late_dropped->Add(added.late_tuples);
-        co_await my_worker.cpu().Use(CostUs(config_.buffer_add_cost_us * overhead_ *
-                                            rec.weight * added.window_updates));
+        // Physical tuples: a combiner partial buffers as one object.
+        co_await my_worker.cpu().Use(
+            CostUs(config_.buffer_add_cost_us * overhead_ *
+                   engine::PhysicalTuples(rec) * added.window_updates));
         obs::LineageTracker::Default().StampOperator(rec.lineage, ctx_.sim->now());
-        my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec.weight);
+        my_worker.RecordAllocation(config_.alloc_bytes_per_tuple *
+                                   engine::PhysicalTuples(rec));
         if (!ChargeHeap(my_worker, state.state_bytes() - last_state_bytes)) co_return;
         last_state_bytes = state.state_bytes();
       } else if (tracker.Update(msg->origin, msg->watermark)) {
@@ -533,10 +605,13 @@ class StormSut : public driver::Sut {
         const engine::AddResult added = state.Add(rec);
         metrics_.records->Add(rec.weight);
         metrics_.late_dropped->Add(added.late_tuples);
-        co_await my_worker.cpu().Use(CostUs(config_.buffer_add_cost_us * overhead_ *
-                                            rec.weight * added.window_updates));
+        // Physical tuples: a combiner partial buffers as one object.
+        co_await my_worker.cpu().Use(
+            CostUs(config_.buffer_add_cost_us * overhead_ *
+                   engine::PhysicalTuples(rec) * added.window_updates));
         obs::LineageTracker::Default().StampOperator(rec.lineage, ctx_.sim->now());
-        my_worker.RecordAllocation(config_.alloc_bytes_per_tuple * rec.weight);
+        my_worker.RecordAllocation(config_.alloc_bytes_per_tuple *
+                                   engine::PhysicalTuples(rec));
         if (!ChargeHeap(my_worker, state.state_bytes() - last_state_bytes)) co_return;
         last_state_bytes = state.state_bytes();
       } else if (tracker.Update(msg->origin, msg->watermark)) {
@@ -605,8 +680,9 @@ class StormSut : public driver::Sut {
             metrics_.records->Add(run[m].weight);
             metrics_.late_dropped->Add(added[m].late_tuples);
             costs.push_back(CostUs(config_.buffer_add_cost_us * overhead_ *
-                                   run[m].weight * added[m].window_updates));
-            alloc += config_.alloc_bytes_per_tuple * run[m].weight;
+                                   engine::PhysicalTuples(run[m]) *
+                                   added[m].window_updates));
+            alloc += config_.alloc_bytes_per_tuple * engine::PhysicalTuples(run[m]);
           }
           SimTime done = co_await my_worker.cpu().UseBatch(costs);
           for (size_t m = 0; m < run.size(); ++m) {
@@ -682,8 +758,9 @@ class StormSut : public driver::Sut {
             metrics_.records->Add(run[m].weight);
             metrics_.late_dropped->Add(added[m].late_tuples);
             costs.push_back(CostUs(config_.buffer_add_cost_us * overhead_ *
-                                   run[m].weight * added[m].window_updates));
-            alloc += config_.alloc_bytes_per_tuple * run[m].weight;
+                                   engine::PhysicalTuples(run[m]) *
+                                   added[m].window_updates));
+            alloc += config_.alloc_bytes_per_tuple * engine::PhysicalTuples(run[m]);
           }
           SimTime done = co_await my_worker.cpu().UseBatch(costs);
           for (size_t m = 0; m < run.size(); ++m) {
@@ -740,6 +817,9 @@ class StormSut : public driver::Sut {
   int num_queues_ = 0;
   int spouts_per_worker_ = 1;
   size_t batch_ = 1;  // data-plane batch size (1 = per-record paths)
+  bool combine_ = false;  // shuffle-side pre-aggregation (batched agg only)
+  // Divide-free partition mapper, identical to PartitionForKey modulo.
+  std::optional<engine::Partitioner> partitioner_;
   bool throttled_ = false;
   std::vector<std::unique_ptr<Channel<Message>>> channels_;
   std::vector<int64_t> heap_used_;

@@ -87,6 +87,15 @@ struct StormConfig {
   /// Acker flush cadence: tuples whose every containing window has fired
   /// are acknowledged to the driver queues on this period.
   SimTime ack_flush_interval = Seconds(2);
+
+  // -- Shuffle fabric (large-cardinality workloads) ---------------------
+  /// Shuffle-side combiner: batched spouts pre-aggregate each popped run
+  /// into per-(key, slide-bucket) partials before the link transfer, so a
+  /// partial crosses the wire (and the bolt's receive queue) as one
+  /// physical tuple. Aggregation query + batch > 1 only; incompatible
+  /// with recovery (ack/replay tracks raw tuples). Logical outputs are
+  /// unchanged — see DESIGN §6.
+  bool shuffle_combine = false;
 };
 
 std::unique_ptr<driver::Sut> MakeStorm(StormConfig config);

@@ -17,6 +17,7 @@
 #include "common/random.h"
 #include "driver/latency_sink.h"
 #include "engine/batch.h"
+#include "engine/columnar.h"
 #include "engine/partition.h"
 #include "engine/watermark.h"
 #include "engine/window_state.h"
@@ -322,6 +323,16 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
   // pop with no ack bookkeeping.
   const bool retain = task_fault(chaos::FaultKind::kCrash) ||
                       task_fault(chaos::FaultKind::kWedge);
+  // Shuffle-side combining (aggregation + batched fan-out only; same
+  // engine gating as the DES SUTs).
+  const bool combine = config.shuffle_combine && config.batch > 1 &&
+                       config.query.kind == engine::QueryKind::kAggregation;
+  if (combine && retain) {
+    result.failure = Status::InvalidArgument(
+        "rt: shuffle_combine is incompatible with task fault injection "
+        "(retained-ring replay accounts per raw envelope)");
+    return result;
+  }
   const bool supervise_tasks = retain && config.chaos.supervise;
   const bool run_supervisor = supervise_tasks || config.watchdog_timeout > 0;
 
@@ -500,20 +511,60 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
                                          std::memory_order_relaxed);
         }
       };
+      // Shuffle fabric (engine/columnar.h): records stage into one batch,
+      // radix-scatter to the per-task open runs in a single pass, and —
+      // with the combiner on — each flushed run collapses into
+      // per-(key, bucket) partials before the ring push.
+      const engine::Partitioner partitioner(T);
+      engine::RecordBatch staging;
+      engine::ColumnarBatch cols;
+      engine::PartitionPlan plan_scratch;
+      std::optional<engine::ShuffleCombiner> combiner;
+      if (combine) {
+        combiner.emplace(config.model == RtPipelineConfig::Model::kSpark
+                             ? config.batch_interval
+                             : config.query.window.slide);
+      }
       auto flush = [&](int t) {
         engine::RecordBatch& b = open[static_cast<size_t>(t)];
         if (b.empty()) return;
         obs::ScopedSpan span(tracer, track, "src.flush");
         span.Arg("records", static_cast<double>(b.size()));
         Envelope env;
-        env.records = std::move(b);
+        if (combiner.has_value()) {
+          combiner->Combine(b.begin(), b.size(), &env.records);
+          b.Clear();
+        } else {
+          env.records = std::move(b);
+          b = engine::RecordBatch();
+        }
         env.origin = s;
-        b = engine::RecordBatch();
         push_blocking(t, std::move(env));
       };
-      auto broadcast_wm = [&](SimTime wm) {
+      auto scatter = [&] {
+        const size_t n = staging.size();
+        if (n == 0) return;
+        cols.LoadKeys(staging.begin(), n);
+        engine::RadixPartition(cols.keys.data(), n, partitioner,
+                               &plan_scratch);
+        const Record* rows = staging.begin();
         for (int t = 0; t < T; ++t) {
-          flush(t);  // records first: the watermark must not overtake them
+          const uint32_t run = plan_scratch.RunSize(t);
+          if (run == 0) continue;
+          engine::RecordBatch& b = open[static_cast<size_t>(t)];
+          b.Reserve(b.size() + run);
+          for (const uint32_t* it = plan_scratch.Begin(t);
+               it != plan_scratch.End(t); ++it) {
+            b.PushBack(rows[*it]);
+          }
+          if (b.size() >= batch) flush(t);
+        }
+        staging.Clear();
+      };
+      auto broadcast_wm = [&](SimTime wm) {
+        scatter();  // records first: the watermark must not overtake them
+        for (int t = 0; t < T; ++t) {
+          flush(t);
           Envelope env;
           env.has_watermark = true;
           env.watermark = wm;
@@ -537,10 +588,16 @@ RtResult RunRtPipeline(const RtPipelineConfig& config) {
         max_event = std::max(max_event, rec->event_time);
         ++records;
         tuples += rec->weight;
-        const int t = engine::PartitionForKey(rec->key, T);
-        engine::RecordBatch& b = open[static_cast<size_t>(t)];
-        b.PushBack(*rec);
-        if (b.size() >= batch) flush(t);
+        if (batch == 1) {
+          // Per-record path, byte-for-byte the pre-columnar fan-out (the
+          // Partitioner mask/reciprocal path equals PartitionForKey).
+          const int t = partitioner(rec->key);
+          open[static_cast<size_t>(t)].PushBack(*rec);
+          flush(t);
+        } else {
+          staging.PushBack(*rec);
+          if (staging.size() >= batch) scatter();
+        }
         if (schaos.armed()) {
           // Source straggle: throttle ingest to `factor` of wall time
           // (sources are unsupervised — slow, never dead).

@@ -105,6 +105,16 @@ struct RtPipelineConfig {
   /// Spark model only: micro-batch bucket width. Window range and slide
   /// must be multiples (same validation as the DES SparkSut).
   SimTime batch_interval = Seconds(4);
+  /// Shuffle-side combiner on the source fan-out (the rt face of the DES
+  /// engines' shuffle_combine): each flushed run is pre-aggregated into
+  /// per-(key, bucket) partials before the ring push, so a partial rides
+  /// the ring as one physical record. Bucket width is the window slide
+  /// (Flink/Storm models) or batch_interval (Spark model), keeping the
+  /// partials window/bucket-pure — the output multiset is unchanged, so
+  /// same-seed DES<->rt identity holds with the combiner on or off.
+  /// Aggregation query + batch > 1 only; incompatible with task fault
+  /// injection (retained-ring replay accounts per raw envelope).
+  bool shuffle_combine = false;
   /// In-band watermark cadence, in planned-schedule time.
   SimTime watermark_every = Millis(200);
   /// Collect every OutputRecord into RtResult::outputs (identity tests).

@@ -35,4 +35,15 @@ rt::RtPipelineConfig MakeRealtime(Engine engine, engine::QueryKind query_kind,
   return config;
 }
 
+rt::RtPipelineConfig MakeRealtimeShuffle(Engine engine, int workers,
+                                         double total_rate, SimTime duration,
+                                         bool shuffle_combine, uint64_t seed) {
+  rt::RtPipelineConfig config =
+      MakeRealtime(engine, engine::QueryKind::kAggregation, workers, total_rate,
+                   duration, seed);
+  config.generator = ShuffleGenerator();
+  config.shuffle_combine = shuffle_combine;
+  return config;
+}
+
 }  // namespace sdps::workloads

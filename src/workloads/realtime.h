@@ -22,6 +22,17 @@ rt::RtPipelineConfig MakeRealtime(Engine engine, engine::QueryKind query_kind,
                                   int workers, double total_rate,
                                   SimTime duration, uint64_t seed = 42);
 
+/// The realtime twin of MakeShuffle: the large-cardinality shuffle
+/// workload (ShuffleGenerator streams, aggregation query) on the rt
+/// backend. `shuffle_combine` arms the source-side combiner (the rt face
+/// of EngineTuning::shuffle_combine); the key draws ride the same
+/// per-source seed fork, so same-seed DES<->rt identity holds for this
+/// workload with the combiner on or off.
+rt::RtPipelineConfig MakeRealtimeShuffle(Engine engine, int workers,
+                                         double total_rate, SimTime duration,
+                                         bool shuffle_combine = false,
+                                         uint64_t seed = 42);
+
 /// Maps the workloads engine id onto the rt task model.
 rt::RtPipelineConfig::Model RealtimeModel(Engine engine);
 

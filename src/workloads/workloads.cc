@@ -21,6 +21,7 @@ engines::FlinkConfig CalibratedFlink(engine::QueryConfig query, EngineTuning tun
     config.recovery_enabled = true;
     config.checkpoint_interval = tuning.flink_checkpoint_interval;
   }
+  config.shuffle_combine = tuning.shuffle_combine;
   return config;
 }
 
@@ -29,6 +30,7 @@ engines::StormConfig CalibratedStorm(engine::QueryConfig query, EngineTuning tun
   config.query = query;
   config.enable_backpressure = tuning.storm_backpressure;
   config.recovery_enabled = tuning.recovery;
+  config.shuffle_combine = tuning.shuffle_combine;
   return config;
 }
 
@@ -39,6 +41,8 @@ engines::SparkConfig CalibratedSpark(engine::QueryConfig query, EngineTuning tun
   config.inverse_reduce = tuning.spark_inverse_reduce;
   config.tree_aggregate = tuning.spark_tree_aggregate;
   config.recovery_enabled = tuning.recovery;
+  config.shuffle_combine = tuning.shuffle_combine;
+  config.deterministic_batching = tuning.spark_deterministic_batching;
   return config;
 }
 
@@ -82,6 +86,22 @@ driver::GeneratorConfig JoinGenerator() {
   return config;
 }
 
+driver::GeneratorConfig ShuffleGenerator() {
+  driver::GeneratorConfig config;
+  config.tuples_per_record = kBenchTuplesPerRecord;
+  // ShuffleBench's regime: the key space dwarfs the window's per-key
+  // state, so key mixing, partition assignment and the wire transfer —
+  // the shuffle fabric — are the load, not window evaluation.
+  config.num_keys = 2'000'000;
+  config.key_distribution = driver::KeyDistribution::kUniform;
+  // Unit price: every aggregate is a whole tuple count (exact in a
+  // double), so outputs are bit-identical under any fold order —
+  // combiner on/off and DES<->rt comparisons can use exact equality.
+  config.price_min = 1.0;
+  config.price_max = 1.0;
+  return config;
+}
+
 cluster::ClusterConfig PaperCluster(int workers) {
   cluster::ClusterConfig config;
   config.workers = workers;
@@ -100,6 +120,16 @@ driver::ExperimentConfig MakeExperiment(engine::QueryKind query_kind, int worker
   config.generator = query_kind == engine::QueryKind::kAggregation
                          ? AggregationGenerator()
                          : JoinGenerator();
+  config.total_rate = total_rate;
+  config.duration = duration;
+  return config;
+}
+
+driver::ExperimentConfig MakeShuffle(int workers, double total_rate,
+                                     SimTime duration) {
+  driver::ExperimentConfig config;
+  config.cluster = PaperCluster(workers);
+  config.generator = ShuffleGenerator();
   config.total_rate = total_rate;
   config.duration = duration;
   return config;

@@ -40,6 +40,15 @@ struct EngineTuning {
   /// Flink checkpoint cadence when `recovery` is on (the paper's Flink
   /// 1.1.3 default configuration territory; must be > 0 for recovery).
   SimTime flink_checkpoint_interval = Seconds(10);
+  /// Shuffle fabric: shuffle-side combiner pre-aggregation in all three
+  /// engines (see engine/columnar.h). Aggregation workloads with a
+  /// batched data plane only; logical outputs are unchanged.
+  bool shuffle_combine = false;
+  /// Spark: event-time block sealing (engines/spark/spark.h) — makes the
+  /// output multiset a pure function of the input stream, so combiner
+  /// on/off and DES<->rt comparisons can demand exact equality. Requires
+  /// in-order event times (max_event_lag == 0).
+  bool spark_deterministic_batching = false;
 };
 
 /// Builds the SUT factory for one engine + query.
@@ -61,6 +70,15 @@ driver::GeneratorConfig AggregationGenerator();
 /// input streams" to keep sink and network out of the bottleneck).
 driver::GeneratorConfig JoinGenerator();
 
+/// Generator preset for the large-cardinality shuffle workload
+/// (ShuffleBench's regime, beyond the paper's 1000-key catalogue): ~2M
+/// uniformly-drawn keys, so the shuffle path — not window evaluation —
+/// dominates. Unit price makes every per-key sum a whole number of
+/// tuples, so aggregate outputs are bit-exact regardless of fold order
+/// (combiner on/off, DES vs rt). Key draws come from the per-driver
+/// seed fork, so same-seed DES<->rt identity extends to this workload.
+driver::GeneratorConfig ShuffleGenerator();
+
 /// The paper's base deployment: `workers` worker nodes, equally many
 /// driver nodes, one master; 16 cores / 16 GB / 1 Gb/s.
 cluster::ClusterConfig PaperCluster(int workers);
@@ -69,6 +87,13 @@ cluster::ClusterConfig PaperCluster(int workers);
 driver::ExperimentConfig MakeExperiment(engine::QueryKind query_kind, int workers,
                                         double total_rate,
                                         SimTime duration = Seconds(300));
+
+/// Assembles the large-cardinality shuffle experiment: the paper cluster
+/// and aggregation query over the ShuffleGenerator streams. Pair with
+/// EngineTuning::shuffle_combine (and --batch > 1) to exercise the
+/// combiner pre-aggregation path.
+driver::ExperimentConfig MakeShuffle(int workers, double total_rate,
+                                     SimTime duration = Seconds(60));
 
 /// The paper's fluctuating-workload profile (Experiment 5): 0.84 M/s,
 /// dropping to 0.28 M/s mid-run, then back.

@@ -127,5 +127,28 @@ TEST(FlatKeyMapTest, ForEachVisitsEveryEntryExactlyOnce) {
   }
 }
 
+// Large-cardinality regression (the shuffle workload's regime): a million
+// dense keys — the combiner's key space shape — must keep probe lengths
+// short. Clustering from a hash or load-factor regression blows these
+// bounds up by orders of magnitude long before correctness breaks.
+TEST(FlatKeyMapTest, MillionKeyProbeLengthsStayShort) {
+  FlatKeyMap<uint32_t> map;
+  const uint64_t n = 1'000'000;
+  for (uint64_t k = 0; k < n; ++k) Upsert(map, k) = static_cast<uint32_t>(k);
+  ASSERT_EQ(map.size(), n);
+  const auto st = map.ComputeProbeStats();
+  EXPECT_EQ(st.entries, n);
+  EXPECT_LE(st.mean_probe, 4.0);
+  EXPECT_LE(st.max_probe, 2048u);
+  // Lookups after the growth cascade still find every key.
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t k = rng.NextBelow(n);
+    auto* v = map.Find(k);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, static_cast<uint32_t>(k));
+  }
+}
+
 }  // namespace
 }  // namespace sdps::engine

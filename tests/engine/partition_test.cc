@@ -44,5 +44,41 @@ TEST(PartitionTest, MixerChangesAllBits) {
   EXPECT_LT(same, 60);  // ~1/64 expected by chance
 }
 
+// The precomputed Partitioner (pow2 mask / multiply-shift reciprocal) must
+// agree with the reference divide bit for bit — for every partition count
+// either fast path can select, including the engines' worker-derived
+// counts and boundary hashes.
+TEST(PartitionTest, PartitionerMatchesReferenceForAllSmallCounts) {
+  for (int n = 1; n <= 257; ++n) {
+    const Partitioner partitioner(n);
+    ASSERT_EQ(partitioner.parts(), n);
+    for (uint64_t k = 0; k < 2000; ++k) {
+      ASSERT_EQ(partitioner(k), PartitionForKey(k, n)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(PartitionTest, PartitionerMatchesReferenceOnRandomKeys) {
+  uint64_t x = 0x9e3779b97f4a7c15ull;  // cheap LCG-ish stream, full 64-bit range
+  for (int n : {2, 3, 16, 48, 100, 128, 1000, 1 << 20}) {
+    const Partitioner partitioner(n);
+    for (int i = 0; i < 20000; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      ASSERT_EQ(partitioner(x), PartitionForKey(x, n)) << "n=" << n << " k=" << x;
+    }
+  }
+}
+
+TEST(PartitionTest, ApplyMixedConsumesPreMixedHash) {
+  const Partitioner partitioner(48);
+  for (uint64_t k = 0; k < 5000; ++k) {
+    ASSERT_EQ(partitioner.ApplyMixed(MixKey(k)), PartitionForKey(k, 48));
+  }
+  // Boundary hashes exercise the reciprocal's conditional correction.
+  for (uint64_t h : {0ull, 47ull, 48ull, ~0ull, ~0ull - 47}) {
+    EXPECT_EQ(partitioner.ApplyMixed(h), static_cast<int>(h % 48));
+  }
+}
+
 }  // namespace
 }  // namespace sdps::engine
