@@ -70,7 +70,8 @@ def main() -> int:
         if status == "FAIL":
             failures.append(
                 f"{name}: expected >= {minimum:,.0f} "
-                f"(floor {floor:,.0f} - {tolerance:.0%}), got {got:,.0f}")
+                f"(floor {floor:,.0f} - {tolerance:.0%}), "
+                f"got {got:,.0f} (x{ratio:.2f} of floor)")
         else:
             passed += 1
     new_metrics = sorted(set(measured) - set(baseline) - set(ceilings))
@@ -93,7 +94,8 @@ def main() -> int:
         if status == "FAIL":
             failures.append(
                 f"{name}: expected <= {maximum:,.0f} "
-                f"(ceiling {ceiling:,.0f} + {tolerance:.0%}), got {got:,.0f}")
+                f"(ceiling {ceiling:,.0f} + {tolerance:.0%}), "
+                f"got {got:,.0f} (x{ratio:.2f} of ceiling)")
         else:
             passed += 1
 

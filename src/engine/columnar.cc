@@ -51,37 +51,51 @@ void GatherRows(const Record* recs, const PartitionPlan& plan,
   for (size_t i = 0; i < n; ++i) out[i] = recs[index[i]];
 }
 
-void ShuffleCombiner::Add(const Record* recs, size_t n) {
-  for (size_t i = 0; i < n; ++i) {
-    const Record& r = recs[i];
-    const int64_t bucket = FloorDiv(r.event_time, bucket_width_);
-    // The exact contribution WindowKeyAgg::Merge would add for r.
-    const double contribution = r.preagg ? r.value : r.value * r.weight;
-    bool inserted;
-    uint32_t& head = head_.FindOrInsert(r.key, &inserted);
-    if (inserted) head = kNone;
-    uint32_t gi = head;
-    while (gi != kNone && groups_[gi].bucket != bucket) {
-      gi = groups_[gi].next;
-    }
-    if (gi == kNone) {
-      Group g;
-      g.bucket = bucket;
-      g.next = head;
-      g.rec = r;
-      g.rec.value = contribution;
-      g.rec.preagg = true;
-      head = static_cast<uint32_t>(groups_.size());
-      groups_.push_back(g);
-      continue;
-    }
-    Record& into = groups_[gi].rec;
-    into.value += contribution;
-    into.weight += r.weight;
-    if (r.event_time > into.event_time) into.event_time = r.event_time;
-    if (r.ingest_time > into.ingest_time) into.ingest_time = r.ingest_time;
-    if (into.lineage < 0) into.lineage = r.lineage;
+void ShuffleCombiner::FoldRecord(const Record& r, uint32_t& head,
+                                 bool inserted) {
+  const int64_t bucket = FloorDiv(r.event_time, bucket_width_);
+  // The exact contribution WindowKeyAgg::Merge would add for r.
+  const double contribution = r.preagg ? r.value : r.value * r.weight;
+  if (inserted) head = kNone;
+  uint32_t gi = head;
+  while (gi != kNone && groups_[gi].bucket != bucket) {
+    gi = groups_[gi].next;
   }
+  if (gi == kNone) {
+    Group g;
+    g.bucket = bucket;
+    g.next = head;
+    g.rec = r;
+    g.rec.value = contribution;
+    g.rec.preagg = true;
+    head = static_cast<uint32_t>(groups_.size());
+    groups_.push_back(g);
+    return;
+  }
+  Record& into = groups_[gi].rec;
+  into.value += contribution;
+  into.weight += r.weight;
+  if (r.event_time > into.event_time) into.event_time = r.event_time;
+  if (r.ingest_time > into.ingest_time) into.ingest_time = r.ingest_time;
+  if (into.lineage < 0) into.lineage = r.lineage;
+}
+
+void ShuffleCombiner::Add(const Record* recs, size_t n) {
+  key_lane_.resize(n);
+  for (size_t i = 0; i < n; ++i) key_lane_[i] = recs[i].key;
+  head_.FindOrInsertBatch(
+      key_lane_.data(), n,
+      [&](size_t i, uint32_t& head, bool ins) { FoldRecord(recs[i], head, ins); });
+}
+
+void ShuffleCombiner::AddPermuted(const Record* recs, const uint32_t* idx,
+                                  size_t n) {
+  key_lane_.resize(n);
+  for (size_t i = 0; i < n; ++i) key_lane_[i] = recs[idx[i]].key;
+  head_.FindOrInsertBatch(key_lane_.data(), n, [&](size_t i, uint32_t& head,
+                                                   bool ins) {
+    FoldRecord(recs[idx[i]], head, ins);
+  });
 }
 
 size_t ShuffleCombiner::Emit(RecordBatch* out) const {

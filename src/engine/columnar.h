@@ -42,7 +42,7 @@
 #include "common/check.h"
 #include "common/time_util.h"
 #include "engine/batch.h"
-#include "engine/flat_hash.h"
+#include "engine/group_hash.h"
 #include "engine/partition.h"
 #include "engine/record.h"
 
@@ -143,12 +143,19 @@ class ShuffleCombiner {
   }
 
   /// Folds recs[0..n) into the current groups. Accepts pre-aggregated
-  /// inputs (tree combine): their partial sums fold in directly.
+  /// inputs (tree combine): their partial sums fold in directly. The key
+  /// probes run through GroupedKeyMap::FindOrInsertBatch, which resolves
+  /// keys strictly in input order — fold order matches the per-record
+  /// loop exactly.
   void Add(const Record* recs, size_t n);
 
-  /// Single-record fold — for callers feeding a permuted index order
-  /// (e.g. a PartitionPlan run) rather than a contiguous run.
+  /// Single-record fold — for callers feeding records one at a time.
   void Add(const Record& rec) { Add(&rec, 1); }
+
+  /// Folds recs[idx[0..n)] in index order — the PartitionPlan-run shape
+  /// (Spark's map-side combine walks one destination's permuted indices).
+  /// Equivalent to n single-record Adds but with the batched key probe.
+  void AddPermuted(const Record* recs, const uint32_t* idx, size_t n);
 
   /// Appends one combined record per group to *out, in the order the
   /// groups first appeared, and returns the group count. State is left
@@ -182,9 +189,14 @@ class ShuffleCombiner {
     return q;
   }
 
+  /// The per-record fold body, run once per record (in input order) with
+  /// the key's resolved chain-head slot.
+  void FoldRecord(const Record& r, uint32_t& head, bool inserted);
+
   SimTime bucket_width_;
-  FlatKeyMap<uint32_t> head_;  // key -> head of its group chain
+  GroupedKeyMap<uint32_t> head_;    // key -> head of its group chain
   std::vector<Group> groups_;
+  std::vector<uint64_t> key_lane_;  // scratch for the batched probe
 };
 
 /// Tree-combine step for the Spark model's aggregate: pairwise-combines

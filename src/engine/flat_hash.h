@@ -20,6 +20,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
+
 namespace sdps::engine {
 
 /// Insert-only open-addressing map from uint64 keys to V. Deterministic:
@@ -33,6 +35,9 @@ class FlatKeyMap {
 
   size_t size() const { return size_ + (has_empty_key_ ? 1 : 0); }
   bool empty() const { return size() == 0; }
+  /// Bucket count (0 before the first insert; excludes the out-of-line
+  /// empty-key slot). Always a power of two once allocated.
+  size_t capacity() const { return slots_.size(); }
 
   /// Returns the value slot for `key`, default-constructing it on first
   /// insert. Sets `*inserted` accordingly.
@@ -130,7 +135,14 @@ class FlatKeyMap {
   };
 
   static constexpr uint64_t kEmptyKey = ~0ull;
-  static constexpr size_t kInitialBuckets = 16;  // power of two
+  static constexpr size_t kInitialBuckets = 16;
+  // Bucket() and the wrap-around arithmetic mask with (capacity - 1) and
+  // recompute shift_ via __builtin_ctzll, both of which silently corrupt
+  // probing if any capacity in the doubling chain stops being a power of
+  // two. Pin the invariant at compile time here and at runtime in Grow().
+  static_assert(kInitialBuckets >= 2 &&
+                    (kInitialBuckets & (kInitialBuckets - 1)) == 0,
+                "FlatKeyMap capacity must stay a power of two");
 
   /// Fibonacci hashing: top bits of key * 2^64/phi.
   size_t Bucket(uint64_t key) const {
@@ -139,6 +151,8 @@ class FlatKeyMap {
 
   void Grow() {
     const size_t new_cap = slots_.empty() ? kInitialBuckets : slots_.size() * 2;
+    SDPS_CHECK((new_cap & (new_cap - 1)) == 0)
+        << "FlatKeyMap capacity must stay a power of two, got " << new_cap;
     std::vector<Slot> old = std::move(slots_);
     slots_.assign(new_cap, Slot{kEmptyKey, V{}});
     mask_ = new_cap - 1;

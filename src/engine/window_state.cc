@@ -35,15 +35,41 @@ void SortOutputs(std::vector<OutputRecord>& out) {
 
 }  // namespace
 
-AddResult AggWindowState::Add(const Record& rec) {
-  AddResult result;
-  if (rec.event_time < cached_slide_start_ || rec.event_time >= cached_slide_end_)
+int64_t AggWindowState::LastWindowCached(SimTime event_time) {
+  if (event_time < cached_slide_start_ || event_time >= cached_slide_end_)
       [[unlikely]] {
-    cached_last_window_ = assigner_.LastWindowFor(rec.event_time);
+    cached_last_window_ = assigner_.LastWindowFor(event_time);
     cached_slide_start_ = assigner_.WindowStart(cached_last_window_);
     cached_slide_end_ = cached_slide_start_ + assigner_.spec().slide;
   }
-  const int64_t last = cached_last_window_;
+  return cached_last_window_;
+}
+
+void AggWindowState::FoldLanes(const Record& rec, uint32_t row, int64_t first,
+                               int64_t last, AddResult* result) {
+  size_t lane_idx = LaneOf(first, ring_mask_);
+  for (int64_t w = first; w <= last; ++w) {
+    Lane& lane = lanes_[static_cast<size_t>(row) * ring_size_ + lane_idx];
+    if (lane.window != w) [[unlikely]] {
+      if (lane.window != kNoWindow) {
+        // Ring conflict: another open window occupies this lane. Row
+        // indices survive GrowRing, only lane positions move.
+        GrowRing(w);
+        MergeIntoRow(rec, row, w, result);
+        lane_idx = LaneOf(w + 1, ring_mask_);
+        continue;
+      }
+      ClaimLane(lane, w);
+    }
+    lane.agg.Merge(rec);
+    ++result->window_updates;
+    lane_idx = (lane_idx + 1) & ring_mask_;
+  }
+}
+
+AddResult AggWindowState::Add(const Record& rec) {
+  AddResult result;
+  const int64_t last = LastWindowCached(rec.event_time);
   const int64_t first = last - overlap_ + 1;
   if (first < min_unfired_window_) [[unlikely]] {
     // Some (maybe all) of the record's windows already fired.
@@ -56,35 +82,53 @@ AddResult AggWindowState::Add(const Record& rec) {
     }
     return result;
   }
-  const uint32_t row = ResolveRow(rec.key);
-  size_t lane_idx = LaneOf(first, ring_mask_);
-  for (int64_t w = first; w <= last; ++w) {
-    Lane& lane = lanes_[static_cast<size_t>(row) * ring_size_ + lane_idx];
-    if (lane.window != w) [[unlikely]] {
-      if (lane.window != kNoWindow) {
-        // Ring conflict: another open window occupies this lane.
-        GrowRing(w);
-        MergeIntoWindow(rec, w, &result);
-        lane_idx = LaneOf(w + 1, ring_mask_);
-        continue;
-      }
-      ClaimLane(lane, w);
-    }
-    lane.agg.Merge(rec);
-    ++result.window_updates;
-    lane_idx = (lane_idx + 1) & ring_mask_;
-  }
+  FoldLanes(rec, ResolveRow(rec.key), first, last, &result);
   return result;
+}
+
+AddResult AggWindowState::AddBatch(const Record* recs, size_t n,
+                                   AddResult* per_record,
+                                   int64_t* state_bytes_after) {
+  AddResult total;
+  scratch_keys_.resize(n);
+  for (size_t i = 0; i < n; ++i) scratch_keys_[i] = recs[i].key;
+  key_rows_.FindOrInsertBatch(
+      scratch_keys_.data(), n, [&](size_t i, uint32_t& slot, bool inserted) {
+        if (inserted) [[unlikely]] slot = NewRow(recs[i].key);
+        const uint32_t row = slot;
+        const Record& rec = recs[i];
+        AddResult result;
+        const int64_t last = LastWindowCached(rec.event_time);
+        const int64_t first = last - overlap_ + 1;
+        if (first < min_unfired_window_) [[unlikely]] {
+          for (int64_t w = first; w <= last; ++w) {
+            if (w < min_unfired_window_) {
+              result.late_tuples += rec.weight;
+            } else {
+              MergeIntoRow(rec, row, w, &result);
+            }
+          }
+        } else {
+          FoldLanes(rec, row, first, last, &result);
+        }
+        if (per_record != nullptr) per_record[i] = result;
+        if (state_bytes_after != nullptr) state_bytes_after[i] = state_bytes();
+        total.Accumulate(result);
+      });
+  return total;
+}
+
+uint32_t AggWindowState::NewRow(uint64_t key) {
+  const uint32_t row = static_cast<uint32_t>(row_keys_.size());
+  row_keys_.push_back(key);
+  lanes_.resize(lanes_.size() + ring_size_, Lane{kNoWindow, {}});
+  return row;
 }
 
 uint32_t AggWindowState::ResolveRow(uint64_t key) {
   bool inserted;
   uint32_t& slot = key_rows_.FindOrInsert(key, &inserted);
-  if (inserted) [[unlikely]] {
-    slot = static_cast<uint32_t>(row_keys_.size());
-    row_keys_.push_back(key);
-    lanes_.resize(lanes_.size() + ring_size_, Lane{kNoWindow, {}});
-  }
+  if (inserted) [[unlikely]] slot = NewRow(key);
   return slot;
 }
 
@@ -138,8 +182,8 @@ void AggWindowState::GrowRing(int64_t incoming) {
   ring_mask_ = r - 1;
 }
 
-void AggWindowState::MergeIntoWindow(const Record& rec, int64_t w, AddResult* result) {
-  const uint32_t row = ResolveRow(rec.key);
+void AggWindowState::MergeIntoRow(const Record& rec, uint32_t row, int64_t w,
+                                  AddResult* result) {
   Lane* lane = &lanes_[static_cast<size_t>(row) * ring_size_ + LaneOf(w, ring_mask_)];
   if (lane->window != w) {
     if (lane->window != kNoWindow) {
@@ -150,6 +194,10 @@ void AggWindowState::MergeIntoWindow(const Record& rec, int64_t w, AddResult* re
   }
   lane->agg.Merge(rec);
   ++result->window_updates;
+}
+
+void AggWindowState::MergeIntoWindow(const Record& rec, int64_t w, AddResult* result) {
+  MergeIntoRow(rec, ResolveRow(rec.key), w, result);
 }
 
 std::vector<OutputRecord> AggWindowState::FireUpTo(SimTime watermark) {
@@ -217,14 +265,22 @@ BufferedWindowState::Fired BufferedWindowState::FireUpTo(SimTime watermark) {
     const SimTime window_end = assigner_.WindowEnd(win.id);
     if (window_end > watermark) break;
     min_unfired_window_ = std::max(min_unfired_window_, win.id + 1);
-    // Bulk evaluation: scan every buffered record of the window.
+    // Bulk evaluation: scan every buffered record of the window, with the
+    // per-key probes batched (this burst is the Storm model's CPU spike;
+    // at shuffle cardinalities it is probe-bound exactly like the
+    // combiner fold).
     fire_aggs_.Clear();
     uint64_t window_tuples = 0;
-    for (const Record& r : win.records) {
-      bool inserted;
-      fire_aggs_.FindOrInsert(r.key, &inserted).Merge(r);
-      window_tuples += PhysicalTuples(r);  // matches Add's buffer charge
+    const size_t nrec = win.records.size();
+    scratch_keys_.resize(nrec);
+    for (size_t i = 0; i < nrec; ++i) {
+      scratch_keys_[i] = win.records[i].key;
+      window_tuples += PhysicalTuples(win.records[i]);  // Add's buffer charge
     }
+    fire_aggs_.FindOrInsertBatch(scratch_keys_.data(), nrec,
+                                 [&](size_t i, WindowKeyAgg& agg, bool) {
+                                   agg.Merge(win.records[i]);
+                                 });
     fired.tuples_scanned += window_tuples;
     fire_aggs_.ForEach([&](uint64_t key, const WindowKeyAgg& agg) {
       OutputRecord rec;
@@ -293,24 +349,31 @@ JoinWindowState::Fired JoinWindowState::FireUpTo(SimTime watermark) {
     // output order matches the historical vector-of-pointers build),
     // probe with purchases.
     build_.Clear();
-    build_next_.resize(side.ads.size());
-    for (uint32_t i = 0; i < side.ads.size(); ++i) {
-      fired.join_work += side.ads[i].weight;
-      build_next_[i] = kNil;
-      bool inserted;
-      AdChain& chain = build_.FindOrInsert(side.ads[i].key, &inserted);
-      if (inserted) {
-        chain.head = i;
-      } else {
-        build_next_[chain.tail] = i;
-      }
-      chain.tail = i;
-    }
+    const size_t n_ads = side.ads.size();
+    build_next_.resize(n_ads);
+    scratch_keys_.resize(n_ads);
+    for (size_t i = 0; i < n_ads; ++i) scratch_keys_[i] = side.ads[i].key;
+    build_.FindOrInsertBatch(
+        scratch_keys_.data(), n_ads,
+        [&](size_t i, AdChain& chain, bool inserted) {
+          fired.join_work += side.ads[i].weight;
+          build_next_[i] = kNil;
+          if (inserted) {
+            chain.head = static_cast<uint32_t>(i);
+          } else {
+            build_next_[chain.tail] = static_cast<uint32_t>(i);
+          }
+          chain.tail = static_cast<uint32_t>(i);
+        });
     fired.naive_pairs += side.purchase_tuples * side.ad_tuples;
-    for (const Record& p : side.purchases) {
+    const size_t n_purch = side.purchases.size();
+    scratch_keys_.resize(n_purch);
+    for (size_t i = 0; i < n_purch; ++i) scratch_keys_[i] = side.purchases[i].key;
+    build_.FindBatch(scratch_keys_.data(), n_purch, [&](size_t pi,
+                                                        const AdChain* chain) {
+      const Record& p = side.purchases[pi];
       fired.join_work += p.weight;
-      const AdChain* chain = build_.Find(p.key);
-      if (chain == nullptr) continue;
+      if (chain == nullptr) return;
       for (uint32_t i = chain->head; i != kNil; i = build_next_[i]) {
         const Record& ad = side.ads[i];
         OutputRecord rec;
@@ -325,7 +388,7 @@ JoinWindowState::Fired JoinWindowState::FireUpTo(SimTime watermark) {
         fired.outputs.push_back(rec);
         fired.join_work += p.weight;
       }
-    }
+    });
     fired.tuples_evicted += side.purchase_tuples + side.ad_tuples;
     buffered_tuples_ -= side.purchase_tuples + side.ad_tuples;
     side.Recycle();

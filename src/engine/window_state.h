@@ -16,9 +16,10 @@
 // ids (sliding windows overlap by size/slide, so there are only a handful
 // open at once — ordered lookup is a short scan from the back, not a
 // red-black tree walk), and per-window key state lives in flat
-// open-addressing tables (engine::FlatKeyMap) instead of node-based
-// unordered_maps. Fired windows return their tables/buffers to a scratch
-// arena so steady-state firing never touches the allocator.
+// open-addressing tables (engine::GroupedKeyMap, 16-wide group probing
+// with batched prefetching ingest) instead of node-based unordered_maps.
+// Fired windows return their tables/buffers to a scratch arena so
+// steady-state firing never touches the allocator.
 //
 // Output event-/processing-times follow the paper's Definitions 3 and 4:
 // aggregation outputs carry the max event-/ingest-time of the contributing
@@ -31,7 +32,7 @@
 #include <limits>
 #include <vector>
 
-#include "engine/flat_hash.h"
+#include "engine/group_hash.h"
 #include "engine/record.h"
 #include "engine/window.h"
 
@@ -117,6 +118,21 @@ class AggWindowState {
   /// Folds the record into every still-open window it belongs to.
   AddResult Add(const Record& rec);
 
+  /// Folds recs[0..n) in order with the key probes batched through
+  /// GroupedKeyMap::FindOrInsertBatch (hash pipelining + home-group
+  /// prefetch). State mutations are identical to n serial Adds, with one
+  /// provably unobservable exception: a record whose every window already
+  /// fired still materializes its key's (empty) lane row here, which the
+  /// serial path skips — entries_, state_bytes() and all outputs are
+  /// unchanged (FireUpTo only reads claimed lanes). When non-null,
+  /// `per_record` receives each record's own AddResult and
+  /// `state_bytes_after` the state_bytes() value after that record's
+  /// fold — what a serial Add-then-measure loop would have observed (the
+  /// Flink model's spill-slowdown cost depends on it per record).
+  AddResult AddBatch(const Record* recs, size_t n,
+                     AddResult* per_record = nullptr,
+                     int64_t* state_bytes_after = nullptr);
+
   /// Fires all windows with end <= watermark, oldest first; outputs one
   /// record per (window, key), then drops the window state.
   std::vector<OutputRecord> FireUpTo(SimTime watermark);
@@ -147,11 +163,24 @@ class AggWindowState {
   /// Returns the lane-row index for `key`, allocating a row of free lanes
   /// on first sight.
   uint32_t ResolveRow(uint64_t key);
+  /// Allocates the lane row for a key the map just saw for the first time.
+  uint32_t NewRow(uint64_t key);
+  /// Refreshes the one-entry window-assignment cache for `event_time` and
+  /// returns the last window id the record belongs to.
+  int64_t LastWindowCached(SimTime event_time);
   /// Claims a free lane for window `w` and tracks it in open_ids_.
   void ClaimLane(Lane& lane, int64_t w);
   /// Doubles the lane ring until every open window (and `incoming`) maps
   /// to a distinct lane, migrating all rows.
   void GrowRing(int64_t incoming);
+  /// Folds rec's windows [first, last] into its resolved lane row — the
+  /// shared body of Add and AddBatch (row indices survive GrowRing).
+  void FoldLanes(const Record& rec, uint32_t row, int64_t first, int64_t last,
+                 AddResult* result);
+  /// Single-window merge into a resolved row (late-path and ring-conflict
+  /// slow path).
+  void MergeIntoRow(const Record& rec, uint32_t row, int64_t w,
+                    AddResult* result);
   /// Out-of-line slow path for records with some windows already fired.
   void MergeIntoWindow(const Record& rec, int64_t w, AddResult* result);
 
@@ -159,10 +188,11 @@ class AggWindowState {
   int64_t overlap_;                 // windows per record
   size_t ring_size_;                // lanes per row (power of two)
   size_t ring_mask_;                // ring_size_ - 1
-  FlatKeyMap<uint32_t> key_rows_;   // key -> row index
+  GroupedKeyMap<uint32_t> key_rows_;  // key -> row index
   std::vector<uint64_t> row_keys_;  // row index -> key
   std::vector<Lane> lanes_;         // row-major, ring_size_ lanes per row
   std::vector<int64_t> open_ids_;   // sorted ascending, unfired windows
+  std::vector<uint64_t> scratch_keys_;  // batched-probe key lane
   int64_t entries_ = 0;
   int64_t min_unfired_window_ = std::numeric_limits<int64_t>::min();
   // One-entry window-assignment cache: event times arrive nearly
@@ -172,6 +202,14 @@ class AggWindowState {
   SimTime cached_slide_end_ = 0;
   int64_t cached_last_window_ = 0;
 };
+
+/// AggWindowState ingest routes through the member AddBatch (batched key
+/// probe); a non-template overload outranks the generic serial loop above
+/// at every engine::AddBatch call site.
+inline AddResult AddBatch(AggWindowState& state, const Record* recs, size_t n,
+                          AddResult* per_record = nullptr) {
+  return state.AddBatch(recs, n, per_record);
+}
 
 /// Full-record buffering per window with bulk aggregation at fire time
 /// (Storm's window bolt keeps the raw tuple buffer).
@@ -209,10 +247,11 @@ class BufferedWindowState {
   WindowAssigner assigner_;
   std::vector<OpenWindow> windows_;        // sorted ascending by id
   std::vector<std::vector<Record>> arena_;  // recycled fired buffers
-  FlatKeyMap<WindowKeyAgg> fire_aggs_;      // reused across fired windows
+  GroupedKeyMap<WindowKeyAgg> fire_aggs_;   // reused across fired windows
   uint64_t buffered_tuples_ = 0;
   int64_t min_unfired_window_ = std::numeric_limits<int64_t>::min();
   std::vector<int64_t> scratch_windows_;
+  std::vector<uint64_t> scratch_keys_;  // batched fire-time probe lane
 };
 
 /// Two-sided window buffer with hash-join evaluation at fire time
@@ -283,11 +322,12 @@ class JoinWindowState {
   WindowAssigner assigner_;
   std::vector<OpenWindow> windows_;   // sorted ascending by id
   std::vector<SideBuffers> arena_;    // recycled fired buffers
-  FlatKeyMap<AdChain> build_;         // reused across fired windows
+  GroupedKeyMap<AdChain> build_;      // reused across fired windows
   std::vector<uint32_t> build_next_;  // parallel to a window's ad buffer
   uint64_t buffered_tuples_ = 0;
   int64_t min_unfired_window_ = std::numeric_limits<int64_t>::min();
   std::vector<int64_t> scratch_windows_;
+  std::vector<uint64_t> scratch_keys_;  // batched build/probe key lane
 };
 
 }  // namespace sdps::engine

@@ -602,6 +602,9 @@ class FlinkSut : public driver::Sut {
     std::vector<Message> msgs;
     std::vector<SimTime> costs;
     std::vector<int64_t> lineages;
+    std::vector<Record> run;
+    std::vector<engine::AddResult> added_run;
+    std::vector<int64_t> bytes_after;
     for (;;) {
       if (!co_await in.RecvMany(&msgs, batch_)) break;
       size_t i = 0;
@@ -611,21 +614,33 @@ class FlinkSut : public driver::Sut {
           continue;
         }
         if (msgs[i].kind == Message::Kind::kRecord) {
-          // Coalesce the run of consecutive valid records. No co_await
-          // separates the Adds, but Add depends only on record event times
-          // and fired watermarks (which only move between runs), so the
-          // results match the serial interleaving.
+          // Coalesce the run of consecutive valid records into one
+          // AddBatch (batched key probes). No co_await separates the
+          // folds, but they depend only on record event times and fired
+          // watermarks (which only move between runs), so the results
+          // match the serial interleaving. Per-record spill costs read
+          // the state size measured after each record's own fold —
+          // exactly what the serial Add-then-measure loop charged.
           costs.clear();
           lineages.clear();
+          run.clear();
           int64_t alloc = 0;
           while (i < msgs.size() && msgs[i].kind == Message::Kind::kRecord &&
                  !(recovery_ && msgs[i].epoch < epoch_)) {
-            const Record& rec = msgs[i].record;
-            const engine::AddResult added = state.Add(rec);
+            run.push_back(msgs[i].record);
+            ++i;
+          }
+          added_run.resize(run.size());
+          bytes_after.resize(run.size());
+          state.AddBatch(run.data(), run.size(), added_run.data(),
+                         bytes_after.data());
+          for (size_t m = 0; m < run.size(); ++m) {
+            const Record& rec = run[m];
+            const engine::AddResult& added = added_run[m];
             late_dropped_tuples_ += added.late_tuples;
             metrics_.records->Add(rec.weight);
             metrics_.late_dropped->Add(added.late_tuples);
-            const double slow = state.state_bytes() > spill_threshold_bytes_
+            const double slow = bytes_after[m] > spill_threshold_bytes_
                                     ? config_.spill_slowdown
                                     : 1.0;
             costs.push_back(CostUs(config_.agg_update_cost_us *
@@ -633,7 +648,6 @@ class FlinkSut : public driver::Sut {
                                    added.window_updates * slow));
             lineages.push_back(rec.lineage);
             alloc += config_.alloc_bytes_per_tuple * engine::PhysicalTuples(rec);
-            ++i;
           }
           SimTime done = co_await my_worker.cpu().UseBatch(costs);
           for (size_t m = 0; m < costs.size(); ++m) {

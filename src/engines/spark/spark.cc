@@ -664,11 +664,13 @@ class SparkSut : public driver::Sut {
           if (plan.RunSize(p) > 0) {
             combiner.Reset();
             for (const uint32_t* it = plan.Begin(p); it != plan.End(p); ++it) {
-              const Record& rec = block.records[*it];
-              obs::LineageTracker::Default().StampOperator(rec.lineage,
-                                                           ctx_.sim->now());
-              combiner.Add(rec);
+              obs::LineageTracker::Default().StampOperator(
+                  block.records[*it].lineage, ctx_.sim->now());
             }
+            // Fold the whole destination run through the batched key
+            // probe; index order matches the per-record loop.
+            combiner.AddPermuted(block.records.data(), plan.Begin(p),
+                                 plan.RunSize(p));
             combiner.Emit(&out.rows);
           }
           out.run_offsets[static_cast<size_t>(p) + 1] =

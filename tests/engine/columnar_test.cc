@@ -8,6 +8,7 @@
 #include "common/random.h"
 #include "common/time_util.h"
 #include "engine/batch.h"
+#include "engine/flat_hash.h"
 #include "engine/partition.h"
 #include "engine/record.h"
 
